@@ -1,0 +1,32 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing approximation schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ApproxError {
+    /// A schedule violates its monotonicity/termination invariants.
+    InvalidSchedule(String),
+}
+
+impl fmt::Display for ApproxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidSchedule(msg) => write!(f, "invalid approximation schedule: {msg}"),
+        }
+    }
+}
+
+impl Error for ApproxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!ApproxError::InvalidSchedule("x".into())
+            .to_string()
+            .is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! Reduced floating-point precision schedules.
+//!
+//! The paper's iterative-stage example: "if applying reduced floating-point
+//! precision, `f_1` computes `f` with the lowest precision while `f_n`
+//! computes with the highest" (§III-B1). Truncating mantissa bits models
+//! narrow FPUs / precision-scaled accelerators; an increasing-bits schedule
+//! plugs directly into [`anytime_core::Iterative`].
+
+use crate::ApproxError;
+
+/// Truncates an `f64` mantissa to its top `bits` explicit bits
+/// (`0 ≤ bits ≤ 52`), rounding toward zero.
+///
+/// With `bits = 52` the value is unchanged; with `bits = 0` only the
+/// implicit leading one (and exponent/sign) survives.
+///
+/// # Panics
+///
+/// Panics if `bits > 52`.
+///
+/// # Examples
+///
+/// ```
+/// use anytime_approx::truncate_mantissa;
+/// assert_eq!(truncate_mantissa(1.0 + 0.5 + 0.25, 1), 1.5);
+/// assert_eq!(truncate_mantissa(std::f64::consts::PI, 52), std::f64::consts::PI);
+/// ```
+pub fn truncate_mantissa(x: f64, bits: u32) -> f64 {
+    assert!(bits <= 52, "f64 has 52 explicit mantissa bits");
+    if !x.is_finite() {
+        return x;
+    }
+    let raw = x.to_bits();
+    let keep_mask = !((1u64 << (52 - bits)) - 1);
+    // Preserve sign and exponent; truncate low mantissa bits.
+    let mantissa_mask = (1u64 << 52) - 1;
+    let truncated = raw & !(mantissa_mask & !keep_mask);
+    f64::from_bits(truncated)
+}
+
+/// An increasing mantissa-precision schedule ending at full precision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrecisionSchedule {
+    bits: Vec<u32>,
+}
+
+impl PrecisionSchedule {
+    /// Creates a schedule from explicit mantissa bit counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApproxError::InvalidSchedule`] unless bit counts strictly
+    /// increase and end at 52 (full f64 precision).
+    pub fn new(bits: Vec<u32>) -> Result<Self, ApproxError> {
+        if bits.is_empty() || *bits.last().expect("non-empty") != 52 {
+            return Err(ApproxError::InvalidSchedule(
+                "precision schedule must end at 52 bits".into(),
+            ));
+        }
+        if bits.windows(2).any(|w| w[1] <= w[0]) {
+            return Err(ApproxError::InvalidSchedule(
+                "precision must strictly increase".into(),
+            ));
+        }
+        Ok(Self { bits })
+    }
+
+    /// A doubling schedule: `start, 2·start, …` capped by a final 52.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApproxError::InvalidSchedule`] if `start` is 0 or ≥ 52.
+    pub fn doubling(start: u32) -> Result<Self, ApproxError> {
+        if start == 0 || start >= 52 {
+            return Err(ApproxError::InvalidSchedule(
+                "doubling schedule needs 0 < start < 52".into(),
+            ));
+        }
+        let mut bits = Vec::new();
+        let mut b = start;
+        while b < 52 {
+            bits.push(b);
+            b *= 2;
+        }
+        bits.push(52);
+        Self::new(bits)
+    }
+
+    /// Mantissa bits at accuracy level `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn bits(&self, level: u64) -> u32 {
+        self.bits[level as usize]
+    }
+
+    /// Number of accuracy levels.
+    pub fn levels(&self) -> u64 {
+        self.bits.len() as u64
+    }
+
+    /// Truncates `x` to the precision of level `k`.
+    pub fn apply(&self, x: f64, level: u64) -> f64 {
+        truncate_mantissa(x, self.bits(level))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncation_error_shrinks_with_bits() {
+        let x = std::f64::consts::E * 1000.0;
+        let mut last_err = f64::INFINITY;
+        for bits in [4, 8, 16, 32, 52] {
+            let err = (x - truncate_mantissa(x, bits)).abs();
+            assert!(err <= last_err, "bits={bits}: {err} > {last_err}");
+            last_err = err;
+        }
+        assert_eq!(last_err, 0.0);
+    }
+
+    #[test]
+    fn truncation_preserves_sign_and_specials() {
+        // -2.75 = -1.011₂ × 2¹; keeping one explicit mantissa bit (0)
+        // leaves -1.0 × 2¹.
+        assert_eq!(truncate_mantissa(-2.75, 1), -2.0);
+        assert_eq!(truncate_mantissa(0.0, 4), 0.0);
+        assert!(truncate_mantissa(f64::NAN, 4).is_nan());
+        assert_eq!(truncate_mantissa(f64::INFINITY, 4), f64::INFINITY);
+    }
+
+    #[test]
+    fn truncation_rounds_toward_zero() {
+        let x = 1.9999;
+        for bits in 0..52 {
+            assert!(truncate_mantissa(x, bits) <= x);
+        }
+        assert!(truncate_mantissa(-1.9999, 4) >= -1.9999);
+    }
+
+    #[test]
+    fn doubling_schedule_shape() {
+        let s = PrecisionSchedule::doubling(8).unwrap();
+        assert_eq!(s.levels(), 4);
+        assert_eq!(s.bits(0), 8);
+        assert_eq!(s.bits(3), 52);
+    }
+
+    #[test]
+    fn schedule_validation() {
+        assert!(PrecisionSchedule::new(vec![8, 16, 52]).is_ok());
+        assert!(PrecisionSchedule::new(vec![]).is_err());
+        assert!(PrecisionSchedule::new(vec![8, 16]).is_err());
+        assert!(PrecisionSchedule::new(vec![16, 8, 52]).is_err());
+        assert!(PrecisionSchedule::doubling(0).is_err());
+        assert!(PrecisionSchedule::doubling(52).is_err());
+    }
+
+    #[test]
+    fn apply_uses_level_bits() {
+        let s = PrecisionSchedule::new(vec![1, 52]).unwrap();
+        assert_eq!(s.apply(1.75, 0), 1.5);
+        assert_eq!(s.apply(1.75, 1), 1.75);
+    }
+}

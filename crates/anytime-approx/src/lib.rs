@@ -1,0 +1,34 @@
+//! Approximate-computing technique adapters for the Anytime Automaton.
+//!
+//! Section III-B of the paper shows how to apply standard approximation
+//! techniques *in an anytime way* — so accuracy rises monotonically and the
+//! precise result is guaranteed. This crate packages those recipes:
+//!
+//! | Technique | Paper construction | Module |
+//! |---|---|---|
+//! | Loop perforation | iterative, decreasing strides | [`StrideSchedule`] |
+//! | Approximate storage | iterative, rising voltage + flush | [`VoltageSchedule`], [`run_iterative_with_store`] |
+//! | Reduced fixed-point precision | diffusive, bit-plane sampling | [`BitSerialDot`], [`quantize_u8`], [`plane_mask`] |
+//! | Reduced floating-point precision | iterative, rising mantissa bits | [`PrecisionSchedule`], [`truncate_mantissa`] |
+//! | Fuzzy memoization / value reuse | iterative, shrinking tolerance | [`FuzzyMemo`], [`ToleranceSchedule`] |
+//!
+//! Data sampling — the remaining diffusive technique of §III-B2 — lives in
+//! [`anytime_core`] ([`anytime_core::SampledReduce`],
+//! [`anytime_core::SampledMap`]) since it is the model's workhorse.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod floatprec;
+mod memo;
+mod perforation;
+mod precision;
+mod storage;
+
+pub use error::ApproxError;
+pub use floatprec::{truncate_mantissa, PrecisionSchedule};
+pub use memo::{FuzzyMemo, ToleranceSchedule};
+pub use perforation::{perforated_for_each, StrideSchedule};
+pub use precision::{dot, plane_mask, quantize_u8, BitSerialDot};
+pub use storage::{run_iterative_with_store, StorageLevelResult, VoltageSchedule};

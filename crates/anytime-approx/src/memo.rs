@@ -1,0 +1,335 @@
+//! Fuzzy memoization as an anytime technique.
+//!
+//! The paper's taxonomy of approximate-computing techniques includes
+//! reusing "previously seen values and computations" (fuzzy memoization of
+//! floating-point functions, load-value approximation, Doppelgänger-style
+//! similarity caches). The accuracy knob is the *matching tolerance*: a
+//! wider tolerance reuses more cached results and computes less, at lower
+//! accuracy. An anytime construction runs the computation iteratively at
+//! shrinking tolerances, with tolerance zero (exact matching only) as the
+//! final precise level — this module provides the cache and the tolerance
+//! schedule.
+
+use crate::ApproxError;
+use std::collections::BTreeMap;
+
+/// A fuzzy memoization cache for a unary `f64 -> f64` function.
+///
+/// Lookups within `tolerance` of a cached input reuse the cached output;
+/// misses compute and insert. With `tolerance == 0.0` only (bit-)exact
+/// inputs are reused, so results are precise.
+///
+/// # Examples
+///
+/// ```
+/// use anytime_approx::FuzzyMemo;
+///
+/// let mut memo = FuzzyMemo::new(0.1);
+/// let mut calls = 0;
+/// let mut f = |x: f64| { calls += 1; x * x };
+/// let a = memo.call(1.00, &mut f);
+/// let b = memo.call(1.05, &mut f); // within tolerance: reused
+/// assert_eq!(a, b);
+/// assert_eq!(calls, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FuzzyMemo {
+    tolerance: f64,
+    /// Cached (input, output) pairs keyed by the input's ordered bits.
+    cache: BTreeMap<OrderedF64, f64>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Total-order wrapper over finite `f64` keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct OrderedF64(u64);
+
+impl OrderedF64 {
+    fn new(x: f64) -> Self {
+        // Flip ordering bits so the integer order matches the float order
+        // (standard total-order trick for finite values).
+        let bits = x.to_bits();
+        let flipped = if bits >> 63 == 1 { !bits } else { bits | (1 << 63) };
+        Self(flipped)
+    }
+
+    fn value(self) -> f64 {
+        let bits = if self.0 >> 63 == 1 {
+            self.0 & !(1 << 63)
+        } else {
+            !self.0
+        };
+        f64::from_bits(bits)
+    }
+}
+
+impl FuzzyMemo {
+    /// Creates a cache with the given matching tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance` is negative or not finite.
+    pub fn new(tolerance: f64) -> Self {
+        assert!(
+            tolerance.is_finite() && tolerance >= 0.0,
+            "tolerance must be finite and non-negative"
+        );
+        Self {
+            tolerance,
+            cache: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The matching tolerance.
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (actual computations) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// `true` if nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// Evaluates `f(x)`, reusing the nearest cached result within the
+    /// tolerance when available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not finite (NaN has no usable ordering).
+    pub fn call(&mut self, x: f64, f: &mut impl FnMut(f64) -> f64) -> f64 {
+        assert!(x.is_finite(), "fuzzy memoization requires finite inputs");
+        if let Some(hit) = self.nearest_within(x) {
+            self.hits += 1;
+            return hit;
+        }
+        let y = f(x);
+        self.cache.insert(OrderedF64::new(x), y);
+        self.misses += 1;
+        y
+    }
+
+    fn nearest_within(&self, x: f64) -> Option<f64> {
+        let key = OrderedF64::new(x);
+        let below = self.cache.range(..=key).next_back();
+        let above = self.cache.range(key..).next();
+        let mut best: Option<(f64, f64)> = None; // (distance, output)
+        for entry in [below, above].into_iter().flatten() {
+            let dist = (entry.0.value() - x).abs();
+            if dist <= self.tolerance && best.is_none_or(|(d, _)| dist < d) {
+                best = Some((dist, *entry.1));
+            }
+        }
+        best.map(|(_, y)| y)
+    }
+}
+
+/// A shrinking tolerance schedule ending at 0 (exact), for iterative
+/// anytime memoized stages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToleranceSchedule {
+    tolerances: Vec<f64>,
+}
+
+impl ToleranceSchedule {
+    /// Creates a schedule from explicit tolerances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApproxError::InvalidSchedule`] unless tolerances strictly
+    /// decrease and end at 0.
+    pub fn new(tolerances: Vec<f64>) -> Result<Self, ApproxError> {
+        if tolerances.last().copied() != Some(0.0) {
+            return Err(ApproxError::InvalidSchedule(
+                "tolerance schedule must end at 0 (exact)".into(),
+            ));
+        }
+        if tolerances
+            .iter()
+            .any(|t| !t.is_finite() || *t < 0.0)
+            || tolerances.windows(2).any(|w| w[1] >= w[0])
+        {
+            return Err(ApproxError::InvalidSchedule(
+                "tolerances must strictly decrease and be non-negative".into(),
+            ));
+        }
+        Ok(Self { tolerances })
+    }
+
+    /// A geometric schedule `start, start/ratio, …` with `levels - 1`
+    /// shrinking steps followed by the exact level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApproxError::InvalidSchedule`] for non-positive `start`,
+    /// `ratio <= 1`, or `levels < 2`.
+    pub fn geometric(start: f64, ratio: f64, levels: usize) -> Result<Self, ApproxError> {
+        let start_ok = start.is_finite() && start > 0.0;
+        let ratio_ok = ratio.is_finite() && ratio > 1.0;
+        if !start_ok || !ratio_ok {
+            return Err(ApproxError::InvalidSchedule(
+                "geometric schedule needs start > 0 and ratio > 1".into(),
+            ));
+        }
+        if levels < 2 {
+            return Err(ApproxError::InvalidSchedule(
+                "geometric schedule needs at least two levels".into(),
+            ));
+        }
+        let mut tolerances: Vec<f64> = (0..levels - 1)
+            .map(|k| start / ratio.powi(k as i32))
+            .collect();
+        tolerances.push(0.0);
+        Self::new(tolerances)
+    }
+
+    /// Number of accuracy levels.
+    pub fn levels(&self) -> u64 {
+        self.tolerances.len() as u64
+    }
+
+    /// The tolerance at accuracy level `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn tolerance(&self, level: u64) -> f64 {
+        self.tolerances[level as usize]
+    }
+
+    /// Builds a fresh cache for level `k`. (Caches cannot carry across
+    /// levels: a wide-tolerance entry would poison tighter levels, the
+    /// same flush discipline approximate storage needs.)
+    pub fn memo(&self, level: u64) -> FuzzyMemo {
+        FuzzyMemo::new(self.tolerance(level))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_tolerance_is_precise() {
+        let mut memo = FuzzyMemo::new(0.0);
+        let mut f = |x: f64| x.sin();
+        for &x in &[0.0, 0.5, 0.5000001, -0.5, 3.25] {
+            assert_eq!(memo.call(x, &mut f), x.sin());
+        }
+        assert_eq!(memo.hits(), 0);
+        assert_eq!(memo.misses(), 5);
+        // Exact repeats do hit.
+        assert_eq!(memo.call(0.5, &mut f), 0.5f64.sin());
+        assert_eq!(memo.hits(), 1);
+    }
+
+    #[test]
+    fn fuzzy_matching_reuses_nearby() {
+        let mut memo = FuzzyMemo::new(0.25);
+        let mut calls = 0u32;
+        let mut f = |x: f64| {
+            calls += 1;
+            x * 2.0
+        };
+        let a = memo.call(1.0, &mut f);
+        assert_eq!(memo.call(1.2, &mut f), a); // reused
+        assert_eq!(memo.call(0.8, &mut f), a); // reused (below)
+        assert_ne!(memo.call(2.0, &mut f), a); // outside tolerance
+        assert_eq!(calls, 2);
+        assert_eq!(memo.hits(), 2);
+        assert_eq!(memo.len(), 2);
+    }
+
+    #[test]
+    fn nearest_entry_wins() {
+        let mut memo = FuzzyMemo::new(1.0);
+        let mut f = |x: f64| x;
+        memo.call(0.0, &mut f);
+        memo.call(2.0, &mut f);
+        // 1.2 is within tolerance of both; the nearer (2.0) must win.
+        assert_eq!(memo.call(1.2, &mut f), 2.0);
+    }
+
+    #[test]
+    fn negative_keys_order_correctly() {
+        let mut memo = FuzzyMemo::new(0.1);
+        let mut f = |x: f64| x * 10.0;
+        assert_eq!(memo.call(-1.0, &mut f), -10.0);
+        assert_eq!(memo.call(-1.05, &mut f), -10.0); // fuzzy hit
+        assert_eq!(memo.call(1.0, &mut f), 10.0); // far away: miss
+        assert_eq!(memo.misses(), 2);
+    }
+
+    #[test]
+    fn error_shrinks_with_tolerance_level() {
+        // Anytime property: running the same workload at shrinking
+        // tolerances yields non-increasing total error, ending exact.
+        let schedule = ToleranceSchedule::geometric(0.5, 2.0, 5).unwrap();
+        let inputs: Vec<f64> = (0..500).map(|i| (i % 97) as f64 * 0.013).collect();
+        let mut last_err = f64::INFINITY;
+        for level in 0..schedule.levels() {
+            let mut memo = schedule.memo(level);
+            let mut f = |x: f64| x.sin();
+            let err: f64 = inputs
+                .iter()
+                .map(|&x| (memo.call(x, &mut f) - x.sin()).abs())
+                .sum();
+            assert!(err <= last_err + 1e-12, "level {level}: {err} > {last_err}");
+            last_err = err;
+        }
+        assert_eq!(last_err, 0.0);
+    }
+
+    #[test]
+    fn hit_rate_falls_with_tolerance() {
+        let schedule = ToleranceSchedule::geometric(1.0, 4.0, 4).unwrap();
+        let inputs: Vec<f64> = (0..300).map(|i| (i as f64 * 0.37) % 10.0).collect();
+        let mut last_hits = u64::MAX;
+        for level in 0..schedule.levels() {
+            let mut memo = schedule.memo(level);
+            let mut f = |x: f64| x.cos();
+            for &x in &inputs {
+                memo.call(x, &mut f);
+            }
+            assert!(memo.hits() <= last_hits, "level {level}");
+            last_hits = memo.hits();
+        }
+    }
+
+    #[test]
+    fn schedule_validation() {
+        assert!(ToleranceSchedule::new(vec![0.5, 0.1, 0.0]).is_ok());
+        assert!(ToleranceSchedule::new(vec![0.5, 0.1]).is_err());
+        assert!(ToleranceSchedule::new(vec![0.1, 0.5, 0.0]).is_err());
+        assert!(ToleranceSchedule::geometric(0.0, 2.0, 3).is_err());
+        assert!(ToleranceSchedule::geometric(1.0, 1.0, 3).is_err());
+        assert!(ToleranceSchedule::geometric(1.0, 2.0, 1).is_err());
+        let s = ToleranceSchedule::geometric(1.0, 2.0, 4).unwrap();
+        assert_eq!(s.levels(), 4);
+        assert_eq!(s.tolerance(0), 1.0);
+        assert_eq!(s.tolerance(3), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_input_rejected() {
+        FuzzyMemo::new(0.1).call(f64::NAN, &mut |x| x);
+    }
+}

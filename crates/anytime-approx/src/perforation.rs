@@ -1,0 +1,187 @@
+//! Anytime loop perforation (paper §III-B1).
+//!
+//! Loop perforation skips loop iterations with a fixed stride, trading
+//! accuracy for runtime. The anytime construction re-executes the
+//! perforated computation with progressively *smaller* strides
+//! `s_1 > s_2 > … > s_n = 1`, so accuracy rises level by level and the last
+//! level (stride 1) is precise. This is inherently **iterative**: work at
+//! common multiples of the strides is redone at every level — the paper's
+//! dwt53 benchmark pays exactly this cost, which is why its
+//! runtime–accuracy curve is steeper than the diffusive benchmarks'.
+
+use crate::ApproxError;
+
+/// A decreasing stride schedule ending at 1.
+///
+/// # Examples
+///
+/// ```
+/// use anytime_approx::StrideSchedule;
+/// let s = StrideSchedule::halving(8)?;
+/// assert_eq!(s.strides(), &[8, 4, 2, 1]);
+/// assert_eq!(s.levels(), 4);
+/// # Ok::<(), anytime_approx::ApproxError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrideSchedule {
+    strides: Vec<usize>,
+}
+
+impl StrideSchedule {
+    /// Creates a schedule from explicit strides.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApproxError::InvalidSchedule`] unless the strides are
+    /// strictly decreasing and end at 1.
+    pub fn new(strides: Vec<usize>) -> Result<Self, ApproxError> {
+        if strides.is_empty() || *strides.last().expect("non-empty") != 1 {
+            return Err(ApproxError::InvalidSchedule(
+                "stride schedule must end at 1".into(),
+            ));
+        }
+        if strides.windows(2).any(|w| w[1] >= w[0]) {
+            return Err(ApproxError::InvalidSchedule(
+                "strides must strictly decrease".into(),
+            ));
+        }
+        Ok(Self { strides })
+    }
+
+    /// The power-of-two schedule `start, start/2, …, 2, 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApproxError::InvalidSchedule`] unless `start` is a
+    /// positive power of two.
+    pub fn halving(start: usize) -> Result<Self, ApproxError> {
+        if start == 0 || !start.is_power_of_two() {
+            return Err(ApproxError::InvalidSchedule(
+                "halving schedule needs a power-of-two start".into(),
+            ));
+        }
+        let mut strides = Vec::new();
+        let mut s = start;
+        loop {
+            strides.push(s);
+            if s == 1 {
+                break;
+            }
+            s /= 2;
+        }
+        Ok(Self { strides })
+    }
+
+    /// The strides, largest first.
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
+    /// Number of accuracy levels (`n` in the paper's notation).
+    pub fn levels(&self) -> u64 {
+        self.strides.len() as u64
+    }
+
+    /// The stride at accuracy level `k ∈ [0, levels)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn stride(&self, level: u64) -> usize {
+        self.strides[level as usize]
+    }
+
+    /// Iterates the loop indices a perforated loop of level `k` executes:
+    /// `0, s_k, 2·s_k, …` below `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn indices(&self, level: u64, n: usize) -> impl Iterator<Item = usize> + '_ {
+        let stride = self.stride(level);
+        (0..n).step_by(stride)
+    }
+
+    /// Total iterations executed across all levels for an `n`-iteration
+    /// loop — the redundant-work measure of §III-B1.
+    pub fn total_iterations(&self, n: usize) -> usize {
+        self.strides.iter().map(|&s| n.div_ceil(s)).sum()
+    }
+
+    /// Redundancy factor: total iterations across levels divided by the
+    /// precise loop's `n`. Always ≥ 1; equals 1 only for the trivial
+    /// single-level (stride 1) schedule.
+    pub fn redundancy(&self, n: usize) -> f64 {
+        assert!(n > 0, "redundancy of an empty loop is undefined");
+        self.total_iterations(n) as f64 / n as f64
+    }
+}
+
+/// Runs a perforated loop body at one level: calls `body(i)` for every
+/// index the level executes.
+pub fn perforated_for_each(
+    schedule: &StrideSchedule,
+    level: u64,
+    n: usize,
+    mut body: impl FnMut(usize),
+) {
+    for i in schedule.indices(level, n) {
+        body(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halving_schedule_shape() {
+        let s = StrideSchedule::halving(16).unwrap();
+        assert_eq!(s.strides(), &[16, 8, 4, 2, 1]);
+        assert_eq!(s.stride(0), 16);
+        assert_eq!(s.stride(4), 1);
+    }
+
+    #[test]
+    fn custom_schedule_validation() {
+        assert!(StrideSchedule::new(vec![7, 3, 1]).is_ok());
+        assert!(StrideSchedule::new(vec![]).is_err());
+        assert!(StrideSchedule::new(vec![4, 2]).is_err()); // no stride 1
+        assert!(StrideSchedule::new(vec![4, 4, 1]).is_err()); // not decreasing
+        assert!(StrideSchedule::halving(6).is_err());
+        assert!(StrideSchedule::halving(0).is_err());
+    }
+
+    #[test]
+    fn last_level_is_precise() {
+        let s = StrideSchedule::halving(4).unwrap();
+        let idxs: Vec<usize> = s.indices(s.levels() - 1, 5).collect();
+        assert_eq!(idxs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn first_level_skips() {
+        let s = StrideSchedule::halving(4).unwrap();
+        let idxs: Vec<usize> = s.indices(0, 10).collect();
+        assert_eq!(idxs, vec![0, 4, 8]);
+    }
+
+    #[test]
+    fn redundancy_accounts_for_re_execution() {
+        let s = StrideSchedule::halving(4).unwrap();
+        // n=8: levels run 2 + 4 + 8 = 14 iterations; precise needs 8.
+        assert_eq!(s.total_iterations(8), 14);
+        assert!((s.redundancy(8) - 1.75).abs() < 1e-12);
+        // Trivial schedule has no redundancy.
+        let t = StrideSchedule::new(vec![1]).unwrap();
+        assert_eq!(t.redundancy(100), 1.0);
+    }
+
+    #[test]
+    fn for_each_visits_level_indices() {
+        let s = StrideSchedule::halving(2).unwrap();
+        let mut seen = Vec::new();
+        perforated_for_each(&s, 0, 7, |i| seen.push(i));
+        assert_eq!(seen, vec![0, 2, 4, 6]);
+    }
+}

@@ -1,0 +1,263 @@
+//! Reduced fixed-point precision as a diffusive anytime technique
+//! (paper §III-B2, Figure 6).
+//!
+//! The bit representation of an integer is a sum of powers of two, and
+//! addition is commutative — so fixed-point data is *samplable by bit
+//! plane*. Computing with the most-significant planes first and diffusing
+//! lower planes into the output later performs **no extra work** compared
+//! with the precise computation (integer multiplication is a sum of
+//! partial products anyway), while giving usable approximations early.
+//! This draws from classic bit-serial / distributed arithmetic.
+
+use crate::ApproxError;
+
+/// Quantizes an 8-bit sample to its top `bits` bits (low bits zeroed).
+///
+/// This is the paper's "pixel precision" knob for Figure 19 (8/6/4/2-bit
+/// 2dconv).
+///
+/// # Panics
+///
+/// Panics unless `1 <= bits <= 8`.
+///
+/// # Examples
+///
+/// ```
+/// use anytime_approx::quantize_u8;
+/// assert_eq!(quantize_u8(0b1011_0111, 4), 0b1011_0000);
+/// assert_eq!(quantize_u8(255, 8), 255);
+/// ```
+pub fn quantize_u8(value: u8, bits: u32) -> u8 {
+    assert!((1..=8).contains(&bits), "bits must be in 1..=8");
+    value & (0xFFu8 << (8 - bits))
+}
+
+/// The mask selecting the top `planes` bit planes of a `width`-bit word —
+/// the paper's `W & 2^(32−i)`-style progressive masks.
+///
+/// # Panics
+///
+/// Panics unless `1 <= planes <= width <= 64`.
+pub fn plane_mask(width: u32, planes: u32) -> u64 {
+    assert!(
+        (1..=64).contains(&width) && planes >= 1 && planes <= width,
+        "need 1 <= planes <= width <= 64"
+    );
+    let full = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    if planes == width {
+        return full;
+    }
+    full & !(full >> planes)
+}
+
+/// An anytime fixed-point dot product computed bit-serially over the weight
+/// vector's planes, most significant first (paper Figure 6).
+///
+/// After `i` steps the accumulated output equals the precise dot product of
+/// `I` with `W` masked to its top `i` bit planes; after all `width` steps it
+/// is exactly precise. Each step adds only that plane's partial products —
+/// the diffusive, zero-redundancy formulation.
+///
+/// # Examples
+///
+/// ```
+/// use anytime_approx::BitSerialDot;
+///
+/// let input = vec![3i64, -2, 5];
+/// let weights = vec![200i64, 100, 50];
+/// let mut dot = BitSerialDot::new(input.clone(), weights.clone(), 10)?;
+/// let mut last = 0;
+/// while let Some(partial) = dot.step() {
+///     last = partial;
+/// }
+/// let precise: i64 = input.iter().zip(&weights).map(|(a, b)| a * b).sum();
+/// assert_eq!(last, precise);
+/// # Ok::<(), anytime_approx::ApproxError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitSerialDot {
+    input: Vec<i64>,
+    weights: Vec<i64>,
+    width: u32,
+    next_plane: u32,
+    acc: i64,
+}
+
+impl BitSerialDot {
+    /// Creates a bit-serial dot product over `width`-bit non-negative
+    /// weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApproxError::InvalidSchedule`] if the vectors differ in
+    /// length, `width` is outside `1..=63`, or any weight needs more than
+    /// `width` bits or is negative (sign-magnitude weights should be
+    /// split by the caller).
+    pub fn new(input: Vec<i64>, weights: Vec<i64>, width: u32) -> Result<Self, ApproxError> {
+        if input.len() != weights.len() {
+            return Err(ApproxError::InvalidSchedule(
+                "input and weight vectors must have equal length".into(),
+            ));
+        }
+        if !(1..=63).contains(&width) {
+            return Err(ApproxError::InvalidSchedule(
+                "width must be in 1..=63".into(),
+            ));
+        }
+        let limit = 1i64 << width;
+        if weights.iter().any(|&w| w < 0 || w >= limit) {
+            return Err(ApproxError::InvalidSchedule(
+                "weights must be non-negative and fit in width bits".into(),
+            ));
+        }
+        Ok(Self {
+            input,
+            weights,
+            width,
+            next_plane: 0,
+            acc: 0,
+        })
+    }
+
+    /// Bit planes processed so far.
+    pub fn planes_done(&self) -> u32 {
+        self.next_plane
+    }
+
+    /// Total planes (`width`).
+    pub fn planes(&self) -> u32 {
+        self.width
+    }
+
+    /// The current accumulated approximation.
+    pub fn value(&self) -> i64 {
+        self.acc
+    }
+
+    /// Processes the next-most-significant weight plane, returning the
+    /// improved approximation, or `None` once precise.
+    pub fn step(&mut self) -> Option<i64> {
+        if self.next_plane >= self.width {
+            return None;
+        }
+        // Plane p (0 = most significant) corresponds to bit width-1-p.
+        let bit = self.width - 1 - self.next_plane;
+        let weight_of_plane = 1i64 << bit;
+        let mut plane_sum = 0i64;
+        for (&x, &w) in self.input.iter().zip(&self.weights) {
+            if (w >> bit) & 1 == 1 {
+                plane_sum += x;
+            }
+        }
+        self.acc += plane_sum * weight_of_plane;
+        self.next_plane += 1;
+        Some(self.acc)
+    }
+
+    /// Runs all remaining planes and returns the precise dot product.
+    pub fn finish(mut self) -> i64 {
+        while self.step().is_some() {}
+        self.acc
+    }
+}
+
+/// Precise reference dot product.
+pub fn dot(input: &[i64], weights: &[i64]) -> i64 {
+    assert_eq!(input.len(), weights.len(), "equal-length vectors required");
+    input.iter().zip(weights).map(|(a, b)| a * b).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantization_keeps_top_bits() {
+        assert_eq!(quantize_u8(0xFF, 2), 0xC0);
+        assert_eq!(quantize_u8(0x7F, 1), 0x00);
+        assert_eq!(quantize_u8(0x80, 1), 0x80);
+        for v in 0..=255u8 {
+            assert_eq!(quantize_u8(v, 8), v);
+            assert!(quantize_u8(v, 4) <= v);
+        }
+    }
+
+    #[test]
+    fn quantization_error_shrinks_with_bits() {
+        let err = |bits: u32| -> u32 {
+            (0..=255u8)
+                .map(|v| u32::from(v) - u32::from(quantize_u8(v, bits)))
+                .sum()
+        };
+        assert!(err(2) > err(4));
+        assert!(err(4) > err(6));
+        assert_eq!(err(8), 0);
+    }
+
+    #[test]
+    fn plane_masks_are_progressive() {
+        assert_eq!(plane_mask(8, 1), 0b1000_0000);
+        assert_eq!(plane_mask(8, 3), 0b1110_0000);
+        assert_eq!(plane_mask(8, 8), 0xFF);
+        assert_eq!(plane_mask(64, 64), u64::MAX);
+        // Each extra plane adds exactly one bit.
+        for p in 1..8 {
+            assert_eq!(
+                (plane_mask(8, p + 1) ^ plane_mask(8, p)).count_ones(),
+                1
+            );
+        }
+    }
+
+    #[test]
+    fn bit_serial_partials_match_masked_dot() {
+        // After i planes the partial equals dot(I, W & mask_i): the paper's
+        // invariant.
+        let input = vec![7i64, -3, 11, 2];
+        let weights = vec![0b1011_0101i64, 0b0110_1110, 0b1111_0000, 0b0000_1111];
+        let mut bs = BitSerialDot::new(input.clone(), weights.clone(), 8).unwrap();
+        for planes in 1..=8u32 {
+            let partial = bs.step().unwrap();
+            let mask = plane_mask(8, planes) as i64;
+            let masked: Vec<i64> = weights.iter().map(|&w| w & mask).collect();
+            assert_eq!(partial, dot(&input, &masked), "plane {planes}");
+        }
+        assert!(bs.step().is_none());
+    }
+
+    #[test]
+    fn finish_is_precise() {
+        let input = vec![1i64, 2, 3];
+        let weights = vec![100i64, 0, 255];
+        let bs = BitSerialDot::new(input.clone(), weights.clone(), 8).unwrap();
+        assert_eq!(bs.finish(), dot(&input, &weights));
+    }
+
+    #[test]
+    fn error_is_monotone_nonincreasing() {
+        let input = vec![5i64, 9, -4, 3, 8];
+        let weights = vec![0x3Ai64, 0x7F, 0x15, 0x60, 0x0F];
+        let precise = dot(&input, &weights);
+        let mut bs = BitSerialDot::new(input, weights, 8).unwrap();
+        let mut last_err = i64::MAX;
+        while let Some(p) = bs.step() {
+            let err = (precise - p).abs();
+            assert!(err <= last_err, "error rose: {err} > {last_err}");
+            last_err = err;
+        }
+        assert_eq!(last_err, 0);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(BitSerialDot::new(vec![1], vec![1, 2], 8).is_err());
+        assert!(BitSerialDot::new(vec![1], vec![-1], 8).is_err());
+        assert!(BitSerialDot::new(vec![1], vec![256], 8).is_err());
+        assert!(BitSerialDot::new(vec![1], vec![1], 0).is_err());
+        assert!(BitSerialDot::new(vec![1], vec![1], 64).is_err());
+    }
+}

@@ -1,0 +1,192 @@
+//! Approximate storage as an iterative anytime technique (paper §III-B1).
+//!
+//! Storage techniques (drowsy SRAM, low-refresh DRAM) expose an
+//! accuracy–efficiency knob — here, the cell supply voltage. The anytime
+//! construction executes the computation at *increasing* storage accuracy
+//! levels, with the nominal (precise) level last. Because storage errors
+//! are **data-destructive**, the storage must be flushed (reinitialized
+//! from precise values) between intermediate computations so corruption
+//! from level `i−1` cannot degrade level `i`; [`run_iterative_with_store`]
+//! implements exactly that discipline on a simulated
+//! [`anytime_sim::ApproxStore`].
+
+use crate::ApproxError;
+use anytime_sim::sram::{supply_power_saving, SramModel};
+use anytime_sim::ApproxStore;
+
+/// An increasing supply-voltage schedule ending at nominal (1.0).
+///
+/// # Examples
+///
+/// ```
+/// use anytime_approx::VoltageSchedule;
+/// let s = VoltageSchedule::new(vec![0.316, 0.45, 1.0])?;
+/// assert_eq!(s.levels(), 3);
+/// assert!(s.upset_probability(0) > s.upset_probability(1));
+/// assert!(s.upset_probability(2) < 1e-12);
+/// # Ok::<(), anytime_approx::ApproxError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoltageSchedule {
+    voltages: Vec<f64>,
+}
+
+impl VoltageSchedule {
+    /// Creates a schedule from voltage fractions of nominal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApproxError::InvalidSchedule`] unless voltages strictly
+    /// increase within `(0, 1]` and end at 1.0.
+    pub fn new(voltages: Vec<f64>) -> Result<Self, ApproxError> {
+        if voltages.is_empty() || (voltages.last().copied() != Some(1.0)) {
+            return Err(ApproxError::InvalidSchedule(
+                "voltage schedule must end at nominal (1.0)".into(),
+            ));
+        }
+        if voltages.iter().any(|&v| v <= 0.0 || v > 1.0)
+            || voltages.windows(2).any(|w| w[1] <= w[0])
+        {
+            return Err(ApproxError::InvalidSchedule(
+                "voltages must strictly increase within (0, 1]".into(),
+            ));
+        }
+        Ok(Self { voltages })
+    }
+
+    /// Number of accuracy levels.
+    pub fn levels(&self) -> u64 {
+        self.voltages.len() as u64
+    }
+
+    /// Voltage fraction at accuracy level `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn voltage(&self, level: u64) -> f64 {
+        self.voltages[level as usize]
+    }
+
+    /// Per-bit read-upset probability at level `k`.
+    pub fn upset_probability(&self, level: u64) -> f64 {
+        anytime_sim::sram::upset_probability(self.voltage(level))
+    }
+
+    /// Supply-power saving at level `k` relative to nominal.
+    pub fn power_saving(&self, level: u64) -> f64 {
+        supply_power_saving(self.voltage(level))
+    }
+}
+
+/// One level's result from [`run_iterative_with_store`].
+#[derive(Debug, Clone)]
+pub struct StorageLevelResult {
+    /// Accuracy level index.
+    pub level: u64,
+    /// Voltage fraction used.
+    pub voltage: f64,
+    /// Output bytes as read back through the (possibly corrupting) store.
+    pub output: Vec<u8>,
+    /// Bits flipped while this level's output resided in the store.
+    pub flips: u64,
+}
+
+/// Runs an iterative anytime computation whose output lives in approximate
+/// storage: for each level, computes into the store at that level's
+/// voltage, reads the (possibly corrupted) result back, and **flushes**
+/// before the next level so corruption never carries across levels.
+///
+/// `compute` is the precise computation (the approximation comes entirely
+/// from the storage). The final level runs at nominal voltage and therefore
+/// returns the precise output.
+pub fn run_iterative_with_store(
+    schedule: &VoltageSchedule,
+    seed: u64,
+    compute: impl Fn() -> Vec<u8>,
+) -> Vec<StorageLevelResult> {
+    let mut results = Vec::with_capacity(schedule.levels() as usize);
+    for level in 0..schedule.levels() {
+        let voltage = schedule.voltage(level);
+        let model = SramModel::at_voltage(voltage, seed.wrapping_add(level));
+        let mut store = ApproxStore::new(compute(), model);
+        let output = store.read();
+        let flips = store.model().flips();
+        // Data-destructive semantics: corruption stays in the cells; the
+        // flush (reinitialization) is what isolates the next level.
+        store.flush();
+        results.push(StorageLevelResult {
+            level,
+            voltage,
+            output,
+            flips,
+        });
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule() -> VoltageSchedule {
+        VoltageSchedule::new(vec![0.25, 0.316, 0.45, 1.0]).unwrap()
+    }
+
+    #[test]
+    fn schedule_validation() {
+        assert!(VoltageSchedule::new(vec![1.0]).is_ok());
+        assert!(VoltageSchedule::new(vec![]).is_err());
+        assert!(VoltageSchedule::new(vec![0.5]).is_err()); // no nominal end
+        assert!(VoltageSchedule::new(vec![0.5, 0.5, 1.0]).is_err());
+        assert!(VoltageSchedule::new(vec![0.0, 1.0]).is_err());
+        assert!(VoltageSchedule::new(vec![0.5, 1.5]).is_err());
+    }
+
+    #[test]
+    fn upset_falls_and_saving_falls_with_voltage() {
+        let s = schedule();
+        for l in 1..s.levels() {
+            assert!(s.upset_probability(l) < s.upset_probability(l - 1));
+            assert!(s.power_saving(l) < s.power_saving(l - 1));
+        }
+        assert_eq!(s.power_saving(s.levels() - 1), 0.0);
+    }
+
+    #[test]
+    fn final_level_is_precise() {
+        let data: Vec<u8> = (0..255).collect();
+        let results = run_iterative_with_store(&schedule(), 7, || data.clone());
+        let last = results.last().unwrap();
+        assert_eq!(last.output, data);
+        assert_eq!(last.flips, 0);
+        assert_eq!(results.len(), 4);
+    }
+
+    #[test]
+    fn lower_voltage_flips_more() {
+        // Use a big buffer so the statistics are stable.
+        let data = vec![0u8; 1 << 20];
+        let results = run_iterative_with_store(&schedule(), 3, || data.clone());
+        assert!(
+            results[0].flips >= results[2].flips,
+            "{} < {}",
+            results[0].flips,
+            results[2].flips
+        );
+        // Deep drowsy level (0.25 V): expect at least a handful of flips in
+        // 8 Mbit at ~1e-4/bit.
+        assert!(results[0].flips > 0);
+    }
+
+    #[test]
+    fn levels_are_isolated_by_flush() {
+        // Same seed, two runs: the final level's output never depends on
+        // earlier levels' corruption.
+        let data: Vec<u8> = vec![0xA5; 4096];
+        let a = run_iterative_with_store(&schedule(), 11, || data.clone());
+        let only_nominal = VoltageSchedule::new(vec![1.0]).unwrap();
+        let b = run_iterative_with_store(&only_nominal, 11, || data.clone());
+        assert_eq!(a.last().unwrap().output, b.last().unwrap().output);
+    }
+}

@@ -1,0 +1,475 @@
+//! `dwt53` — discrete wavelet transform (PERFECT).
+//!
+//! A one-level 2-D CDF 5/3 integer (lifting) wavelet transform, the
+//! reversible transform used by JPEG 2000. Following the paper (§IV-A2):
+//! the *forward* transform is approximated — a single **iterative** stage
+//! applying loop perforation over the row and column passes with
+//! progressively smaller strides — while the *inverse* transform runs
+//! precisely; accuracy is the SNR of the round-tripped image against the
+//! original. Because the final perforation level has stride 1 and the
+//! lifting transform is integer-reversible, the final output is
+//! bit-identical to the input (∞ dB).
+//!
+//! Perforation semantics: at stride `s`, only rows (then columns) whose
+//! index is a multiple of `s` are lifted; skipped lines are not processed
+//! at all and keep their raw samples — what eliding loop iterations does.
+//! Early levels therefore produce outputs the paper calls "unacceptable
+//! approximations", and every level re-executes its predecessors' work —
+//! both reasons dwt53 has the steepest runtime–accuracy curve of the five
+//! benchmarks (paper Figure 13).
+
+use crate::error::Result;
+use anytime_approx::StrideSchedule;
+use anytime_core::{BufferReader, Iterative, Pipeline, PipelineBuilder, StageOptions};
+use anytime_img::ImageBuf;
+
+/// Forward 1-D CDF 5/3 lifting on integer samples.
+///
+/// Output layout: `[s_0 … s_{ne-1} | d_0 … d_{no-1}]` (approximation then
+/// detail), using whole-sample symmetric extension at the boundaries.
+///
+/// # Panics
+///
+/// Panics if `x.len() < 2`.
+pub fn forward_1d(x: &[i32]) -> Vec<i32> {
+    let n = x.len();
+    assert!(n >= 2, "lifting needs at least two samples");
+    let ne = n.div_ceil(2); // even (approximation) samples
+    let no = n / 2; // odd (detail) samples
+    let ext = |k: isize| -> i32 {
+        let m = mirror(k, n);
+        x[m]
+    };
+    let mut d = vec![0i32; no];
+    for (i, di) in d.iter_mut().enumerate() {
+        let k = 2 * i as isize + 1;
+        *di = ext(k) - (ext(k - 1) + ext(k + 1)).div_euclid(2);
+    }
+    // Whole-sample symmetry of x implies *replication* at the detail
+    // sequence's boundaries: d[-1] covers x[-1] = x[1], i.e. d[0]; and (for
+    // odd n) d[no] covers x[n] = x[n-2], i.e. d[no-1].
+    let dext = |k: isize| -> i32 { d[k.clamp(0, no as isize - 1) as usize] };
+    let mut s = vec![0i32; ne];
+    for (i, si) in s.iter_mut().enumerate() {
+        let i = i as isize;
+        *si = ext(2 * i) + (dext(i - 1) + dext(i) + 2).div_euclid(4);
+    }
+    s.extend_from_slice(&d);
+    s
+}
+
+/// Inverse 1-D CDF 5/3 lifting; exact inverse of [`forward_1d`].
+///
+/// # Panics
+///
+/// Panics if `coeffs.len() < 2`.
+pub fn inverse_1d(coeffs: &[i32]) -> Vec<i32> {
+    let n = coeffs.len();
+    assert!(n >= 2, "lifting needs at least two samples");
+    let ne = n.div_ceil(2);
+    let no = n / 2;
+    let s = &coeffs[..ne];
+    let d = &coeffs[ne..];
+    // Same replicated extension as the forward transform's update step.
+    let dext = |k: isize| -> i32 { d[k.clamp(0, no as isize - 1) as usize] };
+    // Undo the update step: x_even.
+    let mut even = vec![0i32; ne];
+    for (i, e) in even.iter_mut().enumerate() {
+        let i = i as isize;
+        *e = s[i as usize] - (dext(i - 1) + dext(i) + 2).div_euclid(4);
+    }
+    // Undo the predict step: x_odd, interleaving as we go. x[2i+2] for the
+    // last odd sample of an even-length signal mirrors to x[n-2], i.e. the
+    // last even sample — replication again.
+    let eext = |k: isize| -> i32 { even[k.clamp(0, ne as isize - 1) as usize] };
+    let mut x = vec![0i32; n];
+    for i in 0..ne {
+        x[2 * i] = even[i];
+    }
+    for i in 0..no {
+        let i_s = i as isize;
+        x[2 * i + 1] = d[i] + (eext(i_s) + eext(i_s + 1)).div_euclid(2);
+    }
+    x
+}
+
+/// Whole-sample symmetric index extension into `[0, n)`.
+fn mirror(k: isize, n: usize) -> usize {
+    debug_assert!(n > 0, "mirror needs a non-empty range");
+    if n == 1 {
+        // A single sample reflects onto itself (reflection about index 0
+        // would oscillate forever otherwise).
+        return 0;
+    }
+    let n = n as isize;
+    let mut k = k;
+    // One reflection suffices for the ±2 overhangs of 5/3 lifting, but be
+    // safe for short signals.
+    loop {
+        if k < 0 {
+            k = -k;
+        } else if k >= n {
+            k = 2 * (n - 1) - k;
+        } else {
+            return k as usize;
+        }
+    }
+}
+
+/// One-level 2-D forward transform with loop perforation at `stride`.
+///
+/// Rows (then columns) at indices that are multiples of `stride` are
+/// lifted; skipped lines keep their raw samples. `stride == 1` is the
+/// precise transform.
+///
+/// # Panics
+///
+/// Panics if `stride == 0` or the image is smaller than 2×2.
+#[allow(clippy::needless_range_loop)]
+pub fn forward_2d_perforated(img: &ImageBuf<i32>, stride: usize) -> ImageBuf<i32> {
+    assert!(stride > 0, "stride must be non-zero");
+    let (w, h) = (img.width(), img.height());
+    assert!(w >= 2 && h >= 2, "image must be at least 2x2");
+    assert_eq!(img.channels(), 1, "dwt53 operates on grayscale");
+    let mut out = img.clone();
+    // Row pass (perforated): skipped rows are simply not processed — they
+    // keep the raw samples, exactly what eliding loop iterations does.
+    for y in (0..h).step_by(stride) {
+        let row: Vec<i32> = (0..w).map(|x| img.pixel(x, y)[0]).collect();
+        let lifted = forward_1d(&row);
+        for x in 0..w {
+            out.set_pixel(x, y, &[lifted[x]]);
+        }
+    }
+    // Column pass on the row-pass output (perforated).
+    let row_pass = out.clone();
+    for x in (0..w).step_by(stride) {
+        let col: Vec<i32> = (0..h).map(|y| row_pass.pixel(x, y)[0]).collect();
+        let lifted = forward_1d(&col);
+        for y in 0..h {
+            out.set_pixel(x, y, &[lifted[y]]);
+        }
+    }
+    out
+}
+
+/// Precise one-level 2-D inverse transform.
+///
+/// # Panics
+///
+/// Panics if the image is smaller than 2×2 or not single-channel.
+#[allow(clippy::needless_range_loop)]
+pub fn inverse_2d(coeffs: &ImageBuf<i32>) -> ImageBuf<i32> {
+    let (w, h) = (coeffs.width(), coeffs.height());
+    assert!(w >= 2 && h >= 2, "image must be at least 2x2");
+    assert_eq!(coeffs.channels(), 1, "dwt53 operates on grayscale");
+    let mut out = coeffs.clone();
+    // Inverse column pass.
+    for x in 0..w {
+        let col: Vec<i32> = (0..h).map(|y| coeffs.pixel(x, y)[0]).collect();
+        let inv = inverse_1d(&col);
+        for y in 0..h {
+            out.set_pixel(x, y, &[inv[y]]);
+        }
+    }
+    // Inverse row pass.
+    let col_pass = out.clone();
+    for y in 0..h {
+        let row: Vec<i32> = (0..w).map(|x| col_pass.pixel(x, y)[0]).collect();
+        let inv = inverse_1d(&row);
+        for x in 0..w {
+            out.set_pixel(x, y, &[inv[x]]);
+        }
+    }
+    out
+}
+
+/// Multi-resolution forward transform: applies [`forward_2d_perforated`]
+/// recursively to the LL (approximation) quadrant `levels` times — the
+/// full wavelet decomposition used by JPEG 2000 compression chains.
+///
+/// # Panics
+///
+/// Panics if `levels == 0`, `stride == 0`, or any intermediate LL quadrant
+/// shrinks below 2×2.
+pub fn forward_multilevel(img: &ImageBuf<i32>, levels: u32, stride: usize) -> ImageBuf<i32> {
+    assert!(levels > 0, "at least one decomposition level required");
+    let mut out = forward_2d_perforated(img, stride);
+    let (mut w, mut h) = (img.width(), img.height());
+    for _ in 1..levels {
+        w = w.div_ceil(2);
+        h = h.div_ceil(2);
+        // Extract the LL quadrant, transform it, write it back.
+        let mut ll = ImageBuf::<i32>::new(w, h, 1).expect("non-zero LL quadrant");
+        for y in 0..h {
+            for x in 0..w {
+                ll.set_pixel(x, y, &[out.pixel(x, y)[0]]);
+            }
+        }
+        let ll_t = forward_2d_perforated(&ll, stride);
+        for y in 0..h {
+            for x in 0..w {
+                out.set_pixel(x, y, &[ll_t.pixel(x, y)[0]]);
+            }
+        }
+    }
+    out
+}
+
+/// Multi-resolution inverse: exact inverse of [`forward_multilevel`] (at
+/// stride 1).
+///
+/// # Panics
+///
+/// Panics if `levels == 0` or any quadrant shrinks below 2×2.
+pub fn inverse_multilevel(coeffs: &ImageBuf<i32>, levels: u32) -> ImageBuf<i32> {
+    assert!(levels > 0, "at least one decomposition level required");
+    // Reconstruct from the deepest level outward.
+    let mut dims = vec![(coeffs.width(), coeffs.height())];
+    for _ in 1..levels {
+        let &(w, h) = dims.last().expect("non-empty");
+        dims.push((w.div_ceil(2), h.div_ceil(2)));
+    }
+    let mut out = coeffs.clone();
+    for &(w, h) in dims.iter().rev() {
+        let mut ll = ImageBuf::<i32>::new(w, h, 1).expect("non-zero quadrant");
+        for y in 0..h {
+            for x in 0..w {
+                ll.set_pixel(x, y, &[out.pixel(x, y)[0]]);
+            }
+        }
+        let ll_inv = inverse_2d(&ll);
+        for y in 0..h {
+            for x in 0..w {
+                out.set_pixel(x, y, &[ll_inv.pixel(x, y)[0]]);
+            }
+        }
+    }
+    out
+}
+
+/// The `dwt53` benchmark: perforated forward transform, precise inverse.
+#[derive(Debug, Clone)]
+pub struct Dwt53 {
+    image: ImageBuf<u8>,
+    schedule: StrideSchedule,
+}
+
+impl Dwt53 {
+    /// Creates the benchmark with the paper-style halving stride schedule
+    /// `{8, 4, 2, 1}`.
+    pub fn new(image: ImageBuf<u8>) -> Self {
+        Self::with_schedule(
+            image,
+            StrideSchedule::halving(8).expect("8 is a power of two"),
+        )
+    }
+
+    /// Creates the benchmark with a custom stride schedule.
+    pub fn with_schedule(image: ImageBuf<u8>, schedule: StrideSchedule) -> Self {
+        Self { image, schedule }
+    }
+
+    /// The input image.
+    pub fn image(&self) -> &ImageBuf<u8> {
+        &self.image
+    }
+
+    /// The perforation schedule.
+    pub fn schedule(&self) -> &StrideSchedule {
+        &self.schedule
+    }
+
+    fn to_i32(&self) -> ImageBuf<i32> {
+        self.image.map(i32::from)
+    }
+
+    /// The precise forward transform.
+    pub fn precise_forward(&self) -> ImageBuf<i32> {
+        forward_2d_perforated(&self.to_i32(), 1)
+    }
+
+    /// Round-trips coefficients through the precise inverse back to an
+    /// 8-bit image (the measured output).
+    pub fn reconstruct(coeffs: &ImageBuf<i32>) -> ImageBuf<u8> {
+        inverse_2d(coeffs).map(|v| v.clamp(0, 255) as u8)
+    }
+
+    /// The precise baseline output: forward then inverse — bit-identical
+    /// to the input by reversibility.
+    pub fn precise(&self) -> ImageBuf<u8> {
+        Self::reconstruct(&self.precise_forward())
+    }
+
+    /// Builds the single-iterative-stage automaton publishing forward
+    /// coefficients at decreasing perforation strides.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; returns `Result` for interface consistency.
+    pub fn automaton(&self) -> Result<(Pipeline, BufferReader<ImageBuf<i32>>)> {
+        let schedule = self.schedule.clone();
+        let input = self.to_i32();
+        let mut pb = PipelineBuilder::new();
+        let out = pb.source(
+            "dwt53",
+            input,
+            Iterative::new(
+                schedule.levels(),
+                |input: &ImageBuf<i32>| input.clone(),
+                move |input: &ImageBuf<i32>, level| {
+                    forward_2d_perforated(input, schedule.stride(level))
+                },
+            ),
+            StageOptions::default(),
+        );
+        Ok((pb.build(), out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anytime_img::{metrics, synth};
+    use std::time::Duration;
+
+    #[test]
+    fn lifting_1d_is_reversible() {
+        for n in [2usize, 3, 4, 5, 8, 17, 64, 101] {
+            let x: Vec<i32> = (0..n).map(|i| ((i * 37) % 251) as i32 - 100).collect();
+            let coeffs = forward_1d(&x);
+            assert_eq!(inverse_1d(&coeffs), x, "n={n}");
+        }
+    }
+
+    #[test]
+    fn lifting_2d_is_reversible() {
+        let img = synth::value_noise(33, 17, 3).map(i32::from);
+        let coeffs = forward_2d_perforated(&img, 1);
+        assert_eq!(inverse_2d(&coeffs), img);
+    }
+
+    #[test]
+    fn smooth_signal_has_small_details() {
+        // 5/3 predicts odd samples from even neighbors: a linear ramp has
+        // zero interior detail coefficients (the last one sees the mirrored
+        // boundary and may not vanish).
+        let x: Vec<i32> = (0..32).map(|i| i * 4).collect();
+        let coeffs = forward_1d(&x);
+        let details = &coeffs[16..];
+        assert!(
+            details[..details.len() - 1].iter().all(|&d| d == 0),
+            "{details:?}"
+        );
+    }
+
+    #[test]
+    fn perforated_transform_approximates() {
+        let app = Dwt53::new(synth::value_noise(64, 64, 9));
+        let reference = app.precise();
+        let mut last_snr = f64::NEG_INFINITY;
+        for level in 0..app.schedule().levels() {
+            let stride = app.schedule().stride(level);
+            let coeffs = forward_2d_perforated(&app.to_i32(), stride);
+            let rebuilt = Dwt53::reconstruct(&coeffs);
+            let snr = metrics::snr_db(&rebuilt, &reference);
+            assert!(
+                snr >= last_snr,
+                "level {level} (stride {stride}): {snr} < {last_snr}"
+            );
+            last_snr = snr;
+        }
+        assert_eq!(last_snr, f64::INFINITY);
+    }
+
+    #[test]
+    fn automaton_final_output_is_precise() {
+        let app = Dwt53::new(synth::value_noise(32, 32, 4));
+        let (pipeline, out) = app.automaton().unwrap();
+        let auto = pipeline.launch().unwrap();
+        let snap = out.wait_final_timeout(Duration::from_secs(60)).unwrap();
+        assert_eq!(Dwt53::reconstruct(snap.value()), *app.image());
+        auto.join().unwrap();
+    }
+
+    #[test]
+    fn automaton_publishes_every_level() {
+        let app = Dwt53::new(synth::value_noise(16, 16, 4));
+        let (pipeline, out) = {
+            // Rebuild with history to observe all levels.
+            let schedule = app.schedule().clone();
+            let input = app.to_i32();
+            let mut pb = PipelineBuilder::new();
+            let sched2 = schedule.clone();
+            let out = pb.source(
+                "dwt53",
+                input,
+                Iterative::new(
+                    schedule.levels(),
+                    |input: &ImageBuf<i32>| input.clone(),
+                    move |input: &ImageBuf<i32>, level| {
+                        forward_2d_perforated(input, sched2.stride(level))
+                    },
+                ),
+                StageOptions::default().keep_history(),
+            );
+            (pb.build(), out)
+        };
+        let auto = pipeline.launch().unwrap();
+        auto.join().unwrap();
+        let hist = out.history().unwrap();
+        assert_eq!(hist.len(), 4); // one publication per stride level
+    }
+
+    #[test]
+    fn multilevel_is_reversible() {
+        let img = synth::value_noise(64, 64, 2).map(i32::from);
+        for levels in 1..=4u32 {
+            let coeffs = forward_multilevel(&img, levels, 1);
+            assert_eq!(inverse_multilevel(&coeffs, levels), img, "levels={levels}");
+        }
+    }
+
+    #[test]
+    fn multilevel_one_level_matches_single() {
+        let img = synth::value_noise(32, 32, 8).map(i32::from);
+        assert_eq!(forward_multilevel(&img, 1, 1), forward_2d_perforated(&img, 1));
+    }
+
+    #[test]
+    fn multilevel_concentrates_energy_in_ll() {
+        // Deeper decompositions concentrate more energy into fewer
+        // approximation coefficients — the compression property.
+        let img = synth::value_noise(64, 64, 5).map(i32::from);
+        let coeffs = forward_multilevel(&img, 3, 1);
+        let ll_side = 64usize >> 3;
+        let ll_energy: f64 = (0..ll_side)
+            .flat_map(|y| (0..ll_side).map(move |x| (x, y)))
+            .map(|(x, y)| f64::from(coeffs.pixel(x, y)[0]).powi(2))
+            .sum();
+        let total_energy: f64 = coeffs
+            .as_slice()
+            .iter()
+            .map(|&v| f64::from(v).powi(2))
+            .sum();
+        let ll_fraction = ll_energy / total_energy;
+        let area_fraction = (ll_side * ll_side) as f64 / (64.0 * 64.0);
+        assert!(
+            ll_fraction > 10.0 * area_fraction,
+            "LL holds {ll_fraction:.3} of energy in {area_fraction:.4} of area"
+        );
+    }
+
+    #[test]
+    fn multilevel_reversible_on_odd_dims() {
+        let img = synth::value_noise(37, 21, 4).map(i32::from);
+        let coeffs = forward_multilevel(&img, 2, 1);
+        assert_eq!(inverse_multilevel(&coeffs, 2), img);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn tiny_signal_rejected() {
+        forward_1d(&[1]);
+    }
+}

@@ -1,0 +1,84 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the evaluation applications.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AppError {
+    /// The underlying automaton failed.
+    Core(anytime_core::CoreError),
+    /// The image substrate failed.
+    Img(anytime_img::ImgError),
+    /// A permutation could not be constructed.
+    Permute(anytime_permute::PermutationError),
+    /// An approximation schedule was invalid.
+    Approx(anytime_approx::ApproxError),
+    /// An application was configured inconsistently.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for AppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Core(e) => write!(f, "automaton failed: {e}"),
+            Self::Img(e) => write!(f, "image substrate failed: {e}"),
+            Self::Permute(e) => write!(f, "permutation construction failed: {e}"),
+            Self::Approx(e) => write!(f, "approximation schedule invalid: {e}"),
+            Self::InvalidConfig(msg) => write!(f, "invalid application configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for AppError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Core(e) => Some(e),
+            Self::Img(e) => Some(e),
+            Self::Permute(e) => Some(e),
+            Self::Approx(e) => Some(e),
+            Self::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<anytime_core::CoreError> for AppError {
+    fn from(e: anytime_core::CoreError) -> Self {
+        Self::Core(e)
+    }
+}
+
+impl From<anytime_img::ImgError> for AppError {
+    fn from(e: anytime_img::ImgError) -> Self {
+        Self::Img(e)
+    }
+}
+
+impl From<anytime_permute::PermutationError> for AppError {
+    fn from(e: anytime_permute::PermutationError) -> Self {
+        Self::Permute(e)
+    }
+}
+
+impl From<anytime_approx::ApproxError> for AppError {
+    fn from(e: anytime_approx::ApproxError) -> Self {
+        Self::Approx(e)
+    }
+}
+
+/// Result alias for application operations.
+pub type Result<T> = std::result::Result<T, AppError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = AppError::from(anytime_core::CoreError::Stopped);
+        assert!(!e.to_string().is_empty());
+        assert!(e.source().is_some());
+        let e = AppError::InvalidConfig("bad k".into());
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("bad k"));
+    }
+}

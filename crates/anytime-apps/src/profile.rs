@@ -1,0 +1,238 @@
+//! Runtime–accuracy profiling: the methodology behind the paper's
+//! Figures 11–15.
+//!
+//! "These plots are generated from multiple runs, executing each automaton
+//! and halting it after some time to evaluate its output accuracy"
+//! (§IV-B). [`profile`] does exactly that: it launches a fresh automaton
+//! per sweep point, stops it at a fraction of the measured baseline
+//! runtime, and scores the latest published whole-application output
+//! against the precise reference (SNR in dB). A final unconstrained run
+//! records where the precise output (∞ dB) lands.
+
+use crate::error::Result;
+use anytime_core::{BufferReader, Pipeline, Snapshot};
+use anytime_img::{metrics, ImageBuf};
+use std::fmt;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// One halt-and-measure observation.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeAccuracyPoint {
+    /// Requested halt time as a fraction of the baseline runtime.
+    pub fraction: f64,
+    /// Actual wall-clock runtime of this run.
+    pub elapsed: Duration,
+    /// SNR (dB) of the halted output against the precise reference;
+    /// `NEG_INFINITY` if nothing had been published yet.
+    pub snr_db: f64,
+    /// Anytime steps completed at the measured output version.
+    pub steps: u64,
+}
+
+/// A measured runtime–accuracy profile.
+#[derive(Debug, Clone)]
+pub struct RuntimeAccuracyCurve {
+    /// The precise baseline runtime all fractions are normalized to.
+    pub baseline: Duration,
+    /// Sweep observations, in ascending fraction order.
+    pub points: Vec<RuntimeAccuracyPoint>,
+    /// Runtime (normalized to baseline) of a run left to reach the precise
+    /// output.
+    pub precise_fraction: f64,
+}
+
+impl RuntimeAccuracyCurve {
+    /// The earliest sweep fraction whose output reached `snr_db`.
+    pub fn fraction_to_snr(&self, snr_db: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.snr_db >= snr_db)
+            .map(|p| p.fraction)
+    }
+
+    /// Checks the anytime trend: SNR never drops by more than `tol_db`
+    /// between consecutive sweep points.
+    pub fn is_roughly_monotone(&self, tol_db: f64) -> bool {
+        self.points
+            .windows(2)
+            .all(|w| w[1].snr_db >= w[0].snr_db - tol_db)
+    }
+
+    /// Writes the curve as CSV (`fraction,snr_db,steps`), the format the
+    /// figure harness stores under `results/`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn write_csv<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "fraction,snr_db,steps")?;
+        for p in &self.points {
+            writeln!(w, "{:.4},{},{}", p.fraction, fmt_db(p.snr_db), p.steps)?;
+        }
+        writeln!(w, "{:.4},inf,final", self.precise_fraction)?;
+        Ok(())
+    }
+}
+
+impl fmt::Display for RuntimeAccuracyCurve {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "baseline {:?}; precise at {:.2}x",
+            self.baseline, self.precise_fraction
+        )?;
+        for p in &self.points {
+            writeln!(f, "  {:>5.2}x  {:>8} dB", p.fraction, fmt_db(p.snr_db))?;
+        }
+        Ok(())
+    }
+}
+
+fn fmt_db(v: f64) -> String {
+    if v == f64::INFINITY {
+        "inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-inf".to_string()
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Times a precise baseline: runs `f` `runs` times and returns its output
+/// with the median runtime.
+///
+/// # Panics
+///
+/// Panics if `runs == 0`.
+pub fn time_baseline<T>(runs: usize, f: impl Fn() -> T) -> (T, Duration) {
+    assert!(runs > 0, "at least one timing run required");
+    let mut durations = Vec::with_capacity(runs);
+    let mut out = None;
+    for _ in 0..runs {
+        let start = Instant::now();
+        let v = f();
+        durations.push(start.elapsed());
+        out = Some(v);
+    }
+    durations.sort_unstable();
+    (out.expect("runs > 0"), durations[durations.len() / 2])
+}
+
+/// Sweeps an automaton's runtime–accuracy profile.
+///
+/// For each fraction `f` in `fractions`, builds a fresh automaton via
+/// `build`, lets it run for `f × baseline`, stops it, and scores
+/// `to_image(latest snapshot)` against `reference` — the snapshot carries
+/// the sample count, so `to_image` can reconstruct a complete preview from
+/// a sparse sampled output (see [`crate::preview`]). Finally runs one
+/// automaton to completion to locate the precise point.
+///
+/// # Errors
+///
+/// Propagates automaton construction/execution failures.
+pub fn profile<O: Send + Sync + 'static>(
+    reference: &ImageBuf<u8>,
+    baseline: Duration,
+    fractions: &[f64],
+    build: impl Fn() -> Result<(Pipeline, BufferReader<O>)>,
+    to_image: impl Fn(&Snapshot<O>) -> ImageBuf<u8>,
+) -> Result<RuntimeAccuracyCurve> {
+    let mut points = Vec::with_capacity(fractions.len());
+    for &fraction in fractions {
+        let (pipeline, out) = build()?;
+        let auto = pipeline.launch()?;
+        let budget = Duration::from_secs_f64(baseline.as_secs_f64() * fraction);
+        let started = Instant::now();
+        auto.run_for(budget)?;
+        let elapsed = started.elapsed();
+        let (snr, steps) = match out.latest() {
+            Some(snap) => (
+                metrics::snr_db(&to_image(&snap), reference),
+                snap.steps(),
+            ),
+            None => (f64::NEG_INFINITY, 0),
+        };
+        points.push(RuntimeAccuracyPoint {
+            fraction,
+            elapsed,
+            snr_db: snr,
+            steps,
+        });
+    }
+    // Unconstrained run: where does the precise output land?
+    let (pipeline, out) = build()?;
+    let auto = pipeline.launch()?;
+    let report = auto.join()?;
+    let snap = out.latest().ok_or_else(|| {
+        crate::error::AppError::InvalidConfig("automaton produced no output".into())
+    })?;
+    debug_assert!(snap.is_final());
+    let precise_fraction = report.elapsed.as_secs_f64() / baseline.as_secs_f64();
+    Ok(RuntimeAccuracyCurve {
+        baseline,
+        points,
+        precise_fraction,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv2d::Conv2d;
+    use anytime_img::{synth, Kernel};
+
+    #[test]
+    fn baseline_timer_returns_median() {
+        let (v, d) = time_baseline(5, || {
+            std::thread::sleep(Duration::from_millis(2));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(d >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn profile_2dconv_trends_upward() {
+        let app = Conv2d::new(synth::value_noise(96, 96, 3), Kernel::gaussian(7, 1.5));
+        let (reference, baseline) = time_baseline(3, || app.precise());
+        let curve = profile(
+            &reference,
+            baseline,
+            &[0.1, 0.3, 0.6, 0.9],
+            || app.automaton(512),
+            |snap| snap.value().clone(),
+        )
+        .unwrap();
+        assert_eq!(curve.points.len(), 4);
+        // Later halts must not be (much) worse — the anytime guarantee.
+        assert!(
+            curve.is_roughly_monotone(3.0),
+            "non-monotone profile:\n{curve}"
+        );
+        assert!(curve.precise_fraction > 0.0);
+    }
+
+    #[test]
+    fn csv_output_shape() {
+        let curve = RuntimeAccuracyCurve {
+            baseline: Duration::from_millis(100),
+            points: vec![RuntimeAccuracyPoint {
+                fraction: 0.5,
+                elapsed: Duration::from_millis(50),
+                snr_db: 12.34,
+                steps: 7,
+            }],
+            precise_fraction: 1.5,
+        };
+        let mut buf = Vec::new();
+        curve.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("fraction,snr_db,steps\n"));
+        assert!(text.contains("0.5000,12.34,7"));
+        assert!(text.contains("1.5000,inf,final"));
+        assert_eq!(curve.fraction_to_snr(10.0), Some(0.5));
+        assert_eq!(curve.fraction_to_snr(99.0), None);
+        assert!(!curve.to_string().is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! Ablation: publication granularity of diffusive stages.
+//!
+//! Every publication atomically clones the working output into the stage's
+//! buffer (Property 3). Fine granularity gives consumers fresher
+//! approximations but pays more clone bandwidth; this bench quantifies the
+//! time-to-precise cost across granularities.
+
+use anytime_bench::workloads::{self, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let app = workloads::conv2d(Scale::Quick);
+    let n = app.image().pixel_count() as u64;
+    let mut group = c.benchmark_group("ablation_granularity");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (label, gran) in [
+        ("publish_every_n_div_256", n / 256),
+        ("publish_every_n_div_32", n / 32),
+        ("publish_every_n_div_4", n / 4),
+    ] {
+        let gran = gran.max(1);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let (pipeline, out) = app.automaton(gran).expect("build");
+                let auto = pipeline.launch().expect("launch");
+                let snap = out
+                    .wait_final_timeout(Duration::from_secs(120))
+                    .expect("final");
+                black_box(snap.version());
+                auto.join().expect("join");
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

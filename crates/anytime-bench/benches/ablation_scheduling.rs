@@ -1,0 +1,56 @@
+//! Ablation: output-granularity scheduling of a multi-stage pipeline
+//! (paper §IV-C2).
+//!
+//! The paper frames pipeline scheduling as a choice between minimizing
+//! time-to-first-output and minimizing the gap between consecutive
+//! outputs. With a thread-per-stage executor, the equivalent knob is how
+//! much work the *upstream* anytime stage does per publication relative to
+//! the final stage: a coarse histogram stage (few, large versions) makes
+//! the final stage restart rarely (fast to precise); a fine histogram
+//! stage streams many versions (fresh outputs, more re-execution). This
+//! bench measures histeq's time-to-first-output and time-to-precise under
+//! both policies.
+
+use anytime_bench::workloads::{self, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let app = workloads::histeq(Scale::Quick);
+    let n = app.image().pixel_count() as u64;
+    let mut group = c.benchmark_group("ablation_scheduling");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (label, hist_gran) in [
+        ("first_output_first_fine_hist", (n / 64).max(1)),
+        ("update_rate_first_coarse_hist", n),
+    ] {
+        let map_gran = (n / 16).max(1);
+        group.bench_function(format!("{label}/to_first"), |b| {
+            b.iter(|| {
+                let (pipeline, out) = app.automaton(hist_gran, map_gran).expect("build");
+                let auto = pipeline.launch().expect("launch");
+                let snap = out
+                    .wait_newer_timeout(None, Duration::from_secs(60))
+                    .expect("first output");
+                black_box(snap.version());
+                auto.stop_and_join().expect("join");
+            })
+        });
+        group.bench_function(format!("{label}/to_precise"), |b| {
+            b.iter(|| {
+                let (pipeline, out) = app.automaton(hist_gran, map_gran).expect("build");
+                let auto = pipeline.launch().expect("launch");
+                let snap = out
+                    .wait_final_timeout(Duration::from_secs(120))
+                    .expect("final");
+                black_box(snap.version());
+                auto.join().expect("join");
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 10 bench: the five automaton organizations of §III-D, end to
+//! end. The expected ordering of time-to-precise:
+//! `diffusive-sync <= diffusive-async <= iterative-async <= iterative`
+//! (with `baseline` between the diffusive and iterative groups — it does
+//! no redundant work but exposes no pipelining).
+
+use anytime_bench::fig10;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 16;
+    let mut group = c.benchmark_group("fig10_organizations");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("all_five_organizations", |b| {
+        b.iter(|| black_box(fig10::run(n).expect("organizations run")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

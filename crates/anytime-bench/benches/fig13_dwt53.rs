@@ -1,0 +1,43 @@
+//! Figure 13 bench: dwt53 — precise forward+inverse baseline vs. the
+//! iterative (perforated) automaton, plus the per-level perforated forward
+//! transforms that make its runtime–accuracy curve steep.
+
+use anytime_bench::workloads::{self, Scale};
+use anytime_apps::dwt53::forward_2d_perforated;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let app = workloads::dwt53(Scale::Quick);
+    let as_i32 = app.image().map(i32::from);
+    let mut group = c.benchmark_group("fig13_dwt53");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    group.bench_function("baseline_precise", |b| {
+        b.iter(|| black_box(app.precise()))
+    });
+
+    // The redundant work of iterative perforation, level by level.
+    for stride in [8usize, 4, 2, 1] {
+        group.bench_function(format!("forward_stride_{stride}"), |b| {
+            b.iter(|| black_box(forward_2d_perforated(&as_i32, stride)))
+        });
+    }
+
+    group.bench_function("automaton_to_precise", |b| {
+        b.iter(|| {
+            let (pipeline, out) = app.automaton().expect("build");
+            let auto = pipeline.launch().expect("launch");
+            let snap = out
+                .wait_final_timeout(Duration::from_secs(120))
+                .expect("final output");
+            black_box(snap.steps());
+            auto.join().expect("join");
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! fig15 bench: kmeans — precise baseline vs. the anytime automaton run
+//! to its first whole-application output and to the precise output.
+
+use anytime_bench::workloads::{self, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let app = workloads::kmeans(Scale::Quick);
+    let gran = workloads::granularity(app.image().pixel_count());
+    let _ = gran;
+    let mut group = c.benchmark_group("fig15_kmeans");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    group.bench_function("baseline_precise", |b| {
+        b.iter(|| black_box(app.precise()))
+    });
+
+    group.bench_function("automaton_first_output", |b| {
+        b.iter(|| {
+            let (pipeline, out) = app.automaton(gran).expect("build");
+            let auto = pipeline.launch().expect("launch");
+            let snap = out
+                .wait_newer_timeout(None, Duration::from_secs(60))
+                .expect("first output");
+            black_box(snap.steps());
+            auto.stop_and_join().expect("join");
+        })
+    });
+
+    group.bench_function("automaton_to_precise", |b| {
+        b.iter(|| {
+            let (pipeline, out) = app.automaton(gran).expect("build");
+            let auto = pipeline.launch().expect("launch");
+            let snap = out
+                .wait_final_timeout(Duration::from_secs(120))
+                .expect("final output");
+            black_box(snap.steps());
+            auto.join().expect("join");
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 19 bench: 2dconv at reduced pixel precision. Measures the
+//! full-sample sweep per bit width — reduced precision changes accuracy,
+//! not the amount of sampling work, so the runtimes should be flat across
+//! widths (the paper's point that precision reduction composes freely with
+//! sampling).
+
+use anytime_bench::workloads::{self, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let app = workloads::conv2d(Scale::Quick);
+    let full = app.image().pixel_count();
+    let mut group = c.benchmark_group("fig19_precision");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for bits in [8u32, 6, 4, 2] {
+        group.bench_function(format!("{bits}_bits_full_sample"), |b| {
+            b.iter(|| {
+                black_box(
+                    app.sample_accuracy_with_precision(bits, &[full])
+                        .expect("sweep"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 20 bench: 2dconv reading its input through drowsy SRAM. Measures
+//! the full-sample sweep per read-upset probability — the injector's
+//! geometric skip sampling should keep overhead negligible even at the
+//! paper's highest upset rate.
+
+use anytime_bench::workloads::{self, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let app = workloads::conv2d(Scale::Quick);
+    let full = app.image().pixel_count();
+    let mut group = c.benchmark_group("fig20_storage");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (p, label) in [(0.0f64, "p0"), (1e-7, "p1e7"), (1e-5, "p1e5")] {
+        group.bench_function(format!("{label}_full_sample"), |b| {
+            b.iter(|| {
+                black_box(
+                    app.sample_accuracy_with_storage(p, 42, &[full])
+                        .expect("sweep"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,175 @@
+//! Regenerates the paper's evaluation figures into `results/`.
+//!
+//! ```sh
+//! cargo run --release -p anytime-bench --bin figures -- all
+//! cargo run --release -p anytime-bench --bin figures -- fig11 fig19
+//! ANYTIME_SCALE=quick cargo run -p anytime-bench --bin figures -- all
+//! ```
+//!
+//! Outputs:
+//! - `results/figNN_*.csv` — the plotted series for each figure;
+//! - `results/fig1[678]_*.p?m` — the sample output images;
+//! - `results/summary.txt` — one-line paper-vs-measured notes per figure.
+
+use anytime_bench::figures as figs;
+use anytime_bench::workloads::Scale;
+use anytime_bench::fig10;
+use anytime_img::io::save_netpbm;
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let targets: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+            "fig19", "fig20", "locality",
+        ]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let scale = Scale::from_env();
+    std::fs::create_dir_all("results").expect("create results dir");
+    let mut summary = String::new();
+    for t in targets {
+        println!("=== {t} ({scale:?} scale) ===");
+        let note = run_target(t, scale);
+        println!("{note}\n");
+        summary.push_str(&note);
+        summary.push('\n');
+    }
+    let mut f = File::create("results/summary.txt").expect("create summary");
+    f.write_all(summary.as_bytes()).expect("write summary");
+    println!("wrote results/summary.txt");
+}
+
+fn run_target(target: &str, scale: Scale) -> String {
+    match target {
+        "fig10" => {
+            let n = match scale {
+                Scale::Paper => 1 << 21,
+                Scale::Quick => 1 << 16,
+            };
+            let results = fig10::run(n).expect("fig10");
+            let mut csv = String::from("organization,first_output_ms,precise_output_ms\n");
+            for r in &results {
+                csv.push_str(&format!(
+                    "{},{:.3},{:.3}\n",
+                    r.name,
+                    r.first_output.as_secs_f64() * 1e3,
+                    r.precise_output.as_secs_f64() * 1e3
+                ));
+            }
+            write_text("results/fig10_organizations.csv", &csv);
+            let base = results[0].precise_output;
+            let sync = results[4].precise_output;
+            format!(
+                "fig10: baseline precise {:.1} ms; diffusive-sync precise {:.1} ms (paper: sync < async < iterative < re-executed baseline)",
+                base.as_secs_f64() * 1e3,
+                sync.as_secs_f64() * 1e3
+            )
+        }
+        "fig11" => curve("fig11_2dconv", figs::fig11(scale), "2dconv", 15.8, 0.21),
+        "fig12" => curve("fig12_histeq", figs::fig12(scale), "histeq", 0.0, 6.0),
+        "fig13" => curve("fig13_dwt53", figs::fig13(scale), "dwt53", 16.8, 0.78),
+        "fig14" => curve("fig14_debayer", figs::fig14(scale), "debayer", 0.0, 0.63),
+        "fig15" => curve("fig15_kmeans", figs::fig15(scale), "kmeans", 16.7, 0.63),
+        "fig16" => sample("fig16_2dconv", figs::fig16(scale), 15.8),
+        "fig17" => sample("fig17_dwt53", figs::fig17(scale), 16.8),
+        "fig18" => sample("fig18_kmeans", figs::fig18(scale), 16.7),
+        "fig19" => series("fig19_precision", figs::fig19(scale).expect("fig19")),
+        "fig20" => series("fig20_storage", figs::fig20(scale).expect("fig20")),
+        "locality" => {
+            let rows = figs::locality(scale).expect("locality");
+            let mut csv =
+                String::from("permutation,prefetch_depth,cache_miss_rate,row_miss_rate\n");
+            for r in &rows {
+                csv.push_str(&format!(
+                    "{},{},{:.4},{:.4}\n",
+                    r.permutation, r.prefetch_depth, r.miss_rate, r.row_miss_rate
+                ));
+            }
+            write_text("results/locality.csv", &csv);
+            "locality: miss rates per permutation written (see §IV-C3)".to_string()
+        }
+        other => format!("unknown target `{other}` — skipped"),
+    }
+}
+
+fn curve(
+    name: &str,
+    curve: anytime_apps::Result<anytime_apps::RuntimeAccuracyCurve>,
+    app: &str,
+    paper_snr: f64,
+    paper_fraction: f64,
+) -> String {
+    let curve = curve.expect("profile run");
+    let path = format!("results/{name}.csv");
+    let mut buf = Vec::new();
+    curve.write_csv(&mut buf).expect("csv");
+    write_text(&path, &String::from_utf8(buf).expect("utf8 csv"));
+    let measured = curve
+        .points
+        .iter()
+        .find(|p| (p.fraction - paper_fraction).abs() < 1e-9)
+        .map(|p| p.snr_db)
+        .unwrap_or(f64::NAN);
+    format!(
+        "{name}: {app} at {paper_fraction:.2}x runtime → {measured:.1} dB (paper ≈ {paper_snr} dB); precise at {:.2}x ({path})",
+        curve.precise_fraction
+    )
+}
+
+fn sample(
+    name: &str,
+    sample: anytime_apps::Result<figs::SampleOutput>,
+    paper_snr: f64,
+) -> String {
+    let s = sample.expect("sample run");
+    let ext = if s.approx.channels() == 3 { "ppm" } else { "pgm" };
+    let a = format!("results/{name}_approx.{ext}");
+    let p = format!("results/{name}_precise.{ext}");
+    save_netpbm(Path::new(&a), &s.approx).expect("write approx");
+    save_netpbm(Path::new(&p), &s.precise).expect("write precise");
+    format!(
+        "{name}: halted at {:.0}% runtime → {:.1} dB (paper ≈ {paper_snr} dB); images {a}, {p}",
+        s.fraction * 100.0,
+        s.snr_db
+    )
+}
+
+fn series(name: &str, series: Vec<figs::SampleSizeSeries>) -> String {
+    let path = format!("results/{name}.csv");
+    let mut csv = String::from("series,sample_size,snr_db\n");
+    for s in &series {
+        for &(n, snr) in &s.points {
+            let v = if snr == f64::INFINITY {
+                "inf".to_string()
+            } else {
+                format!("{snr:.2}")
+            };
+            csv.push_str(&format!("{},{n},{v}\n", s.label));
+        }
+    }
+    write_text(&path, &csv);
+    let finals: Vec<String> = series
+        .iter()
+        .map(|s| {
+            let v = s.points.last().expect("non-empty series").1;
+            if v == f64::INFINITY {
+                format!("{}=inf", s.label)
+            } else {
+                format!("{}={v:.1}dB", s.label)
+            }
+        })
+        .collect();
+    format!("{name}: full-sample SNR {} ({path})", finals.join(", "))
+}
+
+fn write_text(path: &str, text: &str) {
+    let mut f = File::create(path).unwrap_or_else(|e| panic!("create {path}: {e}"));
+    f.write_all(text.as_bytes())
+        .unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+}

@@ -1,0 +1,353 @@
+//! Figure 10: comparing anytime automaton organizations on the paper's
+//! summary example (§III-D).
+//!
+//! Stage `f` converts sensor input into a fixed-point matrix `F`; stage `g`
+//! computes the dot product `F · C`. Work is genuinely proportional to the
+//! number of bit planes processed (bit-serial arithmetic, §III-B2), so the
+//! five organizations the paper walks through separate cleanly:
+//!
+//! 1. `baseline` — precise `f` then precise `g`, sequential;
+//! 2. `iterative` — half-precision `f₁,g` then full-precision `f₂,g`,
+//!    sequential;
+//! 3. `iterative-async` — the same two levels, pipelined;
+//! 4. `diffusive-async` — `f₂` only adds the missing low planes;
+//! 5. `diffusive-sync` — `g` is distributive over the plane updates, so it
+//!    processes each plane exactly once.
+//!
+//! The measured outputs are the time to the first whole-application output
+//! `G₁` and the time to the precise output `G₂` — the paper's qualitative
+//! claim is the ordering, which this harness checks and reports.
+
+use anytime_core::{
+    Diffusive, Iterative, PipelineBuilder, Precise, StageOptions, StepOutcome,
+};
+use std::time::{Duration, Instant};
+
+/// Total bit planes of the fixed-point data.
+const PLANES: u32 = 8;
+/// Planes computed by the half-precision level.
+const HALF: u32 = 4;
+
+/// One organization's measured latencies.
+#[derive(Debug, Clone)]
+pub struct OrgResult {
+    /// Organization name (see module docs).
+    pub name: &'static str,
+    /// Time until the first whole-application (approximate) output.
+    pub first_output: Duration,
+    /// Time until the precise output.
+    pub precise_output: Duration,
+    /// The precise dot product (for cross-organization validation).
+    pub value: i64,
+}
+
+/// The fig10 workload: deterministic pseudo-random 8-bit inputs and
+/// coefficients.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    input: Vec<i64>,
+    coeffs: Vec<i64>,
+}
+
+impl Workload {
+    /// Builds a workload of `n` elements.
+    pub fn new(n: usize) -> Self {
+        let mut x = 0x12345678u64;
+        let mut step = || {
+            // xorshift64
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let input: Vec<i64> = (0..n).map(|_| (step() & 0xFF) as i64).collect();
+        let coeffs: Vec<i64> = (0..n).map(|_| (step() & 0xFF) as i64 - 128).collect();
+        Self { input, coeffs }
+    }
+
+    /// Elements per vector.
+    pub fn len(&self) -> usize {
+        self.input.len()
+    }
+
+    /// `true` if the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.input.is_empty()
+    }
+
+    /// `F` masked to its top `planes` planes, computed plane-serially
+    /// (cost ∝ planes × n).
+    fn compute_f(&self, planes: u32) -> Vec<i64> {
+        let mut f = vec![0i64; self.input.len()];
+        for p in 0..planes {
+            let bit = PLANES - 1 - p;
+            for (fi, &xi) in f.iter_mut().zip(&self.input) {
+                *fi += xi & (1 << bit);
+            }
+        }
+        f
+    }
+
+    /// Adds planes `[from, to)` of the input into `f` (the diffusive
+    /// update).
+    fn add_planes(&self, f: &mut [i64], from: u32, to: u32) {
+        for p in from..to {
+            let bit = PLANES - 1 - p;
+            for (fi, &xi) in f.iter_mut().zip(&self.input) {
+                *fi += xi & (1 << bit);
+            }
+        }
+    }
+
+    /// `F · C` computed plane-serially over `F`'s set planes
+    /// (cost ∝ planes present × n).
+    fn dot(&self, f: &[i64]) -> i64 {
+        let mut acc = 0i64;
+        for bit in 0..PLANES {
+            let mut plane = 0i64;
+            for (&fi, &ci) in f.iter().zip(&self.coeffs) {
+                if fi & (1 << bit) != 0 {
+                    plane += ci;
+                }
+            }
+            acc += plane << bit;
+        }
+        acc
+    }
+
+    /// The dot-product contribution of input plane `p` alone (cost ∝ n).
+    fn dot_plane(&self, p: u32) -> i64 {
+        let bit = PLANES - 1 - p;
+        let mut plane = 0i64;
+        for (&xi, &ci) in self.input.iter().zip(&self.coeffs) {
+            if xi & (1 << bit) != 0 {
+                plane += ci;
+            }
+        }
+        plane << bit
+    }
+
+    /// The precise reference result.
+    pub fn reference(&self) -> i64 {
+        self.input
+            .iter()
+            .zip(&self.coeffs)
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+}
+
+/// Runs all five organizations and returns their measurements.
+///
+/// # Errors
+///
+/// Propagates automaton failures from the pipelined organizations.
+pub fn run(n: usize) -> anytime_core::Result<Vec<OrgResult>> {
+    let w = Workload::new(n);
+    let reference = w.reference();
+    let results = vec![
+        baseline(&w),
+        iterative_sequential(&w),
+        iterative_async(&w)?,
+        diffusive_async(&w)?,
+        diffusive_sync(&w)?,
+    ];
+    for r in &results {
+        assert_eq!(
+            r.value, reference,
+            "organization `{}` lost precision",
+            r.name
+        );
+    }
+    Ok(results)
+}
+
+fn baseline(w: &Workload) -> OrgResult {
+    let start = Instant::now();
+    let f = w.compute_f(PLANES);
+    let g = w.dot(&f);
+    let elapsed = start.elapsed();
+    OrgResult {
+        name: "baseline",
+        first_output: elapsed,
+        precise_output: elapsed,
+        value: g,
+    }
+}
+
+fn iterative_sequential(w: &Workload) -> OrgResult {
+    let start = Instant::now();
+    let f1 = w.compute_f(HALF);
+    let _g1 = w.dot(&f1);
+    let first = start.elapsed();
+    let f2 = w.compute_f(PLANES);
+    let g2 = w.dot(&f2);
+    OrgResult {
+        name: "iterative",
+        first_output: first,
+        precise_output: start.elapsed(),
+        value: g2,
+    }
+}
+
+fn pipeline_timed(
+    w: &Workload,
+    build_f: impl FnOnce(&mut PipelineBuilder) -> anytime_core::BufferReader<Vec<i64>>,
+    name: &'static str,
+) -> anytime_core::Result<OrgResult> {
+    let mut pb = PipelineBuilder::new();
+    let f_out = build_f(&mut pb);
+    let wg = w.clone();
+    let g_out = pb.stage(
+        "g",
+        &f_out,
+        Precise::new(move |f: &Vec<i64>| wg.dot(f)),
+        StageOptions::default(),
+    );
+    let start = Instant::now();
+    let auto = pb.build().launch()?;
+    let first_snap = g_out.wait_newer_timeout(None, Duration::from_secs(120))?;
+    let first_output = start.elapsed();
+    let final_snap = g_out.wait_final_timeout(Duration::from_secs(120))?;
+    let precise_output = start.elapsed();
+    auto.join()?;
+    let _ = first_snap;
+    Ok(OrgResult {
+        name,
+        first_output,
+        precise_output,
+        value: *final_snap.value(),
+    })
+}
+
+fn iterative_async(w: &Workload) -> anytime_core::Result<OrgResult> {
+    let wf = w.clone();
+    pipeline_timed(
+        w,
+        move |pb| {
+            pb.source(
+                "f",
+                (),
+                Iterative::new(
+                    2,
+                    {
+                        let n = wf.len();
+                        move |_: &()| vec![0i64; n]
+                    },
+                    move |_: &(), level| {
+                        wf.compute_f(if level == 0 { HALF } else { PLANES })
+                    },
+                ),
+                StageOptions::default(),
+            )
+        },
+        "iterative-async",
+    )
+}
+
+fn diffusive_async(w: &Workload) -> anytime_core::Result<OrgResult> {
+    let wf = w.clone();
+    pipeline_timed(
+        w,
+        move |pb| {
+            let wf2 = wf.clone();
+            pb.source(
+                "f",
+                (),
+                Diffusive::new(
+                    {
+                        let n = wf.len();
+                        move |_: &()| vec![0i64; n]
+                    },
+                    move |_: &(), out: &mut Vec<i64>, step| {
+                        // Step 0 diffuses the top HALF planes; step 1 the rest.
+                        if step == 0 {
+                            wf2.add_planes(out, 0, HALF);
+                            StepOutcome::Continue
+                        } else {
+                            wf2.add_planes(out, HALF, PLANES);
+                            StepOutcome::Done
+                        }
+                    },
+                ),
+                StageOptions::default(),
+            )
+        },
+        "diffusive-async",
+    )
+}
+
+fn diffusive_sync(w: &Workload) -> anytime_core::Result<OrgResult> {
+    let mut pb = PipelineBuilder::new();
+    // Updates are the two plane groups; the distributive child adds each
+    // group's dot-product contribution exactly once.
+    let updates = pb.sync_source("f", (), 1, move |_: &(), step| match step {
+        0 => Some((0u32, HALF)),
+        1 => Some((HALF, PLANES)),
+        _ => None,
+    });
+    let wg = w.clone();
+    let g_out = pb.sync_stage(
+        "g",
+        updates,
+        || 0i64,
+        move |acc: &mut i64, (from, to): (u32, u32)| {
+            for p in from..to {
+                *acc += wg.dot_plane(p);
+            }
+        },
+        StageOptions::default(),
+    );
+    let start = Instant::now();
+    let auto = pb.build().launch()?;
+    let _first = g_out.wait_newer_timeout(None, Duration::from_secs(120))?;
+    let first_output = start.elapsed();
+    let final_snap = g_out.wait_final_timeout(Duration::from_secs(120))?;
+    let precise_output = start.elapsed();
+    auto.join()?;
+    Ok(OrgResult {
+        name: "diffusive-sync",
+        first_output,
+        precise_output,
+        value: *final_snap.value(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_organizations_agree_on_the_precise_value() {
+        let results = run(1 << 14).unwrap();
+        assert_eq!(results.len(), 5);
+        let v = results[0].value;
+        assert!(results.iter().all(|r| r.value == v));
+    }
+
+    #[test]
+    fn plane_decomposition_is_exact() {
+        let w = Workload::new(1000);
+        let planes: i64 = (0..PLANES).map(|p| w.dot_plane(p)).sum();
+        assert_eq!(planes, w.reference());
+        assert_eq!(w.dot(&w.compute_f(PLANES)), w.reference());
+    }
+
+    #[test]
+    fn half_precision_f_is_top_planes() {
+        let w = Workload::new(100);
+        let f = w.compute_f(HALF);
+        for (fi, xi) in f.iter().zip(&w.input) {
+            assert_eq!(*fi, xi & 0xF0);
+        }
+    }
+
+    #[test]
+    fn pipelined_first_output_not_slower_than_sequential_precise() {
+        // The approximate first output must arrive no later than the
+        // organization's own precise output.
+        for r in run(1 << 13).unwrap() {
+            assert!(r.first_output <= r.precise_output, "{r:?}");
+        }
+    }
+}

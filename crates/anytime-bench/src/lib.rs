@@ -1,0 +1,22 @@
+//! Figure-regeneration harness for the Anytime Automaton reproduction.
+//!
+//! The paper's evaluation consists of Figures 11–20 (runtime–accuracy
+//! profiles, sample outputs, and technique sensitivity studies) plus the
+//! organization walkthrough of Figure 10 and the data-locality discussion
+//! of §IV-C3. This crate regenerates all of them:
+//!
+//! - [`figures`] — one function per evaluation figure, returning the
+//!   plotted data;
+//! - [`fig10`] — the five pipeline organizations of §III-D, measured;
+//! - [`workloads`] — the standard inputs at paper or quick scale;
+//! - the `figures` binary (`cargo run -p anytime-bench --bin figures --
+//!   all`) writes everything under `results/`;
+//! - Criterion benches (`cargo bench`) time the baselines against the
+//!   automata per figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig10;
+pub mod figures;
+pub mod workloads;

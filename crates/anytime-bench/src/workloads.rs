@@ -1,0 +1,110 @@
+//! Standard workloads for the figure-regeneration harness.
+//!
+//! Two scales: [`Scale::Paper`] approximates the paper's "large image
+//! inputs" (512×512-class, minutes of total harness runtime);
+//! [`Scale::Quick`] shrinks everything for smoke tests and CI.
+
+use anytime_apps::{Conv2d, Debayer, Dwt53, Histeq, Kmeans};
+use anytime_img::{synth, Kernel};
+
+/// Workload scale for the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-class inputs (512×512 images, 256×256 for kmeans).
+    Paper,
+    /// Small inputs for smoke tests.
+    Quick,
+}
+
+impl Scale {
+    /// Reads `ANYTIME_SCALE=quick|paper` from the environment
+    /// (default paper).
+    pub fn from_env() -> Self {
+        match std::env::var("ANYTIME_SCALE").as_deref() {
+            Ok("quick") => Scale::Quick,
+            _ => Scale::Paper,
+        }
+    }
+
+    fn side(self, paper: usize, quick: usize) -> usize {
+        match self {
+            Scale::Paper => paper,
+            Scale::Quick => quick,
+        }
+    }
+}
+
+/// The 2dconv workload: blur a noise image with a 9×9 Gaussian.
+pub fn conv2d(scale: Scale) -> Conv2d {
+    let side = scale.side(512, 96);
+    Conv2d::new(synth::value_noise(side, side, 42), Kernel::gaussian(9, 2.0))
+}
+
+/// The histeq workload: low-contrast blob field.
+///
+/// Larger than the other image workloads because histogram equalization's
+/// per-pixel work is tiny; the bigger image keeps the baseline runtime
+/// meaningfully above the automaton's fixed startup costs.
+pub fn histeq(scale: Scale) -> Histeq {
+    // 512x512 keeps the working set cache-resident, mirroring the paper's
+    // large-L3 testbed; bigger images penalize the tree-order output stage
+    // far beyond what the paper's hardware saw (§IV-C3).
+    let side = scale.side(512, 128);
+    Histeq::new(synth::blobs(side, side, 8, 7))
+}
+
+/// The dwt53 workload: noise image, strides 8/4/2/1.
+pub fn dwt53(scale: Scale) -> Dwt53 {
+    let side = scale.side(512, 96);
+    Dwt53::new(synth::value_noise(side, side, 9))
+}
+
+/// The debayer workload: RGGB mosaic of a synthetic color scene.
+pub fn debayer(scale: Scale) -> Debayer {
+    let side = scale.side(512, 96);
+    Debayer::from_rgb(&synth::rgb_scene(side, side, 3))
+}
+
+/// The kmeans workload: color scene, k = 6.
+pub fn kmeans(scale: Scale) -> Kmeans {
+    let side = scale.side(512, 64);
+    Kmeans::new(synth::rgb_scene(side, side, 11), 6)
+}
+
+/// Publication granularity for an image of `pixels` pixels: ~32 versions.
+pub fn granularity(pixels: usize) -> u64 {
+    (pixels as u64 / 32).max(1)
+}
+
+/// The runtime fractions swept by the Figure 11–15 profiles, including the
+/// paper's headline points (0.21, 0.63, 0.78).
+pub const SWEEP_FRACTIONS: [f64; 12] = [
+    0.05, 0.1, 0.15, 0.21, 0.3, 0.4, 0.5, 0.63, 0.78, 0.9, 1.0, 1.2,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_workloads_construct() {
+        assert_eq!(conv2d(Scale::Quick).image().width(), 96);
+        assert_eq!(histeq(Scale::Quick).image().width(), 128);
+        assert_eq!(dwt53(Scale::Quick).image().width(), 96);
+        assert_eq!(debayer(Scale::Quick).mosaic().width(), 96);
+        assert_eq!(kmeans(Scale::Quick).image().width(), 64);
+    }
+
+    #[test]
+    fn granularity_floor() {
+        assert_eq!(granularity(10), 1);
+        assert_eq!(granularity(3200), 100);
+    }
+
+    #[test]
+    fn fractions_cover_paper_points() {
+        for p in [0.21, 0.63, 0.78] {
+            assert!(SWEEP_FRACTIONS.contains(&p));
+        }
+    }
+}

@@ -1,0 +1,517 @@
+//! Versioned, atomically published stage output buffers.
+//!
+//! Every anytime stage owns exactly one output buffer (paper Property 2,
+//! enforced by the non-cloneable [`BufferWriter`]). The producer publishes
+//! whole output versions `O_1, …, O_n` with increasing accuracy; each
+//! publication atomically replaces the previous version (Property 3), so any
+//! number of [`BufferReader`]s — dependent stages, accuracy monitors, the
+//! end user — always observe a complete, valid approximation.
+
+use crate::control::ControlToken;
+use crate::error::{CoreError, Result};
+use crate::version::{Snapshot, SnapshotMeta, Version};
+use parking_lot::{Condvar, Mutex};
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Polling quantum for interruptible waits.
+const WAIT_QUANTUM: Duration = Duration::from_millis(1);
+
+struct State<T> {
+    latest: Option<Snapshot<T>>,
+    closed: bool,
+    history: Option<Vec<Snapshot<T>>>,
+}
+
+struct Shared<T> {
+    name: String,
+    state: Mutex<State<T>>,
+    cond: Condvar,
+}
+
+/// Options for creating a versioned output buffer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BufferOptions {
+    /// Retain every published snapshot (not just the latest).
+    ///
+    /// Snapshots share their values via `Arc`, so history costs one `Arc`
+    /// plus metadata per version. Used by accuracy profiling to reconstruct
+    /// the full version trace after a run.
+    pub keep_history: bool,
+}
+
+/// Creates a versioned single-producer, multi-consumer output buffer.
+///
+/// This is the paper's per-stage output buffer: the writer publishes
+/// intermediate outputs `O_1, …, O_n` with increasing accuracy, each
+/// atomically replacing the previous (**Property 3**), and readers always
+/// observe some complete version. Exactly one [`BufferWriter`] exists per
+/// buffer, enforcing the paper's **Property 2** (no other stage may modify
+/// a stage's output buffer) in the type system.
+///
+/// # Examples
+///
+/// ```
+/// use anytime_core::buffer;
+///
+/// let (mut w, r) = buffer::versioned::<Vec<u8>>("F");
+/// w.publish(vec![1], 1);
+/// w.publish_final(vec![1, 2], 2);
+/// let snap = r.latest().unwrap();
+/// assert!(snap.is_final());
+/// assert_eq!(snap.value(), &vec![1, 2]);
+/// ```
+pub fn versioned<T>(name: impl Into<String>) -> (BufferWriter<T>, BufferReader<T>) {
+    versioned_with(name, BufferOptions::default())
+}
+
+/// Creates a versioned buffer with explicit [`BufferOptions`].
+pub fn versioned_with<T>(
+    name: impl Into<String>,
+    options: BufferOptions,
+) -> (BufferWriter<T>, BufferReader<T>) {
+    let shared = Arc::new(Shared {
+        name: name.into(),
+        state: Mutex::new(State {
+            latest: None,
+            closed: false,
+            history: options.keep_history.then(Vec::new),
+        }),
+        cond: Condvar::new(),
+    });
+    (
+        BufferWriter {
+            shared: Arc::clone(&shared),
+            next: Version::FIRST,
+        },
+        BufferReader { shared },
+    )
+}
+
+/// The single producer handle of a versioned buffer.
+///
+/// Owned by exactly one stage. Dropping the writer without publishing a
+/// final version *closes* the buffer, which readers observe as
+/// [`CoreError::SourceClosed`] — this is how stage panics propagate instead
+/// of deadlocking the pipeline.
+pub struct BufferWriter<T> {
+    shared: Arc<Shared<T>>,
+    next: Version,
+}
+
+impl<T> BufferWriter<T> {
+    /// The buffer's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.shared.name
+    }
+
+    /// Atomically publishes an intermediate output version.
+    ///
+    /// `steps` records how many anytime steps were complete at publication
+    /// (the sample size for sampled stages). Returns the new version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a final version has already been published: versions after
+    /// the precise output would violate the anytime contract.
+    pub fn publish(&mut self, value: T, steps: u64) -> Version {
+        self.publish_inner(value, steps, false)
+    }
+
+    /// Atomically publishes the precise (final) output version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a final version has already been published.
+    pub fn publish_final(&mut self, value: T, steps: u64) -> Version {
+        self.publish_inner(value, steps, true)
+    }
+
+    fn publish_inner(&mut self, value: T, steps: u64, is_final: bool) -> Version {
+        let snap = Snapshot {
+            value: Arc::new(value),
+            meta: SnapshotMeta {
+                version: self.next,
+                steps,
+                is_final,
+            },
+            published_at: Instant::now(),
+        };
+        let mut st = self.shared.state.lock();
+        assert!(
+            !st.latest.as_ref().is_some_and(Snapshot::is_final),
+            "buffer `{}`: cannot publish after the final version",
+            self.shared.name
+        );
+        if let Some(hist) = st.history.as_mut() {
+            hist.push(snap.clone());
+        }
+        st.latest = Some(snap);
+        drop(st);
+        self.shared.cond.notify_all();
+        let v = self.next;
+        self.next = self.next.next();
+        v
+    }
+
+    /// `true` once the final version has been published.
+    pub fn is_final(&self) -> bool {
+        self.shared
+            .state
+            .lock()
+            .latest
+            .as_ref()
+            .is_some_and(Snapshot::is_final)
+    }
+}
+
+impl<T> Drop for BufferWriter<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock();
+        st.closed = true;
+        drop(st);
+        self.shared.cond.notify_all();
+    }
+}
+
+impl<T> fmt::Debug for BufferWriter<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BufferWriter")
+            .field("name", &self.shared.name)
+            .field("next", &self.next)
+            .finish()
+    }
+}
+
+/// A consumer handle of a versioned buffer.
+///
+/// Cloneable: any number of dependent stages and monitors may observe the
+/// same buffer. Readers never block writers beyond the brief snapshot swap.
+pub struct BufferReader<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for BufferReader<T> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> BufferReader<T> {
+    /// The buffer's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.shared.name
+    }
+
+    /// The most recently published snapshot, if any.
+    pub fn latest(&self) -> Option<Snapshot<T>> {
+        self.shared.state.lock().latest.clone()
+    }
+
+    /// `true` once the producer has exited (with or without a final output).
+    pub fn is_closed(&self) -> bool {
+        self.shared.state.lock().closed
+    }
+
+    /// `true` once the final (precise) version has been published.
+    pub fn is_final(&self) -> bool {
+        self.shared
+            .state
+            .lock()
+            .latest
+            .as_ref()
+            .is_some_and(Snapshot::is_final)
+    }
+
+    /// All published snapshots, oldest first, when the buffer was created
+    /// with [`BufferOptions::keep_history`]; `None` otherwise.
+    pub fn history(&self) -> Option<Vec<Snapshot<T>>> {
+        self.shared.state.lock().history.clone()
+    }
+
+    /// Waits for a version newer than `than` (or any version if `None`),
+    /// aborting promptly if `ctl` stops the automaton.
+    ///
+    /// # Errors
+    ///
+    /// - [`CoreError::Stopped`] if the automaton is stopped while waiting.
+    /// - [`CoreError::SourceClosed`] if the producer exits without
+    ///   publishing anything newer.
+    pub fn wait_newer(&self, than: Option<Version>, ctl: &ControlToken) -> Result<Snapshot<T>> {
+        let mut st = self.shared.state.lock();
+        loop {
+            if ctl.is_stopped() {
+                return Err(CoreError::Stopped);
+            }
+            if let Some(snap) = st.latest.as_ref() {
+                if than.is_none_or(|v| snap.version() > v) {
+                    return Ok(snap.clone());
+                }
+            }
+            if st.closed {
+                return Err(CoreError::SourceClosed {
+                    buffer: self.shared.name.clone(),
+                });
+            }
+            self.shared.cond.wait_for(&mut st, WAIT_QUANTUM);
+        }
+    }
+
+    /// Waits up to `timeout` for a version newer than `than`.
+    ///
+    /// # Errors
+    ///
+    /// - [`CoreError::Timeout`] if nothing newer appears in time.
+    /// - [`CoreError::SourceClosed`] if the producer exits first.
+    pub fn wait_newer_timeout(
+        &self,
+        than: Option<Version>,
+        timeout: Duration,
+    ) -> Result<Snapshot<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.state.lock();
+        loop {
+            if let Some(snap) = st.latest.as_ref() {
+                if than.is_none_or(|v| snap.version() > v) {
+                    return Ok(snap.clone());
+                }
+            }
+            if st.closed {
+                return Err(CoreError::SourceClosed {
+                    buffer: self.shared.name.clone(),
+                });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CoreError::Timeout);
+            }
+            self.shared
+                .cond
+                .wait_for(&mut st, (deadline - now).min(WAIT_QUANTUM * 16));
+        }
+    }
+
+    /// Waits up to `timeout` for the final (precise) version.
+    ///
+    /// # Errors
+    ///
+    /// - [`CoreError::Timeout`] if the final version does not appear in time.
+    /// - [`CoreError::SourceClosed`] if the producer exits without one.
+    pub fn wait_final_timeout(&self, timeout: Duration) -> Result<Snapshot<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.state.lock();
+        loop {
+            if let Some(snap) = st.latest.as_ref() {
+                if snap.is_final() {
+                    return Ok(snap.clone());
+                }
+            }
+            if st.closed {
+                return Err(CoreError::SourceClosed {
+                    buffer: self.shared.name.clone(),
+                });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CoreError::Timeout);
+            }
+            self.shared
+                .cond
+                .wait_for(&mut st, (deadline - now).min(WAIT_QUANTUM * 16));
+        }
+    }
+}
+
+impl<T> fmt::Debug for BufferReader<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.shared.state.lock();
+        f.debug_struct("BufferReader")
+            .field("name", &self.shared.name)
+            .field("latest", &st.latest.as_ref().map(|s| s.meta()))
+            .field("closed", &st.closed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn publish_and_read_latest() {
+        let (mut w, r) = versioned::<i32>("t");
+        assert!(r.latest().is_none());
+        let v1 = w.publish(10, 1);
+        assert_eq!(v1, Version::FIRST);
+        assert_eq!(*r.latest().unwrap().value(), 10);
+        w.publish(20, 2);
+        let snap = r.latest().unwrap();
+        assert_eq!(*snap.value(), 20);
+        assert_eq!(snap.version().get(), 2);
+        assert!(!snap.is_final());
+    }
+
+    #[test]
+    fn final_version_is_sticky() {
+        let (mut w, r) = versioned::<i32>("t");
+        w.publish_final(7, 3);
+        assert!(w.is_final());
+        assert!(r.is_final());
+        assert_eq!(r.latest().unwrap().steps(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot publish after the final version")]
+    fn publish_after_final_panics() {
+        let (mut w, _r) = versioned::<i32>("t");
+        w.publish_final(1, 1);
+        w.publish(2, 2);
+    }
+
+    #[test]
+    fn history_records_all_versions() {
+        let (mut w, r) = versioned_with::<i32>("t", BufferOptions { keep_history: true });
+        w.publish(1, 1);
+        w.publish(2, 2);
+        w.publish_final(3, 3);
+        let hist = r.history().unwrap();
+        assert_eq!(hist.len(), 3);
+        assert_eq!(*hist[0].value(), 1);
+        assert!(hist[2].is_final());
+    }
+
+    #[test]
+    fn no_history_by_default() {
+        let (mut w, r) = versioned::<i32>("t");
+        w.publish(1, 1);
+        assert!(r.history().is_none());
+    }
+
+    #[test]
+    fn wait_newer_sees_concurrent_publish() {
+        let (mut w, r) = versioned::<i32>("t");
+        let ctl = ControlToken::new();
+        let h = thread::spawn(move || r.wait_newer(None, &ctl).map(|s| *s.value()));
+        thread::sleep(Duration::from_millis(10));
+        w.publish(99, 1);
+        assert_eq!(h.join().unwrap().unwrap(), 99);
+    }
+
+    #[test]
+    fn wait_newer_skips_stale_versions() {
+        let (mut w, r) = versioned::<i32>("t");
+        let ctl = ControlToken::new();
+        let v1 = w.publish(1, 1);
+        let h = {
+            let r = r.clone();
+            let ctl = ctl.clone();
+            thread::spawn(move || r.wait_newer(Some(v1), &ctl).map(|s| *s.value()))
+        };
+        thread::sleep(Duration::from_millis(10));
+        w.publish(2, 2);
+        assert_eq!(h.join().unwrap().unwrap(), 2);
+    }
+
+    #[test]
+    fn wait_newer_aborts_on_stop() {
+        let (_w, r) = versioned::<i32>("t");
+        let ctl = ControlToken::new();
+        let ctl2 = ctl.clone();
+        let h = thread::spawn(move || r.wait_newer(None, &ctl2));
+        thread::sleep(Duration::from_millis(10));
+        ctl.stop();
+        assert!(matches!(h.join().unwrap(), Err(CoreError::Stopped)));
+    }
+
+    #[test]
+    fn dropped_writer_closes_buffer() {
+        let (w, r) = versioned::<i32>("orphan");
+        drop(w);
+        assert!(r.is_closed());
+        let ctl = ControlToken::new();
+        assert!(matches!(
+            r.wait_newer(None, &ctl),
+            Err(CoreError::SourceClosed { .. })
+        ));
+    }
+
+    #[test]
+    fn closed_buffer_still_serves_latest() {
+        let (mut w, r) = versioned::<i32>("t");
+        w.publish(5, 1);
+        drop(w);
+        // Last published version survives the producer.
+        assert_eq!(*r.latest().unwrap().value(), 5);
+        // But waiting for something newer errors out.
+        let ctl = ControlToken::new();
+        assert!(matches!(
+            r.wait_newer(Some(Version::FIRST), &ctl),
+            Err(CoreError::SourceClosed { .. })
+        ));
+        // A stale bound is satisfied by the surviving version.
+        assert!(r.wait_newer(None, &ctl).is_ok());
+    }
+
+    #[test]
+    fn wait_newer_timeout_times_out() {
+        let (_w, r) = versioned::<i32>("t");
+        let err = r.wait_newer_timeout(None, Duration::from_millis(10));
+        assert!(matches!(err, Err(CoreError::Timeout)));
+    }
+
+    #[test]
+    fn wait_final_timeout_success() {
+        let (mut w, r) = versioned::<i32>("t");
+        w.publish(1, 1);
+        let h = thread::spawn(move || r.wait_final_timeout(Duration::from_secs(5)));
+        thread::sleep(Duration::from_millis(10));
+        w.publish_final(2, 2);
+        assert_eq!(*h.join().unwrap().unwrap().value(), 2);
+    }
+
+    #[test]
+    fn atomic_publication_no_torn_reads() {
+        // Publish vectors whose elements must agree; readers must never see
+        // a mixed version (Property 3).
+        let (mut w, r) = versioned::<Vec<u64>>("t");
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let r = r.clone();
+            let stop = Arc::clone(&stop);
+            readers.push(thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    if let Some(snap) = r.latest() {
+                        let v = snap.value();
+                        assert!(v.iter().all(|&x| x == v[0]), "torn read: {v:?}");
+                    }
+                }
+            }));
+        }
+        for i in 0..1000u64 {
+            w.publish(vec![i; 64], i);
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for h in readers {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn versions_strictly_increase() {
+        let (mut w, r) = versioned::<i32>("t");
+        let mut last = None;
+        for i in 0..10 {
+            let v = w.publish(i, i as u64);
+            if let Some(prev) = last {
+                assert!(v > prev);
+            }
+            last = Some(v);
+        }
+        assert_eq!(r.latest().unwrap().version().get(), 10);
+    }
+}

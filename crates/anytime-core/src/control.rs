@@ -1,0 +1,257 @@
+use crate::error::{CoreError, Result};
+use parking_lot::{Condvar, Mutex};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Execution state shared by every stage of an automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunState {
+    Running,
+    Paused,
+    Stopped,
+}
+
+struct Shared {
+    state: Mutex<RunState>,
+    /// Mirror of `state` for the lock-free checkpoint fast path
+    /// (0 = running, 1 = paused, 2 = stopped).
+    state_hint: std::sync::atomic::AtomicU8,
+    cond: Condvar,
+}
+
+impl Shared {
+    fn set_state(&self, st: &mut RunState, new: RunState) {
+        *st = new;
+        let hint = match new {
+            RunState::Running => 0,
+            RunState::Paused => 1,
+            RunState::Stopped => 2,
+        };
+        self.state_hint
+            .store(hint, std::sync::atomic::Ordering::Release);
+    }
+}
+
+/// The interruptibility switch of an automaton.
+///
+/// Anytime algorithms are *interruptible*: they can be stopped (or paused) at
+/// any moment while still delivering a valid output (paper §II-B, §III). The
+/// control token implements this: stage drivers call
+/// [`ControlToken::checkpoint`] between intermediate computations, pausing or
+/// exiting as requested. Because every published output version is a valid
+/// approximation, stopping never corrupts the output — the latest snapshot in
+/// each buffer remains readable.
+///
+/// Tokens are cheap to clone and shared across all stage threads.
+#[derive(Clone)]
+pub struct ControlToken {
+    shared: Arc<Shared>,
+}
+
+impl ControlToken {
+    /// Creates a token in the running state.
+    pub fn new() -> Self {
+        Self {
+            shared: Arc::new(Shared {
+                state: Mutex::new(RunState::Running),
+                state_hint: std::sync::atomic::AtomicU8::new(0),
+                cond: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Requests that the automaton stop at the next step boundary.
+    ///
+    /// Stopping is permanent; a stopped automaton cannot be resumed. The
+    /// latest published output of every stage remains available.
+    pub fn stop(&self) {
+        let mut st = self.shared.state.lock();
+        self.shared.set_state(&mut st, RunState::Stopped);
+        self.shared.cond.notify_all();
+    }
+
+    /// Requests that the automaton pause at the next step boundary.
+    ///
+    /// A pause is a no-op if the automaton is already stopped.
+    pub fn pause(&self) {
+        let mut st = self.shared.state.lock();
+        if *st == RunState::Running {
+            self.shared.set_state(&mut st, RunState::Paused);
+            self.shared.cond.notify_all();
+        }
+    }
+
+    /// Resumes a paused automaton.
+    pub fn resume(&self) {
+        let mut st = self.shared.state.lock();
+        if *st == RunState::Paused {
+            self.shared.set_state(&mut st, RunState::Running);
+            self.shared.cond.notify_all();
+        }
+    }
+
+    /// `true` once [`ControlToken::stop`] has been called.
+    pub fn is_stopped(&self) -> bool {
+        self.shared
+            .state_hint
+            .load(std::sync::atomic::Ordering::Acquire)
+            == 2
+    }
+
+    /// `true` while the automaton is paused.
+    pub fn is_paused(&self) -> bool {
+        *self.shared.state.lock() == RunState::Paused
+    }
+
+    /// Called by stage drivers between intermediate computations.
+    ///
+    /// Blocks while paused and returns once running again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Stopped`] if the automaton has been stopped.
+    pub fn checkpoint(&self) -> Result<()> {
+        // Fast path: stage drivers call this between every intermediate
+        // computation, so the running case must not touch the mutex.
+        if self
+            .shared
+            .state_hint
+            .load(std::sync::atomic::Ordering::Acquire)
+            == 0
+        {
+            return Ok(());
+        }
+        let mut st = self.shared.state.lock();
+        loop {
+            match *st {
+                RunState::Running => return Ok(()),
+                RunState::Stopped => return Err(CoreError::Stopped),
+                RunState::Paused => {
+                    self.shared.cond.wait(&mut st);
+                }
+            }
+        }
+    }
+
+    /// Sleeps for up to `dur`, waking early if the state changes.
+    ///
+    /// Used by polling waits so that a stop request interrupts them
+    /// promptly. Returns the same conditions as [`ControlToken::checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Stopped`] if the automaton has been stopped.
+    pub fn interruptible_sleep(&self, dur: Duration) -> Result<()> {
+        let mut st = self.shared.state.lock();
+        match *st {
+            RunState::Stopped => return Err(CoreError::Stopped),
+            RunState::Running => {
+                self.shared.cond.wait_for(&mut st, dur);
+            }
+            RunState::Paused => {}
+        }
+        drop(st);
+        self.checkpoint()
+    }
+}
+
+impl Default for ControlToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for ControlToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ControlToken")
+            .field("state", &*self.shared.state.lock())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Instant;
+
+    #[test]
+    fn running_checkpoint_is_ok() {
+        let t = ControlToken::new();
+        assert!(t.checkpoint().is_ok());
+        assert!(!t.is_stopped());
+        assert!(!t.is_paused());
+    }
+
+    #[test]
+    fn stop_makes_checkpoint_fail() {
+        let t = ControlToken::new();
+        t.stop();
+        assert!(matches!(t.checkpoint(), Err(CoreError::Stopped)));
+        assert!(t.is_stopped());
+    }
+
+    #[test]
+    fn pause_blocks_until_resume() {
+        let t = ControlToken::new();
+        t.pause();
+        assert!(t.is_paused());
+        let t2 = t.clone();
+        let start = Instant::now();
+        let h = thread::spawn(move || t2.checkpoint());
+        thread::sleep(Duration::from_millis(50));
+        t.resume();
+        assert!(h.join().unwrap().is_ok());
+        assert!(start.elapsed() >= Duration::from_millis(45));
+    }
+
+    #[test]
+    fn pause_then_stop_unblocks_with_error() {
+        let t = ControlToken::new();
+        t.pause();
+        let t2 = t.clone();
+        let h = thread::spawn(move || t2.checkpoint());
+        thread::sleep(Duration::from_millis(20));
+        t.stop();
+        assert!(matches!(h.join().unwrap(), Err(CoreError::Stopped)));
+    }
+
+    #[test]
+    fn resume_without_pause_is_noop() {
+        let t = ControlToken::new();
+        t.resume();
+        assert!(t.checkpoint().is_ok());
+    }
+
+    #[test]
+    fn pause_after_stop_is_noop() {
+        let t = ControlToken::new();
+        t.stop();
+        t.pause();
+        assert!(t.is_stopped());
+        assert!(!t.is_paused());
+    }
+
+    #[test]
+    fn interruptible_sleep_wakes_on_stop() {
+        let t = ControlToken::new();
+        let t2 = t.clone();
+        let h = thread::spawn(move || {
+            let start = Instant::now();
+            let r = t2.interruptible_sleep(Duration::from_secs(10));
+            (r, start.elapsed())
+        });
+        thread::sleep(Duration::from_millis(30));
+        t.stop();
+        let (r, elapsed) = h.join().unwrap();
+        assert!(matches!(r, Err(CoreError::Stopped)));
+        assert!(elapsed < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn interruptible_sleep_times_out_quietly() {
+        let t = ControlToken::new();
+        assert!(t.interruptible_sleep(Duration::from_millis(5)).is_ok());
+    }
+}

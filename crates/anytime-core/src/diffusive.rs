@@ -1,0 +1,192 @@
+use crate::stage::{AnytimeBody, StepOutcome};
+
+/// Boxed seed constructor.
+type InitFn<I, O> = Box<dyn FnMut(&I) -> O + Send>;
+/// Boxed diffusive update.
+type UpdateFn<I, O> = Box<dyn FnMut(&I, &mut O, u64) -> StepOutcome + Send>;
+/// Boxed step-count hint.
+type TotalFn<I> = Box<dyn Fn(&I) -> u64 + Send>;
+/// Boxed publication renderer.
+type RenderFn<I, O> = Box<dyn Fn(&O, &I, u64) -> O + Send>;
+
+
+/// A diffusive anytime stage body: each step *builds upon* the current
+/// output instead of overwriting it (paper §III-B2).
+///
+/// Diffusive stages avoid the redundant work of [`crate::Iterative`]
+/// re-execution: every intermediate computation `f_i(I, O_{i-1}) → O_i`
+/// contributes usefully to the final precise result. Accuracy is "diffused"
+/// into the output buffer. The constructor takes:
+///
+/// - `init`: produces the diffusion seed `O_0` (e.g. a zeroed image, an
+///   empty histogram);
+/// - `update`: performs update `i`, mutating the working output, and reports
+///   [`StepOutcome::Done`] when the output has become precise.
+///
+/// For the two common diffusive patterns the paper identifies — input
+/// sampling on reductions and output sampling on maps — use the dedicated
+/// [`crate::SampledReduce`] and [`crate::SampledMap`] bodies, which handle
+/// permutations and normalization.
+///
+/// # Examples
+///
+/// A running sum diffusing one element per step:
+///
+/// ```
+/// use anytime_core::{Diffusive, AnytimeBody, StepOutcome};
+///
+/// let mut body = Diffusive::new(
+///     |_input: &Vec<u64>| 0u64,
+///     |input: &Vec<u64>, out: &mut u64, step| {
+///         *out += input[step as usize];
+///         if step as usize + 1 == input.len() {
+///             StepOutcome::Done
+///         } else {
+///             StepOutcome::Continue
+///         }
+///     },
+/// );
+/// let input = vec![5, 6, 7];
+/// let mut out = body.init(&input);
+/// assert_eq!(body.step(&input, &mut out, 0), StepOutcome::Continue);
+/// ```
+pub struct Diffusive<I, O> {
+    init: InitFn<I, O>,
+    update: UpdateFn<I, O>,
+    total: Option<TotalFn<I>>,
+    render: Option<RenderFn<I, O>>,
+}
+
+impl<I, O> Diffusive<I, O> {
+    /// Creates a diffusive body from a seed constructor and an update
+    /// function.
+    pub fn new(
+        init: impl FnMut(&I) -> O + Send + 'static,
+        update: impl FnMut(&I, &mut O, u64) -> StepOutcome + Send + 'static,
+    ) -> Self {
+        Self {
+            init: Box::new(init),
+            update: Box::new(update),
+            total: None,
+            render: None,
+        }
+    }
+
+    /// Declares the total number of update steps for progress reporting.
+    pub fn with_total_steps(mut self, total: impl Fn(&I) -> u64 + Send + 'static) -> Self {
+        self.total = Some(Box::new(total));
+        self
+    }
+
+    /// Sets a render function deriving the published value from the working
+    /// output (e.g. normalization) without disturbing the working state.
+    pub fn with_render(mut self, render: impl Fn(&O, &I, u64) -> O + Send + 'static) -> Self {
+        self.render = Some(Box::new(render));
+        self
+    }
+}
+
+impl<I, O> AnytimeBody for Diffusive<I, O>
+where
+    I: Send + Sync + 'static,
+    O: Clone + Send + Sync + 'static,
+{
+    type Input = I;
+    type Output = O;
+
+    fn init(&mut self, input: &I) -> O {
+        (self.init)(input)
+    }
+
+    fn step(&mut self, input: &I, out: &mut O, step: u64) -> StepOutcome {
+        (self.update)(input, out, step)
+    }
+
+    fn total_steps(&self, input: &I) -> Option<u64> {
+        self.total.as_ref().map(|f| f(input))
+    }
+
+    fn render(&self, out: &O, input: &I, steps_done: u64) -> O {
+        match &self.render {
+            Some(f) => f(out, input, steps_done),
+            None => out.clone(),
+        }
+    }
+}
+
+impl<I, O> std::fmt::Debug for Diffusive<I, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Diffusive")
+            .field("has_total", &self.total.is_some())
+            .field("has_render", &self.render.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summing_body() -> Diffusive<Vec<u64>, u64> {
+        Diffusive::new(
+            |_: &Vec<u64>| 0u64,
+            |input: &Vec<u64>, out: &mut u64, step| {
+                *out += input[step as usize];
+                if step as usize + 1 == input.len() {
+                    StepOutcome::Done
+                } else {
+                    StepOutcome::Continue
+                }
+            },
+        )
+    }
+
+    #[test]
+    fn updates_accumulate() {
+        let mut body = summing_body();
+        let input = vec![1, 2, 3, 4];
+        let mut out = body.init(&input);
+        for step in 0..4 {
+            let outcome = body.step(&input, &mut out, step);
+            assert_eq!(
+                outcome,
+                if step == 3 {
+                    StepOutcome::Done
+                } else {
+                    StepOutcome::Continue
+                }
+            );
+        }
+        assert_eq!(out, 10);
+    }
+
+    #[test]
+    fn render_does_not_disturb_working_state() {
+        let mut body = summing_body()
+            .with_render(|acc, input, done| acc * input.len() as u64 / done.max(1));
+        let input = vec![10, 10, 10, 10];
+        let mut out = body.init(&input);
+        body.step(&input, &mut out, 0);
+        body.step(&input, &mut out, 1);
+        // Working accumulator is 20; the rendered (weighted) value
+        // extrapolates to the full population.
+        assert_eq!(body.render(&out, &input, 2), 40);
+        assert_eq!(out, 20);
+    }
+
+    #[test]
+    fn default_render_clones() {
+        let mut body = summing_body();
+        let input = vec![7];
+        let mut out = body.init(&input);
+        body.step(&input, &mut out, 0);
+        assert_eq!(body.render(&out, &input, 1), 7);
+    }
+
+    #[test]
+    fn total_steps_hint() {
+        let body = summing_body().with_total_steps(|i: &Vec<u64>| i.len() as u64);
+        assert_eq!(body.total_steps(&vec![1, 2, 3]), Some(3));
+        assert_eq!(summing_body().total_steps(&vec![1]), None);
+    }
+}

@@ -1,0 +1,82 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the anytime automaton runtime.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The automaton was stopped before the operation could complete.
+    Stopped,
+    /// An upstream buffer was closed (its producer exited or panicked)
+    /// without publishing a final output.
+    SourceClosed {
+        /// Name of the buffer whose producer disappeared.
+        buffer: String,
+    },
+    /// A wait timed out.
+    Timeout,
+    /// A stage body panicked.
+    StagePanicked {
+        /// Name of the failing stage.
+        stage: String,
+        /// Best-effort panic payload rendering.
+        message: String,
+    },
+    /// A pipeline was configured inconsistently.
+    InvalidConfig(String),
+    /// A synchronous-pipeline update channel was disconnected.
+    ChannelClosed,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Stopped => write!(f, "automaton was stopped"),
+            Self::SourceClosed { buffer } => {
+                write!(f, "producer of buffer `{buffer}` exited without a final output")
+            }
+            Self::Timeout => write!(f, "wait timed out"),
+            Self::StagePanicked { stage, message } => {
+                write!(f, "stage `{stage}` panicked: {message}")
+            }
+            Self::InvalidConfig(msg) => write!(f, "invalid pipeline configuration: {msg}"),
+            Self::ChannelClosed => write!(f, "synchronous update channel disconnected"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+/// Result alias for automaton operations.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let variants: Vec<CoreError> = vec![
+            CoreError::Stopped,
+            CoreError::SourceClosed {
+                buffer: "F".into(),
+            },
+            CoreError::Timeout,
+            CoreError::StagePanicked {
+                stage: "g".into(),
+                message: "boom".into(),
+            },
+            CoreError::InvalidConfig("empty pipeline".into()),
+            CoreError::ChannelClosed,
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

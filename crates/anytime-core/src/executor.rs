@@ -1,0 +1,415 @@
+use crate::control::ControlToken;
+use crate::error::{CoreError, Result};
+use crate::stage::{StageEnd, StageRunner};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A running anytime automaton: one driver thread per stage, all sharing a
+/// [`ControlToken`].
+///
+/// The automaton embodies the model's two key guarantees:
+///
+/// - **Early availability**: every stage's output buffer holds a complete
+///   approximate output shortly after launch, improving with time.
+/// - **Interruptibility**: [`Automaton::stop`] halts all stages at the next
+///   step boundary, leaving the latest published outputs readable. If never
+///   stopped, every stage eventually publishes its precise output and the
+///   automaton finishes on its own.
+///
+/// "Hold-the-power-button computing" (paper §I): run the automaton while the
+/// user holds the button, stop when they release it.
+pub struct Automaton {
+    ctl: ControlToken,
+    threads: Vec<(String, JoinHandle<Result<StageEnd>>)>,
+    started: Instant,
+}
+
+impl Automaton {
+    pub(crate) fn spawn(
+        runners: Vec<Box<dyn StageRunner>>,
+        ctl: ControlToken,
+    ) -> Result<Automaton> {
+        let started = Instant::now();
+        let mut threads = Vec::with_capacity(runners.len());
+        for mut runner in runners {
+            let name = runner.name().to_string();
+            let thread_ctl = ctl.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("anytime-{name}"))
+                .spawn(move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| runner.drive(&thread_ctl)));
+                    // Dropping the runner here closes its output buffer, so
+                    // dependent stages observe SourceClosed instead of
+                    // blocking forever.
+                    let stage = runner.name().to_string();
+                    drop(runner);
+                    match result {
+                        Ok(end) => end,
+                        Err(payload) => Err(CoreError::StagePanicked {
+                            stage,
+                            message: panic_message(payload.as_ref()),
+                        }),
+                    }
+                })
+                .map_err(|e| CoreError::InvalidConfig(format!("failed to spawn thread: {e}")))?;
+            threads.push((name, handle));
+        }
+        Ok(Automaton {
+            ctl,
+            threads,
+            started,
+        })
+    }
+
+    /// A clone of the shared control token.
+    pub fn control(&self) -> ControlToken {
+        self.ctl.clone()
+    }
+
+    /// Requests all stages stop at their next step boundary.
+    pub fn stop(&self) {
+        self.ctl.stop();
+    }
+
+    /// Pauses all stages at their next step boundary.
+    pub fn pause(&self) {
+        self.ctl.pause();
+    }
+
+    /// Resumes a paused automaton.
+    pub fn resume(&self) {
+        self.ctl.resume();
+    }
+
+    /// `true` once every stage thread has exited (all stages final,
+    /// stopped, or failed).
+    pub fn is_done(&self) -> bool {
+        self.threads.iter().all(|(_, h)| h.is_finished())
+    }
+
+    /// Time since launch.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Waits for all stages to finish and reports how each ended.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first stage error encountered (panic, closed upstream).
+    /// A [`StageEnd::Stopped`] outcome is not an error.
+    pub fn join(self) -> Result<RunReport> {
+        let started = self.started;
+        let mut stages = Vec::with_capacity(self.threads.len());
+        let mut first_err = None;
+        for (name, handle) in self.threads {
+            match handle.join() {
+                Ok(Ok(end)) => stages.push(StageReport { name, end }),
+                Ok(Err(e)) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+                Err(payload) => {
+                    if first_err.is_none() {
+                        first_err = Some(CoreError::StagePanicked {
+                            stage: name,
+                            message: panic_message(payload.as_ref()),
+                        });
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(RunReport {
+                elapsed: started.elapsed(),
+                stages,
+            }),
+        }
+    }
+
+    /// Runs until all stages finish or `budget` elapses, then stops and
+    /// joins — the contract-style usage where a hard time budget governs
+    /// output quality.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage failures, as [`Automaton::join`].
+    pub fn run_for(self, budget: Duration) -> Result<RunReport> {
+        let deadline = Instant::now() + budget;
+        while Instant::now() < deadline && !self.is_done() {
+            std::thread::sleep(Duration::from_micros(200).min(
+                deadline.saturating_duration_since(Instant::now()),
+            ));
+        }
+        self.stop();
+        self.join()
+    }
+
+    /// Runs until all stages finish or an **energy** budget is exhausted,
+    /// then stops and joins — hold-the-power-button computing with the
+    /// budget in joules instead of seconds.
+    ///
+    /// `power_w` is the machine's draw while the automaton runs (e.g. from
+    /// an `anytime_sim::EnergyModel`); the budget converts to a wall-clock
+    /// deadline of `budget_j / power_w` seconds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage failures, as [`Automaton::join`]. Returns
+    /// [`CoreError::InvalidConfig`] if `power_w` is not positive and
+    /// finite.
+    pub fn run_for_energy(self, budget_j: f64, power_w: f64) -> Result<RunReport> {
+        let power_ok = power_w.is_finite() && power_w > 0.0;
+        let budget_ok = budget_j.is_finite() && budget_j >= 0.0;
+        if !power_ok || !budget_ok {
+            return Err(CoreError::InvalidConfig(
+                "energy budget and power must be positive and finite".into(),
+            ));
+        }
+        self.run_for(Duration::from_secs_f64(budget_j / power_w))
+    }
+
+    /// Stops immediately and joins.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage failures, as [`Automaton::join`].
+    pub fn stop_and_join(self) -> Result<RunReport> {
+        self.stop();
+        self.join()
+    }
+}
+
+impl fmt::Debug for Automaton {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Automaton")
+            .field("stages", &self.threads.len())
+            .field("elapsed", &self.elapsed())
+            .field("done", &self.is_done())
+            .finish()
+    }
+}
+
+/// How every stage of a finished automaton ended.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Wall-clock time from launch to the last stage exit.
+    pub elapsed: Duration,
+    /// Per-stage outcomes, in stage-construction order.
+    pub stages: Vec<StageReport>,
+}
+
+impl RunReport {
+    /// `true` if every stage delivered its precise output.
+    pub fn all_final(&self) -> bool {
+        self.stages.iter().all(|s| s.end == StageEnd::Final)
+    }
+}
+
+/// One stage's outcome in a [`RunReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageReport {
+    /// The stage name.
+    pub name: String,
+    /// How the stage's driver ended.
+    pub end: StageEnd,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diffusive::Diffusive;
+    use crate::pipeline::PipelineBuilder;
+    use crate::precise::Precise;
+    use crate::stage::{StageOptions, StepOutcome};
+
+    fn slow_counter(n: u64, delay: Duration) -> Diffusive<(), u64> {
+        Diffusive::new(
+            move |_: &()| 0u64,
+            move |_: &(), out: &mut u64, step| {
+                std::thread::sleep(delay);
+                *out += 1;
+                if step + 1 == n {
+                    StepOutcome::Done
+                } else {
+                    StepOutcome::Continue
+                }
+            },
+        )
+    }
+
+    #[test]
+    fn join_reports_all_final() {
+        let mut pb = PipelineBuilder::new();
+        let f = pb.source(
+            "f",
+            (),
+            slow_counter(5, Duration::ZERO),
+            StageOptions::default(),
+        );
+        let _g = pb.stage("g", &f, Precise::new(|i: &u64| *i), StageOptions::default());
+        let report = pb.build().launch().unwrap().join().unwrap();
+        assert!(report.all_final());
+        assert_eq!(report.stages.len(), 2);
+        assert_eq!(report.stages[0].name, "f");
+    }
+
+    #[test]
+    fn run_for_interrupts_long_computation() {
+        let mut pb = PipelineBuilder::new();
+        let f = pb.source(
+            "f",
+            (),
+            slow_counter(100_000, Duration::from_millis(1)),
+            StageOptions::default(),
+        );
+        let auto = pb.build().launch().unwrap();
+        let report = auto.run_for(Duration::from_millis(50)).unwrap();
+        assert!(!report.all_final());
+        // The interrupted stage still produced a valid approximate output.
+        let snap = f.latest().expect("approximate output available");
+        assert!(*snap.value() > 0);
+        assert!(!snap.is_final());
+    }
+
+    #[test]
+    fn run_for_returns_early_when_done() {
+        let mut pb = PipelineBuilder::new();
+        let _f = pb.source(
+            "f",
+            (),
+            slow_counter(3, Duration::ZERO),
+            StageOptions::default(),
+        );
+        let auto = pb.build().launch().unwrap();
+        let started = Instant::now();
+        let report = auto.run_for(Duration::from_secs(30)).unwrap();
+        assert!(report.all_final());
+        assert!(started.elapsed() < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn panicking_stage_is_reported_and_does_not_hang_children() {
+        let mut pb = PipelineBuilder::new();
+        let f = pb.source(
+            "bad",
+            (),
+            Precise::new(|_: &()| -> u64 { panic!("stage exploded") }),
+            StageOptions::default(),
+        );
+        let _g = pb.stage("g", &f, Precise::new(|i: &u64| *i), StageOptions::default());
+        let err = pb.build().launch().unwrap().join().unwrap_err();
+        match err {
+            CoreError::StagePanicked { stage, message } => {
+                assert_eq!(stage, "bad");
+                assert!(message.contains("exploded"));
+            }
+            CoreError::SourceClosed { .. } => {
+                // Acceptable: the child error may be collected first.
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn pause_and_resume_round_trip() {
+        let mut pb = PipelineBuilder::new();
+        let f = pb.source(
+            "f",
+            (),
+            slow_counter(10_000, Duration::from_micros(100)),
+            StageOptions::default(),
+        );
+        let auto = pb.build().launch().unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        auto.pause();
+        std::thread::sleep(Duration::from_millis(10)); // let stages reach the checkpoint
+        let frozen = f.latest().map(|s| s.version());
+        std::thread::sleep(Duration::from_millis(30));
+        let still = f.latest().map(|s| s.version());
+        assert_eq!(frozen, still, "output advanced while paused");
+        auto.resume();
+        std::thread::sleep(Duration::from_millis(30));
+        let after = f.latest().map(|s| s.version());
+        assert!(after > still, "output did not advance after resume");
+        auto.stop_and_join().unwrap();
+    }
+
+    #[test]
+    fn energy_budget_bounds_runtime() {
+        let mut pb = PipelineBuilder::new();
+        let f = pb.source(
+            "f",
+            (),
+            slow_counter(1_000_000, Duration::from_micros(100)),
+            StageOptions::default(),
+        );
+        let auto = pb.build().launch().unwrap();
+        // 100 W machine, 3 J budget -> ~30 ms.
+        let started = Instant::now();
+        let report = auto.run_for_energy(3.0, 100.0).unwrap();
+        assert!(started.elapsed() < Duration::from_secs(5));
+        assert!(!report.all_final());
+        assert!(f.latest().is_some());
+    }
+
+    #[test]
+    fn bad_energy_budget_is_rejected() {
+        let mut pb = PipelineBuilder::new();
+        let _ = pb.source(
+            "f",
+            (),
+            slow_counter(1, Duration::ZERO),
+            StageOptions::default(),
+        );
+        let auto = pb.build().launch().unwrap();
+        assert!(matches!(
+            auto.run_for_energy(1.0, 0.0),
+            Err(CoreError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn stop_and_join_is_not_an_error() {
+        let mut pb = PipelineBuilder::new();
+        let _f = pb.source(
+            "f",
+            (),
+            slow_counter(1_000_000, Duration::from_micros(50)),
+            StageOptions::default(),
+        );
+        let auto = pb.build().launch().unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        let report = auto.stop_and_join().unwrap();
+        assert!(!report.all_final());
+        assert_eq!(report.stages[0].end, StageEnd::Stopped);
+    }
+
+    #[test]
+    fn debug_impl_nonempty() {
+        let mut pb = PipelineBuilder::new();
+        let _f = pb.source(
+            "f",
+            (),
+            slow_counter(1, Duration::ZERO),
+            StageOptions::default(),
+        );
+        let auto = pb.build().launch().unwrap();
+        assert!(!format!("{auto:?}").is_empty());
+        auto.join().unwrap();
+    }
+}

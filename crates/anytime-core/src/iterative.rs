@@ -1,0 +1,165 @@
+use crate::stage::{AnytimeBody, StepOutcome};
+
+/// Boxed placeholder constructor.
+type InitFn<I, O> = Box<dyn FnMut(&I) -> O + Send>;
+/// Boxed per-level computation.
+type LevelFn<I, O> = Box<dyn FnMut(&I, u64) -> O + Send>;
+
+
+/// An iterative anytime stage body: re-executes a computation at
+/// progressively increasing accuracy levels (paper §III-B1).
+///
+/// Level `k` (for `k` in `0..levels`) computes a complete output that
+/// *overwrites* the previous one; the last level must be the precise
+/// computation (the approximation technique disabled). This is the paper's
+/// general recipe — it works for any technique (loop perforation,
+/// approximate storage, multi-stage neural accelerators à la BRAINIAC) at
+/// the cost of redundant work across levels; prefer
+/// [`crate::Diffusive`]-style bodies when the technique supports it.
+///
+/// # Examples
+///
+/// A stage that averages a slice by examining progressively more elements
+/// per level (a crude stand-in for loop perforation):
+///
+/// ```
+/// use anytime_core::{Iterative, AnytimeBody, StepOutcome};
+///
+/// let mut body = Iterative::new(
+///     3,
+///     |_input: &Vec<f64>| 0.0,
+///     |input: &Vec<f64>, level| {
+///         let stride = 1 << (2 - level); // 4, 2, 1: level 2 is precise
+///         let taken: Vec<f64> = input.iter().step_by(stride as usize).copied().collect();
+///         taken.iter().sum::<f64>() / taken.len() as f64
+///     },
+/// );
+/// let input = vec![1.0, 2.0, 3.0, 4.0];
+/// let mut out = body.init(&input);
+/// assert_eq!(body.step(&input, &mut out, 0), StepOutcome::Continue);
+/// assert_eq!(body.step(&input, &mut out, 1), StepOutcome::Continue);
+/// assert_eq!(body.step(&input, &mut out, 2), StepOutcome::Done);
+/// assert_eq!(out, 2.5); // precise mean
+/// ```
+pub struct Iterative<I, O> {
+    levels: u64,
+    init: InitFn<I, O>,
+    level: LevelFn<I, O>,
+}
+
+impl<I, O> Iterative<I, O> {
+    /// Creates an iterative body with `levels` accuracy levels.
+    ///
+    /// `init` produces the (unpublished) placeholder output; `level`
+    /// computes the complete output at accuracy level `k ∈ [0, levels)`,
+    /// where level `levels - 1` must be precise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0`.
+    pub fn new(
+        levels: u64,
+        init: impl FnMut(&I) -> O + Send + 'static,
+        level: impl FnMut(&I, u64) -> O + Send + 'static,
+    ) -> Self {
+        assert!(levels > 0, "an iterative stage needs at least one level");
+        Self {
+            levels,
+            init: Box::new(init),
+            level: Box::new(level),
+        }
+    }
+
+    /// The number of accuracy levels.
+    pub fn levels(&self) -> u64 {
+        self.levels
+    }
+}
+
+impl<I, O> AnytimeBody for Iterative<I, O>
+where
+    I: Send + Sync + 'static,
+    O: Clone + Send + Sync + 'static,
+{
+    type Input = I;
+    type Output = O;
+
+    fn init(&mut self, input: &I) -> O {
+        (self.init)(input)
+    }
+
+    fn step(&mut self, input: &I, out: &mut O, step: u64) -> StepOutcome {
+        *out = (self.level)(input, step);
+        if step + 1 >= self.levels {
+            StepOutcome::Done
+        } else {
+            StepOutcome::Continue
+        }
+    }
+
+    fn total_steps(&self, _input: &I) -> Option<u64> {
+        Some(self.levels)
+    }
+}
+
+impl<I, O> std::fmt::Debug for Iterative<I, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Iterative")
+            .field("levels", &self.levels)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_execute_in_order() {
+        let mut body = Iterative::new(4, |_: &()| Vec::new(), |_: &(), k| vec![k]);
+        let mut out = body.init(&());
+        for k in 0..4 {
+            let outcome = body.step(&(), &mut out, k);
+            assert_eq!(out, vec![k]);
+            assert_eq!(
+                outcome,
+                if k == 3 {
+                    StepOutcome::Done
+                } else {
+                    StepOutcome::Continue
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn single_level_is_immediately_done() {
+        let mut body = Iterative::new(1, |_: &u32| 0u32, |i: &u32, _| *i);
+        let mut out = body.init(&9);
+        assert_eq!(body.step(&9, &mut out, 0), StepOutcome::Done);
+        assert_eq!(out, 9);
+    }
+
+    #[test]
+    fn total_steps_matches_levels() {
+        let body = Iterative::new(7, |_: &()| (), |_: &(), _| ());
+        assert_eq!(body.total_steps(&()), Some(7));
+        assert_eq!(body.levels(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn zero_levels_panics() {
+        let _ = Iterative::new(0, |_: &()| (), |_: &(), _| ());
+    }
+
+    #[test]
+    fn each_level_overwrites_not_accumulates() {
+        // Iterative semantics: level k's output ignores level k-1's.
+        let mut body = Iterative::new(3, |_: &()| 0u64, |_: &(), k| 10 + k);
+        let mut out = body.init(&());
+        body.step(&(), &mut out, 0);
+        body.step(&(), &mut out, 1);
+        assert_eq!(out, 11); // not 10 + 11
+    }
+}

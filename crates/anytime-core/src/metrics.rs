@@ -1,0 +1,279 @@
+//! Output-accuracy metrics and monotonicity checking.
+//!
+//! The paper measures accuracy as the signal-to-noise ratio (SNR) of an
+//! approximate output relative to the baseline precise output, in decibels,
+//! with ∞ dB meaning bit-identical (§IV-A2). This module provides the slice
+//! metrics plus an [`AccuracyTrace`] helper used throughout the test suite
+//! to verify the model's headline guarantee: *accuracy increases over time
+//! and eventually reaches the precise output*.
+
+use std::time::Duration;
+
+/// Mean squared error between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mse(approx: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(
+        approx.len(),
+        reference.len(),
+        "mse requires equal-length slices"
+    );
+    assert!(!reference.is_empty(), "mse of empty slices is undefined");
+    let sum: f64 = approx
+        .iter()
+        .zip(reference)
+        .map(|(a, r)| (a - r) * (a - r))
+        .sum();
+    sum / reference.len() as f64
+}
+
+/// Signal-to-noise ratio of `approx` relative to `reference`, in decibels.
+///
+/// `SNR = 10·log10(Σ r² / Σ (r − a)²)`. Returns [`f64::INFINITY`] when the
+/// outputs are identical (the paper's ∞ dB precise point).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn snr_db(approx: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(
+        approx.len(),
+        reference.len(),
+        "snr requires equal-length slices"
+    );
+    assert!(!reference.is_empty(), "snr of empty slices is undefined");
+    let signal: f64 = reference.iter().map(|r| r * r).sum();
+    let noise: f64 = approx
+        .iter()
+        .zip(reference)
+        .map(|(a, r)| (a - r) * (a - r))
+        .sum();
+    if noise == 0.0 {
+        f64::INFINITY
+    } else if signal == 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        10.0 * (signal / noise).log10()
+    }
+}
+
+/// Peak signal-to-noise ratio in decibels, for signals with a known peak
+/// value (e.g. 255 for 8-bit images).
+///
+/// Returns [`f64::INFINITY`] when the outputs are identical.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, are empty, or `peak <= 0`.
+pub fn psnr_db(approx: &[f64], reference: &[f64], peak: f64) -> f64 {
+    assert!(peak > 0.0, "peak must be positive");
+    let m = mse(approx, reference);
+    if m == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (peak * peak / m).log10()
+    }
+}
+
+/// A metric scoring an approximate value against a precise reference.
+///
+/// Higher scores mean better accuracy. Implemented for the slice metrics
+/// here; application crates implement it for their own output types
+/// (e.g. images).
+pub trait QualityMetric<T: ?Sized> {
+    /// Scores `approx` against `reference`; higher is more accurate.
+    fn score(&self, approx: &T, reference: &T) -> f64;
+}
+
+/// [`QualityMetric`] adapter for [`snr_db`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnrDb;
+
+impl QualityMetric<[f64]> for SnrDb {
+    fn score(&self, approx: &[f64], reference: &[f64]) -> f64 {
+        snr_db(approx, reference)
+    }
+}
+
+impl QualityMetric<Vec<f64>> for SnrDb {
+    fn score(&self, approx: &Vec<f64>, reference: &Vec<f64>) -> f64 {
+        snr_db(approx, reference)
+    }
+}
+
+/// [`QualityMetric`] adapter for negated [`mse`] (higher is better).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NegMse;
+
+impl QualityMetric<[f64]> for NegMse {
+    fn score(&self, approx: &[f64], reference: &[f64]) -> f64 {
+        -mse(approx, reference)
+    }
+}
+
+impl QualityMetric<Vec<f64>> for NegMse {
+    fn score(&self, approx: &Vec<f64>, reference: &Vec<f64>) -> f64 {
+        -mse(approx, reference)
+    }
+}
+
+/// A recorded runtime–accuracy profile: the data behind the paper's
+/// Figures 11–15.
+#[derive(Debug, Clone, Default)]
+pub struct AccuracyTrace {
+    points: Vec<(Duration, f64)>,
+}
+
+impl AccuracyTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the previous observation.
+    pub fn push(&mut self, at: Duration, score: f64) {
+        if let Some(&(prev, _)) = self.points.last() {
+            assert!(at >= prev, "observations must be in time order");
+        }
+        self.points.push((at, score));
+    }
+
+    /// The recorded `(time, score)` points, oldest first.
+    pub fn points(&self) -> &[(Duration, f64)] {
+        &self.points
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The last recorded score, if any.
+    pub fn final_score(&self) -> Option<f64> {
+        self.points.last().map(|&(_, s)| s)
+    }
+
+    /// Checks the anytime guarantee: scores never *decrease* by more than
+    /// `tolerance` between consecutive observations.
+    ///
+    /// A small tolerance absorbs metric noise (e.g. a weighted-sample
+    /// estimate that wobbles before converging); `0.0` demands strict
+    /// non-decrease.
+    pub fn is_monotone_nondecreasing(&self, tolerance: f64) -> bool {
+        self.points
+            .windows(2)
+            .all(|w| w[1].1 >= w[0].1 - tolerance)
+    }
+
+    /// The earliest time at which the score reached `threshold`, if ever.
+    pub fn time_to_score(&self, threshold: f64) -> Option<Duration> {
+        self.points
+            .iter()
+            .find(|&&(_, s)| s >= threshold)
+            .map(|&(t, _)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_basics() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(mse(&[0.0, 0.0], &[3.0, 4.0]), 12.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mse_length_mismatch_panics() {
+        mse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn mse_empty_panics() {
+        mse(&[], &[]);
+    }
+
+    #[test]
+    fn snr_identical_is_infinite() {
+        assert_eq!(snr_db(&[5.0, 5.0], &[5.0, 5.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn snr_known_value() {
+        // signal = 100, noise = 1 -> 20 dB.
+        let got = snr_db(&[9.0, 0.0], &[10.0, 0.0]);
+        assert!((got - 20.0).abs() < 1e-9, "got {got}");
+    }
+
+    #[test]
+    fn snr_zero_signal() {
+        assert_eq!(snr_db(&[1.0], &[0.0]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn snr_improves_as_output_converges() {
+        let reference = [4.0, 8.0, 15.0, 16.0, 23.0, 42.0];
+        let mut approx = [0.0; 6];
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..6 {
+            approx[i] = reference[i];
+            let s = snr_db(&approx, &reference);
+            assert!(s >= last);
+            last = s;
+        }
+        assert_eq!(last, f64::INFINITY);
+    }
+
+    #[test]
+    fn psnr_known_value() {
+        // MSE 1 with peak 255 -> 10*log10(65025) ≈ 48.13 dB.
+        let got = psnr_db(&[1.0, 2.0], &[2.0, 3.0], 255.0);
+        assert!((got - 48.1308).abs() < 1e-3, "got {got}");
+        assert_eq!(psnr_db(&[1.0], &[1.0], 255.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn quality_metric_trait_objects() {
+        let snr: &dyn QualityMetric<[f64]> = &SnrDb;
+        assert_eq!(snr.score(&[1.0], &[1.0]), f64::INFINITY);
+        let neg: &dyn QualityMetric<[f64]> = &NegMse;
+        assert_eq!(neg.score(&[0.0], &[2.0]), -4.0);
+    }
+
+    #[test]
+    fn trace_monotonicity() {
+        let mut t = AccuracyTrace::new();
+        assert!(t.is_empty());
+        t.push(Duration::from_millis(1), 1.0);
+        t.push(Duration::from_millis(2), 2.0);
+        t.push(Duration::from_millis(3), 1.95);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_monotone_nondecreasing(0.0));
+        assert!(t.is_monotone_nondecreasing(0.1));
+        assert_eq!(t.final_score(), Some(1.95));
+        assert_eq!(t.time_to_score(2.0), Some(Duration::from_millis(2)));
+        assert_eq!(t.time_to_score(99.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn trace_rejects_time_travel() {
+        let mut t = AccuracyTrace::new();
+        t.push(Duration::from_millis(5), 1.0);
+        t.push(Duration::from_millis(1), 2.0);
+    }
+}

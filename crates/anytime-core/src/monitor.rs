@@ -1,0 +1,217 @@
+//! Online accuracy monitoring and automatic stopping.
+//!
+//! The paper positions the automaton as the missing substrate for dynamic
+//! quality management (Rumba, SAGE, Green): "the decision of stopping can
+//! either be automated via dynamic accuracy metrics, user-specified or
+//! enforced by time/energy constraints" (§III-A), with the crucial
+//! improvement that metrics apply to the **whole application output**
+//! rather than to individual code segments. This module is that automated
+//! path: an [`AccuracyMonitor`] watches a stage's output buffer, scores
+//! every observed version against a reference with a caller-supplied
+//! metric, records the runtime–accuracy trace, and (optionally) stops the
+//! automaton the moment a quality threshold is reached.
+
+use crate::buffer::BufferReader;
+use crate::control::ControlToken;
+use crate::error::CoreError;
+use crate::metrics::AccuracyTrace;
+use crate::version::Version;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A background watcher scoring published output versions.
+pub struct AccuracyMonitor {
+    handle: std::thread::JoinHandle<AccuracyTrace>,
+}
+
+impl AccuracyMonitor {
+    /// Spawns a monitor on `reader`.
+    ///
+    /// Every version (as observed; very fast publishers may skip versions)
+    /// is scored by `score`; the result is recorded against time since the
+    /// monitor started. If `stop_at` is `Some(threshold)`, the monitor
+    /// calls [`ControlToken::stop`] once a score reaches it — the
+    /// whole-output dynamic error control the paper contrasts with
+    /// per-segment metrics.
+    ///
+    /// The monitor ends when the buffer publishes its final version, the
+    /// automaton stops, or the producer disappears.
+    pub fn spawn<T, F>(
+        reader: BufferReader<T>,
+        ctl: ControlToken,
+        score: F,
+        stop_at: Option<f64>,
+    ) -> Self
+    where
+        T: Send + Sync + 'static,
+        F: Fn(&T) -> f64 + Send + 'static,
+    {
+        let handle = std::thread::Builder::new()
+            .name("anytime-monitor".into())
+            .spawn(move || {
+                let started = Instant::now();
+                let mut trace = AccuracyTrace::new();
+                let mut seen: Option<Version> = None;
+                loop {
+                    let snap = match reader.wait_newer(seen, &ctl) {
+                        Ok(snap) => snap,
+                        Err(CoreError::Stopped) | Err(CoreError::SourceClosed { .. }) => {
+                            return trace;
+                        }
+                        Err(_) => return trace,
+                    };
+                    seen = Some(snap.version());
+                    let s = score(snap.value());
+                    trace.push(started.elapsed(), s);
+                    if snap.is_final() {
+                        return trace;
+                    }
+                    if let Some(threshold) = stop_at {
+                        if s >= threshold {
+                            ctl.stop();
+                            return trace;
+                        }
+                    }
+                }
+            })
+            .expect("spawn monitor thread");
+        Self { handle }
+    }
+
+    /// Waits for the monitor to end and returns the recorded trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the monitor thread itself panicked (a broken `score`
+    /// closure).
+    pub fn join(self) -> AccuracyTrace {
+        self.handle.join().expect("monitor thread panicked")
+    }
+
+    /// `true` once the monitor thread has exited.
+    pub fn is_done(&self) -> bool {
+        self.handle.is_finished()
+    }
+}
+
+impl std::fmt::Debug for AccuracyMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AccuracyMonitor")
+            .field("done", &self.is_done())
+            .finish()
+    }
+}
+
+/// Convenience: runs an automaton until `score` reaches `threshold` on the
+/// watched output (or the output is final), then stops it and returns the
+/// trace alongside the run report.
+///
+/// # Errors
+///
+/// Propagates stage failures from [`crate::Automaton::join`].
+pub fn run_until_quality<T, F>(
+    pipeline: crate::Pipeline,
+    reader: BufferReader<T>,
+    score: F,
+    threshold: f64,
+) -> crate::Result<(crate::RunReport, AccuracyTrace)>
+where
+    T: Send + Sync + 'static,
+    F: Fn(&T) -> f64 + Send + 'static,
+{
+    let ctl = ControlToken::new();
+    let auto = pipeline.launch_with(ctl.clone())?;
+    let monitor = AccuracyMonitor::spawn(reader, ctl, score, Some(threshold));
+    let trace = monitor.join();
+    // The monitor either stopped the automaton at threshold or saw the
+    // final version; in both cases join returns promptly.
+    let report = auto.stop_and_join()?;
+    Ok((report, trace))
+}
+
+/// Scores against a shared reference with a metric function — the common
+/// monitor configuration.
+pub fn against_reference<T, M>(
+    reference: Arc<T>,
+    metric: M,
+) -> impl Fn(&T) -> f64 + Send + 'static
+where
+    T: Send + Sync + 'static,
+    M: Fn(&T, &T) -> f64 + Send + 'static,
+{
+    move |approx| metric(approx, &reference)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineBuilder;
+    use crate::stage::{StageOptions, StepOutcome};
+    use crate::Diffusive;
+    use std::time::Duration;
+
+    fn counting_pipeline(n: u64) -> (crate::Pipeline, BufferReader<u64>) {
+        let mut pb = PipelineBuilder::new();
+        let out = pb.source(
+            "ctr",
+            (),
+            Diffusive::new(
+                |_: &()| 0u64,
+                move |_: &(), out: &mut u64, step| {
+                    std::thread::sleep(Duration::from_micros(100));
+                    *out += 1;
+                    if step + 1 == n {
+                        StepOutcome::Done
+                    } else {
+                        StepOutcome::Continue
+                    }
+                },
+            ),
+            StageOptions::default(),
+        );
+        (pb.build(), out)
+    }
+
+    #[test]
+    fn monitor_records_monotone_trace_to_final() {
+        let (pipeline, out) = counting_pipeline(50);
+        let ctl = ControlToken::new();
+        let auto = pipeline.launch_with(ctl.clone()).unwrap();
+        let monitor = AccuracyMonitor::spawn(out, ctl, |v: &u64| *v as f64, None);
+        let trace = monitor.join();
+        auto.join().unwrap();
+        assert!(!trace.is_empty());
+        assert!(trace.is_monotone_nondecreasing(0.0));
+        assert_eq!(trace.final_score(), Some(50.0));
+    }
+
+    #[test]
+    fn threshold_stops_the_automaton_early() {
+        let (pipeline, out) = counting_pipeline(100_000);
+        let (report, trace) =
+            run_until_quality(pipeline, out.clone(), |v: &u64| *v as f64, 20.0).unwrap();
+        assert!(!report.all_final(), "should have stopped early");
+        let reached = trace.final_score().unwrap();
+        assert!(reached >= 20.0);
+        // The kept output is a valid approximation at/above the threshold.
+        assert!(*out.latest().unwrap().value() >= 20);
+    }
+
+    #[test]
+    fn threshold_beyond_final_runs_to_completion() {
+        let (pipeline, out) = counting_pipeline(30);
+        let (report, trace) =
+            run_until_quality(pipeline, out, |v: &u64| *v as f64, 1e18).unwrap();
+        assert!(report.all_final());
+        assert_eq!(trace.final_score(), Some(30.0));
+    }
+
+    #[test]
+    fn against_reference_adapts_binary_metrics() {
+        let score = against_reference(Arc::new(10u64), |a: &u64, r: &u64| {
+            -((*a as f64) - (*r as f64)).abs()
+        });
+        assert_eq!(score(&10), 0.0);
+        assert_eq!(score(&7), -3.0);
+    }
+}

@@ -1,0 +1,365 @@
+//! Multi-threaded sampling within a single anytime stage (paper §IV-C1).
+//!
+//! "Though we use non-sequential permutations when sampling, sampling can
+//! still be performed by multiple threads … it is then straightforward to
+//! divide this permutation sequence among threads." This module implements
+//! that: a [`ParallelSampledMap`] divides a bijective sample order
+//! *cyclically* among worker threads (the paper's recommendation for the
+//! tree permutation, so low-resolution completeness arrives as early as
+//! possible), collects their computed elements through a channel, and
+//! applies them to the working output in the stage driver — preserving the
+//! single-writer output-buffer discipline (Property 2).
+//!
+//! Workers receive only the shared input `Arc` and their index share;
+//! element computations must be pure (Property 1), which the
+//! `Fn(&I, usize) -> V` bound encourages.
+
+use crate::buffer::{BufferReader, BufferWriter};
+use crate::control::ControlToken;
+use crate::error::{CoreError, Result};
+use crate::pipeline::PipelineBuilder;
+use crate::stage::{StageEnd, StageOptions, StageRunner};
+use anytime_permute::{partition, DynPermutation, Permutation};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Boxed initial-output constructor.
+type InitFn<I, O> = Box<dyn FnMut(&I) -> O + Send>;
+/// Shared pure element computation (runs on workers).
+type ComputeFn<I, V> = Arc<dyn Fn(&I, usize) -> V + Send + Sync>;
+/// Boxed element writer (runs on the stage driver).
+type WriteFn<O, V> = Box<dyn FnMut(&mut O, usize, V) + Send>;
+
+const RECV_QUANTUM: Duration = Duration::from_millis(1);
+
+
+/// A source stage whose sampling work is spread over worker threads.
+///
+/// Like [`crate::SampledMap`], but element values are computed by
+/// `workers` threads walking cyclic shares of the permutation; the stage
+/// driver merges batches in sample order and publishes every
+/// `publish_every` *elements*. Because the merge is in arrival order
+/// across workers, intermediate outputs are unordered *unions* of the
+/// workers' prefixes — each still a valid sample of roughly balanced
+/// resolution, exactly the behaviour the paper describes for cyclic
+/// distribution.
+pub struct ParallelSampledMap<I, O, V> {
+    name: String,
+    input: Arc<I>,
+    perm: DynPermutation,
+    workers: usize,
+    batch: usize,
+    init: InitFn<I, O>,
+    compute: ComputeFn<I, V>,
+    write: WriteFn<O, V>,
+}
+
+impl<I, O, V> ParallelSampledMap<I, O, V>
+where
+    I: Send + Sync + 'static,
+    O: Clone + Send + Sync + 'static,
+    V: Send + 'static,
+{
+    /// Creates a parallel sampled source stage.
+    ///
+    /// - `compute(input, idx)` produces output element `idx` (runs on
+    ///   worker threads; must be pure);
+    /// - `write(out, idx, value)` stores it in the working output (runs on
+    ///   the stage driver);
+    /// - `batch` is the number of elements a worker computes between
+    ///   channel sends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or `batch == 0`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        input: I,
+        perm: impl Into<DynPermutation>,
+        workers: usize,
+        batch: usize,
+        init: impl FnMut(&I) -> O + Send + 'static,
+        compute: impl Fn(&I, usize) -> V + Send + Sync + 'static,
+        write: impl FnMut(&mut O, usize, V) + Send + 'static,
+    ) -> Self {
+        assert!(workers > 0, "at least one worker required");
+        assert!(batch > 0, "batch must be non-zero");
+        Self {
+            name: name.into(),
+            input: Arc::new(input),
+            perm: perm.into(),
+            workers,
+            batch,
+            init: Box::new(init),
+            compute: Arc::new(compute),
+            write: Box::new(write),
+        }
+    }
+
+    /// Registers this stage on a pipeline builder, returning its output
+    /// reader.
+    pub fn register(self, pb: &mut PipelineBuilder, opts: StageOptions) -> BufferReader<O> {
+        let (writer, reader) = crate::buffer::versioned_with(
+            &self.name,
+            crate::buffer::BufferOptions {
+                keep_history: opts.keep_history,
+            },
+        );
+        pb.push_runner(Box::new(ParallelRunner {
+            stage: self,
+            writer,
+            publish_every: opts.publish_every,
+        }));
+        reader
+    }
+}
+
+struct ParallelRunner<I, O, V> {
+    stage: ParallelSampledMap<I, O, V>,
+    writer: BufferWriter<O>,
+    publish_every: u64,
+}
+
+impl<I, O, V> ParallelRunner<I, O, V>
+where
+    I: Send + Sync + 'static,
+    O: Clone + Send + Sync + 'static,
+    V: Send + 'static,
+{
+    #[allow(clippy::type_complexity)]
+    fn spawn_workers(
+        &self,
+        ctl: &ControlToken,
+    ) -> Result<(Receiver<Vec<(usize, V)>>, Vec<std::thread::JoinHandle<()>>)> {
+        let shares = partition::split_cyclic(&self.stage.perm, self.stage.workers);
+        let (tx, rx) = bounded::<Vec<(usize, V)>>(self.stage.workers * 2);
+        let mut handles = Vec::with_capacity(self.stage.workers);
+        for (w, share) in shares.into_iter().enumerate() {
+            let tx = tx.clone();
+            let input = Arc::clone(&self.stage.input);
+            let compute = Arc::clone(&self.stage.compute);
+            let batch = self.stage.batch;
+            let ctl = ctl.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("anytime-{}-w{w}", self.stage.name))
+                .spawn(move || {
+                    let mut buf = Vec::with_capacity(batch);
+                    for idx in share {
+                        if ctl.is_stopped() {
+                            return;
+                        }
+                        buf.push((idx, compute(&input, idx)));
+                        if buf.len() == batch {
+                            let full = std::mem::replace(&mut buf, Vec::with_capacity(batch));
+                            if tx.send(full).is_err() {
+                                return;
+                            }
+                        }
+                    }
+                    if !buf.is_empty() {
+                        let _ = tx.send(buf);
+                    }
+                })
+                .map_err(|e| {
+                    CoreError::InvalidConfig(format!("failed to spawn worker: {e}"))
+                })?;
+            handles.push(handle);
+        }
+        // Drop the original sender so the channel closes when workers end.
+        drop(tx);
+        Ok((rx, handles))
+    }
+}
+
+impl<I, O, V> StageRunner for ParallelRunner<I, O, V>
+where
+    I: Send + Sync + 'static,
+    O: Clone + Send + Sync + 'static,
+    V: Send + 'static,
+{
+    fn name(&self) -> &str {
+        &self.stage.name
+    }
+
+    fn drive(&mut self, ctl: &ControlToken) -> Result<StageEnd> {
+        let total = self.stage.perm.len() as u64;
+        let input = Arc::clone(&self.stage.input);
+        let mut out = (self.stage.init)(&input);
+        let (rx, handles) = self.spawn_workers(ctl)?;
+        let mut done: u64 = 0;
+        let mut published_at: u64 = 0;
+        let publish_every = self.publish_every.max(1);
+        let end = loop {
+            if ctl.is_stopped() {
+                break StageEnd::Stopped;
+            }
+            match rx.recv_timeout(RECV_QUANTUM) {
+                Ok(batch) => {
+                    for (idx, value) in batch {
+                        (self.stage.write)(&mut out, idx, value);
+                        done += 1;
+                    }
+                    if done == total {
+                        self.writer.publish_final(out.clone(), done);
+                        break StageEnd::Final;
+                    }
+                    if done - published_at >= publish_every {
+                        self.writer.publish(out.clone(), done);
+                        published_at = done;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    if done == total {
+                        self.writer.publish_final(out.clone(), done);
+                        break StageEnd::Final;
+                    }
+                    // Workers died early without a stop: a worker panic.
+                    break StageEnd::Stopped;
+                }
+            }
+        };
+        // Publish whatever progress was merged before an interruption.
+        if end == StageEnd::Stopped && done > published_at && !self.writer.is_final() {
+            self.writer.publish(out.clone(), done);
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        if end == StageEnd::Stopped && !ctl.is_stopped() && done != total {
+            return Err(CoreError::StagePanicked {
+                stage: self.stage.name.clone(),
+                message: "worker thread exited early".into(),
+            });
+        }
+        Ok(end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineBuilder;
+    use anytime_permute::{Lfsr, Tree2d};
+
+    fn build(
+        workers: usize,
+        publish_every: u64,
+    ) -> (crate::Pipeline, BufferReader<Vec<u64>>) {
+        let n = 1024usize;
+        let input: Vec<u64> = (0..n as u64).collect();
+        let mut pb = PipelineBuilder::new();
+        let stage = ParallelSampledMap::new(
+            "pmap",
+            input,
+            DynPermutation::new(Lfsr::with_len(n).unwrap()),
+            workers,
+            16,
+            |i: &Vec<u64>| vec![u64::MAX; i.len()],
+            |i: &Vec<u64>, idx| i[idx] * 3,
+            |out: &mut Vec<u64>, idx, v| out[idx] = v,
+        );
+        let reader = stage.register(&mut pb, StageOptions::with_publish_every(publish_every));
+        (pb.build(), reader)
+    }
+
+    #[test]
+    fn parallel_map_reaches_precise_output() {
+        for workers in [1usize, 2, 4] {
+            let (pipeline, out) = build(workers, 64);
+            let auto = pipeline.launch().unwrap();
+            let snap = out
+                .wait_final_timeout(Duration::from_secs(60))
+                .unwrap();
+            let expected: Vec<u64> = (0..1024u64).map(|v| v * 3).collect();
+            assert_eq!(snap.value(), &expected, "workers={workers}");
+            assert_eq!(snap.steps(), 1024);
+            auto.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn intermediate_outputs_are_valid_partial_samples() {
+        let (pipeline, out) = build(3, 32);
+        let auto = pipeline.launch().unwrap();
+        let first = out
+            .wait_newer_timeout(None, Duration::from_secs(60))
+            .unwrap();
+        // Every filled element must already hold its precise value.
+        for (idx, &v) in first.value().iter().enumerate() {
+            if v != u64::MAX {
+                assert_eq!(v, idx as u64 * 3);
+            }
+        }
+        assert!(first.steps() >= 32);
+        auto.join().unwrap();
+    }
+
+    #[test]
+    fn stop_interrupts_workers() {
+        let n = 1 << 16;
+        let input: Vec<u64> = (0..n as u64).collect();
+        let mut pb = PipelineBuilder::new();
+        let stage = ParallelSampledMap::new(
+            "slow",
+            input,
+            DynPermutation::new(Tree2d::new(256, 256).unwrap()),
+            2,
+            8,
+            |i: &Vec<u64>| vec![0u64; i.len()],
+            |i: &Vec<u64>, idx| {
+                std::thread::sleep(Duration::from_micros(20));
+                i[idx] + 1
+            },
+            |out: &mut Vec<u64>, idx, v| out[idx] = v,
+        );
+        let reader = stage.register(&mut pb, StageOptions::with_publish_every(64));
+        let auto = pb.build().launch().unwrap();
+        std::thread::sleep(Duration::from_millis(40));
+        let report = auto.stop_and_join().unwrap();
+        assert_eq!(report.stages[0].end, StageEnd::Stopped);
+        // Partial progress was published on stop.
+        let snap = reader.latest().expect("progress published");
+        assert!(snap.steps() > 0);
+        assert!(!snap.is_final());
+    }
+
+    #[test]
+    fn worker_panic_is_reported() {
+        let input: Vec<u64> = (0..64).collect();
+        let mut pb = PipelineBuilder::new();
+        let stage = ParallelSampledMap::new(
+            "bad",
+            input,
+            DynPermutation::new(Lfsr::with_len(64).unwrap()),
+            2,
+            4,
+            |i: &Vec<u64>| vec![0u64; i.len()],
+            |_: &Vec<u64>, idx| {
+                assert!(idx != 13, "worker exploded");
+                idx as u64
+            },
+            |out: &mut Vec<u64>, idx, v| out[idx] = v,
+        );
+        let _reader = stage.register(&mut pb, StageOptions::default());
+        let err = pb.build().launch().unwrap().join().unwrap_err();
+        assert!(matches!(err, CoreError::StagePanicked { .. }), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = ParallelSampledMap::new(
+            "x",
+            vec![0u64],
+            DynPermutation::new(Lfsr::with_len(1).unwrap()),
+            0,
+            1,
+            |i: &Vec<u64>| i.clone(),
+            |_: &Vec<u64>, _| 0u64,
+            |_: &mut Vec<u64>, _, _| {},
+        );
+    }
+}

@@ -1,0 +1,390 @@
+use crate::buffer::{self, BufferOptions, BufferReader, BufferWriter};
+use crate::control::ControlToken;
+use crate::error::{CoreError, Result};
+use crate::executor::Automaton;
+use crate::stage::{AnytimeBody, InputFeed, StageEnd, StageNode, StageOptions, StageRunner};
+use crate::version::Version;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Builds an anytime automaton as a directed acyclic graph of stages
+/// (paper Figure 1).
+///
+/// Stages are added bottom-up: [`PipelineBuilder::source`] creates stages
+/// that own their input, [`PipelineBuilder::stage`] creates stages that
+/// consume another stage's output buffer, and [`PipelineBuilder::join2`]
+/// merges two buffers for multi-parent stages (like stage `i` in the
+/// paper's example, which depends on both `g` and `h`). Because a stage can
+/// only reference readers of already-added stages, the graph is acyclic by
+/// construction.
+///
+/// Fan-out needs no special node: clone the [`BufferReader`] and hand it to
+/// several dependent stages.
+///
+/// # Examples
+///
+/// The paper's `f → (g, h) → i` diamond:
+///
+/// ```
+/// use anytime_core::{PipelineBuilder, Precise, StageOptions};
+/// use std::sync::Arc;
+/// use std::time::Duration;
+///
+/// let mut pb = PipelineBuilder::new();
+/// let f = pb.source("f", 10u64, Precise::new(|i: &u64| i + 1), StageOptions::default());
+/// let g = pb.stage("g", &f, Precise::new(|i: &u64| i * 2), StageOptions::default());
+/// let h = pb.stage("h", &f, Precise::new(|i: &u64| i * 3), StageOptions::default());
+/// let gh = pb.join2("gh", &g, &h);
+/// let i = pb.stage(
+///     "i",
+///     &gh,
+///     Precise::new(|(g, h): &(Arc<u64>, Arc<u64>)| **g + **h),
+///     StageOptions::default(),
+/// );
+/// let auto = pb.build().launch()?;
+/// let out = i.wait_final_timeout(Duration::from_secs(10))?;
+/// assert_eq!(*out.value(), 22 + 33);
+/// auto.join()?;
+/// # Ok::<(), anytime_core::CoreError>(())
+/// ```
+pub struct PipelineBuilder {
+    runners: Vec<Box<dyn StageRunner>>,
+}
+
+impl PipelineBuilder {
+    /// Creates an empty pipeline builder.
+    pub fn new() -> Self {
+        Self {
+            runners: Vec::new(),
+        }
+    }
+
+    /// Number of stages added so far.
+    pub fn len(&self) -> usize {
+        self.runners.len()
+    }
+
+    /// `true` if no stages have been added.
+    pub fn is_empty(&self) -> bool {
+        self.runners.is_empty()
+    }
+
+    /// Adds a source stage owning its input data.
+    ///
+    /// The input is implicitly final, so the stage runs its anytime steps
+    /// once and publishes its precise output at the end.
+    pub fn source<B>(
+        &mut self,
+        name: impl Into<String>,
+        input: B::Input,
+        body: B,
+        opts: StageOptions,
+    ) -> BufferReader<B::Output>
+    where
+        B: AnytimeBody + 'static,
+    {
+        let name = name.into();
+        let (writer, reader) = self.make_buffer::<B::Output>(&name, opts);
+        self.runners.push(Box::new(StageNode {
+            name,
+            body,
+            input: InputFeed::Owned(Arc::new(input)),
+            writer,
+            opts,
+        }));
+        reader
+    }
+
+    /// Adds a dependent stage consuming `input`'s buffer.
+    ///
+    /// The stage re-runs on each observed input version (per its
+    /// [`StageOptions::restart`] policy) and publishes its own precise
+    /// output after processing the input's final version — the asynchronous
+    /// pipeline of paper §III-C1.
+    pub fn stage<B>(
+        &mut self,
+        name: impl Into<String>,
+        input: &BufferReader<B::Input>,
+        body: B,
+        opts: StageOptions,
+    ) -> BufferReader<B::Output>
+    where
+        B: AnytimeBody + 'static,
+    {
+        let name = name.into();
+        let (writer, reader) = self.make_buffer::<B::Output>(&name, opts);
+        self.runners.push(Box::new(StageNode {
+            name,
+            body,
+            input: InputFeed::Upstream(input.clone()),
+            writer,
+            opts,
+        }));
+        reader
+    }
+
+    /// Adds a join node combining the latest versions of two buffers.
+    ///
+    /// The join publishes a new `(Arc<A>, Arc<B>)` pair whenever either
+    /// parent publishes, and its final version once both parents are final.
+    /// Values are shared, not copied.
+    pub fn join2<A, B>(
+        &mut self,
+        name: impl Into<String>,
+        a: &BufferReader<A>,
+        b: &BufferReader<B>,
+    ) -> BufferReader<(Arc<A>, Arc<B>)>
+    where
+        A: Send + Sync + 'static,
+        B: Send + Sync + 'static,
+    {
+        let name = name.into();
+        let (writer, reader) =
+            self.make_buffer::<(Arc<A>, Arc<B>)>(&name, StageOptions::default());
+        self.runners.push(Box::new(JoinRunner {
+            name,
+            a: a.clone(),
+            b: b.clone(),
+            writer,
+        }));
+        reader
+    }
+
+    /// Adds a pre-built runner (used by the synchronous-pipeline module).
+    pub(crate) fn push_runner(&mut self, runner: Box<dyn StageRunner>) {
+        self.runners.push(runner);
+    }
+
+    /// Creates an output buffer for a stage, honoring history options.
+    fn make_buffer<T>(
+        &mut self,
+        name: &str,
+        opts: StageOptions,
+    ) -> (BufferWriter<T>, BufferReader<T>) {
+        buffer::versioned_with(
+            name,
+            BufferOptions {
+                keep_history: opts.keep_history,
+            },
+        )
+    }
+
+    /// Finishes construction.
+    pub fn build(self) -> Pipeline {
+        Pipeline {
+            runners: self.runners,
+        }
+    }
+}
+
+impl Default for PipelineBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for PipelineBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PipelineBuilder")
+            .field("stages", &self.runners.len())
+            .finish()
+    }
+}
+
+/// A fully constructed (but not yet running) anytime automaton pipeline.
+pub struct Pipeline {
+    pub(crate) runners: Vec<Box<dyn StageRunner>>,
+}
+
+impl Pipeline {
+    /// Number of stages in the pipeline.
+    pub fn len(&self) -> usize {
+        self.runners.len()
+    }
+
+    /// `true` if the pipeline has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.runners.is_empty()
+    }
+
+    /// Spawns one driver thread per stage and starts executing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an empty pipeline.
+    pub fn launch(self) -> Result<Automaton> {
+        self.launch_with(ControlToken::new())
+    }
+
+    /// Launches with an externally owned control token (e.g. one shared
+    /// with other machinery that may stop the automaton).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an empty pipeline.
+    pub fn launch_with(self, ctl: ControlToken) -> Result<Automaton> {
+        if self.runners.is_empty() {
+            return Err(CoreError::InvalidConfig(
+                "pipeline has no stages".to_string(),
+            ));
+        }
+        Automaton::spawn(self.runners, ctl)
+    }
+}
+
+impl fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("stages", &self.runners.len())
+            .finish()
+    }
+}
+
+/// Runner joining two parent buffers into a tuple buffer.
+struct JoinRunner<A, B> {
+    name: String,
+    a: BufferReader<A>,
+    b: BufferReader<B>,
+    writer: BufferWriter<(Arc<A>, Arc<B>)>,
+}
+
+impl<A, B> StageRunner for JoinRunner<A, B>
+where
+    A: Send + Sync + 'static,
+    B: Send + Sync + 'static,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn drive(&mut self, ctl: &ControlToken) -> Result<StageEnd> {
+        let mut last: Option<(Version, Version)> = None;
+        let mut steps = 0u64;
+        loop {
+            let sa = match self.a.wait_newer(None, ctl) {
+                Ok(s) => s,
+                Err(CoreError::Stopped) => return Ok(StageEnd::Stopped),
+                Err(e) => return Err(e),
+            };
+            let sb = match self.b.wait_newer(None, ctl) {
+                Ok(s) => s,
+                Err(CoreError::Stopped) => return Ok(StageEnd::Stopped),
+                Err(e) => return Err(e),
+            };
+            let pair = (sa.version(), sb.version());
+            if last != Some(pair) {
+                steps += 1;
+                let value = (sa.value_arc(), sb.value_arc());
+                if sa.is_final() && sb.is_final() {
+                    self.writer.publish_final(value, steps);
+                    return Ok(StageEnd::Final);
+                }
+                self.writer.publish(value, steps);
+                last = Some(pair);
+            }
+            match ctl.interruptible_sleep(Duration::from_millis(1)) {
+                Ok(()) => {}
+                Err(CoreError::Stopped) => return Ok(StageEnd::Stopped),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diffusive::Diffusive;
+    use crate::precise::Precise;
+    use crate::stage::StepOutcome;
+
+    #[test]
+    fn builder_counts_stages() {
+        let mut pb = PipelineBuilder::new();
+        assert!(pb.is_empty());
+        let f = pb.source("f", 1u64, Precise::new(|i: &u64| *i), StageOptions::default());
+        let _g = pb.stage("g", &f, Precise::new(|i: &u64| *i), StageOptions::default());
+        assert_eq!(pb.len(), 2);
+        let p = pb.build();
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn empty_pipeline_rejected() {
+        let p = PipelineBuilder::new().build();
+        assert!(matches!(
+            p.launch(),
+            Err(CoreError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn linear_chain_reaches_precise_output() {
+        // f counts to 100 diffusively; g doubles whatever it sees.
+        let mut pb = PipelineBuilder::new();
+        let f = pb.source(
+            "f",
+            (),
+            Diffusive::new(
+                |_: &()| 0u64,
+                |_: &(), out: &mut u64, step| {
+                    *out += 1;
+                    if step + 1 == 100 {
+                        StepOutcome::Done
+                    } else {
+                        StepOutcome::Continue
+                    }
+                },
+            ),
+            StageOptions::with_publish_every(10),
+        );
+        let g = pb.stage("g", &f, Precise::new(|i: &u64| i * 2), StageOptions::default());
+        let auto = pb.build().launch().unwrap();
+        let out = g.wait_final_timeout(Duration::from_secs(20)).unwrap();
+        assert_eq!(*out.value(), 200);
+        assert!(out.is_final());
+        let report = auto.join().unwrap();
+        assert!(report
+            .stages
+            .iter()
+            .all(|s| s.end == StageEnd::Final));
+    }
+
+    #[test]
+    fn join2_combines_latest_and_finalizes() {
+        let mut pb = PipelineBuilder::new();
+        let a = pb.source("a", 3u64, Precise::new(|i: &u64| *i), StageOptions::default());
+        let b = pb.source("b", 4u64, Precise::new(|i: &u64| *i), StageOptions::default());
+        let j = pb.join2("j", &a, &b);
+        let s = pb.stage(
+            "s",
+            &j,
+            Precise::new(|(a, b): &(Arc<u64>, Arc<u64>)| **a * **b),
+            StageOptions::default(),
+        );
+        let auto = pb.build().launch().unwrap();
+        let out = s.wait_final_timeout(Duration::from_secs(20)).unwrap();
+        assert_eq!(*out.value(), 12);
+        auto.join().unwrap();
+    }
+
+    #[test]
+    fn fan_out_shares_one_buffer() {
+        let mut pb = PipelineBuilder::new();
+        let f = pb.source("f", 5u64, Precise::new(|i: &u64| *i), StageOptions::default());
+        let g = pb.stage("g", &f, Precise::new(|i: &u64| i + 1), StageOptions::default());
+        let h = pb.stage("h", &f, Precise::new(|i: &u64| i + 2), StageOptions::default());
+        let auto = pb.build().launch().unwrap();
+        assert_eq!(
+            *g.wait_final_timeout(Duration::from_secs(20)).unwrap().value(),
+            6
+        );
+        assert_eq!(
+            *h.wait_final_timeout(Duration::from_secs(20)).unwrap().value(),
+            7
+        );
+        auto.join().unwrap();
+    }
+}

@@ -1,0 +1,108 @@
+use crate::stage::{AnytimeBody, StepOutcome};
+
+/// A non-anytime (precise-only) stage body: `n = 1`.
+///
+/// Some computations resist anytime decomposition — the paper's examples are
+/// small sequential tasks like normalizing a data structure (histeq's CDF
+/// stages) or reducing thread-private partials (kmeans). The pipeline
+/// supports them directly: a precise stage publishes exactly one version per
+/// consumed input, and that version is final once the input is final
+/// (§III-C1 "correctness is still ensured even if f is not anytime").
+///
+/// Note that in an asynchronous pipeline a precise stage still runs *many
+/// times* — once per upstream version it observes — so its single
+/// computation should be cheap relative to its anytime parents (the paper
+/// observes that non-anytime stages are what keeps histeq and kmeans from
+/// matching 2dconv's profile).
+///
+/// # Examples
+///
+/// ```
+/// use anytime_core::{Precise, AnytimeBody, StepOutcome};
+///
+/// let mut body = Precise::new(|input: &Vec<u64>| input.iter().sum::<u64>());
+/// let input = vec![1, 2, 3];
+/// let mut out = body.init(&input);
+/// assert_eq!(body.step(&input, &mut out, 0), StepOutcome::Done);
+/// assert_eq!(out, 6);
+/// ```
+pub struct Precise<I, O> {
+    f: Box<dyn FnMut(&I) -> O + Send>,
+}
+
+impl<I, O> Precise<I, O> {
+    /// Wraps a pure function as a single-step stage body.
+    pub fn new(f: impl FnMut(&I) -> O + Send + 'static) -> Self {
+        Self { f: Box::new(f) }
+    }
+}
+
+impl<I, O> AnytimeBody for Precise<I, O>
+where
+    I: Send + Sync + 'static,
+    O: Clone + Send + Sync + 'static,
+{
+    type Input = I;
+    type Output = O;
+
+    /// Computes the single precise result. For an `n = 1` stage, the
+    /// "initial working output" *is* the final value — the lone step just
+    /// declares it done, so the runtime publishes it exactly once.
+    fn init(&mut self, input: &I) -> O {
+        (self.f)(input)
+    }
+
+    fn step(&mut self, _input: &I, _out: &mut O, _step: u64) -> StepOutcome {
+        StepOutcome::Done
+    }
+
+    fn total_steps(&self, _input: &I) -> Option<u64> {
+        Some(1)
+    }
+}
+
+impl<I, O> std::fmt::Debug for Precise<I, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Precise").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_in_one_step() {
+        let mut body = Precise::new(|i: &u64| i + 1);
+        let mut out = body.init(&10);
+        assert_eq!(out, 11);
+        assert_eq!(body.step(&10, &mut out, 0), StepOutcome::Done);
+        assert_eq!(out, 11);
+        assert_eq!(body.total_steps(&10), Some(1));
+    }
+
+    #[test]
+    fn recomputes_on_each_input() {
+        // Driven again (new input version), the same body must produce the
+        // new input's result.
+        let mut body = Precise::new(|i: &u64| i * 2);
+        let mut out = body.init(&3);
+        body.step(&3, &mut out, 0);
+        assert_eq!(out, 6);
+        let mut out = body.init(&5);
+        body.step(&5, &mut out, 0);
+        assert_eq!(out, 10);
+    }
+
+    #[test]
+    fn works_without_default_output() {
+        // Output types need not implement Default (e.g. images with
+        // runtime dimensions).
+        #[derive(Clone, PartialEq, Debug)]
+        struct NoDefault(u64);
+        let mut body = Precise::new(|i: &u64| NoDefault(*i));
+        let mut out = body.init(&9);
+        assert_eq!(body.step(&9, &mut out, 0), StepOutcome::Done);
+        assert_eq!(out, NoDefault(9));
+    }
+}

@@ -1,0 +1,222 @@
+//! Thread-allocation policies for automaton pipelines (paper §IV-C2).
+//!
+//! Given limited hardware threads, how many should each stage get? The
+//! paper observes the conventional "balance stage latencies" rule is not
+//! always right for anytime pipelines; what matters is the desired *output
+//! granularity*:
+//!
+//! - to minimize time to the **first** whole-application approximate output
+//!   (`O_1111` in Figure 2), favor the *longest* stage;
+//! - to minimize the gap **between consecutive** outputs (`O_1111` →
+//!   `O_1112`), favor the *last* stage;
+//! - correctness is unaffected either way — scheduling is purely an
+//!   optimization problem.
+//!
+//! [`allocate`] computes per-stage thread counts under these policies from
+//! per-stage work estimates.
+
+/// A thread-allocation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllocPolicy {
+    /// One fair share per stage, ignoring weights.
+    Equal,
+    /// Shares proportional to stage work estimates (largest-remainder
+    /// apportionment) — the conventional latency-balancing rule.
+    Proportional,
+    /// Everything beyond the one-thread-per-stage minimum goes to the stage
+    /// with the largest work estimate: minimizes time to the first
+    /// whole-application output.
+    FirstOutputFirst,
+    /// Everything beyond the minimum goes to the final stage: minimizes the
+    /// gap between consecutive whole-application outputs.
+    UpdateRateFirst,
+}
+
+/// Computes per-stage thread counts.
+///
+/// `weights[i]` estimates the relative work of stage `i` (any positive
+/// scale). Every stage receives at least one thread; `threads` below the
+/// stage count is therefore raised to it.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or contains a non-finite or non-positive
+/// value.
+///
+/// # Examples
+///
+/// ```
+/// use anytime_core::scheduler::{allocate, AllocPolicy};
+///
+/// // Figure 2's four stages; f is by far the longest.
+/// let weights = [8.0, 2.0, 2.0, 1.0];
+/// assert_eq!(allocate(AllocPolicy::FirstOutputFirst, &weights, 8), vec![5, 1, 1, 1]);
+/// assert_eq!(allocate(AllocPolicy::UpdateRateFirst, &weights, 8), vec![1, 1, 1, 5]);
+/// assert_eq!(allocate(AllocPolicy::Equal, &weights, 8), vec![2, 2, 2, 2]);
+/// ```
+pub fn allocate(policy: AllocPolicy, weights: &[f64], threads: usize) -> Vec<usize> {
+    assert!(!weights.is_empty(), "at least one stage required");
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w > 0.0),
+        "weights must be positive and finite"
+    );
+    let n = weights.len();
+    let threads = threads.max(n);
+    match policy {
+        AllocPolicy::Equal => {
+            let base = threads / n;
+            let extra = threads % n;
+            (0..n).map(|i| base + usize::from(i < extra)).collect()
+        }
+        AllocPolicy::Proportional => largest_remainder(weights, threads),
+        AllocPolicy::FirstOutputFirst => {
+            let mut alloc = vec![1usize; n];
+            let longest = weights
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .expect("non-empty weights");
+            alloc[longest] += threads - n;
+            alloc
+        }
+        AllocPolicy::UpdateRateFirst => {
+            let mut alloc = vec![1usize; n];
+            alloc[n - 1] += threads - n;
+            alloc
+        }
+    }
+}
+
+/// Largest-remainder apportionment with a one-thread floor per stage.
+fn largest_remainder(weights: &[f64], threads: usize) -> Vec<usize> {
+    let n = weights.len();
+    let spare = threads - n; // beyond the floor
+    let total: f64 = weights.iter().sum();
+    let quotas: Vec<f64> = weights.iter().map(|w| w / total * spare as f64).collect();
+    let mut alloc: Vec<usize> = quotas.iter().map(|q| 1 + q.floor() as usize).collect();
+    let assigned: usize = alloc.iter().sum();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let ra = quotas[a] - quotas[a].floor();
+        let rb = quotas[b] - quotas[b].floor();
+        rb.total_cmp(&ra)
+    });
+    for &i in order.iter().take(threads - assigned) {
+        alloc[i] += 1;
+    }
+    alloc
+}
+
+/// Estimates the time to the first whole-application output under an
+/// allocation, assuming stage work divides perfectly among threads and the
+/// pipeline is a chain: the first output requires one pass of *every*
+/// stage's first intermediate computation, i.e. the sum of per-stage
+/// first-step latencies.
+///
+/// `first_step_fraction` is the fraction of total stage work that the first
+/// intermediate computation costs (e.g. `1/n` for an `n`-step stage).
+pub fn estimate_first_output_latency(
+    weights: &[f64],
+    alloc: &[usize],
+    first_step_fraction: f64,
+) -> f64 {
+    assert_eq!(weights.len(), alloc.len());
+    weights
+        .iter()
+        .zip(alloc)
+        .map(|(w, &t)| w * first_step_fraction / t as f64)
+        .sum()
+}
+
+/// Estimates the steady-state gap between consecutive whole-application
+/// outputs: the bottleneck stage's per-output work (pipeline throughput is
+/// set by the slowest stage).
+pub fn estimate_output_gap(weights: &[f64], alloc: &[usize], step_fraction: f64) -> f64 {
+    assert_eq!(weights.len(), alloc.len());
+    weights
+        .iter()
+        .zip(alloc)
+        .map(|(w, &t)| w * step_fraction / t as f64)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WEIGHTS: [f64; 4] = [8.0, 2.0, 2.0, 1.0];
+
+    #[test]
+    fn every_stage_gets_a_thread() {
+        for policy in [
+            AllocPolicy::Equal,
+            AllocPolicy::Proportional,
+            AllocPolicy::FirstOutputFirst,
+            AllocPolicy::UpdateRateFirst,
+        ] {
+            let alloc = allocate(policy, &WEIGHTS, 2); // fewer threads than stages
+            assert_eq!(alloc.len(), 4);
+            assert!(alloc.iter().all(|&t| t >= 1), "{policy:?}: {alloc:?}");
+            assert_eq!(alloc.iter().sum::<usize>(), 4);
+        }
+    }
+
+    #[test]
+    fn allocations_sum_to_thread_count() {
+        for policy in [
+            AllocPolicy::Equal,
+            AllocPolicy::Proportional,
+            AllocPolicy::FirstOutputFirst,
+            AllocPolicy::UpdateRateFirst,
+        ] {
+            for threads in 4..=32 {
+                let alloc = allocate(policy, &WEIGHTS, threads);
+                assert_eq!(alloc.iter().sum::<usize>(), threads, "{policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn proportional_tracks_weights() {
+        let alloc = allocate(AllocPolicy::Proportional, &WEIGHTS, 17);
+        // 13 spare threads split 8:2:2:1 => 8, 2, 2, 1 ⇒ plus floors.
+        assert_eq!(alloc, vec![9, 3, 3, 2]);
+    }
+
+    #[test]
+    fn first_output_first_beats_update_rate_on_latency() {
+        let a_first = allocate(AllocPolicy::FirstOutputFirst, &WEIGHTS, 8);
+        let a_rate = allocate(AllocPolicy::UpdateRateFirst, &WEIGHTS, 8);
+        let lat_first = estimate_first_output_latency(&WEIGHTS, &a_first, 0.25);
+        let lat_rate = estimate_first_output_latency(&WEIGHTS, &a_rate, 0.25);
+        assert!(
+            lat_first < lat_rate,
+            "first-output-first should reach O_1111 sooner: {lat_first} vs {lat_rate}"
+        );
+    }
+
+    #[test]
+    fn update_rate_first_shrinks_final_stage_gap() {
+        // With the last stage dominating the output cadence, giving it the
+        // spare threads shrinks the inter-output gap.
+        let weights = [2.0, 2.0, 2.0, 8.0];
+        let a_rate = allocate(AllocPolicy::UpdateRateFirst, &weights, 10);
+        let a_equal = allocate(AllocPolicy::Equal, &weights, 10);
+        let gap_rate = estimate_output_gap(&weights, &a_rate, 0.25);
+        let gap_equal = estimate_output_gap(&weights, &a_equal, 0.25);
+        assert!(gap_rate < gap_equal, "{gap_rate} vs {gap_equal}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_weights() {
+        allocate(AllocPolicy::Equal, &[1.0, 0.0], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn rejects_empty_weights() {
+        allocate(AllocPolicy::Equal, &[], 4);
+    }
+}

@@ -1,0 +1,490 @@
+use crate::buffer::BufferWriter;
+use crate::control::ControlToken;
+use crate::error::{CoreError, Result};
+use crate::version::Version;
+use std::fmt;
+use std::sync::Arc;
+
+/// Result of one intermediate computation of an anytime stage body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// More intermediate computations remain; the output will keep
+    /// improving.
+    Continue,
+    /// This step completed the precise computation `f_n`; the output now
+    /// equals the precise result for the current input.
+    Done,
+}
+
+/// The body of an anytime computation stage: a sequence of intermediate
+/// computations `f_1, …, f_n` with increasing accuracy (paper §III-B).
+///
+/// The automaton runtime drives a body as follows for each input snapshot:
+///
+/// 1. [`AnytimeBody::init`] produces the initial output value `O_0` (a cheap
+///    placeholder for iterative stages, the diffusion seed for diffusive
+///    stages). `O_0` is never published.
+/// 2. [`AnytimeBody::step`] is called with `step = 0, 1, 2, …`, each call
+///    performing one intermediate computation `f_{step+1}` that mutates the
+///    working output. The runtime publishes a [`render`](AnytimeBody::render)
+///    of the working output every
+///    [`publish_every`](StageOptions::publish_every) steps, and after the
+///    step that returns [`StepOutcome::Done`].
+/// 3. If the consumed input snapshot was final, the post-`Done` publication
+///    is the stage's precise output; otherwise the body is re-initialized on
+///    the next input version.
+///
+/// # Purity (paper Property 1)
+///
+/// Every intermediate computation must be a *pure function* of the input and
+/// the working output: it must not read or write semantic state outside the
+/// two buffers it is handed. The API encourages this — bodies only receive
+/// `&Input` and `&mut Output` — but closures can still capture external
+/// state; keeping them pure is the implementor's contract. Violating it
+/// forfeits the model's guarantee that the final output equals the precise
+/// result.
+pub trait AnytimeBody: Send {
+    /// The input type consumed from the parent buffer (or owned by a source).
+    type Input: Send + Sync + 'static;
+    /// The output type published to this stage's output buffer.
+    type Output: Clone + Send + Sync + 'static;
+
+    /// Produces the initial working output `O_0` for a (new) input.
+    ///
+    /// Called once per consumed input snapshot, before any steps. Must be
+    /// cheap relative to a step; it is never published.
+    fn init(&mut self, input: &Self::Input) -> Self::Output;
+
+    /// Performs intermediate computation `f_{step+1}`, mutating `out`.
+    ///
+    /// Returns [`StepOutcome::Done`] from the step that makes `out` precise
+    /// for this input.
+    fn step(&mut self, input: &Self::Input, out: &mut Self::Output, step: u64) -> StepOutcome;
+
+    /// Total number of steps for this input, if known in advance.
+    ///
+    /// Purely informational (progress reporting); the runtime relies on
+    /// [`StepOutcome::Done`].
+    fn total_steps(&self, _input: &Self::Input) -> Option<u64> {
+        None
+    }
+
+    /// Converts a completed-step count into the progress figure published
+    /// in [`crate::SnapshotMeta::steps`].
+    ///
+    /// Defaults to the step count itself. Chunked bodies override this to
+    /// report *elements processed* (the sample size), keeping the metadata
+    /// meaningful whatever the internal batching.
+    fn progress(&self, steps_done: u64, _input: &Self::Input) -> u64 {
+        steps_done
+    }
+
+    /// Derives the published value from the working output.
+    ///
+    /// Defaults to a clone. Override when the published value is a
+    /// *transformation* of the working state — e.g. the paper's weighted
+    /// normalization `O'_i = O_i × n/i` for non-idempotent reductions
+    /// (§III-B2), which must not corrupt the running accumulator.
+    fn render(&self, out: &Self::Output, _input: &Self::Input, _steps_done: u64) -> Self::Output {
+        out.clone()
+    }
+}
+
+/// When a stage abandons its current run to pick up a fresher input version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RestartPolicy {
+    /// Finish the current run (all steps) before checking for newer input —
+    /// the paper's asynchronous-pipeline semantics, where `g(F_i)` runs to
+    /// completion even if `F_{i+1}` appears meanwhile.
+    #[default]
+    OnCompletion,
+    /// Abandon the current run at the next step boundary when a newer input
+    /// version is available. Wastes the abandoned work but reaches the
+    /// precise output sooner when inputs change quickly.
+    Eager,
+}
+
+/// Per-stage execution options.
+#[derive(Debug, Clone, Copy)]
+pub struct StageOptions {
+    /// Publish the (rendered) working output every this many steps.
+    ///
+    /// Lower values give finer-grained anytime outputs at higher publication
+    /// (clone) cost. The post-`Done` output is always published regardless.
+    pub publish_every: u64,
+    /// When to abandon a run for fresher input; see [`RestartPolicy`].
+    pub restart: RestartPolicy,
+    /// Retain the full version history of this stage's output buffer.
+    pub keep_history: bool,
+}
+
+impl Default for StageOptions {
+    fn default() -> Self {
+        Self {
+            publish_every: 1,
+            restart: RestartPolicy::OnCompletion,
+            keep_history: false,
+        }
+    }
+}
+
+impl StageOptions {
+    /// Options with the given publication granularity.
+    pub fn with_publish_every(publish_every: u64) -> Self {
+        Self {
+            publish_every: publish_every.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// Returns these options with history retention enabled.
+    pub fn keep_history(mut self) -> Self {
+        self.keep_history = true;
+        self
+    }
+
+    /// Returns these options with the given restart policy.
+    pub fn restart(mut self, restart: RestartPolicy) -> Self {
+        self.restart = restart;
+        self
+    }
+}
+
+/// How a stage driver ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageEnd {
+    /// The stage published its precise (final) output.
+    Final,
+    /// The automaton was stopped first; the stage's latest published output
+    /// is a valid approximation.
+    Stopped,
+}
+
+/// Where a stage's input comes from.
+pub(crate) enum InputFeed<I> {
+    /// A source stage owns its input directly; it is implicitly final.
+    Owned(Arc<I>),
+    /// A dependent stage consumes the parent stage's output buffer.
+    Upstream(crate::buffer::BufferReader<I>),
+}
+
+/// Type-erased driver for one stage, executed on its own thread.
+pub(crate) trait StageRunner: Send {
+    fn name(&self) -> &str;
+    fn drive(&mut self, ctl: &ControlToken) -> Result<StageEnd>;
+}
+
+/// The generic single-input stage driver.
+pub(crate) struct StageNode<B: AnytimeBody> {
+    pub(crate) name: String,
+    pub(crate) body: B,
+    pub(crate) input: InputFeed<B::Input>,
+    pub(crate) writer: BufferWriter<B::Output>,
+    pub(crate) opts: StageOptions,
+}
+
+impl<B: AnytimeBody> StageNode<B> {
+    /// Runs the body to completion on one input snapshot.
+    ///
+    /// Returns `Ok(true)` if the run finished (`Done`), `Ok(false)` if it
+    /// was abandoned for a newer input (eager restart).
+    fn run_once(
+        &mut self,
+        ctl: &ControlToken,
+        input: &Arc<B::Input>,
+        input_final: bool,
+        input_version: Option<Version>,
+    ) -> Result<bool> {
+        let mut out = self.body.init(input);
+        let mut steps = 0u64;
+        let publish_every = self.opts.publish_every.max(1);
+        let mut published_at_step = 0u64;
+        loop {
+            if let Err(e) = ctl.checkpoint() {
+                // Stopped mid-run: publish the progress made so far so the
+                // interruptible output is as fresh as possible.
+                if steps > published_at_step && !self.writer.is_final() {
+                    let rendered = self.body.render(&out, input, steps);
+                    self.writer.publish(rendered, self.body.progress(steps, input));
+                }
+                return Err(e);
+            }
+            let outcome = self.body.step(input, &mut out, steps);
+            steps += 1;
+            let done = outcome == StepOutcome::Done;
+            if done {
+                let rendered = self.body.render(&out, input, steps);
+                let progress = self.body.progress(steps, input);
+                if input_final {
+                    self.writer.publish_final(rendered, progress);
+                } else {
+                    self.writer.publish(rendered, progress);
+                }
+                return Ok(true);
+            }
+            if steps.is_multiple_of(publish_every) {
+                let rendered = self.body.render(&out, input, steps);
+                self.writer.publish(rendered, self.body.progress(steps, input));
+                published_at_step = steps;
+            }
+            if self.opts.restart == RestartPolicy::Eager {
+                if let (InputFeed::Upstream(reader), Some(ver)) = (&self.input, input_version) {
+                    if reader
+                        .latest()
+                        .is_some_and(|snap| snap.version() > ver)
+                    {
+                        return Ok(false);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<B: AnytimeBody> StageRunner for StageNode<B> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn drive(&mut self, ctl: &ControlToken) -> Result<StageEnd> {
+        let mut consumed: Option<Version> = None;
+        loop {
+            let (input, input_final, input_version) = match &self.input {
+                InputFeed::Owned(arc) => (Arc::clone(arc), true, None),
+                InputFeed::Upstream(reader) => {
+                    let snap = match reader.wait_newer(consumed, ctl) {
+                        Ok(snap) => snap,
+                        Err(CoreError::Stopped) => return Ok(StageEnd::Stopped),
+                        Err(e) => return Err(e),
+                    };
+                    let ver = snap.version();
+                    (snap.value_arc(), snap.is_final(), Some(ver))
+                }
+            };
+            match self.run_once(ctl, &input, input_final, input_version) {
+                Ok(true) => {
+                    if input_final {
+                        return Ok(StageEnd::Final);
+                    }
+                    consumed = input_version;
+                }
+                Ok(false) => {
+                    // Eager restart on newer input.
+                    consumed = input_version;
+                }
+                Err(CoreError::Stopped) => return Ok(StageEnd::Stopped),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl<B: AnytimeBody> fmt::Debug for StageNode<B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StageNode")
+            .field("name", &self.name)
+            .field("opts", &self.opts)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer;
+
+    /// A body that counts to `n` by ones, diffusively.
+    struct Counter {
+        n: u64,
+    }
+
+    impl AnytimeBody for Counter {
+        type Input = ();
+        type Output = u64;
+
+        fn init(&mut self, _input: &()) -> u64 {
+            0
+        }
+
+        fn step(&mut self, _input: &(), out: &mut u64, step: u64) -> StepOutcome {
+            *out += 1;
+            if step + 1 == self.n {
+                StepOutcome::Done
+            } else {
+                StepOutcome::Continue
+            }
+        }
+
+        fn total_steps(&self, _input: &()) -> Option<u64> {
+            Some(self.n)
+        }
+    }
+
+    fn node(n: u64, publish_every: u64) -> (StageNode<Counter>, crate::buffer::BufferReader<u64>) {
+        let (w, r) = buffer::versioned_with(
+            "counter",
+            crate::buffer::BufferOptions { keep_history: true },
+        );
+        (
+            StageNode {
+                name: "counter".into(),
+                body: Counter { n },
+                input: InputFeed::Owned(Arc::new(())),
+                writer: w,
+                opts: StageOptions::with_publish_every(publish_every),
+            },
+            r,
+        )
+    }
+
+    #[test]
+    fn source_runs_to_final() {
+        let (mut node, r) = node(5, 1);
+        let ctl = ControlToken::new();
+        assert_eq!(node.drive(&ctl).unwrap(), StageEnd::Final);
+        let hist = r.history().unwrap();
+        assert_eq!(hist.len(), 5);
+        let values: Vec<u64> = hist.iter().map(|s| *s.value()).collect();
+        assert_eq!(values, vec![1, 2, 3, 4, 5]);
+        assert!(hist.last().unwrap().is_final());
+    }
+
+    #[test]
+    fn publish_granularity_reduces_versions() {
+        let (mut node, r) = node(10, 4);
+        let ctl = ControlToken::new();
+        node.drive(&ctl).unwrap();
+        let hist = r.history().unwrap();
+        // Published at steps 4, 8 and the final step 10.
+        let steps: Vec<u64> = hist.iter().map(|s| s.steps()).collect();
+        assert_eq!(steps, vec![4, 8, 10]);
+        assert_eq!(*r.latest().unwrap().value(), 10);
+    }
+
+    #[test]
+    fn stop_before_drive_publishes_nothing() {
+        let (mut node, r) = node(5, 1);
+        let ctl = ControlToken::new();
+        ctl.stop();
+        assert_eq!(node.drive(&ctl).unwrap(), StageEnd::Stopped);
+        assert!(r.latest().is_none());
+    }
+
+    #[test]
+    fn upstream_final_propagates() {
+        // Stage g doubles the latest f output; verify g finishes with the
+        // precise result once f's final version is consumed.
+        struct Doubler;
+        impl AnytimeBody for Doubler {
+            type Input = u64;
+            type Output = u64;
+            fn init(&mut self, _input: &u64) -> u64 {
+                0
+            }
+            fn step(&mut self, input: &u64, out: &mut u64, _step: u64) -> StepOutcome {
+                *out = input * 2;
+                StepOutcome::Done
+            }
+        }
+        let (mut fw, fr) = buffer::versioned::<u64>("f");
+        let (gw, gr) = buffer::versioned::<u64>("g");
+        let mut g = StageNode {
+            name: "g".into(),
+            body: Doubler,
+            input: InputFeed::Upstream(fr),
+            writer: gw,
+            opts: StageOptions::default(),
+        };
+        let ctl = ControlToken::new();
+        let h = std::thread::spawn(move || g.drive(&ctl));
+        fw.publish(10, 1);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        fw.publish_final(21, 2);
+        assert_eq!(h.join().unwrap().unwrap(), StageEnd::Final);
+        let snap = gr.latest().unwrap();
+        assert!(snap.is_final());
+        assert_eq!(*snap.value(), 42);
+    }
+
+    #[test]
+    fn closed_upstream_is_an_error() {
+        struct Id;
+        impl AnytimeBody for Id {
+            type Input = u64;
+            type Output = u64;
+            fn init(&mut self, _i: &u64) -> u64 {
+                0
+            }
+            fn step(&mut self, i: &u64, out: &mut u64, _s: u64) -> StepOutcome {
+                *out = *i;
+                StepOutcome::Done
+            }
+        }
+        let (fw, fr) = buffer::versioned::<u64>("f");
+        drop(fw);
+        let (gw, _gr) = buffer::versioned::<u64>("g");
+        let mut g = StageNode {
+            name: "g".into(),
+            body: Id,
+            input: InputFeed::Upstream(fr),
+            writer: gw,
+            opts: StageOptions::default(),
+        };
+        let ctl = ControlToken::new();
+        assert!(matches!(
+            g.drive(&ctl),
+            Err(CoreError::SourceClosed { .. })
+        ));
+    }
+
+    #[test]
+    fn stop_mid_run_publishes_progress() {
+        // A slow counter stopped mid-run leaves its freshest progress
+        // published even between granularity boundaries.
+        struct Slow;
+        impl AnytimeBody for Slow {
+            type Input = ();
+            type Output = u64;
+            fn init(&mut self, _i: &()) -> u64 {
+                0
+            }
+            fn step(&mut self, _i: &(), out: &mut u64, step: u64) -> StepOutcome {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                *out += 1;
+                if step + 1 == 1000 {
+                    StepOutcome::Done
+                } else {
+                    StepOutcome::Continue
+                }
+            }
+        }
+        let (w, r) = buffer::versioned::<u64>("slow");
+        let mut node = StageNode {
+            name: "slow".into(),
+            body: Slow,
+            input: InputFeed::Owned(Arc::new(())),
+            writer: w,
+            opts: StageOptions::with_publish_every(u64::MAX),
+        };
+        let ctl = ControlToken::new();
+        let ctl2 = ctl.clone();
+        let h = std::thread::spawn(move || node.drive(&ctl2));
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        ctl.stop();
+        assert_eq!(h.join().unwrap().unwrap(), StageEnd::Stopped);
+        let snap = r.latest().expect("progress published on stop");
+        assert!(*snap.value() > 0);
+        assert!(!snap.is_final());
+    }
+
+    #[test]
+    fn options_builder() {
+        let o = StageOptions::with_publish_every(0);
+        assert_eq!(o.publish_every, 1);
+        let o = StageOptions::default()
+            .keep_history()
+            .restart(RestartPolicy::Eager);
+        assert!(o.keep_history);
+        assert_eq!(o.restart, RestartPolicy::Eager);
+    }
+}

@@ -1,0 +1,413 @@
+//! Synchronous pipelines for distributive stages (paper §III-C2).
+//!
+//! When a parent stage `f` is diffusive — its output evolves as
+//! `F_i = F_{i-1} ♦ X_i` — and a child `g` is *distributive* over `♦`
+//! (`g(F_0 ♦ X_1 ♦ … ♦ X_n) = g(F_0) ♦ g(X_1) ♦ … ♦ g(X_n)`), running `g`
+//! asynchronously on whole snapshots re-processes every element the parent
+//! has touched so far (paper Figure 8: re-capitalizing `"hel"` when only
+//! `"l"` is new). A **synchronous pipeline** instead streams the *updates*
+//! `X_i` to the child, which folds `g(X_i)` into its own output — no
+//! redundant work (Figure 9).
+//!
+//! Unlike the asynchronous pipeline, updates must not be dropped: `f` may
+//! not overwrite `X_i` before `g` consumes it. A bounded channel provides
+//! exactly that backpressure.
+//!
+//! # Examples
+//!
+//! The paper's Figure 8/9 string example — a parent emits letters, the
+//! child upper-cases each new letter only:
+//!
+//! ```
+//! use anytime_core::{PipelineBuilder, StageOptions};
+//! use std::time::Duration;
+//!
+//! let mut pb = PipelineBuilder::new();
+//! let text = "hello".to_string();
+//! let updates = pb.sync_source("f", text, 2, |input: &String, step| {
+//!     input.chars().nth(step as usize)
+//! });
+//! let out = pb.sync_stage(
+//!     "g",
+//!     updates,
+//!     String::new,
+//!     |acc: &mut String, ch: char| acc.push(ch.to_ascii_uppercase()),
+//!     StageOptions::default(),
+//! );
+//! let auto = pb.build().launch()?;
+//! let snap = out.wait_final_timeout(Duration::from_secs(10))?;
+//! assert_eq!(snap.value(), "HELLO");
+//! auto.join()?;
+//! # Ok::<(), anytime_core::CoreError>(())
+//! ```
+
+use crate::buffer::{self, BufferOptions, BufferReader, BufferWriter};
+use crate::control::ControlToken;
+use crate::error::{CoreError, Result};
+use crate::pipeline::PipelineBuilder;
+use crate::stage::{StageEnd, StageOptions, StageRunner};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+const CHANNEL_QUANTUM: Duration = Duration::from_millis(1);
+
+enum Msg<X> {
+    Update(X),
+    Final,
+}
+
+/// The consuming end of a synchronous update stream.
+///
+/// Deliberately not [`Clone`]: the paper's synchronous pipeline is a strict
+/// one-producer/one-consumer relationship.
+pub struct UpdateReceiver<X> {
+    rx: Receiver<Msg<X>>,
+}
+
+impl<X> fmt::Debug for UpdateReceiver<X> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UpdateReceiver")
+            .field("queued", &self.rx.len())
+            .finish()
+    }
+}
+
+/// Parent-side runner: emits updates `X_1, …, X_n` into the bounded channel.
+/// Boxed update producer: `next(input, step)`.
+type NextFn<I, X> = Box<dyn FnMut(&I, u64) -> Option<X> + Send>;
+/// Boxed distributive fold.
+type FoldFn<G, X> = Box<dyn FnMut(&mut G, X) + Send>;
+
+struct UpdateSourceRunner<I, X> {
+    name: String,
+    input: Arc<I>,
+    next: NextFn<I, X>,
+    tx: Sender<Msg<X>>,
+}
+
+impl<I, X> UpdateSourceRunner<I, X> {
+    fn send(&self, ctl: &ControlToken, msg: Msg<X>) -> Result<()> {
+        let mut msg = msg;
+        loop {
+            ctl.checkpoint()?;
+            match self.tx.send_timeout(msg, CHANNEL_QUANTUM) {
+                Ok(()) => return Ok(()),
+                Err(SendTimeoutError::Timeout(m)) => msg = m,
+                Err(SendTimeoutError::Disconnected(_)) => {
+                    // A stopped consumer drops its receiver; report the stop
+                    // rather than a broken channel in that case.
+                    return if ctl.is_stopped() {
+                        Err(CoreError::Stopped)
+                    } else {
+                        Err(CoreError::ChannelClosed)
+                    };
+                }
+            }
+        }
+    }
+}
+
+impl<I, X> StageRunner for UpdateSourceRunner<I, X>
+where
+    I: Send + Sync + 'static,
+    X: Send + 'static,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn drive(&mut self, ctl: &ControlToken) -> Result<StageEnd> {
+        let input = Arc::clone(&self.input);
+        let mut step = 0u64;
+        loop {
+            match ctl.checkpoint() {
+                Ok(()) => {}
+                Err(CoreError::Stopped) => return Ok(StageEnd::Stopped),
+                Err(e) => return Err(e),
+            }
+            match (self.next)(&input, step) {
+                Some(update) => match self.send(ctl, Msg::Update(update)) {
+                    Ok(()) => step += 1,
+                    Err(CoreError::Stopped) => return Ok(StageEnd::Stopped),
+                    Err(e) => return Err(e),
+                },
+                None => {
+                    return match self.send(ctl, Msg::Final) {
+                        Ok(()) => Ok(StageEnd::Final),
+                        Err(CoreError::Stopped) => Ok(StageEnd::Stopped),
+                        Err(e) => Err(e),
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Child-side runner: folds each received update into its output.
+struct DistributiveRunner<X, G> {
+    name: String,
+    rx: Receiver<Msg<X>>,
+    init: Box<dyn FnMut() -> G + Send>,
+    fold: FoldFn<G, X>,
+    writer: BufferWriter<G>,
+    publish_every: u64,
+}
+
+impl<X, G> StageRunner for DistributiveRunner<X, G>
+where
+    X: Send + 'static,
+    G: Clone + Send + Sync + 'static,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn drive(&mut self, ctl: &ControlToken) -> Result<StageEnd> {
+        let mut out = (self.init)();
+        let mut steps = 0u64;
+        let granularity = self.publish_every.max(1);
+        let mut published_at = 0u64;
+        loop {
+            if ctl.is_stopped() {
+                if steps > published_at {
+                    self.writer.publish(out.clone(), steps);
+                }
+                return Ok(StageEnd::Stopped);
+            }
+            match self.rx.recv_timeout(CHANNEL_QUANTUM) {
+                Ok(Msg::Update(x)) => {
+                    (self.fold)(&mut out, x);
+                    steps += 1;
+                    if steps.is_multiple_of(granularity) {
+                        self.writer.publish(out.clone(), steps);
+                        published_at = steps;
+                    }
+                }
+                Ok(Msg::Final) => {
+                    self.writer.publish_final(out.clone(), steps);
+                    return Ok(StageEnd::Final);
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CoreError::SourceClosed {
+                        buffer: self.name.clone(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl PipelineBuilder {
+    /// Adds a synchronous update source: a diffusive parent that exposes its
+    /// updates `X_i` instead of whole snapshots.
+    ///
+    /// `next(input, step)` returns update `X_{step+1}`, or `None` once all
+    /// updates have been emitted. `capacity` bounds the in-flight updates;
+    /// the source blocks when the child falls behind (the paper's
+    /// "f must not overwrite `X_i` before `g(X_i)` begins executing").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn sync_source<I, X>(
+        &mut self,
+        name: impl Into<String>,
+        input: I,
+        capacity: usize,
+        next: impl FnMut(&I, u64) -> Option<X> + Send + 'static,
+    ) -> UpdateReceiver<X>
+    where
+        I: Send + Sync + 'static,
+        X: Send + 'static,
+    {
+        assert!(capacity > 0, "update channel needs capacity >= 1");
+        let (tx, rx) = bounded(capacity);
+        self.push_runner(Box::new(UpdateSourceRunner {
+            name: name.into(),
+            input: Arc::new(input),
+            next: Box::new(next),
+            tx,
+        }));
+        UpdateReceiver { rx }
+    }
+
+    /// Adds a distributive child stage folding synchronous updates.
+    ///
+    /// `init` builds `g(F_0)`; `fold(out, x)` performs
+    /// `out := out ♦ g(x)` for one update. Every update contributes usefully
+    /// to the final output — none of the re-processing an asynchronous
+    /// composition would do.
+    pub fn sync_stage<X, G>(
+        &mut self,
+        name: impl Into<String>,
+        updates: UpdateReceiver<X>,
+        init: impl FnMut() -> G + Send + 'static,
+        fold: impl FnMut(&mut G, X) + Send + 'static,
+        opts: StageOptions,
+    ) -> BufferReader<G>
+    where
+        X: Send + 'static,
+        G: Clone + Send + Sync + 'static,
+    {
+        let name = name.into();
+        let (writer, reader) = buffer::versioned_with(
+            &name,
+            BufferOptions {
+                keep_history: opts.keep_history,
+            },
+        );
+        self.push_runner(Box::new(DistributiveRunner {
+            name,
+            rx: updates.rx,
+            init: Box::new(init),
+            fold: Box::new(fold),
+            writer,
+            publish_every: opts.publish_every,
+        }));
+        reader
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn updates_fold_into_final_output() {
+        let mut pb = PipelineBuilder::new();
+        let updates = pb.sync_source("f", 10u64, 4, |n: &u64, step| {
+            (step < *n).then_some(step + 1)
+        });
+        let out = pb.sync_stage(
+            "g",
+            updates,
+            || 0u64,
+            |acc: &mut u64, x: u64| *acc += x,
+            StageOptions::default(),
+        );
+        let auto = pb.build().launch().unwrap();
+        let snap = out.wait_final_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(*snap.value(), 55);
+        let report = auto.join().unwrap();
+        assert!(report.all_final());
+    }
+
+    #[test]
+    fn no_redundant_work_each_update_processed_once() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let calls2 = Arc::clone(&calls);
+        let mut pb = PipelineBuilder::new();
+        let updates = pb.sync_source("f", 100u64, 2, |n: &u64, step| {
+            (step < *n).then_some(step)
+        });
+        let out = pb.sync_stage(
+            "g",
+            updates,
+            || 0u64,
+            move |acc: &mut u64, _x: u64| {
+                calls2.fetch_add(1, Ordering::Relaxed);
+                *acc += 1;
+            },
+            StageOptions::default(),
+        );
+        let auto = pb.build().launch().unwrap();
+        out.wait_final_timeout(Duration::from_secs(10)).unwrap();
+        auto.join().unwrap();
+        // The distributive property: exactly one fold per update, even
+        // though the parent published 100 intermediate outputs.
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn backpressure_bounds_inflight_updates() {
+        // A slow consumer must throttle the producer through the bounded
+        // channel: the producer may run at most `capacity + 1` updates
+        // ahead of the consumer.
+        let produced = Arc::new(AtomicU64::new(0));
+        let consumed = Arc::new(AtomicU64::new(0));
+        let p2 = Arc::clone(&produced);
+        let c2 = Arc::clone(&consumed);
+        let capacity = 2u64;
+        let mut pb = PipelineBuilder::new();
+        let updates = pb.sync_source("f", 50u64, capacity as usize, move |n: &u64, step| {
+            if step < *n {
+                p2.fetch_add(1, Ordering::SeqCst);
+                let ahead = p2.load(Ordering::SeqCst) - c2.load(Ordering::SeqCst);
+                assert!(
+                    ahead <= capacity + 2,
+                    "producer ran {ahead} updates ahead of consumer"
+                );
+                Some(step)
+            } else {
+                None
+            }
+        });
+        let c3 = Arc::clone(&consumed);
+        let out = pb.sync_stage(
+            "g",
+            updates,
+            || 0u64,
+            move |acc: &mut u64, _x| {
+                std::thread::sleep(Duration::from_micros(500));
+                c3.fetch_add(1, Ordering::SeqCst);
+                *acc += 1;
+            },
+            StageOptions::default(),
+        );
+        let auto = pb.build().launch().unwrap();
+        let snap = out.wait_final_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(*snap.value(), 50);
+        auto.join().unwrap();
+    }
+
+    #[test]
+    fn stop_interrupts_both_sides() {
+        let mut pb = PipelineBuilder::new();
+        let updates = pb.sync_source("f", u64::MAX, 2, |_: &u64, step| Some(step));
+        let out = pb.sync_stage(
+            "g",
+            updates,
+            || 0u64,
+            |acc: &mut u64, _x| {
+                std::thread::sleep(Duration::from_micros(200));
+                *acc += 1;
+            },
+            StageOptions::with_publish_every(8),
+        );
+        let auto = pb.build().launch().unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        let report = auto.stop_and_join().unwrap();
+        assert!(!report.all_final());
+        // The interrupted child still published a valid partial fold.
+        assert!(*out.latest().unwrap().value() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity >= 1")]
+    fn zero_capacity_panics() {
+        let mut pb = PipelineBuilder::new();
+        let _ = pb.sync_source("f", 1u64, 0, |_: &u64, _| Some(0u64));
+    }
+
+    #[test]
+    fn empty_update_stream_finalizes_seed() {
+        let mut pb = PipelineBuilder::new();
+        let updates = pb.sync_source("f", 0u64, 1, |n: &u64, step| (step < *n).then_some(step));
+        let out = pb.sync_stage(
+            "g",
+            updates,
+            || 7u64,
+            |acc: &mut u64, x| *acc += x,
+            StageOptions::default(),
+        );
+        let auto = pb.build().launch().unwrap();
+        let snap = out.wait_final_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(*snap.value(), 7);
+        assert_eq!(snap.steps(), 0);
+        auto.join().unwrap();
+    }
+}

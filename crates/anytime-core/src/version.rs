@@ -1,0 +1,168 @@
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonically increasing output-version number.
+///
+/// Version 1 is the first published approximation (the paper's `O_1`);
+/// higher versions are strictly more recent. Versions are per-buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Version(u64);
+
+impl Version {
+    /// The first published version.
+    pub const FIRST: Version = Version(1);
+
+    /// Creates a version with the given raw counter value.
+    ///
+    /// Mostly useful in tests; buffers assign versions themselves.
+    pub fn new(v: u64) -> Self {
+        Self(v)
+    }
+
+    /// The raw version counter.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// The next version after this one.
+    pub fn next(&self) -> Version {
+        Version(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Metadata attached to every published output version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// The version number of this publication.
+    pub version: Version,
+    /// Number of intermediate computations (anytime steps) completed when
+    /// this version was published. For sampled stages this is the sample
+    /// size — the x-axis of the paper's Figures 19 and 20.
+    pub steps: u64,
+    /// `true` when this is the precise output (the paper's `O_n`); no
+    /// further versions will be published.
+    pub is_final: bool,
+}
+
+/// An immutable, atomically published view of a stage output.
+///
+/// Snapshots are cheap to clone (the value is behind an [`Arc`]) and are
+/// what consumers — dependent stages, accuracy monitors, the end user —
+/// observe. Atomic whole-value publication is the paper's **Property 3**:
+/// a consumer never sees a partially written output.
+pub struct Snapshot<T> {
+    pub(crate) value: Arc<T>,
+    pub(crate) meta: SnapshotMeta,
+    pub(crate) published_at: Instant,
+}
+
+impl<T> Snapshot<T> {
+    /// The published value.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+
+    /// A shared handle to the published value.
+    pub fn value_arc(&self) -> Arc<T> {
+        Arc::clone(&self.value)
+    }
+
+    /// Publication metadata: version, step count, finality.
+    pub fn meta(&self) -> SnapshotMeta {
+        self.meta
+    }
+
+    /// The version number of this snapshot.
+    pub fn version(&self) -> Version {
+        self.meta.version
+    }
+
+    /// Number of anytime steps completed at publication time.
+    pub fn steps(&self) -> u64 {
+        self.meta.steps
+    }
+
+    /// `true` if this snapshot is the precise (final) output.
+    pub fn is_final(&self) -> bool {
+        self.meta.is_final
+    }
+
+    /// The instant this version was published.
+    pub fn published_at(&self) -> Instant {
+        self.published_at
+    }
+}
+
+impl<T> Clone for Snapshot<T> {
+    fn clone(&self) -> Self {
+        Self {
+            value: Arc::clone(&self.value),
+            meta: self.meta,
+            published_at: self.published_at,
+        }
+    }
+}
+
+impl<T> fmt::Debug for Snapshot<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("version", &self.meta.version)
+            .field("steps", &self.meta.steps)
+            .field("is_final", &self.meta.is_final)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(v: u64, is_final: bool) -> Snapshot<i32> {
+        Snapshot {
+            value: Arc::new(42),
+            meta: SnapshotMeta {
+                version: Version::new(v),
+                steps: v,
+                is_final,
+            },
+            published_at: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn version_ordering() {
+        assert!(Version::FIRST < Version::FIRST.next());
+        assert_eq!(Version::new(3).get(), 3);
+        assert_eq!(Version::new(3).to_string(), "v3");
+    }
+
+    #[test]
+    fn snapshot_accessors() {
+        let s = snap(2, false);
+        assert_eq!(*s.value(), 42);
+        assert_eq!(s.version(), Version::new(2));
+        assert_eq!(s.steps(), 2);
+        assert!(!s.is_final());
+        assert_eq!(*s.value_arc(), 42);
+    }
+
+    #[test]
+    fn snapshot_clone_shares_value() {
+        let s = snap(1, true);
+        let t = s.clone();
+        assert!(Arc::ptr_eq(&s.value, &t.value));
+        assert!(t.is_final());
+    }
+
+    #[test]
+    fn snapshot_debug_nonempty() {
+        assert!(!format!("{:?}", snap(1, false)).is_empty());
+    }
+}

@@ -1,0 +1,152 @@
+//! Concurrency stress tests for the versioned output buffer — the
+//! foundation of the paper's Property 3 (atomic whole-value publication).
+
+use anytime_core::buffer::{self, BufferOptions};
+use anytime_core::{ControlToken, Version};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+#[test]
+fn many_readers_never_observe_regressions() {
+    let (mut w, r) = buffer::versioned::<u64>("mono");
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let r = r.clone();
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut last = 0u64;
+                let mut observed = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    if let Some(snap) = r.latest() {
+                        let v = *snap.value();
+                        assert!(v >= last, "value went backwards: {v} < {last}");
+                        assert_eq!(
+                            snap.steps(),
+                            v,
+                            "metadata decoupled from value"
+                        );
+                        last = v;
+                        observed += 1;
+                    }
+                }
+                observed
+            })
+        })
+        .collect();
+    for i in 1..=20_000u64 {
+        w.publish(i, i);
+    }
+    w.publish_final(20_001, 20_001);
+    stop.store(true, Ordering::Relaxed);
+    for h in readers {
+        assert!(h.join().unwrap() > 0);
+    }
+}
+
+#[test]
+fn waiters_see_every_version_when_history_enabled() {
+    let (mut w, r) = buffer::versioned_with::<u64>("hist", BufferOptions { keep_history: true });
+    let ctl = ControlToken::new();
+    let r2 = r.clone();
+    let ctl2 = ctl.clone();
+    let consumer = thread::spawn(move || {
+        // Walk versions strictly in order using wait_newer.
+        let mut seen = Vec::new();
+        let mut last: Option<Version> = None;
+        loop {
+            match r2.wait_newer(last, &ctl2) {
+                Ok(snap) => {
+                    last = Some(snap.version());
+                    seen.push(snap.version().get());
+                    if snap.is_final() {
+                        return seen;
+                    }
+                }
+                Err(_) => return seen,
+            }
+        }
+    });
+    for i in 1..=200u64 {
+        w.publish(i, i);
+        // Give the consumer a chance to observe some intermediate versions.
+        if i % 50 == 0 {
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+    w.publish_final(201, 201);
+    let seen = consumer.join().unwrap();
+    // Observed versions are strictly increasing and include the final one.
+    assert!(seen.windows(2).all(|w| w[1] > w[0]));
+    assert_eq!(*seen.last().unwrap(), 201);
+    // History holds *every* version regardless of consumer pacing.
+    assert_eq!(r.history().unwrap().len(), 201);
+}
+
+#[test]
+fn concurrent_waiters_all_release_on_final() {
+    let (mut w, r) = buffer::versioned::<&'static str>("final");
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            let r = r.clone();
+            thread::spawn(move || {
+                r.wait_final_timeout(Duration::from_secs(30))
+                    .map(|s| *s.value())
+            })
+        })
+        .collect();
+    thread::sleep(Duration::from_millis(20));
+    w.publish("draft", 1);
+    w.publish_final("done", 2);
+    for h in handles {
+        assert_eq!(h.join().unwrap().unwrap(), "done");
+    }
+}
+
+#[test]
+fn writer_drop_releases_all_waiters() {
+    let (w, r) = buffer::versioned::<u8>("orphan");
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let r = r.clone();
+            thread::spawn(move || r.wait_final_timeout(Duration::from_secs(30)).is_err())
+        })
+        .collect();
+    thread::sleep(Duration::from_millis(20));
+    drop(w);
+    for h in handles {
+        assert!(h.join().unwrap(), "waiter should error on closed buffer");
+    }
+}
+
+#[test]
+fn stop_releases_waiters_before_any_publish() {
+    let (_w, r) = buffer::versioned::<u8>("early-stop");
+    let ctl = ControlToken::new();
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let r = r.clone();
+            let ctl = ctl.clone();
+            thread::spawn(move || r.wait_newer(None, &ctl).is_err())
+        })
+        .collect();
+    thread::sleep(Duration::from_millis(20));
+    ctl.stop();
+    for h in handles {
+        assert!(h.join().unwrap());
+    }
+}
+
+#[test]
+fn snapshot_values_are_shared_not_copied() {
+    let (mut w, r) = buffer::versioned::<Vec<u8>>("share");
+    w.publish(vec![9u8; 1 << 20], 1);
+    let a = r.latest().unwrap();
+    let b = r.latest().unwrap();
+    // Both snapshots point at the same allocation.
+    assert!(std::ptr::eq(a.value().as_ptr(), b.value().as_ptr()));
+    let arc = a.value_arc();
+    assert!(std::ptr::eq(arc.as_ptr(), b.value().as_ptr()));
+}

@@ -1,0 +1,154 @@
+//! Integration tests of the executor: external control tokens, eager
+//! restarts, and multi-stage stop behaviour.
+
+use anytime_core::{
+    ControlToken, Diffusive, PipelineBuilder, Precise, RestartPolicy, StageEnd, StageOptions,
+    StepOutcome,
+};
+use std::time::Duration;
+
+fn counter(n: u64, delay: Duration) -> Diffusive<(), u64> {
+    Diffusive::new(
+        move |_: &()| 0u64,
+        move |_: &(), out: &mut u64, step| {
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+            *out += 1;
+            if step + 1 == n {
+                StepOutcome::Done
+            } else {
+                StepOutcome::Continue
+            }
+        },
+    )
+}
+
+#[test]
+fn external_token_stops_the_automaton() {
+    let ctl = ControlToken::new();
+    let mut pb = PipelineBuilder::new();
+    let out = pb.source(
+        "slow",
+        (),
+        counter(1_000_000, Duration::from_micros(100)),
+        StageOptions::default(),
+    );
+    let auto = pb.build().launch_with(ctl.clone()).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    // Stop through the external token, not the automaton handle.
+    ctl.stop();
+    let report = auto.join().unwrap();
+    assert_eq!(report.stages[0].end, StageEnd::Stopped);
+    assert!(out.latest().is_some());
+}
+
+#[test]
+fn eager_restart_abandons_stale_input() {
+    // A slow child with eager restart must still deliver the precise
+    // output for the *final* parent version, having abandoned earlier runs.
+    let mut pb = PipelineBuilder::new();
+    let parent = pb.source(
+        "parent",
+        (),
+        counter(50, Duration::from_micros(300)),
+        StageOptions::with_publish_every(10),
+    );
+    let child = pb.stage(
+        "child",
+        &parent,
+        Diffusive::new(
+            |_: &u64| 0u64,
+            |input: &u64, out: &mut u64, step| {
+                std::thread::sleep(Duration::from_micros(200));
+                *out = input * 10;
+                if step == 20 {
+                    StepOutcome::Done
+                } else {
+                    StepOutcome::Continue
+                }
+            },
+        ),
+        StageOptions::default().restart(RestartPolicy::Eager),
+    );
+    let auto = pb.build().launch().unwrap();
+    let snap = child.wait_final_timeout(Duration::from_secs(60)).unwrap();
+    assert_eq!(*snap.value(), 500);
+    let report = auto.join().unwrap();
+    assert!(report.all_final());
+}
+
+#[test]
+fn on_completion_restart_processes_whole_versions() {
+    // With the default policy, the child's outputs always correspond to a
+    // fully processed parent version (never a torn mixture).
+    let mut pb = PipelineBuilder::new();
+    let parent = pb.source(
+        "parent",
+        (),
+        counter(20, Duration::from_micros(500)),
+        StageOptions::with_publish_every(5),
+    );
+    let child = pb.stage(
+        "child",
+        &parent,
+        Precise::new(|input: &u64| (*input, *input)),
+        StageOptions::default().keep_history(),
+    );
+    let auto = pb.build().launch().unwrap();
+    auto.join().unwrap();
+    for snap in child.history().unwrap() {
+        let (a, b) = *snap.value();
+        assert_eq!(a, b, "child saw a torn parent version");
+        assert!(a % 5 == 0, "child consumed a non-published value: {a}");
+    }
+    assert_eq!(*child.latest().unwrap().value(), (20, 20));
+}
+
+#[test]
+fn diamond_pipeline_stops_cleanly_at_every_point() {
+    // Stop a diamond (f -> g,h -> join -> i) at several moments; no stage
+    // may error, and any published sink output must be consistent.
+    for stop_after in [0u64, 2, 10, 40] {
+        let mut pb = PipelineBuilder::new();
+        let f = pb.source(
+            "f",
+            (),
+            counter(100, Duration::from_micros(200)),
+            StageOptions::with_publish_every(10),
+        );
+        let g = pb.stage("g", &f, Precise::new(|v: &u64| v + 1), StageOptions::default());
+        let h = pb.stage("h", &f, Precise::new(|v: &u64| v + 2), StageOptions::default());
+        let j = pb.join2("j", &g, &h);
+        let i = pb.stage(
+            "i",
+            &j,
+            Precise::new(|(g, h): &(std::sync::Arc<u64>, std::sync::Arc<u64>)| **g + **h),
+            StageOptions::default(),
+        );
+        let auto = pb.build().launch().unwrap();
+        std::thread::sleep(Duration::from_millis(stop_after));
+        auto.stop();
+        auto.join().unwrap();
+        if let Some(snap) = i.latest() {
+            // i = (f+1) + (f+2) for some published f values (possibly from
+            // different versions of f — the asynchronous model allows g and
+            // h to lag differently).
+            let v = *snap.value();
+            assert!((3..=203).contains(&v), "implausible sink value {v}");
+        }
+    }
+}
+
+#[test]
+fn is_done_tracks_completion() {
+    let mut pb = PipelineBuilder::new();
+    let _ = pb.source("quick", (), counter(3, Duration::ZERO), StageOptions::default());
+    let auto = pb.build().launch().unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while !auto.is_done() && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(auto.is_done());
+    assert!(auto.join().unwrap().all_final());
+}

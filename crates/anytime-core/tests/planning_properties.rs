@@ -1,0 +1,129 @@
+//! Property tests for the planning modules: contract plans must respect
+//! deadlines and pick maximal quality; scheduler allocations must conserve
+//! threads and honor their policy's objective.
+
+use anytime_core::contract::{plan_single_level, plan_with_insurance, LevelEstimate};
+use anytime_core::scheduler::{
+    allocate, estimate_first_output_latency, estimate_output_gap, AllocPolicy,
+};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn arb_estimates() -> impl Strategy<Value = Vec<LevelEstimate>> {
+    // Monotone non-decreasing qualities, arbitrary costs.
+    prop::collection::vec((1u64..1000, 0.0f64..100.0), 1..10).prop_map(|raw| {
+        let mut quality = 0.0;
+        raw.into_iter()
+            .enumerate()
+            .map(|(level, (cost_ms, dq))| {
+                quality += dq;
+                LevelEstimate {
+                    level: level as u64,
+                    cost: Duration::from_millis(cost_ms),
+                    quality,
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn single_level_plans_are_optimal_or_fallback(
+        estimates in arb_estimates(),
+        deadline_ms in 0u64..2000,
+    ) {
+        let deadline = Duration::from_millis(deadline_ms);
+        let plan = plan_single_level(&estimates, deadline).unwrap();
+        prop_assert_eq!(plan.levels.len(), 1);
+        let chosen = plan.levels[0];
+        let chosen_est = estimates.iter().find(|e| e.level == chosen).unwrap();
+        if estimates.iter().any(|e| e.cost <= deadline) {
+            // Fits, and nothing that fits has higher quality.
+            prop_assert!(chosen_est.cost <= deadline);
+            for e in &estimates {
+                if e.cost <= deadline {
+                    prop_assert!(e.quality <= chosen_est.quality);
+                }
+            }
+        } else {
+            // Fallback: cheapest level.
+            let min_cost = estimates.iter().map(|e| e.cost).min().unwrap();
+            prop_assert_eq!(chosen_est.cost, min_cost);
+        }
+    }
+
+    #[test]
+    fn insured_plans_respect_deadline_and_end_highest(
+        estimates in arb_estimates(),
+        deadline_ms in 0u64..3000,
+    ) {
+        let deadline = Duration::from_millis(deadline_ms);
+        let plan = plan_with_insurance(&estimates, deadline).unwrap();
+        prop_assert!(!plan.levels.is_empty());
+        // Levels ascend and end at the maximum.
+        for w in plan.levels.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        let last = *plan.levels.last().unwrap();
+        prop_assert_eq!(last, plan.levels.iter().copied().max().unwrap());
+        // If any level fits the deadline, the whole plan does.
+        if estimates.iter().any(|e| e.cost <= deadline) {
+            prop_assert!(plan.expected_cost <= deadline);
+        }
+        // The insured final quality equals the single-level plan's.
+        let single = plan_single_level(&estimates, deadline).unwrap();
+        prop_assert_eq!(plan.expected_quality, single.expected_quality);
+    }
+
+    #[test]
+    fn allocations_conserve_threads_and_floor(
+        weights in prop::collection::vec(0.1f64..100.0, 1..12),
+        threads in 1usize..64,
+    ) {
+        for policy in [
+            AllocPolicy::Equal,
+            AllocPolicy::Proportional,
+            AllocPolicy::FirstOutputFirst,
+            AllocPolicy::UpdateRateFirst,
+        ] {
+            let alloc = allocate(policy, &weights, threads);
+            prop_assert_eq!(alloc.len(), weights.len());
+            prop_assert!(alloc.iter().all(|&t| t >= 1), "policy {:?}", policy);
+            prop_assert_eq!(
+                alloc.iter().sum::<usize>(),
+                threads.max(weights.len()),
+                "policy {:?}",
+                policy
+            );
+        }
+    }
+
+    #[test]
+    fn first_output_first_minimizes_first_output_estimate(
+        weights in prop::collection::vec(0.1f64..100.0, 2..8),
+        spare in 0usize..24,
+    ) {
+        let threads = weights.len() + spare;
+        let fof = allocate(AllocPolicy::FirstOutputFirst, &weights, threads);
+        let urf = allocate(AllocPolicy::UpdateRateFirst, &weights, threads);
+        let lat_fof = estimate_first_output_latency(&weights, &fof, 0.25);
+        let lat_urf = estimate_first_output_latency(&weights, &urf, 0.25);
+        // Giving the spare threads to the longest stage can never yield a
+        // worse first-output estimate than giving them to the last stage.
+        prop_assert!(lat_fof <= lat_urf + 1e-9);
+    }
+
+    #[test]
+    fn equal_allocation_bounds_output_gap(
+        weights in prop::collection::vec(0.5f64..10.0, 2..8),
+    ) {
+        let threads = weights.len() * 4;
+        let eq = allocate(AllocPolicy::Equal, &weights, threads);
+        let gap = estimate_output_gap(&weights, &eq, 0.25);
+        // Gap is set by the heaviest stage under its share.
+        let max_w = weights.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(gap <= max_w * 0.25);
+        prop_assert!(gap > 0.0);
+    }
+}

@@ -1,0 +1,80 @@
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors produced by the image substrate.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ImgError {
+    /// Width/height/channel counts do not match the data length.
+    DimensionMismatch {
+        /// Expected element count (`width * height * channels`).
+        expected: usize,
+        /// Actual element count provided.
+        got: usize,
+    },
+    /// An image dimension is zero.
+    EmptyImage,
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// A PGM/PPM stream was malformed.
+    Parse(String),
+}
+
+impl fmt::Display for ImgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DimensionMismatch { expected, got } => {
+                write!(f, "image data holds {got} elements, expected {expected}")
+            }
+            Self::EmptyImage => write!(f, "image dimensions must be non-zero"),
+            Self::Io(e) => write!(f, "image i/o failed: {e}"),
+            Self::Parse(msg) => write!(f, "malformed image stream: {msg}"),
+        }
+    }
+}
+
+impl Error for ImgError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ImgError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Result alias for image operations.
+pub type Result<T> = std::result::Result<T, ImgError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errs: Vec<ImgError> = vec![
+            ImgError::DimensionMismatch {
+                expected: 4,
+                got: 3,
+            },
+            ImgError::EmptyImage,
+            ImgError::Io(io::Error::other("x")),
+            ImgError::Parse("bad magic".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        let e = ImgError::from(io::Error::other("x"));
+        assert!(e.source().is_some());
+    }
+}

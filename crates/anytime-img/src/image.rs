@@ -1,0 +1,297 @@
+use crate::error::{ImgError, Result};
+use std::fmt;
+
+/// A row-major, interleaved-channel raster image.
+///
+/// `T` is the sample type (`u8` for the paper's 8-bit pixels, wider types
+/// for intermediate precision). Pixels are stored row-major; a pixel's
+/// channels are contiguous.
+///
+/// # Examples
+///
+/// ```
+/// use anytime_img::ImageBuf;
+///
+/// let mut img = ImageBuf::<u8>::new(4, 3, 1)?;
+/// img.set_pixel(2, 1, &[200]);
+/// assert_eq!(img.pixel(2, 1), &[200]);
+/// assert_eq!(img.pixel_count(), 12);
+/// # Ok::<(), anytime_img::ImgError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct ImageBuf<T> {
+    width: usize,
+    height: usize,
+    channels: usize,
+    data: Vec<T>,
+}
+
+/// An 8-bit grayscale image.
+pub type GrayImage = ImageBuf<u8>;
+/// An 8-bit interleaved RGB image.
+pub type RgbImage = ImageBuf<u8>;
+
+impl<T: Copy + Default> ImageBuf<T> {
+    /// Creates an image filled with `T::default()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImgError::EmptyImage`] if any dimension is zero.
+    pub fn new(width: usize, height: usize, channels: usize) -> Result<Self> {
+        if width == 0 || height == 0 || channels == 0 {
+            return Err(ImgError::EmptyImage);
+        }
+        Ok(Self {
+            width,
+            height,
+            channels,
+            data: vec![T::default(); width * height * channels],
+        })
+    }
+
+    /// Creates an image filled with a constant sample value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImgError::EmptyImage`] if any dimension is zero.
+    pub fn filled(width: usize, height: usize, channels: usize, value: T) -> Result<Self> {
+        let mut img = Self::new(width, height, channels)?;
+        img.data.fill(value);
+        Ok(img)
+    }
+}
+
+impl<T: Copy> ImageBuf<T> {
+    /// Wraps existing sample data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImgError::EmptyImage`] for zero dimensions and
+    /// [`ImgError::DimensionMismatch`] if `data.len()` is not
+    /// `width * height * channels`.
+    pub fn from_vec(width: usize, height: usize, channels: usize, data: Vec<T>) -> Result<Self> {
+        if width == 0 || height == 0 || channels == 0 {
+            return Err(ImgError::EmptyImage);
+        }
+        let expected = width * height * channels;
+        if data.len() != expected {
+            return Err(ImgError::DimensionMismatch {
+                expected,
+                got: data.len(),
+            });
+        }
+        Ok(Self {
+            width,
+            height,
+            channels,
+            data,
+        })
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Samples per pixel (1 = grayscale, 3 = RGB).
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Total number of pixels (`width * height`).
+    pub fn pixel_count(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// The raw sample slice, row-major, channels interleaved.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// The raw mutable sample slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the image, returning its sample data.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// The channel samples of the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` is out of bounds.
+    pub fn pixel(&self, x: usize, y: usize) -> &[T] {
+        let i = self.sample_index(x, y);
+        &self.data[i..i + self.channels]
+    }
+
+    /// Writes the channel samples of the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` is out of bounds or `samples.len() != channels`.
+    pub fn set_pixel(&mut self, x: usize, y: usize, samples: &[T]) {
+        assert_eq!(samples.len(), self.channels, "one sample per channel");
+        let i = self.sample_index(x, y);
+        self.data[i..i + self.channels].copy_from_slice(samples);
+    }
+
+    /// Flat sample index of the first channel of pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` is out of bounds.
+    pub fn sample_index(&self, x: usize, y: usize) -> usize {
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x}, {y}) outside {}x{}",
+            self.width,
+            self.height
+        );
+        (y * self.width + x) * self.channels
+    }
+
+    /// Pixel coordinates `(x, y)` of a flat *pixel* index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= pixel_count()`.
+    pub fn pixel_coords(&self, index: usize) -> (usize, usize) {
+        assert!(index < self.pixel_count(), "pixel index out of range");
+        (index % self.width, index / self.width)
+    }
+
+    /// The pixel at a flat pixel index.
+    pub fn pixel_at(&self, index: usize) -> &[T] {
+        let (x, y) = self.pixel_coords(index);
+        self.pixel(x, y)
+    }
+
+    /// Writes the pixel at a flat pixel index.
+    pub fn set_pixel_at(&mut self, index: usize, samples: &[T]) {
+        let (x, y) = self.pixel_coords(index);
+        self.set_pixel(x, y, samples);
+    }
+
+    /// Clamps `(x, y)` (signed) to the image border and returns that pixel —
+    /// the usual edge handling for convolution.
+    pub fn pixel_clamped(&self, x: isize, y: isize) -> &[T] {
+        let cx = x.clamp(0, self.width as isize - 1) as usize;
+        let cy = y.clamp(0, self.height as isize - 1) as usize;
+        self.pixel(cx, cy)
+    }
+
+    /// Maps every sample through `f` into a new image of the same shape.
+    pub fn map<U: Copy>(&self, f: impl Fn(T) -> U) -> ImageBuf<U> {
+        ImageBuf {
+            width: self.width,
+            height: self.height,
+            channels: self.channels,
+            data: self.data.iter().map(|&s| f(s)).collect(),
+        }
+    }
+}
+
+impl ImageBuf<u8> {
+    /// Converts samples to `f64` for metric computations.
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        self.data.iter().map(|&s| f64::from(s)).collect()
+    }
+}
+
+impl<T> fmt::Debug for ImageBuf<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ImageBuf")
+            .field("width", &self.width)
+            .field("height", &self.height)
+            .field("channels", &self.channels)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let img = ImageBuf::<u8>::new(3, 2, 3).unwrap();
+        assert_eq!(img.width(), 3);
+        assert_eq!(img.height(), 2);
+        assert_eq!(img.channels(), 3);
+        assert_eq!(img.pixel_count(), 6);
+        assert_eq!(img.as_slice().len(), 18);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(matches!(
+            ImageBuf::<u8>::new(0, 2, 1),
+            Err(ImgError::EmptyImage)
+        ));
+        assert!(matches!(
+            ImageBuf::from_vec(2, 2, 1, vec![0u8; 3]),
+            Err(ImgError::DimensionMismatch {
+                expected: 4,
+                got: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn pixel_round_trip() {
+        let mut img = ImageBuf::<u8>::new(4, 4, 3).unwrap();
+        img.set_pixel(1, 2, &[10, 20, 30]);
+        assert_eq!(img.pixel(1, 2), &[10, 20, 30]);
+        let idx = 2 * 4 + 1;
+        assert_eq!(img.pixel_at(idx), &[10, 20, 30]);
+        img.set_pixel_at(idx, &[1, 2, 3]);
+        assert_eq!(img.pixel(1, 2), &[1, 2, 3]);
+        assert_eq!(img.pixel_coords(idx), (1, 2));
+    }
+
+    #[test]
+    fn clamped_access() {
+        let mut img = ImageBuf::<u8>::new(2, 2, 1).unwrap();
+        img.set_pixel(0, 0, &[5]);
+        img.set_pixel(1, 1, &[9]);
+        assert_eq!(img.pixel_clamped(-3, -3), &[5]);
+        assert_eq!(img.pixel_clamped(10, 10), &[9]);
+    }
+
+    #[test]
+    fn map_changes_sample_type() {
+        let img = ImageBuf::filled(2, 2, 1, 7u8).unwrap();
+        let wide = img.map(|s| u32::from(s) * 100);
+        assert_eq!(wide.pixel(0, 0), &[700u32]);
+        assert_eq!(wide.width(), 2);
+    }
+
+    #[test]
+    fn f64_conversion() {
+        let img = ImageBuf::filled(1, 1, 2, 3u8).unwrap();
+        assert_eq!(img.to_f64_vec(), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_bounds_pixel_panics() {
+        let img = ImageBuf::<u8>::new(2, 2, 1).unwrap();
+        let _ = img.pixel(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one sample per channel")]
+    fn wrong_channel_count_panics() {
+        let mut img = ImageBuf::<u8>::new(2, 2, 3).unwrap();
+        img.set_pixel(0, 0, &[1]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Convolution kernels and a precise 2-D convolution, the substrate of the
+//! paper's `2dconv` benchmark (a blur filter applied via per-pixel dot
+//! products).
+
+use crate::image::ImageBuf;
+
+/// A square convolution kernel with `f64` weights.
+///
+/// # Examples
+///
+/// ```
+/// use anytime_img::Kernel;
+/// let k = Kernel::box_blur(3);
+/// assert_eq!(k.size(), 3);
+/// let total: f64 = k.weights().iter().sum();
+/// assert!((total - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    size: usize,
+    weights: Vec<f64>,
+}
+
+impl Kernel {
+    /// Creates a kernel from row-major weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is even or zero, or if `weights.len() != size²`.
+    pub fn new(size: usize, weights: Vec<f64>) -> Self {
+        assert!(size % 2 == 1, "kernel size must be odd");
+        assert_eq!(weights.len(), size * size, "size² weights required");
+        Self { size, weights }
+    }
+
+    /// A normalized `size x size` box blur.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is even or zero.
+    pub fn box_blur(size: usize) -> Self {
+        assert!(size % 2 == 1 && size > 0, "kernel size must be odd");
+        let w = 1.0 / (size * size) as f64;
+        Self::new(size, vec![w; size * size])
+    }
+
+    /// A normalized Gaussian blur of the given size and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is even or zero, or `sigma <= 0`.
+    pub fn gaussian(size: usize, sigma: f64) -> Self {
+        assert!(size % 2 == 1 && size > 0, "kernel size must be odd");
+        assert!(sigma > 0.0, "sigma must be positive");
+        let half = (size / 2) as isize;
+        let mut weights = Vec::with_capacity(size * size);
+        for dy in -half..=half {
+            for dx in -half..=half {
+                let d2 = (dx * dx + dy * dy) as f64;
+                weights.push((-d2 / (2.0 * sigma * sigma)).exp());
+            }
+        }
+        let total: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= total;
+        }
+        Self::new(size, weights)
+    }
+
+    /// A 3×3 sharpening kernel.
+    pub fn sharpen() -> Self {
+        Self::new(
+            3,
+            vec![0.0, -1.0, 0.0, -1.0, 5.0, -1.0, 0.0, -1.0, 0.0],
+        )
+    }
+
+    /// Kernel side length (odd).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Half the kernel size, rounded down (the filter radius).
+    pub fn radius(&self) -> isize {
+        (self.size / 2) as isize
+    }
+
+    /// The row-major weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The weight at kernel offset `(dx, dy)`, each in `[-radius, radius]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset is outside the kernel.
+    pub fn weight(&self, dx: isize, dy: isize) -> f64 {
+        let r = self.radius();
+        assert!(dx.abs() <= r && dy.abs() <= r, "offset outside kernel");
+        self.weights[((dy + r) as usize) * self.size + (dx + r) as usize]
+    }
+
+    /// Convolves one pixel of `img` (with border clamping) and returns the
+    /// filtered channel values.
+    pub fn apply_at(&self, img: &ImageBuf<u8>, x: usize, y: usize) -> Vec<u8> {
+        let r = self.radius();
+        let mut acc = vec![0.0f64; img.channels()];
+        for dy in -r..=r {
+            for dx in -r..=r {
+                let w = self.weight(dx, dy);
+                let px = img.pixel_clamped(x as isize + dx, y as isize + dy);
+                for (a, &s) in acc.iter_mut().zip(px) {
+                    *a += w * f64::from(s);
+                }
+            }
+        }
+        acc.iter()
+            .map(|&a| a.round().clamp(0.0, 255.0) as u8)
+            .collect()
+    }
+}
+
+/// Precise full-image convolution: the `2dconv` baseline.
+pub fn convolve(img: &ImageBuf<u8>, kernel: &Kernel) -> ImageBuf<u8> {
+    let mut out = img.clone();
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            let px = kernel.apply_at(img, x, y);
+            out.set_pixel(x, y, &px);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    #[test]
+    fn box_blur_preserves_constant_images() {
+        let img = ImageBuf::filled(8, 8, 1, 100u8).unwrap();
+        let out = convolve(&img, &Kernel::box_blur(3));
+        assert_eq!(out, img);
+    }
+
+    #[test]
+    fn gaussian_sums_to_one_and_peaks_center() {
+        let k = Kernel::gaussian(5, 1.0);
+        let total: f64 = k.weights().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(k.weight(0, 0) > k.weight(2, 2));
+    }
+
+    #[test]
+    fn blur_smooths_checkerboard() {
+        let img = synth::checkerboard(16, 16, 1);
+        let out = convolve(&img, &Kernel::box_blur(3));
+        // A 1-pixel checkerboard under a 3x3 box blur lands mid-range.
+        let interior = out.pixel(8, 8)[0];
+        assert!((90..=170).contains(&interior), "got {interior}");
+    }
+
+    #[test]
+    fn sharpening_identity_on_flat_regions() {
+        let img = ImageBuf::filled(6, 6, 1, 55u8).unwrap();
+        let out = convolve(&img, &Kernel::sharpen());
+        assert_eq!(out, img);
+    }
+
+    #[test]
+    fn border_clamping_keeps_range() {
+        let img = synth::gradient(16, 16);
+        let out = convolve(&img, &Kernel::gaussian(9, 2.0));
+        assert_eq!(out.width(), 16);
+        // Blurring a horizontal ramp keeps each row non-decreasing.
+        for x in 1..16 {
+            assert!(out.pixel(x, 8)[0] >= out.pixel(x - 1, 8)[0]);
+        }
+    }
+
+    #[test]
+    fn rgb_convolution_filters_channels_independently() {
+        let mut img = ImageBuf::<u8>::new(5, 5, 3).unwrap();
+        img.set_pixel(2, 2, &[255, 0, 0]);
+        let out = convolve(&img, &Kernel::box_blur(3));
+        let p = out.pixel(2, 2);
+        assert!(p[0] > 0, "red energy spread");
+        assert_eq!(p[1], 0);
+        assert_eq!(p[2], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_kernel_size_panics() {
+        Kernel::box_blur(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "size² weights")]
+    fn wrong_weight_count_panics() {
+        Kernel::new(3, vec![1.0; 8]);
+    }
+}

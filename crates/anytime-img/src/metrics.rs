@@ -1,0 +1,134 @@
+//! Image accuracy metrics, matching the paper's methodology (§IV-A2):
+//! signal-to-noise ratio in decibels of an approximate output relative to
+//! the baseline precise output, with ∞ dB meaning identical.
+
+use crate::image::ImageBuf;
+
+/// Mean squared error between two images of identical shape.
+///
+/// # Panics
+///
+/// Panics if the images differ in shape.
+pub fn mse(approx: &ImageBuf<u8>, reference: &ImageBuf<u8>) -> f64 {
+    assert_same_shape(approx, reference);
+    let sum: f64 = approx
+        .as_slice()
+        .iter()
+        .zip(reference.as_slice())
+        .map(|(&a, &r)| {
+            let d = f64::from(a) - f64::from(r);
+            d * d
+        })
+        .sum();
+    sum / reference.as_slice().len() as f64
+}
+
+/// Signal-to-noise ratio of `approx` relative to `reference`, in decibels.
+///
+/// `SNR = 10·log10(Σ r² / Σ (r − a)²)`; [`f64::INFINITY`] for identical
+/// images (the paper's precise point).
+///
+/// # Panics
+///
+/// Panics if the images differ in shape.
+pub fn snr_db(approx: &ImageBuf<u8>, reference: &ImageBuf<u8>) -> f64 {
+    assert_same_shape(approx, reference);
+    let mut signal = 0.0f64;
+    let mut noise = 0.0f64;
+    for (&a, &r) in approx.as_slice().iter().zip(reference.as_slice()) {
+        let rf = f64::from(r);
+        let d = f64::from(a) - rf;
+        signal += rf * rf;
+        noise += d * d;
+    }
+    if noise == 0.0 {
+        f64::INFINITY
+    } else if signal == 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        10.0 * (signal / noise).log10()
+    }
+}
+
+/// Peak signal-to-noise ratio in decibels (peak 255).
+///
+/// # Panics
+///
+/// Panics if the images differ in shape.
+pub fn psnr_db(approx: &ImageBuf<u8>, reference: &ImageBuf<u8>) -> f64 {
+    let m = mse(approx, reference);
+    if m == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0f64 * 255.0 / m).log10()
+    }
+}
+
+fn assert_same_shape(a: &ImageBuf<u8>, b: &ImageBuf<u8>) {
+    assert!(
+        a.width() == b.width() && a.height() == b.height() && a.channels() == b.channels(),
+        "image shapes differ: {}x{}x{} vs {}x{}x{}",
+        a.width(),
+        a.height(),
+        a.channels(),
+        b.width(),
+        b.height(),
+        b.channels()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    #[test]
+    fn identical_images_are_infinite_snr() {
+        let img = synth::value_noise(32, 32, 1);
+        assert_eq!(snr_db(&img, &img), f64::INFINITY);
+        assert_eq!(psnr_db(&img, &img), f64::INFINITY);
+        assert_eq!(mse(&img, &img), 0.0);
+    }
+
+    #[test]
+    fn snr_decreases_with_noise_amplitude() {
+        let reference = synth::value_noise(64, 64, 2);
+        let perturb = |amount: i16| {
+            let mut img = reference.clone();
+            for (i, s) in img.as_mut_slice().iter_mut().enumerate() {
+                if i % 3 == 0 {
+                    *s = (i16::from(*s) + amount).clamp(0, 255) as u8;
+                }
+            }
+            img
+        };
+        let small = snr_db(&perturb(4), &reference);
+        let large = snr_db(&perturb(40), &reference);
+        assert!(small > large, "{small} should exceed {large}");
+        assert!(large > 0.0);
+    }
+
+    #[test]
+    fn known_snr_value() {
+        // reference all 10, approx all 9 -> SNR = 10·log10(100/1) = 20 dB.
+        let reference = ImageBuf::filled(4, 4, 1, 10u8).unwrap();
+        let approx = ImageBuf::filled(4, 4, 1, 9u8).unwrap();
+        let got = snr_db(&approx, &reference);
+        assert!((got - 20.0).abs() < 1e-9, "got {got}");
+    }
+
+    #[test]
+    fn zero_reference_with_noise_is_negative_infinity() {
+        let reference = ImageBuf::filled(2, 2, 1, 0u8).unwrap();
+        let approx = ImageBuf::filled(2, 2, 1, 1u8).unwrap();
+        assert_eq!(snr_db(&approx, &reference), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "shapes differ")]
+    fn shape_mismatch_panics() {
+        let a = ImageBuf::<u8>::new(2, 2, 1).unwrap();
+        let b = ImageBuf::<u8>::new(2, 3, 1).unwrap();
+        let _ = snr_db(&a, &b);
+    }
+}

@@ -1,0 +1,260 @@
+//! Deterministic synthetic test images.
+//!
+//! The paper evaluates on "large image input sets" from PERFECT and AxBench,
+//! which are not redistributable. These generators produce seeded,
+//! reproducible images with the structural properties the benchmarks rely
+//! on — smooth regions, edges, texture, distinct color clusters — so the
+//! runtime–accuracy curve *shapes* are preserved (see DESIGN.md §3,
+//! substitution 2).
+
+use crate::image::ImageBuf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A horizontal-ramp grayscale gradient.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn gradient(width: usize, height: usize) -> ImageBuf<u8> {
+    let mut img = ImageBuf::new(width, height, 1).expect("non-zero dimensions");
+    for y in 0..height {
+        for x in 0..width {
+            let v = (x * 255 / width.max(1)) as u8;
+            img.set_pixel(x, y, &[v]);
+        }
+    }
+    img
+}
+
+/// A checkerboard with the given tile size — maximal hard edges, the worst
+/// case for low-resolution sampling.
+///
+/// # Panics
+///
+/// Panics if any dimension or `tile` is zero.
+pub fn checkerboard(width: usize, height: usize, tile: usize) -> ImageBuf<u8> {
+    assert!(tile > 0, "tile size must be non-zero");
+    let mut img = ImageBuf::new(width, height, 1).expect("non-zero dimensions");
+    for y in 0..height {
+        for x in 0..width {
+            let v = if ((x / tile) + (y / tile)).is_multiple_of(2) {
+                230
+            } else {
+                25
+            };
+            img.set_pixel(x, y, &[v]);
+        }
+    }
+    img
+}
+
+/// Band-limited grayscale value noise: several octaves of bilinearly
+/// interpolated random lattices — a stand-in for natural-image content
+/// (smooth regions plus multi-scale detail).
+///
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn value_noise(width: usize, height: usize, seed: u64) -> ImageBuf<u8> {
+    let field = value_noise_field(width, height, seed, 4);
+    let mut img = ImageBuf::new(width, height, 1).expect("non-zero dimensions");
+    for (dst, &v) in img.as_mut_slice().iter_mut().zip(&field) {
+        *dst = (v * 255.0).round().clamp(0.0, 255.0) as u8;
+    }
+    img
+}
+
+/// A synthetic RGB "scene": low-frequency color fields with blob highlights,
+/// giving k-means distinct clusters and debayering realistic chroma.
+///
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn rgb_scene(width: usize, height: usize, seed: u64) -> ImageBuf<u8> {
+    let r = value_noise_field(width, height, seed, 3);
+    let g = value_noise_field(width, height, seed ^ 0x9E37_79B9_7F4A_7C15, 3);
+    let b = value_noise_field(width, height, seed ^ 0x5851_F42D_4C95_7F2D, 3);
+    let mut img = ImageBuf::new(width, height, 3).expect("non-zero dimensions");
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(17));
+    // Quantize the noise into a handful of dominant colors plus dithering,
+    // so clustering has real structure to find.
+    let palette: Vec<[f64; 3]> = (0..5)
+        .map(|_| {
+            [
+                rng.random_range(0.1..0.9),
+                rng.random_range(0.1..0.9),
+                rng.random_range(0.1..0.9),
+            ]
+        })
+        .collect();
+    for y in 0..height {
+        for x in 0..width {
+            let i = y * width + x;
+            let pick = ((r[i] * palette.len() as f64) as usize).min(palette.len() - 1);
+            let base = palette[pick];
+            let px = [
+                ((base[0] * 0.8 + g[i] * 0.2) * 255.0).round().clamp(0.0, 255.0) as u8,
+                ((base[1] * 0.8 + b[i] * 0.2) * 255.0).round().clamp(0.0, 255.0) as u8,
+                ((base[2] * 0.8 + r[i] * 0.2) * 255.0).round().clamp(0.0, 255.0) as u8,
+            ];
+            img.set_pixel(x, y, &px);
+        }
+    }
+    img
+}
+
+/// Gaussian blobs on a dark background — the shape of the paper's x-ray /
+/// satellite imaging motifs for histogram equalization.
+///
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn blobs(width: usize, height: usize, count: usize, seed: u64) -> ImageBuf<u8> {
+    let mut img = ImageBuf::new(width, height, 1).expect("non-zero dimensions");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut field = vec![0.0f64; width * height];
+    for _ in 0..count {
+        let cx = rng.random_range(0.0..width as f64);
+        let cy = rng.random_range(0.0..height as f64);
+        let sigma = rng.random_range(width.min(height) as f64 / 24.0..width.min(height) as f64 / 6.0);
+        let amp = rng.random_range(0.3..1.0);
+        for y in 0..height {
+            for x in 0..width {
+                let d2 = (x as f64 - cx).powi(2) + (y as f64 - cy).powi(2);
+                field[y * width + x] += amp * (-d2 / (2.0 * sigma * sigma)).exp();
+            }
+        }
+    }
+    let max = field.iter().cloned().fold(1e-12, f64::max);
+    for (dst, v) in img.as_mut_slice().iter_mut().zip(&field) {
+        // Deliberately compress into a narrow low range: histeq has
+        // something to equalize.
+        *dst = ((v / max) * 140.0 + 20.0).round().clamp(0.0, 255.0) as u8;
+    }
+    img
+}
+
+/// The raw `[0, 1)` noise field behind [`value_noise`].
+fn value_noise_field(width: usize, height: usize, seed: u64, octaves: u32) -> Vec<f64> {
+    assert!(width > 0 && height > 0, "non-zero dimensions required");
+    let mut field = vec![0.0f64; width * height];
+    let mut amplitude = 1.0;
+    let mut total_amp = 0.0;
+    // Extend the requested octaves down to 2-pixel cells plus a per-pixel
+    // noise floor: natural images carry energy at every scale, and without
+    // fine detail low-resolution previews would score unrealistically well.
+    let max_octaves = octaves.max({
+        let mut o = 0u32;
+        while (width.max(height) >> (o + 2)).max(2) > 2 {
+            o += 1;
+        }
+        o + 1
+    });
+    for octave in 0..max_octaves {
+        let cell = (width.max(height) >> (octave + 2)).max(2);
+        let gw = width / cell + 2;
+        let gh = height / cell + 2;
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(octave as u64 * 0x1234_5678));
+        let lattice: Vec<f64> = (0..gw * gh).map(|_| rng.random_range(0.0..1.0)).collect();
+        for y in 0..height {
+            for x in 0..width {
+                let fx = x as f64 / cell as f64;
+                let fy = y as f64 / cell as f64;
+                let (x0, y0) = (fx as usize, fy as usize);
+                let (tx, ty) = (fx - x0 as f64, fy - y0 as f64);
+                // Smoothstep for C1 continuity.
+                let sx = tx * tx * (3.0 - 2.0 * tx);
+                let sy = ty * ty * (3.0 - 2.0 * ty);
+                let at = |gx: usize, gy: usize| lattice[gy * gw + gx];
+                let top = at(x0, y0) * (1.0 - sx) + at(x0 + 1, y0) * sx;
+                let bot = at(x0, y0 + 1) * (1.0 - sx) + at(x0 + 1, y0 + 1) * sx;
+                field[y * width + x] += amplitude * (top * (1.0 - sy) + bot * sy);
+            }
+        }
+        total_amp += amplitude;
+        amplitude *= 0.55;
+    }
+    // Per-pixel noise floor (hash-based, deterministic).
+    let floor_amp = 0.1;
+    for (i, v) in field.iter_mut().enumerate() {
+        let mut h = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        *v += floor_amp * (h & 0xFFFF) as f64 / 65536.0;
+    }
+    let total = total_amp + floor_amp;
+    for v in &mut field {
+        *v /= total;
+    }
+    field
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(value_noise(32, 32, 7), value_noise(32, 32, 7));
+        assert_eq!(rgb_scene(16, 16, 3), rgb_scene(16, 16, 3));
+        assert_eq!(blobs(16, 16, 3, 5), blobs(16, 16, 3, 5));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(value_noise(32, 32, 1), value_noise(32, 32, 2));
+    }
+
+    #[test]
+    fn gradient_ramps_left_to_right() {
+        let img = gradient(256, 4);
+        assert_eq!(img.pixel(0, 0), &[0]);
+        assert!(img.pixel(255, 0)[0] > 250);
+        for x in 1..256 {
+            assert!(img.pixel(x, 2)[0] >= img.pixel(x - 1, 2)[0]);
+        }
+    }
+
+    #[test]
+    fn checkerboard_alternates() {
+        let img = checkerboard(8, 8, 2);
+        assert_ne!(img.pixel(0, 0), img.pixel(2, 0));
+        assert_eq!(img.pixel(0, 0), img.pixel(4, 0));
+    }
+
+    #[test]
+    fn value_noise_uses_full_ish_range() {
+        let img = value_noise(128, 128, 42);
+        let min = *img.as_slice().iter().min().unwrap();
+        let max = *img.as_slice().iter().max().unwrap();
+        assert!(max - min > 60, "noise too flat: {min}..{max}");
+    }
+
+    #[test]
+    fn blobs_have_compressed_histogram() {
+        let img = blobs(64, 64, 4, 9);
+        let max = *img.as_slice().iter().max().unwrap();
+        let min = *img.as_slice().iter().min().unwrap();
+        assert!(min >= 10, "background should not be pure black");
+        assert!(max <= 170, "highlights should stay compressed");
+    }
+
+    #[test]
+    fn rgb_scene_has_multiple_colors() {
+        let img = rgb_scene(64, 64, 11);
+        let mut distinct = std::collections::HashSet::new();
+        for i in 0..img.pixel_count() {
+            let p = img.pixel_at(i);
+            distinct.insert((p[0] / 32, p[1] / 32, p[2] / 32));
+        }
+        assert!(distinct.len() >= 4, "scene too uniform: {}", distinct.len());
+    }
+}

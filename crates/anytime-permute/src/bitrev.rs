@@ -1,0 +1,148 @@
+use crate::error::PermutationError;
+use crate::traits::Permutation;
+
+/// The bit-reversal permutation over a power-of-two domain.
+///
+/// Maps position `i` to the value of `i`'s low `bits` bits reversed. This is
+/// the building block of the paper's *tree* permutations (Figure 4): taking
+/// positions in ascending order visits the domain as a perfect binary tree,
+/// doubling the sampling resolution at each level.
+///
+/// # Examples
+///
+/// ```
+/// use anytime_permute::{BitReverse, Permutation};
+/// let p = BitReverse::new(8)?; // 3 bits
+/// assert_eq!(p.iter().collect::<Vec<_>>(), vec![0, 4, 2, 6, 1, 5, 3, 7]);
+/// # Ok::<(), anytime_permute::PermutationError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BitReverse {
+    bits: u32,
+}
+
+impl BitReverse {
+    /// Creates a bit-reversal permutation over `[0, len)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermutationError::EmptyDomain`] if `len == 0` and
+    /// [`PermutationError::NotPowerOfTwo`] if `len` is not a power of two.
+    pub fn new(len: usize) -> Result<Self, PermutationError> {
+        if len == 0 {
+            return Err(PermutationError::EmptyDomain);
+        }
+        if !len.is_power_of_two() {
+            return Err(PermutationError::NotPowerOfTwo { len });
+        }
+        Ok(Self {
+            bits: len.trailing_zeros(),
+        })
+    }
+
+    /// Creates a bit-reversal permutation over `[0, 2^bits)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermutationError::UnsupportedWidth`] if `bits` exceeds the
+    /// pointer width.
+    pub fn with_bits(bits: u32) -> Result<Self, PermutationError> {
+        if bits as usize >= usize::BITS as usize {
+            return Err(PermutationError::UnsupportedWidth { bits });
+        }
+        Ok(Self { bits })
+    }
+
+    /// The number of index bits (domain is `2^bits` elements).
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+}
+
+/// Reverses the low `bits` bits of `v`.
+pub(crate) fn reverse_bits(v: usize, bits: u32) -> usize {
+    if bits == 0 {
+        return 0;
+    }
+    v.reverse_bits() >> (usize::BITS - bits)
+}
+
+impl Permutation for BitReverse {
+    fn len(&self) -> usize {
+        1usize << self.bits
+    }
+
+    fn index(&self, i: usize) -> usize {
+        assert!(
+            i < self.len(),
+            "position {i} out of range 0..{}",
+            self.len()
+        );
+        reverse_bits(i, self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_figure_4() {
+        // Figure 4: 16 elements, b3b2b1b0 -> b0b1b2b3.
+        // After 2^0=1 element:  {0}
+        // After 2^1=2 elements: {0, 8}
+        // After 2^2=4 elements: {0, 8, 4, 12}
+        let p = BitReverse::new(16).unwrap();
+        let order: Vec<usize> = p.iter().collect();
+        assert_eq!(&order[..4], &[0, 8, 4, 12]);
+        assert_eq!(&order[4..8], &[2, 10, 6, 14]);
+    }
+
+    #[test]
+    fn prefix_is_uniform_stride() {
+        // After 2^k elements, the sampled set is {0, n/2^k, 2n/2^k, ...}:
+        // a uniform-resolution sample.
+        let p = BitReverse::new(64).unwrap();
+        let order: Vec<usize> = p.iter().collect();
+        for k in 0..=6 {
+            let count = 1usize << k;
+            let stride = 64 / count;
+            let mut prefix: Vec<usize> = order[..count].to_vec();
+            prefix.sort_unstable();
+            let expected: Vec<usize> = (0..64).step_by(stride).collect();
+            assert_eq!(prefix, expected, "level {k}");
+        }
+    }
+
+    #[test]
+    fn is_self_inverse() {
+        let p = BitReverse::new(32).unwrap();
+        for i in 0..32 {
+            assert_eq!(p.index(p.index(i)), i);
+        }
+    }
+
+    #[test]
+    fn singleton_domain() {
+        let p = BitReverse::new(1).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.index(0), 0);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(matches!(
+            BitReverse::new(12),
+            Err(PermutationError::NotPowerOfTwo { len: 12 })
+        ));
+        assert!(matches!(
+            BitReverse::new(0),
+            Err(PermutationError::EmptyDomain)
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_width() {
+        assert!(BitReverse::with_bits(usize::BITS).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing a permutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PermutationError {
+    /// The permutation domain would be empty (`n == 0`).
+    EmptyDomain,
+    /// A length that must be a power of two was not.
+    NotPowerOfTwo {
+        /// The offending length.
+        len: usize,
+    },
+    /// The restricted length exceeds the inner permutation's domain.
+    RestrictTooLong {
+        /// Requested restricted length.
+        requested: usize,
+        /// Length of the inner permutation's domain.
+        available: usize,
+    },
+    /// A multi-dimensional shape does not multiply out to the expected size.
+    DimensionMismatch {
+        /// Expected total element count.
+        expected: usize,
+        /// Product of the provided dimensions.
+        got: usize,
+    },
+    /// The requested bit width is outside the supported range.
+    UnsupportedWidth {
+        /// Requested register width in bits.
+        bits: u32,
+    },
+    /// A domain length overflowed `usize` during construction.
+    Overflow,
+}
+
+impl fmt::Display for PermutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Self::EmptyDomain => write!(f, "permutation domain is empty"),
+            Self::NotPowerOfTwo { len } => {
+                write!(f, "length {len} is not a power of two")
+            }
+            Self::RestrictTooLong {
+                requested,
+                available,
+            } => write!(
+                f,
+                "restricted length {requested} exceeds inner domain {available}"
+            ),
+            Self::DimensionMismatch { expected, got } => {
+                write!(f, "dimensions multiply to {got}, expected {expected}")
+            }
+            Self::UnsupportedWidth { bits } => {
+                write!(f, "unsupported register width of {bits} bits")
+            }
+            Self::Overflow => write!(f, "permutation domain overflows usize"),
+        }
+    }
+}
+
+impl Error for PermutationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let variants = [
+            PermutationError::EmptyDomain,
+            PermutationError::NotPowerOfTwo { len: 3 },
+            PermutationError::RestrictTooLong {
+                requested: 9,
+                available: 8,
+            },
+            PermutationError::DimensionMismatch {
+                expected: 12,
+                got: 10,
+            },
+            PermutationError::UnsupportedWidth { bits: 99 },
+            PermutationError::Overflow,
+        ];
+        for v in variants {
+            let s = v.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

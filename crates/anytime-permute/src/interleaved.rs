@@ -1,0 +1,121 @@
+use crate::error::PermutationError;
+use crate::traits::{Indices, Permutation};
+
+/// A strided (residue-class) permutation: visits `0, s, 2s, …`, then
+/// `1, s+1, 2s+1, …`, and so on.
+///
+/// This is the *diffusive* counterpart of loop perforation (§III-B1): the
+/// first pass over the data touches every `s`-th element — exactly the
+/// elements a perforated loop of stride `s` would process — but instead of
+/// re-executing with a smaller stride (and redoing work), subsequent passes
+/// fill in the remaining residue classes. Every element is visited exactly
+/// once.
+///
+/// # Examples
+///
+/// ```
+/// use anytime_permute::{Interleaved, Permutation};
+/// let p = Interleaved::new(8, 4)?;
+/// assert_eq!(p.iter().collect::<Vec<_>>(), vec![0, 4, 1, 5, 2, 6, 3, 7]);
+/// # Ok::<(), anytime_permute::PermutationError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interleaved {
+    len: usize,
+    stride: usize,
+}
+
+impl Interleaved {
+    /// Creates a strided permutation over `[0, len)` with the given stride.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermutationError::EmptyDomain`] if `stride == 0`.
+    pub fn new(len: usize, stride: usize) -> Result<Self, PermutationError> {
+        if stride == 0 {
+            return Err(PermutationError::EmptyDomain);
+        }
+        Ok(Self { len, stride })
+    }
+
+    /// The stride between consecutively sampled elements within one pass.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+}
+
+impl Permutation for Interleaved {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn index(&self, i: usize) -> usize {
+        assert!(i < self.len, "position {i} out of range 0..{}", self.len);
+        // Residue class r contains ceil((len - r) / stride) elements.
+        // Walk classes until position i falls inside one.
+        let mut i = i;
+        for r in 0..self.stride.min(self.len) {
+            let class_size = (self.len - r).div_ceil(self.stride);
+            if i < class_size {
+                return r + i * self.stride;
+            }
+            i -= class_size;
+        }
+        unreachable!("position exhausted all residue classes")
+    }
+
+    fn iter(&self) -> Indices<'_> {
+        let len = self.len;
+        let stride = self.stride;
+        Indices {
+            inner: Box::new(
+                (0..stride.min(len)).flat_map(move |r| (r..len).step_by(stride)),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleaved_matches_index() {
+        for (len, stride) in [(8, 4), (10, 3), (7, 2), (5, 1), (6, 10), (1, 1)] {
+            let p = Interleaved::new(len, stride).unwrap();
+            let via_iter: Vec<usize> = p.iter().collect();
+            let via_index: Vec<usize> = (0..len).map(|i| p.index(i)).collect();
+            assert_eq!(via_iter, via_index, "len={len} stride={stride}");
+        }
+    }
+
+    #[test]
+    fn interleaved_is_bijective() {
+        for (len, stride) in [(16, 4), (17, 5), (100, 7)] {
+            let p = Interleaved::new(len, stride).unwrap();
+            let mut seen: Vec<usize> = p.iter().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..len).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn stride_one_is_identity() {
+        let p = Interleaved::new(5, 1).unwrap();
+        assert_eq!(p.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_stride_rejected() {
+        assert!(Interleaved::new(5, 0).is_err());
+    }
+
+    #[test]
+    fn first_pass_is_perforated_loop() {
+        // The first ceil(len/stride) samples are exactly the elements a
+        // perforated loop of that stride would visit.
+        let p = Interleaved::new(10, 4).unwrap();
+        let first: Vec<usize> = p.iter().take(3).collect();
+        assert_eq!(first, vec![0, 4, 8]);
+    }
+}

@@ -1,0 +1,230 @@
+//! Dividing one sampling permutation among worker threads (paper §IV-C1).
+//!
+//! Both the tree and pseudo-random permutations are deterministic, so a
+//! single sample order can be split among threads without coordination. The
+//! paper recommends **cyclic** distribution for the tree permutation (so a
+//! low-resolution output appears as early as possible — every thread works
+//! on the coarsest unfinished level) and either cyclic or round-robin for
+//! pseudo-random permutations.
+
+use crate::traits::{Indices, Permutation};
+
+/// The slice of a permutation's sample order assigned to one worker under
+/// cyclic distribution: positions `worker, worker + k, worker + 2k, …` for
+/// `k` workers.
+///
+/// # Examples
+///
+/// ```
+/// use anytime_permute::{CyclicPartition, Permutation, Sequential};
+/// let p = Sequential::new(7);
+/// let part = CyclicPartition::new(&p, 1, 3)?;
+/// assert_eq!(part.iter().collect::<Vec<_>>(), vec![1, 4]);
+/// # Ok::<(), anytime_permute::PermutationError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CyclicPartition<'p, P> {
+    perm: &'p P,
+    worker: usize,
+    workers: usize,
+}
+
+impl<'p, P: Permutation> CyclicPartition<'p, P> {
+    /// Assigns worker `worker` (of `workers`) its cyclic share of `perm`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PermutationError::EmptyDomain`] if `workers == 0` or
+    /// `worker >= workers`.
+    pub fn new(
+        perm: &'p P,
+        worker: usize,
+        workers: usize,
+    ) -> Result<Self, crate::PermutationError> {
+        if workers == 0 || worker >= workers {
+            return Err(crate::PermutationError::EmptyDomain);
+        }
+        Ok(Self {
+            perm,
+            worker,
+            workers,
+        })
+    }
+
+    /// Number of sample positions assigned to this worker.
+    pub fn len(&self) -> usize {
+        let n = self.perm.len();
+        (n + self.workers - 1 - self.worker) / self.workers
+    }
+
+    /// Returns `true` if this worker received no positions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates this worker's data indices in sample order.
+    pub fn iter(&self) -> Indices<'_> {
+        Indices {
+            inner: Box::new(self.perm.iter().skip(self.worker).step_by(self.workers)),
+        }
+    }
+}
+
+/// The slice of a permutation's sample order assigned to one worker under
+/// block distribution: a contiguous range of sample positions.
+///
+/// Block distribution keeps each worker's accesses closer together in the
+/// sample order, but delays low-resolution completeness — the opposite
+/// trade-off from [`CyclicPartition`].
+#[derive(Debug, Clone, Copy)]
+pub struct BlockPartition<'p, P> {
+    perm: &'p P,
+    start: usize,
+    end: usize,
+}
+
+impl<'p, P: Permutation> BlockPartition<'p, P> {
+    /// Assigns worker `worker` (of `workers`) its contiguous share of `perm`.
+    ///
+    /// Remainder positions go to the lowest-numbered workers, so shares
+    /// differ in size by at most one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PermutationError::EmptyDomain`] if `workers == 0` or
+    /// `worker >= workers`.
+    pub fn new(
+        perm: &'p P,
+        worker: usize,
+        workers: usize,
+    ) -> Result<Self, crate::PermutationError> {
+        if workers == 0 || worker >= workers {
+            return Err(crate::PermutationError::EmptyDomain);
+        }
+        let n = perm.len();
+        let base = n / workers;
+        let extra = n % workers;
+        let start = worker * base + worker.min(extra);
+        let size = base + usize::from(worker < extra);
+        Ok(Self {
+            perm,
+            start,
+            end: start + size,
+        })
+    }
+
+    /// Number of sample positions assigned to this worker.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Returns `true` if this worker received no positions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates this worker's data indices in sample order.
+    pub fn iter(&self) -> Indices<'_> {
+        Indices {
+            inner: Box::new(self.perm.iter().skip(self.start).take(self.len())),
+        }
+    }
+}
+
+/// Materializes the cyclic shares of all `workers` as index vectors.
+///
+/// Convenience for spawning worker threads: each thread takes ownership of
+/// its share.
+pub fn split_cyclic<P: Permutation>(perm: &P, workers: usize) -> Vec<Vec<usize>> {
+    assert!(workers > 0, "at least one worker required");
+    let mut shares = vec![Vec::new(); workers];
+    for (pos, idx) in perm.iter().enumerate() {
+        shares[pos % workers].push(idx);
+    }
+    shares
+}
+
+/// Materializes the block shares of all `workers` as index vectors.
+pub fn split_blocks<P: Permutation>(perm: &P, workers: usize) -> Vec<Vec<usize>> {
+    assert!(workers > 0, "at least one worker required");
+    (0..workers)
+        .map(|w| {
+            BlockPartition::new(perm, w, workers)
+                .expect("worker < workers")
+                .iter()
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Lfsr, Sequential, Tree1d};
+
+    #[test]
+    fn cyclic_shares_cover_everything() {
+        let p = Lfsr::with_len(23).unwrap();
+        let shares = split_cyclic(&p, 4);
+        let mut all: Vec<usize> = shares.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn block_shares_cover_everything() {
+        let p = Lfsr::with_len(23).unwrap();
+        let shares = split_blocks(&p, 4);
+        assert_eq!(shares.iter().map(Vec::len).sum::<usize>(), 23);
+        let mut all: Vec<usize> = shares.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cyclic_partition_matches_split() {
+        let p = Tree1d::new(16).unwrap();
+        let shares = split_cyclic(&p, 3);
+        for (w, share) in shares.iter().enumerate() {
+            let part = CyclicPartition::new(&p, w, 3).unwrap();
+            assert_eq!(&part.iter().collect::<Vec<_>>(), share);
+            assert_eq!(part.len(), share.len());
+        }
+    }
+
+    #[test]
+    fn block_sizes_differ_by_at_most_one() {
+        let p = Sequential::new(10);
+        let sizes: Vec<usize> = (0..4)
+            .map(|w| BlockPartition::new(&p, w, 4).unwrap().len())
+            .collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn cyclic_keeps_coarse_levels_spread() {
+        // With a tree permutation and cyclic distribution, the first index
+        // processed by each worker belongs to the coarsest levels.
+        let p = Tree1d::new(16).unwrap();
+        let shares = split_cyclic(&p, 4);
+        let firsts: Vec<usize> = shares.iter().map(|s| s[0]).collect();
+        assert_eq!(firsts, vec![0, 8, 4, 12]);
+    }
+
+    #[test]
+    fn invalid_worker_ids_rejected() {
+        let p = Sequential::new(4);
+        assert!(CyclicPartition::new(&p, 0, 0).is_err());
+        assert!(CyclicPartition::new(&p, 2, 2).is_err());
+        assert!(BlockPartition::new(&p, 3, 3).is_err());
+    }
+
+    #[test]
+    fn more_workers_than_elements() {
+        let p = Sequential::new(2);
+        let shares = split_cyclic(&p, 5);
+        assert_eq!(shares.iter().filter(|s| !s.is_empty()).count(), 2);
+        let part = CyclicPartition::new(&p, 4, 5).unwrap();
+        assert!(part.is_empty());
+    }
+}

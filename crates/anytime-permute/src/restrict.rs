@@ -1,0 +1,132 @@
+use crate::error::PermutationError;
+use crate::traits::{Indices, Permutation};
+
+/// Restricts a permutation of a larger domain to `[0, len)` by skipping
+/// out-of-range indices (cycle walking).
+///
+/// Because the inner permutation is bijective on its own domain and we only
+/// discard indices `>= len`, the restriction is bijective onto `[0, len)`.
+/// This is how power-of-two permutations such as [`crate::Tree1d`] and
+/// [`crate::BitReverse`] are applied to arbitrary-size data sets.
+///
+/// [`Permutation::index`] costs `O(inner.len())` in the worst case; prefer
+/// [`Permutation::iter`] or [`Permutation::materialize`].
+///
+/// # Examples
+///
+/// ```
+/// use anytime_permute::{Permutation, Restrict, Tree1d};
+/// // Tree order over 10 elements via a 16-element tree.
+/// let p = Restrict::new(Tree1d::new(16)?, 10)?;
+/// assert_eq!(p.len(), 10);
+/// let mut order: Vec<usize> = p.iter().collect();
+/// order.sort_unstable();
+/// assert_eq!(order, (0..10).collect::<Vec<_>>());
+/// # Ok::<(), anytime_permute::PermutationError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Restrict<P> {
+    inner: P,
+    len: usize,
+}
+
+impl<P: Permutation> Restrict<P> {
+    /// Restricts `inner` to the first `len` data indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermutationError::RestrictTooLong`] if `len` exceeds the
+    /// inner domain size.
+    pub fn new(inner: P, len: usize) -> Result<Self, PermutationError> {
+        if len > inner.len() {
+            return Err(PermutationError::RestrictTooLong {
+                requested: len,
+                available: inner.len(),
+            });
+        }
+        Ok(Self { inner, len })
+    }
+
+    /// Returns the wrapped permutation.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+}
+
+impl<P: Permutation> Permutation for Restrict<P> {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn index(&self, i: usize) -> usize {
+        assert!(i < self.len, "position {i} out of range 0..{}", self.len);
+        self.iter()
+            .nth(i)
+            .expect("restriction of a bijection yields len valid indices")
+    }
+
+    fn iter(&self) -> Indices<'_> {
+        let len = self.len;
+        Indices {
+            inner: Box::new(self.inner.iter().filter(move |&idx| idx < len)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BitReverse, Lfsr, Reversed, Sequential};
+
+    #[test]
+    fn restrict_preserves_bijectivity() {
+        for len in [1usize, 5, 10, 15, 16] {
+            let p = Restrict::new(BitReverse::new(16).unwrap(), len).unwrap();
+            let mut seen: Vec<usize> = p.iter().collect();
+            assert_eq!(seen.len(), len);
+            seen.sort_unstable();
+            assert_eq!(seen, (0..len).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn restrict_preserves_relative_order() {
+        // Restriction deletes out-of-range indices but keeps the rest in
+        // inner order.
+        let inner = Reversed::new(8);
+        let p = Restrict::new(inner, 5).unwrap();
+        assert_eq!(p.iter().collect::<Vec<_>>(), vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn restrict_full_length_is_identity_wrapper() {
+        let p = Restrict::new(Sequential::new(6), 6).unwrap();
+        assert_eq!(p.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn index_matches_iter() {
+        let p = Restrict::new(Lfsr::with_len(31).unwrap(), 20).unwrap();
+        let order: Vec<usize> = p.iter().collect();
+        for (i, &idx) in order.iter().enumerate() {
+            assert_eq!(p.index(i), idx);
+        }
+    }
+
+    #[test]
+    fn rejects_overlong_restriction() {
+        assert!(matches!(
+            Restrict::new(Sequential::new(4), 5),
+            Err(PermutationError::RestrictTooLong {
+                requested: 5,
+                available: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn into_inner_roundtrip() {
+        let p = Restrict::new(Sequential::new(4), 2).unwrap();
+        assert_eq!(p.into_inner().len(), 4);
+    }
+}

@@ -1,0 +1,125 @@
+use crate::traits::{Indices, Permutation};
+
+/// The identity permutation: elements are sampled in memory order.
+///
+/// This is the paper's default permutation, suited to data sets ordered by
+/// *priority* — where earlier elements matter more to the final output, such
+/// as the most-significant bit planes of fixed-point data (§III-B2).
+///
+/// # Examples
+///
+/// ```
+/// use anytime_permute::{Permutation, Sequential};
+/// let p = Sequential::new(4);
+/// assert_eq!(p.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sequential {
+    len: usize,
+}
+
+impl Sequential {
+    /// Creates the identity permutation over `[0, len)`.
+    pub fn new(len: usize) -> Self {
+        Self { len }
+    }
+}
+
+impl Permutation for Sequential {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn index(&self, i: usize) -> usize {
+        assert!(i < self.len, "position {i} out of range 0..{}", self.len);
+        i
+    }
+
+    fn iter(&self) -> Indices<'_> {
+        Indices {
+            inner: Box::new(0..self.len),
+        }
+    }
+}
+
+/// The reversal permutation: `p(i) = len - 1 - i`.
+///
+/// The paper's alternative sequential order (`p(i) = n + 1 - i` in its
+/// 1-based notation), for data sets whose *last* elements are most
+/// significant.
+///
+/// # Examples
+///
+/// ```
+/// use anytime_permute::{Permutation, Reversed};
+/// let p = Reversed::new(4);
+/// assert_eq!(p.iter().collect::<Vec<_>>(), vec![3, 2, 1, 0]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reversed {
+    len: usize,
+}
+
+impl Reversed {
+    /// Creates the reversal permutation over `[0, len)`.
+    pub fn new(len: usize) -> Self {
+        Self { len }
+    }
+}
+
+impl Permutation for Reversed {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn index(&self, i: usize) -> usize {
+        assert!(i < self.len, "position {i} out of range 0..{}", self.len);
+        self.len - 1 - i
+    }
+
+    fn iter(&self) -> Indices<'_> {
+        Indices {
+            inner: Box::new((0..self.len).rev()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_is_identity() {
+        let p = Sequential::new(10);
+        for i in 0..10 {
+            assert_eq!(p.index(i), i);
+        }
+    }
+
+    #[test]
+    fn reversed_is_reverse() {
+        let p = Reversed::new(10);
+        for i in 0..10 {
+            assert_eq!(p.index(i), 9 - i);
+        }
+    }
+
+    #[test]
+    fn empty_permutations() {
+        assert!(Sequential::new(0).is_empty());
+        assert!(Reversed::new(0).is_empty());
+        assert_eq!(Sequential::new(0).iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sequential_panics_out_of_range() {
+        Sequential::new(3).index(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reversed_panics_out_of_range() {
+        Reversed::new(3).index(3);
+    }
+}

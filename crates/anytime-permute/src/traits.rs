@@ -1,0 +1,148 @@
+use std::fmt;
+use std::sync::Arc;
+
+/// A bijective permutation of the index set `[0, len)`.
+///
+/// `index(i)` maps *sample-order position* `i` to a *data index*. Because the
+/// mapping is bijective, iterating positions `0..len()` visits every data
+/// index exactly once — the property the Anytime Automaton relies on to
+/// guarantee that diffusive stages eventually reach the precise output
+/// (paper §III-B2).
+///
+/// Implementations must be cheap to clone or share (`Send + Sync`) since the
+/// automaton partitions one permutation sequence among worker threads
+/// (paper §IV-C1).
+pub trait Permutation: Send + Sync {
+    /// Number of elements in the permuted index set.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the permutation has no elements.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maps sample-order position `i` to a data index in `[0, len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    fn index(&self, i: usize) -> usize;
+
+    /// Iterates data indices in sample order.
+    ///
+    /// The default implementation calls [`Permutation::index`] for each
+    /// position; implementations with cheap sequential stepping (e.g. LFSRs)
+    /// override this.
+    fn iter(&self) -> Indices<'_> {
+        Indices {
+            inner: Box::new((0..self.len()).map(move |i| self.index(i))),
+        }
+    }
+
+    /// Collects the full sample order into a vector of data indices.
+    ///
+    /// Useful when `index` is expensive (e.g. for [`crate::Restrict`]) and
+    /// the order will be consumed repeatedly.
+    fn materialize(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+}
+
+/// Iterator over the data indices of a [`Permutation`], in sample order.
+pub struct Indices<'a> {
+    pub(crate) inner: Box<dyn Iterator<Item = usize> + Send + 'a>,
+}
+
+impl Iterator for Indices<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        self.inner.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl fmt::Debug for Indices<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Indices").finish_non_exhaustive()
+    }
+}
+
+/// A shareable, type-erased permutation.
+///
+/// Wraps any [`Permutation`] in an [`Arc`] so pipelines can store
+/// heterogeneous permutations and clone them into worker threads.
+#[derive(Clone)]
+pub struct DynPermutation {
+    inner: Arc<dyn Permutation>,
+}
+
+impl DynPermutation {
+    /// Wraps a concrete permutation.
+    pub fn new<P: Permutation + 'static>(perm: P) -> Self {
+        Self {
+            inner: Arc::new(perm),
+        }
+    }
+}
+
+impl Permutation for DynPermutation {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn index(&self, i: usize) -> usize {
+        self.inner.index(i)
+    }
+
+    fn iter(&self) -> Indices<'_> {
+        self.inner.iter()
+    }
+
+    fn materialize(&self) -> Vec<usize> {
+        // Delegate so wrapped permutations keep their specialized (tight
+        // loop) materialization — the default would re-box through iter().
+        self.inner.materialize()
+    }
+}
+
+impl fmt::Debug for DynPermutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DynPermutation")
+            .field("len", &self.inner.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sequential;
+
+    #[test]
+    fn dyn_permutation_delegates() {
+        let p = DynPermutation::new(Sequential::new(5));
+        assert_eq!(p.len(), 5);
+        assert!(!p.is_empty());
+        assert_eq!(p.index(3), 3);
+        assert_eq!(p.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(p.materialize(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn dyn_permutation_is_cloneable_and_debuggable() {
+        let p = DynPermutation::new(Sequential::new(2));
+        let q = p.clone();
+        assert_eq!(q.len(), 2);
+        assert!(!format!("{p:?}").is_empty());
+    }
+
+    #[test]
+    fn traits_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DynPermutation>();
+    }
+}

@@ -1,0 +1,515 @@
+use crate::bitrev::{reverse_bits, BitReverse};
+use crate::error::PermutationError;
+use crate::traits::{Indices, Permutation};
+
+/// One-dimensional tree (bit-reverse) permutation over a power-of-two domain.
+///
+/// Samples an ordered 1-D data set at progressively doubling resolution
+/// (paper Figure 4): after `2^k` samples, the visited indices form a uniform
+/// grid of stride `n / 2^k`.
+///
+/// For non-power-of-two lengths wrap in [`crate::Restrict`] (as
+/// [`crate::recommended`] does).
+///
+/// # Examples
+///
+/// ```
+/// use anytime_permute::{Permutation, Tree1d};
+/// let p = Tree1d::new(16)?;
+/// assert_eq!(p.iter().take(8).collect::<Vec<_>>(),
+///            vec![0, 8, 4, 12, 2, 10, 6, 14]);
+/// # Ok::<(), anytime_permute::PermutationError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tree1d {
+    inner: BitReverse,
+}
+
+impl Tree1d {
+    /// Creates a 1-D tree permutation over `[0, len)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermutationError::EmptyDomain`] if `len == 0` and
+    /// [`PermutationError::NotPowerOfTwo`] otherwise for invalid lengths.
+    pub fn new(len: usize) -> Result<Self, PermutationError> {
+        Ok(Self {
+            inner: BitReverse::new(len)?,
+        })
+    }
+}
+
+impl Permutation for Tree1d {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn index(&self, i: usize) -> usize {
+        self.inner.index(i)
+    }
+}
+
+/// Two-dimensional tree permutation: progressive-resolution sampling of a
+/// `rows x cols` grid (paper Figure 5).
+///
+/// Sample-order position bits are deinterleaved into row and column indices
+/// which are then bit-reversed, exactly the paper's
+/// `b5b4b3 b2b1b0 → b5b3b1 b4b2b0 → b1b3b5 b0b2b4` construction. After
+/// `4^k` samples of a square image, the visited pixels form a `2^k x 2^k`
+/// uniform grid.
+///
+/// Dimensions need not be powers of two: the grid is padded up to powers of
+/// two internally and out-of-range coordinates are skipped (cycle walking),
+/// so the permutation stays bijective onto `[0, rows*cols)`. For padded
+/// grids, [`Permutation::index`] costs `O(i)`; prefer
+/// [`Permutation::iter`] or [`Permutation::materialize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tree2d {
+    rows: usize,
+    cols: usize,
+    row_bits: u32,
+    col_bits: u32,
+}
+
+impl Tree2d {
+    /// Creates a 2-D tree permutation over a `rows x cols` grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermutationError::EmptyDomain`] if either dimension is zero
+    /// or [`PermutationError::Overflow`] if `rows * cols` overflows.
+    pub fn new(rows: usize, cols: usize) -> Result<Self, PermutationError> {
+        if rows == 0 || cols == 0 {
+            return Err(PermutationError::EmptyDomain);
+        }
+        rows.checked_mul(cols).ok_or(PermutationError::Overflow)?;
+        let row_bits = ceil_log2(rows)?;
+        let col_bits = ceil_log2(cols)?;
+        if row_bits + col_bits >= usize::BITS {
+            return Err(PermutationError::Overflow);
+        }
+        Ok(Self {
+            rows,
+            cols,
+            row_bits,
+            col_bits,
+        })
+    }
+
+    /// Number of rows in the sampled grid.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns in the sampled grid.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn padded_len(&self) -> usize {
+        1usize << (self.row_bits + self.col_bits)
+    }
+
+    fn is_padded(&self) -> bool {
+        self.padded_len() != self.rows * self.cols
+    }
+
+    /// The `(block_rows, block_cols)` region "owned" by the sample at
+    /// sample-order `position`: the rectangle from the sample's coordinates
+    /// that no earlier sample falls inside.
+    ///
+    /// Painting each sample across its block turns a partial tree sample
+    /// into a complete nearest-neighbor-upsampled image — the
+    /// progressively-increasing-resolution output of paper Figures 5
+    /// and 16. Block sizes halve along alternating dimensions as the
+    /// position count crosses powers of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position >= len()`.
+    pub fn block(&self, position: usize) -> (usize, usize) {
+        assert!(
+            position < self.len(),
+            "position {position} out of range 0..{}",
+            self.len()
+        );
+        // Number of significant bits of the position = bits consumed so
+        // far; distribute them round-robin (column first), mirroring
+        // decode()'s interleave.
+        let nb = usize::BITS - position.leading_zeros();
+        let (mut cb, mut rb) = (0u32, 0u32);
+        let mut remaining = nb;
+        while remaining > 0 {
+            if cb < self.col_bits {
+                cb += 1;
+                remaining -= 1;
+                if remaining == 0 {
+                    break;
+                }
+            }
+            if rb < self.row_bits {
+                rb += 1;
+                remaining -= 1;
+            }
+            if cb == self.col_bits && rb == self.row_bits {
+                break;
+            }
+        }
+        (
+            self.rows.div_ceil(1 << rb),
+            self.cols.div_ceil(1 << cb),
+        )
+    }
+
+    /// Maps a padded sample position to `(row, col)`, which may be out of
+    /// range when the grid is padded.
+    ///
+    /// Deinterleaves position bits round-robin (column takes bit 0 first,
+    /// as in the paper where the column index comes from the even bits),
+    /// then bit-reverses each coordinate. Allocation-free: this is the hot
+    /// path of every image-sampling stage.
+    fn decode(&self, pos: usize) -> (usize, usize) {
+        let mut p = pos;
+        let (mut col, mut row) = (0usize, 0usize);
+        let (mut cb, mut rb) = (0u32, 0u32);
+        while cb < self.col_bits || rb < self.row_bits {
+            if cb < self.col_bits {
+                col |= (p & 1) << cb;
+                p >>= 1;
+                cb += 1;
+            }
+            if rb < self.row_bits {
+                row |= (p & 1) << rb;
+                p >>= 1;
+                rb += 1;
+            }
+        }
+        (
+            reverse_bits(row, self.row_bits),
+            reverse_bits(col, self.col_bits),
+        )
+    }
+}
+
+impl Permutation for Tree2d {
+    fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    fn index(&self, i: usize) -> usize {
+        assert!(
+            i < self.len(),
+            "position {i} out of range 0..{}",
+            self.len()
+        );
+        if !self.is_padded() {
+            let (r, c) = self.decode(i);
+            return r * self.cols + c;
+        }
+        // Padded: walk the padded sequence skipping out-of-range coords.
+        self.iter()
+            .nth(i)
+            .expect("bijectivity guarantees at least len valid positions")
+    }
+
+    fn iter(&self) -> Indices<'_> {
+        let this = *self;
+        Indices {
+            inner: Box::new((0..this.padded_len()).filter_map(move |pos| {
+                let (r, c) = this.decode(pos);
+                (r < this.rows && c < this.cols).then_some(r * this.cols + c)
+            })),
+        }
+    }
+
+    fn materialize(&self) -> Vec<usize> {
+        // Recursive doubling: appending position bit `i` adds a fixed
+        // coordinate offset to every earlier sample (the next-finer grid
+        // stride of the dimension that bit feeds), so the whole order is
+        // built with one add per element instead of a per-position decode.
+        let mut coords: Vec<(u32, u32)> = Vec::with_capacity(self.padded_len());
+        coords.push((0, 0));
+        let (mut cb, mut rb) = (0u32, 0u32);
+        while cb < self.col_bits || rb < self.row_bits {
+            if cb < self.col_bits {
+                let delta = 1u32 << (self.col_bits - 1 - cb);
+                cb += 1;
+                for i in 0..coords.len() {
+                    let (r, c) = coords[i];
+                    coords.push((r, c + delta));
+                }
+            }
+            if rb < self.row_bits {
+                let delta = 1u32 << (self.row_bits - 1 - rb);
+                rb += 1;
+                for i in 0..coords.len() {
+                    let (r, c) = coords[i];
+                    coords.push((r + delta, c));
+                }
+            }
+        }
+        let mut order = Vec::with_capacity(self.len());
+        for (r, c) in coords {
+            let (r, c) = (r as usize, c as usize);
+            if r < self.rows && c < self.cols {
+                order.push(r * self.cols + c);
+            }
+        }
+        order
+    }
+}
+
+/// N-dimensional tree permutation: progressive-resolution sampling of an
+/// N-dimensional grid.
+///
+/// Generalizes [`Tree2d`] to arbitrary rank; dimension 0 is the slowest
+/// varying (row-major layout). Non-power-of-two extents are padded and
+/// skipped, preserving bijectivity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TreeNd {
+    dims: Vec<usize>,
+    bits: Vec<u32>,
+    len: usize,
+}
+
+impl TreeNd {
+    /// Creates an N-D tree permutation over a grid with the given extents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermutationError::EmptyDomain`] if `dims` is empty or any
+    /// extent is zero, or [`PermutationError::Overflow`] if the element count
+    /// overflows `usize`.
+    pub fn new(dims: &[usize]) -> Result<Self, PermutationError> {
+        if dims.is_empty() || dims.contains(&0) {
+            return Err(PermutationError::EmptyDomain);
+        }
+        let mut len = 1usize;
+        for &d in dims {
+            len = len.checked_mul(d).ok_or(PermutationError::Overflow)?;
+        }
+        let bits = dims
+            .iter()
+            .map(|&d| ceil_log2(d))
+            .collect::<Result<Vec<_>, _>>()?;
+        let total: u32 = bits.iter().sum();
+        if total >= usize::BITS {
+            return Err(PermutationError::Overflow);
+        }
+        Ok(Self {
+            dims: dims.to_vec(),
+            bits,
+            len,
+        })
+    }
+
+    /// The grid extents, slowest-varying dimension first.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    fn padded_len(&self) -> usize {
+        1usize << self.bits.iter().sum::<u32>()
+    }
+
+    fn decode(&self, pos: usize) -> Vec<usize> {
+        // Fastest-varying dimension (last) receives bit 0 first, mirroring
+        // Tree2d where the column leads.
+        let rev_bits: Vec<u32> = self.bits.iter().rev().copied().collect();
+        let coords = crate::morton::deinterleave(pos, &rev_bits);
+        coords
+            .iter()
+            .zip(&rev_bits)
+            .rev()
+            .map(|(&c, &b)| reverse_bits(c, b))
+            .collect()
+    }
+}
+
+impl Permutation for TreeNd {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn index(&self, i: usize) -> usize {
+        assert!(i < self.len, "position {i} out of range 0..{}", self.len);
+        self.iter()
+            .nth(i)
+            .expect("bijectivity guarantees at least len valid positions")
+    }
+
+    fn iter(&self) -> Indices<'_> {
+        let this = self.clone();
+        Indices {
+            inner: Box::new((0..this.padded_len()).filter_map(move |pos| {
+                let coords = this.decode(pos);
+                let mut linear = 0usize;
+                for (c, &d) in coords.iter().zip(&this.dims) {
+                    if *c >= d {
+                        return None;
+                    }
+                    linear = linear * d + c;
+                }
+                Some(linear)
+            })),
+        }
+    }
+}
+
+fn ceil_log2(n: usize) -> Result<u32, PermutationError> {
+    if n == 0 {
+        return Err(PermutationError::EmptyDomain);
+    }
+    Ok(n.next_power_of_two().trailing_zeros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_bijective<P: Permutation>(p: &P) {
+        let mut seen: Vec<usize> = p.iter().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..p.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tree1d_doubles_resolution() {
+        let p = Tree1d::new(8).unwrap();
+        assert_eq!(p.iter().collect::<Vec<_>>(), vec![0, 4, 2, 6, 1, 5, 3, 7]);
+    }
+
+    #[test]
+    fn tree2d_matches_paper_figure_5() {
+        // 8x8 grid: after 4 samples, a 2x2 grid of stride 4 has been visited.
+        let p = Tree2d::new(8, 8).unwrap();
+        let mut first4: Vec<usize> = p.iter().take(4).collect();
+        first4.sort_unstable();
+        assert_eq!(first4, vec![0, 4, 32, 36]); // (0,0) (0,4) (4,0) (4,4)
+        // After 16 samples, a 4x4 grid of stride 2.
+        let mut first16: Vec<usize> = p.iter().take(16).collect();
+        first16.sort_unstable();
+        let expected: Vec<usize> = (0..8)
+            .step_by(2)
+            .flat_map(|r| (0..8).step_by(2).map(move |c| r * 8 + c))
+            .collect();
+        assert_eq!(first16, expected);
+    }
+
+    #[test]
+    fn tree2d_bijective_square_and_rect() {
+        for (r, c) in [(4, 4), (8, 2), (2, 8), (1, 16), (16, 1)] {
+            assert_bijective(&Tree2d::new(r, c).unwrap());
+        }
+    }
+
+    #[test]
+    fn tree2d_bijective_padded() {
+        for (r, c) in [(3, 5), (7, 7), (5, 8), (1, 1), (6, 10)] {
+            let p = Tree2d::new(r, c).unwrap();
+            assert_bijective(&p);
+            assert_eq!(p.len(), r * c);
+        }
+    }
+
+    #[test]
+    fn tree2d_index_matches_iter() {
+        for (r, c) in [(4, 4), (3, 5)] {
+            let p = Tree2d::new(r, c).unwrap();
+            let order: Vec<usize> = p.iter().collect();
+            for (i, &idx) in order.iter().enumerate() {
+                assert_eq!(p.index(i), idx);
+            }
+        }
+    }
+
+    #[test]
+    fn treend_matches_tree2d() {
+        let p2 = Tree2d::new(8, 8).unwrap();
+        let pn = TreeNd::new(&[8, 8]).unwrap();
+        assert_eq!(
+            p2.iter().collect::<Vec<_>>(),
+            pn.iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn treend_bijective_3d() {
+        for dims in [&[2usize, 3, 4][..], &[4, 4, 4], &[1, 5, 2]] {
+            let p = TreeNd::new(dims).unwrap();
+            assert_bijective(&p);
+        }
+    }
+
+    #[test]
+    fn treend_1d_matches_tree1d() {
+        let p1 = Tree1d::new(16).unwrap();
+        let pn = TreeNd::new(&[16]).unwrap();
+        assert_eq!(
+            p1.iter().collect::<Vec<_>>(),
+            pn.iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn materialize_matches_iter() {
+        for (r, c) in [(8, 8), (3, 5), (16, 2)] {
+            let p = Tree2d::new(r, c).unwrap();
+            assert_eq!(p.materialize(), p.iter().collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn block_halves_along_alternating_dims() {
+        let p = Tree2d::new(8, 8).unwrap();
+        // Position 0: the first sample owns the whole image.
+        assert_eq!(p.block(0), (8, 8));
+        // Position 1 (one bit): the column dimension split first.
+        assert_eq!(p.block(1), (8, 4));
+        // Positions 2..3 (two bits): both dimensions split.
+        assert_eq!(p.block(2), (4, 4));
+        assert_eq!(p.block(3), (4, 4));
+        // Positions 4..7: columns split again.
+        assert_eq!(p.block(4), (4, 2));
+        // Final positions own single pixels.
+        assert_eq!(p.block(63), (1, 1));
+    }
+
+    #[test]
+    fn blocks_tile_the_image_exactly() {
+        // At every power-of-two prefix, painting each sample's block must
+        // cover every pixel exactly once.
+        for (rows, cols) in [(8usize, 8usize), (4, 16), (8, 2)] {
+            let p = Tree2d::new(rows, cols).unwrap();
+            let order: Vec<usize> = p.iter().collect();
+            for k in 0..=(rows * cols).trailing_zeros() {
+                let count = 1usize << k;
+                let mut painted = vec![0u32; rows * cols];
+                for (pos, &idx) in order.iter().take(count).enumerate() {
+                    let (y, x) = (idx / cols, idx % cols);
+                    let (bh, bw) = p.block(pos);
+                    for yy in y..(y + bh).min(rows) {
+                        for xx in x..(x + bw).min(cols) {
+                            painted[yy * cols + xx] += 1;
+                        }
+                    }
+                }
+                // Every pixel covered at least once by the latest pass; the
+                // first blocks may be overpainted by later finer samples in
+                // a *prefix*, but with blocks sized for the prefix level
+                // the tiling is exact when count is a power of covering.
+                assert!(
+                    painted.iter().all(|&c| c >= 1),
+                    "{rows}x{cols} prefix {count}: uncovered pixels"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_shapes() {
+        assert!(Tree2d::new(0, 4).is_err());
+        assert!(TreeNd::new(&[]).is_err());
+        assert!(TreeNd::new(&[3, 0]).is_err());
+    }
+}

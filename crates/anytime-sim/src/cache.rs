@@ -1,0 +1,278 @@
+//! A set-associative LRU cache simulator.
+//!
+//! Used to quantify the paper's data-locality observation (§IV-C3): the
+//! tree and pseudo-random sampling permutations sacrifice cache and row
+//! buffer locality compared with sequential order. The simulator replays an
+//! address trace and reports hit/miss statistics; [`crate::prefetch`] adds
+//! the deterministic permutation-aware prefetcher the paper sketches as the
+//! remedy.
+
+use std::fmt;
+
+/// Result of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// The line was present.
+    Hit,
+    /// The line was absent and has been filled.
+    Miss,
+}
+
+/// Hit/miss counters for a simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses that hit.
+    pub hits: u64,
+    /// Demand accesses that missed.
+    pub misses: u64,
+    /// Lines installed by prefetches rather than demand misses.
+    pub prefetch_fills: u64,
+}
+
+impl CacheStats {
+    /// Demand accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Demand miss rate in `[0, 1]`; 0 for an empty run.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use anytime_sim::cache::{Cache, Access};
+/// let mut c = Cache::new(1024, 64, 2)?;
+/// assert_eq!(c.access(0), Access::Miss);
+/// assert_eq!(c.access(8), Access::Hit); // same 64-byte line
+/// # Ok::<(), anytime_sim::SimError>(())
+/// ```
+#[derive(Clone)]
+pub struct Cache {
+    line_size: usize,
+    sets: usize,
+    ways: usize,
+    /// `tags[set]` holds up to `ways` tags, most recently used last.
+    tags: Vec<Vec<u64>>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache of `size_bytes` with the given line size and
+    /// associativity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SimError::InvalidConfig`] unless the geometry is
+    /// consistent: power-of-two line size and set count, and
+    /// `size = sets × ways × line`.
+    pub fn new(size_bytes: usize, line_size: usize, ways: usize) -> crate::Result<Self> {
+        if line_size == 0 || !line_size.is_power_of_two() {
+            return Err(crate::SimError::InvalidConfig(
+                "line size must be a power of two".into(),
+            ));
+        }
+        if ways == 0 || size_bytes == 0 || !size_bytes.is_multiple_of(line_size * ways) {
+            return Err(crate::SimError::InvalidConfig(
+                "cache size must be a multiple of line_size * ways".into(),
+            ));
+        }
+        let sets = size_bytes / (line_size * ways);
+        if !sets.is_power_of_two() {
+            return Err(crate::SimError::InvalidConfig(
+                "set count must be a power of two".into(),
+            ));
+        }
+        Ok(Self {
+            line_size,
+            sets,
+            ways,
+            tags: vec![Vec::new(); sets],
+            stats: CacheStats::default(),
+        })
+    }
+
+    /// Cache capacity in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.sets * self.ways * self.line_size
+    }
+
+    /// Line size in bytes.
+    pub fn line_size(&self) -> usize {
+        self.line_size
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets statistics (contents are preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn locate(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.line_size as u64;
+        let set = (line % self.sets as u64) as usize;
+        let tag = line / self.sets as u64;
+        (set, tag)
+    }
+
+    /// A demand access to byte address `addr`.
+    pub fn access(&mut self, addr: u64) -> Access {
+        let (set, tag) = self.locate(addr);
+        let ways = self.ways;
+        let set = &mut self.tags[set];
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            let t = set.remove(pos);
+            set.push(t);
+            self.stats.hits += 1;
+            Access::Hit
+        } else {
+            if set.len() == ways {
+                set.remove(0);
+            }
+            set.push(tag);
+            self.stats.misses += 1;
+            Access::Miss
+        }
+    }
+
+    /// A prefetch fill of byte address `addr`: installs the line (updating
+    /// LRU) without counting as a demand access.
+    pub fn prefetch(&mut self, addr: u64) {
+        let (set, tag) = self.locate(addr);
+        let ways = self.ways;
+        let set = &mut self.tags[set];
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            let t = set.remove(pos);
+            set.push(t);
+        } else {
+            if set.len() == ways {
+                set.remove(0);
+            }
+            set.push(tag);
+            self.stats.prefetch_fills += 1;
+        }
+    }
+
+    /// Replays a whole address trace of demand accesses.
+    pub fn run_trace(&mut self, addrs: impl IntoIterator<Item = u64>) -> CacheStats {
+        for a in addrs {
+            self.access(a);
+        }
+        self.stats
+    }
+}
+
+impl fmt::Debug for Cache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cache")
+            .field("size_bytes", &self.size_bytes())
+            .field("line_size", &self.line_size)
+            .field("sets", &self.sets)
+            .field("ways", &self.ways)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spatial_locality_hits_within_line() {
+        let mut c = Cache::new(4096, 64, 4).unwrap();
+        assert_eq!(c.access(100), Access::Miss);
+        for b in 64..128 {
+            assert_eq!(c.access(b), Access::Hit);
+        }
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // Direct-mapped 2-line cache: line size 64, 2 sets, 1 way.
+        let mut c = Cache::new(128, 64, 1).unwrap();
+        assert_eq!(c.access(0), Access::Miss); // set 0
+        assert_eq!(c.access(128), Access::Miss); // set 0, evicts line 0
+        assert_eq!(c.access(0), Access::Miss); // line 0 was evicted
+    }
+
+    #[test]
+    fn associativity_retains_conflicting_lines() {
+        // Two ways, one set of conflict: both lines fit.
+        let mut c = Cache::new(128, 64, 2).unwrap();
+        c.access(0);
+        c.access(64);
+        assert_eq!(c.access(0), Access::Hit);
+        assert_eq!(c.access(64), Access::Hit);
+    }
+
+    #[test]
+    fn sequential_beats_random_order() {
+        // The locality claim of §IV-C3 in miniature: a sequential sweep of
+        // a large array has ~1/16 the misses of a scrambled sweep (64-byte
+        // lines, 4-byte elements) once the array exceeds the cache.
+        let elems: Vec<u64> = (0..65_536u64).collect();
+        let addr = |i: u64| i * 4;
+        let mut seq_cache = Cache::new(8192, 64, 4).unwrap();
+        let seq = seq_cache.run_trace(elems.iter().map(|&i| addr(i)));
+        let mut scrambled: Vec<u64> = elems.clone();
+        // Deterministic scramble: multiply by an odd constant mod 2^16.
+        for v in &mut scrambled {
+            *v = (*v).wrapping_mul(40_503) % 65_536;
+        }
+        let mut rnd_cache = Cache::new(8192, 64, 4).unwrap();
+        let rnd = rnd_cache.run_trace(scrambled.iter().map(|&i| addr(i)));
+        assert!(
+            seq.miss_rate() < rnd.miss_rate() / 4.0,
+            "sequential {} vs scrambled {}",
+            seq.miss_rate(),
+            rnd.miss_rate()
+        );
+    }
+
+    #[test]
+    fn prefetch_fills_do_not_count_as_demand() {
+        let mut c = Cache::new(1024, 64, 2).unwrap();
+        c.prefetch(0);
+        assert_eq!(c.stats().accesses(), 0);
+        assert_eq!(c.stats().prefetch_fills, 1);
+        assert_eq!(c.access(0), Access::Hit);
+    }
+
+    #[test]
+    fn stats_reset() {
+        let mut c = Cache::new(1024, 64, 2).unwrap();
+        c.access(0);
+        c.reset_stats();
+        assert_eq!(c.stats(), CacheStats::default());
+        // Contents survive the reset.
+        assert_eq!(c.access(0), Access::Hit);
+    }
+
+    #[test]
+    fn invalid_geometry_rejected() {
+        assert!(Cache::new(1000, 64, 2).is_err());
+        assert!(Cache::new(1024, 48, 2).is_err());
+        assert!(Cache::new(1024, 64, 0).is_err());
+        assert!(Cache::new(64 * 3 * 2, 64, 2).is_err()); // 3 sets
+    }
+
+    #[test]
+    fn miss_rate_empty_run_is_zero() {
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+}

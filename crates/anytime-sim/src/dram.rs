@@ -1,0 +1,183 @@
+//! Low-refresh DRAM retention model (Flikker-style approximate storage,
+//! paper §III-B1).
+//!
+//! DRAM cells leak charge and must be refreshed (nominally every 64 ms).
+//! Stretching the refresh interval saves refresh power linearly but lets
+//! weak cells decay, flipping stored bits. This module models a partition
+//! of "approximate" DRAM rows whose refresh interval — and therefore
+//! retention error rate — is configurable, the software stand-in for the
+//! paper's Flikker citation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Nominal DRAM refresh interval in milliseconds (DDR standard).
+pub const NOMINAL_REFRESH_MS: f64 = 64.0;
+
+/// Retention-failure rate scale: per-bit probability of decay per
+/// millisecond *beyond* the nominal interval. Chosen so that a 1 s refresh
+/// interval yields roughly the 1e-5 per-bit failure probability reported in
+/// retention studies.
+const DECAY_RATE_PER_MS: f64 = 1e-8;
+
+/// Per-bit probability that a cell decays during one refresh window of the
+/// given interval.
+///
+/// Zero at or below the nominal interval; grows linearly with the excess.
+///
+/// # Panics
+///
+/// Panics if `interval_ms` is not finite and positive.
+pub fn retention_failure_probability(interval_ms: f64) -> f64 {
+    assert!(
+        interval_ms.is_finite() && interval_ms > 0.0,
+        "refresh interval must be positive"
+    );
+    DECAY_RATE_PER_MS * (interval_ms - NOMINAL_REFRESH_MS).max(0.0)
+}
+
+/// Refresh-power saving of an interval relative to nominal (refresh power
+/// is proportional to refresh frequency).
+///
+/// # Panics
+///
+/// Panics if `interval_ms < NOMINAL_REFRESH_MS`.
+pub fn refresh_power_saving(interval_ms: f64) -> f64 {
+    assert!(
+        interval_ms >= NOMINAL_REFRESH_MS,
+        "interval below nominal saves nothing"
+    );
+    1.0 - NOMINAL_REFRESH_MS / interval_ms
+}
+
+/// A simulated approximate-DRAM region with a stretched refresh interval.
+#[derive(Debug, Clone)]
+pub struct DramModel {
+    interval_ms: f64,
+    rng: StdRng,
+    flips: u64,
+}
+
+impl DramModel {
+    /// Creates a region refreshed every `interval_ms` milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_ms` is not finite and positive.
+    pub fn new(interval_ms: f64, seed: u64) -> Self {
+        assert!(
+            interval_ms.is_finite() && interval_ms > 0.0,
+            "refresh interval must be positive"
+        );
+        Self {
+            interval_ms,
+            rng: StdRng::seed_from_u64(seed),
+            flips: 0,
+        }
+    }
+
+    /// The configured refresh interval.
+    pub fn interval_ms(&self) -> f64 {
+        self.interval_ms
+    }
+
+    /// Total bits decayed so far.
+    pub fn flips(&self) -> u64 {
+        self.flips
+    }
+
+    /// Simulates `elapsed_ms` of residency: decays bits of `data` in place
+    /// with per-window probability [`retention_failure_probability`].
+    pub fn decay(&mut self, data: &mut [u8], elapsed_ms: f64) {
+        assert!(elapsed_ms >= 0.0, "elapsed time cannot be negative");
+        let windows = elapsed_ms / self.interval_ms;
+        let p_window = retention_failure_probability(self.interval_ms);
+        // Probability a bit survives all windows: (1 - p)^windows.
+        let p = 1.0 - (1.0 - p_window).powf(windows);
+        if p <= 0.0 || data.is_empty() {
+            return;
+        }
+        let nbits = data.len() as u64 * 8;
+        let log1m = (1.0 - p).ln();
+        let mut pos: u64 = 0;
+        loop {
+            let u: f64 = self.rng.random_range(f64::MIN_POSITIVE..1.0);
+            let skip = (u.ln() / log1m).floor() as u64;
+            pos = match pos.checked_add(skip) {
+                Some(v) if v < nbits => v,
+                _ => return,
+            };
+            data[(pos / 8) as usize] ^= 1 << (pos % 8);
+            self.flips += 1;
+            pos += 1;
+            if pos >= nbits {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_interval_is_safe() {
+        assert_eq!(retention_failure_probability(NOMINAL_REFRESH_MS), 0.0);
+        assert_eq!(retention_failure_probability(10.0), 0.0);
+        let mut m = DramModel::new(NOMINAL_REFRESH_MS, 1);
+        let mut data = vec![0x55; 4096];
+        m.decay(&mut data, 10_000.0);
+        assert!(data.iter().all(|&b| b == 0x55));
+    }
+
+    #[test]
+    fn longer_intervals_fail_more() {
+        let a = retention_failure_probability(128.0);
+        let b = retention_failure_probability(1024.0);
+        assert!(b > a && a > 0.0);
+    }
+
+    #[test]
+    fn power_saving_grows_with_interval() {
+        assert_eq!(refresh_power_saving(NOMINAL_REFRESH_MS), 0.0);
+        assert!((refresh_power_saving(640.0) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decay_count_scales_with_time() {
+        let interval = 10_000.0; // heavily stretched
+        let run = |ms: f64| {
+            let mut m = DramModel::new(interval, 9);
+            let mut data = vec![0u8; 1 << 16];
+            m.decay(&mut data, ms);
+            m.flips()
+        };
+        let short = run(1_000.0);
+        let long = run(100_000.0);
+        assert!(long > short, "decay should accumulate: {short} vs {long}");
+    }
+
+    #[test]
+    fn decay_is_deterministic() {
+        let run = || {
+            let mut m = DramModel::new(5_000.0, 4);
+            let mut d = vec![0u8; 8192];
+            m.decay(&mut d, 50_000.0);
+            d
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        DramModel::new(0.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "below nominal")]
+    fn saving_below_nominal_rejected() {
+        refresh_power_saving(32.0);
+    }
+}

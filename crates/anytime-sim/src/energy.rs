@@ -1,0 +1,149 @@
+//! First-order energy accounting for "hold-the-power-button computing".
+//!
+//! The automaton's promise is that output acceptability directly governs
+//! the time *and energy* expended (paper §I, §V). This module provides the
+//! simple model the examples and benches use to report energy: constant
+//! component powers integrated over runtime, with optional savings factors
+//! from the approximate-storage models.
+
+use std::time::Duration;
+
+/// A constant-power energy model for a machine running an automaton.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Static (leakage + idle) power in watts, always drawn.
+    pub static_power_w: f64,
+    /// Dynamic power in watts at full utilization.
+    pub dynamic_power_w: f64,
+}
+
+impl EnergyModel {
+    /// A model with the given static and dynamic power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either power is negative or non-finite.
+    pub fn new(static_power_w: f64, dynamic_power_w: f64) -> Self {
+        assert!(
+            static_power_w.is_finite() && static_power_w >= 0.0,
+            "static power must be non-negative"
+        );
+        assert!(
+            dynamic_power_w.is_finite() && dynamic_power_w >= 0.0,
+            "dynamic power must be non-negative"
+        );
+        Self {
+            static_power_w,
+            dynamic_power_w,
+        }
+    }
+
+    /// Energy in joules for running `elapsed` at `utilization ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utilization` is outside `[0, 1]`.
+    pub fn energy_j(&self, elapsed: Duration, utilization: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&utilization),
+            "utilization must be in [0, 1]"
+        );
+        (self.static_power_w + self.dynamic_power_w * utilization) * elapsed.as_secs_f64()
+    }
+
+    /// Energy saved by stopping at `partial` instead of running to
+    /// `full`, at the same utilization.
+    pub fn saving_j(&self, partial: Duration, full: Duration, utilization: f64) -> f64 {
+        (self.energy_j(full, utilization) - self.energy_j(partial, utilization)).max(0.0)
+    }
+}
+
+impl Default for EnergyModel {
+    /// A nominal desktop-class model: 20 W static, 80 W dynamic.
+    fn default() -> Self {
+        Self::new(20.0, 80.0)
+    }
+}
+
+/// Accumulates per-component energies for a run report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EnergyAccount {
+    entries: Vec<(String, f64)>,
+}
+
+impl EnergyAccount {
+    /// Creates an empty account.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `joules` consumed by `component`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `joules` is negative or non-finite.
+    pub fn add(&mut self, component: impl Into<String>, joules: f64) {
+        assert!(
+            joules.is_finite() && joules >= 0.0,
+            "energy must be non-negative"
+        );
+        self.entries.push((component.into(), joules));
+    }
+
+    /// Total energy across all components, in joules.
+    pub fn total_j(&self) -> f64 {
+        self.entries.iter().map(|(_, j)| j).sum()
+    }
+
+    /// The recorded `(component, joules)` entries.
+    pub fn entries(&self) -> &[(String, f64)] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let m = EnergyModel::new(10.0, 90.0);
+        let e = m.energy_j(Duration::from_secs(2), 1.0);
+        assert!((e - 200.0).abs() < 1e-9);
+        let idle = m.energy_j(Duration::from_secs(2), 0.0);
+        assert!((idle - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stopping_early_saves_proportionally() {
+        let m = EnergyModel::default();
+        let save = m.saving_j(Duration::from_secs(1), Duration::from_secs(5), 1.0);
+        assert!((save - 400.0).abs() < 1e-9);
+        // Running longer than "full" saves nothing (clamped).
+        assert_eq!(
+            m.saving_j(Duration::from_secs(9), Duration::from_secs(5), 1.0),
+            0.0
+        );
+    }
+
+    #[test]
+    fn account_accumulates() {
+        let mut acct = EnergyAccount::new();
+        acct.add("cpu", 12.0);
+        acct.add("sram", 3.0);
+        assert_eq!(acct.total_j(), 15.0);
+        assert_eq!(acct.entries().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn bad_utilization_panics() {
+        EnergyModel::default().energy_j(Duration::from_secs(1), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_energy_panics() {
+        EnergyAccount::new().add("x", -1.0);
+    }
+}

@@ -1,0 +1,33 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the hardware models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A model was configured inconsistently.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig(msg) => write!(f, "invalid model configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Result alias for model operations.
+pub type Result<T> = std::result::Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!SimError::InvalidConfig("x".into()).to_string().is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! Simulated hardware substrates for the Anytime Automaton evaluation.
+//!
+//! The paper's approximate-storage experiments and architecture discussion
+//! assume hardware we do not have; this crate provides faithful software
+//! models instead (see DESIGN.md §3):
+//!
+//! - [`sram`]: drowsy-SRAM read-upset injection at the paper's probability
+//!   points (0, 1e-7, 1e-5 per bit), with data-destructive semantics and
+//!   supply-power accounting (paper §III-B1, Figure 20);
+//! - [`dram`]: low-refresh DRAM retention decay (Flikker-style);
+//! - [`cache`]: a set-associative LRU cache simulator for the sampling
+//!   permutation locality study (§IV-C3);
+//! - [`prefetch`]: the deterministic permutation-aware prefetcher the paper
+//!   proposes as the locality remedy;
+//! - [`rowbuffer`]: an open-row DRAM model for the row-buffer half of the
+//!   locality claim;
+//! - [`energy`]: first-order energy accounting for hold-the-power-button
+//!   reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod dram;
+pub mod energy;
+mod error;
+pub mod prefetch;
+pub mod rowbuffer;
+pub mod sram;
+
+pub use cache::{Cache, CacheStats};
+pub use dram::DramModel;
+pub use energy::{EnergyAccount, EnergyModel};
+pub use error::{Result, SimError};
+pub use rowbuffer::{RowBuffer, RowStats};
+pub use sram::{ApproxStore, ReadInjector, SramModel};

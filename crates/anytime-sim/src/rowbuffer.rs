@@ -1,0 +1,188 @@
+//! DRAM row-buffer locality model (paper §IV-C3).
+//!
+//! The paper notes that non-sequential sampling permutations hurt "cache
+//! *and row buffer* locality". DRAM banks keep the most recently activated
+//! row latched in a row buffer; accesses to the open row are fast (row
+//! hits), while switching rows costs a precharge + activate (row misses).
+//! This module models an open-row-policy memory controller with multiple
+//! banks and replays access traces, complementing the cache simulator.
+
+use std::fmt;
+
+/// Result of one memory access at the DRAM level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowAccess {
+    /// The bank's open row served the access.
+    Hit,
+    /// A different row was open (or none): precharge + activate.
+    Miss,
+}
+
+/// Row hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RowStats {
+    /// Accesses served by an open row.
+    pub hits: u64,
+    /// Accesses that had to open a row.
+    pub misses: u64,
+}
+
+impl RowStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Row-miss rate in `[0, 1]`; 0 for an empty run.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// An open-row-policy DRAM model with interleaved banks.
+///
+/// Addresses map to banks by row-interleaving: consecutive rows go to
+/// consecutive banks, the common layout that lets sequential streams keep
+/// several rows open at once.
+///
+/// # Examples
+///
+/// ```
+/// use anytime_sim::rowbuffer::{RowBuffer, RowAccess};
+/// let mut rb = RowBuffer::new(8192, 4)?;
+/// assert_eq!(rb.access(0), RowAccess::Miss);    // opens row 0
+/// assert_eq!(rb.access(100), RowAccess::Hit);   // same row
+/// # Ok::<(), anytime_sim::SimError>(())
+/// ```
+pub struct RowBuffer {
+    row_bytes: usize,
+    banks: Vec<Option<u64>>,
+    stats: RowStats,
+}
+
+impl RowBuffer {
+    /// Creates a model with the given row size (bytes) and bank count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SimError::InvalidConfig`] unless `row_bytes` is a
+    /// power of two and `banks > 0`.
+    pub fn new(row_bytes: usize, banks: usize) -> crate::Result<Self> {
+        if row_bytes == 0 || !row_bytes.is_power_of_two() {
+            return Err(crate::SimError::InvalidConfig(
+                "row size must be a power of two".into(),
+            ));
+        }
+        if banks == 0 {
+            return Err(crate::SimError::InvalidConfig(
+                "at least one bank required".into(),
+            ));
+        }
+        Ok(Self {
+            row_bytes,
+            banks: vec![None; banks],
+            stats: RowStats::default(),
+        })
+    }
+
+    /// Row size in bytes.
+    pub fn row_bytes(&self) -> usize {
+        self.row_bytes
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> RowStats {
+        self.stats
+    }
+
+    /// One access to byte address `addr`.
+    pub fn access(&mut self, addr: u64) -> RowAccess {
+        let row = addr / self.row_bytes as u64;
+        let bank = (row % self.banks.len() as u64) as usize;
+        if self.banks[bank] == Some(row) {
+            self.stats.hits += 1;
+            RowAccess::Hit
+        } else {
+            self.banks[bank] = Some(row);
+            self.stats.misses += 1;
+            RowAccess::Miss
+        }
+    }
+
+    /// Replays a whole trace.
+    pub fn run_trace(&mut self, addrs: impl IntoIterator<Item = u64>) -> RowStats {
+        for a in addrs {
+            self.access(a);
+        }
+        self.stats
+    }
+}
+
+impl fmt::Debug for RowBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RowBuffer")
+            .field("row_bytes", &self.row_bytes)
+            .field("banks", &self.banks.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_stream_hits_within_rows() {
+        let mut rb = RowBuffer::new(8192, 4).unwrap();
+        let stats = rb.run_trace((0..65_536u64).map(|i| i * 4));
+        // One miss per 8 KiB row of the 256 KiB stream.
+        assert_eq!(stats.misses, 32);
+        assert!(stats.miss_rate() < 0.001);
+    }
+
+    #[test]
+    fn bit_reversed_stream_misses_constantly() {
+        let mut rb = RowBuffer::new(8192, 4).unwrap();
+        let trace = (0..65_536u64).map(|i| (i.reverse_bits() >> (64 - 16)) * 4);
+        let stats = rb.run_trace(trace);
+        assert!(
+            stats.miss_rate() > 0.5,
+            "tree order should thrash rows: {}",
+            stats.miss_rate()
+        );
+    }
+
+    #[test]
+    fn banks_keep_multiple_rows_open() {
+        let mut rb = RowBuffer::new(1024, 2).unwrap();
+        rb.access(0); // row 0 -> bank 0
+        rb.access(1024); // row 1 -> bank 1
+        assert_eq!(rb.access(8), RowAccess::Hit);
+        assert_eq!(rb.access(1032), RowAccess::Hit);
+        // Row 2 maps to bank 0 again, evicting row 0.
+        rb.access(2048);
+        assert_eq!(rb.access(8), RowAccess::Miss);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(RowBuffer::new(1000, 2).is_err());
+        assert!(RowBuffer::new(1024, 0).is_err());
+        assert!(RowBuffer::new(0, 2).is_err());
+    }
+
+    #[test]
+    fn empty_run_has_zero_miss_rate() {
+        assert_eq!(RowStats::default().miss_rate(), 0.0);
+    }
+}

@@ -1,0 +1,415 @@
+//! Drowsy-SRAM approximate-storage model (paper §III-B1, §IV-B2).
+//!
+//! Drowsy caches reduce SRAM cell supply voltage, trading an increased
+//! probability of bit upsets for large leakage/supply power savings. The
+//! paper evaluates 2dconv with read-upset probabilities of 0 %, 0.00001 %
+//! (1e-7 per bit read) and 0.001 % (1e-5 per bit read), citing that the
+//! last level saves up to ~90 % of supply power.
+//!
+//! This module is the software substitute for that hardware (DESIGN.md §3,
+//! substitution 3). Upsets are **data-destructive**: once a bit flips in a
+//! cell, it stays flipped until the cell is rewritten — which is exactly why
+//! the paper requires iterative stages to *flush* approximate storage
+//! between intermediate computations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Exponential voltage→upset-rate model, calibrated so that
+/// `upset_probability(0.316) ≈ 1e-5` (the paper's 0.001 % point, ~90 %
+/// supply-power saving since power ∝ V²) and
+/// `upset_probability(0.45) ≈ 1e-7` (the 0.00001 % point).
+const UPSET_COEFF_A: f64 = 0.64;
+const UPSET_COEFF_B: f64 = 35.0;
+
+/// Per-bit read-upset probability at a supply voltage expressed as a
+/// fraction of nominal.
+///
+/// # Panics
+///
+/// Panics unless `0 < voltage_fraction <= 1`.
+///
+/// # Examples
+///
+/// ```
+/// use anytime_sim::sram::upset_probability;
+/// assert!(upset_probability(1.0) < 1e-12);        // nominal: essentially safe
+/// let low = upset_probability(0.316);             // deep drowsy mode
+/// assert!((1e-6..1e-4).contains(&low));
+/// ```
+pub fn upset_probability(voltage_fraction: f64) -> f64 {
+    assert!(
+        voltage_fraction > 0.0 && voltage_fraction <= 1.0,
+        "voltage fraction must be in (0, 1]"
+    );
+    UPSET_COEFF_A * (-UPSET_COEFF_B * voltage_fraction).exp()
+}
+
+/// Supply-power saving of running cells at the given voltage fraction,
+/// relative to nominal (`P ∝ V²`).
+///
+/// # Panics
+///
+/// Panics unless `0 < voltage_fraction <= 1`.
+pub fn supply_power_saving(voltage_fraction: f64) -> f64 {
+    assert!(
+        voltage_fraction > 0.0 && voltage_fraction <= 1.0,
+        "voltage fraction must be in (0, 1]"
+    );
+    1.0 - voltage_fraction * voltage_fraction
+}
+
+/// A drowsy-SRAM bit-upset injector.
+///
+/// Flips each bit of the data it touches with the configured per-bit
+/// probability, using geometric skip sampling so that realistic (tiny)
+/// probabilities cost almost nothing. Deterministic in its seed.
+#[derive(Debug, Clone)]
+pub struct SramModel {
+    upset_per_bit: f64,
+    rng: StdRng,
+    flips: u64,
+    bits_read: u64,
+}
+
+impl SramModel {
+    /// Creates a model with the given per-bit-read upset probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= upset_per_bit < 1`.
+    pub fn new(upset_per_bit: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&upset_per_bit),
+            "upset probability must be in [0, 1)"
+        );
+        Self {
+            upset_per_bit,
+            rng: StdRng::seed_from_u64(seed),
+            flips: 0,
+            bits_read: 0,
+        }
+    }
+
+    /// Creates a model for cells held at the given fraction of nominal
+    /// voltage, via [`upset_probability`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < voltage_fraction <= 1`.
+    pub fn at_voltage(voltage_fraction: f64, seed: u64) -> Self {
+        Self::new(upset_probability(voltage_fraction), seed)
+    }
+
+    /// The configured per-bit upset probability.
+    pub fn upset_per_bit(&self) -> f64 {
+        self.upset_per_bit
+    }
+
+    /// Total bits flipped so far.
+    pub fn flips(&self) -> u64 {
+        self.flips
+    }
+
+    /// Total bits read through the model so far.
+    pub fn bits_read(&self) -> u64 {
+        self.bits_read
+    }
+
+    /// Simulates reading `data` out of drowsy cells: each bit flips (in
+    /// place — destructively) with the configured probability.
+    pub fn corrupt(&mut self, data: &mut [u8]) {
+        let nbits = data.len() as u64 * 8;
+        self.bits_read += nbits;
+        if self.upset_per_bit == 0.0 || data.is_empty() {
+            return;
+        }
+        // Geometric skip sampling: jump straight to the next flipped bit.
+        let log1m = (1.0 - self.upset_per_bit).ln();
+        let mut pos: u64 = 0;
+        loop {
+            let u: f64 = self.rng.random_range(f64::MIN_POSITIVE..1.0);
+            let skip = (u.ln() / log1m).floor() as u64;
+            pos = match pos.checked_add(skip) {
+                Some(p) if p < nbits => p,
+                _ => return,
+            };
+            data[(pos / 8) as usize] ^= 1 << (pos % 8);
+            self.flips += 1;
+            pos += 1;
+            if pos >= nbits {
+                return;
+            }
+        }
+    }
+}
+
+/// A streaming per-read upset injector over individually addressed cells.
+///
+/// [`SramModel::corrupt`] handles bulk reads; this wrapper serves workloads
+/// that read scattered bytes (e.g. a convolution window walking an image in
+/// tree order). It keeps a geometric countdown of bits until the next
+/// upset, so per-byte reads stay O(1) and the aggregate flip rate matches
+/// the configured probability. Flips are applied destructively to the cell
+/// the caller passes in.
+#[derive(Debug, Clone)]
+pub struct ReadInjector {
+    upset_per_bit: f64,
+    rng: StdRng,
+    /// Bits remaining until the next upset (`u64::MAX` when p == 0).
+    countdown: u64,
+    flips: u64,
+    bits_read: u64,
+}
+
+impl ReadInjector {
+    /// Creates an injector with the given per-bit-read upset probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= upset_per_bit < 1`.
+    pub fn new(upset_per_bit: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&upset_per_bit),
+            "upset probability must be in [0, 1)"
+        );
+        let mut this = Self {
+            upset_per_bit,
+            rng: StdRng::seed_from_u64(seed),
+            countdown: u64::MAX,
+            flips: 0,
+            bits_read: 0,
+        };
+        this.reset_countdown();
+        this
+    }
+
+    fn reset_countdown(&mut self) {
+        if self.upset_per_bit == 0.0 {
+            self.countdown = u64::MAX;
+            return;
+        }
+        let u: f64 = self.rng.random_range(f64::MIN_POSITIVE..1.0);
+        self.countdown = (u.ln() / (1.0 - self.upset_per_bit).ln()).floor() as u64;
+    }
+
+    /// Total bits flipped so far.
+    pub fn flips(&self) -> u64 {
+        self.flips
+    }
+
+    /// Total bits read so far.
+    pub fn bits_read(&self) -> u64 {
+        self.bits_read
+    }
+
+    /// Reads one cell byte, destructively flipping bits that upset.
+    ///
+    /// Returns the (possibly corrupted) value now stored in the cell.
+    pub fn read_byte(&mut self, cell: &mut u8) -> u8 {
+        self.bits_read += 8;
+        // `countdown` bits pass untouched before the next flip.
+        let mut bitpos: u64 = 0; // bits of this byte already consumed
+        while self.countdown < 8 - bitpos {
+            let flip_at = bitpos + self.countdown;
+            *cell ^= 1 << flip_at;
+            self.flips += 1;
+            bitpos = flip_at + 1;
+            self.reset_countdown();
+        }
+        self.countdown = self.countdown.saturating_sub(8 - bitpos);
+        *cell
+    }
+}
+
+/// A buffer stored in simulated drowsy SRAM.
+///
+/// Reads pass through the upset model and corruption accumulates in the
+/// cells (data-destructive). [`ApproxStore::flush`] rewrites the precise
+/// contents — the operation the paper requires between intermediate
+/// computations of an iterative stage using approximate storage.
+#[derive(Debug, Clone)]
+pub struct ApproxStore {
+    precise: Vec<u8>,
+    cells: Vec<u8>,
+    model: SramModel,
+}
+
+impl ApproxStore {
+    /// Stores `data` in drowsy cells governed by `model`.
+    pub fn new(data: Vec<u8>, model: SramModel) -> Self {
+        Self {
+            cells: data.clone(),
+            precise: data,
+            model,
+        }
+    }
+
+    /// Reads the whole buffer, injecting (persistent) read upsets.
+    pub fn read(&mut self) -> Vec<u8> {
+        self.model.corrupt(&mut self.cells);
+        self.cells.clone()
+    }
+
+    /// Rewrites the cells with the precise contents, clearing accumulated
+    /// corruption.
+    pub fn flush(&mut self) {
+        self.cells.copy_from_slice(&self.precise);
+    }
+
+    /// Replaces the precise contents (and the cells) with new data.
+    pub fn write(&mut self, data: Vec<u8>) {
+        self.cells.clone_from(&data);
+        self.precise = data;
+    }
+
+    /// Number of cell bits that currently differ from the precise contents.
+    pub fn corrupted_bits(&self) -> u64 {
+        self.precise
+            .iter()
+            .zip(&self.cells)
+            .map(|(&p, &c)| u64::from((p ^ c).count_ones()))
+            .sum()
+    }
+
+    /// The underlying upset model (for statistics).
+    pub fn model(&self) -> &SramModel {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_matches_paper_points() {
+        let deep = upset_probability(0.316);
+        assert!(
+            (5e-6..5e-5).contains(&deep),
+            "0.001% point miscalibrated: {deep}"
+        );
+        let shallow = upset_probability(0.45);
+        assert!(
+            (2e-8..5e-7).contains(&shallow),
+            "0.00001% point miscalibrated: {shallow}"
+        );
+        // Deep drowsy mode saves ~90% supply power.
+        assert!((supply_power_saving(0.316) - 0.9).abs() < 0.01);
+        assert_eq!(supply_power_saving(1.0), 0.0);
+    }
+
+    #[test]
+    fn zero_probability_never_flips() {
+        let mut model = SramModel::new(0.0, 1);
+        let mut data = vec![0xAB; 1024];
+        model.corrupt(&mut data);
+        assert!(data.iter().all(|&b| b == 0xAB));
+        assert_eq!(model.flips(), 0);
+        assert_eq!(model.bits_read(), 8 * 1024);
+    }
+
+    #[test]
+    fn flip_count_tracks_probability() {
+        let p = 0.01;
+        let mut model = SramModel::new(p, 42);
+        let mut data = vec![0u8; 100_000];
+        model.corrupt(&mut data);
+        let expected = (data.len() * 8) as f64 * p;
+        let got = model.flips() as f64;
+        assert!(
+            (got - expected).abs() < expected * 0.2,
+            "expected ~{expected} flips, got {got}"
+        );
+        let set_bits: u64 = data.iter().map(|&b| u64::from(b.count_ones())).sum();
+        assert_eq!(set_bits, model.flips());
+    }
+
+    #[test]
+    fn corruption_is_deterministic_in_seed() {
+        let run = |seed| {
+            let mut m = SramModel::new(0.001, seed);
+            let mut d = vec![0u8; 4096];
+            m.corrupt(&mut d);
+            d
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn store_accumulates_and_flushes() {
+        let model = SramModel::new(0.01, 3);
+        let mut store = ApproxStore::new(vec![0u8; 8192], model);
+        store.read();
+        let after_one = store.corrupted_bits();
+        assert!(after_one > 0, "expected some corruption");
+        store.read();
+        let after_two = store.corrupted_bits();
+        assert!(after_two >= after_one, "corruption must persist (destructive)");
+        store.flush();
+        assert_eq!(store.corrupted_bits(), 0);
+    }
+
+    #[test]
+    fn store_write_replaces_contents() {
+        let mut store = ApproxStore::new(vec![1, 2, 3], SramModel::new(0.0, 1));
+        store.write(vec![9, 9, 9]);
+        assert_eq!(store.read(), vec![9, 9, 9]);
+    }
+
+    #[test]
+    fn read_injector_matches_configured_rate() {
+        let p = 0.005;
+        let mut inj = ReadInjector::new(p, 99);
+        let mut cells = vec![0u8; 50_000];
+        for c in &mut cells {
+            inj.read_byte(c);
+        }
+        let expected = (cells.len() * 8) as f64 * p;
+        let got = inj.flips() as f64;
+        assert!(
+            (got - expected).abs() < expected * 0.2,
+            "expected ~{expected} flips, got {got}"
+        );
+        let set: u64 = cells.iter().map(|&b| u64::from(b.count_ones())).sum();
+        assert_eq!(set, inj.flips(), "flips must persist in the cells");
+        assert_eq!(inj.bits_read(), 8 * 50_000);
+    }
+
+    #[test]
+    fn read_injector_zero_probability_is_clean() {
+        let mut inj = ReadInjector::new(0.0, 1);
+        let mut cell = 0x5Au8;
+        for _ in 0..10_000 {
+            assert_eq!(inj.read_byte(&mut cell), 0x5A);
+        }
+        assert_eq!(inj.flips(), 0);
+    }
+
+    #[test]
+    fn read_injector_is_deterministic() {
+        let run = |seed| {
+            let mut inj = ReadInjector::new(0.01, seed);
+            let mut cells = vec![0u8; 4096];
+            for c in &mut cells {
+                inj.read_byte(c);
+            }
+            cells
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "voltage fraction")]
+    fn zero_voltage_rejected() {
+        upset_probability(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "upset probability")]
+    fn unit_probability_rejected() {
+        SramModel::new(1.0, 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the hardware models: statistical soundness of the
+//! upset injectors, cache/row-buffer invariants, and energy-model algebra.
+
+use anytime_sim::cache::Cache;
+use anytime_sim::rowbuffer::RowBuffer;
+use anytime_sim::{DramModel, EnergyModel, ReadInjector, SramModel};
+use proptest::prelude::*;
+use std::time::Duration;
+
+proptest! {
+    #[test]
+    fn sram_flip_rate_tracks_probability(
+        p_exp in 1u32..4, // probability 10^-p
+        seed in 0u64..1000,
+    ) {
+        let p = 10f64.powi(-(p_exp as i32));
+        let mut model = SramModel::new(p, seed);
+        let mut data = vec![0u8; 200_000];
+        model.corrupt(&mut data);
+        let bits = (data.len() * 8) as f64;
+        let expected = bits * p;
+        let got = model.flips() as f64;
+        // Within 5 sigma of the binomial expectation.
+        let sigma = (bits * p * (1.0 - p)).sqrt();
+        prop_assert!(
+            (got - expected).abs() <= 5.0 * sigma + 1.0,
+            "p={p}: expected ~{expected}, got {got}"
+        );
+        // Every flip is visible in the data.
+        let set: u64 = data.iter().map(|&b| u64::from(b.count_ones())).sum();
+        prop_assert_eq!(set, model.flips());
+    }
+
+    #[test]
+    fn bulk_and_streaming_injectors_agree_statistically(
+        seed in 0u64..500,
+    ) {
+        let p = 0.002;
+        let n = 100_000usize;
+        let mut bulk = SramModel::new(p, seed);
+        let mut a = vec![0u8; n];
+        bulk.corrupt(&mut a);
+        let mut streaming = ReadInjector::new(p, seed.wrapping_add(1));
+        let mut b = vec![0u8; n];
+        for c in &mut b {
+            streaming.read_byte(c);
+        }
+        let fa = bulk.flips() as f64;
+        let fb = streaming.flips() as f64;
+        let sigma = ((n * 8) as f64 * p).sqrt();
+        prop_assert!(
+            (fa - fb).abs() <= 8.0 * sigma,
+            "bulk {fa} vs streaming {fb}"
+        );
+    }
+
+    #[test]
+    fn cache_hits_plus_misses_equals_accesses(
+        addrs in prop::collection::vec(0u64..100_000, 1..2000),
+    ) {
+        let mut cache = Cache::new(4096, 64, 4).unwrap();
+        let stats = cache.run_trace(addrs.iter().copied());
+        prop_assert_eq!(stats.accesses(), addrs.len() as u64);
+        prop_assert!(stats.miss_rate() >= 0.0 && stats.miss_rate() <= 1.0);
+        // Repeating the same trace immediately can only hit at least as
+        // often per access (warm cache), for single-set-fitting traces of
+        // one line.
+        let mut warm = Cache::new(4096, 64, 4).unwrap();
+        warm.run_trace(std::iter::repeat_n(addrs[0], 10));
+        prop_assert_eq!(warm.stats().misses, 1);
+    }
+
+    #[test]
+    fn repeated_access_to_open_row_always_hits(
+        base in 0u64..1_000_000,
+        offsets in prop::collection::vec(0u64..512, 1..50),
+    ) {
+        let mut rb = RowBuffer::new(1024, 4).unwrap();
+        let row_base = (base / 1024) * 1024;
+        rb.access(row_base);
+        for off in offsets {
+            prop_assert_eq!(
+                rb.access(row_base + off % 1024),
+                anytime_sim::rowbuffer::RowAccess::Hit
+            );
+        }
+    }
+
+    #[test]
+    fn dram_decay_monotone_in_interval(
+        seed in 0u64..200,
+    ) {
+        let run = |interval_ms: f64| {
+            let mut m = DramModel::new(interval_ms, seed);
+            let mut data = vec![0u8; 1 << 16];
+            m.decay(&mut data, 60_000.0);
+            m.flips()
+        };
+        let short = run(256.0);
+        let long = run(8_192.0);
+        prop_assert!(long >= short, "longer interval should decay more: {short} vs {long}");
+    }
+
+    #[test]
+    fn energy_is_additive_in_time(
+        a_ms in 1u64..1000,
+        b_ms in 1u64..1000,
+        util in 0.0f64..1.0,
+    ) {
+        let m = EnergyModel::default();
+        let ea = m.energy_j(Duration::from_millis(a_ms), util);
+        let eb = m.energy_j(Duration::from_millis(b_ms), util);
+        let eab = m.energy_j(Duration::from_millis(a_ms + b_ms), util);
+        prop_assert!((ea + eb - eab).abs() < 1e-9);
+        prop_assert!(ea >= 0.0);
+    }
+
+    #[test]
+    fn sram_voltage_tradeoff_is_monotone(v in 1u32..100) {
+        let v = v as f64 / 100.0;
+        let v2 = (v + 0.01).min(1.0);
+        // Raising voltage lowers upsets and lowers savings.
+        prop_assert!(
+            anytime_sim::sram::upset_probability(v2)
+                <= anytime_sim::sram::upset_probability(v)
+        );
+        prop_assert!(
+            anytime_sim::sram::supply_power_saving(v2)
+                <= anytime_sim::sram::supply_power_saving(v)
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Contract-mode execution: a known time budget, planned up front.
+//!
+//! ```sh
+//! cargo run --release --example contract_mode -- 40
+//! ```
+//!
+//! The argument is the budget in milliseconds (default 30). Where the
+//! interruptible automaton runs until told to stop, a *contract* execution
+//! (paper §II-B) knows its deadline in advance: it calibrates per-level
+//! costs of the iterative dwt53 stage, plans which perforation levels to
+//! run ([`plan_with_insurance`]), and executes exactly that plan — skipping
+//! levels a budget-blind run would have wasted time on.
+
+use anytime::approx::StrideSchedule;
+use anytime::apps::dwt53::{forward_2d_perforated, Dwt53};
+use anytime::core::contract::{calibrate, plan_single_level, plan_with_insurance};
+use anytime::img::{metrics, synth};
+use std::time::{Duration, Instant};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let budget_ms: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(30);
+    let budget = Duration::from_millis(budget_ms);
+
+    let image = synth::value_noise(512, 512, 9);
+    let app = Dwt53::new(image);
+    let schedule = StrideSchedule::halving(8)?;
+    let reference = app.precise();
+    let as_i32 = app.image().map(i32::from);
+
+    // Offline calibration: run each perforation level once, recording cost
+    // and the resulting round-trip SNR as the quality estimate.
+    println!("calibrating {} levels…", schedule.levels());
+    let mut outputs = Vec::new();
+    let estimates = calibrate(
+        schedule.levels(),
+        |level| {
+            let coeffs = forward_2d_perforated(&as_i32, schedule.stride(level));
+            metrics::snr_db(&Dwt53::reconstruct(&coeffs), &reference)
+        },
+        |level| {
+            outputs.push(forward_2d_perforated(&as_i32, schedule.stride(level)));
+        },
+    );
+    for e in &estimates {
+        println!(
+            "  level {} (stride {}): cost {:?}, quality {:.1} dB",
+            e.level,
+            schedule.stride(e.level),
+            e.cost,
+            e.quality
+        );
+    }
+
+    // Plan for the budget.
+    let single = plan_single_level(&estimates, budget)?;
+    let insured = plan_with_insurance(&estimates, budget)?;
+    println!("\nbudget {budget:?}");
+    println!(
+        "  single-level plan: run level(s) {:?} (expected {:?}, {:.1} dB)",
+        single.levels, single.expected_cost, single.expected_quality
+    );
+    println!(
+        "  insured plan:      run level(s) {:?} (expected {:?})",
+        insured.levels, insured.expected_cost
+    );
+
+    // Execute the insured plan.
+    let start = Instant::now();
+    let mut result = None;
+    for &level in &insured.levels {
+        result = Some(forward_2d_perforated(&as_i32, schedule.stride(level)));
+    }
+    let elapsed = start.elapsed();
+    let rebuilt = Dwt53::reconstruct(&result.expect("plan has at least one level"));
+    let snr = metrics::snr_db(&rebuilt, &reference);
+    println!(
+        "\nexecuted in {elapsed:?} ({} the budget): output SNR {:.1} dB",
+        if elapsed <= budget { "within" } else { "OVER" },
+        snr
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! "Hold-the-power-button computing" (paper §I): the user holds the button
+//! for as long as they want precision; releasing it stops the automaton and
+//! takes whatever output is there — having spent exactly that much time and
+//! energy.
+//!
+//! ```sh
+//! cargo run --release --example hold_the_button -- 80
+//! ```
+//!
+//! The argument is the hold duration in milliseconds (default 100). The
+//! example runs histogram equalization, stops at the deadline, reports the
+//! output quality and the energy spent vs. a run-to-precise execution, and
+//! writes the kept output to `results/hold_the_button.pgm`.
+
+use anytime::apps::{time_baseline, Histeq};
+use anytime::img::{io, metrics, synth};
+use anytime::sim::EnergyModel;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let hold_ms: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(100);
+    let hold = Duration::from_millis(hold_ms);
+
+    let app = Histeq::new(synth::blobs(512, 512, 8, 7));
+    let (reference, baseline) = time_baseline(3, || app.precise());
+    println!("precise baseline runs in {baseline:?}");
+
+    // Hold the button…
+    let (pipeline, out) = app.automaton(8192, 16384)?;
+    let auto = pipeline.launch()?;
+    let report = auto.run_for(hold)?;
+    // …and release it.
+
+    let snap = out
+        .latest()
+        .ok_or("nothing published yet — hold the button a little longer")?;
+    let snr = metrics::snr_db(snap.value(), &reference);
+    println!(
+        "held {hold:?}: output at version {} ({} samples), SNR {:.2} dB{}",
+        snap.version(),
+        snap.steps(),
+        snr,
+        if snap.is_final() { " [precise]" } else { "" }
+    );
+
+    // Energy: what did stopping early buy us?
+    let energy = EnergyModel::default();
+    let spent = energy.energy_j(report.elapsed, 1.0);
+    // A run to precise costs at least the baseline (the paper's automata
+    // reach precise somewhat after the baseline runtime).
+    let full = energy.energy_j(baseline, 1.0);
+    println!(
+        "energy: {spent:.2} J spent; a precise run costs >= {full:.2} J ({:.0}% saved)",
+        (1.0 - spent / full).max(0.0) * 100.0
+    );
+
+    std::fs::create_dir_all("results")?;
+    io::save_netpbm("results/hold_the_button.pgm", snap.value())?;
+    println!("kept output written to results/hold_the_button.pgm");
+    Ok(())
+}

@@ -1,0 +1,136 @@
+//! "Imagine typing a search engine query and instead of pressing the enter
+//! key, you hold it based on the desired amount of precision in the
+//! search" (paper §I).
+//!
+//! ```sh
+//! cargo run --release --example hold_to_search -- 5
+//! ```
+//!
+//! The argument is how long the enter key is "held", in milliseconds
+//! (default 5). A synthetic corpus is scored against a query as an anytime
+//! reduction: documents are visited in LFSR order (unordered data set →
+//! pseudo-random sampling, §III-B2) and the working top-10 result list is
+//! published continuously. Hold longer, search deeper — release whenever
+//! the results look right; hold to the end and the ranking is exact.
+
+use anytime::core::{PipelineBuilder, SampledReduce, StageOptions};
+use anytime::permute::{DynPermutation, Lfsr};
+use std::time::Duration;
+
+const DOCS: usize = 200_000;
+const TOP_K: usize = 10;
+
+/// A deterministic synthetic corpus: each document is a bag of term hashes.
+fn corpus() -> Vec<[u32; 12]> {
+    (0..DOCS)
+        .map(|d| {
+            let mut terms = [0u32; 12];
+            let mut h = (d as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xABCD;
+            for t in &mut terms {
+                h ^= h >> 33;
+                h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+                *t = (h & 0x3FF) as u32; // 1024-term vocabulary
+            }
+            terms
+        })
+        .collect()
+}
+
+/// Relevance of a document to the query: term overlap weighted by position.
+fn score(doc: &[u32; 12], query: &[u32]) -> u32 {
+    doc.iter()
+        .enumerate()
+        .map(|(pos, t)| {
+            if query.contains(t) {
+                (12 - pos) as u32
+            } else {
+                0
+            }
+        })
+        .sum()
+}
+
+/// The working result list: a top-k of (score, doc id), kept sorted.
+type TopK = Vec<(u32, usize)>;
+
+fn push_topk(top: &mut TopK, entry: (u32, usize)) {
+    if entry.0 == 0 {
+        return;
+    }
+    let pos = top
+        .binary_search_by(|probe| entry.cmp(probe))
+        .unwrap_or_else(|p| p);
+    top.insert(pos, entry);
+    top.truncate(TOP_K);
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let hold_ms: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(5);
+
+    let docs = corpus();
+    let query: Vec<u32> = vec![17, 42, 256, 600, 901];
+
+    // Precise ranking, for comparison.
+    let mut exact: TopK = Vec::new();
+    for (d, doc) in docs.iter().enumerate() {
+        push_topk(&mut exact, (score(doc, &query), d));
+    }
+
+    // The anytime search: documents sampled in LFSR order, top-k is a
+    // commutative (set-union + rank) reduction, so every prefix is a valid
+    // result list.
+    let q = query.clone();
+    let mut pb = PipelineBuilder::new();
+    let out = pb.source(
+        "search",
+        docs,
+        SampledReduce::new(
+            DynPermutation::new(Lfsr::with_len(DOCS)?),
+            |_: &Vec<[u32; 12]>| TopK::new(),
+            move |top: &mut TopK, docs: &Vec<[u32; 12]>, idx| {
+                push_topk(top, (score(&docs[idx], &q), idx));
+            },
+        )
+        .with_chunk(512),
+        StageOptions::with_publish_every(16),
+    );
+    let auto = pb.build().launch()?;
+
+    // Hold the enter key…
+    auto.run_for(Duration::from_millis(hold_ms))?;
+    // …and release.
+
+    let snap = out.latest().ok_or("held too briefly for any results")?;
+    println!(
+        "held {}ms: searched {} of {} documents{}",
+        hold_ms,
+        snap.steps(),
+        DOCS,
+        if snap.is_final() { " (all)" } else { "" }
+    );
+    println!("\n rank  doc        score   exact?");
+    for (i, &(s, d)) in snap.value().iter().enumerate() {
+        let hit = exact.get(i) == Some(&(s, d));
+        println!(
+            "  {:>2}   doc{:<7}  {:>4}   {}",
+            i + 1,
+            d,
+            s,
+            if hit { "=" } else { "~" }
+        );
+    }
+    let agree = snap
+        .value()
+        .iter()
+        .zip(&exact)
+        .filter(|(a, b)| a == b)
+        .count();
+    println!(
+        "\n{agree}/{TOP_K} positions already agree with the exact ranking; hold longer for more"
+    );
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Automated quality management on the whole application output.
+//!
+//! ```sh
+//! cargo run --release --example quality_monitor -- 25
+//! ```
+//!
+//! The argument is the target SNR in dB (default 25). State-of-the-art
+//! systems (Rumba, SAGE, Green) tune approximation dynamically, but their
+//! metrics apply either to code segments (which "does not necessarily
+//! translate to accuracy of the whole application") or require re-running
+//! everything when the whole output falls short. The automaton fixes both:
+//! the whole output is available early, so an [`AccuracyMonitor`] can
+//! watch it and stop the run the moment it crosses the target
+//! (paper §III-A, §III-C).
+
+use anytime::apps::{preview, Conv2d};
+use anytime::core::monitor::run_until_quality;
+use anytime::img::{metrics, synth, Kernel};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let target_db: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(25.0);
+
+    let app = Conv2d::new(synth::value_noise(512, 512, 42), Kernel::gaussian(9, 2.0));
+    let reference = Arc::new(app.precise());
+
+    let (pipeline, out) = app.automaton(8192)?;
+    let reference2 = Arc::clone(&reference);
+    let (report, trace) = run_until_quality(
+        pipeline,
+        out.clone(),
+        move |img| {
+            // Score the displayable preview, as a user would see it. The
+            // sample count isn't visible to the metric closure, so score
+            // the sparse output's preview at the closest power of two.
+            let filled = img.as_slice().iter().filter(|&&v| v != 0).count() as u64;
+            metrics::snr_db(
+                &preview::nearest_upsample(img, filled.max(1)),
+                &reference2,
+            )
+        },
+        target_db,
+    )?;
+
+    println!("target: {target_db} dB");
+    println!(
+        "run ended after {:?} ({} observations), final score {:.2} dB",
+        report.elapsed,
+        trace.len(),
+        trace.final_score().unwrap_or(f64::NEG_INFINITY)
+    );
+    println!(
+        "monotone trend held: {}",
+        trace.is_monotone_nondecreasing(1.0)
+    );
+    let kept = out.latest().expect("output retained after stop");
+    println!(
+        "kept output: {} of {} pixels filtered ({})",
+        kept.steps(),
+        reference.pixel_count(),
+        if kept.is_final() {
+            "precise — target was beyond any approximation"
+        } else {
+            "stopped at acceptability, work and energy saved"
+        }
+    );
+    Ok(())
+}

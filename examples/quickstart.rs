@@ -1,0 +1,57 @@
+//! Quickstart: run a 2-D convolution as an anytime automaton and stop as
+//! soon as the output is "good enough".
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use anytime::apps::{preview, Conv2d};
+use anytime::img::{metrics, synth, Kernel};
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An image workload: blur a synthetic 256x256 image with a 9x9 kernel.
+    let app = Conv2d::new(synth::value_noise(256, 256, 42), Kernel::gaussian(9, 2.0));
+
+    // The precise baseline, for scoring.
+    let reference = app.precise();
+
+    // Build and launch the automaton: a single diffusive stage that filters
+    // pixels in 2-D tree order, publishing every 4096 pixels.
+    let (pipeline, out) = app.automaton(4096)?;
+    let auto = pipeline.launch()?;
+
+    // Watch versions arrive; stop once we cross 20 dB — "acceptable" is our
+    // call to make, not the system's.
+    let target_db = 20.0;
+    let mut last_version = None;
+    loop {
+        let snap = out.wait_newer_timeout(last_version, Duration::from_secs(30))?;
+        last_version = Some(snap.version());
+        // Present the sparse sampled output as a complete low-resolution
+        // preview, as a display would.
+        let shown = preview::nearest_upsample(snap.value(), snap.steps());
+        let snr = metrics::snr_db(&shown, &reference);
+        println!(
+            "{}  samples={:>6}  SNR={:>7.2} dB",
+            snap.version(),
+            snap.steps(),
+            snr
+        );
+        if snr >= target_db || snap.is_final() {
+            println!("acceptable at {} samples — stopping the automaton", snap.steps());
+            break;
+        }
+    }
+    auto.stop_and_join()?;
+
+    // The buffer still holds the last valid approximate output.
+    let final_snap = out.latest().expect("output available after stop");
+    println!(
+        "kept output: version {} with {} of {} pixels filtered",
+        final_snap.version(),
+        final_snap.steps(),
+        reference.pixel_count()
+    );
+    Ok(())
+}

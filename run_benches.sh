@@ -1,0 +1,12 @@
+#!/bin/sh
+# Regenerates bench_output.txt by running every Criterion bench target.
+cd /root/repo
+: > bench_output.txt
+for b in model_primitives fig10_organizations fig11_conv2d fig12_histeq \
+         fig13_dwt53 fig14_debayer fig15_kmeans fig19_precision fig20_storage \
+         ablation_permutations ablation_granularity ablation_scheduling \
+         ablation_parallel; do
+  echo "=== bench target: $b ===" >> bench_output.txt
+  cargo bench -p anytime-bench --bench "$b" >> bench_output.txt 2>&1
+done
+echo "ALL-BENCHES-DONE" >> bench_output.txt

@@ -1,0 +1,157 @@
+//! Cross-crate integration tests: every evaluation application, run as a
+//! whole automaton, must honor the model's three guarantees — early
+//! availability, interruptibility, and guaranteed precision.
+
+use anytime::apps::{Conv2d, Debayer, Dwt53, Histeq, Kmeans};
+use anytime::img::{metrics, synth, ImageBuf, Kernel};
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(120);
+
+#[test]
+fn conv2d_precise_guarantee() {
+    let app = Conv2d::new(synth::value_noise(48, 48, 1), Kernel::gaussian(5, 1.2));
+    let (pipeline, out) = app.automaton(256).unwrap();
+    let auto = pipeline.launch().unwrap();
+    let snap = out.wait_final_timeout(WAIT).unwrap();
+    assert_eq!(snap.value(), &app.precise());
+    assert!(auto.join().unwrap().all_final());
+}
+
+#[test]
+fn debayer_precise_guarantee() {
+    let app = Debayer::from_rgb(&synth::rgb_scene(48, 48, 2));
+    let (pipeline, out) = app.automaton(256).unwrap();
+    let auto = pipeline.launch().unwrap();
+    let snap = out.wait_final_timeout(WAIT).unwrap();
+    assert_eq!(snap.value(), &app.precise());
+    auto.join().unwrap();
+}
+
+#[test]
+fn dwt53_round_trip_is_bit_exact() {
+    let app = Dwt53::new(synth::value_noise(32, 32, 6));
+    let (pipeline, out) = app.automaton().unwrap();
+    let auto = pipeline.launch().unwrap();
+    let snap = out.wait_final_timeout(WAIT).unwrap();
+    // The integer 5/3 transform is reversible: round-trip equals input.
+    assert_eq!(Dwt53::reconstruct(snap.value()), *app.image());
+    auto.join().unwrap();
+}
+
+#[test]
+fn histeq_four_stage_pipeline_finalizes() {
+    let app = Histeq::new(synth::blobs(32, 32, 3, 9));
+    let (pipeline, out) = app.automaton(128, 128).unwrap();
+    let auto = pipeline.launch().unwrap();
+    let snap = out.wait_final_timeout(WAIT).unwrap();
+    assert_eq!(snap.value(), &app.precise());
+    let report = auto.join().unwrap();
+    assert_eq!(report.stages.len(), 4);
+    assert!(report.all_final());
+}
+
+#[test]
+fn kmeans_two_stage_pipeline_finalizes() {
+    let app = Kmeans::new(synth::rgb_scene(32, 32, 5), 5);
+    let (pipeline, out) = app.automaton(128).unwrap();
+    let auto = pipeline.launch().unwrap();
+    let snap = out.wait_final_timeout(WAIT).unwrap();
+    assert_eq!(app.compose(snap.value()), app.precise());
+    auto.join().unwrap();
+}
+
+#[test]
+fn interruption_always_leaves_valid_whole_output() {
+    // Stop a 2dconv automaton at several points; the latest output must
+    // always be a complete image whose filtered pixels match the precise
+    // output exactly (sampled pixels are computed precisely).
+    let app = Conv2d::new(synth::value_noise(96, 96, 7), Kernel::gaussian(9, 2.0));
+    let precise = app.precise();
+    for wait_versions in [1usize, 3, 6] {
+        let (pipeline, out) = app.automaton(512).unwrap();
+        let auto = pipeline.launch().unwrap();
+        let mut last = None;
+        for _ in 0..wait_versions {
+            match out.wait_newer_timeout(last, WAIT) {
+                Ok(snap) => last = Some(snap.version()),
+                Err(_) => break,
+            }
+        }
+        auto.stop_and_join().unwrap();
+        let snap = out.latest().expect("output available");
+        let img: &ImageBuf<u8> = snap.value();
+        assert_eq!(img.width(), 96);
+        assert_eq!(img.height(), 96);
+        // Count pixels matching the precise output: must be at least the
+        // published sample count (zeros can coincide too).
+        let matching = img
+            .as_slice()
+            .iter()
+            .zip(precise.as_slice())
+            .filter(|(a, b)| a == b)
+            .count() as u64;
+        assert!(
+            matching >= snap.steps(),
+            "only {matching} precise pixels for {} samples",
+            snap.steps()
+        );
+    }
+}
+
+#[test]
+fn accuracy_improves_across_versions() {
+    // Watch the version history of a debayer run: SNR must be
+    // non-decreasing version over version (diffusive stage, fixed input).
+    use anytime::core::StageOptions;
+    use anytime::core::{PipelineBuilder, SampledMap};
+    use anytime::permute::{DynPermutation, Tree2d};
+
+    let scene = synth::rgb_scene(64, 64, 13);
+    let app = Debayer::from_rgb(&scene);
+    let reference = app.precise();
+    let mosaic = app.mosaic().clone();
+    let perm = DynPermutation::new(Tree2d::new(64, 64).unwrap());
+    let mut pb = PipelineBuilder::new();
+    let out = pb.source(
+        "debayer",
+        mosaic,
+        SampledMap::new(
+            perm,
+            |input: &ImageBuf<u8>| ImageBuf::new(input.width(), input.height(), 3).unwrap(),
+            |input: &ImageBuf<u8>, out: &mut ImageBuf<u8>, idx| {
+                let (x, y) = input.pixel_coords(idx);
+                out.set_pixel(x, y, &anytime::apps::debayer::demosaic_at(input, x, y));
+            },
+        ),
+        StageOptions::with_publish_every(512).keep_history(),
+    );
+    let auto = pb.build().launch().unwrap();
+    auto.join().unwrap();
+    let history = out.history().unwrap();
+    assert!(history.len() >= 8, "expected several versions");
+    let mut last = f64::NEG_INFINITY;
+    for snap in &history {
+        let snr = metrics::snr_db(snap.value(), &reference);
+        assert!(snr >= last, "SNR regressed at version {}", snap.version());
+        last = snr;
+    }
+    assert_eq!(last, f64::INFINITY);
+}
+
+#[test]
+fn pause_freezes_and_resume_continues_to_precise() {
+    let app = Conv2d::new(synth::value_noise(64, 64, 3), Kernel::gaussian(7, 1.5));
+    let (pipeline, out) = app.automaton(128).unwrap();
+    let auto = pipeline.launch().unwrap();
+    out.wait_newer_timeout(None, WAIT).unwrap();
+    auto.pause();
+    std::thread::sleep(Duration::from_millis(20));
+    let frozen = out.latest().map(|s| s.version());
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(out.latest().map(|s| s.version()), frozen);
+    auto.resume();
+    let snap = out.wait_final_timeout(WAIT).unwrap();
+    assert_eq!(snap.value(), &app.precise());
+    auto.join().unwrap();
+}

@@ -1,0 +1,311 @@
+//! Property-based integration tests of the computation model itself:
+//! whatever the stage shapes, granularities, and orders, the automaton
+//! must deliver monotone accuracy and the exact precise output.
+
+use anytime::core::{
+    Diffusive, Iterative, PipelineBuilder, Precise, SampledMap, SampledReduce, StageOptions,
+    StepOutcome,
+};
+use anytime::permute::{DynPermutation, Lcg, Lfsr, Sequential, Tree1d};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(60);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A sampled reduction reaches the exact sum for any data, any
+    /// permutation family, and any publication granularity.
+    #[test]
+    fn sampled_reduce_always_reaches_exact_sum(
+        data in prop::collection::vec(0u64..1000, 1..200),
+        granularity in 1u64..50,
+        seed in 1u32..1000,
+    ) {
+        let n = data.len();
+        let expected: u64 = data.iter().sum();
+        let perm = DynPermutation::new(Lfsr::with_seed(n, seed).unwrap());
+        let mut pb = PipelineBuilder::new();
+        let out = pb.source(
+            "sum",
+            data,
+            SampledReduce::new(
+                perm,
+                |_: &Vec<u64>| 0u64,
+                |acc, d: &Vec<u64>, idx| *acc += d[idx],
+            ),
+            StageOptions::with_publish_every(granularity),
+        );
+        let auto = pb.build().launch().unwrap();
+        let snap = out.wait_final_timeout(WAIT).unwrap();
+        prop_assert_eq!(*snap.value(), expected);
+        prop_assert_eq!(snap.steps(), n as u64);
+        auto.join().unwrap();
+    }
+
+    /// A sampled map fills every element exactly once regardless of order.
+    #[test]
+    fn sampled_map_is_exact_for_any_order(
+        len_pow in 1u32..8,
+        use_tree in any::<bool>(),
+        granularity in 1u64..64,
+    ) {
+        let n = 1usize << len_pow;
+        let data: Vec<u64> = (0..n as u64).collect();
+        let perm = if use_tree {
+            DynPermutation::new(Tree1d::new(n).unwrap())
+        } else {
+            DynPermutation::new(Lcg::with_len(n).unwrap())
+        };
+        let mut pb = PipelineBuilder::new();
+        let out = pb.source(
+            "map",
+            data,
+            SampledMap::new(
+                perm,
+                |d: &Vec<u64>| vec![u64::MAX; d.len()],
+                |d, out: &mut Vec<u64>, idx| out[idx] = d[idx] * 3 + 1,
+            ),
+            StageOptions::with_publish_every(granularity),
+        );
+        let auto = pb.build().launch().unwrap();
+        let snap = out.wait_final_timeout(WAIT).unwrap();
+        let expected: Vec<u64> = (0..n as u64).map(|v| v * 3 + 1).collect();
+        prop_assert_eq!(snap.value(), &expected);
+        auto.join().unwrap();
+    }
+
+    /// Chains of stages propagate the precise output end to end, whatever
+    /// the per-stage step counts and granularities.
+    #[test]
+    fn chained_counters_compose_precisely(
+        stages in 1usize..5,
+        steps in 1u64..40,
+        granularity in 1u64..16,
+    ) {
+        let mut pb = PipelineBuilder::new();
+        let mut reader = pb.source(
+            "stage0",
+            (),
+            Diffusive::new(
+                |_: &()| 0u64,
+                move |_: &(), out: &mut u64, step| {
+                    *out += 1;
+                    if step + 1 == steps { StepOutcome::Done } else { StepOutcome::Continue }
+                },
+            ),
+            StageOptions::with_publish_every(granularity),
+        );
+        for s in 1..stages {
+            reader = pb.stage(
+                format!("stage{s}"),
+                &reader,
+                Precise::new(|v: &u64| v + 1000),
+                StageOptions::default(),
+            );
+        }
+        let auto = pb.build().launch().unwrap();
+        let snap = reader.wait_final_timeout(WAIT).unwrap();
+        prop_assert_eq!(*snap.value(), steps + 1000 * (stages as u64 - 1));
+        let report = auto.join().unwrap();
+        prop_assert!(report.all_final());
+    }
+
+    /// The synchronous pipeline computes the same result as the
+    /// asynchronous one for a distributive fold, for any update stream.
+    #[test]
+    fn sync_equals_async_for_distributive_folds(
+        updates in prop::collection::vec(0i64..100, 0..60),
+        capacity in 1usize..8,
+    ) {
+        let expected: i64 = updates.iter().map(|x| x * 2).sum();
+        // Synchronous composition.
+        let mut pb = PipelineBuilder::new();
+        let u2 = updates.clone();
+        let stream = pb.sync_source("f", u2, capacity, |u: &Vec<i64>, step| {
+            u.get(step as usize).copied()
+        });
+        let out = pb.sync_stage(
+            "g",
+            stream,
+            || 0i64,
+            |acc: &mut i64, x: i64| *acc += x * 2,
+            StageOptions::default(),
+        );
+        let auto = pb.build().launch().unwrap();
+        let sync_result = *out.wait_final_timeout(WAIT).unwrap().value();
+        auto.join().unwrap();
+        // Asynchronous composition: g recomputes on snapshots of F.
+        let n = updates.len();
+        let mut pb = PipelineBuilder::new();
+        let u3 = updates.clone();
+        let f = pb.source(
+            "f",
+            (),
+            Diffusive::new(
+                |_: &()| (0usize, 0i64),
+                move |_: &(), out: &mut (usize, i64), step| {
+                    out.0 += 1;
+                    out.1 += u3[step as usize];
+                    if step as usize + 1 == n { StepOutcome::Done } else { StepOutcome::Continue }
+                },
+            ),
+            StageOptions::default(),
+        );
+        let g = pb.stage(
+            "g",
+            &f,
+            Precise::new(|f: &(usize, i64)| f.1 * 2),
+            StageOptions::default(),
+        );
+        let (async_result, auto2) = if n == 0 {
+            // A zero-step diffusive stage is not a thing: treat as empty.
+            (0, None)
+        } else {
+            let auto2 = pb.build().launch().unwrap();
+            let v = *g.wait_final_timeout(WAIT).unwrap().value();
+            (v, Some(auto2))
+        };
+        if let Some(a) = auto2 { a.join().unwrap(); }
+        prop_assert_eq!(sync_result, expected);
+        if n > 0 {
+            prop_assert_eq!(async_result, expected);
+        }
+    }
+
+    /// Version histories are strictly increasing in version and steps, and
+    /// only the last version is final.
+    #[test]
+    fn history_invariants(steps in 1u64..60, granularity in 1u64..10) {
+        let mut pb = PipelineBuilder::new();
+        let out = pb.source(
+            "ctr",
+            (),
+            Diffusive::new(
+                |_: &()| 0u64,
+                move |_: &(), out: &mut u64, step| {
+                    *out += 1;
+                    if step + 1 == steps { StepOutcome::Done } else { StepOutcome::Continue }
+                },
+            ),
+            StageOptions::with_publish_every(granularity).keep_history(),
+        );
+        let auto = pb.build().launch().unwrap();
+        auto.join().unwrap();
+        let hist = out.history().unwrap();
+        prop_assert!(!hist.is_empty());
+        for w in hist.windows(2) {
+            prop_assert!(w[1].version() > w[0].version());
+            prop_assert!(w[1].steps() > w[0].steps());
+            prop_assert!(!w[0].is_final());
+        }
+        let last = hist.last().unwrap();
+        prop_assert!(last.is_final());
+        prop_assert_eq!(last.steps(), steps);
+    }
+
+    /// Iterative stages publish exactly one version per level; the last is
+    /// final and matches the precise level.
+    #[test]
+    fn iterative_levels_publish_in_order(levels in 1u64..12) {
+        let mut pb = PipelineBuilder::new();
+        let out = pb.source(
+            "iter",
+            7u64,
+            Iterative::new(
+                levels,
+                |_: &u64| 0u64,
+                |input: &u64, level| input * (level + 1),
+            ),
+            StageOptions::default().keep_history(),
+        );
+        let auto = pb.build().launch().unwrap();
+        auto.join().unwrap();
+        let hist = out.history().unwrap();
+        prop_assert_eq!(hist.len() as u64, levels);
+        for (k, snap) in hist.iter().enumerate() {
+            prop_assert_eq!(*snap.value(), 7 * (k as u64 + 1));
+        }
+        prop_assert!(hist.last().unwrap().is_final());
+    }
+
+    /// Any permutation drives a map to the identical final output; the
+    /// order only affects the intermediate samples.
+    #[test]
+    fn final_output_is_order_independent(n in 1usize..128, seed in 1u32..500) {
+        let data: Vec<u64> = (0..n as u64).map(|v| v * v).collect();
+        let run = |perm: DynPermutation| {
+            let mut pb = PipelineBuilder::new();
+            let out = pb.source(
+                "map",
+                data.clone(),
+                SampledMap::new(
+                    perm,
+                    |d: &Vec<u64>| vec![0u64; d.len()],
+                    |d, out: &mut Vec<u64>, idx| out[idx] = d[idx] + 1,
+                ),
+                StageOptions::with_publish_every(7),
+            );
+            let auto = pb.build().launch().unwrap();
+            let v = out.wait_final_timeout(WAIT).unwrap().value_arc();
+            auto.join().unwrap();
+            v
+        };
+        let sequential = run(DynPermutation::new(Sequential::new(n)));
+        let scrambled = run(DynPermutation::new(Lfsr::with_seed(n, seed).unwrap()));
+        prop_assert_eq!(&*sequential, &*scrambled);
+    }
+}
+
+/// Non-proptest: stress the single-writer/multi-reader buffer under a
+/// pipeline with aggressive publication.
+#[test]
+fn rapid_publication_is_linearizable() {
+    let mut pb = PipelineBuilder::new();
+    let out = pb.source(
+        "fast",
+        (),
+        Diffusive::new(
+            |_: &()| vec![0u64; 32],
+            |_: &(), out: &mut Vec<u64>, step| {
+                let v = step + 1;
+                out.fill(v);
+                if v == 5000 {
+                    StepOutcome::Done
+                } else {
+                    StepOutcome::Continue
+                }
+            },
+        ),
+        StageOptions::with_publish_every(1),
+    );
+    let pipeline = pb.build();
+    let readers: Vec<_> = (0..4).map(|_| out.clone()).collect();
+    let auto = pipeline.launch().unwrap();
+    let handles: Vec<_> = readers
+        .into_iter()
+        .map(|r| {
+            std::thread::spawn(move || {
+                let mut last = 0u64;
+                loop {
+                    if let Some(snap) = r.latest() {
+                        let v = snap.value();
+                        assert!(v.iter().all(|&x| x == v[0]), "torn snapshot");
+                        assert!(v[0] >= last, "version went backwards");
+                        last = v[0];
+                        if snap.is_final() {
+                            return last;
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().unwrap(), 5000);
+    }
+    auto.join().unwrap();
+    let _ = Arc::strong_count(&out.latest().unwrap().value_arc());
+}
