@@ -50,7 +50,11 @@ impl OrderedF64 {
         // Flip ordering bits so the integer order matches the float order
         // (standard total-order trick for finite values).
         let bits = x.to_bits();
-        let flipped = if bits >> 63 == 1 { !bits } else { bits | (1 << 63) };
+        let flipped = if bits >> 63 == 1 {
+            !bits
+        } else {
+            bits | (1 << 63)
+        };
         Self(flipped)
     }
 
@@ -161,9 +165,7 @@ impl ToleranceSchedule {
                 "tolerance schedule must end at 0 (exact)".into(),
             ));
         }
-        if tolerances
-            .iter()
-            .any(|t| !t.is_finite() || *t < 0.0)
+        if tolerances.iter().any(|t| !t.is_finite() || *t < 0.0)
             || tolerances.windows(2).any(|w| w[1] >= w[0])
         {
             return Err(ApproxError::InvalidSchedule(

@@ -206,10 +206,7 @@ mod tests {
         assert_eq!(plane_mask(64, 64), u64::MAX);
         // Each extra plane adds exactly one bit.
         for p in 1..8 {
-            assert_eq!(
-                (plane_mask(8, p + 1) ^ plane_mask(8, p)).count_ones(),
-                1
-            );
+            assert_eq!((plane_mask(8, p + 1) ^ plane_mask(8, p)).count_ones(), 1);
         }
     }
 

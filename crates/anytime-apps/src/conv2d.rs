@@ -17,9 +17,7 @@
 
 use crate::error::Result;
 use anytime_approx::quantize_u8;
-use anytime_core::{
-    BufferReader, Pipeline, PipelineBuilder, SampledMap, StageOptions,
-};
+use anytime_core::{BufferReader, Pipeline, PipelineBuilder, SampledMap, StageOptions};
 use anytime_img::{convolve, ImageBuf, Kernel};
 use anytime_permute::{DynPermutation, Permutation, Tree2d};
 use anytime_sim::ReadInjector;
@@ -91,10 +89,7 @@ impl Conv2d {
     /// # Errors
     ///
     /// Propagates permutation-construction failures.
-    pub fn automaton(
-        &self,
-        publish_every: u64,
-    ) -> Result<(Pipeline, BufferReader<ImageBuf<u8>>)> {
+    pub fn automaton(&self, publish_every: u64) -> Result<(Pipeline, BufferReader<ImageBuf<u8>>)> {
         let perm = self.permutation()?;
         let kernel = self.kernel.clone();
         let mut pb = PipelineBuilder::new();
@@ -183,28 +178,20 @@ impl Conv2d {
             self.image.channels(),
         )?;
         let mut results = Vec::new();
-        let mut sizes: Vec<usize> = sample_sizes
-            .iter()
-            .map(|&s| s.min(total))
-            .collect();
+        let mut sizes: Vec<usize> = sample_sizes.iter().map(|&s| s.min(total)).collect();
         sizes.sort_unstable();
         sizes.dedup();
         let r = self.kernel.radius();
         let channels = self.image.channels();
         let mut next_size = 0usize;
         for (done, &idx) in order.iter().enumerate() {
-            let (x, y) = (
-                idx % self.image.width(),
-                idx / self.image.width(),
-            );
+            let (x, y) = (idx % self.image.width(), idx / self.image.width());
             let mut acc = vec![0.0f64; channels];
             for dy in -r..=r {
                 for dx in -r..=r {
                     let w = self.kernel.weight(dx, dy);
-                    let cx = (x as isize + dx).clamp(0, self.image.width() as isize - 1)
-                        as usize;
-                    let cy = (y as isize + dy).clamp(0, self.image.height() as isize - 1)
-                        as usize;
+                    let cx = (x as isize + dx).clamp(0, self.image.width() as isize - 1) as usize;
+                    let cy = (y as isize + dy).clamp(0, self.image.height() as isize - 1) as usize;
                     let base = working.sample_index(cx, cy);
                     for (c, a) in acc.iter_mut().enumerate() {
                         *a += w * read(&mut working, base, c);
@@ -317,7 +304,8 @@ mod tests {
         let (pipeline, out) = app.automaton(64).unwrap();
         let auto = pipeline.launch().unwrap();
         // Stop after the first few publications.
-        out.wait_newer_timeout(None, Duration::from_secs(30)).unwrap();
+        out.wait_newer_timeout(None, Duration::from_secs(30))
+            .unwrap();
         auto.stop();
         auto.join().unwrap();
         let snap = out.latest().expect("approximate output exists");
@@ -343,9 +331,7 @@ mod tests {
         let reference = app.precise();
         let sizes = [64usize, 256, 512, 1024];
         let outputs = app
-            .sample_sweep(&sizes, |img, base, c| {
-                f64::from(img.as_slice()[base + c])
-            })
+            .sample_sweep(&sizes, |img, base, c| f64::from(img.as_slice()[base + c]))
             .unwrap();
         let mut last = f64::NEG_INFINITY;
         for (n, img) in outputs {
@@ -376,9 +362,7 @@ mod tests {
     fn storage_sweep_zero_probability_is_exact() {
         let app = app();
         let full = 32 * 32;
-        let rows = app
-            .sample_accuracy_with_storage(0.0, 1, &[full])
-            .unwrap();
+        let rows = app.sample_accuracy_with_storage(0.0, 1, &[full]).unwrap();
         assert_eq!(rows[0].1, f64::INFINITY);
     }
 
@@ -387,14 +371,8 @@ mod tests {
         // Use a large image so flips are statistically reliable.
         let app = Conv2d::new(synth::value_noise(64, 64, 2), Kernel::box_blur(3));
         let full = 64 * 64;
-        let low = app
-            .sample_accuracy_with_storage(1e-5, 7, &[full])
-            .unwrap()[0]
-            .1;
-        let high = app
-            .sample_accuracy_with_storage(1e-3, 7, &[full])
-            .unwrap()[0]
-            .1;
+        let low = app.sample_accuracy_with_storage(1e-5, 7, &[full]).unwrap()[0].1;
+        let high = app.sample_accuracy_with_storage(1e-3, 7, &[full]).unwrap()[0].1;
         assert!(high < low, "more upsets must lower SNR: {high} vs {low}");
     }
 }

@@ -168,10 +168,7 @@ impl Debayer {
     /// # Errors
     ///
     /// Propagates permutation-construction failures.
-    pub fn automaton(
-        &self,
-        publish_every: u64,
-    ) -> Result<(Pipeline, BufferReader<ImageBuf<u8>>)> {
+    pub fn automaton(&self, publish_every: u64) -> Result<(Pipeline, BufferReader<ImageBuf<u8>>)> {
         let perm = DynPermutation::new(Tree2d::new(self.mosaic.height(), self.mosaic.width())?);
         let mut pb = PipelineBuilder::new();
         let out = pb.source(
@@ -259,8 +256,7 @@ mod tests {
         let app = Debayer::from_rgb(&synth::rgb_scene(64, 64, 8));
         let reference = app.precise();
         // Drive the body synchronously for determinism.
-        let perm =
-            DynPermutation::new(Tree2d::new(64, 64).unwrap());
+        let perm = DynPermutation::new(Tree2d::new(64, 64).unwrap());
         let mut body = SampledMap::new(
             perm,
             |input: &ImageBuf<u8>| ImageBuf::new(input.width(), input.height(), 3).unwrap(),

@@ -433,7 +433,10 @@ mod tests {
     #[test]
     fn multilevel_one_level_matches_single() {
         let img = synth::value_noise(32, 32, 8).map(i32::from);
-        assert_eq!(forward_multilevel(&img, 1, 1), forward_2d_perforated(&img, 1));
+        assert_eq!(
+            forward_multilevel(&img, 1, 1),
+            forward_2d_perforated(&img, 1)
+        );
     }
 
     #[test]

@@ -135,8 +135,7 @@ impl Histeq {
     ) -> Result<(Pipeline, BufferReader<ImageBuf<u8>>)> {
         let n = self.image.pixel_count();
         let hist_perm = DynPermutation::new(Lfsr::with_seed(n, self.seed)?);
-        let map_perm =
-            DynPermutation::new(Tree2d::new(self.image.height(), self.image.width())?);
+        let map_perm = DynPermutation::new(Tree2d::new(self.image.height(), self.image.width())?);
 
         let mut pb = PipelineBuilder::new();
         // Stage 1: anytime histogram via pseudo-random input sampling.
@@ -249,8 +248,7 @@ mod tests {
         let out_min = *out.as_slice().iter().min().unwrap();
         let out_max = *out.as_slice().iter().max().unwrap();
         assert!(
-            u16::from(out_max) - u16::from(out_min)
-                >= u16::from(in_max) - u16::from(in_min),
+            u16::from(out_max) - u16::from(out_min) >= u16::from(in_max) - u16::from(in_min),
             "contrast should not shrink"
         );
         assert_eq!(out_max, 255);

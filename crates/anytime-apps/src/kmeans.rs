@@ -20,9 +20,7 @@
 //! the automaton so the two compute identical precise outputs.
 
 use crate::error::Result;
-use anytime_core::{
-    BufferReader, Pipeline, PipelineBuilder, Precise, SampledMap, StageOptions,
-};
+use anytime_core::{BufferReader, Pipeline, PipelineBuilder, Precise, SampledMap, StageOptions};
 use anytime_img::ImageBuf;
 use anytime_permute::{DynPermutation, Tree2d};
 
@@ -60,9 +58,7 @@ impl PartialClusters {
             .zip(&self.counts)
             .zip(seeds)
             .map(|((sum, &count), &seed)| {
-                let mean = |s: u64| {
-                    s.checked_div(count).map(|v| v as u8)
-                };
+                let mean = |s: u64| s.checked_div(count).map(|v| v as u8);
                 match (mean(sum[0]), mean(sum[1]), mean(sum[2])) {
                     (Some(r), Some(g), Some(b)) => [r, g, b],
                     _ => seed, // empty cluster: keep its seed color
@@ -198,8 +194,7 @@ impl Kmeans {
         &self,
         publish_every: u64,
     ) -> Result<(Pipeline, BufferReader<ClusteredFrame>)> {
-        let perm =
-            DynPermutation::new(Tree2d::new(self.image.height(), self.image.width())?);
+        let perm = DynPermutation::new(Tree2d::new(self.image.height(), self.image.width())?);
         let seeds = self.seed_centroids();
         let k = self.k;
         let mut pb = PipelineBuilder::new();

@@ -149,8 +149,7 @@ mod tests {
             let sparse = sparse_copy(&img, samples);
             let preview = nearest_upsample(&sparse, samples as u64);
             let tree = Tree2d::new(32, 32).unwrap();
-            let sampled: std::collections::HashSet<usize> =
-                tree.iter().take(samples).collect();
+            let sampled: std::collections::HashSet<usize> = tree.iter().take(samples).collect();
             for idx in 0..preview.pixel_count() {
                 let v = preview.pixel_at(idx);
                 // The value must equal some sampled pixel's true value —

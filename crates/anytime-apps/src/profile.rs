@@ -147,10 +147,7 @@ pub fn profile<O: Send + Sync + 'static>(
         auto.run_for(budget)?;
         let elapsed = started.elapsed();
         let (snr, steps) = match out.latest() {
-            Some(snap) => (
-                metrics::snr_db(&to_image(&snap), reference),
-                snap.steps(),
-            ),
+            Some(snap) => (metrics::snr_db(&to_image(&snap), reference), snap.steps()),
             None => (f64::NEG_INFINITY, 0),
         };
         points.push(RuntimeAccuracyPoint {

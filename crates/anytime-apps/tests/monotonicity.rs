@@ -107,9 +107,7 @@ fn dwt53_level_snr_is_monotone() {
         .history()
         .unwrap()
         .iter()
-        .map(|snap| {
-            metrics::snr_db(&anytime_apps::Dwt53::reconstruct(snap.value()), &reference)
-        })
+        .map(|snap| metrics::snr_db(&anytime_apps::Dwt53::reconstruct(snap.value()), &reference))
         .collect();
     assert_monotone(&snrs, 0.0, "dwt53");
 }

@@ -14,7 +14,9 @@ fn bench(c: &mut Criterion) {
     let app = workloads::conv2d(Scale::Quick);
     let n = app.image().pixel_count() as u64;
     let mut group = c.benchmark_group("ablation_granularity");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (label, gran) in [
         ("publish_every_n_div_256", n / 256),
         ("publish_every_n_div_32", n / 32),

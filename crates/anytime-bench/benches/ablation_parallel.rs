@@ -15,7 +15,9 @@ fn bench(c: &mut Criterion) {
     let app = workloads::conv2d(Scale::Quick);
     let gran = workloads::granularity(app.image().pixel_count());
     let mut group = c.benchmark_group("ablation_parallel");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("serial_stage", |b| {
         b.iter(|| {
             let (pipeline, out) = app.automaton(gran).expect("build");
@@ -30,8 +32,7 @@ fn bench(c: &mut Criterion) {
     for workers in [1usize, 2, 4] {
         group.bench_function(format!("parallel_{workers}_workers"), |b| {
             b.iter(|| {
-                let (pipeline, out) =
-                    app.automaton_parallel(gran, workers).expect("build");
+                let (pipeline, out) = app.automaton_parallel(gran, workers).expect("build");
                 let auto = pipeline.launch().expect("launch");
                 let snap = out
                     .wait_final_timeout(Duration::from_secs(120))

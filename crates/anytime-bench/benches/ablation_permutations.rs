@@ -40,11 +40,19 @@ fn bench(c: &mut Criterion) {
     let kernel = Kernel::gaussian(5, 1.2);
     let n = side * side;
     let mut group = c.benchmark_group("ablation_permutations");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let perms: Vec<(&str, DynPermutation)> = vec![
         ("sequential", DynPermutation::new(Sequential::new(n))),
-        ("morton", DynPermutation::new(Morton2d::new(side, side).unwrap())),
-        ("tree", DynPermutation::new(Tree2d::new(side, side).unwrap())),
+        (
+            "morton",
+            DynPermutation::new(Morton2d::new(side, side).unwrap()),
+        ),
+        (
+            "tree",
+            DynPermutation::new(Tree2d::new(side, side).unwrap()),
+        ),
         ("lfsr", DynPermutation::new(Lfsr::with_len(n).unwrap())),
     ];
     for (name, perm) in perms {

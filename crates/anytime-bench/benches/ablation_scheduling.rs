@@ -20,7 +20,9 @@ fn bench(c: &mut Criterion) {
     let app = workloads::histeq(Scale::Quick);
     let n = app.image().pixel_count() as u64;
     let mut group = c.benchmark_group("ablation_scheduling");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (label, hist_gran) in [
         ("first_output_first_fine_hist", (n / 64).max(1)),
         ("update_rate_first_coarse_hist", n),

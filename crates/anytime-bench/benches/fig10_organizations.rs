@@ -12,7 +12,9 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     let n = 1 << 16;
     let mut group = c.benchmark_group("fig10_organizations");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("all_five_organizations", |b| {
         b.iter(|| black_box(fig10::run(n).expect("organizations run")))
     });

@@ -11,11 +11,11 @@ fn bench(c: &mut Criterion) {
     let gran = workloads::granularity(app.image().pixel_count());
     let _ = gran;
     let mut group = c.benchmark_group("fig12_histeq");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
-    group.bench_function("baseline_precise", |b| {
-        b.iter(|| black_box(app.precise()))
-    });
+    group.bench_function("baseline_precise", |b| b.iter(|| black_box(app.precise())));
 
     group.bench_function("automaton_first_output", |b| {
         b.iter(|| {

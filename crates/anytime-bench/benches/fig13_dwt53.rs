@@ -2,8 +2,8 @@
 //! iterative (perforated) automaton, plus the per-level perforated forward
 //! transforms that make its runtime–accuracy curve steep.
 
-use anytime_bench::workloads::{self, Scale};
 use anytime_apps::dwt53::forward_2d_perforated;
+use anytime_bench::workloads::{self, Scale};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
@@ -12,11 +12,11 @@ fn bench(c: &mut Criterion) {
     let app = workloads::dwt53(Scale::Quick);
     let as_i32 = app.image().map(i32::from);
     let mut group = c.benchmark_group("fig13_dwt53");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
-    group.bench_function("baseline_precise", |b| {
-        b.iter(|| black_box(app.precise()))
-    });
+    group.bench_function("baseline_precise", |b| b.iter(|| black_box(app.precise())));
 
     // The redundant work of iterative perforation, level by level.
     for stride in [8usize, 4, 2, 1] {

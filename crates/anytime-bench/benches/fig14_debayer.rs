@@ -11,11 +11,11 @@ fn bench(c: &mut Criterion) {
     let gran = workloads::granularity(app.mosaic().pixel_count());
     let _ = gran;
     let mut group = c.benchmark_group("fig14_debayer");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
-    group.bench_function("baseline_precise", |b| {
-        b.iter(|| black_box(app.precise()))
-    });
+    group.bench_function("baseline_precise", |b| b.iter(|| black_box(app.precise())));
 
     group.bench_function("automaton_first_output", |b| {
         b.iter(|| {

@@ -13,7 +13,9 @@ fn bench(c: &mut Criterion) {
     let app = workloads::conv2d(Scale::Quick);
     let full = app.image().pixel_count();
     let mut group = c.benchmark_group("fig19_precision");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for bits in [8u32, 6, 4, 2] {
         group.bench_function(format!("{bits}_bits_full_sample"), |b| {
             b.iter(|| {

@@ -12,7 +12,9 @@ fn bench(c: &mut Criterion) {
     let app = workloads::conv2d(Scale::Quick);
     let full = app.image().pixel_count();
     let mut group = c.benchmark_group("fig20_storage");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (p, label) in [(0.0f64, "p0"), (1e-7, "p1e7"), (1e-5, "p1e5")] {
         group.bench_function(format!("{label}_full_sample"), |b| {
             b.iter(|| {

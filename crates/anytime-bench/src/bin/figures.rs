@@ -11,9 +11,9 @@
 //! - `results/fig1[678]_*.p?m` — the sample output images;
 //! - `results/summary.txt` — one-line paper-vs-measured notes per figure.
 
+use anytime_bench::fig10;
 use anytime_bench::figures as figs;
 use anytime_bench::workloads::Scale;
-use anytime_bench::fig10;
 use anytime_img::io::save_netpbm;
 use std::fs::File;
 use std::io::Write;
@@ -121,13 +121,13 @@ fn curve(
     )
 }
 
-fn sample(
-    name: &str,
-    sample: anytime_apps::Result<figs::SampleOutput>,
-    paper_snr: f64,
-) -> String {
+fn sample(name: &str, sample: anytime_apps::Result<figs::SampleOutput>, paper_snr: f64) -> String {
     let s = sample.expect("sample run");
-    let ext = if s.approx.channels() == 3 { "ppm" } else { "pgm" };
+    let ext = if s.approx.channels() == 3 {
+        "ppm"
+    } else {
+        "pgm"
+    };
     let a = format!("results/{name}_approx.{ext}");
     let p = format!("results/{name}_precise.{ext}");
     save_netpbm(Path::new(&a), &s.approx).expect("write approx");

@@ -18,9 +18,7 @@
 //! `G₁` and the time to the precise output `G₂` — the paper's qualitative
 //! claim is the ordering, which this harness checks and reports.
 
-use anytime_core::{
-    Diffusive, Iterative, PipelineBuilder, Precise, StageOptions, StepOutcome,
-};
+use anytime_core::{Diffusive, Iterative, PipelineBuilder, Precise, StageOptions, StepOutcome};
 use std::time::{Duration, Instant};
 
 /// Total bit planes of the fixed-point data.
@@ -234,9 +232,7 @@ fn iterative_async(w: &Workload) -> anytime_core::Result<OrgResult> {
                         let n = wf.len();
                         move |_: &()| vec![0i64; n]
                     },
-                    move |_: &(), level| {
-                        wf.compute_f(if level == 0 { HALF } else { PLANES })
-                    },
+                    move |_: &(), level| wf.compute_f(if level == 0 { HALF } else { PLANES }),
                 ),
                 StageOptions::default(),
             )

@@ -140,9 +140,13 @@ pub fn fig16(scale: Scale) -> anytime_apps::Result<SampleOutput> {
     let app = workloads::conv2d(scale);
     let (reference, baseline) = time_baseline(BASELINE_RUNS, || app.precise());
     let gran = workloads::granularity(app.image().pixel_count());
-    halt_at(0.21, baseline, &reference, || app.automaton(gran), |snap| {
-        nearest_upsample(snap.value(), snap.steps())
-    })
+    halt_at(
+        0.21,
+        baseline,
+        &reference,
+        || app.automaton(gran),
+        |snap| nearest_upsample(snap.value(), snap.steps()),
+    )
 }
 
 /// Figure 17: dwt53 sample output at 78 % of the baseline runtime
@@ -150,9 +154,13 @@ pub fn fig16(scale: Scale) -> anytime_apps::Result<SampleOutput> {
 pub fn fig17(scale: Scale) -> anytime_apps::Result<SampleOutput> {
     let app = workloads::dwt53(scale);
     let (reference, baseline) = time_baseline(BASELINE_RUNS, || app.precise());
-    halt_at(0.78, baseline, &reference, || app.automaton(), |snap| {
-        Dwt53::reconstruct(snap.value())
-    })
+    halt_at(
+        0.78,
+        baseline,
+        &reference,
+        || app.automaton(),
+        |snap| Dwt53::reconstruct(snap.value()),
+    )
 }
 
 /// Figure 18: kmeans sample output at 63 % of the baseline runtime
@@ -162,9 +170,13 @@ pub fn fig18(scale: Scale) -> anytime_apps::Result<SampleOutput> {
     let (reference, baseline) = time_baseline(BASELINE_RUNS, || app.precise());
     let gran = workloads::granularity(app.image().pixel_count());
     let composer = app.clone();
-    halt_at(0.63, baseline, &reference, || app.automaton(gran), move |snap| {
-        composer.compose(snap.value())
-    })
+    halt_at(
+        0.63,
+        baseline,
+        &reference,
+        || app.automaton(gran),
+        move |snap| composer.compose(snap.value()),
+    )
 }
 
 /// One series of a sample-size–accuracy figure.
@@ -295,10 +307,7 @@ mod tests {
         let series = fig19(Scale::Quick).unwrap();
         assert_eq!(series.len(), 4);
         // At the full sample, more bits => higher SNR.
-        let finals: Vec<f64> = series
-            .iter()
-            .map(|s| s.points.last().unwrap().1)
-            .collect();
+        let finals: Vec<f64> = series.iter().map(|s| s.points.last().unwrap().1).collect();
         assert_eq!(finals[0], f64::INFINITY); // 8 bits = precise
         assert!(finals[1] > finals[2]);
         assert!(finals[2] > finals[3]);

@@ -6,17 +6,23 @@
 //! publication atomically replaces the previous version (Property 3), so any
 //! number of [`BufferReader`]s — dependent stages, accuracy monitors, the
 //! end user — always observe a complete, valid approximation.
+//!
+//! Waits are **event-driven**: a blocked reader registers a wait set with
+//! the buffer (and, for control-aware waits, with the [`ControlToken`]),
+//! and is woken the instant a version is published, the producer exits, or
+//! the automaton stops — there is no polling quantum, so timeout deadlines
+//! are met exactly and interrupt latency is bounded by thread wakeup time.
+//! Per-buffer [`WaitStats`] counters record waits, wakeups, blocked time,
+//! and publication-to-observation latency.
 
 use crate::control::ControlToken;
 use crate::error::{CoreError, Result};
+use crate::metrics::{WaitCounters, WaitStats};
+use crate::notify::{lock_unpoisoned, WaitSet, Watchers};
 use crate::version::{Snapshot, SnapshotMeta, Version};
-use parking_lot::{Condvar, Mutex};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-
-/// Polling quantum for interruptible waits.
-const WAIT_QUANTUM: Duration = Duration::from_millis(1);
 
 struct State<T> {
     latest: Option<Snapshot<T>>,
@@ -27,7 +33,8 @@ struct State<T> {
 struct Shared<T> {
     name: String,
     state: Mutex<State<T>>,
-    cond: Condvar,
+    watchers: Watchers,
+    counters: WaitCounters,
 }
 
 /// Options for creating a versioned output buffer.
@@ -78,7 +85,8 @@ pub fn versioned_with<T>(
             closed: false,
             history: options.keep_history.then(Vec::new),
         }),
-        cond: Condvar::new(),
+        watchers: Watchers::new(),
+        counters: WaitCounters::default(),
     });
     (
         BufferWriter {
@@ -110,6 +118,7 @@ impl<T> BufferWriter<T> {
     ///
     /// `steps` records how many anytime steps were complete at publication
     /// (the sample size for sampled stages). Returns the new version.
+    /// Every blocked reader is woken immediately.
     ///
     /// # Panics
     ///
@@ -138,7 +147,7 @@ impl<T> BufferWriter<T> {
             },
             published_at: Instant::now(),
         };
-        let mut st = self.shared.state.lock();
+        let mut st = lock_unpoisoned(&self.shared.state);
         assert!(
             !st.latest.as_ref().is_some_and(Snapshot::is_final),
             "buffer `{}`: cannot publish after the final version",
@@ -149,7 +158,7 @@ impl<T> BufferWriter<T> {
         }
         st.latest = Some(snap);
         drop(st);
-        self.shared.cond.notify_all();
+        self.shared.watchers.wake_all();
         let v = self.next;
         self.next = self.next.next();
         v
@@ -157,9 +166,7 @@ impl<T> BufferWriter<T> {
 
     /// `true` once the final version has been published.
     pub fn is_final(&self) -> bool {
-        self.shared
-            .state
-            .lock()
+        lock_unpoisoned(&self.shared.state)
             .latest
             .as_ref()
             .is_some_and(Snapshot::is_final)
@@ -168,10 +175,10 @@ impl<T> BufferWriter<T> {
 
 impl<T> Drop for BufferWriter<T> {
     fn drop(&mut self) {
-        let mut st = self.shared.state.lock();
+        let mut st = lock_unpoisoned(&self.shared.state);
         st.closed = true;
         drop(st);
-        self.shared.cond.notify_all();
+        self.shared.watchers.wake_all();
     }
 }
 
@@ -208,19 +215,17 @@ impl<T> BufferReader<T> {
 
     /// The most recently published snapshot, if any.
     pub fn latest(&self) -> Option<Snapshot<T>> {
-        self.shared.state.lock().latest.clone()
+        lock_unpoisoned(&self.shared.state).latest.clone()
     }
 
     /// `true` once the producer has exited (with or without a final output).
     pub fn is_closed(&self) -> bool {
-        self.shared.state.lock().closed
+        lock_unpoisoned(&self.shared.state).closed
     }
 
     /// `true` once the final (precise) version has been published.
     pub fn is_final(&self) -> bool {
-        self.shared
-            .state
-            .lock()
+        lock_unpoisoned(&self.shared.state)
             .latest
             .as_ref()
             .is_some_and(Snapshot::is_final)
@@ -229,7 +234,22 @@ impl<T> BufferReader<T> {
     /// All published snapshots, oldest first, when the buffer was created
     /// with [`BufferOptions::keep_history`]; `None` otherwise.
     pub fn history(&self) -> Option<Vec<Snapshot<T>>> {
-        self.shared.state.lock().history.clone()
+        lock_unpoisoned(&self.shared.state).history.clone()
+    }
+
+    /// Counters for blocking waits on this buffer: waits, wakeups,
+    /// spurious wakeups, total blocked time, and publication-to-observation
+    /// latency. Buffers are per-stage, so these are the per-stage wait
+    /// metrics of the control plane.
+    pub fn wait_stats(&self) -> WaitStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Registers `ws` to be woken on every publication or close until the
+    /// guard drops. Used by multiplexed waiters (join stages) that watch
+    /// several buffers at once.
+    pub(crate) fn subscribe(&self, ws: &WaitSet) -> crate::notify::WatchGuard<'_> {
+        self.shared.watchers.subscribe(ws)
     }
 
     /// Waits for a version newer than `than` (or any version if `None`),
@@ -241,26 +261,14 @@ impl<T> BufferReader<T> {
     /// - [`CoreError::SourceClosed`] if the producer exits without
     ///   publishing anything newer.
     pub fn wait_newer(&self, than: Option<Version>, ctl: &ControlToken) -> Result<Snapshot<T>> {
-        let mut st = self.shared.state.lock();
-        loop {
-            if ctl.is_stopped() {
-                return Err(CoreError::Stopped);
-            }
-            if let Some(snap) = st.latest.as_ref() {
-                if than.is_none_or(|v| snap.version() > v) {
-                    return Ok(snap.clone());
-                }
-            }
-            if st.closed {
-                return Err(CoreError::SourceClosed {
-                    buffer: self.shared.name.clone(),
-                });
-            }
-            self.shared.cond.wait_for(&mut st, WAIT_QUANTUM);
-        }
+        self.wait_for_snapshot(Some(ctl), None, |snap| {
+            than.is_none_or(|v| snap.version() > v)
+        })
     }
 
     /// Waits up to `timeout` for a version newer than `than`.
+    ///
+    /// The deadline is exact: there is no polling quantum to overshoot.
     ///
     /// # Errors
     ///
@@ -271,63 +279,144 @@ impl<T> BufferReader<T> {
         than: Option<Version>,
         timeout: Duration,
     ) -> Result<Snapshot<T>> {
-        let deadline = Instant::now() + timeout;
-        let mut st = self.shared.state.lock();
-        loop {
-            if let Some(snap) = st.latest.as_ref() {
-                if than.is_none_or(|v| snap.version() > v) {
-                    return Ok(snap.clone());
-                }
-            }
-            if st.closed {
-                return Err(CoreError::SourceClosed {
-                    buffer: self.shared.name.clone(),
-                });
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                return Err(CoreError::Timeout);
-            }
-            self.shared
-                .cond
-                .wait_for(&mut st, (deadline - now).min(WAIT_QUANTUM * 16));
-        }
+        self.wait_for_snapshot(None, Some(Instant::now() + timeout), |snap| {
+            than.is_none_or(|v| snap.version() > v)
+        })
+    }
+
+    /// Waits up to `timeout` for a version newer than `than`, aborting
+    /// promptly if `ctl` stops the automaton.
+    ///
+    /// # Errors
+    ///
+    /// - [`CoreError::Stopped`] if the automaton is stopped while waiting.
+    /// - [`CoreError::Timeout`] if nothing newer appears in time.
+    /// - [`CoreError::SourceClosed`] if the producer exits first.
+    pub fn wait_newer_timeout_with(
+        &self,
+        than: Option<Version>,
+        timeout: Duration,
+        ctl: &ControlToken,
+    ) -> Result<Snapshot<T>> {
+        self.wait_for_snapshot(Some(ctl), Some(Instant::now() + timeout), |snap| {
+            than.is_none_or(|v| snap.version() > v)
+        })
     }
 
     /// Waits up to `timeout` for the final (precise) version.
+    ///
+    /// The deadline is exact: there is no polling quantum to overshoot.
     ///
     /// # Errors
     ///
     /// - [`CoreError::Timeout`] if the final version does not appear in time.
     /// - [`CoreError::SourceClosed`] if the producer exits without one.
     pub fn wait_final_timeout(&self, timeout: Duration) -> Result<Snapshot<T>> {
-        let deadline = Instant::now() + timeout;
-        let mut st = self.shared.state.lock();
-        loop {
+        self.wait_for_snapshot(None, Some(Instant::now() + timeout), Snapshot::is_final)
+    }
+
+    /// Waits up to `timeout` for the final (precise) version, aborting
+    /// promptly — at wakeup latency, not a polling quantum — if `ctl`
+    /// stops the automaton.
+    ///
+    /// # Errors
+    ///
+    /// - [`CoreError::Stopped`] if the automaton is stopped while waiting.
+    /// - [`CoreError::Timeout`] if the final version does not appear in time.
+    /// - [`CoreError::SourceClosed`] if the producer exits without one.
+    pub fn wait_final_timeout_with(
+        &self,
+        timeout: Duration,
+        ctl: &ControlToken,
+    ) -> Result<Snapshot<T>> {
+        self.wait_for_snapshot(
+            Some(ctl),
+            Some(Instant::now() + timeout),
+            Snapshot::is_final,
+        )
+    }
+
+    /// The shared event-driven wait loop behind every `wait_*` method.
+    ///
+    /// Checks, in priority order: stop (when `ctl` is given), an accepted
+    /// snapshot, producer exit, then the deadline. If none applies it
+    /// blocks on a wait set registered with the buffer's watchers (and the
+    /// control token's, when given) so any publication, close, or control
+    /// transition wakes it immediately.
+    fn wait_for_snapshot(
+        &self,
+        ctl: Option<&ControlToken>,
+        deadline: Option<Instant>,
+        accept: impl Fn(&Snapshot<T>) -> bool,
+    ) -> Result<Snapshot<T>> {
+        let check = |st: &State<T>, after_wake: bool| -> Option<Result<Snapshot<T>>> {
+            if ctl.is_some_and(ControlToken::is_stopped) {
+                return Some(Err(CoreError::Stopped));
+            }
             if let Some(snap) = st.latest.as_ref() {
-                if snap.is_final() {
-                    return Ok(snap.clone());
+                if accept(snap) {
+                    if after_wake {
+                        self.shared
+                            .counters
+                            .record_observation(snap.published_at.elapsed());
+                    }
+                    return Some(Ok(snap.clone()));
                 }
             }
             if st.closed {
-                return Err(CoreError::SourceClosed {
+                return Some(Err(CoreError::SourceClosed {
                     buffer: self.shared.name.clone(),
-                });
+                }));
             }
-            let now = Instant::now();
-            if now >= deadline {
-                return Err(CoreError::Timeout);
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Some(Err(CoreError::Timeout));
             }
-            self.shared
-                .cond
-                .wait_for(&mut st, (deadline - now).min(WAIT_QUANTUM * 16));
+            None
+        };
+
+        // Fast path: resolve without registering or blocking.
+        if let Some(result) = check(&lock_unpoisoned(&self.shared.state), false) {
+            return result;
+        }
+
+        // Slow path: register for wakeups from the buffer and (if given)
+        // the control token, then block between predicate checks.
+        let ws = WaitSet::new();
+        let _buffer_watch = self.shared.watchers.subscribe(&ws);
+        let _ctl_watch = ctl.map(|c| c.subscribe(&ws));
+        self.shared.counters.record_wait_entered();
+        let blocked_since = Instant::now();
+        let mut woken = false;
+        loop {
+            let seen = ws.epoch();
+            if let Some(result) = check(&lock_unpoisoned(&self.shared.state), woken) {
+                self.shared
+                    .counters
+                    .record_wait_finished(blocked_since.elapsed());
+                return result;
+            }
+            if woken {
+                // A wakeup delivered between the previous check and this
+                // one did not satisfy the wait.
+                self.shared.counters.record_spurious_wakeup();
+            }
+            woken = match deadline {
+                Some(d) => ws.wait_deadline(seen, d),
+                None => {
+                    ws.wait(seen);
+                    true
+                }
+            };
+            if woken {
+                self.shared.counters.record_wakeup();
+            }
         }
     }
 }
 
 impl<T> fmt::Debug for BufferReader<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let st = self.shared.state.lock();
+        let st = lock_unpoisoned(&self.shared.state);
         f.debug_struct("BufferReader")
             .field("name", &self.shared.name)
             .field("latest", &st.latest.as_ref().map(|s| s.meta()))
@@ -471,6 +560,104 @@ mod tests {
         thread::sleep(Duration::from_millis(10));
         w.publish_final(2, 2);
         assert_eq!(*h.join().unwrap().unwrap().value(), 2);
+    }
+
+    #[test]
+    fn wait_final_timeout_with_aborts_on_stop() {
+        let (_w, r) = versioned::<i32>("t");
+        let ctl = ControlToken::new();
+        let ctl2 = ctl.clone();
+        let h = thread::spawn(move || {
+            let start = Instant::now();
+            let result = r.wait_final_timeout_with(Duration::from_secs(60), &ctl2);
+            (result, start.elapsed())
+        });
+        thread::sleep(Duration::from_millis(20));
+        ctl.stop();
+        let (result, waited) = h.join().unwrap();
+        assert!(matches!(result, Err(CoreError::Stopped)));
+        assert!(
+            waited < Duration::from_secs(1),
+            "stop took {waited:?} to interrupt the wait"
+        );
+    }
+
+    #[test]
+    fn wait_newer_timeout_with_sees_publication() {
+        let (mut w, r) = versioned::<i32>("t");
+        let ctl = ControlToken::new();
+        let h = {
+            let ctl = ctl.clone();
+            thread::spawn(move || {
+                r.wait_newer_timeout_with(None, Duration::from_secs(5), &ctl)
+                    .map(|s| *s.value())
+            })
+        };
+        thread::sleep(Duration::from_millis(10));
+        w.publish(41, 1);
+        assert_eq!(h.join().unwrap().unwrap(), 41);
+    }
+
+    #[test]
+    fn zero_duration_timeout_returns_immediately() {
+        // Regression: quantized waits used to turn tiny timeouts into a
+        // full polling quantum. A zero timeout must resolve immediately —
+        // to a snapshot if one qualifies, otherwise to Timeout.
+        let (mut w, r) = versioned::<i32>("t");
+        let start = Instant::now();
+        let err = r.wait_newer_timeout(None, Duration::ZERO);
+        assert!(matches!(err, Err(CoreError::Timeout)));
+        assert!(start.elapsed() < Duration::from_millis(5));
+        w.publish(1, 1);
+        let ok = r.wait_newer_timeout(None, Duration::ZERO);
+        assert_eq!(*ok.unwrap().value(), 1);
+        let err = r.wait_final_timeout(Duration::ZERO);
+        assert!(matches!(err, Err(CoreError::Timeout)));
+    }
+
+    #[test]
+    fn sub_millisecond_timeout_is_respected() {
+        // Regression: the old WAIT_QUANTUM floor (1 ms) meant a 200 µs
+        // timeout overshot its deadline by up to 5x. The event-driven wait
+        // honors the exact deadline.
+        let (_w, r) = versioned::<i32>("t");
+        let timeout = Duration::from_micros(200);
+        let start = Instant::now();
+        let err = r.wait_newer_timeout(None, timeout);
+        let elapsed = start.elapsed();
+        assert!(matches!(err, Err(CoreError::Timeout)));
+        assert!(elapsed >= timeout, "returned before the deadline");
+        assert!(
+            elapsed < timeout + Duration::from_millis(5),
+            "overshot a sub-millisecond deadline by {:?}",
+            elapsed - timeout
+        );
+    }
+
+    #[test]
+    fn wait_stats_count_blocking_waits() {
+        let (mut w, r) = versioned::<i32>("t");
+        assert_eq!(r.wait_stats(), WaitStats::default());
+        // Fast-path read: no blocking, no counters.
+        w.publish(1, 1);
+        let ctl = ControlToken::new();
+        r.wait_newer(None, &ctl).unwrap();
+        assert_eq!(r.wait_stats().waits, 0);
+        // Blocking wait: counted, with publication-to-observation latency.
+        let h = {
+            let r = r.clone();
+            let ctl = ctl.clone();
+            thread::spawn(move || r.wait_newer(Some(Version::FIRST), &ctl).unwrap())
+        };
+        thread::sleep(Duration::from_millis(10));
+        w.publish(2, 2);
+        h.join().unwrap();
+        let stats = r.wait_stats();
+        assert_eq!(stats.waits, 1);
+        assert!(stats.wakeups >= 1);
+        assert_eq!(stats.observations, 1);
+        assert!(stats.total_wait >= Duration::from_millis(5));
+        assert!(stats.mean_publish_to_observe() < Duration::from_millis(100));
     }
 
     #[test]

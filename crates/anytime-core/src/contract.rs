@@ -92,10 +92,8 @@ pub fn plan_with_insurance(
     let mut budget = deadline.saturating_sub(final_plan.expected_cost);
     let mut warmups: Vec<&LevelEstimate> = Vec::new();
     // Greedily take the cheapest earlier levels that fit the slack.
-    let mut earlier: Vec<&LevelEstimate> = estimates
-        .iter()
-        .filter(|e| e.level < final_level)
-        .collect();
+    let mut earlier: Vec<&LevelEstimate> =
+        estimates.iter().filter(|e| e.level < final_level).collect();
     earlier.sort_by_key(|e| e.cost);
     for e in earlier {
         if e.cost <= budget {
@@ -106,8 +104,7 @@ pub fn plan_with_insurance(
     warmups.sort_by_key(|e| e.level);
     let mut levels: Vec<u64> = warmups.iter().map(|e| e.level).collect();
     levels.push(final_level);
-    let expected_cost = final_plan.expected_cost
-        + warmups.iter().map(|e| e.cost).sum::<Duration>();
+    let expected_cost = final_plan.expected_cost + warmups.iter().map(|e| e.cost).sum::<Duration>();
     Ok(ContractPlan {
         levels,
         expected_cost,

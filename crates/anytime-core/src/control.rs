@@ -1,8 +1,9 @@
 use crate::error::{CoreError, Result};
-use parking_lot::{Condvar, Mutex};
+use crate::metrics::{WaitCounters, WaitStats};
+use crate::notify::{lock_unpoisoned, WaitSet, WatchGuard, Watchers};
 use std::fmt;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::Instant;
 
 /// Execution state shared by every stage of an automaton.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -13,11 +14,16 @@ enum RunState {
 }
 
 struct Shared {
-    state: Mutex<RunState>,
+    state: std::sync::Mutex<RunState>,
     /// Mirror of `state` for the lock-free checkpoint fast path
     /// (0 = running, 1 = paused, 2 = stopped).
     state_hint: std::sync::atomic::AtomicU8,
-    cond: Condvar,
+    cond: std::sync::Condvar,
+    /// Wait sets of blocked waiters (buffer waits, channel waits, join
+    /// multiplexers) to notify on every state transition.
+    watchers: Watchers,
+    /// Pause-blocking checkpoint counters.
+    counters: WaitCounters,
 }
 
 impl Shared {
@@ -43,6 +49,12 @@ impl Shared {
 /// approximation, stopping never corrupts the output — the latest snapshot in
 /// each buffer remains readable.
 ///
+/// Control transitions are **event-driven**: every blocking wait in the
+/// runtime registers with the token, so `stop()`/`pause()`/`resume()`
+/// *notify* waiters instead of being discovered by polling. A stop
+/// interrupts a buffer wait or a backpressured channel in wakeup time
+/// (microseconds), not at the next polling quantum.
+///
 /// Tokens are cheap to clone and shared across all stage threads.
 #[derive(Clone)]
 pub struct ControlToken {
@@ -54,9 +66,11 @@ impl ControlToken {
     pub fn new() -> Self {
         Self {
             shared: Arc::new(Shared {
-                state: Mutex::new(RunState::Running),
+                state: std::sync::Mutex::new(RunState::Running),
                 state_hint: std::sync::atomic::AtomicU8::new(0),
-                cond: Condvar::new(),
+                cond: std::sync::Condvar::new(),
+                watchers: Watchers::new(),
+                counters: WaitCounters::default(),
             }),
         }
     }
@@ -64,30 +78,37 @@ impl ControlToken {
     /// Requests that the automaton stop at the next step boundary.
     ///
     /// Stopping is permanent; a stopped automaton cannot be resumed. The
-    /// latest published output of every stage remains available.
+    /// latest published output of every stage remains available. Every
+    /// registered waiter is woken immediately.
     pub fn stop(&self) {
-        let mut st = self.shared.state.lock();
+        let mut st = lock_unpoisoned(&self.shared.state);
         self.shared.set_state(&mut st, RunState::Stopped);
+        drop(st);
         self.shared.cond.notify_all();
+        self.shared.watchers.wake_all();
     }
 
     /// Requests that the automaton pause at the next step boundary.
     ///
     /// A pause is a no-op if the automaton is already stopped.
     pub fn pause(&self) {
-        let mut st = self.shared.state.lock();
+        let mut st = lock_unpoisoned(&self.shared.state);
         if *st == RunState::Running {
             self.shared.set_state(&mut st, RunState::Paused);
+            drop(st);
             self.shared.cond.notify_all();
+            self.shared.watchers.wake_all();
         }
     }
 
     /// Resumes a paused automaton.
     pub fn resume(&self) {
-        let mut st = self.shared.state.lock();
+        let mut st = lock_unpoisoned(&self.shared.state);
         if *st == RunState::Paused {
             self.shared.set_state(&mut st, RunState::Running);
+            drop(st);
             self.shared.cond.notify_all();
+            self.shared.watchers.wake_all();
         }
     }
 
@@ -101,7 +122,7 @@ impl ControlToken {
 
     /// `true` while the automaton is paused.
     pub fn is_paused(&self) -> bool {
-        *self.shared.state.lock() == RunState::Paused
+        *lock_unpoisoned(&self.shared.state) == RunState::Paused
     }
 
     /// Called by stage drivers between intermediate computations.
@@ -122,37 +143,59 @@ impl ControlToken {
         {
             return Ok(());
         }
-        let mut st = self.shared.state.lock();
+        let mut st = lock_unpoisoned(&self.shared.state);
+        let mut blocked_since: Option<Instant> = None;
         loop {
             match *st {
-                RunState::Running => return Ok(()),
-                RunState::Stopped => return Err(CoreError::Stopped),
+                RunState::Running => {
+                    self.finish_checkpoint_wait(blocked_since);
+                    return Ok(());
+                }
+                RunState::Stopped => {
+                    self.finish_checkpoint_wait(blocked_since);
+                    return Err(CoreError::Stopped);
+                }
                 RunState::Paused => {
-                    self.shared.cond.wait(&mut st);
+                    if blocked_since.is_none() {
+                        blocked_since = Some(Instant::now());
+                        self.shared.counters.record_wait_entered();
+                    } else {
+                        self.shared.counters.record_wakeup();
+                        self.shared.counters.record_spurious_wakeup();
+                    }
+                    st = self
+                        .shared
+                        .cond
+                        .wait(st)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                 }
             }
         }
     }
 
-    /// Sleeps for up to `dur`, waking early if the state changes.
-    ///
-    /// Used by polling waits so that a stop request interrupts them
-    /// promptly. Returns the same conditions as [`ControlToken::checkpoint`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CoreError::Stopped`] if the automaton has been stopped.
-    pub fn interruptible_sleep(&self, dur: Duration) -> Result<()> {
-        let mut st = self.shared.state.lock();
-        match *st {
-            RunState::Stopped => return Err(CoreError::Stopped),
-            RunState::Running => {
-                self.shared.cond.wait_for(&mut st, dur);
-            }
-            RunState::Paused => {}
+    fn finish_checkpoint_wait(&self, blocked_since: Option<Instant>) {
+        if let Some(since) = blocked_since {
+            self.shared.counters.record_wakeup();
+            self.shared.counters.record_wait_finished(since.elapsed());
         }
-        drop(st);
-        self.checkpoint()
+    }
+
+    /// Counters for checkpoint pause-blocking on this token.
+    pub fn wait_stats(&self) -> WaitStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Total wakeup notifications this token has delivered to registered
+    /// waiters across all state transitions.
+    pub fn notifications_sent(&self) -> u64 {
+        self.shared.watchers.notification_count()
+    }
+
+    /// Registers `ws` to be woken on every state transition until the
+    /// guard drops. Used by every blocking wait that must abort promptly
+    /// on stop (buffer waits, channel sends/receives, join multiplexing).
+    pub(crate) fn subscribe(&self, ws: &WaitSet) -> WatchGuard<'_> {
+        self.shared.watchers.subscribe(ws)
     }
 }
 
@@ -165,7 +208,7 @@ impl Default for ControlToken {
 impl fmt::Debug for ControlToken {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ControlToken")
-            .field("state", &*self.shared.state.lock())
+            .field("state", &*lock_unpoisoned(&self.shared.state))
             .finish()
     }
 }
@@ -174,6 +217,7 @@ impl fmt::Debug for ControlToken {
 mod tests {
     use super::*;
     use std::thread;
+    use std::time::Duration;
     use std::time::Instant;
 
     #[test]
@@ -204,6 +248,9 @@ mod tests {
         t.resume();
         assert!(h.join().unwrap().is_ok());
         assert!(start.elapsed() >= Duration::from_millis(45));
+        let stats = t.wait_stats();
+        assert_eq!(stats.waits, 1);
+        assert!(stats.total_wait >= Duration::from_millis(40));
     }
 
     #[test]
@@ -234,24 +281,33 @@ mod tests {
     }
 
     #[test]
-    fn interruptible_sleep_wakes_on_stop() {
+    fn stop_wakes_subscribed_wait_set() {
         let t = ControlToken::new();
-        let t2 = t.clone();
+        let ws = WaitSet::new();
+        let _guard = t.subscribe(&ws);
+        let seen = ws.epoch();
+        let (t2, ws2) = (t.clone(), ws.clone());
         let h = thread::spawn(move || {
             let start = Instant::now();
-            let r = t2.interruptible_sleep(Duration::from_secs(10));
-            (r, start.elapsed())
+            ws2.wait(seen);
+            (t2.is_stopped(), start.elapsed())
         });
-        thread::sleep(Duration::from_millis(30));
+        thread::sleep(Duration::from_millis(20));
         t.stop();
-        let (r, elapsed) = h.join().unwrap();
-        assert!(matches!(r, Err(CoreError::Stopped)));
-        assert!(elapsed < Duration::from_secs(5));
+        let (stopped, waited) = h.join().unwrap();
+        assert!(stopped, "waiter woke before the stop was visible");
+        assert!(waited < Duration::from_secs(5));
+        assert!(t.notifications_sent() >= 1);
     }
 
     #[test]
-    fn interruptible_sleep_times_out_quietly() {
+    fn transitions_notify_watchers_each_time() {
         let t = ControlToken::new();
-        assert!(t.interruptible_sleep(Duration::from_millis(5)).is_ok());
+        let ws = WaitSet::new();
+        let _guard = t.subscribe(&ws);
+        t.pause();
+        t.resume();
+        t.stop();
+        assert_eq!(t.notifications_sent(), 3);
     }
 }

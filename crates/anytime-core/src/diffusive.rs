@@ -9,7 +9,6 @@ type TotalFn<I> = Box<dyn Fn(&I) -> u64 + Send>;
 /// Boxed publication renderer.
 type RenderFn<I, O> = Box<dyn Fn(&O, &I, u64) -> O + Send>;
 
-
 /// A diffusive anytime stage body: each step *builds upon* the current
 /// output instead of overwriting it (paper §III-B2).
 ///
@@ -162,8 +161,8 @@ mod tests {
 
     #[test]
     fn render_does_not_disturb_working_state() {
-        let mut body = summing_body()
-            .with_render(|acc, input, done| acc * input.len() as u64 / done.max(1));
+        let mut body =
+            summing_body().with_render(|acc, input, done| acc * input.len() as u64 / done.max(1));
         let input = vec![10, 10, 10, 10];
         let mut out = body.init(&input);
         body.step(&input, &mut out, 0);

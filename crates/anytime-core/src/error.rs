@@ -33,7 +33,10 @@ impl fmt::Display for CoreError {
         match self {
             Self::Stopped => write!(f, "automaton was stopped"),
             Self::SourceClosed { buffer } => {
-                write!(f, "producer of buffer `{buffer}` exited without a final output")
+                write!(
+                    f,
+                    "producer of buffer `{buffer}` exited without a final output"
+                )
             }
             Self::Timeout => write!(f, "wait timed out"),
             Self::StagePanicked { stage, message } => {
@@ -58,9 +61,7 @@ mod tests {
     fn display_is_nonempty() {
         let variants: Vec<CoreError> = vec![
             CoreError::Stopped,
-            CoreError::SourceClosed {
-                buffer: "F".into(),
-            },
+            CoreError::SourceClosed { buffer: "F".into() },
             CoreError::Timeout,
             CoreError::StagePanicked {
                 stage: "g".into(),

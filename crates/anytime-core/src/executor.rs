@@ -1,8 +1,11 @@
 use crate::control::ControlToken;
 use crate::error::{CoreError, Result};
+use crate::notify::WaitSet;
 use crate::stage::{StageEnd, StageRunner};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -24,6 +27,11 @@ pub struct Automaton {
     ctl: ControlToken,
     threads: Vec<(String, JoinHandle<Result<StageEnd>>)>,
     started: Instant,
+    /// Stage threads that have finished driving; woken through `done_ws`.
+    finished: Arc<AtomicUsize>,
+    /// Wait set bumped by every finishing stage thread, so completion
+    /// waits ([`Automaton::run_for`]) block instead of polling.
+    done_ws: WaitSet,
 }
 
 impl Automaton {
@@ -32,10 +40,14 @@ impl Automaton {
         ctl: ControlToken,
     ) -> Result<Automaton> {
         let started = Instant::now();
+        let finished = Arc::new(AtomicUsize::new(0));
+        let done_ws = WaitSet::new();
         let mut threads = Vec::with_capacity(runners.len());
         for mut runner in runners {
             let name = runner.name().to_string();
             let thread_ctl = ctl.clone();
+            let thread_finished = Arc::clone(&finished);
+            let thread_done_ws = done_ws.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("anytime-{name}"))
                 .spawn(move || {
@@ -45,13 +57,16 @@ impl Automaton {
                     // blocking forever.
                     let stage = runner.name().to_string();
                     drop(runner);
-                    match result {
+                    let out = match result {
                         Ok(end) => end,
                         Err(payload) => Err(CoreError::StagePanicked {
                             stage,
                             message: panic_message(payload.as_ref()),
                         }),
-                    }
+                    };
+                    thread_finished.fetch_add(1, Ordering::Release);
+                    thread_done_ws.wake();
+                    out
                 })
                 .map_err(|e| CoreError::InvalidConfig(format!("failed to spawn thread: {e}")))?;
             threads.push((name, handle));
@@ -60,6 +75,8 @@ impl Automaton {
             ctl,
             threads,
             started,
+            finished,
+            done_ws,
         })
     }
 
@@ -86,7 +103,7 @@ impl Automaton {
     /// `true` once every stage thread has exited (all stages final,
     /// stopped, or failed).
     pub fn is_done(&self) -> bool {
-        self.threads.iter().all(|(_, h)| h.is_finished())
+        self.finished.load(Ordering::Acquire) == self.threads.len()
     }
 
     /// Time since launch.
@@ -140,10 +157,17 @@ impl Automaton {
     /// Propagates stage failures, as [`Automaton::join`].
     pub fn run_for(self, budget: Duration) -> Result<RunReport> {
         let deadline = Instant::now() + budget;
-        while Instant::now() < deadline && !self.is_done() {
-            std::thread::sleep(Duration::from_micros(200).min(
-                deadline.saturating_duration_since(Instant::now()),
-            ));
+        // Event-driven completion wait: each finishing stage bumps
+        // `done_ws`, so this blocks until the last stage exits or the
+        // exact deadline passes — no polling loop.
+        loop {
+            let seen = self.done_ws.epoch();
+            if self.is_done() {
+                break;
+            }
+            if !self.done_ws.wait_deadline(seen, deadline) {
+                break;
+            }
         }
         self.stop();
         self.join()

@@ -5,7 +5,6 @@ type InitFn<I, O> = Box<dyn FnMut(&I) -> O + Send>;
 /// Boxed per-level computation.
 type LevelFn<I, O> = Box<dyn FnMut(&I, u64) -> O + Send>;
 
-
 /// An iterative anytime stage body: re-executes a computation at
 /// progressively increasing accuracy levels (paper §III-B1).
 ///

@@ -70,6 +70,7 @@
 #![warn(missing_docs)]
 
 pub mod buffer;
+mod channel;
 pub mod contract;
 mod control;
 mod diffusive;
@@ -79,6 +80,7 @@ mod iterative;
 mod map;
 pub mod metrics;
 pub mod monitor;
+mod notify;
 mod parallel_map;
 mod pipeline;
 mod precise;

@@ -229,11 +229,7 @@ mod tests {
         let mut last_correct = 0;
         for step in 0..32 {
             body.step(&input, &mut out, step);
-            let correct = out
-                .iter()
-                .zip(&reference)
-                .filter(|(a, b)| a == b)
-                .count();
+            let correct = out.iter().zip(&reference).filter(|(a, b)| a == b).count();
             assert!(correct > last_correct || correct == reference.len());
             last_correct = correct;
         }
@@ -311,10 +307,7 @@ mod tests {
         assert_eq!(positions, (0..16).collect::<Vec<_>>());
         // And indices must match the permutation's order.
         let indices: Vec<usize> = out.iter().map(|&(_, i)| i).collect();
-        assert_eq!(
-            indices,
-            Tree1d::new(16).unwrap().iter().collect::<Vec<_>>()
-        );
+        assert_eq!(indices, Tree1d::new(16).unwrap().iter().collect::<Vec<_>>());
     }
 
     #[test]

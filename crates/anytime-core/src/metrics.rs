@@ -7,7 +7,104 @@
 //! to verify the model's headline guarantee: *accuracy increases over time
 //! and eventually reaches the precise output*.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Cumulative counters for one event source's blocking waits.
+///
+/// Every stage output buffer (and the control token) owns one of these;
+/// the event-driven wait paths update it so the cost of waiting — and the
+/// latency from publication to observation — is measurable per stage.
+/// Counters are updated with relaxed atomics: they are diagnostics, not
+/// synchronization.
+#[derive(Debug, Default)]
+pub struct WaitCounters {
+    waits: AtomicU64,
+    wakeups: AtomicU64,
+    spurious_wakeups: AtomicU64,
+    wait_ns: AtomicU64,
+    observations: AtomicU64,
+    publish_to_observe_ns: AtomicU64,
+}
+
+impl WaitCounters {
+    pub(crate) fn record_wait_entered(&self) {
+        self.waits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_wakeup(&self) {
+        self.wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_spurious_wakeup(&self) {
+        self.spurious_wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_wait_finished(&self, blocked: Duration) {
+        self.wait_ns
+            .fetch_add(blocked.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_observation(&self, publish_to_observe: Duration) {
+        self.observations.fetch_add(1, Ordering::Relaxed);
+        self.publish_to_observe_ns
+            .fetch_add(publish_to_observe.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> WaitStats {
+        WaitStats {
+            waits: self.waits.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+            spurious_wakeups: self.spurious_wakeups.load(Ordering::Relaxed),
+            total_wait: Duration::from_nanos(self.wait_ns.load(Ordering::Relaxed)),
+            observations: self.observations.load(Ordering::Relaxed),
+            total_publish_to_observe: Duration::from_nanos(
+                self.publish_to_observe_ns.load(Ordering::Relaxed),
+            ),
+        }
+    }
+}
+
+/// A point-in-time view of a source's [`WaitCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WaitStats {
+    /// Blocking waits entered (fast-path reads that never blocked are not
+    /// counted).
+    pub waits: u64,
+    /// Times a blocked waiter was woken by a notification.
+    pub wakeups: u64,
+    /// Wakeups after which the awaited condition still did not hold.
+    pub spurious_wakeups: u64,
+    /// Total time waiters spent blocked.
+    pub total_wait: Duration,
+    /// Snapshots observed at the end of a blocking wait.
+    pub observations: u64,
+    /// Total latency from each snapshot's publication to its observation
+    /// by a blocked waiter.
+    pub total_publish_to_observe: Duration,
+}
+
+impl WaitStats {
+    /// Mean time blocked per wait, or zero if nothing ever waited.
+    pub fn mean_wait(&self) -> Duration {
+        if self.waits == 0 {
+            Duration::ZERO
+        } else {
+            self.total_wait / self.waits as u32
+        }
+    }
+
+    /// Mean publication-to-observation latency, or zero if no snapshot
+    /// was observed from a blocking wait.
+    pub fn mean_publish_to_observe(&self) -> Duration {
+        if self.observations == 0 {
+            Duration::ZERO
+        } else {
+            self.total_publish_to_observe / self.observations as u32
+        }
+    }
+}
 
 /// Mean squared error between two equal-length slices.
 ///
@@ -171,9 +268,7 @@ impl AccuracyTrace {
     /// estimate that wobbles before converging); `0.0` demands strict
     /// non-decrease.
     pub fn is_monotone_nondecreasing(&self, tolerance: f64) -> bool {
-        self.points
-            .windows(2)
-            .all(|w| w[1].1 >= w[0].1 - tolerance)
+        self.points.windows(2).all(|w| w[1].1 >= w[0].1 - tolerance)
     }
 
     /// The earliest time at which the score reached `threshold`, if ever.

@@ -131,10 +131,7 @@ where
 
 /// Scores against a shared reference with a metric function — the common
 /// monitor configuration.
-pub fn against_reference<T, M>(
-    reference: Arc<T>,
-    metric: M,
-) -> impl Fn(&T) -> f64 + Send + 'static
+pub fn against_reference<T, M>(reference: Arc<T>, metric: M) -> impl Fn(&T) -> f64 + Send + 'static
 where
     T: Send + Sync + 'static,
     M: Fn(&T, &T) -> f64 + Send + 'static,
@@ -200,8 +197,7 @@ mod tests {
     #[test]
     fn threshold_beyond_final_runs_to_completion() {
         let (pipeline, out) = counting_pipeline(30);
-        let (report, trace) =
-            run_until_quality(pipeline, out, |v: &u64| *v as f64, 1e18).unwrap();
+        let (report, trace) = run_until_quality(pipeline, out, |v: &u64| *v as f64, 1e18).unwrap();
         assert!(report.all_final());
         assert_eq!(trace.final_score(), Some(30.0));
     }

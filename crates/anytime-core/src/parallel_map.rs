@@ -15,14 +15,13 @@
 //! `Fn(&I, usize) -> V` bound encourages.
 
 use crate::buffer::{BufferReader, BufferWriter};
+use crate::channel::{bounded, Receiver};
 use crate::control::ControlToken;
 use crate::error::{CoreError, Result};
 use crate::pipeline::PipelineBuilder;
 use crate::stage::{StageEnd, StageOptions, StageRunner};
 use anytime_permute::{partition, DynPermutation, Permutation};
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError};
 use std::sync::Arc;
-use std::time::Duration;
 
 /// Boxed initial-output constructor.
 type InitFn<I, O> = Box<dyn FnMut(&I) -> O + Send>;
@@ -30,9 +29,6 @@ type InitFn<I, O> = Box<dyn FnMut(&I) -> O + Send>;
 type ComputeFn<I, V> = Arc<dyn Fn(&I, usize) -> V + Send + Sync>;
 /// Boxed element writer (runs on the stage driver).
 type WriteFn<O, V> = Box<dyn FnMut(&mut O, usize, V) + Send>;
-
-const RECV_QUANTUM: Duration = Duration::from_millis(1);
-
 
 /// A source stage whose sampling work is spread over worker threads.
 ///
@@ -153,18 +149,18 @@ where
                         buf.push((idx, compute(&input, idx)));
                         if buf.len() == batch {
                             let full = std::mem::replace(&mut buf, Vec::with_capacity(batch));
-                            if tx.send(full).is_err() {
+                            // A send error means the automaton stopped or
+                            // the driver exited; either way we are done.
+                            if tx.send(full, &ctl).is_err() {
                                 return;
                             }
                         }
                     }
                     if !buf.is_empty() {
-                        let _ = tx.send(buf);
+                        let _ = tx.send(buf, &ctl);
                     }
                 })
-                .map_err(|e| {
-                    CoreError::InvalidConfig(format!("failed to spawn worker: {e}"))
-                })?;
+                .map_err(|e| CoreError::InvalidConfig(format!("failed to spawn worker: {e}")))?;
             handles.push(handle);
         }
         // Drop the original sender so the channel closes when workers end.
@@ -192,10 +188,7 @@ where
         let mut published_at: u64 = 0;
         let publish_every = self.publish_every.max(1);
         let end = loop {
-            if ctl.is_stopped() {
-                break StageEnd::Stopped;
-            }
-            match rx.recv_timeout(RECV_QUANTUM) {
+            match rx.recv(ctl) {
                 Ok(batch) => {
                     for (idx, value) in batch {
                         (self.stage.write)(&mut out, idx, value);
@@ -210,8 +203,9 @@ where
                         published_at = done;
                     }
                 }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => {
+                Err(CoreError::Stopped) => break StageEnd::Stopped,
+                Err(CoreError::ChannelClosed) => {
+                    // All workers exited and the queue is drained.
                     if done == total {
                         self.writer.publish_final(out.clone(), done);
                         break StageEnd::Final;
@@ -219,6 +213,7 @@ where
                     // Workers died early without a stop: a worker panic.
                     break StageEnd::Stopped;
                 }
+                Err(e) => return Err(e),
             }
         };
         // Publish whatever progress was merged before an interruption.
@@ -243,11 +238,9 @@ mod tests {
     use super::*;
     use crate::pipeline::PipelineBuilder;
     use anytime_permute::{Lfsr, Tree2d};
+    use std::time::Duration;
 
-    fn build(
-        workers: usize,
-        publish_every: u64,
-    ) -> (crate::Pipeline, BufferReader<Vec<u64>>) {
+    fn build(workers: usize, publish_every: u64) -> (crate::Pipeline, BufferReader<Vec<u64>>) {
         let n = 1024usize;
         let input: Vec<u64> = (0..n as u64).collect();
         let mut pb = PipelineBuilder::new();
@@ -270,9 +263,7 @@ mod tests {
         for workers in [1usize, 2, 4] {
             let (pipeline, out) = build(workers, 64);
             let auto = pipeline.launch().unwrap();
-            let snap = out
-                .wait_final_timeout(Duration::from_secs(60))
-                .unwrap();
+            let snap = out.wait_final_timeout(Duration::from_secs(60)).unwrap();
             let expected: Vec<u64> = (0..1024u64).map(|v| v * 3).collect();
             assert_eq!(snap.value(), &expected, "workers={workers}");
             assert_eq!(snap.steps(), 1024);

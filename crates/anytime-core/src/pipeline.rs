@@ -2,11 +2,11 @@ use crate::buffer::{self, BufferOptions, BufferReader, BufferWriter};
 use crate::control::ControlToken;
 use crate::error::{CoreError, Result};
 use crate::executor::Automaton;
+use crate::notify::WaitSet;
 use crate::stage::{AnytimeBody, InputFeed, StageEnd, StageNode, StageOptions, StageRunner};
 use crate::version::Version;
 use std::fmt;
 use std::sync::Arc;
-use std::time::Duration;
 
 /// Builds an anytime automaton as a directed acyclic graph of stages
 /// (paper Figure 1).
@@ -140,8 +140,7 @@ impl PipelineBuilder {
         B: Send + Sync + 'static,
     {
         let name = name.into();
-        let (writer, reader) =
-            self.make_buffer::<(Arc<A>, Arc<B>)>(&name, StageOptions::default());
+        let (writer, reader) = self.make_buffer::<(Arc<A>, Arc<B>)>(&name, StageOptions::default());
         self.runners.push(Box::new(JoinRunner {
             name,
             a: a.clone(),
@@ -259,35 +258,50 @@ where
     }
 
     fn drive(&mut self, ctl: &ControlToken) -> Result<StageEnd> {
+        // One wait set multiplexed over both parent buffers and the
+        // control token: any parent publication/close or any control
+        // transition wakes the join immediately — no polling.
+        let ws = WaitSet::new();
+        let _watch_a = self.a.subscribe(&ws);
+        let _watch_b = self.b.subscribe(&ws);
+        let _watch_ctl = ctl.subscribe(&ws);
         let mut last: Option<(Version, Version)> = None;
         let mut steps = 0u64;
         loop {
-            let sa = match self.a.wait_newer(None, ctl) {
-                Ok(s) => s,
-                Err(CoreError::Stopped) => return Ok(StageEnd::Stopped),
-                Err(e) => return Err(e),
-            };
-            let sb = match self.b.wait_newer(None, ctl) {
-                Ok(s) => s,
-                Err(CoreError::Stopped) => return Ok(StageEnd::Stopped),
-                Err(e) => return Err(e),
-            };
-            let pair = (sa.version(), sb.version());
-            if last != Some(pair) {
-                steps += 1;
-                let value = (sa.value_arc(), sb.value_arc());
-                if sa.is_final() && sb.is_final() {
-                    self.writer.publish_final(value, steps);
-                    return Ok(StageEnd::Final);
-                }
-                self.writer.publish(value, steps);
-                last = Some(pair);
-            }
-            match ctl.interruptible_sleep(Duration::from_millis(1)) {
+            let seen = ws.epoch();
+            match ctl.checkpoint() {
                 Ok(()) => {}
                 Err(CoreError::Stopped) => return Ok(StageEnd::Stopped),
                 Err(e) => return Err(e),
             }
+            let (sa, sb) = (self.a.latest(), self.b.latest());
+            if let (Some(sa), Some(sb)) = (&sa, &sb) {
+                let pair = (sa.version(), sb.version());
+                if last != Some(pair) {
+                    steps += 1;
+                    let value = (sa.value_arc(), sb.value_arc());
+                    if sa.is_final() && sb.is_final() {
+                        self.writer.publish_final(value, steps);
+                        return Ok(StageEnd::Final);
+                    }
+                    self.writer.publish(value, steps);
+                    last = Some(pair);
+                    continue;
+                }
+            }
+            // A parent that exited without a final version will never
+            // satisfy the join; report it instead of waiting forever.
+            if self.a.is_closed() && !self.a.is_final() {
+                return Err(CoreError::SourceClosed {
+                    buffer: self.a.name().to_string(),
+                });
+            }
+            if self.b.is_closed() && !self.b.is_final() {
+                return Err(CoreError::SourceClosed {
+                    buffer: self.b.name().to_string(),
+                });
+            }
+            ws.wait(seen);
         }
     }
 }
@@ -298,12 +312,18 @@ mod tests {
     use crate::diffusive::Diffusive;
     use crate::precise::Precise;
     use crate::stage::StepOutcome;
+    use std::time::Duration;
 
     #[test]
     fn builder_counts_stages() {
         let mut pb = PipelineBuilder::new();
         assert!(pb.is_empty());
-        let f = pb.source("f", 1u64, Precise::new(|i: &u64| *i), StageOptions::default());
+        let f = pb.source(
+            "f",
+            1u64,
+            Precise::new(|i: &u64| *i),
+            StageOptions::default(),
+        );
         let _g = pb.stage("g", &f, Precise::new(|i: &u64| *i), StageOptions::default());
         assert_eq!(pb.len(), 2);
         let p = pb.build();
@@ -314,10 +334,7 @@ mod tests {
     #[test]
     fn empty_pipeline_rejected() {
         let p = PipelineBuilder::new().build();
-        assert!(matches!(
-            p.launch(),
-            Err(CoreError::InvalidConfig(_))
-        ));
+        assert!(matches!(p.launch(), Err(CoreError::InvalidConfig(_))));
     }
 
     #[test]
@@ -340,23 +357,35 @@ mod tests {
             ),
             StageOptions::with_publish_every(10),
         );
-        let g = pb.stage("g", &f, Precise::new(|i: &u64| i * 2), StageOptions::default());
+        let g = pb.stage(
+            "g",
+            &f,
+            Precise::new(|i: &u64| i * 2),
+            StageOptions::default(),
+        );
         let auto = pb.build().launch().unwrap();
         let out = g.wait_final_timeout(Duration::from_secs(20)).unwrap();
         assert_eq!(*out.value(), 200);
         assert!(out.is_final());
         let report = auto.join().unwrap();
-        assert!(report
-            .stages
-            .iter()
-            .all(|s| s.end == StageEnd::Final));
+        assert!(report.stages.iter().all(|s| s.end == StageEnd::Final));
     }
 
     #[test]
     fn join2_combines_latest_and_finalizes() {
         let mut pb = PipelineBuilder::new();
-        let a = pb.source("a", 3u64, Precise::new(|i: &u64| *i), StageOptions::default());
-        let b = pb.source("b", 4u64, Precise::new(|i: &u64| *i), StageOptions::default());
+        let a = pb.source(
+            "a",
+            3u64,
+            Precise::new(|i: &u64| *i),
+            StageOptions::default(),
+        );
+        let b = pb.source(
+            "b",
+            4u64,
+            Precise::new(|i: &u64| *i),
+            StageOptions::default(),
+        );
         let j = pb.join2("j", &a, &b);
         let s = pb.stage(
             "s",
@@ -373,16 +402,35 @@ mod tests {
     #[test]
     fn fan_out_shares_one_buffer() {
         let mut pb = PipelineBuilder::new();
-        let f = pb.source("f", 5u64, Precise::new(|i: &u64| *i), StageOptions::default());
-        let g = pb.stage("g", &f, Precise::new(|i: &u64| i + 1), StageOptions::default());
-        let h = pb.stage("h", &f, Precise::new(|i: &u64| i + 2), StageOptions::default());
+        let f = pb.source(
+            "f",
+            5u64,
+            Precise::new(|i: &u64| *i),
+            StageOptions::default(),
+        );
+        let g = pb.stage(
+            "g",
+            &f,
+            Precise::new(|i: &u64| i + 1),
+            StageOptions::default(),
+        );
+        let h = pb.stage(
+            "h",
+            &f,
+            Precise::new(|i: &u64| i + 2),
+            StageOptions::default(),
+        );
         let auto = pb.build().launch().unwrap();
         assert_eq!(
-            *g.wait_final_timeout(Duration::from_secs(20)).unwrap().value(),
+            *g.wait_final_timeout(Duration::from_secs(20))
+                .unwrap()
+                .value(),
             6
         );
         assert_eq!(
-            *h.wait_final_timeout(Duration::from_secs(20)).unwrap().value(),
+            *h.wait_final_timeout(Duration::from_secs(20))
+                .unwrap()
+                .value(),
             7
         );
         auto.join().unwrap();

@@ -35,14 +35,17 @@ use anytime_permute::{DynPermutation, Permutation};
 ///     |_| 0.0f64,
 ///     |acc, input: &Vec<f64>, idx| *acc += input[idx],
 /// )
+/// .with_chunk(5)
 /// .with_weighting();
 ///
 /// let mut acc = body.init(&input);
-/// for step in 0..50 {
+/// for step in 0..10 {
 ///     body.step(&input, &mut acc, step);
 /// }
-/// // The weighted render of a half sample approximates the full sum (4950).
-/// let approx = body.render(&acc, &input, 50);
+/// // 10 steps × 5 elements per chunk = a half sample of 50 elements. The
+/// // weighting hook receives the *element* count (50), not the step count
+/// // (10), so the render extrapolates to approximate the full sum (4950).
+/// let approx = body.render(&acc, &input, 10);
 /// assert!((approx - 4950.0).abs() / 4950.0 < 0.3);
 /// ```
 pub struct SampledReduce<I, A> {
@@ -61,7 +64,9 @@ pub struct SampledReduce<I, A> {
 type InitFn<I, A> = Box<dyn FnMut(&I) -> A + Send>;
 /// Boxed commutative fold: `(acc, input, data_index)`.
 type FoldFn<I, A> = Box<dyn FnMut(&mut A, &I, usize) + Send>;
-/// Boxed publication renderer: `(acc, input, done, total)`.
+/// Boxed publication renderer: `(acc, input, elements_done, total_elements)`.
+/// Both counts are in input *elements* (sample sizes), never runner steps —
+/// [`AnytimeBody::render`] converts before invoking the hook.
 type RenderFn<I, A> = Box<dyn Fn(&A, &I, u64, u64) -> A + Send>;
 
 impl<I, A> SampledReduce<I, A> {
@@ -98,11 +103,16 @@ impl<I, A> SampledReduce<I, A> {
         self
     }
 
-    /// Publishes custom renders: `render(acc, input, steps_done, total)`.
-    pub fn with_render(
-        mut self,
-        render: impl Fn(&A, &I, u64, u64) -> A + Send + 'static,
-    ) -> Self {
+    /// Publishes custom renders: `render(acc, input, elements_done,
+    /// total_elements)`.
+    ///
+    /// The hook is invoked at publication time with the number of input
+    /// *elements* folded so far and the population size — not runner
+    /// steps. With [`SampledReduce::with_chunk`] each step folds several
+    /// elements, and weighting-style extrapolation must divide by the
+    /// sample size, so the conversion (`elements = steps × chunk`, capped
+    /// at the population) happens before the hook runs.
+    pub fn with_render(mut self, render: impl Fn(&A, &I, u64, u64) -> A + Send + 'static) -> Self {
         self.render = Some(Box::new(render));
         self
     }
@@ -253,9 +263,8 @@ mod tests {
             DynPermutation::new(Sequential::new(100)),
             DynPermutation::new(Lfsr::with_len(100).unwrap()),
         ] {
-            let mut body = SampledReduce::new(perm, |_| 0u64, |acc, i: &Vec<u64>, idx| {
-                *acc += i[idx]
-            });
+            let mut body =
+                SampledReduce::new(perm, |_| 0u64, |acc, i: &Vec<u64>, idx| *acc += i[idx]);
             let (out, steps) = drive_to_completion(&mut body, &input);
             assert_eq!(out, 5050);
             assert_eq!(steps, 100);
@@ -303,6 +312,42 @@ mod tests {
         assert_eq!(body.render(&acc, &input, 16), 128.0);
         // Zero-sample render does not divide by zero.
         assert_eq!(body.render(&acc, &input, 0), 0.0);
+    }
+
+    #[test]
+    fn render_hook_receives_elements_not_steps() {
+        // Regression for the render arity/doc mismatch: with chunking, the
+        // hook's `done`/`total` arguments are element counts, so weighting
+        // divides by the sample size rather than the step count.
+        let input: Vec<f64> = vec![1.0; 64];
+        let mut body = SampledReduce::new(
+            DynPermutation::new(Sequential::new(64)),
+            |_| 0.0f64,
+            |acc, i: &Vec<f64>, idx| *acc += i[idx],
+        )
+        .with_chunk(8)
+        .with_weighting();
+        let mut acc = body.init(&input);
+        for step in 0..4 {
+            body.step(&input, &mut acc, step);
+        }
+        // 4 steps x 8 elements = 32 elements, sum 32; extrapolated to 64.
+        // (Had the hook seen steps, it would wrongly render 32 * 64/4.)
+        assert_eq!(body.render(&acc, &input, 4), 64.0);
+        // A past-the-end step count is capped at the population size.
+        assert_eq!(body.render(&acc, &input, 1000), 32.0);
+
+        // The hook observes exactly the documented arguments.
+        let probe = SampledReduce::new(
+            DynPermutation::new(Sequential::new(10)),
+            |_| 0.0f64,
+            |_, _: &Vec<f64>, _| {},
+        )
+        .with_chunk(3)
+        .with_render(|_, _, done, total| (done * 100 + total) as f64);
+        let probe_input: Vec<f64> = vec![0.0; 10];
+        // 2 steps x 3 elements = 6 elements of 10.
+        assert_eq!(probe.render(&0.0, &probe_input, 2), 610.0);
     }
 
     #[test]

@@ -205,7 +205,8 @@ impl<B: AnytimeBody> StageNode<B> {
                 // interruptible output is as fresh as possible.
                 if steps > published_at_step && !self.writer.is_final() {
                     let rendered = self.body.render(&out, input, steps);
-                    self.writer.publish(rendered, self.body.progress(steps, input));
+                    self.writer
+                        .publish(rendered, self.body.progress(steps, input));
                 }
                 return Err(e);
             }
@@ -224,15 +225,13 @@ impl<B: AnytimeBody> StageNode<B> {
             }
             if steps.is_multiple_of(publish_every) {
                 let rendered = self.body.render(&out, input, steps);
-                self.writer.publish(rendered, self.body.progress(steps, input));
+                self.writer
+                    .publish(rendered, self.body.progress(steps, input));
                 published_at_step = steps;
             }
             if self.opts.restart == RestartPolicy::Eager {
                 if let (InputFeed::Upstream(reader), Some(ver)) = (&self.input, input_version) {
-                    if reader
-                        .latest()
-                        .is_some_and(|snap| snap.version() > ver)
-                    {
+                    if reader.latest().is_some_and(|snap| snap.version() > ver) {
                         return Ok(false);
                     }
                 }
@@ -431,10 +430,7 @@ mod tests {
             opts: StageOptions::default(),
         };
         let ctl = ControlToken::new();
-        assert!(matches!(
-            g.drive(&ctl),
-            Err(CoreError::SourceClosed { .. })
-        ));
+        assert!(matches!(g.drive(&ctl), Err(CoreError::SourceClosed { .. })));
     }
 
     #[test]

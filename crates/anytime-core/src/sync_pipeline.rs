@@ -11,7 +11,9 @@
 //!
 //! Unlike the asynchronous pipeline, updates must not be dropped: `f` may
 //! not overwrite `X_i` before `g` consumes it. A bounded channel provides
-//! exactly that backpressure.
+//! exactly that backpressure. The channel is control-aware: a
+//! backpressured producer or an idle consumer blocks without polling and
+//! is woken immediately by new data, new space, a peer exit, or a stop.
 //!
 //! # Examples
 //!
@@ -42,16 +44,13 @@
 //! ```
 
 use crate::buffer::{self, BufferOptions, BufferReader, BufferWriter};
+use crate::channel::{bounded, Receiver, Sender};
 use crate::control::ControlToken;
 use crate::error::{CoreError, Result};
 use crate::pipeline::PipelineBuilder;
 use crate::stage::{StageEnd, StageOptions, StageRunner};
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender};
 use std::fmt;
 use std::sync::Arc;
-use std::time::Duration;
-
-const CHANNEL_QUANTUM: Duration = Duration::from_millis(1);
 
 enum Msg<X> {
     Update(X),
@@ -87,28 +86,6 @@ struct UpdateSourceRunner<I, X> {
     tx: Sender<Msg<X>>,
 }
 
-impl<I, X> UpdateSourceRunner<I, X> {
-    fn send(&self, ctl: &ControlToken, msg: Msg<X>) -> Result<()> {
-        let mut msg = msg;
-        loop {
-            ctl.checkpoint()?;
-            match self.tx.send_timeout(msg, CHANNEL_QUANTUM) {
-                Ok(()) => return Ok(()),
-                Err(SendTimeoutError::Timeout(m)) => msg = m,
-                Err(SendTimeoutError::Disconnected(_)) => {
-                    // A stopped consumer drops its receiver; report the stop
-                    // rather than a broken channel in that case.
-                    return if ctl.is_stopped() {
-                        Err(CoreError::Stopped)
-                    } else {
-                        Err(CoreError::ChannelClosed)
-                    };
-                }
-            }
-        }
-    }
-}
-
 impl<I, X> StageRunner for UpdateSourceRunner<I, X>
 where
     I: Send + Sync + 'static,
@@ -128,13 +105,13 @@ where
                 Err(e) => return Err(e),
             }
             match (self.next)(&input, step) {
-                Some(update) => match self.send(ctl, Msg::Update(update)) {
+                Some(update) => match self.tx.send(Msg::Update(update), ctl) {
                     Ok(()) => step += 1,
                     Err(CoreError::Stopped) => return Ok(StageEnd::Stopped),
                     Err(e) => return Err(e),
                 },
                 None => {
-                    return match self.send(ctl, Msg::Final) {
+                    return match self.tx.send(Msg::Final, ctl) {
                         Ok(()) => Ok(StageEnd::Final),
                         Err(CoreError::Stopped) => Ok(StageEnd::Stopped),
                         Err(e) => Err(e),
@@ -170,13 +147,7 @@ where
         let granularity = self.publish_every.max(1);
         let mut published_at = 0u64;
         loop {
-            if ctl.is_stopped() {
-                if steps > published_at {
-                    self.writer.publish(out.clone(), steps);
-                }
-                return Ok(StageEnd::Stopped);
-            }
-            match self.rx.recv_timeout(CHANNEL_QUANTUM) {
+            match self.rx.recv(ctl) {
                 Ok(Msg::Update(x)) => {
                     (self.fold)(&mut out, x);
                     steps += 1;
@@ -189,12 +160,21 @@ where
                     self.writer.publish_final(out.clone(), steps);
                     return Ok(StageEnd::Final);
                 }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => {
+                Err(CoreError::Stopped) => {
+                    // Publish the partial fold accumulated so far; it is a
+                    // valid approximate output (interruptibility).
+                    if steps > published_at {
+                        self.writer.publish(out.clone(), steps);
+                    }
+                    return Ok(StageEnd::Stopped);
+                }
+                Err(CoreError::ChannelClosed) => {
+                    // The producer died without sending `Final`.
                     return Err(CoreError::SourceClosed {
                         buffer: self.name.clone(),
                     });
                 }
+                Err(e) => return Err(e),
             }
         }
     }
@@ -275,6 +255,7 @@ impl PipelineBuilder {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
 
     #[test]
     fn updates_fold_into_final_output() {
@@ -301,9 +282,7 @@ mod tests {
         let calls = Arc::new(AtomicU64::new(0));
         let calls2 = Arc::clone(&calls);
         let mut pb = PipelineBuilder::new();
-        let updates = pb.sync_source("f", 100u64, 2, |n: &u64, step| {
-            (step < *n).then_some(step)
-        });
+        let updates = pb.sync_source("f", 100u64, 2, |n: &u64, step| (step < *n).then_some(step));
         let out = pb.sync_stage(
             "g",
             updates,

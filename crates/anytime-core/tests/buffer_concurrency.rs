@@ -23,11 +23,7 @@ fn many_readers_never_observe_regressions() {
                     if let Some(snap) = r.latest() {
                         let v = *snap.value();
                         assert!(v >= last, "value went backwards: {v} < {last}");
-                        assert_eq!(
-                            snap.steps(),
-                            v,
-                            "metadata decoupled from value"
-                        );
+                        assert_eq!(snap.steps(), v, "metadata decoupled from value");
                         last = v;
                         observed += 1;
                     }

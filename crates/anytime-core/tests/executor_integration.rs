@@ -117,8 +117,18 @@ fn diamond_pipeline_stops_cleanly_at_every_point() {
             counter(100, Duration::from_micros(200)),
             StageOptions::with_publish_every(10),
         );
-        let g = pb.stage("g", &f, Precise::new(|v: &u64| v + 1), StageOptions::default());
-        let h = pb.stage("h", &f, Precise::new(|v: &u64| v + 2), StageOptions::default());
+        let g = pb.stage(
+            "g",
+            &f,
+            Precise::new(|v: &u64| v + 1),
+            StageOptions::default(),
+        );
+        let h = pb.stage(
+            "h",
+            &f,
+            Precise::new(|v: &u64| v + 2),
+            StageOptions::default(),
+        );
         let j = pb.join2("j", &g, &h);
         let i = pb.stage(
             "i",
@@ -143,7 +153,12 @@ fn diamond_pipeline_stops_cleanly_at_every_point() {
 #[test]
 fn is_done_tracks_completion() {
     let mut pb = PipelineBuilder::new();
-    let _ = pb.source("quick", (), counter(3, Duration::ZERO), StageOptions::default());
+    let _ = pb.source(
+        "quick",
+        (),
+        counter(3, Duration::ZERO),
+        StageOptions::default(),
+    );
     let auto = pb.build().launch().unwrap();
     let deadline = std::time::Instant::now() + Duration::from_secs(30);
     while !auto.is_done() && std::time::Instant::now() < deadline {

@@ -69,10 +69,7 @@ impl Kernel {
 
     /// A 3×3 sharpening kernel.
     pub fn sharpen() -> Self {
-        Self::new(
-            3,
-            vec![0.0, -1.0, 0.0, -1.0, 5.0, -1.0, 0.0, -1.0, 0.0],
-        )
+        Self::new(3, vec![0.0, -1.0, 0.0, -1.0, 5.0, -1.0, 0.0, -1.0, 0.0])
     }
 
     /// Kernel side length (odd).

@@ -98,9 +98,15 @@ pub fn rgb_scene(width: usize, height: usize, seed: u64) -> ImageBuf<u8> {
             let pick = ((r[i] * palette.len() as f64) as usize).min(palette.len() - 1);
             let base = palette[pick];
             let px = [
-                ((base[0] * 0.8 + g[i] * 0.2) * 255.0).round().clamp(0.0, 255.0) as u8,
-                ((base[1] * 0.8 + b[i] * 0.2) * 255.0).round().clamp(0.0, 255.0) as u8,
-                ((base[2] * 0.8 + r[i] * 0.2) * 255.0).round().clamp(0.0, 255.0) as u8,
+                ((base[0] * 0.8 + g[i] * 0.2) * 255.0)
+                    .round()
+                    .clamp(0.0, 255.0) as u8,
+                ((base[1] * 0.8 + b[i] * 0.2) * 255.0)
+                    .round()
+                    .clamp(0.0, 255.0) as u8,
+                ((base[2] * 0.8 + r[i] * 0.2) * 255.0)
+                    .round()
+                    .clamp(0.0, 255.0) as u8,
             ];
             img.set_pixel(x, y, &px);
         }
@@ -123,7 +129,8 @@ pub fn blobs(width: usize, height: usize, count: usize, seed: u64) -> ImageBuf<u
     for _ in 0..count {
         let cx = rng.random_range(0.0..width as f64);
         let cy = rng.random_range(0.0..height as f64);
-        let sigma = rng.random_range(width.min(height) as f64 / 24.0..width.min(height) as f64 / 6.0);
+        let sigma =
+            rng.random_range(width.min(height) as f64 / 24.0..width.min(height) as f64 / 6.0);
         let amp = rng.random_range(0.3..1.0);
         for y in 0..height {
             for x in 0..width {

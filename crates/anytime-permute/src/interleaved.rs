@@ -68,9 +68,7 @@ impl Permutation for Interleaved {
         let len = self.len;
         let stride = self.stride;
         Indices {
-            inner: Box::new(
-                (0..stride.min(len)).flat_map(move |r| (r..len).step_by(stride)),
-            ),
+            inner: Box::new((0..stride.min(len)).flat_map(move |r| (r..len).step_by(stride))),
         }
     }
 }

@@ -155,10 +155,7 @@ impl Tree2d {
                 break;
             }
         }
-        (
-            self.rows.div_ceil(1 << rb),
-            self.cols.div_ceil(1 << cb),
-        )
+        (self.rows.div_ceil(1 << rb), self.cols.div_ceil(1 << cb))
     }
 
     /// Maps a padded sample position to `(row, col)`, which may be out of
@@ -386,7 +383,7 @@ mod tests {
         let mut first4: Vec<usize> = p.iter().take(4).collect();
         first4.sort_unstable();
         assert_eq!(first4, vec![0, 4, 32, 36]); // (0,0) (0,4) (4,0) (4,4)
-        // After 16 samples, a 4x4 grid of stride 2.
+                                                // After 16 samples, a 4x4 grid of stride 2.
         let mut first16: Vec<usize> = p.iter().take(16).collect();
         first16.sort_unstable();
         let expected: Vec<usize> = (0..8)
@@ -427,10 +424,7 @@ mod tests {
     fn treend_matches_tree2d() {
         let p2 = Tree2d::new(8, 8).unwrap();
         let pn = TreeNd::new(&[8, 8]).unwrap();
-        assert_eq!(
-            p2.iter().collect::<Vec<_>>(),
-            pn.iter().collect::<Vec<_>>()
-        );
+        assert_eq!(p2.iter().collect::<Vec<_>>(), pn.iter().collect::<Vec<_>>());
     }
 
     #[test]
@@ -445,10 +439,7 @@ mod tests {
     fn treend_1d_matches_tree1d() {
         let p1 = Tree1d::new(16).unwrap();
         let pn = TreeNd::new(&[16]).unwrap();
-        assert_eq!(
-            p1.iter().collect::<Vec<_>>(),
-            pn.iter().collect::<Vec<_>>()
-        );
+        assert_eq!(p1.iter().collect::<Vec<_>>(), pn.iter().collect::<Vec<_>>());
     }
 
     #[test]

@@ -346,7 +346,10 @@ mod tests {
         assert!(after_one > 0, "expected some corruption");
         store.read();
         let after_two = store.corrupted_bits();
-        assert!(after_two >= after_one, "corruption must persist (destructive)");
+        assert!(
+            after_two >= after_one,
+            "corruption must persist (destructive)"
+        );
         store.flush();
         assert_eq!(store.corrupted_bits(), 0);
     }

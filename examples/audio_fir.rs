@@ -45,9 +45,7 @@ fn lowpass_taps(cutoff: f32) -> Vec<f32> {
                 (2.0 * std::f32::consts::PI * cutoff * x).sin() / (std::f32::consts::PI * x)
             };
             // Hann window.
-            let w = 0.5
-                - 0.5
-                    * (2.0 * std::f32::consts::PI * i as f32 / (TAPS as f32 - 1.0)).cos();
+            let w = 0.5 - 0.5 * (2.0 * std::f32::consts::PI * i as f32 / (TAPS as f32 - 1.0)).cos();
             sinc * w
         })
         .collect();
@@ -104,9 +102,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let n_done = snap.steps();
         let level = 63 - n_done.leading_zeros() as u64;
         let stride = (SAMPLES as u64 >> level).max(1) as usize;
-        let approx: Vec<f32> = (0..SAMPLES)
-            .map(|i| snap.value()[i - i % stride])
-            .collect();
+        let approx: Vec<f32> = (0..SAMPLES).map(|i| snap.value()[i - i % stride]).collect();
         let signal_pow: f32 = reference.iter().map(|r| r * r).sum();
         let noise_pow: f32 = approx
             .iter()

@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let path = format!("results/progressive/frame_{:06}.ppm", snap.steps());
         let frame = preview::nearest_upsample(snap.value(), snap.steps());
         io::save_netpbm(&path, &frame)?;
-        println!("{path}  SNR {:>7.2} dB", metrics::snr_db(&frame, &reference));
+        println!(
+            "{path}  SNR {:>7.2} dB",
+            metrics::snr_db(&frame, &reference)
+        );
         if snap.is_final() {
             break;
         }

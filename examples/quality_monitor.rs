@@ -38,10 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // sample count isn't visible to the metric closure, so score
             // the sparse output's preview at the closest power of two.
             let filled = img.as_slice().iter().filter(|&&v| v != 0).count() as u64;
-            metrics::snr_db(
-                &preview::nearest_upsample(img, filled.max(1)),
-                &reference2,
-            )
+            metrics::snr_db(&preview::nearest_upsample(img, filled.max(1)), &reference2)
         },
         target_db,
     )?;

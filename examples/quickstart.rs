@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             snr
         );
         if snr >= target_db || snap.is_final() {
-            println!("acceptable at {} samples — stopping the automaton", snap.steps());
+            println!(
+                "acceptable at {} samples — stopping the automaton",
+                snap.steps()
+            );
             break;
         }
     }

@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let app = Kmeans::new(synth::rgb_scene(256, 256, 11), 6);
     let (reference, baseline) = time_baseline(3, || app.precise());
     println!("precise baseline: {baseline:?}\n");
-    println!("{:>12}  {:>9}  {:>10}  outcome", "deadline", "samples", "SNR (dB)");
+    println!(
+        "{:>12}  {:>9}  {:>10}  outcome",
+        "deadline", "samples", "SNR (dB)"
+    );
 
     for fraction in [2.0, 1.0, 0.5, 0.25, 0.1, 0.05] {
         let deadline = Duration::from_secs_f64(baseline.as_secs_f64() * fraction);

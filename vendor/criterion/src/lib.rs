@@ -1,0 +1,217 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! This workspace builds in environments with no network access, so the
+//! external `criterion` dependency is replaced by this shim. It keeps the
+//! same bench-authoring API — `criterion_group!` / `criterion_main!`,
+//! `Criterion::benchmark_group`, `sample_size` / `measurement_time`
+//! chaining, `bench_function`, `Bencher::iter` / `iter_with_setup` — and
+//! performs real wall-clock measurement, reporting min/mean/median/max
+//! per-iteration times to stdout. It does not produce HTML reports or
+//! statistical regression analysis.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard opaque-value barrier; benches may use either
+/// `std::hint::black_box` or `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, one per `criterion_group!` function.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            default_measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl ToString) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.default_sample_size,
+            measurement_time: self.default_measurement_time,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sampling configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total wall-clock budget for collecting samples.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Measures `f` and prints per-iteration timing statistics.
+    pub fn bench_function<F>(&mut self, id: impl ToString, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut bencher);
+        report(&self.name, &id.to_string(), &bencher.samples);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is
+    /// incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`, spreading the measurement
+    /// budget across the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.iter_with_setup(|| (), |()| routine());
+    }
+
+    /// Times `routine` with an untimed `setup` before every batch.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up and calibration: estimate the per-iteration cost so each
+        // sample batch is sized to fit the measurement budget. The
+        // estimate includes setup time — setup is never *measured*, but it
+        // spends wall clock, so batch sizing must account for it.
+        let calibration = Instant::now();
+        let input = setup();
+        black_box(routine(input));
+        let estimate = calibration.elapsed().max(Duration::from_nanos(1));
+
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        let iters_per_sample = (per_sample.as_nanos() / estimate.as_nanos()).clamp(1, 1_000_000);
+
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                elapsed += t.elapsed();
+            }
+            self.samples.push(elapsed / iters_per_sample as u32);
+            // Never exceed ~2x the requested measurement time even if the
+            // calibration estimate was far off.
+            if budget_start.elapsed() > self.measurement_time * 2 {
+                break;
+            }
+        }
+    }
+}
+
+fn report(group: &str, id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples collected");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let min = sorted[0];
+    let max = *sorted.last().unwrap();
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!(
+        "{group}/{id}: time [min {} .. mean {} .. median {} .. max {}] ({} samples)",
+        fmt(min),
+        fmt(mean),
+        fmt(median),
+        fmt(max),
+        sorted.len()
+    );
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function invoking each listed bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_function("with_setup", |b| {
+            b.iter_with_setup(|| vec![1u64; 16], |v| v.iter().sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_and_reports() {
+        benches();
+    }
+}

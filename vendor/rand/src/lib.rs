@@ -1,0 +1,131 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This workspace builds in environments with no network access, so the
+//! external `rand` dependency is replaced by this minimal, deterministic
+//! shim. It implements exactly the API surface the workspace uses:
+//!
+//! - `rand::rngs::StdRng`
+//! - `rand::SeedableRng::seed_from_u64`
+//! - `rand::Rng::random_range` over half-open ranges of `f64`, `u64`,
+//!   `u32`, and `usize`
+//!
+//! The generator is SplitMix64 — statistically solid for simulation and
+//! test workloads, sequential, and fully reproducible from a `u64` seed.
+//! It is **not** cryptographically secure.
+
+use std::ops::Range;
+
+/// Core pseudo-random number generation: a stream of `u64` values.
+pub trait RngCore {
+    /// Returns the next value in the pseudo-random stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of an RNG from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG deterministically seeded from a single `u64`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Draws a value in `[low, high)` using `rng`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        // 53 uniformly distributed mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        low + unit * (high - low)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = (high - low) as u64;
+                debug_assert!(span > 0, "empty sample range");
+                low + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u32, u64, usize, i64);
+
+/// Convenience sampling methods layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from the half-open range `[start, end)`.
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        assert!(
+            range.start < range.end,
+            "random_range called with empty range"
+        );
+        T::sample_range(self, range.start, range.end)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand`'s
+    /// `StdRng`. Same name, same `seed_from_u64` construction path.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0.0f64..1.0), b.random_range(0.0f64..1.0));
+        }
+    }
+
+    #[test]
+    fn f64_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.random_range(f64::MIN_POSITIVE..1.0);
+            assert!((f64::MIN_POSITIVE..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn int_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let x = rng.random_range(5u64..17);
+            assert!((5..17).contains(&x));
+        }
+    }
+}
