@@ -28,6 +28,16 @@ struct State<T> {
     latest: Option<Snapshot<T>>,
     closed: bool,
     history: Option<Vec<Snapshot<T>>>,
+    /// Version assigned to the next publication. Lives in the shared state
+    /// (not the writer) so the supervisor can seal a degraded terminal
+    /// version from outside the producer thread.
+    next: Version,
+    /// Set once the buffer was sealed degraded: the latest snapshot is
+    /// terminal, and further publications are dropped (counted below).
+    degraded_sealed: bool,
+    /// Publications dropped after a degraded seal (a stalled-but-alive
+    /// producer writing into a sealed buffer).
+    dropped: u64,
 }
 
 struct Shared<T> {
@@ -35,6 +45,99 @@ struct Shared<T> {
     state: Mutex<State<T>>,
     watchers: Watchers,
     counters: WaitCounters,
+}
+
+/// Type-erased supervisory handle to a buffer, used by the watchdog and
+/// the stage supervision loop: progress probing, degraded sealing, and
+/// wakeup subscription without knowing the value type.
+pub(crate) trait BufferControl: Send + Sync {
+    /// Version of the most recent publication, if any.
+    fn latest_version(&self) -> Option<Version>;
+    /// `true` once the producer exited.
+    fn is_closed(&self) -> bool;
+    /// `true` once a terminal (final or degraded) version stands.
+    fn is_terminal(&self) -> bool;
+    /// `true` once the buffer was sealed degraded.
+    fn is_degraded(&self) -> bool;
+    /// Seals the buffer degraded (see [`BufferWriter::seal_degraded`]).
+    fn seal_degraded(&self) -> bool;
+    /// Publications dropped after a degraded seal.
+    fn dropped_publishes(&self) -> u64;
+    /// Registers `ws` for wakeups on every publication or close.
+    fn subscribe_watch(&self, ws: &WaitSet) -> crate::notify::WatchGuard<'_>;
+}
+
+impl<T: Send + Sync> BufferControl for Shared<T> {
+    fn latest_version(&self) -> Option<Version> {
+        lock_unpoisoned(&self.state)
+            .latest
+            .as_ref()
+            .map(Snapshot::version)
+    }
+
+    fn is_closed(&self) -> bool {
+        lock_unpoisoned(&self.state).closed
+    }
+
+    fn is_terminal(&self) -> bool {
+        lock_unpoisoned(&self.state)
+            .latest
+            .as_ref()
+            .is_some_and(Snapshot::is_terminal)
+    }
+
+    fn is_degraded(&self) -> bool {
+        lock_unpoisoned(&self.state).degraded_sealed
+    }
+
+    fn seal_degraded(&self) -> bool {
+        self.do_seal_degraded()
+    }
+
+    fn dropped_publishes(&self) -> u64 {
+        lock_unpoisoned(&self.state).dropped
+    }
+
+    fn subscribe_watch(&self, ws: &WaitSet) -> crate::notify::WatchGuard<'_> {
+        self.watchers.subscribe(ws)
+    }
+}
+
+impl<T> Shared<T> {
+    /// Re-publishes the latest version flagged degraded, making the buffer
+    /// terminal. `false` if nothing was ever published. Idempotent once a
+    /// terminal version stands.
+    fn do_seal_degraded(&self) -> bool {
+        let mut st = lock_unpoisoned(&self.state);
+        if st.latest.as_ref().is_some_and(Snapshot::is_terminal) {
+            // Already terminal (precise final or a previous seal).
+            return true;
+        }
+        let Some(prev) = st.latest.as_ref() else {
+            // Nothing was ever published: there is no approximate output
+            // to degrade to.
+            return false;
+        };
+        let snap = Snapshot {
+            value: Arc::clone(&prev.value),
+            meta: SnapshotMeta {
+                version: st.next,
+                steps: prev.meta.steps,
+                is_final: false,
+                degraded: true,
+            },
+            published_at: Instant::now(),
+        };
+        st.next = st.next.next();
+        st.degraded_sealed = true;
+        if let Some(hist) = st.history.as_mut() {
+            hist.push(snap.clone());
+        }
+        st.latest = Some(snap);
+        drop(st);
+        self.watchers.wake_all();
+        true
+    }
 }
 
 /// Options for creating a versioned output buffer.
@@ -84,6 +187,9 @@ pub fn versioned_with<T>(
             latest: None,
             closed: false,
             history: options.keep_history.then(Vec::new),
+            next: Version::FIRST,
+            degraded_sealed: false,
+            dropped: 0,
         }),
         watchers: Watchers::new(),
         counters: WaitCounters::default(),
@@ -91,7 +197,6 @@ pub fn versioned_with<T>(
     (
         BufferWriter {
             shared: Arc::clone(&shared),
-            next: Version::FIRST,
         },
         BufferReader { shared },
     )
@@ -105,7 +210,6 @@ pub fn versioned_with<T>(
 /// of deadlocking the pipeline.
 pub struct BufferWriter<T> {
     shared: Arc<Shared<T>>,
-    next: Version,
 }
 
 impl<T> BufferWriter<T> {
@@ -125,7 +229,7 @@ impl<T> BufferWriter<T> {
     /// Panics if a final version has already been published: versions after
     /// the precise output would violate the anytime contract.
     pub fn publish(&mut self, value: T, steps: u64) -> Version {
-        self.publish_inner(value, steps, false)
+        self.publish_inner(value, steps, false, false)
     }
 
     /// Atomically publishes the precise (final) output version.
@@ -134,33 +238,60 @@ impl<T> BufferWriter<T> {
     ///
     /// Panics if a final version has already been published.
     pub fn publish_final(&mut self, value: T, steps: u64) -> Version {
-        self.publish_inner(value, steps, true)
+        self.publish_inner(value, steps, true, false)
     }
 
-    fn publish_inner(&mut self, value: T, steps: u64, is_final: bool) -> Version {
-        let snap = Snapshot {
-            value: Arc::new(value),
-            meta: SnapshotMeta {
-                version: self.next,
-                steps,
-                is_final,
-            },
-            published_at: Instant::now(),
-        };
+    /// Atomically publishes a terminal **degraded** version: the stage's
+    /// precise output is unreachable (its input was degraded, or its
+    /// producer is being torn down), and this approximate value is the
+    /// best it will ever publish. Terminal like a final version — it
+    /// resolves `wait_final*` waits — but flagged via
+    /// [`Snapshot::is_degraded`] so consumers know it is not precise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a (precise) final version has already been published.
+    pub fn publish_degraded(&mut self, value: T, steps: u64) -> Version {
+        self.publish_inner(value, steps, false, true)
+    }
+
+    fn publish_inner(&mut self, value: T, steps: u64, is_final: bool, degraded: bool) -> Version {
         let mut st = lock_unpoisoned(&self.shared.state);
         assert!(
             !st.latest.as_ref().is_some_and(Snapshot::is_final),
             "buffer `{}`: cannot publish after the final version",
             self.shared.name
         );
+        if st.degraded_sealed {
+            // A walking-dead producer (stalled past its watchdog, then
+            // recovered) publishing into a sealed buffer: the degraded
+            // terminal version already stands, so the late value is
+            // dropped — never published, never torn.
+            st.dropped += 1;
+            let v = st.latest.as_ref().expect("sealed buffer has a snapshot");
+            return v.version();
+        }
+        let snap = Snapshot {
+            value: Arc::new(value),
+            meta: SnapshotMeta {
+                version: st.next,
+                steps,
+                is_final,
+                degraded,
+            },
+            published_at: Instant::now(),
+        };
+        let v = st.next;
+        st.next = st.next.next();
+        if degraded {
+            st.degraded_sealed = true;
+        }
         if let Some(hist) = st.history.as_mut() {
             hist.push(snap.clone());
         }
         st.latest = Some(snap);
         drop(st);
         self.shared.watchers.wake_all();
-        let v = self.next;
-        self.next = self.next.next();
         v
     }
 
@@ -170,6 +301,38 @@ impl<T> BufferWriter<T> {
             .latest
             .as_ref()
             .is_some_and(Snapshot::is_final)
+    }
+
+    /// `true` once a terminal (final or degraded) version stands.
+    pub fn is_terminal(&self) -> bool {
+        lock_unpoisoned(&self.shared.state)
+            .latest
+            .as_ref()
+            .is_some_and(Snapshot::is_terminal)
+    }
+
+    /// The most recently published snapshot, if any. Used by restarted
+    /// stage drivers to resume from their own published progress.
+    pub fn latest(&self) -> Option<Snapshot<T>> {
+        lock_unpoisoned(&self.shared.state).latest.clone()
+    }
+
+    /// Seals the buffer **degraded**: re-publishes the latest version with
+    /// the degraded flag, making it terminal. Returns `false` (and seals
+    /// nothing) if no version was ever published — there is no approximate
+    /// output to degrade to. Idempotent once terminal.
+    ///
+    /// Called by the supervisor on permanent producer death under
+    /// [`crate::FailurePolicy::Degrade`], or by the watchdog on a stall.
+    pub fn seal_degraded(&mut self) -> bool {
+        self.shared.do_seal_degraded()
+    }
+}
+
+impl<T: Send + Sync + 'static> BufferWriter<T> {
+    /// A type-erased supervisory handle to this buffer.
+    pub(crate) fn control_handle(&self) -> Arc<dyn BufferControl> {
+        Arc::clone(&self.shared) as Arc<dyn BufferControl>
     }
 }
 
@@ -184,9 +347,11 @@ impl<T> Drop for BufferWriter<T> {
 
 impl<T> fmt::Debug for BufferWriter<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = lock_unpoisoned(&self.shared.state);
         f.debug_struct("BufferWriter")
             .field("name", &self.shared.name)
-            .field("next", &self.next)
+            .field("next", &st.next)
+            .field("degraded_sealed", &st.degraded_sealed)
             .finish()
     }
 }
@@ -229,6 +394,30 @@ impl<T> BufferReader<T> {
             .latest
             .as_ref()
             .is_some_and(Snapshot::is_final)
+    }
+
+    /// `true` once the buffer holds a terminal **degraded** version: its
+    /// producer failed permanently and the latest approximate output is
+    /// the best it will ever publish.
+    pub fn is_degraded(&self) -> bool {
+        lock_unpoisoned(&self.shared.state)
+            .latest
+            .as_ref()
+            .is_some_and(Snapshot::is_degraded)
+    }
+
+    /// `true` once a terminal (final or degraded) version stands.
+    pub fn is_terminal(&self) -> bool {
+        lock_unpoisoned(&self.shared.state)
+            .latest
+            .as_ref()
+            .is_some_and(Snapshot::is_terminal)
+    }
+
+    /// Publications dropped after a degraded seal (a stalled producer
+    /// that kept publishing into its sealed buffer).
+    pub fn dropped_publishes(&self) -> u64 {
+        lock_unpoisoned(&self.shared.state).dropped
     }
 
     /// All published snapshots, oldest first, when the buffer was created
@@ -303,26 +492,29 @@ impl<T> BufferReader<T> {
         })
     }
 
-    /// Waits up to `timeout` for the final (precise) version.
+    /// Waits up to `timeout` for the terminal version: the final (precise)
+    /// output or, under graceful degradation
+    /// ([`crate::FailurePolicy::Degrade`]), the last published approximate
+    /// version flagged via [`Snapshot::is_degraded`].
     ///
     /// The deadline is exact: there is no polling quantum to overshoot.
     ///
     /// # Errors
     ///
-    /// - [`CoreError::Timeout`] if the final version does not appear in time.
+    /// - [`CoreError::Timeout`] if no terminal version appears in time.
     /// - [`CoreError::SourceClosed`] if the producer exits without one.
     pub fn wait_final_timeout(&self, timeout: Duration) -> Result<Snapshot<T>> {
-        self.wait_for_snapshot(None, Some(Instant::now() + timeout), Snapshot::is_final)
+        self.wait_for_snapshot(None, Some(Instant::now() + timeout), Snapshot::is_terminal)
     }
 
-    /// Waits up to `timeout` for the final (precise) version, aborting
-    /// promptly — at wakeup latency, not a polling quantum — if `ctl`
-    /// stops the automaton.
+    /// Waits up to `timeout` for the terminal (final or degraded) version,
+    /// aborting promptly — at wakeup latency, not a polling quantum — if
+    /// `ctl` stops the automaton.
     ///
     /// # Errors
     ///
     /// - [`CoreError::Stopped`] if the automaton is stopped while waiting.
-    /// - [`CoreError::Timeout`] if the final version does not appear in time.
+    /// - [`CoreError::Timeout`] if no terminal version appears in time.
     /// - [`CoreError::SourceClosed`] if the producer exits without one.
     pub fn wait_final_timeout_with(
         &self,
@@ -332,7 +524,7 @@ impl<T> BufferReader<T> {
         self.wait_for_snapshot(
             Some(ctl),
             Some(Instant::now() + timeout),
-            Snapshot::is_final,
+            Snapshot::is_terminal,
         )
     }
 
@@ -686,6 +878,88 @@ mod tests {
         for h in readers {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn seal_degraded_makes_latest_terminal() {
+        let (mut w, r) = versioned_with::<i32>("t", BufferOptions { keep_history: true });
+        w.publish(5, 2);
+        assert!(w.seal_degraded());
+        let snap = r.latest().unwrap();
+        assert!(snap.is_degraded());
+        assert!(snap.is_terminal());
+        assert!(!snap.is_final());
+        assert_eq!(*snap.value(), 5);
+        assert_eq!(snap.steps(), 2);
+        assert!(r.is_degraded());
+        // wait_final* resolves to the degraded terminal version.
+        let got = r.wait_final_timeout(Duration::from_secs(5)).unwrap();
+        assert!(got.is_degraded());
+        assert_eq!(*got.value(), 5);
+        // The seal is a real (monotone) version in the history.
+        let hist = r.history().unwrap();
+        assert_eq!(hist.len(), 2);
+        assert!(hist[1].version() > hist[0].version());
+    }
+
+    #[test]
+    fn seal_degraded_without_publications_fails() {
+        let (mut w, r) = versioned::<i32>("t");
+        assert!(!w.seal_degraded());
+        assert!(!r.is_degraded());
+        assert!(r.latest().is_none());
+    }
+
+    #[test]
+    fn seal_degraded_is_idempotent_and_respects_final() {
+        let (mut w, r) = versioned::<i32>("t");
+        w.publish_final(9, 1);
+        // Already precise-terminal: sealing is a no-op success.
+        assert!(w.seal_degraded());
+        assert!(r.is_final());
+        assert!(!r.is_degraded());
+        let (mut w2, r2) = versioned::<i32>("u");
+        w2.publish(1, 1);
+        assert!(w2.seal_degraded());
+        let v = r2.latest().unwrap().version();
+        assert!(w2.seal_degraded());
+        assert_eq!(
+            r2.latest().unwrap().version(),
+            v,
+            "second seal re-published"
+        );
+    }
+
+    #[test]
+    fn publishes_after_degraded_seal_are_dropped() {
+        let (mut w, r) = versioned::<i32>("t");
+        w.publish(1, 1);
+        w.seal_degraded();
+        let sealed_version = r.latest().unwrap().version();
+        w.publish(99, 2);
+        w.publish_final(100, 3);
+        let snap = r.latest().unwrap();
+        assert_eq!(
+            snap.version(),
+            sealed_version,
+            "late publish replaced the seal"
+        );
+        assert_eq!(*snap.value(), 1);
+        assert_eq!(r.dropped_publishes(), 2);
+    }
+
+    #[test]
+    fn publish_degraded_is_terminal_and_flagged() {
+        let (mut w, r) = versioned::<i32>("t");
+        w.publish(1, 1);
+        w.publish_degraded(2, 2);
+        let snap = r.wait_final_timeout(Duration::ZERO).unwrap();
+        assert!(snap.is_degraded());
+        assert_eq!(*snap.value(), 2);
+        // Terminal: further publications are dropped.
+        w.publish(3, 3);
+        assert_eq!(*r.latest().unwrap().value(), 2);
+        assert_eq!(r.dropped_publishes(), 1);
     }
 
     #[test]

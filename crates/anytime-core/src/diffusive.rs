@@ -111,6 +111,19 @@ where
             None => out.clone(),
         }
     }
+
+    /// Diffusive stages resume from their own output buffer: without a
+    /// custom render, the last published version *is* the working state, so
+    /// a crash-restart continues diffusing into it. With a render, the
+    /// publication is a transformation of the working state and cannot be
+    /// resumed from.
+    fn resume(&mut self, _input: &I, published: &O, _steps_done: u64) -> Option<O> {
+        if self.render.is_none() {
+            Some(published.clone())
+        } else {
+            None
+        }
+    }
 }
 
 impl<I, O> std::fmt::Debug for Diffusive<I, O> {
@@ -180,6 +193,14 @@ mod tests {
         let mut out = body.init(&input);
         body.step(&input, &mut out, 0);
         assert_eq!(body.render(&out, &input, 1), 7);
+    }
+
+    #[test]
+    fn resume_only_without_custom_render() {
+        let mut plain = summing_body();
+        assert_eq!(plain.resume(&vec![1, 2], &5, 1), Some(5));
+        let mut rendered = summing_body().with_render(|acc, _, _| *acc);
+        assert_eq!(rendered.resume(&vec![1, 2], &5, 1), None);
     }
 
     #[test]

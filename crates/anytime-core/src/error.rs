@@ -19,8 +19,13 @@ pub enum CoreError {
     StagePanicked {
         /// Name of the failing stage.
         stage: String,
-        /// Best-effort panic payload rendering.
-        message: String,
+        /// The panic payload, when it was a `String` or `&str`. `None`
+        /// means the payload was an opaque non-string type; the display
+        /// rendering says so explicitly rather than pretending it was
+        /// empty.
+        message: Option<String>,
+        /// Anytime steps the stage had completed when it died.
+        steps_at_death: u64,
     },
     /// A pipeline was configured inconsistently.
     InvalidConfig(String),
@@ -39,9 +44,23 @@ impl fmt::Display for CoreError {
                 )
             }
             Self::Timeout => write!(f, "wait timed out"),
-            Self::StagePanicked { stage, message } => {
-                write!(f, "stage `{stage}` panicked: {message}")
-            }
+            Self::StagePanicked {
+                stage,
+                message,
+                steps_at_death,
+            } => match message {
+                Some(msg) => {
+                    write!(
+                        f,
+                        "stage `{stage}` panicked after {steps_at_death} steps: {msg}"
+                    )
+                }
+                None => write!(
+                    f,
+                    "stage `{stage}` panicked after {steps_at_death} steps \
+                     with an opaque (non-string) payload"
+                ),
+            },
             Self::InvalidConfig(msg) => write!(f, "invalid pipeline configuration: {msg}"),
             Self::ChannelClosed => write!(f, "synchronous update channel disconnected"),
         }
@@ -65,7 +84,8 @@ mod tests {
             CoreError::Timeout,
             CoreError::StagePanicked {
                 stage: "g".into(),
-                message: "boom".into(),
+                message: Some("boom".into()),
+                steps_at_death: 7,
             },
             CoreError::InvalidConfig("empty pipeline".into()),
             CoreError::ChannelClosed,
@@ -73,6 +93,32 @@ mod tests {
         for v in variants {
             assert!(!v.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn stage_panicked_renders_string_payload() {
+        let e = CoreError::StagePanicked {
+            stage: "g".into(),
+            message: Some("boom".into()),
+            steps_at_death: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("`g`"), "{s}");
+        assert!(s.contains("after 7 steps"), "{s}");
+        assert!(s.contains("boom"), "{s}");
+        assert!(!s.contains("opaque"), "{s}");
+    }
+
+    #[test]
+    fn stage_panicked_names_opaque_payload() {
+        let e = CoreError::StagePanicked {
+            stage: "g".into(),
+            message: None,
+            steps_at_death: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("opaque (non-string) payload"), "{s}");
+        assert!(s.contains("after 3 steps"), "{s}");
     }
 
     #[test]

@@ -1,13 +1,20 @@
+use crate::buffer::BufferControl;
 use crate::control::ControlToken;
 use crate::error::{CoreError, Result};
+use crate::metrics::{FaultCounters, FaultStats};
 use crate::notify::WaitSet;
 use crate::stage::{StageEnd, StageRunner};
+use crate::supervisor::{self, FailurePolicy, WatchedStage};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// A stage driver thread's outcome: how the stage ended (or failed) plus
+/// the number of restarts its supervision performed.
+type StageThread = JoinHandle<(Result<StageEnd>, u32)>;
 
 /// A running anytime automaton: one driver thread per stage, all sharing a
 /// [`ControlToken`].
@@ -25,58 +32,159 @@ use std::time::{Duration, Instant};
 /// user holds the button, stop when they release it.
 pub struct Automaton {
     ctl: ControlToken,
-    threads: Vec<(String, JoinHandle<Result<StageEnd>>)>,
+    threads: Vec<(String, StageThread)>,
     started: Instant,
     /// Stage threads that have finished driving; woken through `done_ws`.
     finished: Arc<AtomicUsize>,
     /// Wait set bumped by every finishing stage thread, so completion
     /// waits ([`Automaton::run_for`]) block instead of polling.
     done_ws: WaitSet,
+    /// Fault-handling counters shared with stage threads and the watchdog.
+    counters: Arc<FaultCounters>,
+    /// Control handles to every stage output buffer, for aggregating
+    /// dropped-publish counts into the end-state report.
+    controls: Vec<Arc<dyn BufferControl>>,
+    /// The progress-watchdog thread, if any stage configured one.
+    watchdog: Option<JoinHandle<()>>,
 }
 
 impl Automaton {
     pub(crate) fn spawn(
         runners: Vec<Box<dyn StageRunner>>,
         ctl: ControlToken,
+        fail_fast: bool,
     ) -> Result<Automaton> {
         let started = Instant::now();
         let finished = Arc::new(AtomicUsize::new(0));
         let done_ws = WaitSet::new();
+        let counters = Arc::new(FaultCounters::default());
+        let total_stages = runners.len();
+        let mut controls = Vec::new();
+        let mut watched = Vec::new();
+        for runner in &runners {
+            if let Some(control) = runner.output_control() {
+                if let Some(cfg) = runner.supervision().watchdog {
+                    watched.push(WatchedStage {
+                        control: Arc::clone(&control),
+                        cfg,
+                    });
+                }
+                controls.push(control);
+            }
+        }
         let mut threads = Vec::with_capacity(runners.len());
         for mut runner in runners {
             let name = runner.name().to_string();
+            let supervision = runner.supervision();
+            let control = runner.output_control();
             let thread_ctl = ctl.clone();
             let thread_finished = Arc::clone(&finished);
             let thread_done_ws = done_ws.clone();
+            let thread_counters = Arc::clone(&counters);
             let handle = std::thread::Builder::new()
                 .name(format!("anytime-{name}"))
                 .spawn(move || {
-                    let result = catch_unwind(AssertUnwindSafe(|| runner.drive(&thread_ctl)));
+                    let mut restarts = 0u32;
+                    let result = loop {
+                        match catch_unwind(AssertUnwindSafe(|| runner.drive(&thread_ctl))) {
+                            Ok(Ok(end)) => {
+                                // The watchdog may have sealed the buffer
+                                // degraded while the driver kept going;
+                                // surface that in the stage outcome.
+                                let end = match &control {
+                                    Some(c) if end == StageEnd::Final && c.is_degraded() => {
+                                        StageEnd::Degraded
+                                    }
+                                    _ => end,
+                                };
+                                break Ok(end);
+                            }
+                            // Driver errors (closed upstream, …) are
+                            // permanent immediately: restarting cannot
+                            // resurrect a dead input.
+                            Ok(Err(e)) => break Err(e),
+                            Err(payload) => {
+                                let err = CoreError::StagePanicked {
+                                    stage: runner.name().to_string(),
+                                    message: panic_message(payload.as_ref()),
+                                    steps_at_death: runner.steps_completed(),
+                                };
+                                if let FailurePolicy::Restart {
+                                    max_attempts,
+                                    backoff,
+                                } = supervision.policy
+                                {
+                                    if restarts < max_attempts {
+                                        restarts += 1;
+                                        thread_counters.record_restart();
+                                        if supervisor::backoff_interruptible(&thread_ctl, backoff) {
+                                            continue;
+                                        }
+                                        break Ok(StageEnd::Stopped);
+                                    }
+                                }
+                                break Err(err);
+                            }
+                        }
+                    };
+                    // Permanent-failure handling per policy. Sealing happens
+                    // before the runner is dropped (which closes the buffer)
+                    // so downstream readers observe the degraded terminal
+                    // version, never a bare close.
+                    let result = match result {
+                        Err(e) => {
+                            let sealed = supervision.policy == FailurePolicy::Degrade
+                                && control.as_ref().is_some_and(|c| c.seal_degraded());
+                            if sealed {
+                                thread_counters.record_degradation();
+                                Ok(StageEnd::Degraded)
+                            } else {
+                                thread_counters.record_permanent_failure();
+                                if fail_fast {
+                                    thread_ctl.stop();
+                                }
+                                Err(e)
+                            }
+                        }
+                        ok => ok,
+                    };
                     // Dropping the runner here closes its output buffer, so
                     // dependent stages observe SourceClosed instead of
                     // blocking forever.
-                    let stage = runner.name().to_string();
                     drop(runner);
-                    let out = match result {
-                        Ok(end) => end,
-                        Err(payload) => Err(CoreError::StagePanicked {
-                            stage,
-                            message: panic_message(payload.as_ref()),
-                        }),
-                    };
                     thread_finished.fetch_add(1, Ordering::Release);
                     thread_done_ws.wake();
-                    out
+                    (result, restarts)
                 })
                 .map_err(|e| CoreError::InvalidConfig(format!("failed to spawn thread: {e}")))?;
             threads.push((name, handle));
         }
+        let watchdog = if watched.is_empty() {
+            None
+        } else {
+            Some(
+                supervisor::spawn_watchdog(
+                    watched,
+                    ctl.clone(),
+                    Arc::clone(&counters),
+                    Arc::clone(&finished),
+                    total_stages,
+                    done_ws.clone(),
+                )
+                .map_err(|e| {
+                    CoreError::InvalidConfig(format!("failed to spawn supervisor thread: {e}"))
+                })?,
+            )
+        };
         Ok(Automaton {
             ctl,
             threads,
             started,
             finished,
             done_ws,
+            counters,
+            controls,
+            watchdog,
         })
     }
 
@@ -111,6 +219,14 @@ impl Automaton {
         self.started.elapsed()
     }
 
+    /// A point-in-time view of the run's fault handling: restarts, stalls,
+    /// degradations, permanent failures, and dropped publications.
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut stats = self.counters.snapshot();
+        stats.dropped_publishes = self.controls.iter().map(|c| c.dropped_publishes()).sum();
+        stats
+    }
+
     /// Waits for all stages to finish and reports how each ended.
     ///
     /// # Errors
@@ -123,8 +239,12 @@ impl Automaton {
         let mut first_err = None;
         for (name, handle) in self.threads {
             match handle.join() {
-                Ok(Ok(end)) => stages.push(StageReport { name, end }),
-                Ok(Err(e)) => {
+                Ok((Ok(end), restarts)) => stages.push(StageReport {
+                    name,
+                    end,
+                    restarts,
+                }),
+                Ok((Err(e), _)) => {
                     if first_err.is_none() {
                         first_err = Some(e);
                     }
@@ -134,16 +254,25 @@ impl Automaton {
                         first_err = Some(CoreError::StagePanicked {
                             stage: name,
                             message: panic_message(payload.as_ref()),
+                            steps_at_death: 0,
                         });
                     }
                 }
             }
         }
+        // Every stage thread has exited, so the supervisor observes
+        // `finished == total` and returns promptly.
+        if let Some(wd) = self.watchdog {
+            let _ = wd.join();
+        }
+        let mut faults = self.counters.snapshot();
+        faults.dropped_publishes = self.controls.iter().map(|c| c.dropped_publishes()).sum();
         match first_err {
             Some(e) => Err(e),
             None => Ok(RunReport {
                 elapsed: started.elapsed(),
                 stages,
+                faults,
             }),
         }
     }
@@ -225,12 +354,21 @@ pub struct RunReport {
     pub elapsed: Duration,
     /// Per-stage outcomes, in stage-construction order.
     pub stages: Vec<StageReport>,
+    /// Fault handling over the whole run: restarts, stalls, degradations,
+    /// permanent failures, dropped publications.
+    pub faults: FaultStats,
 }
 
 impl RunReport {
     /// `true` if every stage delivered its precise output.
     pub fn all_final(&self) -> bool {
         self.stages.iter().all(|s| s.end == StageEnd::Final)
+    }
+
+    /// `true` if any stage ended with a degraded (approximate terminal)
+    /// output.
+    pub fn any_degraded(&self) -> bool {
+        self.stages.iter().any(|s| s.end == StageEnd::Degraded)
     }
 }
 
@@ -241,15 +379,18 @@ pub struct StageReport {
     pub name: String,
     /// How the stage's driver ended.
     pub end: StageEnd,
+    /// Times the stage's driver was restarted after a panic.
+    pub restarts: u32,
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// Renders a panic payload when it was a string; `None` for opaque
+/// payloads, which [`CoreError::StagePanicked`] reports as such instead of
+/// inventing text.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> Option<String> {
     if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
+        Some((*s).to_string())
     } else {
-        "non-string panic payload".to_string()
+        payload.downcast_ref::<String>().cloned()
     }
 }
 
@@ -338,9 +479,9 @@ mod tests {
         let _g = pb.stage("g", &f, Precise::new(|i: &u64| *i), StageOptions::default());
         let err = pb.build().launch().unwrap().join().unwrap_err();
         match err {
-            CoreError::StagePanicked { stage, message } => {
+            CoreError::StagePanicked { stage, message, .. } => {
                 assert_eq!(stage, "bad");
-                assert!(message.contains("exploded"));
+                assert!(message.unwrap().contains("exploded"));
             }
             CoreError::SourceClosed { .. } => {
                 // Acceptable: the child error may be collected first.
@@ -421,6 +562,192 @@ mod tests {
         let report = auto.stop_and_join().unwrap();
         assert!(!report.all_final());
         assert_eq!(report.stages[0].end, StageEnd::Stopped);
+    }
+
+    /// Counts to `n`, panicking once at step `panic_at`.
+    fn flaky_counter(n: u64, panic_at: u64) -> Diffusive<(), u64> {
+        let mut armed = true;
+        Diffusive::new(
+            move |_: &()| 0u64,
+            move |_: &(), out: &mut u64, step| {
+                if armed && step == panic_at {
+                    armed = false;
+                    panic!("transient fault at step {step}");
+                }
+                *out += 1;
+                if step + 1 == n {
+                    StepOutcome::Done
+                } else {
+                    StepOutcome::Continue
+                }
+            },
+        )
+    }
+
+    #[test]
+    fn restart_policy_recovers_to_precise_output() {
+        use crate::supervisor::Supervision;
+        let mut pb = PipelineBuilder::new();
+        let f = pb.source(
+            "f",
+            (),
+            flaky_counter(10, 4),
+            StageOptions::default().supervise(Supervision::restart(2, Duration::ZERO)),
+        );
+        let report = pb.build().launch().unwrap().join().unwrap();
+        assert!(report.all_final());
+        assert_eq!(report.stages[0].restarts, 1);
+        assert_eq!(report.faults.restarts, 1);
+        assert_eq!(report.faults.permanent_failures, 0);
+        let snap = f.latest().unwrap();
+        assert!(snap.is_final());
+        assert_eq!(*snap.value(), 10);
+    }
+
+    #[test]
+    fn exhausted_restarts_are_a_permanent_failure() {
+        use crate::supervisor::Supervision;
+        // Panics every run: one allowed restart is not enough.
+        let mut pb = PipelineBuilder::new();
+        let _f = pb.source(
+            "f",
+            (),
+            Diffusive::new(
+                |_: &()| 0u64,
+                |_: &(), _: &mut u64, _| -> StepOutcome { panic!("hard fault") },
+            ),
+            StageOptions::default().supervise(Supervision::restart(1, Duration::ZERO)),
+        );
+        let auto = pb.build().launch().unwrap();
+        let stats_err = auto.join().unwrap_err();
+        assert!(matches!(stats_err, CoreError::StagePanicked { .. }));
+    }
+
+    #[test]
+    fn degrade_policy_seals_last_approximation() {
+        use crate::supervisor::Supervision;
+        let mut pb = PipelineBuilder::new();
+        // Dies at step 4 having published approximations 1..=4.
+        let f = pb.source(
+            "f",
+            (),
+            flaky_counter(100, 4),
+            StageOptions::default().supervise(Supervision::degrade()),
+        );
+        let _g = pb.stage("g", &f, Precise::new(|i: &u64| *i), StageOptions::default());
+        let report = pb.build().launch().unwrap().join().unwrap();
+        assert!(report.any_degraded());
+        assert!(!report.all_final());
+        assert_eq!(report.faults.degradations, 1);
+        let snap = f.latest().unwrap();
+        assert!(snap.is_degraded());
+        assert_eq!(*snap.value(), 4);
+        // wait_final* resolves (to the degraded version) instead of erroring.
+        let got = f.wait_final_timeout(Duration::from_secs(5)).unwrap();
+        assert!(got.is_degraded());
+    }
+
+    #[test]
+    fn degrade_with_nothing_published_falls_back_to_fail_stop() {
+        use crate::supervisor::Supervision;
+        let mut pb = PipelineBuilder::new();
+        let _f = pb.source(
+            "f",
+            (),
+            Diffusive::new(
+                |_: &()| 0u64,
+                |_: &(), _: &mut u64, _| -> StepOutcome { panic!("died before publishing") },
+            ),
+            StageOptions::default().supervise(Supervision::degrade()),
+        );
+        let err = pb.build().launch().unwrap().join().unwrap_err();
+        assert!(matches!(err, CoreError::StagePanicked { .. }));
+    }
+
+    #[test]
+    fn fail_fast_stops_healthy_stages() {
+        let mut pb = PipelineBuilder::new();
+        let _bad = pb.source(
+            "bad",
+            (),
+            Diffusive::new(
+                |_: &()| 0u64,
+                |_: &(), _: &mut u64, _| -> StepOutcome { panic!("early death") },
+            ),
+            StageOptions::default(),
+        );
+        let slow = pb.source(
+            "slow",
+            (),
+            slow_counter(1_000_000, Duration::from_micros(100)),
+            StageOptions::default(),
+        );
+        let started = Instant::now();
+        let err = pb.build().fail_fast().launch().unwrap().join().unwrap_err();
+        assert!(matches!(err, CoreError::StagePanicked { .. }));
+        // Without fail-fast the slow stage would run for ~100 s.
+        assert!(started.elapsed() < Duration::from_secs(20));
+        assert!(!slow.is_final());
+    }
+
+    #[test]
+    fn panic_report_carries_step_count() {
+        let mut pb = PipelineBuilder::new();
+        let _f = pb.source("f", (), flaky_counter(10, 3), StageOptions::default());
+        let err = pb.build().launch().unwrap().join().unwrap_err();
+        match err {
+            CoreError::StagePanicked {
+                stage,
+                message,
+                steps_at_death,
+            } => {
+                assert_eq!(stage, "f");
+                assert_eq!(steps_at_death, 3);
+                assert!(message.unwrap().contains("transient fault"));
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_degrades_a_stalled_stage() {
+        use crate::supervisor::StallAction;
+        let mut pb = PipelineBuilder::new();
+        // Publishes a few versions quickly, then hangs far longer than the
+        // heartbeat.
+        let f = pb.source(
+            "f",
+            (),
+            Diffusive::new(
+                |_: &()| 0u64,
+                |_: &(), out: &mut u64, step| {
+                    if step == 3 {
+                        std::thread::sleep(Duration::from_millis(1_500));
+                    }
+                    *out += 1;
+                    if step + 1 == 1_000_000 {
+                        StepOutcome::Done
+                    } else {
+                        StepOutcome::Continue
+                    }
+                },
+            ),
+            StageOptions::default().watchdog(Duration::from_millis(150), StallAction::Degrade),
+        );
+        let g = pb.stage("g", &f, Precise::new(|i: &u64| *i), StageOptions::default());
+        let auto = pb.build().launch().unwrap();
+        // Downstream completes (degraded) without waiting out the stall.
+        let snap = f.wait_final_timeout(Duration::from_secs(30)).unwrap();
+        assert!(snap.is_degraded());
+        let got = g.wait_final_timeout(Duration::from_secs(30)).unwrap();
+        assert!(got.is_degraded());
+        let stats = auto.fault_stats();
+        assert!(stats.stalls >= 1, "stall not recorded: {stats:?}");
+        assert_eq!(stats.degradations, 1);
+        auto.stop();
+        let report = auto.join().unwrap();
+        assert!(report.any_degraded());
+        assert!(report.faults.dropped_publishes >= 1);
     }
 
     #[test]

@@ -99,6 +99,13 @@ where
     fn total_steps(&self, _input: &I) -> Option<u64> {
         Some(self.levels)
     }
+
+    /// Iterative stages always resume: each level overwrites the output,
+    /// so a crash-restart picks up at the next unpublished level with the
+    /// last published level standing in until it is overwritten.
+    fn resume(&mut self, _input: &I, published: &O, _steps_done: u64) -> Option<O> {
+        Some(published.clone())
+    }
 }
 
 impl<I, O> std::fmt::Debug for Iterative<I, O> {
@@ -144,6 +151,12 @@ mod tests {
         let body = Iterative::new(7, |_: &()| (), |_: &(), _| ());
         assert_eq!(body.total_steps(&()), Some(7));
         assert_eq!(body.levels(), 7);
+    }
+
+    #[test]
+    fn resume_adopts_published_level() {
+        let mut body = Iterative::new(3, |_: &()| 0u64, |_: &(), k| 10 + k);
+        assert_eq!(body.resume(&(), &11, 2), Some(11));
     }
 
     #[test]

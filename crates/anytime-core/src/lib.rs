@@ -76,6 +76,8 @@ mod control;
 mod diffusive;
 mod error;
 mod executor;
+#[cfg(feature = "fault-inject")]
+mod faultinject;
 mod iterative;
 mod map;
 pub mod metrics;
@@ -87,6 +89,7 @@ mod precise;
 mod reduce;
 pub mod scheduler;
 mod stage;
+mod supervisor;
 pub mod sync_pipeline;
 mod version;
 
@@ -95,13 +98,17 @@ pub use control::ControlToken;
 pub use diffusive::Diffusive;
 pub use error::{CoreError, Result};
 pub use executor::{Automaton, RunReport, StageReport};
+#[cfg(feature = "fault-inject")]
+pub use faultinject::{FaultPlan, StageFaults};
 pub use iterative::Iterative;
 pub use map::SampledMap;
+pub use metrics::FaultStats;
 pub use monitor::AccuracyMonitor;
 pub use parallel_map::ParallelSampledMap;
 pub use pipeline::{Pipeline, PipelineBuilder};
 pub use precise::Precise;
 pub use reduce::{SampledReduce, Scalable};
 pub use stage::{AnytimeBody, RestartPolicy, StageEnd, StageOptions, StepOutcome};
+pub use supervisor::{FailurePolicy, StallAction, Supervision, Watchdog};
 pub use sync_pipeline::UpdateReceiver;
 pub use version::{Snapshot, SnapshotMeta, Version};

@@ -106,6 +106,79 @@ impl WaitStats {
     }
 }
 
+/// Cumulative fault-handling counters for one automaton run.
+///
+/// Updated by the executor's supervision loop and the watchdog thread as
+/// failures are handled; snapshot with [`FaultCounters::snapshot`] (the
+/// executor surfaces the snapshot in its end-state report). Relaxed
+/// atomics: diagnostics, not synchronization.
+#[derive(Debug, Default)]
+pub struct FaultCounters {
+    restarts: AtomicU64,
+    stalls: AtomicU64,
+    degradations: AtomicU64,
+    permanent_failures: AtomicU64,
+}
+
+impl FaultCounters {
+    pub(crate) fn record_restart(&self) {
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_stall(&self) {
+        self.stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_degradation(&self) {
+        self.degradations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_permanent_failure(&self) {
+        self.permanent_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    ///
+    /// `dropped_publishes` is aggregated separately (per buffer) and starts
+    /// at zero here; the executor fills it in when building its report.
+    pub fn snapshot(&self) -> FaultStats {
+        FaultStats {
+            restarts: self.restarts.load(Ordering::Relaxed),
+            stalls: self.stalls.load(Ordering::Relaxed),
+            degradations: self.degradations.load(Ordering::Relaxed),
+            permanent_failures: self.permanent_failures.load(Ordering::Relaxed),
+            dropped_publishes: 0,
+        }
+    }
+}
+
+/// A point-in-time view of an automaton's [`FaultCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Stage drivers re-run after a panic under
+    /// [`crate::FailurePolicy::Restart`].
+    pub restarts: u64,
+    /// Stalls declared by the progress watchdog (a stage can stall, recover,
+    /// and stall again under [`crate::StallAction::Log`]).
+    pub stalls: u64,
+    /// Buffers sealed degraded — by [`crate::FailurePolicy::Degrade`] on
+    /// permanent death or by [`crate::StallAction::Degrade`] on stall.
+    pub degradations: u64,
+    /// Stage failures that became permanent (fail-stop, exhausted restarts,
+    /// or a degrade with nothing published to degrade to).
+    pub permanent_failures: u64,
+    /// Publications dropped after a degraded seal, summed over all stage
+    /// output buffers.
+    pub dropped_publishes: u64,
+}
+
+impl FaultStats {
+    /// `true` if the run completed with no fault handling at all.
+    pub fn is_clean(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
 /// Mean squared error between two equal-length slices.
 ///
 /// # Panics
@@ -362,6 +435,24 @@ mod tests {
         assert_eq!(t.final_score(), Some(1.95));
         assert_eq!(t.time_to_score(2.0), Some(Duration::from_millis(2)));
         assert_eq!(t.time_to_score(99.0), None);
+    }
+
+    #[test]
+    fn fault_counters_snapshot() {
+        let c = FaultCounters::default();
+        assert!(c.snapshot().is_clean());
+        c.record_restart();
+        c.record_restart();
+        c.record_stall();
+        c.record_degradation();
+        c.record_permanent_failure();
+        let s = c.snapshot();
+        assert_eq!(s.restarts, 2);
+        assert_eq!(s.stalls, 1);
+        assert_eq!(s.degradations, 1);
+        assert_eq!(s.permanent_failures, 1);
+        assert_eq!(s.dropped_publishes, 0);
+        assert!(!s.is_clean());
     }
 
     #[test]

@@ -34,8 +34,10 @@ impl AccuracyMonitor {
     /// whole-output dynamic error control the paper contrasts with
     /// per-segment metrics.
     ///
-    /// The monitor ends when the buffer publishes its final version, the
-    /// automaton stops, or the producer disappears.
+    /// The monitor ends when the buffer publishes a terminal version
+    /// (precise, or degraded under [`crate::FailurePolicy::Degrade`]), the
+    /// automaton stops, or the producer disappears — a watched stage dying
+    /// mid-run ends the monitor cleanly with the partial trace.
     pub fn spawn<T, F>(
         reader: BufferReader<T>,
         ctl: ControlToken,
@@ -63,7 +65,7 @@ impl AccuracyMonitor {
                     seen = Some(snap.version());
                     let s = score(snap.value());
                     trace.push(started.elapsed(), s);
-                    if snap.is_final() {
+                    if snap.is_terminal() {
                         return trace;
                     }
                     if let Some(threshold) = stop_at {
@@ -200,6 +202,70 @@ mod tests {
         let (report, trace) = run_until_quality(pipeline, out, |v: &u64| *v as f64, 1e18).unwrap();
         assert!(report.all_final());
         assert_eq!(trace.final_score(), Some(30.0));
+    }
+
+    #[test]
+    fn monitor_ends_cleanly_when_producer_panics() {
+        // The watched stage publishes a few versions, then panics (fail
+        // stop). The monitor must end with the partial trace — no hang, no
+        // propagated panic.
+        let mut pb = PipelineBuilder::new();
+        let out = pb.source(
+            "doomed",
+            (),
+            Diffusive::new(
+                |_: &()| 0u64,
+                |_: &(), out: &mut u64, step| {
+                    if step == 5 {
+                        panic!("producer died mid-run");
+                    }
+                    *out += 1;
+                    StepOutcome::Continue
+                },
+            ),
+            StageOptions::default(),
+        );
+        let ctl = ControlToken::new();
+        let auto = pb.build().launch_with(ctl.clone()).unwrap();
+        let monitor = AccuracyMonitor::spawn(out, ctl, |v: &u64| *v as f64, None);
+        let trace = monitor.join();
+        assert!(!trace.is_empty(), "versions before the panic were scored");
+        assert!(trace.is_monotone_nondecreasing(0.0));
+        assert!(trace.final_score().unwrap() <= 5.0);
+        assert!(matches!(
+            auto.join().unwrap_err(),
+            CoreError::StagePanicked { .. }
+        ));
+    }
+
+    #[test]
+    fn monitor_ends_on_degraded_terminal_version() {
+        use crate::supervisor::Supervision;
+        let mut pb = PipelineBuilder::new();
+        let out = pb.source(
+            "doomed",
+            (),
+            Diffusive::new(
+                |_: &()| 0u64,
+                |_: &(), out: &mut u64, step| {
+                    if step == 5 {
+                        panic!("producer died mid-run");
+                    }
+                    *out += 1;
+                    StepOutcome::Continue
+                },
+            ),
+            StageOptions::default().supervise(Supervision::degrade()),
+        );
+        let ctl = ControlToken::new();
+        let auto = pb.build().launch_with(ctl.clone()).unwrap();
+        let monitor = AccuracyMonitor::spawn(out, ctl, |v: &u64| *v as f64, None);
+        let trace = monitor.join();
+        // The degraded seal is the terminal observation; its score equals
+        // the last approximation's.
+        assert!(!trace.is_empty());
+        assert_eq!(trace.final_score(), Some(5.0));
+        assert!(auto.join().unwrap().any_degraded());
     }
 
     #[test]

@@ -226,10 +226,15 @@ where
         if end == StageEnd::Stopped && !ctl.is_stopped() && done != total {
             return Err(CoreError::StagePanicked {
                 stage: self.stage.name.clone(),
-                message: "worker thread exited early".into(),
+                message: Some("worker thread exited early".into()),
+                steps_at_death: done,
             });
         }
         Ok(end)
+    }
+
+    fn output_control(&self) -> Option<Arc<dyn crate::buffer::BufferControl>> {
+        Some(self.writer.control_handle())
     }
 }
 

@@ -1,4 +1,4 @@
-use crate::buffer::{self, BufferOptions, BufferReader, BufferWriter};
+use crate::buffer::{self, BufferControl, BufferOptions, BufferReader, BufferWriter};
 use crate::control::ControlToken;
 use crate::error::{CoreError, Result};
 use crate::executor::Automaton;
@@ -86,13 +86,13 @@ impl PipelineBuilder {
     {
         let name = name.into();
         let (writer, reader) = self.make_buffer::<B::Output>(&name, opts);
-        self.runners.push(Box::new(StageNode {
+        self.runners.push(Box::new(StageNode::new(
             name,
             body,
-            input: InputFeed::Owned(Arc::new(input)),
+            InputFeed::Owned(Arc::new(input)),
             writer,
             opts,
-        }));
+        )));
         reader
     }
 
@@ -114,13 +114,13 @@ impl PipelineBuilder {
     {
         let name = name.into();
         let (writer, reader) = self.make_buffer::<B::Output>(&name, opts);
-        self.runners.push(Box::new(StageNode {
+        self.runners.push(Box::new(StageNode::new(
             name,
             body,
-            input: InputFeed::Upstream(input.clone()),
+            InputFeed::Upstream(input.clone()),
             writer,
             opts,
-        }));
+        )));
         reader
     }
 
@@ -173,6 +173,7 @@ impl PipelineBuilder {
     pub fn build(self) -> Pipeline {
         Pipeline {
             runners: self.runners,
+            fail_fast: false,
         }
     }
 }
@@ -194,6 +195,7 @@ impl fmt::Debug for PipelineBuilder {
 /// A fully constructed (but not yet running) anytime automaton pipeline.
 pub struct Pipeline {
     pub(crate) runners: Vec<Box<dyn StageRunner>>,
+    pub(crate) fail_fast: bool,
 }
 
 impl Pipeline {
@@ -205,6 +207,33 @@ impl Pipeline {
     /// `true` if the pipeline has no stages.
     pub fn is_empty(&self) -> bool {
         self.runners.is_empty()
+    }
+
+    /// Makes the first *permanently* failed stage stop the whole automaton
+    /// ([`ControlToken::stop`]) instead of letting healthy stages run on.
+    ///
+    /// Failures absorbed by supervision — successful restarts, degradations
+    /// with a published approximation — do not trigger the stop; only a
+    /// failure that would surface as an error from
+    /// [`Automaton::join`](crate::Automaton::join) does. Every stage's
+    /// latest published output remains readable, per the anytime contract.
+    pub fn fail_fast(mut self) -> Self {
+        self.fail_fast = true;
+        self
+    }
+
+    /// Arms the faults in `plan` on the matching stages (chaos testing).
+    ///
+    /// Stages not named in the plan are untouched; plan entries naming
+    /// unknown stages are ignored. See [`crate::FaultPlan`].
+    #[cfg(feature = "fault-inject")]
+    pub fn inject_faults(mut self, plan: &crate::faultinject::FaultPlan) -> Self {
+        for runner in &mut self.runners {
+            if let Some(faults) = plan.get(runner.name()) {
+                runner.inject_faults(faults.clone());
+            }
+        }
+        self
     }
 
     /// Spawns one driver thread per stage and starts executing.
@@ -228,7 +257,7 @@ impl Pipeline {
                 "pipeline has no stages".to_string(),
             ));
         }
-        Automaton::spawn(self.runners, ctl)
+        Automaton::spawn(self.runners, ctl, self.fail_fast)
     }
 }
 
@@ -258,6 +287,13 @@ where
     }
 
     fn drive(&mut self, ctl: &ControlToken) -> Result<StageEnd> {
+        // Restart safety: nothing to do once the output settled.
+        if self.writer.is_final() {
+            return Ok(StageEnd::Final);
+        }
+        if self.writer.is_terminal() {
+            return Ok(StageEnd::Degraded);
+        }
         // One wait set multiplexed over both parent buffers and the
         // control token: any parent publication/close or any control
         // transition wakes the join immediately — no polling.
@@ -280,7 +316,13 @@ where
                 if last != Some(pair) {
                     steps += 1;
                     let value = (sa.value_arc(), sb.value_arc());
-                    if sa.is_final() && sb.is_final() {
+                    if sa.is_terminal() && sb.is_terminal() {
+                        // A degraded parent taints the joined pair: the
+                        // approximation flag propagates downstream.
+                        if sa.is_degraded() || sb.is_degraded() {
+                            self.writer.publish_degraded(value, steps);
+                            return Ok(StageEnd::Degraded);
+                        }
                         self.writer.publish_final(value, steps);
                         return Ok(StageEnd::Final);
                     }
@@ -289,20 +331,24 @@ where
                     continue;
                 }
             }
-            // A parent that exited without a final version will never
+            // A parent that exited without a terminal version will never
             // satisfy the join; report it instead of waiting forever.
-            if self.a.is_closed() && !self.a.is_final() {
+            if self.a.is_closed() && !self.a.is_terminal() {
                 return Err(CoreError::SourceClosed {
                     buffer: self.a.name().to_string(),
                 });
             }
-            if self.b.is_closed() && !self.b.is_final() {
+            if self.b.is_closed() && !self.b.is_terminal() {
                 return Err(CoreError::SourceClosed {
                     buffer: self.b.name().to_string(),
                 });
             }
             ws.wait(seen);
         }
+    }
+
+    fn output_control(&self) -> Option<Arc<dyn BufferControl>> {
+        Some(self.writer.control_handle())
     }
 }
 
@@ -397,6 +443,46 @@ mod tests {
         let out = s.wait_final_timeout(Duration::from_secs(20)).unwrap();
         assert_eq!(*out.value(), 12);
         auto.join().unwrap();
+    }
+
+    #[test]
+    fn join2_propagates_degraded_parent() {
+        use crate::supervisor::Supervision;
+        let mut pb = PipelineBuilder::new();
+        // Parent `a` publishes two approximations then dies; Degrade seals
+        // its buffer, and the join must taint its own terminal pair.
+        let a = pb.source(
+            "a",
+            (),
+            Diffusive::new(
+                |_: &()| 0u64,
+                |_: &(), out: &mut u64, step| {
+                    if step == 2 {
+                        panic!("parent died");
+                    }
+                    *out += 1;
+                    StepOutcome::Continue
+                },
+            ),
+            StageOptions::default().supervise(Supervision::degrade()),
+        );
+        let b = pb.source(
+            "b",
+            4u64,
+            Precise::new(|i: &u64| *i),
+            StageOptions::default(),
+        );
+        let j = pb.join2("j", &a, &b);
+        let auto = pb.build().launch().unwrap();
+        let out = j.wait_final_timeout(Duration::from_secs(20)).unwrap();
+        assert!(out.is_degraded());
+        assert!(!out.is_final());
+        let (ja, jb) = out.value();
+        assert_eq!(**ja, 2);
+        assert_eq!(**jb, 4);
+        let report = auto.join().unwrap();
+        assert!(report.any_degraded());
+        assert_eq!(report.faults.degradations, 1);
     }
 
     #[test]

@@ -1,9 +1,11 @@
-use crate::buffer::BufferWriter;
+use crate::buffer::{BufferControl, BufferWriter};
 use crate::control::ControlToken;
 use crate::error::{CoreError, Result};
+use crate::supervisor::{FailurePolicy, StallAction, Supervision};
 use crate::version::Version;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Result of one intermediate computation of an anytime stage body.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +90,30 @@ pub trait AnytimeBody: Send {
     fn render(&self, out: &Self::Output, _input: &Self::Input, _steps_done: u64) -> Self::Output {
         out.clone()
     }
+
+    /// Re-seeds the working output after a crash-restart.
+    ///
+    /// When a stage driver panics and is re-run under
+    /// [`FailurePolicy::Restart`], and its most recent publication came
+    /// from the input snapshot it is about to process again, the runtime
+    /// offers that published value back. Returning `Some(out)` resumes
+    /// stepping at `steps_done` with `out` as the working output — the
+    /// `steps_done` completed intermediate computations are not repeated.
+    /// Returning `None` (the default) restarts the input's run from
+    /// scratch via [`AnytimeBody::init`].
+    ///
+    /// Only return `Some` when the published value is a faithful working
+    /// state: if [`AnytimeBody::render`] transforms the working output
+    /// (e.g. weighted normalization), the publication cannot be resumed
+    /// from and the default is correct.
+    fn resume(
+        &mut self,
+        _input: &Self::Input,
+        _published: &Self::Output,
+        _steps_done: u64,
+    ) -> Option<Self::Output> {
+        None
+    }
 }
 
 /// When a stage abandons its current run to pick up a fresher input version.
@@ -116,6 +142,8 @@ pub struct StageOptions {
     pub restart: RestartPolicy,
     /// Retain the full version history of this stage's output buffer.
     pub keep_history: bool,
+    /// Failure policy and optional progress watchdog; see [`Supervision`].
+    pub supervision: Supervision,
 }
 
 impl Default for StageOptions {
@@ -124,6 +152,7 @@ impl Default for StageOptions {
             publish_every: 1,
             restart: RestartPolicy::OnCompletion,
             keep_history: false,
+            supervision: Supervision::default(),
         }
     }
 }
@@ -148,6 +177,27 @@ impl StageOptions {
         self.restart = restart;
         self
     }
+
+    /// Returns these options with the given supervision.
+    pub fn supervise(mut self, supervision: Supervision) -> Self {
+        self.supervision = supervision;
+        self
+    }
+
+    /// Returns these options with the given failure policy, keeping any
+    /// configured watchdog.
+    pub fn failure_policy(mut self, policy: FailurePolicy) -> Self {
+        self.supervision.policy = policy;
+        self
+    }
+
+    /// Returns these options with a progress watchdog: a stall is declared
+    /// when the stage publishes no new version for `heartbeat`, and
+    /// escalated per `on_stall`.
+    pub fn watchdog(mut self, heartbeat: Duration, on_stall: StallAction) -> Self {
+        self.supervision = self.supervision.with_watchdog(heartbeat, on_stall);
+        self
+    }
 }
 
 /// How a stage driver ended.
@@ -158,6 +208,12 @@ pub enum StageEnd {
     /// The automaton was stopped first; the stage's latest published output
     /// is a valid approximation.
     Stopped,
+    /// The stage ended with a *degraded* terminal output: its own buffer
+    /// was sealed degraded (producer death or stall under
+    /// [`FailurePolicy::Degrade`] / [`StallAction::Degrade`]), or a
+    /// degraded upstream flag propagated through it. The latest published
+    /// version is a valid approximation but not the precise output.
+    Degraded,
 }
 
 /// Where a stage's input comes from.
@@ -169,9 +225,37 @@ pub(crate) enum InputFeed<I> {
 }
 
 /// Type-erased driver for one stage, executed on its own thread.
+///
+/// A driver may be re-run ([`StageRunner::drive`] called again on the same
+/// runner) after a panic when its stage is supervised with
+/// [`FailurePolicy::Restart`]; implementations must keep enough state to
+/// make that safe (at minimum: become a no-op once their output is
+/// terminal).
 pub(crate) trait StageRunner: Send {
     fn name(&self) -> &str;
     fn drive(&mut self, ctl: &ControlToken) -> Result<StageEnd>;
+
+    /// This stage's failure policy and watchdog configuration.
+    fn supervision(&self) -> Supervision {
+        Supervision::default()
+    }
+
+    /// Type-erased control handle to this stage's output buffer, used by
+    /// the supervisor for watchdog observation and degraded sealing.
+    /// `None` for runners without an output buffer (channel sources).
+    fn output_control(&self) -> Option<Arc<dyn BufferControl>> {
+        None
+    }
+
+    /// Raw anytime steps completed in the driver's current run, reported
+    /// in [`CoreError::StagePanicked`] when the driver dies.
+    fn steps_completed(&self) -> u64 {
+        0
+    }
+
+    /// Arms injected faults on this runner (chaos testing).
+    #[cfg(feature = "fault-inject")]
+    fn inject_faults(&mut self, _faults: crate::faultinject::StageFaults) {}
 }
 
 /// The generic single-input stage driver.
@@ -181,10 +265,42 @@ pub(crate) struct StageNode<B: AnytimeBody> {
     pub(crate) input: InputFeed<B::Input>,
     pub(crate) writer: BufferWriter<B::Output>,
     pub(crate) opts: StageOptions,
+    /// Version of the last input snapshot whose run completed; survives a
+    /// crash-restart so already-processed inputs are not re-consumed.
+    consumed: Option<Version>,
+    /// Raw steps completed in the current run (panic reporting).
+    steps_done: u64,
+    /// `(input version, raw steps)` of the latest publication in the
+    /// current — possibly crashed — run; the crash-resume anchor.
+    last_pub: Option<(Option<Version>, u64)>,
+    #[cfg(feature = "fault-inject")]
+    faults: Option<crate::faultinject::ArmedFaults>,
 }
 
 impl<B: AnytimeBody> StageNode<B> {
-    /// Runs the body to completion on one input snapshot.
+    pub(crate) fn new(
+        name: String,
+        body: B,
+        input: InputFeed<B::Input>,
+        writer: BufferWriter<B::Output>,
+        opts: StageOptions,
+    ) -> Self {
+        Self {
+            name,
+            body,
+            input,
+            writer,
+            opts,
+            consumed: None,
+            steps_done: 0,
+            last_pub: None,
+            #[cfg(feature = "fault-inject")]
+            faults: None,
+        }
+    }
+
+    /// Runs the body to completion on one input snapshot, optionally
+    /// resuming a crashed run from `(working output, steps already done)`.
     ///
     /// Returns `Ok(true)` if the run finished (`Done`), `Ok(false)` if it
     /// was abandoned for a newer input (eager restart).
@@ -192,32 +308,46 @@ impl<B: AnytimeBody> StageNode<B> {
         &mut self,
         ctl: &ControlToken,
         input: &Arc<B::Input>,
-        input_final: bool,
+        input_terminal: bool,
+        input_degraded: bool,
         input_version: Option<Version>,
+        start: Option<(B::Output, u64)>,
     ) -> Result<bool> {
-        let mut out = self.body.init(input);
-        let mut steps = 0u64;
+        let (mut out, mut steps) = match start {
+            Some((out, steps)) => (out, steps),
+            None => (self.body.init(input), 0),
+        };
+        self.steps_done = steps;
         let publish_every = self.opts.publish_every.max(1);
-        let mut published_at_step = 0u64;
+        let mut published_at_step = steps;
         loop {
             if let Err(e) = ctl.checkpoint() {
                 // Stopped mid-run: publish the progress made so far so the
                 // interruptible output is as fresh as possible.
-                if steps > published_at_step && !self.writer.is_final() {
+                if steps > published_at_step && !self.writer.is_terminal() {
                     let rendered = self.body.render(&out, input, steps);
                     self.writer
                         .publish(rendered, self.body.progress(steps, input));
                 }
                 return Err(e);
             }
+            #[cfg(feature = "fault-inject")]
+            if let Some(armed) = &mut self.faults {
+                armed.before_step(&self.name, steps);
+            }
             let outcome = self.body.step(input, &mut out, steps);
             steps += 1;
+            self.steps_done = steps;
             let done = outcome == StepOutcome::Done;
             if done {
                 let rendered = self.body.render(&out, input, steps);
                 let progress = self.body.progress(steps, input);
-                if input_final {
-                    self.writer.publish_final(rendered, progress);
+                if input_terminal {
+                    if input_degraded {
+                        self.writer.publish_degraded(rendered, progress);
+                    } else {
+                        self.writer.publish_final(rendered, progress);
+                    }
                 } else {
                     self.writer.publish(rendered, progress);
                 }
@@ -228,6 +358,7 @@ impl<B: AnytimeBody> StageNode<B> {
                 self.writer
                     .publish(rendered, self.body.progress(steps, input));
                 published_at_step = steps;
+                self.last_pub = Some((input_version, steps));
             }
             if self.opts.restart == RestartPolicy::Eager {
                 if let (InputFeed::Upstream(reader), Some(ver)) = (&self.input, input_version) {
@@ -246,35 +377,91 @@ impl<B: AnytimeBody> StageRunner for StageNode<B> {
     }
 
     fn drive(&mut self, ctl: &ControlToken) -> Result<StageEnd> {
-        let mut consumed: Option<Version> = None;
+        // A restarted driver whose output already settled (the final was
+        // published just before the crash, or a watchdog sealed the buffer
+        // degraded) has nothing left to do.
+        if self.writer.is_final() {
+            return Ok(StageEnd::Final);
+        }
+        if self.writer.is_terminal() {
+            return Ok(StageEnd::Degraded);
+        }
         loop {
-            let (input, input_final, input_version) = match &self.input {
-                InputFeed::Owned(arc) => (Arc::clone(arc), true, None),
+            let (input, input_terminal, input_degraded, input_version) = match &self.input {
+                InputFeed::Owned(arc) => (Arc::clone(arc), true, false, None),
                 InputFeed::Upstream(reader) => {
-                    let snap = match reader.wait_newer(consumed, ctl) {
+                    let snap = match reader.wait_newer(self.consumed, ctl) {
                         Ok(snap) => snap,
                         Err(CoreError::Stopped) => return Ok(StageEnd::Stopped),
                         Err(e) => return Err(e),
                     };
                     let ver = snap.version();
-                    (snap.value_arc(), snap.is_final(), Some(ver))
+                    (
+                        snap.value_arc(),
+                        snap.is_terminal(),
+                        snap.is_degraded(),
+                        Some(ver),
+                    )
                 }
             };
-            match self.run_once(ctl, &input, input_final, input_version) {
+            // Crash-resume: if the previous (panicked) run on this same
+            // input published, offer that value back to the body so the
+            // restart continues instead of recomputing completed steps.
+            let start = match self.last_pub {
+                Some((pub_version, steps)) if pub_version == input_version => {
+                    self.writer.latest().and_then(|snap| {
+                        self.body
+                            .resume(&input, snap.value(), steps)
+                            .map(|out| (out, steps))
+                    })
+                }
+                _ => None,
+            };
+            match self.run_once(
+                ctl,
+                &input,
+                input_terminal,
+                input_degraded,
+                input_version,
+                start,
+            ) {
                 Ok(true) => {
-                    if input_final {
-                        return Ok(StageEnd::Final);
+                    if input_terminal {
+                        return Ok(if input_degraded {
+                            StageEnd::Degraded
+                        } else {
+                            StageEnd::Final
+                        });
                     }
-                    consumed = input_version;
+                    self.consumed = input_version;
+                    self.last_pub = None;
                 }
                 Ok(false) => {
                     // Eager restart on newer input.
-                    consumed = input_version;
+                    self.consumed = input_version;
+                    self.last_pub = None;
                 }
                 Err(CoreError::Stopped) => return Ok(StageEnd::Stopped),
                 Err(e) => return Err(e),
             }
         }
+    }
+
+    fn supervision(&self) -> Supervision {
+        self.opts.supervision
+    }
+
+    fn output_control(&self) -> Option<Arc<dyn BufferControl>> {
+        Some(self.writer.control_handle())
+    }
+
+    fn steps_completed(&self) -> u64 {
+        self.steps_done
+    }
+
+    #[cfg(feature = "fault-inject")]
+    fn inject_faults(&mut self, faults: crate::faultinject::StageFaults) {
+        self.faults = Some(crate::faultinject::ArmedFaults::new(faults));
     }
 }
 
@@ -325,13 +512,13 @@ mod tests {
             crate::buffer::BufferOptions { keep_history: true },
         );
         (
-            StageNode {
-                name: "counter".into(),
-                body: Counter { n },
-                input: InputFeed::Owned(Arc::new(())),
-                writer: w,
-                opts: StageOptions::with_publish_every(publish_every),
-            },
+            StageNode::new(
+                "counter".into(),
+                Counter { n },
+                InputFeed::Owned(Arc::new(())),
+                w,
+                StageOptions::with_publish_every(publish_every),
+            ),
             r,
         )
     }
@@ -387,13 +574,13 @@ mod tests {
         }
         let (mut fw, fr) = buffer::versioned::<u64>("f");
         let (gw, gr) = buffer::versioned::<u64>("g");
-        let mut g = StageNode {
-            name: "g".into(),
-            body: Doubler,
-            input: InputFeed::Upstream(fr),
-            writer: gw,
-            opts: StageOptions::default(),
-        };
+        let mut g = StageNode::new(
+            "g".into(),
+            Doubler,
+            InputFeed::Upstream(fr),
+            gw,
+            StageOptions::default(),
+        );
         let ctl = ControlToken::new();
         let h = std::thread::spawn(move || g.drive(&ctl));
         fw.publish(10, 1);
@@ -422,13 +609,13 @@ mod tests {
         let (fw, fr) = buffer::versioned::<u64>("f");
         drop(fw);
         let (gw, _gr) = buffer::versioned::<u64>("g");
-        let mut g = StageNode {
-            name: "g".into(),
-            body: Id,
-            input: InputFeed::Upstream(fr),
-            writer: gw,
-            opts: StageOptions::default(),
-        };
+        let mut g = StageNode::new(
+            "g".into(),
+            Id,
+            InputFeed::Upstream(fr),
+            gw,
+            StageOptions::default(),
+        );
         let ctl = ControlToken::new();
         assert!(matches!(g.drive(&ctl), Err(CoreError::SourceClosed { .. })));
     }
@@ -455,13 +642,13 @@ mod tests {
             }
         }
         let (w, r) = buffer::versioned::<u64>("slow");
-        let mut node = StageNode {
-            name: "slow".into(),
-            body: Slow,
-            input: InputFeed::Owned(Arc::new(())),
-            writer: w,
-            opts: StageOptions::with_publish_every(u64::MAX),
-        };
+        let mut node = StageNode::new(
+            "slow".into(),
+            Slow,
+            InputFeed::Owned(Arc::new(())),
+            w,
+            StageOptions::with_publish_every(u64::MAX),
+        );
         let ctl = ControlToken::new();
         let ctl2 = ctl.clone();
         let h = std::thread::spawn(move || node.drive(&ctl2));
@@ -482,5 +669,121 @@ mod tests {
             .restart(RestartPolicy::Eager);
         assert!(o.keep_history);
         assert_eq!(o.restart, RestartPolicy::Eager);
+        assert_eq!(o.supervision, Supervision::default());
+        let o = o
+            .failure_policy(FailurePolicy::Degrade)
+            .watchdog(Duration::from_millis(10), StallAction::Stop);
+        assert_eq!(o.supervision.policy, FailurePolicy::Degrade);
+        assert_eq!(o.supervision.watchdog.unwrap().on_stall, StallAction::Stop);
+        let o = StageOptions::default().supervise(Supervision::degrade());
+        assert_eq!(o.supervision.policy, FailurePolicy::Degrade);
+    }
+
+    #[test]
+    fn degraded_input_propagates_through_dependent_stage() {
+        struct Id;
+        impl AnytimeBody for Id {
+            type Input = u64;
+            type Output = u64;
+            fn init(&mut self, _i: &u64) -> u64 {
+                0
+            }
+            fn step(&mut self, i: &u64, out: &mut u64, _s: u64) -> StepOutcome {
+                *out = *i;
+                StepOutcome::Done
+            }
+        }
+        let (mut fw, fr) = buffer::versioned::<u64>("f");
+        let (gw, gr) = buffer::versioned::<u64>("g");
+        let mut g = StageNode::new(
+            "g".into(),
+            Id,
+            InputFeed::Upstream(fr),
+            gw,
+            StageOptions::default(),
+        );
+        fw.publish(7, 1);
+        fw.seal_degraded();
+        let ctl = ControlToken::new();
+        assert_eq!(g.drive(&ctl).unwrap(), StageEnd::Degraded);
+        let snap = gr.latest().unwrap();
+        assert!(snap.is_degraded());
+        assert!(!snap.is_final());
+        assert_eq!(*snap.value(), 7);
+    }
+
+    #[test]
+    fn restarted_driver_with_terminal_output_is_noop() {
+        let (mut node, r) = node(3, 1);
+        let ctl = ControlToken::new();
+        assert_eq!(node.drive(&ctl).unwrap(), StageEnd::Final);
+        let versions = r.history().unwrap().len();
+        // Re-driving (as the Restart policy does after a panic) must not
+        // publish anything further.
+        assert_eq!(node.drive(&ctl).unwrap(), StageEnd::Final);
+        assert_eq!(r.history().unwrap().len(), versions);
+    }
+
+    #[test]
+    fn crash_resume_continues_from_published_state() {
+        /// Counts to 6; panics once at step 3; resumes from the published
+        /// count.
+        struct Fragile {
+            armed: bool,
+            resumed_at: Option<u64>,
+        }
+        impl AnytimeBody for Fragile {
+            type Input = ();
+            type Output = u64;
+            fn init(&mut self, _i: &()) -> u64 {
+                0
+            }
+            fn step(&mut self, _i: &(), out: &mut u64, step: u64) -> StepOutcome {
+                if self.armed && step == 3 {
+                    self.armed = false;
+                    panic!("injected");
+                }
+                *out += 1;
+                if step + 1 == 6 {
+                    StepOutcome::Done
+                } else {
+                    StepOutcome::Continue
+                }
+            }
+            fn resume(&mut self, _i: &(), published: &u64, steps_done: u64) -> Option<u64> {
+                self.resumed_at = Some(steps_done);
+                Some(*published)
+            }
+        }
+        let (w, r) = buffer::versioned_with(
+            "fragile",
+            crate::buffer::BufferOptions { keep_history: true },
+        );
+        let mut node = StageNode::new(
+            "fragile".into(),
+            Fragile {
+                armed: true,
+                resumed_at: None,
+            },
+            InputFeed::Owned(Arc::new(())),
+            w,
+            StageOptions::default(),
+        );
+        let ctl = ControlToken::new();
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| node.drive(&ctl)));
+        assert!(died.is_err());
+        assert_eq!(node.steps_completed(), 3);
+        // Second drive (the restart) resumes at step 3 — the counter keeps
+        // the 3 published steps and still reaches the precise output.
+        assert_eq!(node.drive(&ctl).unwrap(), StageEnd::Final);
+        assert_eq!(node.body.resumed_at, Some(3));
+        let snap = r.latest().unwrap();
+        assert!(snap.is_final());
+        assert_eq!(*snap.value(), 6);
+        assert_eq!(snap.steps(), 6);
+        // History stays monotone in steps: 1,2,3 then 4,5,6 — step 1..3
+        // never recomputed.
+        let steps: Vec<u64> = r.history().unwrap().iter().map(|s| s.steps()).collect();
+        assert_eq!(steps, vec![1, 2, 3, 4, 5, 6]);
     }
 }

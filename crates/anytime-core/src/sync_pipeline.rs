@@ -178,6 +178,16 @@ where
             }
         }
     }
+
+    fn output_control(&self) -> Option<std::sync::Arc<dyn crate::buffer::BufferControl>> {
+        Some(self.writer.control_handle())
+    }
+
+    fn steps_completed(&self) -> u64 {
+        // The fold restarts from scratch if re-driven; live progress is in
+        // the buffer, so report the latest published step count.
+        self.writer.latest().map_or(0, |snap| snap.steps())
+    }
 }
 
 impl PipelineBuilder {

@@ -49,6 +49,11 @@ pub struct SnapshotMeta {
     /// `true` when this is the precise output (the paper's `O_n`); no
     /// further versions will be published.
     pub is_final: bool,
+    /// `true` when this version terminates a *degraded* buffer: the
+    /// producer died or stalled permanently and this approximate output is
+    /// the best the stage will ever publish. Terminal like `is_final`, but
+    /// not precise. See [`crate::FailurePolicy::Degrade`].
+    pub degraded: bool,
 }
 
 /// An immutable, atomically published view of a stage output.
@@ -94,6 +99,18 @@ impl<T> Snapshot<T> {
         self.meta.is_final
     }
 
+    /// `true` if this snapshot terminates a degraded buffer: its producer
+    /// failed permanently and this approximate value stands in for the
+    /// precise output (graceful degradation).
+    pub fn is_degraded(&self) -> bool {
+        self.meta.degraded
+    }
+
+    /// `true` if no further versions will follow: precise or degraded.
+    pub fn is_terminal(&self) -> bool {
+        self.meta.is_final || self.meta.degraded
+    }
+
     /// The instant this version was published.
     pub fn published_at(&self) -> Instant {
         self.published_at
@@ -116,6 +133,7 @@ impl<T> fmt::Debug for Snapshot<T> {
             .field("version", &self.meta.version)
             .field("steps", &self.meta.steps)
             .field("is_final", &self.meta.is_final)
+            .field("degraded", &self.meta.degraded)
             .finish_non_exhaustive()
     }
 }
@@ -131,6 +149,7 @@ mod tests {
                 version: Version::new(v),
                 steps: v,
                 is_final,
+                degraded: false,
             },
             published_at: Instant::now(),
         }
@@ -164,5 +183,17 @@ mod tests {
     #[test]
     fn snapshot_debug_nonempty() {
         assert!(!format!("{:?}", snap(1, false)).is_empty());
+    }
+
+    #[test]
+    fn degraded_is_terminal_but_not_final() {
+        let mut s = snap(1, false);
+        assert!(!s.is_degraded());
+        assert!(!s.is_terminal());
+        s.meta.degraded = true;
+        assert!(s.is_degraded());
+        assert!(s.is_terminal());
+        assert!(!s.is_final());
+        assert!(snap(2, true).is_terminal());
     }
 }
