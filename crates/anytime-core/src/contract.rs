@@ -75,6 +75,37 @@ pub fn plan_single_level(
     })
 }
 
+/// Plans a contract execution like [`plan_single_level`], but refuses the
+/// deadline instead of falling back to the cheapest level when nothing
+/// fits.
+///
+/// This is the admission-control flavour: a serving layer that already
+/// knows a request's remaining budget wants "can any level make this
+/// deadline?" answered honestly so it can reject fast, not a plan that is
+/// guaranteed to miss.
+///
+/// # Errors
+///
+/// Returns [`CoreError::AdmissionRejected`] — carrying the cheapest
+/// level's cost as the projection — when no level fits `deadline`, and
+/// [`CoreError::InvalidConfig`] for the same malformed inputs
+/// [`plan_single_level`] rejects.
+pub fn plan_strict(estimates: &[LevelEstimate], deadline: Duration) -> crate::Result<ContractPlan> {
+    validate(estimates)?;
+    if !estimates.iter().any(|e| e.cost <= deadline) {
+        let cheapest = estimates
+            .iter()
+            .map(|e| e.cost)
+            .min()
+            .expect("validated non-empty");
+        return Err(CoreError::AdmissionRejected {
+            projected: cheapest,
+            budget: deadline,
+        });
+    }
+    plan_single_level(estimates, deadline)
+}
+
 /// Plans a contract execution with interruption insurance: picks the best
 /// final level that fits, then prepends the cheapest earlier levels that
 /// still leave the final level affordable. If the run is cut short after
@@ -141,6 +172,19 @@ fn validate(estimates: &[LevelEstimate]) -> crate::Result<()> {
         return Err(CoreError::InvalidConfig(
             "contract planning needs at least one level estimate".into(),
         ));
+    }
+    if let Some(e) = estimates.iter().find(|e| e.cost.is_zero()) {
+        return Err(CoreError::InvalidConfig(format!(
+            "level {} has a zero cost estimate; a plannable level must take \
+             nonzero time",
+            e.level
+        )));
+    }
+    if let Some(e) = estimates.iter().find(|e| e.quality.is_nan()) {
+        return Err(CoreError::InvalidConfig(format!(
+            "level {} has a NaN quality estimate",
+            e.level
+        )));
     }
     let mut sorted = estimates.to_vec();
     sorted.sort_by_key(|e| e.level);
@@ -247,6 +291,48 @@ mod tests {
             },
         ];
         assert!(plan_single_level(&non_monotone, Duration::from_millis(9)).is_err());
+    }
+
+    #[test]
+    fn strict_plan_matches_single_level_when_something_fits() {
+        let plan = plan_strict(&estimates(), Duration::from_millis(70)).unwrap();
+        assert_eq!(
+            plan,
+            plan_single_level(&estimates(), Duration::from_millis(70)).unwrap()
+        );
+    }
+
+    #[test]
+    fn strict_plan_rejects_impossible_deadline() {
+        match plan_strict(&estimates(), Duration::from_millis(1)) {
+            Err(CoreError::AdmissionRejected { projected, budget }) => {
+                assert_eq!(projected, Duration::from_millis(10));
+                assert_eq!(budget, Duration::from_millis(1));
+            }
+            other => panic!("expected AdmissionRejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_zero_cost_and_nan_quality() {
+        let zero_cost = vec![LevelEstimate {
+            level: 0,
+            cost: Duration::ZERO,
+            quality: 1.0,
+        }];
+        assert!(matches!(
+            plan_single_level(&zero_cost, Duration::from_millis(5)),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        let nan_quality = vec![LevelEstimate {
+            level: 0,
+            cost: Duration::from_millis(1),
+            quality: f64::NAN,
+        }];
+        assert!(matches!(
+            plan_strict(&nan_quality, Duration::from_millis(5)),
+            Err(CoreError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 use std::error::Error;
 use std::fmt;
+use std::time::Duration;
 
 /// Errors produced by the anytime automaton runtime.
 #[derive(Debug)]
@@ -31,6 +32,19 @@ pub enum CoreError {
     InvalidConfig(String),
     /// A synchronous-pipeline update channel was disconnected.
     ChannelClosed,
+    /// A serve request was rejected fast at admission: the projected time
+    /// to a first answer already exceeds the request's deadline budget, so
+    /// queuing it would only waste capacity the queue's other requests
+    /// still have a chance of using.
+    AdmissionRejected {
+        /// Projected time until this request could produce an answer
+        /// (queue wait plus minimum service time).
+        projected: Duration,
+        /// The request's deadline budget.
+        budget: Duration,
+    },
+    /// The serve pool was shut down before this request completed.
+    PoolShutdown,
 }
 
 impl fmt::Display for CoreError {
@@ -63,6 +77,12 @@ impl fmt::Display for CoreError {
             },
             Self::InvalidConfig(msg) => write!(f, "invalid pipeline configuration: {msg}"),
             Self::ChannelClosed => write!(f, "synchronous update channel disconnected"),
+            Self::AdmissionRejected { projected, budget } => write!(
+                f,
+                "admission rejected: projected {projected:?} to first answer \
+                 exceeds deadline budget {budget:?}"
+            ),
+            Self::PoolShutdown => write!(f, "serve pool was shut down"),
         }
     }
 }
@@ -89,6 +109,11 @@ mod tests {
             },
             CoreError::InvalidConfig("empty pipeline".into()),
             CoreError::ChannelClosed,
+            CoreError::AdmissionRejected {
+                projected: Duration::from_millis(80),
+                budget: Duration::from_millis(50),
+            },
+            CoreError::PoolShutdown,
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());
@@ -119,6 +144,17 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("opaque (non-string) payload"), "{s}");
         assert!(s.contains("after 3 steps"), "{s}");
+    }
+
+    #[test]
+    fn admission_rejected_names_both_durations() {
+        let e = CoreError::AdmissionRejected {
+            projected: Duration::from_millis(80),
+            budget: Duration::from_millis(50),
+        };
+        let s = e.to_string();
+        assert!(s.contains("80ms"), "{s}");
+        assert!(s.contains("50ms"), "{s}");
     }
 
     #[test]

@@ -286,20 +286,29 @@ impl Automaton {
     /// Propagates stage failures, as [`Automaton::join`].
     pub fn run_for(self, budget: Duration) -> Result<RunReport> {
         let deadline = Instant::now() + budget;
-        // Event-driven completion wait: each finishing stage bumps
-        // `done_ws`, so this blocks until the last stage exits or the
-        // exact deadline passes — no polling loop.
+        self.wait_done_deadline(deadline);
+        self.stop();
+        self.join()
+    }
+
+    /// Blocks until every stage thread has exited or `deadline` passes,
+    /// whichever comes first. Returns `true` if the automaton finished.
+    ///
+    /// Event-driven: each finishing stage bumps `done_ws`, so this wait
+    /// wakes on stage exits or the exact deadline — no polling loop. The
+    /// automaton keeps running either way; this is the observation a
+    /// deadline-bound caller (e.g. the serving layer) makes before
+    /// deciding to take the current best snapshot and stop the run.
+    pub fn wait_done_deadline(&self, deadline: Instant) -> bool {
         loop {
             let seen = self.done_ws.epoch();
             if self.is_done() {
-                break;
+                return true;
             }
             if !self.done_ws.wait_deadline(seen, deadline) {
-                break;
+                return self.is_done();
             }
         }
-        self.stop();
-        self.join()
     }
 
     /// Runs until all stages finish or an **energy** budget is exhausted,

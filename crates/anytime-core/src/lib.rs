@@ -30,6 +30,10 @@
 //! - A launched [`Automaton`] is controlled through its [`ControlToken`]:
 //!   stop it whenever the current output is acceptable — otherwise just let
 //!   it run longer.
+//! - The [`serve`] module turns single runs into a deadline-budgeted
+//!   service: a [`ServePool`] of replica pipelines with admission control,
+//!   retries, hedged execution, load shedding, and per-replica circuit
+//!   breakers.
 //!
 //! ## Example
 //!
@@ -88,6 +92,7 @@ mod pipeline;
 mod precise;
 mod reduce;
 pub mod scheduler;
+pub mod serve;
 mod stage;
 mod supervisor;
 pub mod sync_pipeline;
@@ -108,6 +113,10 @@ pub use parallel_map::ParallelSampledMap;
 pub use pipeline::{Pipeline, PipelineBuilder};
 pub use precise::Precise;
 pub use reduce::{SampledReduce, Scalable};
+pub use serve::{
+    BreakerPolicy, HedgePolicy, RetryPolicy, ServeOptions, ServePool, ServeResponse, ServeStatus,
+    ShedPolicy,
+};
 pub use stage::{AnytimeBody, RestartPolicy, StageEnd, StageOptions, StepOutcome};
 pub use supervisor::{FailurePolicy, StallAction, Supervision, Watchdog};
 pub use sync_pipeline::UpdateReceiver;

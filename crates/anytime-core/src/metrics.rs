@@ -177,6 +177,291 @@ impl FaultStats {
     pub fn is_clean(&self) -> bool {
         *self == Self::default()
     }
+
+    /// Accumulates another run's fault handling into this total.
+    ///
+    /// Used by the serving layer to aggregate the `FaultStats` of every
+    /// pipeline run a [`crate::serve::ServePool`] performed.
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.restarts += other.restarts;
+        self.stalls += other.stalls;
+        self.degradations += other.degradations;
+        self.permanent_failures += other.permanent_failures;
+        self.dropped_publishes += other.dropped_publishes;
+    }
+}
+
+/// An exponentially weighted moving average of a latency, updatable from
+/// any thread.
+///
+/// The serving layer keeps one per replica: every completed request feeds
+/// its service time in, and admission control reads the smoothed value to
+/// project queue wait. Stored as nanoseconds in a single atomic (the
+/// read-modify-write race between two concurrent `record`s merely drops
+/// one sample — acceptable for a smoothed estimator).
+#[derive(Debug, Default)]
+pub struct LatencyEwma {
+    /// Smoothed latency in nanoseconds; 0 means "no sample yet".
+    nanos: AtomicU64,
+}
+
+impl LatencyEwma {
+    /// Smoothing factor: each new sample contributes 1/4 of the estimate.
+    const WEIGHT_SHIFT: u32 = 2;
+
+    /// Folds a new sample into the average.
+    pub fn record(&self, sample: Duration) {
+        let s = sample.as_nanos().min(u64::MAX as u128) as u64;
+        let prev = self.nanos.load(Ordering::Relaxed);
+        let next = if prev == 0 {
+            s.max(1)
+        } else {
+            (prev - (prev >> Self::WEIGHT_SHIFT) + (s >> Self::WEIGHT_SHIFT)).max(1)
+        };
+        self.nanos.store(next, Ordering::Relaxed);
+    }
+
+    /// The smoothed latency, or `None` before the first sample.
+    pub fn get(&self) -> Option<Duration> {
+        match self.nanos.load(Ordering::Relaxed) {
+            0 => None,
+            n => Some(Duration::from_nanos(n)),
+        }
+    }
+}
+
+/// A lock-free log₂-bucketed latency histogram with quantile estimation.
+///
+/// Bucket `i` counts samples in `[2^i, 2^(i+1))` microseconds (bucket 0
+/// also absorbs sub-microsecond samples; the last bucket absorbs
+/// everything ≥ ~67 s). The serving layer uses the P95 of observed service
+/// latencies as its hedging trigger.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; Self::BUCKETS],
+    count: AtomicU64,
+}
+
+impl LatencyHistogram {
+    const BUCKETS: usize = 27;
+
+    /// Records one latency sample.
+    pub fn record(&self, sample: Duration) {
+        let us = sample.as_micros().min(u64::MAX as u128) as u64;
+        let idx = (63 - us.max(1).leading_zeros() as usize).min(Self::BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// An upper-bound estimate of quantile `q` (clamped to `[0, 1]`), or
+    /// `None` before the first sample.
+    ///
+    /// Returns the upper edge of the bucket containing the quantile, so
+    /// the estimate errs toward overestimating — the conservative
+    /// direction for a hedging trigger.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(Duration::from_micros(1u64 << (i + 1)));
+            }
+        }
+        Some(Duration::from_micros(1u64 << Self::BUCKETS))
+    }
+}
+
+/// Histogram of response arrival relative to the request deadline.
+///
+/// Each sample is the ratio `elapsed / deadline budget`; the fixed bucket
+/// edges make "how close to the wire do responses land" legible at a
+/// glance, and `hit_rate` is the fraction that arrived by the deadline.
+#[derive(Debug, Default)]
+pub struct DeadlineHistogram {
+    buckets: [AtomicU64; DEADLINE_BUCKET_EDGES.len() + 1],
+}
+
+/// Upper edges of the deadline-ratio buckets; a final unbounded bucket
+/// catches everything ≥ the last edge (deadline overshoots).
+pub const DEADLINE_BUCKET_EDGES: [f64; 6] = [0.25, 0.5, 0.75, 0.9, 1.0, 1.1];
+
+impl DeadlineHistogram {
+    /// Records a response that took `elapsed` of a `budget`-sized deadline.
+    pub fn record(&self, elapsed: Duration, budget: Duration) {
+        let ratio = if budget.is_zero() {
+            f64::INFINITY
+        } else {
+            elapsed.as_secs_f64() / budget.as_secs_f64()
+        };
+        let idx = DEADLINE_BUCKET_EDGES
+            .iter()
+            .position(|&edge| ratio < edge)
+            .unwrap_or(DEADLINE_BUCKET_EDGES.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> DeadlineHistogramStats {
+        let mut buckets = [0u64; DEADLINE_BUCKET_EDGES.len() + 1];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        DeadlineHistogramStats { buckets }
+    }
+}
+
+/// A point-in-time view of a [`DeadlineHistogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeadlineHistogramStats {
+    /// Response counts per deadline-ratio bucket: one bucket per edge in
+    /// [`DEADLINE_BUCKET_EDGES`] plus a final unbounded overshoot bucket.
+    pub buckets: [u64; DEADLINE_BUCKET_EDGES.len() + 1],
+}
+
+impl DeadlineHistogramStats {
+    /// Total responses recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Fraction of responses that arrived within 10% of their deadline
+    /// budget (ratio < 1.1), or 1.0 if nothing was recorded.
+    ///
+    /// The tolerance is deliberate: a deadline-bound responder answers
+    /// *at* the deadline, so an on-time response records a ratio
+    /// fractionally above 1.0 purely from scheduling latency. Only the
+    /// unbounded overshoot bucket counts as a miss; the 1.0 edge keeps
+    /// exact-budget arrivals visible in [`Self::buckets`].
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 1.0;
+        }
+        let hits: u64 = self.buckets[..DEADLINE_BUCKET_EDGES.len()].iter().sum();
+        hits as f64 / total as f64
+    }
+}
+
+/// Cumulative counters for one [`crate::serve::ServePool`]'s robustness
+/// machinery: admission control, load shedding, hedging, retries, and the
+/// per-replica circuit breakers. Relaxed atomics: diagnostics, not
+/// synchronization.
+#[derive(Debug, Default)]
+pub struct ServeCounters {
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    shed: AtomicU64,
+    hedged: AtomicU64,
+    retried: AtomicU64,
+    breaker_opens: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    degraded_responses: AtomicU64,
+}
+
+impl ServeCounters {
+    pub(crate) fn record_admitted(&self) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_hedged(&self) {
+        self.hedged.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_retried(&self) {
+        self.retried.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_breaker_open(&self) {
+        self.breaker_opens.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_completed(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_degraded_response(&self) {
+        self.degraded_responses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters (the non-counter fields of
+    /// [`ServeStats`] start at their defaults; the pool fills them in).
+    pub fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            hedged: self.hedged.load(Ordering::Relaxed),
+            retried: self.retried.load(Ordering::Relaxed),
+            breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            degraded_responses: self.degraded_responses.load(Ordering::Relaxed),
+            deadline: DeadlineHistogramStats::default(),
+            faults: FaultStats::default(),
+            live_runs: 0,
+        }
+    }
+}
+
+/// A point-in-time view of a serve pool's [`ServeCounters`], deadline-hit
+/// histogram, and aggregated pipeline fault handling.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServeStats {
+    /// Requests that passed admission control (includes shed requests).
+    pub admitted: u64,
+    /// Requests rejected fast at admission: projected wait or minimum
+    /// service would already blow the deadline, or the queue was full.
+    pub rejected: u64,
+    /// Requests served a cheaper approximation under saturation instead of
+    /// queuing at full budget (degrade quality, never availability).
+    pub shed: u64,
+    /// Hedge dispatches: a second replica launched after the primary
+    /// crossed the latency trigger.
+    pub hedged: u64,
+    /// Serve-layer retries: a replica died permanently and the request was
+    /// relaunched with capped exponential backoff.
+    pub retried: u64,
+    /// Circuit-breaker open transitions (a replica quarantined after
+    /// consecutive permanent failures).
+    pub breaker_opens: u64,
+    /// Requests answered with a snapshot.
+    pub completed: u64,
+    /// Admitted requests for which no snapshot could be produced.
+    pub failed: u64,
+    /// Responses flagged degraded: below their quality floor, served from
+    /// a degraded pipeline, or answered past a dead replica's best effort.
+    pub degraded_responses: u64,
+    /// Response arrival relative to deadline budgets.
+    pub deadline: DeadlineHistogramStats,
+    /// Fault handling aggregated over every pipeline run the pool
+    /// performed (each run's [`crate::RunReport`]-level `FaultStats`).
+    pub faults: FaultStats,
+    /// Pipeline runs still live when this snapshot was taken; zero after
+    /// shutdown proves no leaked running stages.
+    pub live_runs: u64,
 }
 
 /// Mean squared error between two equal-length slices.

@@ -20,6 +20,7 @@ use crate::control::ControlToken;
 use crate::error::{CoreError, Result};
 use crate::pipeline::PipelineBuilder;
 use crate::stage::{StageEnd, StageOptions, StageRunner};
+use crate::supervisor::Supervision;
 use anytime_permute::{partition, DynPermutation, Permutation};
 use std::sync::Arc;
 
@@ -107,6 +108,10 @@ where
             stage: self,
             writer,
             publish_every: opts.publish_every,
+            supervision: opts.supervision,
+            merged: 0,
+            #[cfg(feature = "fault-inject")]
+            faults: None,
         }));
         reader
     }
@@ -116,6 +121,11 @@ struct ParallelRunner<I, O, V> {
     stage: ParallelSampledMap<I, O, V>,
     writer: BufferWriter<O>,
     publish_every: u64,
+    supervision: Supervision,
+    /// Elements merged in the current drive, for `steps_completed`.
+    merged: u64,
+    #[cfg(feature = "fault-inject")]
+    faults: Option<crate::faultinject::ArmedFaults>,
 }
 
 impl<I, O, V> ParallelRunner<I, O, V>
@@ -185,15 +195,24 @@ where
         let mut out = (self.stage.init)(&input);
         let (rx, handles) = self.spawn_workers(ctl)?;
         let mut done: u64 = 0;
+        self.merged = 0;
         let mut published_at: u64 = 0;
         let publish_every = self.publish_every.max(1);
         let end = loop {
             match rx.recv(ctl) {
                 Ok(batch) => {
+                    // Injected faults fire at batch-merge boundaries — the
+                    // driver's step boundary, where the working output is a
+                    // complete, valid partial sample.
+                    #[cfg(feature = "fault-inject")]
+                    if let Some(armed) = self.faults.as_mut() {
+                        armed.before_step(&self.stage.name, done);
+                    }
                     for (idx, value) in batch {
                         (self.stage.write)(&mut out, idx, value);
                         done += 1;
                     }
+                    self.merged = done;
                     if done == total {
                         self.writer.publish_final(out.clone(), done);
                         break StageEnd::Final;
@@ -235,6 +254,19 @@ where
 
     fn output_control(&self) -> Option<Arc<dyn crate::buffer::BufferControl>> {
         Some(self.writer.control_handle())
+    }
+
+    fn supervision(&self) -> Supervision {
+        self.supervision
+    }
+
+    fn steps_completed(&self) -> u64 {
+        self.merged
+    }
+
+    #[cfg(feature = "fault-inject")]
+    fn inject_faults(&mut self, faults: crate::faultinject::StageFaults) {
+        self.faults = Some(crate::faultinject::ArmedFaults::new(faults));
     }
 }
 

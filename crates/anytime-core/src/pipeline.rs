@@ -209,6 +209,15 @@ impl Pipeline {
         self.runners.is_empty()
     }
 
+    /// The stage names, in pipeline order.
+    ///
+    /// Useful for deriving seeded `FaultPlan`s (or other per-stage
+    /// configuration) from a built pipeline without repeating the name
+    /// list by hand.
+    pub fn stage_names(&self) -> Vec<&str> {
+        self.runners.iter().map(|r| r.name()).collect()
+    }
+
     /// Makes the first *permanently* failed stage stop the whole automaton
     /// ([`ControlToken::stop`]) instead of letting healthy stages run on.
     ///

@@ -1,0 +1,1436 @@
+//! Deadline-budgeted serving: a pool of replica pipelines behind
+//! admission control, retries, hedging, load shedding, and per-replica
+//! circuit breakers.
+//!
+//! The automaton's headline property — stop it at any moment and still
+//! hold a valid whole-application output (paper §III) — is exactly the
+//! contract a deadline-bound service wants. A [`ServePool`] turns that
+//! per-run guarantee into a request/response discipline: N worker threads
+//! each run fresh replica pipelines built by a caller-supplied factory,
+//! and [`ServePool::submit`] returns the **best snapshot available at the
+//! request's deadline**, tagged with its quality and degraded/final
+//! status. Robustness machinery guards every path:
+//!
+//! - **Admission control** — a request whose projected wait (queue depth ×
+//!   per-replica latency EWMA) plus minimum service time already exceeds
+//!   its deadline is rejected fast with
+//!   [`CoreError::AdmissionRejected`], before it can waste capacity other
+//!   requests could still use. An optional [`LevelEstimate`] profile adds
+//!   a contract-planning check ([`crate::contract::plan_strict`]): reject
+//!   when no accuracy level fits the remaining budget.
+//! - **Retry with capped exponential backoff + deterministic jitter** —
+//!   when a replica dies permanently (every [`FailurePolicy`] exhausted),
+//!   the request is relaunched on a fresh pipeline, with delays drawn
+//!   deterministically from the pool seed and request id so chaos runs
+//!   reproduce exactly.
+//! - **Hedged execution** — once a run crosses the pool's observed P95
+//!   service latency (or a fixed trigger), a second replica is dispatched
+//!   for the same request; the first usable snapshot wins and the loser is
+//!   stopped promptly through the event-driven [`ControlToken`].
+//! - **Load shedding** — under saturation, requests with a low enough
+//!   quality floor jump the queue and run with a reduced budget: they get
+//!   an earlier, cheaper approximation instead of queuing at full cost.
+//!   Quality degrades; availability does not.
+//! - **Per-replica circuit breaker** — a worker whose runs fail
+//!   permanently K times in a row is quarantined (Open) for a cooldown,
+//!   then probes back with a single canary request (HalfOpen) before
+//!   resuming normal service (Closed).
+//!
+//! Every counter lands in [`ServeStats`] (see [`crate::metrics`]), and the
+//! pool aggregates the [`FaultStats`] of every pipeline run it performed,
+//! so a soak run's serve-level numbers reconcile with its per-run reports.
+
+use crate::contract::{plan_strict, LevelEstimate};
+use crate::control::ControlToken;
+use crate::error::{CoreError, Result};
+use crate::metrics::{
+    DeadlineHistogram, FaultStats, LatencyEwma, LatencyHistogram, ServeCounters, ServeStats,
+};
+use crate::pipeline::Pipeline;
+use crate::supervisor::retry_backoff;
+use crate::version::{Snapshot, Version};
+use crate::BufferReader;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Upper bound on how long a submitter keeps waiting after its deadline
+/// for the in-flight worker to deliver; a hang guard, never the normal
+/// path (workers respond *at* the deadline).
+const RESPONSE_GRACE: Duration = Duration::from_secs(30);
+
+/// Retry policy for permanently failed replica runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum relaunches after the first attempt (0 disables retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 2,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Hedged-execution policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HedgePolicy {
+    /// Fixed latency after which a second replica is dispatched. `None`
+    /// uses the pool's observed P95 service latency (falling back to
+    /// [`ServeOptions::default_service_estimate`] before enough samples).
+    pub after: Option<Duration>,
+    /// Do not hedge when less than this remains before the deadline — the
+    /// hedge could not produce anything in time anyway.
+    pub min_remaining: Duration,
+}
+
+impl Default for HedgePolicy {
+    fn default() -> Self {
+        Self {
+            after: None,
+            min_remaining: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Load-shedding policy: under saturation, trade quality for queue time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShedPolicy {
+    /// Shedding engages when the queue is at least this deep.
+    pub queue_threshold: usize,
+    /// Only requests with a quality floor at or below this are shed;
+    /// higher-floor requests keep their full budget.
+    pub max_floor: f64,
+    /// The reduced run budget a shed request executes under.
+    pub budget: Duration,
+}
+
+/// Circuit-breaker policy for a replica worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerPolicy {
+    /// Consecutive permanent failures that open the breaker.
+    pub failures: u32,
+    /// Quarantine duration before the half-open canary probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        Self {
+            failures: 3,
+            cooldown: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Configuration for a [`ServePool`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Replica workers (each runs one request at a time).
+    pub replicas: usize,
+    /// Maximum queued (admitted but unstarted) requests.
+    pub queue_capacity: usize,
+    /// Minimum plausible service time, added to the projected queue wait
+    /// at admission: a budget smaller than this is rejected outright.
+    pub min_service: Duration,
+    /// Service-time estimate used before any completion has fed the
+    /// per-replica EWMAs.
+    pub default_service_estimate: Duration,
+    /// Retry policy for permanently failed runs.
+    pub retry: RetryPolicy,
+    /// Hedged execution, if enabled.
+    pub hedge: Option<HedgePolicy>,
+    /// Load shedding, if enabled.
+    pub shed: Option<ShedPolicy>,
+    /// Per-replica circuit breaker, if enabled.
+    pub breaker: Option<BreakerPolicy>,
+    /// Optional per-level cost/quality profile; when present, admission
+    /// additionally requires that some level fits the remaining budget
+    /// ([`plan_strict`]).
+    pub levels: Option<Vec<LevelEstimate>>,
+    /// Seed for the deterministic retry jitter.
+    pub seed: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            replicas: 2,
+            queue_capacity: 64,
+            min_service: Duration::from_micros(500),
+            default_service_estimate: Duration::from_millis(10),
+            retry: RetryPolicy::default(),
+            hedge: None,
+            shed: None,
+            breaker: Some(BreakerPolicy::default()),
+            levels: None,
+            seed: 0,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Sets the replica count.
+    pub fn replicas(mut self, n: usize) -> Self {
+        self.replicas = n;
+        self
+    }
+
+    /// Sets the queue capacity.
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n;
+        self
+    }
+
+    /// Sets the retry policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enables hedged execution.
+    pub fn hedge(mut self, hedge: HedgePolicy) -> Self {
+        self.hedge = Some(hedge);
+        self
+    }
+
+    /// Enables load shedding.
+    pub fn shed(mut self, shed: ShedPolicy) -> Self {
+        self.shed = Some(shed);
+        self
+    }
+
+    /// Sets (or disables, with `None`) the circuit breaker.
+    pub fn breaker(mut self, breaker: Option<BreakerPolicy>) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
+    /// Installs a level profile for contract-planning admission.
+    pub fn levels(mut self, levels: Vec<LevelEstimate>) -> Self {
+        self.levels = Some(levels);
+        self
+    }
+
+    /// Sets the jitter seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// How a served request ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeStatus {
+    /// The pipeline reached its precise final output before the deadline.
+    Final,
+    /// The deadline arrived first; the snapshot is the best (still
+    /// at-or-above-floor) approximation published by then.
+    AtDeadline,
+    /// The response is flagged degraded: below its quality floor, sealed
+    /// degraded by supervision, or the best effort of a run cut short by
+    /// permanent replica death.
+    Degraded,
+}
+
+/// A served snapshot plus everything the caller needs to judge it.
+#[derive(Debug, Clone)]
+pub struct ServeResponse<T> {
+    /// The best snapshot available at the deadline.
+    pub snapshot: Snapshot<T>,
+    /// The pool's quality estimate for that snapshot.
+    pub quality: f64,
+    /// Final / at-deadline / degraded.
+    pub status: ServeStatus,
+    /// `true` if the request was load-shed to a reduced budget.
+    pub shed: bool,
+    /// `true` if a hedge replica was dispatched for this request.
+    pub hedged: bool,
+    /// Serve-layer relaunches performed for this request.
+    pub retries: u32,
+    /// Index of the replica worker that answered.
+    pub replica: usize,
+    /// Submission-to-response latency.
+    pub elapsed: Duration,
+}
+
+/// Pipeline factory: builds a fresh replica run for a request input and
+/// returns the pipeline plus the reader of its whole-application output.
+type FactoryFn<I, T> = dyn Fn(&I) -> Result<(Pipeline, BufferReader<T>)> + Send + Sync;
+/// Quality estimator for a published snapshot (same scale as the floors).
+type QualityFn<T> = dyn Fn(&Snapshot<T>) -> f64 + Send + Sync;
+
+/// Circuit-breaker state machine (Closed → Open → HalfOpen → …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Breaker {
+    Closed { consecutive: u32 },
+    Open { until: Instant },
+    HalfOpen,
+}
+
+struct ReplicaState {
+    ewma: LatencyEwma,
+    breaker: Mutex<Breaker>,
+    /// Projected end of the run this replica is currently serving
+    /// (`None` when idle). Admission adds the soonest of these when no
+    /// healthy replica is free — an empty queue does not mean zero wait.
+    busy_until: Mutex<Option<Instant>>,
+}
+
+/// One queued request.
+struct Job<I, T> {
+    id: u64,
+    input: Arc<I>,
+    accepted: Instant,
+    deadline: Instant,
+    floor: f64,
+    /// Reduced run budget when the request was shed.
+    budget_cap: Option<Duration>,
+    shed: bool,
+    slot: Arc<Slot<T>>,
+}
+
+/// A queue entry: the job plus whether this dispatch is the hedge copy
+/// (hedges never hedge again).
+struct QueueItem<I, T> {
+    job: Arc<Job<I, T>>,
+    is_hedge: bool,
+}
+
+struct SlotState<T> {
+    /// The response, once some attempt filled it. `filled` stays true
+    /// after the submitter takes the value, so late racers still lose.
+    result: Option<Result<ServeResponse<T>>>,
+    filled: bool,
+    /// Control tokens of every live run for this request; the winner stops
+    /// them all, so hedge losers halt promptly.
+    tokens: Vec<ControlToken>,
+    /// A hedge was dispatched for this request.
+    hedged: bool,
+    /// Total serve-layer retries across all dispatches of this request.
+    retries: u32,
+}
+
+/// The rendezvous between a submitter and the worker(s) running its job.
+struct Slot<T> {
+    state: Mutex<SlotState<T>>,
+    cv: Condvar,
+}
+
+impl<T> Slot<T> {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(SlotState {
+                result: None,
+                filled: false,
+                tokens: Vec::new(),
+                hedged: false,
+                retries: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Installs the response if no other attempt has; returns `false` to
+    /// the loser. The winner inherits every registered control token,
+    /// stops them (after releasing the lock), and wakes the submitter.
+    fn fill(&self, result: Result<ServeResponse<T>>) -> bool {
+        let tokens = {
+            let mut st = lock(&self.state);
+            if st.filled {
+                return false;
+            }
+            st.filled = true;
+            st.result = Some(result);
+            std::mem::take(&mut st.tokens)
+        };
+        self.cv.notify_all();
+        for t in tokens {
+            t.stop();
+        }
+        true
+    }
+
+    fn is_filled(&self) -> bool {
+        lock(&self.state).filled
+    }
+
+    /// Registers a run's control token, unless the slot is already filled
+    /// (the attempt should abort instead of launching).
+    fn register(&self, ctl: ControlToken) -> bool {
+        let mut st = lock(&self.state);
+        if st.filled {
+            return false;
+        }
+        st.tokens.push(ctl);
+        true
+    }
+}
+
+struct QueueState<I, T> {
+    jobs: VecDeque<QueueItem<I, T>>,
+    closed: bool,
+}
+
+struct Shared<I, T> {
+    opts: ServeOptions,
+    factory: Box<FactoryFn<I, T>>,
+    quality: Box<QualityFn<T>>,
+    queue: Mutex<QueueState<I, T>>,
+    queue_cv: Condvar,
+    replicas: Vec<ReplicaState>,
+    counters: ServeCounters,
+    service_hist: LatencyHistogram,
+    deadline_hist: DeadlineHistogram,
+    faults: Mutex<FaultStats>,
+    live_runs: AtomicU64,
+    next_id: AtomicU64,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A pool of replica pipeline workers serving deadline-budgeted requests.
+///
+/// See the [module docs](self) for the robustness machinery. Construct
+/// with [`ServePool::new`], submit with [`ServePool::submit`] (typically
+/// from many threads), and always [`ServePool::shutdown`] when done — it
+/// drains the queue, joins every worker, and returns the final
+/// [`ServeStats`] (whose `live_runs` is 0 precisely when no run leaked).
+pub struct ServePool<I, T> {
+    shared: Arc<Shared<I, T>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<I, T> ServePool<I, T>
+where
+    I: Send + Sync + 'static,
+    T: Send + Sync + 'static,
+{
+    /// Creates the pool and spawns its replica workers.
+    ///
+    /// `factory` builds a fresh pipeline (plus its whole-application
+    /// output reader) for each run of a request input; `quality` scores a
+    /// published snapshot on the same scale as submitters' floors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for a zero replica count, zero
+    /// queue capacity, or an invalid level profile.
+    pub fn new(
+        opts: ServeOptions,
+        factory: impl Fn(&I) -> Result<(Pipeline, BufferReader<T>)> + Send + Sync + 'static,
+        quality: impl Fn(&Snapshot<T>) -> f64 + Send + Sync + 'static,
+    ) -> Result<Self> {
+        if opts.replicas == 0 {
+            return Err(CoreError::InvalidConfig(
+                "serve pool needs at least one replica".into(),
+            ));
+        }
+        if opts.queue_capacity == 0 {
+            return Err(CoreError::InvalidConfig(
+                "serve pool needs a nonzero queue capacity".into(),
+            ));
+        }
+        if let Some(levels) = &opts.levels {
+            // Surface a malformed profile at construction, not per-request.
+            plan_strict(levels, Duration::MAX)
+                .map(|_| ())
+                .or_else(|e| {
+                    if matches!(e, CoreError::AdmissionRejected { .. }) {
+                        Ok(())
+                    } else {
+                        Err(e)
+                    }
+                })?;
+        }
+        let replicas = (0..opts.replicas)
+            .map(|_| ReplicaState {
+                ewma: LatencyEwma::default(),
+                breaker: Mutex::new(Breaker::Closed { consecutive: 0 }),
+                busy_until: Mutex::new(None),
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            opts,
+            factory: Box::new(factory),
+            quality: Box::new(quality),
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            queue_cv: Condvar::new(),
+            replicas,
+            counters: ServeCounters::default(),
+            service_hist: LatencyHistogram::default(),
+            deadline_hist: DeadlineHistogram::default(),
+            faults: Mutex::new(FaultStats::default()),
+            live_runs: AtomicU64::new(0),
+            next_id: AtomicU64::new(0),
+        });
+        let workers = (0..shared.opts.replicas)
+            .map(|replica| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("anytime-serve-{replica}"))
+                    .spawn(move || worker_loop(&shared, replica))
+                    .map_err(|e| CoreError::InvalidConfig(format!("failed to spawn worker: {e}")))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self {
+            shared,
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// Submits a request and blocks until its response: the best snapshot
+    /// available within `deadline`, tagged with quality and status.
+    ///
+    /// Safe to call from many threads concurrently.
+    ///
+    /// # Errors
+    ///
+    /// - [`CoreError::AdmissionRejected`] — rejected fast: the projected
+    ///   wait plus minimum service (or the level profile) cannot make the
+    ///   deadline, or the queue is full.
+    /// - [`CoreError::PoolShutdown`] — the pool shut down first.
+    /// - [`CoreError::Timeout`] — the deadline passed with no snapshot
+    ///   published (e.g. every attempt died before its first output).
+    pub fn submit(&self, input: I, deadline: Duration, floor: f64) -> Result<ServeResponse<T>> {
+        let accepted = Instant::now();
+        let deadline_at = accepted + deadline;
+        let shared = &self.shared;
+        let job = {
+            let mut q = lock(&shared.queue);
+            if q.closed {
+                return Err(CoreError::PoolShutdown);
+            }
+            let depth = q.jobs.len();
+            let projected_wait = self.projected_wait(depth);
+            // Shedding skips the queue-wait projection (shed jobs jump the
+            // queue), but a budget below the minimum service time is
+            // hopeless either way and still rejects below.
+            let shed = shared.opts.shed.as_ref().is_some_and(|s| {
+                depth >= s.queue_threshold
+                    && floor <= s.max_floor
+                    && depth < shared.opts.queue_capacity
+                    && deadline >= shared.opts.min_service
+            });
+            if !shed {
+                let projected = projected_wait + shared.opts.min_service;
+                if projected > deadline || depth >= shared.opts.queue_capacity {
+                    drop(q);
+                    shared.counters.record_rejected();
+                    return Err(CoreError::AdmissionRejected {
+                        projected,
+                        budget: deadline,
+                    });
+                }
+                if let Some(levels) = &shared.opts.levels {
+                    let remaining = deadline.saturating_sub(projected_wait);
+                    if let Err(e) = plan_strict(levels, remaining) {
+                        drop(q);
+                        shared.counters.record_rejected();
+                        return match e {
+                            CoreError::AdmissionRejected { projected: c, .. } => {
+                                Err(CoreError::AdmissionRejected {
+                                    projected: projected_wait + c,
+                                    budget: deadline,
+                                })
+                            }
+                            other => Err(other),
+                        };
+                    }
+                }
+            }
+            let job = Arc::new(Job {
+                id: shared.next_id.fetch_add(1, Ordering::Relaxed),
+                input: Arc::new(input),
+                accepted,
+                deadline: deadline_at,
+                floor,
+                budget_cap: if shed {
+                    shared.opts.shed.as_ref().map(|s| s.budget.min(deadline))
+                } else {
+                    None
+                },
+                shed,
+                slot: Arc::new(Slot::new()),
+            });
+            let item = QueueItem {
+                job: Arc::clone(&job),
+                is_hedge: false,
+            };
+            if shed {
+                // Shed requests jump the queue: served earlier, cheaper.
+                q.jobs.push_front(item);
+            } else {
+                q.jobs.push_back(item);
+            }
+            shared.counters.record_admitted();
+            if shed {
+                shared.counters.record_shed();
+            }
+            job
+        };
+        shared.queue_cv.notify_all();
+        self.await_slot(&job)
+    }
+
+    /// Blocks on the job's slot until a worker fills it; evicts the job
+    /// from the queue if its deadline passes before any worker starts it.
+    fn await_slot(&self, job: &Arc<Job<I, T>>) -> Result<ServeResponse<T>> {
+        let shared = &self.shared;
+        let grace_until = job.deadline + RESPONSE_GRACE;
+        let mut st = lock(&job.slot.state);
+        loop {
+            if st.filled {
+                return st.result.take().unwrap_or(Err(CoreError::PoolShutdown));
+            }
+            let now = Instant::now();
+            if now < job.deadline {
+                let (guard, _) = job
+                    .slot
+                    .cv
+                    .wait_timeout(st, job.deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                st = guard;
+                continue;
+            }
+            // Deadline passed while still waiting: if the job never left
+            // the queue, evict and answer Timeout ourselves; if a worker
+            // holds it, it will respond imminently — wait out the grace.
+            drop(st);
+            let evicted = {
+                let mut q = lock(&shared.queue);
+                let before = q.jobs.len();
+                q.jobs.retain(|item| item.job.id != job.id);
+                before != q.jobs.len()
+            };
+            if evicted {
+                shared.counters.record_failed();
+                job.slot.fill(Err(CoreError::Timeout));
+            }
+            st = lock(&job.slot.state);
+            while !st.filled {
+                let now = Instant::now();
+                if now >= grace_until {
+                    // Hang guard only; a live worker always responds at
+                    // the deadline.
+                    return Err(CoreError::Timeout);
+                }
+                let (guard, _) = job
+                    .slot
+                    .cv
+                    .wait_timeout(st, grace_until - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                st = guard;
+            }
+        }
+    }
+
+    /// Projected queue wait for a request arriving at the given depth:
+    /// mean healthy-replica service EWMA scaled by the queued requests per
+    /// healthy replica, plus — when every healthy replica is mid-run — the
+    /// soonest replica's remaining occupancy (an empty queue does not mean
+    /// zero wait on a saturated pool).
+    fn projected_wait(&self, depth: usize) -> Duration {
+        let shared = &self.shared;
+        let now = Instant::now();
+        let mut healthy = 0usize;
+        let mut sum = Duration::ZERO;
+        let mut samples = 0usize;
+        let mut any_idle = false;
+        let mut soonest_free = Duration::ZERO;
+        for r in &shared.replicas {
+            let open = matches!(*lock(&r.breaker), Breaker::Open { until } if now < until);
+            if open {
+                continue;
+            }
+            healthy += 1;
+            if let Some(d) = r.ewma.get() {
+                sum += d;
+                samples += 1;
+            }
+            match *lock(&r.busy_until) {
+                None => any_idle = true,
+                Some(until) => {
+                    let remaining = until.saturating_duration_since(now);
+                    if healthy == 1 || remaining < soonest_free {
+                        soonest_free = remaining;
+                    }
+                }
+            }
+        }
+        let est = if samples > 0 {
+            sum / samples as u32
+        } else {
+            shared.opts.default_service_estimate
+        };
+        // All replicas quarantined: project as if one will recover.
+        let healthy = healthy.max(1);
+        let queue_share = est.mul_f64(depth as f64 / healthy as f64);
+        if any_idle {
+            queue_share
+        } else {
+            queue_share + soonest_free
+        }
+    }
+
+    /// A point-in-time view of the pool's counters, deadline histogram,
+    /// aggregated run faults, and live run count.
+    pub fn stats(&self) -> ServeStats {
+        let shared = &self.shared;
+        let mut stats = shared.counters.snapshot();
+        stats.deadline = shared.deadline_hist.snapshot();
+        stats.faults = *lock(&shared.faults);
+        stats.live_runs = shared.live_runs.load(Ordering::Relaxed);
+        stats
+    }
+
+    /// The pool's observed P95 service latency, once enough samples exist.
+    pub fn p95_service(&self) -> Option<Duration> {
+        self.shared.service_hist.quantile(0.95)
+    }
+
+    /// Shuts the pool down: rejects new submissions, fails queued (not yet
+    /// started) requests with [`CoreError::PoolShutdown`], lets in-flight
+    /// runs respond, joins every worker, and returns the final stats.
+    ///
+    /// `live_runs == 0` in the returned stats is the no-leak guarantee:
+    /// every pipeline run — hedge losers included — was stopped and
+    /// joined.
+    pub fn shutdown(&self) -> ServeStats {
+        let shared = &self.shared;
+        let drained: Vec<QueueItem<I, T>> = {
+            let mut q = lock(&shared.queue);
+            q.closed = true;
+            q.jobs.drain(..).collect()
+        };
+        shared.queue_cv.notify_all();
+        for item in drained {
+            if !item.is_hedge && item.job.slot.fill(Err(CoreError::PoolShutdown)) {
+                shared.counters.record_failed();
+            }
+        }
+        let workers = std::mem::take(&mut *lock(&self.workers));
+        for w in workers {
+            let _ = w.join();
+        }
+        self.stats()
+    }
+}
+
+impl<I, T> Drop for ServePool<I, T> {
+    fn drop(&mut self) {
+        // Idempotent with an explicit shutdown(): the queue is already
+        // closed and the worker list empty.
+        {
+            let mut q = lock(&self.shared.queue);
+            q.closed = true;
+            for item in q.jobs.drain(..) {
+                item.job.slot.fill(Err(CoreError::PoolShutdown));
+            }
+        }
+        self.shared.queue_cv.notify_all();
+        for w in std::mem::take(&mut *lock(&self.workers)) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// How one pipeline attempt for a request ended.
+enum Attempt<T> {
+    /// The run reached a terminal output, or the deadline arrived; the
+    /// best snapshot so far (if any) goes to the caller.
+    Respond(Option<(f64, Snapshot<T>)>),
+    /// Another dispatch filled the slot first; this run was stopped.
+    Lost,
+    /// The replica died permanently (retryable). Carries the best
+    /// snapshot so far, kept across attempts.
+    Died(Option<(f64, Snapshot<T>)>),
+}
+
+fn worker_loop<I, T>(shared: &Arc<Shared<I, T>>, replica: usize)
+where
+    I: Send + Sync + 'static,
+    T: Send + Sync + 'static,
+{
+    loop {
+        // Circuit breaker gate: while Open, sleep out the cooldown (still
+        // responsive to shutdown), then probe with a single canary.
+        let cooldown = {
+            let breaker = lock(&shared.replicas[replica].breaker);
+            match *breaker {
+                Breaker::Open { until } => Some(until),
+                _ => None,
+            }
+        };
+        if let Some(until) = cooldown {
+            let mut q = lock(&shared.queue);
+            loop {
+                let now = Instant::now();
+                if now >= until {
+                    break;
+                }
+                if q.closed && q.jobs.is_empty() {
+                    return;
+                }
+                let (guard, _) = shared
+                    .queue_cv
+                    .wait_timeout(q, until - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+            *lock(&shared.replicas[replica].breaker) = Breaker::HalfOpen;
+        }
+        let item = {
+            let mut q = lock(&shared.queue);
+            loop {
+                if let Some(item) = q.jobs.pop_front() {
+                    break item;
+                }
+                if q.closed {
+                    return;
+                }
+                q = shared.queue_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        serve_job(shared, replica, &item);
+    }
+}
+
+/// Runs one queue item to response (or concedes it to a faster dispatch).
+fn serve_job<I, T>(shared: &Arc<Shared<I, T>>, replica: usize, item: &QueueItem<I, T>)
+where
+    I: Send + Sync + 'static,
+    T: Send + Sync + 'static,
+{
+    let job = &item.job;
+    let service_start = Instant::now();
+    // Advertise this replica's occupancy for admission: the observed
+    // service EWMA (runs often end early at a terminal output), capped by
+    // the job's (possibly shed-capped) deadline — the hard end of any run.
+    let occupied_until = {
+        let run_end = match job.budget_cap {
+            Some(cap) => job.deadline.min(service_start + cap),
+            None => job.deadline,
+        };
+        let est = shared.replicas[replica]
+            .ewma
+            .get()
+            .unwrap_or(shared.opts.default_service_estimate);
+        run_end.min(service_start + est)
+    };
+    *lock(&shared.replicas[replica].busy_until) = Some(occupied_until);
+    let mut best: Option<(f64, Snapshot<T>)> = None;
+    let mut local_retries = 0u32;
+    let outcome = loop {
+        let now = Instant::now();
+        if job.slot.is_filled() {
+            break Attempt::Lost;
+        }
+        if now >= job.deadline {
+            break Attempt::Respond(best);
+        }
+        match run_attempt(shared, item, &mut best) {
+            Attempt::Lost => break Attempt::Lost,
+            Attempt::Respond(b) => break Attempt::Respond(b),
+            Attempt::Died(b) => {
+                best = b;
+                record_breaker_failure(shared, replica);
+                let retry = &shared.opts.retry;
+                if local_retries >= retry.max_attempts {
+                    break Attempt::Respond(best);
+                }
+                let delay = retry_backoff(
+                    retry.base_backoff,
+                    retry.max_backoff,
+                    local_retries,
+                    shared.opts.seed ^ job.id,
+                );
+                // Retry only if the backoff plus a minimal run still fits.
+                if Instant::now() + delay + shared.opts.min_service >= job.deadline {
+                    break Attempt::Respond(best);
+                }
+                local_retries += 1;
+                shared.counters.record_retried();
+                {
+                    let mut st = lock(&job.slot.state);
+                    st.retries += 1;
+                }
+                std::thread::sleep(delay);
+            }
+        }
+    };
+    match outcome {
+        Attempt::Lost => {}
+        Attempt::Died(_) => unreachable!("Died is handled in the retry loop"),
+        Attempt::Respond(best) => {
+            let (hedged, retries) = {
+                let st = lock(&job.slot.state);
+                (st.hedged, st.retries)
+            };
+            let result = match best {
+                Some((quality, snapshot)) => {
+                    // A shed request that fell short of terminal output is
+                    // flagged too: its quality was deliberately sacrificed
+                    // to keep the pool available.
+                    let status = if snapshot.is_final() && quality >= job.floor {
+                        ServeStatus::Final
+                    } else if snapshot.is_degraded()
+                        || quality < job.floor
+                        || (job.shed && !snapshot.is_terminal())
+                    {
+                        ServeStatus::Degraded
+                    } else {
+                        ServeStatus::AtDeadline
+                    };
+                    Ok(ServeResponse {
+                        snapshot,
+                        quality,
+                        status,
+                        shed: job.shed,
+                        hedged,
+                        retries,
+                        replica,
+                        elapsed: job.accepted.elapsed(),
+                    })
+                }
+                // Every attempt died before publishing anything.
+                None => Err(CoreError::Timeout),
+            };
+            match &result {
+                Ok(resp) => {
+                    let status = resp.status;
+                    let elapsed = resp.elapsed;
+                    if job.slot.fill(result) {
+                        shared.counters.record_completed();
+                        if status == ServeStatus::Degraded {
+                            shared.counters.record_degraded_response();
+                        }
+                        let budget = job.deadline - job.accepted;
+                        shared.deadline_hist.record(elapsed, budget);
+                        // The EWMA and P95 track *service* time (pop to
+                        // response), not queue wait — admission multiplies
+                        // them by queue depth itself.
+                        let service = service_start.elapsed();
+                        shared.replicas[replica].ewma.record(service);
+                        shared.service_hist.record(service);
+                        record_breaker_success(shared, replica);
+                    }
+                }
+                Err(_) => {
+                    if job.slot.fill(result) {
+                        shared.counters.record_failed();
+                    }
+                }
+            }
+        }
+    }
+    *lock(&shared.replicas[replica].busy_until) = None;
+}
+
+/// One pipeline launch for a request: build, run, track the best snapshot,
+/// hedge at the trigger, respond at the deadline or terminal output.
+fn run_attempt<I, T>(
+    shared: &Arc<Shared<I, T>>,
+    item: &QueueItem<I, T>,
+    best: &mut Option<(f64, Snapshot<T>)>,
+) -> Attempt<T>
+where
+    I: Send + Sync + 'static,
+    T: Send + Sync + 'static,
+{
+    let job = &item.job;
+    let started = Instant::now();
+    // A shed request runs under its reduced budget (never past the real
+    // deadline).
+    let run_deadline = match job.budget_cap {
+        Some(cap) => job.deadline.min(started + cap),
+        None => job.deadline,
+    };
+    let (pipeline, reader) = match (shared.factory)(&job.input) {
+        Ok(built) => built,
+        Err(_) => return Attempt::Died(best.take()),
+    };
+    let ctl = ControlToken::new();
+    if !job.slot.register(ctl.clone()) {
+        return Attempt::Lost;
+    }
+    let auto = match pipeline.launch_with(ctl.clone()) {
+        Ok(auto) => auto,
+        Err(_) => return Attempt::Died(best.take()),
+    };
+    shared.live_runs.fetch_add(1, Ordering::Relaxed);
+    // Hedge trigger: P95 of observed service latency (or the fixed
+    // configured trigger) after this attempt's start. Primary dispatch
+    // only — hedges do not hedge.
+    let mut hedge_at: Option<Instant> = match (&shared.opts.hedge, item.is_hedge) {
+        (Some(policy), false) if shared.opts.replicas > 1 => {
+            let after = policy.after.unwrap_or_else(|| {
+                shared
+                    .service_hist
+                    .quantile(0.95)
+                    .unwrap_or(shared.opts.default_service_estimate)
+            });
+            let at = started + after;
+            (at + policy.min_remaining < job.deadline).then_some(at)
+        }
+        _ => None,
+    };
+    // Versions restart per run: never carry a previous attempt's version
+    // into this reader's waits (the quality comparison keeps `best`
+    // monotone across attempts instead).
+    let mut last: Option<Version> = None;
+    let outcome = loop {
+        if job.slot.is_filled() {
+            break Attempt::Lost;
+        }
+        let now = Instant::now();
+        if now >= run_deadline {
+            break Attempt::Respond(best.take());
+        }
+        let wait_until = hedge_at.map_or(run_deadline, |h| h.min(run_deadline));
+        match reader.wait_newer_timeout_with(last, wait_until.saturating_duration_since(now), &ctl)
+        {
+            Ok(snap) => {
+                last = Some(snap.version());
+                let q = (shared.quality)(&snap);
+                let better = best.as_ref().is_none_or(|(bq, _)| q >= *bq);
+                let terminal = snap.is_terminal();
+                if better {
+                    *best = Some((q, snap));
+                }
+                if terminal {
+                    break Attempt::Respond(best.take());
+                }
+            }
+            Err(CoreError::Timeout) => {
+                if let Some(h) = hedge_at {
+                    if Instant::now() >= h {
+                        hedge_at = None;
+                        spawn_hedge(shared, item);
+                    }
+                }
+            }
+            Err(CoreError::Stopped) => {
+                // Stopped mid-wait: the winner halted this run. If the
+                // slot is somehow unfilled, answer with the best so far.
+                if job.slot.is_filled() {
+                    break Attempt::Lost;
+                }
+                break Attempt::Respond(best.take());
+            }
+            // The replica died permanently (SourceClosed or another
+            // terminal error): retryable at the serve layer.
+            Err(_) => break Attempt::Died(best.take()),
+        }
+    };
+    // Stop and fully reap the run, win or lose: stages halt at their next
+    // step boundary and the join aggregates this run's fault handling.
+    auto.stop();
+    let pre_join = auto.fault_stats();
+    match auto.join() {
+        Ok(report) => lock(&shared.faults).absorb(&report.faults),
+        Err(_) => {
+            // The join error is the permanent failure the attempt already
+            // observed; keep the counters it managed to record.
+            let mut stats = pre_join;
+            stats.permanent_failures = stats.permanent_failures.max(1);
+            lock(&shared.faults).absorb(&stats);
+        }
+    }
+    shared.live_runs.fetch_sub(1, Ordering::Relaxed);
+    outcome
+}
+
+/// Dispatches the hedge copy of a request: same job, same slot, flagged so
+/// it cannot hedge again; queue-jumps so an idle replica picks it up now.
+fn spawn_hedge<I, T>(shared: &Arc<Shared<I, T>>, item: &QueueItem<I, T>) {
+    {
+        let mut st = lock(&item.job.slot.state);
+        if st.filled || st.hedged {
+            return;
+        }
+        st.hedged = true;
+    }
+    {
+        let mut q = lock(&shared.queue);
+        if q.closed {
+            return;
+        }
+        q.jobs.push_front(QueueItem {
+            job: Arc::clone(&item.job),
+            is_hedge: true,
+        });
+    }
+    shared.counters.record_hedged();
+    shared.queue_cv.notify_all();
+}
+
+fn record_breaker_failure<I, T>(shared: &Arc<Shared<I, T>>, replica: usize) {
+    let Some(policy) = &shared.opts.breaker else {
+        return;
+    };
+    let mut breaker = lock(&shared.replicas[replica].breaker);
+    let open = |shared: &Shared<I, T>| {
+        shared.counters.record_breaker_open();
+        Breaker::Open {
+            until: Instant::now() + policy.cooldown,
+        }
+    };
+    *breaker = match *breaker {
+        Breaker::Closed { consecutive } => {
+            let consecutive = consecutive + 1;
+            if consecutive >= policy.failures {
+                open(shared)
+            } else {
+                Breaker::Closed { consecutive }
+            }
+        }
+        // A failed canary re-opens immediately.
+        Breaker::HalfOpen => open(shared),
+        b @ Breaker::Open { .. } => b,
+    };
+}
+
+fn record_breaker_success<I, T>(shared: &Arc<Shared<I, T>>, replica: usize) {
+    if shared.opts.breaker.is_none() {
+        return;
+    }
+    *lock(&shared.replicas[replica].breaker) = Breaker::Closed { consecutive: 0 };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::{StageOptions, StepOutcome};
+    use crate::{Diffusive, PipelineBuilder};
+
+    /// A pipeline whose source counts to `n`, sleeping `step_delay` per
+    /// step; quality = fraction completed.
+    fn counting_factory(
+        n: u64,
+        step_delay: Duration,
+    ) -> impl Fn(&u64) -> Result<(Pipeline, BufferReader<u64>)> + Send + Sync {
+        move |_input: &u64| {
+            let mut pb = PipelineBuilder::new();
+            let out = pb.source(
+                "count",
+                (),
+                Diffusive::new(
+                    |_: &()| 0u64,
+                    move |_: &(), out: &mut u64, _| {
+                        std::thread::sleep(step_delay);
+                        *out += 1;
+                        if *out == n {
+                            StepOutcome::Done
+                        } else {
+                            StepOutcome::Continue
+                        }
+                    },
+                ),
+                StageOptions::with_publish_every(1),
+            );
+            Ok((pb.build(), out))
+        }
+    }
+
+    fn fraction_quality(n: u64) -> impl Fn(&Snapshot<u64>) -> f64 + Send + Sync {
+        move |s: &Snapshot<u64>| *s.value() as f64 / n as f64
+    }
+
+    #[test]
+    fn generous_deadline_reaches_final() {
+        let pool = ServePool::new(
+            ServeOptions::default().replicas(2),
+            counting_factory(10, Duration::from_micros(100)),
+            fraction_quality(10),
+        )
+        .unwrap();
+        let resp = pool.submit(0, Duration::from_secs(10), 0.5).unwrap();
+        assert_eq!(resp.status, ServeStatus::Final);
+        assert_eq!(*resp.snapshot.value(), 10);
+        assert_eq!(resp.quality, 1.0);
+        assert!(!resp.shed && !resp.hedged);
+        let stats = pool.shutdown();
+        assert_eq!(stats.admitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.live_runs, 0);
+        assert_eq!(stats.deadline.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn tight_deadline_returns_partial_at_deadline() {
+        let pool = ServePool::new(
+            ServeOptions {
+                min_service: Duration::from_micros(10),
+                ..ServeOptions::default()
+            },
+            counting_factory(1_000_000, Duration::from_millis(1)),
+            fraction_quality(1_000_000),
+        )
+        .unwrap();
+        let deadline = Duration::from_millis(40);
+        let resp = pool.submit(0, deadline, 0.0).unwrap();
+        assert_eq!(resp.status, ServeStatus::AtDeadline);
+        assert!(*resp.snapshot.value() >= 1);
+        assert!(!resp.snapshot.is_final());
+        assert!(
+            resp.elapsed <= deadline + Duration::from_millis(250),
+            "responded {:?} after a {:?} deadline",
+            resp.elapsed,
+            deadline
+        );
+        assert_eq!(pool.shutdown().live_runs, 0);
+    }
+
+    #[test]
+    fn impossible_budget_is_rejected_at_admission() {
+        let pool = ServePool::new(
+            ServeOptions {
+                min_service: Duration::from_millis(5),
+                ..ServeOptions::default()
+            },
+            counting_factory(10, Duration::from_micros(10)),
+            fraction_quality(10),
+        )
+        .unwrap();
+        match pool.submit(0, Duration::from_micros(100), 0.0) {
+            Err(CoreError::AdmissionRejected { projected, budget }) => {
+                assert!(projected > budget);
+            }
+            other => panic!("expected AdmissionRejected, got {other:?}"),
+        }
+        let stats = pool.shutdown();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.admitted, 0);
+    }
+
+    #[test]
+    fn level_profile_gates_admission() {
+        let levels = vec![LevelEstimate {
+            level: 0,
+            cost: Duration::from_millis(50),
+            quality: 1.0,
+        }];
+        let pool = ServePool::new(
+            ServeOptions {
+                min_service: Duration::from_micros(1),
+                ..ServeOptions::default()
+            }
+            .levels(levels),
+            counting_factory(10, Duration::from_micros(10)),
+            fraction_quality(10),
+        )
+        .unwrap();
+        // 10ms budget < the only level's 50ms cost: rejected by the plan.
+        assert!(matches!(
+            pool.submit(0, Duration::from_millis(10), 0.0),
+            Err(CoreError::AdmissionRejected { .. })
+        ));
+        // A budget the level fits passes.
+        assert!(pool.submit(0, Duration::from_millis(500), 0.0).is_ok());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn permanent_death_retries_then_succeeds() {
+        use std::sync::atomic::AtomicBool;
+        let failed_once = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&failed_once);
+        let factory = move |_input: &u64| {
+            let first = !flag.swap(true, Ordering::SeqCst);
+            let mut pb = PipelineBuilder::new();
+            let out = pb.source(
+                "count",
+                (),
+                Diffusive::new(
+                    |_: &()| 0u64,
+                    move |_: &(), out: &mut u64, _| {
+                        assert!(!first, "injected first-build death");
+                        *out += 1;
+                        if *out == 5 {
+                            StepOutcome::Done
+                        } else {
+                            StepOutcome::Continue
+                        }
+                    },
+                ),
+                StageOptions::with_publish_every(1),
+            );
+            Ok((pb.build(), out))
+        };
+        let pool = ServePool::new(
+            ServeOptions {
+                replicas: 1,
+                retry: RetryPolicy {
+                    max_attempts: 3,
+                    base_backoff: Duration::from_micros(100),
+                    max_backoff: Duration::from_millis(1),
+                },
+                breaker: None,
+                ..ServeOptions::default()
+            },
+            factory,
+            fraction_quality(5),
+        )
+        .unwrap();
+        let resp = pool.submit(0, Duration::from_secs(10), 0.0).unwrap();
+        assert_eq!(resp.status, ServeStatus::Final);
+        assert!(resp.retries >= 1);
+        let stats = pool.shutdown();
+        assert!(stats.retried >= 1);
+        assert!(stats.faults.permanent_failures >= 1);
+        assert_eq!(stats.live_runs, 0);
+    }
+
+    #[test]
+    fn consecutive_failures_open_the_breaker() {
+        let factory = |_input: &u64| {
+            let mut pb = PipelineBuilder::new();
+            let out = pb.source(
+                "boom",
+                (),
+                Diffusive::new(
+                    |_: &()| 0u64,
+                    |_: &(), _: &mut u64, _| -> StepOutcome { panic!("always dies") },
+                ),
+                StageOptions::with_publish_every(1),
+            );
+            Ok((pb.build(), out))
+        };
+        let pool = ServePool::new(
+            ServeOptions {
+                replicas: 1,
+                retry: RetryPolicy {
+                    max_attempts: 0,
+                    base_backoff: Duration::ZERO,
+                    max_backoff: Duration::ZERO,
+                },
+                breaker: Some(BreakerPolicy {
+                    failures: 2,
+                    cooldown: Duration::from_millis(5),
+                }),
+                min_service: Duration::from_micros(1),
+                ..ServeOptions::default()
+            },
+            factory,
+            fraction_quality(1),
+        )
+        .unwrap();
+        for _ in 0..4 {
+            let res = pool.submit(0, Duration::from_millis(300), 0.0);
+            assert!(res.is_err(), "a dead pipeline cannot produce a snapshot");
+        }
+        let stats = pool.shutdown();
+        assert!(stats.breaker_opens >= 1, "breaker never opened: {stats:?}");
+        assert_eq!(stats.failed, 4);
+        assert_eq!(stats.live_runs, 0);
+    }
+
+    #[test]
+    fn saturation_sheds_low_floor_requests() {
+        let pool = ServePool::new(
+            ServeOptions {
+                replicas: 1,
+                shed: Some(ShedPolicy {
+                    queue_threshold: 0,
+                    max_floor: 0.5,
+                    budget: Duration::from_millis(10),
+                }),
+                ..ServeOptions::default()
+            },
+            counting_factory(1_000_000, Duration::from_millis(1)),
+            fraction_quality(1_000_000),
+        )
+        .unwrap();
+        // Floor below max_floor ⇒ shed to the 10ms budget despite the
+        // 5s deadline.
+        let resp = pool.submit(0, Duration::from_secs(5), 0.0).unwrap();
+        assert!(resp.shed);
+        assert_eq!(resp.status, ServeStatus::Degraded);
+        assert!(
+            resp.elapsed < Duration::from_secs(1),
+            "shed request ran {:?}, not its reduced budget",
+            resp.elapsed
+        );
+        let stats = pool.shutdown();
+        assert_eq!(stats.shed, 1);
+        assert!(stats.degraded_responses >= 1);
+    }
+
+    #[test]
+    fn hedge_dispatches_and_loser_is_stopped() {
+        let pool = ServePool::new(
+            ServeOptions {
+                replicas: 2,
+                hedge: Some(HedgePolicy {
+                    after: Some(Duration::from_millis(5)),
+                    min_remaining: Duration::from_millis(1),
+                }),
+                ..ServeOptions::default()
+            },
+            counting_factory(60, Duration::from_millis(1)),
+            fraction_quality(60),
+        )
+        .unwrap();
+        let resp = pool.submit(0, Duration::from_secs(10), 0.0).unwrap();
+        assert!(resp.hedged, "hedge never dispatched");
+        assert_eq!(resp.status, ServeStatus::Final);
+        let stats = pool.shutdown();
+        assert_eq!(stats.hedged, 1);
+        assert_eq!(stats.live_runs, 0, "hedge loser leaked a run");
+    }
+
+    #[test]
+    fn shutdown_fails_queued_requests() {
+        let pool = Arc::new(
+            ServePool::new(
+                ServeOptions {
+                    replicas: 1,
+                    ..ServeOptions::default()
+                },
+                counting_factory(1_000_000, Duration::from_millis(1)),
+                fraction_quality(1_000_000),
+            )
+            .unwrap(),
+        );
+        // Occupy the only replica, then queue a second request.
+        let p1 = Arc::clone(&pool);
+        let busy = std::thread::spawn(move || p1.submit(0, Duration::from_millis(400), 0.0));
+        std::thread::sleep(Duration::from_millis(30));
+        let p2 = Arc::clone(&pool);
+        let queued = std::thread::spawn(move || p2.submit(0, Duration::from_secs(5), 0.0));
+        std::thread::sleep(Duration::from_millis(30));
+        let stats = pool.shutdown();
+        assert!(busy.join().unwrap().is_ok());
+        assert!(matches!(
+            queued.join().unwrap(),
+            Err(CoreError::PoolShutdown)
+        ));
+        assert_eq!(stats.live_runs, 0);
+    }
+
+    #[test]
+    fn zero_replicas_rejected() {
+        let r = ServePool::new(
+            ServeOptions::default().replicas(0),
+            counting_factory(1, Duration::ZERO),
+            fraction_quality(1),
+        );
+        assert!(matches!(r, Err(CoreError::InvalidConfig(_))));
+    }
+}

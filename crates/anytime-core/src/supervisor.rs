@@ -170,6 +170,36 @@ pub(crate) fn backoff_interruptible(ctl: &ControlToken, backoff: Duration) -> bo
     }
 }
 
+/// Computes the delay before retry `attempt` (0-based) of a failed
+/// request: capped exponential backoff with deterministic jitter.
+///
+/// The raw delay doubles per attempt from `base` and saturates at `cap`;
+/// the jittered delay is drawn from `[raw/2, raw]` by a SplitMix64-style
+/// hash of `(salt, attempt)`, so the same request retries on the same
+/// schedule every run (chaos tests reproduce from their seed) while
+/// distinct requests decorrelate instead of retrying in lockstep.
+pub(crate) fn retry_backoff(base: Duration, cap: Duration, attempt: u32, salt: u64) -> Duration {
+    if base.is_zero() {
+        return Duration::ZERO;
+    }
+    let raw = base
+        .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+        .min(cap);
+    let half = raw / 2;
+    let span = raw.saturating_sub(half);
+    if span.is_zero() {
+        return raw;
+    }
+    // SplitMix64 finalizer over (salt, attempt): deterministic, well-mixed.
+    let mut z = salt
+        .wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    half + Duration::from_nanos(z % (span.as_nanos().max(1) as u64))
+}
+
 /// One stage under watchdog observation.
 pub(crate) struct WatchedStage {
     pub(crate) control: Arc<dyn BufferControl>,
@@ -346,5 +376,46 @@ mod tests {
         assert!(backoff_interruptible(&ctl, Duration::ZERO));
         ctl.stop();
         assert!(!backoff_interruptible(&ctl, Duration::ZERO));
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_and_bounded() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(200);
+        for attempt in 0..12 {
+            for salt in [0u64, 1, 42, u64::MAX] {
+                let d = retry_backoff(base, cap, attempt, salt);
+                assert_eq!(d, retry_backoff(base, cap, attempt, salt));
+                let raw = base
+                    .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+                    .min(cap);
+                assert!(d >= raw / 2, "attempt {attempt} salt {salt}: {d:?}");
+                assert!(d <= raw, "attempt {attempt} salt {salt}: {d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn retry_backoff_grows_then_caps() {
+        let base = Duration::from_millis(8);
+        let cap = Duration::from_millis(64);
+        // After enough doublings the raw delay is pinned at the cap.
+        for attempt in 4..10 {
+            let d = retry_backoff(base, cap, attempt, 7);
+            assert!(d >= cap / 2 && d <= cap, "attempt {attempt}: {d:?}");
+        }
+        // Distinct salts decorrelate at least one attempt.
+        assert!(
+            (0..16u64).any(|s| retry_backoff(base, cap, 3, s) != retry_backoff(base, cap, 3, 99)),
+            "jitter never varied across salts"
+        );
+    }
+
+    #[test]
+    fn retry_backoff_zero_base_is_zero() {
+        assert_eq!(
+            retry_backoff(Duration::ZERO, Duration::from_secs(1), 5, 3),
+            Duration::ZERO
+        );
     }
 }

@@ -17,9 +17,10 @@
 
 use anytime_core::buffer::BufferReader;
 use anytime_core::{
-    CoreError, Diffusive, FaultPlan, Pipeline, PipelineBuilder, Precise, Snapshot, StageOptions,
-    StallAction, StepOutcome, Supervision,
+    CoreError, Diffusive, FaultPlan, ParallelSampledMap, Pipeline, PipelineBuilder, Precise,
+    SampledReduce, Snapshot, StageOptions, StallAction, StepOutcome, Supervision,
 };
+use anytime_permute::{DynPermutation, Lfsr};
 use std::time::Duration;
 
 /// Steps in the source stage — also the seeded plans' `max_step`.
@@ -268,6 +269,146 @@ fn stalls_and_slowdowns_only_delay_a_fail_stop_pipeline() {
         precise_output()
     );
     assert_f_atomic(&f.history().unwrap());
+}
+
+/// Elements in the sampled-pattern chaos pipeline below.
+const M: usize = 64;
+
+/// Precise output of the `pmap` → `reduce` pipeline: `Σ 3·i` over `0..M`.
+const fn pmap_reduce_precise() -> u64 {
+    3 * (M as u64 * (M as u64 - 1) / 2)
+}
+
+/// The paper's sampling patterns under fault injection: a
+/// [`ParallelSampledMap`] source (`pmap`, tripling `0..M` in LFSR order
+/// across 2 workers) feeding a [`SampledReduce`] stage (`reduce`, summing
+/// whatever `pmap` has published so far). Faults arm on the worker-merge
+/// boundary for `pmap` and on the sampling loop for `reduce`.
+#[allow(clippy::type_complexity)]
+fn pmap_reduce_pipeline(sup: Supervision) -> (Pipeline, BufferReader<Vec<u64>>, BufferReader<u64>) {
+    // publish_every = 1 (the default) guarantees at least one publication
+    // before the earliest injectable panic, like the `f`→`g`→`h` pipeline.
+    let opts = StageOptions::default().keep_history().supervise(sup);
+    let input: Vec<u64> = (0..M as u64).collect();
+    let mut pb = PipelineBuilder::new();
+    let pmap = ParallelSampledMap::new(
+        "pmap",
+        input,
+        DynPermutation::new(Lfsr::with_len(M).unwrap()),
+        2,
+        4,
+        |i: &Vec<u64>| vec![0u64; i.len()],
+        |i: &Vec<u64>, idx| i[idx] * 3,
+        |out: &mut Vec<u64>, idx, v| out[idx] = v,
+    )
+    .register(&mut pb, opts);
+    let sum = pb.stage(
+        "reduce",
+        &pmap,
+        SampledReduce::new(
+            DynPermutation::new(Lfsr::with_len(M).unwrap()),
+            |_: &Vec<u64>| 0u64,
+            |acc: &mut u64, d: &Vec<u64>, idx| *acc += d[idx],
+        ),
+        opts,
+    );
+    (pb.build(), pmap, sum)
+}
+
+/// Property 3 for `pmap`: every published slot is either the unwritten
+/// sentinel 0 or the exact mapped value `3·idx` — never a torn write.
+fn assert_pmap_atomic(hist: &[Snapshot<Vec<u64>>]) {
+    for s in hist {
+        for (idx, &v) in s.value().iter().enumerate() {
+            assert!(
+                v == 0 || v == 3 * idx as u64,
+                "torn publication in `pmap`: slot {idx} holds {v}"
+            );
+        }
+    }
+}
+
+/// Every `reduce` publication sums a sampled subset of `pmap`'s written
+/// slots, so it is a multiple of 3 bounded by the precise output.
+fn assert_reduce_valid(hist: &[Snapshot<u64>]) {
+    for s in hist {
+        assert!(
+            s.value() % 3 == 0 && *s.value() <= pmap_reduce_precise(),
+            "`reduce` published impossible value {}",
+            s.value()
+        );
+    }
+}
+
+#[test]
+fn sampled_patterns_under_seeded_degrade_yield_valid_output() {
+    for seed in 0..chaos_iters() {
+        let plan = FaultPlan::seeded(seed, &["pmap", "reduce"], M as u64);
+        let (pipeline, pmap, sum) = pmap_reduce_pipeline(Supervision::degrade());
+        let auto = pipeline.inject_faults(&plan).launch().unwrap();
+        let report = auto
+            .join()
+            .unwrap_or_else(|e| panic!("seed {seed} (plan:\n{plan}) errored under Degrade: {e}"));
+        let ctx = format!("seed {seed} (plan:\n{plan})");
+        let out = sum
+            .wait_final_timeout(Duration::from_secs(30))
+            .unwrap_or_else(|e| panic!("{ctx}: no terminal output: {e}"));
+        assert!(out.is_terminal(), "{ctx}");
+        let pmap_hist = pmap.history().unwrap();
+        assert_monotone(&pmap_hist, "pmap");
+        assert_pmap_atomic(&pmap_hist);
+        let sum_hist = sum.history().unwrap();
+        assert_monotone(&sum_hist, "reduce");
+        assert_reduce_valid(&sum_hist);
+        if report.all_final() {
+            assert_eq!(*out.value(), pmap_reduce_precise(), "{ctx}");
+        } else {
+            assert!(report.any_degraded(), "{ctx}: not final yet not degraded");
+            assert!(out.is_degraded(), "{ctx}");
+        }
+    }
+}
+
+#[test]
+fn sampled_patterns_under_seeded_restart_reach_the_precise_output() {
+    for seed in 0..chaos_iters() {
+        let plan = FaultPlan::seeded(seed, &["pmap", "reduce"], M as u64);
+        let (pipeline, pmap, sum) = pmap_reduce_pipeline(Supervision::restart(4, Duration::ZERO));
+        let auto = pipeline.inject_faults(&plan).launch().unwrap();
+        let report = auto
+            .join()
+            .unwrap_or_else(|e| panic!("seed {seed} (plan:\n{plan}) errored under Restart: {e}"));
+        // Injected faults are one-shot, so restarted sampled stages always
+        // recover: idempotent slot writes make the re-run converge on the
+        // same precise output.
+        assert!(report.all_final(), "seed {seed} (plan:\n{plan})");
+        let out = sum.wait_final_timeout(Duration::from_secs(30)).unwrap();
+        assert!(out.is_final(), "seed {seed}");
+        assert_eq!(*out.value(), pmap_reduce_precise(), "seed {seed}");
+        let expected: Vec<u64> = (0..M as u64).map(|v| v * 3).collect();
+        let pmap_final = pmap.wait_final_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(*pmap_final.value(), expected, "seed {seed}");
+        assert_pmap_atomic(&pmap.history().unwrap());
+    }
+}
+
+#[test]
+fn parallel_map_merge_panic_under_degrade_flags_downstream() {
+    // A panic armed on `pmap`'s worker-merge boundary under Degrade: the
+    // partially-written map is sealed degraded and the reduction over it
+    // still resolves to a valid, flagged approximation.
+    let plan = FaultPlan::new().panic_at("pmap", 8);
+    let (pipeline, pmap, sum) = pmap_reduce_pipeline(Supervision::degrade());
+    let auto = pipeline.inject_faults(&plan).launch().unwrap();
+    let report = auto.join().unwrap();
+    assert!(report.any_degraded());
+    assert!(report.faults.degradations >= 1);
+    let out = sum.wait_final_timeout(Duration::from_secs(30)).unwrap();
+    assert!(out.is_degraded());
+    assert!(!out.is_final());
+    assert_reduce_valid(&sum.history().unwrap());
+    assert_pmap_atomic(&pmap.history().unwrap());
+    assert!(pmap.is_degraded());
 }
 
 #[test]

@@ -2,10 +2,11 @@
 //! deadlines and pick maximal quality; scheduler allocations must conserve
 //! threads and honor their policy's objective.
 
-use anytime_core::contract::{plan_single_level, plan_with_insurance, LevelEstimate};
+use anytime_core::contract::{plan_single_level, plan_strict, plan_with_insurance, LevelEstimate};
 use anytime_core::scheduler::{
     allocate, estimate_first_output_latency, estimate_output_gap, AllocPolicy,
 };
+use anytime_core::CoreError;
 use proptest::prelude::*;
 use std::time::Duration;
 
@@ -74,6 +75,66 @@ proptest! {
         // The insured final quality equals the single-level plan's.
         let single = plan_single_level(&estimates, deadline).unwrap();
         prop_assert_eq!(plan.expected_quality, single.expected_quality);
+    }
+
+    #[test]
+    fn strict_plans_never_exceed_budget(
+        estimates in arb_estimates(),
+        deadline_ms in 0u64..2000,
+    ) {
+        let deadline = Duration::from_millis(deadline_ms);
+        match plan_strict(&estimates, deadline) {
+            Ok(plan) => {
+                // A strict plan never promises more than the budget: the
+                // chosen level's cost — and thus the whole plan — fits.
+                prop_assert!(plan.expected_cost <= deadline);
+                prop_assert_eq!(&plan, &plan_single_level(&estimates, deadline).unwrap());
+            }
+            Err(CoreError::AdmissionRejected { projected, budget }) => {
+                // Rejection is honest: nothing fits, and the projection is
+                // exactly the cheapest level's cost.
+                prop_assert!(estimates.iter().all(|e| e.cost > deadline));
+                prop_assert_eq!(budget, deadline);
+                prop_assert_eq!(
+                    projected,
+                    estimates.iter().map(|e| e.cost).min().unwrap()
+                );
+            }
+            Err(other) => return Err(format!(
+                "valid estimates produced unexpected error: {other}"
+            )),
+        }
+    }
+
+    #[test]
+    fn degenerate_estimates_return_defined_errors(
+        estimates in arb_estimates(),
+        zero_at in 0usize..64,
+        deadline_ms in 1u64..2000,
+    ) {
+        let deadline = Duration::from_millis(deadline_ms);
+        // Empty level sets are InvalidConfig, never a panic or a plan.
+        prop_assert!(matches!(
+            plan_strict(&[], deadline),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        // Zeroing any one level's cost makes the whole profile invalid.
+        let mut zeroed = estimates.clone();
+        let idx = zero_at % zeroed.len();
+        zeroed[idx].cost = Duration::ZERO;
+        for plan in [plan_strict, plan_single_level, plan_with_insurance] {
+            prop_assert!(matches!(
+                plan(&zeroed, deadline),
+                Err(CoreError::InvalidConfig(_))
+            ));
+        }
+        // As does a NaN quality.
+        let mut nan = estimates;
+        nan[idx].quality = f64::NAN;
+        prop_assert!(matches!(
+            plan_strict(&nan, deadline),
+            Err(CoreError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,379 @@
+//! Chaos-style soak test for the serving layer (ISSUE 3 acceptance
+//! scenario): a 4-replica [`ServePool`] under a seeded fault plan — panics,
+//! stalls, slowdowns — with 8 concurrent submitters and ≥ 500 requests.
+//!
+//! Invariants asserted:
+//!
+//! - every response arrives by its deadline (plus scheduling slop) or the
+//!   request is rejected at admission; zero hangs;
+//! - no response is below its quality floor unless flagged degraded;
+//! - hedged losers are verifiably stopped: `live_runs == 0` at pool
+//!   shutdown, i.e. no leaked running stages;
+//! - the serve counters reconcile: `admitted + rejected` equals the
+//!   submissions, `completed + failed` equals the admissions, the
+//!   aggregated per-run `FaultStats` reflect the injected faults, and the
+//!   serve-layer retry counter covers every per-response retry.
+//!
+//! Deterministic: all faults derive from `SOAK_SEED` (default 0xA17) and
+//! fire only on a request's *first* pipeline build (the transient-fault
+//! model), so retries and hedges recover reproducibly. Request volume is
+//! `SOAK_REQUESTS` per submitter thread (default 70 ⇒ 560 total).
+//! Requires `--features fault-inject`.
+#![cfg(feature = "fault-inject")]
+
+use anytime_core::serve::{HedgePolicy, RetryPolicy, ServeOptions, ServePool, ShedPolicy};
+use anytime_core::{
+    BreakerPolicy, CoreError, Diffusive, FaultPlan, Precise, ServeResponse, ServeStatus,
+    StageOptions, StepOutcome, Supervision,
+};
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Steps in the source stage; also the seeded plans' `max_step`.
+const N: u64 = 16;
+/// Per-step work in the source stage.
+const STEP_DELAY: Duration = Duration::from_micros(500);
+/// Submitter threads (the acceptance scenario's concurrency).
+const SUBMITTERS: usize = 8;
+/// Allowance past the deadline for thread scheduling and step-boundary
+/// stop latency; responses are produced *at* the deadline, not after it.
+const DEADLINE_SLOP: Duration = Duration::from_millis(100);
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The four deterministic request classes, by id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    /// Fail-stop supervision + a seeded panic: exercises serve-layer retry.
+    Panic,
+    /// Degrade supervision + a fully seeded plan: exercises degraded
+    /// responses.
+    Degrade,
+    /// A heavy per-step slowdown on the first build: exercises hedging
+    /// (the clean hedge rebuild overtakes the slow primary).
+    Slow,
+    /// No injected fault.
+    Clean,
+}
+
+fn class_of(id: u64) -> Class {
+    match id % 4 {
+        0 => Class::Panic,
+        1 => Class::Degrade,
+        2 => Class::Slow,
+        _ => Class::Clean,
+    }
+}
+
+/// Builds the pool: a 2-stage pipeline (`f` counts to [`N`], `g` doubles)
+/// whose first build per request id arms that id's seeded faults.
+fn build_pool(seed: u64) -> ServePool<u64, u64> {
+    let seen: Arc<Mutex<HashSet<u64>>> = Arc::new(Mutex::new(HashSet::new()));
+    let factory = move |&id: &u64| {
+        let class = class_of(id);
+        let sup = match class {
+            Class::Degrade => Supervision::degrade(),
+            _ => Supervision::fail_stop(),
+        };
+        let opts = StageOptions::with_publish_every(1).supervise(sup);
+        let mut pb = anytime_core::PipelineBuilder::new();
+        let f = pb.source(
+            "f",
+            (),
+            Diffusive::new(
+                |_: &()| 0u64,
+                |_: &(), out: &mut u64, _| {
+                    std::thread::sleep(STEP_DELAY);
+                    *out += 1;
+                    if *out == N {
+                        StepOutcome::Done
+                    } else {
+                        StepOutcome::Continue
+                    }
+                },
+            ),
+            opts,
+        );
+        let g = pb.stage("g", &f, Precise::new(|v: &u64| v * 2), opts);
+        let mut pipeline = pb.build();
+        // Transient-fault model: faults arm only on the first build of
+        // each request id, so retries and hedges rebuild clean.
+        let first_build = seen.lock().unwrap().insert(id);
+        if first_build {
+            let plan = match class {
+                Class::Panic => FaultPlan::new().panic_at("f", 1 + (seed ^ id) % N),
+                Class::Degrade => FaultPlan::seeded(seed ^ id, &["f", "g"], N),
+                Class::Slow => FaultPlan::new().slow_down("f", Duration::from_millis(2)),
+                Class::Clean => FaultPlan::new(),
+            };
+            pipeline = pipeline.inject_faults(&plan);
+        }
+        Ok((pipeline, g))
+    };
+    let opts = ServeOptions {
+        replicas: 4,
+        queue_capacity: 256,
+        min_service: Duration::from_millis(2),
+        default_service_estimate: Duration::from_millis(10),
+        retry: RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(10),
+        },
+        hedge: Some(HedgePolicy {
+            after: Some(Duration::from_millis(10)),
+            min_remaining: Duration::from_millis(1),
+        }),
+        shed: Some(ShedPolicy {
+            queue_threshold: 2,
+            max_floor: 0.3,
+            budget: Duration::from_millis(20),
+        }),
+        breaker: Some(BreakerPolicy {
+            failures: 8,
+            cooldown: Duration::from_millis(10),
+        }),
+        levels: None,
+        seed,
+    };
+    // Quality: fraction of the precise output (g = 2N when complete).
+    ServePool::new(opts, factory, |s| *s.value() as f64 / (2 * N) as f64).unwrap()
+}
+
+/// Deadline budget for a request: three servable classes plus one budget
+/// below `min_service`, which admission must deterministically reject.
+fn deadline_of(i: u64) -> Duration {
+    match i % 4 {
+        0 => Duration::from_millis(500),
+        1 => Duration::from_millis(150),
+        2 => Duration::from_millis(60),
+        _ => Duration::from_micros(10),
+    }
+}
+
+fn floor_of(i: u64) -> f64 {
+    match i % 3 {
+        0 => 0.0,
+        1 => 0.25,
+        _ => 0.5,
+    }
+}
+
+#[test]
+fn soak_pool_under_seeded_faults_and_concurrent_load() {
+    let seed = env_u64("SOAK_SEED", 0xA17);
+    let per_thread = env_u64("SOAK_REQUESTS", 70);
+    let pool = Arc::new(build_pool(seed));
+    let mut handles = Vec::new();
+    for t in 0..SUBMITTERS as u64 {
+        let pool = Arc::clone(&pool);
+        handles.push(std::thread::spawn(move || {
+            type Submitted = (u64, Duration, f64, Result<ServeResponse<u64>, CoreError>);
+            let mut results: Vec<Submitted> = Vec::new();
+            for i in 0..per_thread {
+                let id = t * per_thread + i;
+                let deadline = deadline_of(t + i);
+                let floor = floor_of(i);
+                let res = pool.submit(id, deadline, floor);
+                results.push((id, deadline, floor, res));
+            }
+            results
+        }));
+    }
+    let mut ok_count = 0u64;
+    let mut err_admission = 0u64;
+    let mut err_other = 0u64;
+    let mut retries_in_ok = 0u64;
+    let mut hedged_seen = false;
+    let mut degraded_seen = false;
+    for h in handles {
+        for (id, deadline, floor, res) in h.join().expect("submitter panicked — a hang or assert")
+        {
+            match res {
+                Ok(resp) => {
+                    ok_count += 1;
+                    assert!(
+                        resp.elapsed <= deadline + DEADLINE_SLOP,
+                        "request {id}: responded {:?} after a {deadline:?} deadline",
+                        resp.elapsed
+                    );
+                    assert!(
+                        resp.quality >= floor || resp.status == ServeStatus::Degraded,
+                        "request {id}: quality {} below floor {floor} but status {:?}",
+                        resp.quality,
+                        resp.status
+                    );
+                    if resp.status == ServeStatus::Final {
+                        assert_eq!(
+                            *resp.snapshot.value(),
+                            2 * N,
+                            "request {id}: final response with wrong precise value"
+                        );
+                    }
+                    retries_in_ok += u64::from(resp.retries);
+                    hedged_seen |= resp.hedged;
+                    degraded_seen |= resp.status == ServeStatus::Degraded;
+                }
+                Err(CoreError::AdmissionRejected { projected, budget }) => {
+                    err_admission += 1;
+                    assert!(
+                        projected > budget,
+                        "request {id}: rejection with projected {projected:?} <= budget {budget:?}"
+                    );
+                }
+                // A request whose every attempt died before publishing is
+                // an error, not a late response; PoolShutdown cannot occur
+                // before shutdown() below.
+                Err(CoreError::Timeout) => err_other += 1,
+                Err(e) => panic!("request {id}: unexpected error {e}"),
+            }
+        }
+    }
+    let total = SUBMITTERS as u64 * per_thread;
+    // The sub-min_service budget class is rejected at admission, always.
+    assert!(
+        err_admission >= total / 4,
+        "tight deadlines not rejected: {err_admission} of {total}"
+    );
+    let stats = pool.shutdown();
+    // No leaked running stages: every run — hedge losers included — was
+    // stopped and joined before shutdown returned.
+    assert_eq!(stats.live_runs, 0, "leaked pipeline runs: {stats:?}");
+    // Counter reconciliation with the submitters' view and the per-run
+    // RunReport aggregation.
+    assert_eq!(stats.admitted + stats.rejected, total, "{stats:?}");
+    assert_eq!(stats.completed + stats.failed, stats.admitted, "{stats:?}");
+    assert_eq!(stats.completed, ok_count, "{stats:?}");
+    assert_eq!(
+        stats.failed + stats.rejected,
+        err_admission + err_other,
+        "{stats:?}"
+    );
+    assert!(
+        stats.retried >= retries_in_ok,
+        "serve retry counter ({}) below per-response sum ({retries_in_ok})",
+        stats.retried
+    );
+    assert!(hedged_seen, "no request was ever hedged");
+    assert!(stats.hedged >= 1, "{stats:?}");
+    assert!(
+        degraded_seen || stats.degraded_responses == 0,
+        "pool counted degraded responses no submitter saw: {stats:?}"
+    );
+    // The injected panic class dies permanently at least once per soak, so
+    // the aggregated fault stats must show permanent failures and the
+    // degrade class must show degradations.
+    assert!(
+        stats.faults.permanent_failures >= 1,
+        "injected panics left no permanent failures: {stats:?}"
+    );
+    assert!(
+        stats.retried >= 1,
+        "permanent deaths were never retried: {stats:?}"
+    );
+    assert!(
+        stats.deadline.hit_rate() >= 0.9,
+        "deadline hit rate {:.3} below 0.9: {stats:?}",
+        stats.deadline.hit_rate()
+    );
+}
+
+/// Shedding under forced saturation: low-floor requests get reduced-budget
+/// approximations (flagged), high-floor requests keep their full budget,
+/// and availability never drops.
+#[test]
+fn soak_shedding_degrades_quality_not_availability() {
+    let seed = env_u64("SOAK_SEED", 0xA17);
+    // One replica and an always-engaged shed policy force the trade.
+    let pool = Arc::new({
+        let opts = ServeOptions {
+            replicas: 1,
+            queue_capacity: 64,
+            min_service: Duration::from_millis(1),
+            default_service_estimate: Duration::from_millis(8),
+            retry: RetryPolicy::default(),
+            hedge: None,
+            shed: Some(ShedPolicy {
+                queue_threshold: 0,
+                max_floor: 0.3,
+                budget: Duration::from_millis(4),
+            }),
+            breaker: None,
+            levels: None,
+            seed,
+        };
+        ServePool::new(
+            opts,
+            |_: &u64| {
+                let mut pb = anytime_core::PipelineBuilder::new();
+                let f = pb.source(
+                    "f",
+                    (),
+                    Diffusive::new(
+                        |_: &()| 0u64,
+                        |_: &(), out: &mut u64, _| {
+                            std::thread::sleep(STEP_DELAY);
+                            *out += 1;
+                            if *out == N {
+                                StepOutcome::Done
+                            } else {
+                                StepOutcome::Continue
+                            }
+                        },
+                    ),
+                    StageOptions::with_publish_every(1),
+                );
+                Ok((pb.build(), f))
+            },
+            |s| *s.value() as f64 / N as f64,
+        )
+        .unwrap()
+    });
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let pool = Arc::clone(&pool);
+        handles.push(std::thread::spawn(move || {
+            let mut served = 0u64;
+            let mut shed = 0u64;
+            for i in 0..20u64 {
+                // Alternate low floors (sheddable) and high floors (not).
+                let floor = if (t + i) % 2 == 0 { 0.1 } else { 0.8 };
+                let resp = pool
+                    .submit(t * 20 + i, Duration::from_millis(400), floor)
+                    .expect("saturation must shed, never reject an affordable deadline");
+                served += 1;
+                if resp.shed {
+                    shed += 1;
+                    assert!(
+                        resp.status == ServeStatus::Degraded || resp.status == ServeStatus::Final,
+                        "shed response neither flagged nor final: {:?}",
+                        resp.status
+                    );
+                }
+                assert!(
+                    resp.quality >= floor || resp.status == ServeStatus::Degraded,
+                    "below-floor response not flagged"
+                );
+            }
+            (served, shed)
+        }));
+    }
+    let mut served = 0u64;
+    let mut shed = 0u64;
+    for h in handles {
+        let (s, sh) = h.join().unwrap();
+        served += s;
+        shed += sh;
+    }
+    assert_eq!(served, 80, "availability dropped under saturation");
+    assert!(shed >= 1, "shed policy never engaged");
+    let stats = pool.shutdown();
+    assert_eq!(stats.shed, shed, "{stats:?}");
+    assert_eq!(stats.live_runs, 0);
+}
