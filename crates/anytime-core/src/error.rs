@@ -43,6 +43,15 @@ pub enum CoreError {
         /// The request's deadline budget.
         budget: Duration,
     },
+    /// A serve request was rejected fast at admission because the pool's
+    /// queue was already at capacity — a load statement, not a deadline
+    /// one (the request's budget may well have been feasible).
+    QueueFull {
+        /// Queue depth observed at admission.
+        depth: usize,
+        /// The pool's configured queue capacity.
+        capacity: usize,
+    },
     /// The serve pool was shut down before this request completed.
     PoolShutdown,
 }
@@ -82,6 +91,10 @@ impl fmt::Display for CoreError {
                 "admission rejected: projected {projected:?} to first answer \
                  exceeds deadline budget {budget:?}"
             ),
+            Self::QueueFull { depth, capacity } => write!(
+                f,
+                "admission rejected: serve queue is full ({depth} queued, capacity {capacity})"
+            ),
             Self::PoolShutdown => write!(f, "serve pool was shut down"),
         }
     }
@@ -112,6 +125,10 @@ mod tests {
             CoreError::AdmissionRejected {
                 projected: Duration::from_millis(80),
                 budget: Duration::from_millis(50),
+            },
+            CoreError::QueueFull {
+                depth: 64,
+                capacity: 64,
             },
             CoreError::PoolShutdown,
         ];
@@ -155,6 +172,17 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("80ms"), "{s}");
         assert!(s.contains("50ms"), "{s}");
+    }
+
+    #[test]
+    fn queue_full_names_depth_and_capacity() {
+        let e = CoreError::QueueFull {
+            depth: 64,
+            capacity: 64,
+        };
+        let s = e.to_string();
+        assert!(s.contains("64 queued"), "{s}");
+        assert!(s.contains("capacity 64"), "{s}");
     }
 
     #[test]

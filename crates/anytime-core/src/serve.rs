@@ -15,9 +15,11 @@
 //!   per-replica latency EWMA) plus minimum service time already exceeds
 //!   its deadline is rejected fast with
 //!   [`CoreError::AdmissionRejected`], before it can waste capacity other
-//!   requests could still use. An optional [`LevelEstimate`] profile adds
-//!   a contract-planning check ([`crate::contract::plan_strict`]): reject
-//!   when no accuracy level fits the remaining budget.
+//!   requests could still use (a queue at capacity rejects with
+//!   [`CoreError::QueueFull`] instead). An optional [`LevelEstimate`]
+//!   profile adds a contract-planning check
+//!   ([`crate::contract::plan_strict`]): reject when no accuracy level
+//!   fits the remaining budget.
 //! - **Retry with capped exponential backoff + deterministic jitter** —
 //!   when a replica dies permanently (every [`FailurePolicy`] exhausted),
 //!   the request is relaunched on a fresh pipeline, with delays drawn
@@ -503,7 +505,9 @@ where
     ///
     /// - [`CoreError::AdmissionRejected`] — rejected fast: the projected
     ///   wait plus minimum service (or the level profile) cannot make the
-    ///   deadline, or the queue is full.
+    ///   deadline.
+    /// - [`CoreError::QueueFull`] — rejected fast: the queue is at
+    ///   capacity, regardless of the deadline budget.
     /// - [`CoreError::PoolShutdown`] — the pool shut down first.
     /// - [`CoreError::Timeout`] — the deadline passed with no snapshot
     ///   published (e.g. every attempt died before its first output).
@@ -528,8 +532,16 @@ where
                     && deadline >= shared.opts.min_service
             });
             if !shed {
+                if depth >= shared.opts.queue_capacity {
+                    drop(q);
+                    shared.counters.record_rejected();
+                    return Err(CoreError::QueueFull {
+                        depth,
+                        capacity: shared.opts.queue_capacity,
+                    });
+                }
                 let projected = projected_wait + shared.opts.min_service;
-                if projected > deadline || depth >= shared.opts.queue_capacity {
+                if projected > deadline {
                     drop(q);
                     shared.counters.record_rejected();
                     return Err(CoreError::AdmissionRejected {
@@ -612,15 +624,26 @@ where
             // the queue, evict and answer Timeout ourselves; if a worker
             // holds it, it will respond imminently — wait out the grace.
             drop(st);
-            let evicted = {
+            // Drop every queued copy of this job, but only a *primary*
+            // eviction means "never started": a lingering hedge copy with
+            // its primary mid-run must not time the request out — the
+            // primary still holds the best snapshot and responds at the
+            // deadline.
+            let primary_evicted = {
                 let mut q = lock(&shared.queue);
-                let before = q.jobs.len();
-                q.jobs.retain(|item| item.job.id != job.id);
-                before != q.jobs.len()
+                let mut primary = false;
+                q.jobs.retain(|item| {
+                    if item.job.id == job.id {
+                        primary |= !item.is_hedge;
+                        false
+                    } else {
+                        true
+                    }
+                });
+                primary
             };
-            if evicted {
+            if primary_evicted && job.slot.fill(Err(CoreError::Timeout)) {
                 shared.counters.record_failed();
-                job.slot.fill(Err(CoreError::Timeout));
             }
             st = lock(&job.slot.state);
             while !st.filled {
@@ -736,14 +759,17 @@ impl<I, T> Drop for ServePool<I, T> {
     fn drop(&mut self) {
         // Idempotent with an explicit shutdown(): the queue is already
         // closed and the worker list empty.
-        {
+        let drained: Vec<QueueItem<I, T>> = {
             let mut q = lock(&self.shared.queue);
             q.closed = true;
-            for item in q.jobs.drain(..) {
-                item.job.slot.fill(Err(CoreError::PoolShutdown));
+            q.jobs.drain(..).collect()
+        };
+        self.shared.queue_cv.notify_all();
+        for item in drained {
+            if !item.is_hedge && item.job.slot.fill(Err(CoreError::PoolShutdown)) {
+                self.shared.counters.record_failed();
             }
         }
-        self.shared.queue_cv.notify_all();
         for w in std::mem::take(&mut *lock(&self.workers)) {
             let _ = w.join();
         }
@@ -1066,15 +1092,24 @@ fn spawn_hedge<I, T>(shared: &Arc<Shared<I, T>>, item: &QueueItem<I, T>) {
         }
         st.hedged = true;
     }
-    {
+    let pushed = {
         let mut q = lock(&shared.queue);
         if q.closed {
-            return;
+            false
+        } else {
+            q.jobs.push_front(QueueItem {
+                job: Arc::clone(&item.job),
+                is_hedge: true,
+            });
+            true
         }
-        q.jobs.push_front(QueueItem {
-            job: Arc::clone(&item.job),
-            is_hedge: true,
-        });
+    };
+    if !pushed {
+        // No hedge actually exists; undo the flag so the response and the
+        // hedged counter stay truthful. Only this (primary) dispatch sets
+        // or reads the flag before the response, so the revert is safe.
+        lock(&item.job.slot.state).hedged = false;
+        return;
     }
     shared.counters.record_hedged();
     shared.queue_cv.notify_all();
@@ -1393,6 +1428,87 @@ mod tests {
         let stats = pool.shutdown();
         assert_eq!(stats.hedged, 1);
         assert_eq!(stats.live_runs, 0, "hedge loser leaked a run");
+    }
+
+    /// A hedge copy that never leaves the queue (every other replica busy
+    /// through the deadline) must not count as "never started" at deadline
+    /// eviction: the primary dispatch is running and owes the caller its
+    /// best snapshot, not a Timeout.
+    #[test]
+    fn lingering_hedge_does_not_time_out_running_primary() {
+        let pool = Arc::new(
+            ServePool::new(
+                ServeOptions {
+                    replicas: 2,
+                    hedge: Some(HedgePolicy {
+                        after: Some(Duration::from_millis(50)),
+                        min_remaining: Duration::from_millis(1),
+                    }),
+                    ..ServeOptions::default()
+                },
+                counting_factory(1_000_000, Duration::from_millis(1)),
+                fraction_quality(1_000_000),
+            )
+            .unwrap(),
+        );
+        // The test request starts on one replica; its hedge fires at 50ms,
+        // by which point the blocker occupies the other replica until well
+        // past the test deadline — the hedge copy can only sit in the
+        // queue.
+        let p1 = Arc::clone(&pool);
+        let victim = std::thread::spawn(move || p1.submit(0, Duration::from_millis(300), 0.0));
+        std::thread::sleep(Duration::from_millis(10));
+        let p2 = Arc::clone(&pool);
+        let blocker = std::thread::spawn(move || p2.submit(0, Duration::from_millis(600), 0.0));
+        let resp = victim
+            .join()
+            .unwrap()
+            .expect("running primary timed out by its own queued hedge");
+        assert!(resp.hedged);
+        assert!(*resp.snapshot.value() >= 1);
+        assert_eq!(resp.status, ServeStatus::AtDeadline);
+        assert!(blocker.join().unwrap().is_ok());
+        let stats = pool.shutdown();
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.completed, 2, "{stats:?}");
+        assert_eq!(stats.failed, 0, "{stats:?}");
+        assert_eq!(stats.live_runs, 0);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_queue_full() {
+        let pool = Arc::new(
+            ServePool::new(
+                ServeOptions {
+                    replicas: 1,
+                    queue_capacity: 1,
+                    ..ServeOptions::default()
+                },
+                counting_factory(1_000_000, Duration::from_millis(1)),
+                fraction_quality(1_000_000),
+            )
+            .unwrap(),
+        );
+        // Occupy the only replica, then fill the single queue slot.
+        let p1 = Arc::clone(&pool);
+        let busy = std::thread::spawn(move || p1.submit(0, Duration::from_millis(400), 0.0));
+        std::thread::sleep(Duration::from_millis(30));
+        let p2 = Arc::clone(&pool);
+        let queued = std::thread::spawn(move || p2.submit(0, Duration::from_millis(600), 0.0));
+        std::thread::sleep(Duration::from_millis(30));
+        // Capacity, not deadline, is the problem: the budget is generous.
+        match pool.submit(0, Duration::from_secs(60), 0.0) {
+            Err(CoreError::QueueFull { depth, capacity }) => {
+                assert_eq!(depth, 1);
+                assert_eq!(capacity, 1);
+            }
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        assert!(busy.join().unwrap().is_ok());
+        assert!(queued.join().unwrap().is_ok());
+        let stats = pool.shutdown();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.admitted, 2);
     }
 
     #[test]

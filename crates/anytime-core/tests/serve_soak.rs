@@ -227,6 +227,13 @@ fn soak_pool_under_seeded_faults_and_concurrent_load() {
                         "request {id}: rejection with projected {projected:?} <= budget {budget:?}"
                     );
                 }
+                Err(CoreError::QueueFull { depth, capacity }) => {
+                    err_admission += 1;
+                    assert!(
+                        depth >= capacity,
+                        "request {id}: queue-full rejection at depth {depth} < capacity {capacity}"
+                    );
+                }
                 // A request whose every attempt died before publishing is
                 // an error, not a late response; PoolShutdown cannot occur
                 // before shutdown() below.

@@ -116,7 +116,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .collect();
             let rejected = class
                 .iter()
-                .filter(|o| matches!(o.result, Err(CoreError::AdmissionRejected { .. })))
+                .filter(|o| {
+                    matches!(
+                        o.result,
+                        Err(CoreError::AdmissionRejected { .. } | CoreError::QueueFull { .. })
+                    )
+                })
                 .count();
             let mean = |f: &dyn Fn(&Served) -> f64| {
                 served.iter().map(|r| f(r)).sum::<f64>() / served.len().max(1) as f64
