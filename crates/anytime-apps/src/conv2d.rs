@@ -90,9 +90,24 @@ impl Conv2d {
     ///
     /// Propagates permutation-construction failures.
     pub fn automaton(&self, publish_every: u64) -> Result<(Pipeline, BufferReader<ImageBuf<u8>>)> {
+        self.automaton_traced(publish_every, &anytime_core::Recorder::disabled())
+    }
+
+    /// [`Conv2d::automaton`] with a trace recorder: the pipeline's buffer
+    /// publishes and stage events land in `recorder`, merging into one
+    /// timeline with whatever else (e.g. a serving pool) shares it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates permutation-construction failures.
+    pub fn automaton_traced(
+        &self,
+        publish_every: u64,
+        recorder: &anytime_core::Recorder,
+    ) -> Result<(Pipeline, BufferReader<ImageBuf<u8>>)> {
         let perm = self.permutation()?;
         let kernel = self.kernel.clone();
-        let mut pb = PipelineBuilder::new();
+        let mut pb = PipelineBuilder::traced(recorder.clone());
         let out = pb.source(
             "2dconv",
             self.image.clone(),

@@ -11,8 +11,9 @@
 //! quantized discipline with the same thread structure, so the difference
 //! between the two numbers is the notification mechanism alone.
 
-use anytime_core::{buffer, ControlToken};
-use criterion::{criterion_group, criterion_main, Criterion};
+use anytime_core::buffer::BufferOptions;
+use anytime_core::{buffer, ControlToken, Recorder};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -114,5 +115,63 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
+/// Publications per timed batch in the trace-overhead benchmarks; large
+/// enough that batch bookkeeping vanishes against the publish cost.
+const PUBLISHES_PER_BATCH: u64 = 256;
+
+/// Tracing overhead on the publish hot path. The acceptance bar for the
+/// observability layer is that a buffer built against the **disabled**
+/// recorder (the default everywhere) stays within 2% of the pre-tracing
+/// publish cost — `publish_untraced` and `publish_noop_recorder` are the
+/// same code path and must report the same number. `publish_enabled_recorder`
+/// shows the price actually paid when tracing is on: one try_lock'd ring
+/// push per publication, in steady-state drop-oldest overflow.
+fn trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_overhead");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+
+    let publish_batch = |b: &mut criterion::Bencher, recorder: &Recorder| {
+        let recorder = recorder.clone();
+        b.iter_with_setup(
+            || buffer::versioned_traced::<u64>("bench", BufferOptions::default(), &recorder),
+            |(mut writer, reader)| {
+                for i in 0..PUBLISHES_PER_BATCH {
+                    writer.publish(black_box(i), i + 1);
+                }
+                black_box(reader.latest());
+            },
+        );
+    };
+
+    // Pre-tracing baseline: `buffer::versioned` (which is exactly the
+    // disabled-recorder construction).
+    group.bench_function("publish_untraced", |b| {
+        b.iter_with_setup(
+            || buffer::versioned::<u64>("bench"),
+            |(mut writer, reader)| {
+                for i in 0..PUBLISHES_PER_BATCH {
+                    writer.publish(black_box(i), i + 1);
+                }
+                black_box(reader.latest());
+            },
+        );
+    });
+
+    // No-op recorder: must match publish_untraced to within noise (≤2%).
+    let disabled = Recorder::disabled();
+    group.bench_function("publish_noop_recorder", |b| publish_batch(b, &disabled));
+
+    // Enabled recorder in steady-state overflow (ring much smaller than
+    // the publish volume, so every push also pops the oldest event).
+    let enabled = Recorder::enabled(1 << 10);
+    group.bench_function("publish_enabled_recorder", |b| publish_batch(b, &enabled));
+    // Keep the ring from accumulating across the process lifetime.
+    drop(enabled.drain());
+
+    group.finish();
+}
+
+criterion_group!(benches, bench, trace_overhead);
 criterion_main!(benches);

@@ -12,11 +12,16 @@
 //! - the `figures` binary (`cargo run -p anytime-bench --bin figures --
 //!   all`) writes everything under `results/`;
 //! - Criterion benches (`cargo bench`) time the baselines against the
-//!   automata per figure.
+//!   automata per figure;
+//! - [`traceview`] parses the runtime's trace artifacts (JSONL event
+//!   logs, Chrome `trace_event` JSON, Prometheus text) and regenerates
+//!   accuracy-vs-time tables from them; the `trace_check` binary
+//!   validates a `serve_demo --trace` artifact set end to end.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fig10;
 pub mod figures;
+pub mod traceview;
 pub mod workloads;

@@ -19,6 +19,7 @@ use crate::control::ControlToken;
 use crate::error::{CoreError, Result};
 use crate::metrics::{WaitCounters, WaitStats};
 use crate::notify::{lock_unpoisoned, WaitSet, Watchers};
+use crate::trace::{EventKind, Recorder, StageId, TraceEvent};
 use crate::version::{Snapshot, SnapshotMeta, Version};
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -45,6 +46,10 @@ struct Shared<T> {
     state: Mutex<State<T>>,
     watchers: Watchers,
     counters: WaitCounters,
+    /// Trace recorder (disabled by default); `stage` is this buffer's
+    /// interned name in the recorder's stage table.
+    recorder: Recorder,
+    stage: StageId,
 }
 
 /// Type-erased supervisory handle to a buffer, used by the watchdog and
@@ -63,6 +68,10 @@ pub(crate) trait BufferControl: Send + Sync {
     fn seal_degraded(&self) -> bool;
     /// Publications dropped after a degraded seal.
     fn dropped_publishes(&self) -> u64;
+    /// The buffer's diagnostic name.
+    fn buffer_name(&self) -> &str;
+    /// Blocking-wait counters for this buffer.
+    fn wait_stats(&self) -> WaitStats;
     /// Registers `ws` for wakeups on every publication or close.
     fn subscribe_watch(&self, ws: &WaitSet) -> crate::notify::WatchGuard<'_>;
 }
@@ -96,6 +105,14 @@ impl<T: Send + Sync> BufferControl for Shared<T> {
 
     fn dropped_publishes(&self) -> u64 {
         lock_unpoisoned(&self.state).dropped
+    }
+
+    fn buffer_name(&self) -> &str {
+        &self.name
+    }
+
+    fn wait_stats(&self) -> WaitStats {
+        self.counters.snapshot()
     }
 
     fn subscribe_watch(&self, ws: &WaitSet) -> crate::notify::WatchGuard<'_> {
@@ -133,9 +150,19 @@ impl<T> Shared<T> {
         if let Some(hist) = st.history.as_mut() {
             hist.push(snap.clone());
         }
+        let version = snap.version();
+        let steps = snap.steps();
         st.latest = Some(snap);
         drop(st);
         self.watchers.wake_all();
+        self.recorder.emit_with(|at| {
+            let mut ev = TraceEvent::new(at, EventKind::Degrade);
+            ev.stage = Some(self.stage);
+            ev.version = Some(version.get());
+            ev.steps = Some(steps);
+            ev.degraded = true;
+            ev
+        });
         true
     }
 }
@@ -181,8 +208,21 @@ pub fn versioned_with<T>(
     name: impl Into<String>,
     options: BufferOptions,
 ) -> (BufferWriter<T>, BufferReader<T>) {
+    versioned_traced(name, options, &Recorder::disabled())
+}
+
+/// Creates a versioned buffer whose publications and blocking-wait
+/// observations are recorded as trace events on `recorder` (a disabled
+/// recorder costs one branch per publication).
+pub fn versioned_traced<T>(
+    name: impl Into<String>,
+    options: BufferOptions,
+    recorder: &Recorder,
+) -> (BufferWriter<T>, BufferReader<T>) {
+    let name = name.into();
+    let stage = recorder.stage(&name);
     let shared = Arc::new(Shared {
-        name: name.into(),
+        name,
         state: Mutex::new(State {
             latest: None,
             closed: false,
@@ -193,6 +233,8 @@ pub fn versioned_with<T>(
         }),
         watchers: Watchers::new(),
         counters: WaitCounters::default(),
+        recorder: recorder.clone(),
+        stage,
     });
     (
         BufferWriter {
@@ -292,6 +334,9 @@ impl<T> BufferWriter<T> {
         st.latest = Some(snap);
         drop(st);
         self.shared.watchers.wake_all();
+        self.shared
+            .recorder
+            .publish(self.shared.stage, v.get(), steps, is_final, degraded);
         v
     }
 
@@ -551,6 +596,9 @@ impl<T> BufferReader<T> {
                         self.shared
                             .counters
                             .record_observation(snap.published_at.elapsed());
+                        self.shared
+                            .recorder
+                            .observe(self.shared.stage, snap.version().get());
                     }
                     return Some(Ok(snap.clone()));
                 }

@@ -1,10 +1,12 @@
 use crate::buffer::BufferControl;
 use crate::control::ControlToken;
 use crate::error::{CoreError, Result};
-use crate::metrics::{FaultCounters, FaultStats};
+use crate::metrics::{self, FaultCounters, FaultStats, WaitStats};
 use crate::notify::WaitSet;
+use crate::observe::MetricStats;
 use crate::stage::{StageEnd, StageRunner};
 use crate::supervisor::{self, FailurePolicy, WatchedStage};
+use crate::trace::{EventKind, Recorder, TraceLog};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -46,6 +48,9 @@ pub struct Automaton {
     controls: Vec<Arc<dyn BufferControl>>,
     /// The progress-watchdog thread, if any stage configured one.
     watchdog: Option<JoinHandle<()>>,
+    /// The trace recorder shared with every stage thread (no-op when
+    /// tracing is disabled).
+    recorder: Recorder,
 }
 
 impl Automaton {
@@ -53,6 +58,7 @@ impl Automaton {
         runners: Vec<Box<dyn StageRunner>>,
         ctl: ControlToken,
         fail_fast: bool,
+        recorder: Recorder,
     ) -> Result<Automaton> {
         let started = Instant::now();
         let finished = Arc::new(AtomicUsize::new(0));
@@ -67,6 +73,7 @@ impl Automaton {
                     watched.push(WatchedStage {
                         control: Arc::clone(&control),
                         cfg,
+                        stage: recorder.stage(runner.name()),
                     });
                 }
                 controls.push(control);
@@ -81,6 +88,8 @@ impl Automaton {
             let thread_finished = Arc::clone(&finished);
             let thread_done_ws = done_ws.clone();
             let thread_counters = Arc::clone(&counters);
+            let thread_recorder = recorder.clone();
+            let thread_stage = recorder.stage(&name);
             let handle = std::thread::Builder::new()
                 .name(format!("anytime-{name}"))
                 .spawn(move || {
@@ -117,6 +126,8 @@ impl Automaton {
                                     if restarts < max_attempts {
                                         restarts += 1;
                                         thread_counters.record_restart();
+                                        thread_recorder
+                                            .stage_event(EventKind::Restart, thread_stage);
                                         if supervisor::backoff_interruptible(&thread_ctl, backoff) {
                                             continue;
                                         }
@@ -140,6 +151,8 @@ impl Automaton {
                                 Ok(StageEnd::Degraded)
                             } else {
                                 thread_counters.record_permanent_failure();
+                                thread_recorder
+                                    .stage_event(EventKind::PermanentFailure, thread_stage);
                                 if fail_fast {
                                     thread_ctl.stop();
                                 }
@@ -170,6 +183,7 @@ impl Automaton {
                     Arc::clone(&finished),
                     total_stages,
                     done_ws.clone(),
+                    recorder.clone(),
                 )
                 .map_err(|e| {
                     CoreError::InvalidConfig(format!("failed to spawn supervisor thread: {e}"))
@@ -185,7 +199,22 @@ impl Automaton {
             counters,
             controls,
             watchdog,
+            recorder,
         })
+    }
+
+    /// The trace recorder this automaton publishes events through. A no-op
+    /// handle unless the pipeline was built with
+    /// [`crate::PipelineBuilder::traced`].
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Drains and returns the trace events accumulated so far (empty when
+    /// tracing is disabled). Safe to call while the automaton runs; each
+    /// call returns only events since the previous drain.
+    pub fn trace(&self) -> TraceLog {
+        self.recorder.drain()
     }
 
     /// A clone of the shared control token.
@@ -243,6 +272,7 @@ impl Automaton {
                     name,
                     end,
                     restarts,
+                    waits: WaitStats::default(),
                 }),
                 Ok((Err(e), _)) => {
                     if first_err.is_none() {
@@ -264,6 +294,13 @@ impl Automaton {
         // `finished == total` and returns promptly.
         if let Some(wd) = self.watchdog {
             let _ = wd.join();
+        }
+        // Every stage thread has exited, so the per-buffer wait counters
+        // are final; attach them to the matching stage reports.
+        for stage in &mut stages {
+            if let Some(c) = self.controls.iter().find(|c| c.buffer_name() == stage.name) {
+                stage.waits = c.wait_stats();
+            }
         }
         let mut faults = self.counters.snapshot();
         faults.dropped_publishes = self.controls.iter().map(|c| c.dropped_publishes()).sum();
@@ -379,6 +416,26 @@ impl RunReport {
     pub fn any_degraded(&self) -> bool {
         self.stages.iter().any(|s| s.end == StageEnd::Degraded)
     }
+
+    /// Aggregate buffer-wait statistics across every stage, folded with
+    /// [`crate::observe::MetricStats::absorb`].
+    pub fn total_waits(&self) -> WaitStats {
+        let mut total = WaitStats::default();
+        for s in &self.stages {
+            total.absorb(&s.waits);
+        }
+        total
+    }
+
+    /// Renders the report's metrics — fault counters plus aggregate wait
+    /// statistics — in Prometheus text exposition format, sharing families
+    /// with the live [`crate::observe::Observe`] renderers.
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        let _ = metrics::render_fault_stats(&mut out, &self.faults, &[]);
+        let _ = metrics::render_wait_stats(&mut out, &self.total_waits(), &[]);
+        out
+    }
 }
 
 /// One stage's outcome in a [`RunReport`].
@@ -390,6 +447,8 @@ pub struct StageReport {
     pub end: StageEnd,
     /// Times the stage's driver was restarted after a panic.
     pub restarts: u32,
+    /// Wait/wake statistics for the stage's output buffer over the run.
+    pub waits: WaitStats,
 }
 
 /// Renders a panic payload when it was a string; `None` for opaque

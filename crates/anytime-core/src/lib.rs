@@ -87,18 +87,27 @@ mod map;
 pub mod metrics;
 pub mod monitor;
 mod notify;
+pub mod observe;
 mod parallel_map;
 mod pipeline;
 mod precise;
+pub mod prelude;
 mod reduce;
 pub mod scheduler;
 pub mod serve;
 mod stage;
 mod supervisor;
 pub mod sync_pipeline;
+pub mod trace;
 mod version;
 
-pub use buffer::{BufferOptions, BufferReader, BufferWriter};
+// Flat re-exports of the most common types, kept for compatibility. New
+// code should prefer `use anytime_core::prelude::*;` (see README); less
+// common types live under their module paths (e.g.
+// [`buffer::BufferOptions`], [`metrics::FaultStats`],
+// [`monitor::AccuracyMonitor`], [`supervisor::Watchdog`],
+// [`sync_pipeline::UpdateReceiver`]).
+pub use buffer::BufferReader;
 pub use control::ControlToken;
 pub use diffusive::Diffusive;
 pub use error::{CoreError, Result};
@@ -107,17 +116,15 @@ pub use executor::{Automaton, RunReport, StageReport};
 pub use faultinject::{FaultPlan, StageFaults};
 pub use iterative::Iterative;
 pub use map::SampledMap;
-pub use metrics::FaultStats;
-pub use monitor::AccuracyMonitor;
 pub use parallel_map::ParallelSampledMap;
 pub use pipeline::{Pipeline, PipelineBuilder};
 pub use precise::Precise;
-pub use reduce::{SampledReduce, Scalable};
+pub use reduce::SampledReduce;
 pub use serve::{
     BreakerPolicy, HedgePolicy, RetryPolicy, ServeOptions, ServePool, ServeResponse, ServeStatus,
     ShedPolicy,
 };
 pub use stage::{AnytimeBody, RestartPolicy, StageEnd, StageOptions, StepOutcome};
-pub use supervisor::{FailurePolicy, StallAction, Supervision, Watchdog};
-pub use sync_pipeline::UpdateReceiver;
-pub use version::{Snapshot, SnapshotMeta, Version};
+pub use supervisor::{FailurePolicy, StallAction, Supervision};
+pub use trace::Recorder;
+pub use version::{Snapshot, Version};

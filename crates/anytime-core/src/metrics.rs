@@ -7,6 +7,8 @@
 //! to verify the model's headline guarantee: *accuracy increases over time
 //! and eventually reaches the precise output*.
 
+use crate::observe::{write_sample, write_type, MetricSet, MetricStats, Observe};
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -83,6 +85,85 @@ pub struct WaitStats {
     /// Total latency from each snapshot's publication to its observation
     /// by a blocked waiter.
     pub total_publish_to_observe: Duration,
+}
+
+impl Observe for WaitCounters {
+    fn name(&self) -> &str {
+        "wait"
+    }
+
+    fn render(&self, out: &mut dyn fmt::Write) -> fmt::Result {
+        render_wait_stats(out, &self.snapshot(), &[])
+    }
+}
+
+impl MetricSet for WaitCounters {
+    type Stats = WaitStats;
+
+    fn snapshot(&self) -> WaitStats {
+        WaitCounters::snapshot(self)
+    }
+}
+
+/// Writes one [`WaitStats`] in the Prometheus text format, optionally
+/// labeled (the per-stage renderings in [`crate::RunReport`] label by
+/// stage; a bare [`WaitCounters`] renders unlabeled).
+pub(crate) fn render_wait_stats(
+    out: &mut dyn fmt::Write,
+    s: &WaitStats,
+    labels: &[(&str, &str)],
+) -> fmt::Result {
+    write_type(out, "anytime_wait_waits_total", "counter")?;
+    write_sample(out, "anytime_wait_waits_total", labels, s.waits as f64)?;
+    write_type(out, "anytime_wait_wakeups_total", "counter")?;
+    write_sample(out, "anytime_wait_wakeups_total", labels, s.wakeups as f64)?;
+    write_type(out, "anytime_wait_spurious_wakeups_total", "counter")?;
+    write_sample(
+        out,
+        "anytime_wait_spurious_wakeups_total",
+        labels,
+        s.spurious_wakeups as f64,
+    )?;
+    write_type(out, "anytime_wait_blocked_seconds_total", "counter")?;
+    write_sample(
+        out,
+        "anytime_wait_blocked_seconds_total",
+        labels,
+        s.total_wait.as_secs_f64(),
+    )?;
+    write_type(out, "anytime_wait_observations_total", "counter")?;
+    write_sample(
+        out,
+        "anytime_wait_observations_total",
+        labels,
+        s.observations as f64,
+    )?;
+    write_type(
+        out,
+        "anytime_wait_publish_to_observe_seconds_total",
+        "counter",
+    )?;
+    write_sample(
+        out,
+        "anytime_wait_publish_to_observe_seconds_total",
+        labels,
+        s.total_publish_to_observe.as_secs_f64(),
+    )
+}
+
+impl MetricStats for WaitStats {
+    fn absorb(&mut self, other: &Self) {
+        self.waits += other.waits;
+        self.wakeups += other.wakeups;
+        self.spurious_wakeups += other.spurious_wakeups;
+        self.total_wait += other.total_wait;
+        self.observations += other.observations;
+        self.total_publish_to_observe += other.total_publish_to_observe;
+    }
+
+    fn is_clean(&self) -> bool {
+        *self == Self::default()
+    }
 }
 
 impl WaitStats {
@@ -191,6 +272,55 @@ impl FaultStats {
     }
 }
 
+impl Observe for FaultCounters {
+    fn name(&self) -> &str {
+        "faults"
+    }
+
+    fn render(&self, out: &mut dyn fmt::Write) -> fmt::Result {
+        render_fault_stats(out, &self.snapshot(), &[])
+    }
+}
+
+impl MetricSet for FaultCounters {
+    type Stats = FaultStats;
+
+    fn snapshot(&self) -> FaultStats {
+        FaultCounters::snapshot(self)
+    }
+}
+
+/// Writes one [`FaultStats`] in the Prometheus text format.
+pub(crate) fn render_fault_stats(
+    out: &mut dyn fmt::Write,
+    s: &FaultStats,
+    labels: &[(&str, &str)],
+) -> fmt::Result {
+    write_type(out, "anytime_faults_total", "counter")?;
+    for (kind, value) in [
+        ("restarts", s.restarts),
+        ("stalls", s.stalls),
+        ("degradations", s.degradations),
+        ("permanent_failures", s.permanent_failures),
+        ("dropped_publishes", s.dropped_publishes),
+    ] {
+        let mut labeled: Vec<(&str, &str)> = labels.to_vec();
+        labeled.push(("kind", kind));
+        write_sample(out, "anytime_faults_total", &labeled, value as f64)?;
+    }
+    Ok(())
+}
+
+impl MetricStats for FaultStats {
+    fn absorb(&mut self, other: &Self) {
+        FaultStats::absorb(self, other);
+    }
+
+    fn is_clean(&self) -> bool {
+        FaultStats::is_clean(self)
+    }
+}
+
 /// An exponentially weighted moving average of a latency, updatable from
 /// any thread.
 ///
@@ -258,26 +388,124 @@ impl LatencyHistogram {
         self.count.load(Ordering::Relaxed)
     }
 
-    /// An upper-bound estimate of quantile `q` (clamped to `[0, 1]`), or
-    /// `None` before the first sample.
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> LatencyStats {
+        let mut buckets = [0u64; Self::BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        LatencyStats {
+            buckets,
+            count: self.count(),
+        }
+    }
+
+    /// An estimate of quantile `q` (clamped to `[0, 1]`), or `None` before
+    /// the first sample.
     ///
-    /// Returns the upper edge of the bucket containing the quantile, so
-    /// the estimate errs toward overestimating — the conservative
-    /// direction for a hedging trigger.
+    /// Interpolates linearly *within* the bucket containing the quantile
+    /// rank. Earlier revisions returned a bucket edge outright, which on
+    /// sparse data snapped P95 hedge triggers a whole power of two away
+    /// from the observed latencies; interpolation keeps the estimate
+    /// inside the bucket, proportional to where the rank falls in it.
     pub fn quantile(&self, q: f64) -> Option<Duration> {
-        let total = self.count();
-        if total == 0 {
+        self.snapshot().quantile(q)
+    }
+}
+
+impl Observe for LatencyHistogram {
+    fn name(&self) -> &str {
+        "latency"
+    }
+
+    fn render(&self, out: &mut dyn fmt::Write) -> fmt::Result {
+        self.snapshot()
+            .render_as(out, "anytime_latency_seconds", &[])
+    }
+}
+
+impl MetricSet for LatencyHistogram {
+    type Stats = LatencyStats;
+
+    fn snapshot(&self) -> LatencyStats {
+        LatencyHistogram::snapshot(self)
+    }
+}
+
+/// A point-in-time view of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Sample counts per log₂ bucket: bucket `i` spans
+    /// `[2^i, 2^(i+1))` microseconds.
+    pub buckets: [u64; 27],
+    /// Total samples recorded.
+    pub count: u64,
+}
+
+impl LatencyStats {
+    /// An estimate of quantile `q` (clamped to `[0, 1]`), interpolated
+    /// linearly within the bucket containing the quantile rank; `None`
+    /// before the first sample. See [`LatencyHistogram::quantile`].
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        if self.count == 0 {
             return None;
         }
-        let rank = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
         let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                return Some(Duration::from_micros(1u64 << (i + 1)));
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n > 0 && seen + n >= rank {
+                let lower = (1u64 << i) as f64;
+                let upper = (1u64 << (i + 1)) as f64;
+                // Midpoint rule: the k-th of n samples in a bucket sits at
+                // fraction (k - 1/2)/n of the bucket's width, so a lone
+                // sample estimates the bucket midpoint instead of an edge.
+                let pos = (rank - seen) as f64;
+                let frac = (pos - 0.5) / n as f64;
+                let us = lower + (upper - lower) * frac;
+                return Some(Duration::from_secs_f64(us * 1e-6));
             }
+            seen += n;
         }
-        Some(Duration::from_micros(1u64 << Self::BUCKETS))
+        // Unreachable when count equals the bucket sum; be conservative if
+        // a racy snapshot undercounts.
+        Some(Duration::from_micros(1u64 << self.buckets.len()))
+    }
+
+    /// Writes this histogram in the Prometheus text format under `family`
+    /// (`_bucket` cumulative counts with `le` in seconds, plus `_count`).
+    pub(crate) fn render_as(
+        &self,
+        out: &mut dyn fmt::Write,
+        family: &str,
+        labels: &[(&str, &str)],
+    ) -> fmt::Result {
+        write_type(out, family, "histogram")?;
+        let bucket = format!("{family}_bucket");
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            let le = format!("{}", (1u64 << (i + 1)) as f64 * 1e-6);
+            let mut labeled: Vec<(&str, &str)> = labels.to_vec();
+            labeled.push(("le", le.as_str()));
+            write_sample(out, &bucket, &labeled, cumulative as f64)?;
+        }
+        let mut labeled: Vec<(&str, &str)> = labels.to_vec();
+        labeled.push(("le", "+Inf"));
+        write_sample(out, &bucket, &labeled, self.count as f64)?;
+        write_sample(out, &format!("{family}_count"), labels, self.count as f64)
+    }
+}
+
+impl MetricStats for LatencyStats {
+    fn absorb(&mut self, other: &Self) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+
+    fn is_clean(&self) -> bool {
+        self.count == 0
     }
 }
 
@@ -328,10 +556,71 @@ pub struct DeadlineHistogramStats {
     pub buckets: [u64; DEADLINE_BUCKET_EDGES.len() + 1],
 }
 
+impl Observe for DeadlineHistogram {
+    fn name(&self) -> &str {
+        "deadline"
+    }
+
+    fn render(&self, out: &mut dyn fmt::Write) -> fmt::Result {
+        self.snapshot()
+            .render_as(out, "anytime_deadline_ratio", &[])
+    }
+}
+
+impl MetricSet for DeadlineHistogram {
+    type Stats = DeadlineHistogramStats;
+
+    fn snapshot(&self) -> DeadlineHistogramStats {
+        DeadlineHistogram::snapshot(self)
+    }
+}
+
+impl MetricStats for DeadlineHistogramStats {
+    fn absorb(&mut self, other: &Self) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    fn is_clean(&self) -> bool {
+        self.count() == 0
+    }
+}
+
 impl DeadlineHistogramStats {
     /// Total responses recorded.
-    pub fn total(&self) -> u64 {
+    pub fn count(&self) -> u64 {
         self.buckets.iter().sum()
+    }
+
+    /// Total responses recorded.
+    #[deprecated(since = "0.4.0", note = "renamed to `count` for MetricSet uniformity")]
+    pub fn total(&self) -> u64 {
+        self.count()
+    }
+
+    /// Writes this histogram in the Prometheus text format under `family`
+    /// (`_bucket` cumulative counts with `le` as deadline ratios, plus
+    /// `_count`).
+    pub(crate) fn render_as(
+        &self,
+        out: &mut dyn fmt::Write,
+        family: &str,
+        labels: &[(&str, &str)],
+    ) -> fmt::Result {
+        write_type(out, family, "histogram")?;
+        let bucket = format!("{family}_bucket");
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            let le = DEADLINE_BUCKET_EDGES
+                .get(i)
+                .map_or("+Inf".to_owned(), |e| format!("{e}"));
+            let mut labeled: Vec<(&str, &str)> = labels.to_vec();
+            labeled.push(("le", le.as_str()));
+            write_sample(out, &bucket, &labeled, cumulative as f64)?;
+        }
+        write_sample(out, &format!("{family}_count"), labels, self.count() as f64)
     }
 
     /// Fraction of responses that arrived within 10% of their deadline
@@ -343,7 +632,7 @@ impl DeadlineHistogramStats {
     /// unbounded overshoot bucket counts as a miss; the 1.0 edge keeps
     /// exact-budget arrivals visible in [`Self::buckets`].
     pub fn hit_rate(&self) -> f64 {
-        let total = self.total();
+        let total = self.count();
         if total == 0 {
             return 1.0;
         }
@@ -423,6 +712,72 @@ impl ServeCounters {
             faults: FaultStats::default(),
             live_runs: 0,
         }
+    }
+}
+
+impl Observe for ServeCounters {
+    fn name(&self) -> &str {
+        "serve"
+    }
+
+    fn render(&self, out: &mut dyn fmt::Write) -> fmt::Result {
+        render_serve_counters(out, &self.snapshot(), &[])
+    }
+}
+
+impl MetricSet for ServeCounters {
+    type Stats = ServeStats;
+
+    fn snapshot(&self) -> ServeStats {
+        ServeCounters::snapshot(self)
+    }
+}
+
+/// Writes the counter portion of one [`ServeStats`] in the Prometheus text
+/// format (the deadline histogram and fault aggregates render separately).
+pub(crate) fn render_serve_counters(
+    out: &mut dyn fmt::Write,
+    s: &ServeStats,
+    labels: &[(&str, &str)],
+) -> fmt::Result {
+    write_type(out, "anytime_serve_requests_total", "counter")?;
+    for (event, value) in [
+        ("admitted", s.admitted),
+        ("rejected", s.rejected),
+        ("shed", s.shed),
+        ("hedged", s.hedged),
+        ("retried", s.retried),
+        ("breaker_opens", s.breaker_opens),
+        ("completed", s.completed),
+        ("failed", s.failed),
+        ("degraded_responses", s.degraded_responses),
+    ] {
+        let mut labeled: Vec<(&str, &str)> = labels.to_vec();
+        labeled.push(("event", event));
+        write_sample(out, "anytime_serve_requests_total", &labeled, value as f64)?;
+    }
+    write_type(out, "anytime_serve_live_runs", "gauge")?;
+    write_sample(out, "anytime_serve_live_runs", labels, s.live_runs as f64)
+}
+
+impl MetricStats for ServeStats {
+    fn absorb(&mut self, other: &Self) {
+        self.admitted += other.admitted;
+        self.rejected += other.rejected;
+        self.shed += other.shed;
+        self.hedged += other.hedged;
+        self.retried += other.retried;
+        self.breaker_opens += other.breaker_opens;
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.degraded_responses += other.degraded_responses;
+        MetricStats::absorb(&mut self.deadline, &other.deadline);
+        FaultStats::absorb(&mut self.faults, &other.faults);
+        self.live_runs += other.live_runs;
+    }
+
+    fn is_clean(&self) -> bool {
+        *self == Self::default()
     }
 }
 
@@ -746,5 +1101,118 @@ mod tests {
         let mut t = AccuracyTrace::new();
         t.push(Duration::from_millis(5), 1.0);
         t.push(Duration::from_millis(1), 2.0);
+    }
+
+    /// Pins P50/P95/P99 on a known distribution: interpolation must place
+    /// the estimate *inside* the bucket, proportional to the rank, instead
+    /// of snapping to a bucket edge (which biased hedge triggers by up to
+    /// a full power of two).
+    #[test]
+    fn quantile_interpolates_within_bucket() {
+        let h = LatencyHistogram::default();
+        // 90 samples in the [512 µs, 1024 µs) bucket, 10 in [8192, 16384).
+        for _ in 0..90 {
+            h.record(Duration::from_micros(700));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_micros(10_000));
+        }
+        let us = |q: f64| h.quantile(q).unwrap().as_secs_f64() * 1e6;
+        // P50: rank 50 of 90 in [512, 1024) -> 512 + 512·(49.5/90).
+        assert!((us(0.50) - 793.6).abs() < 0.1, "p50 = {}", us(0.50));
+        // P95: rank 95 -> 5th of 10 in [8192, 16384) -> 8192 + 8192·0.45.
+        assert!((us(0.95) - 11_878.4).abs() < 0.1, "p95 = {}", us(0.95));
+        // P99: rank 99 -> 9th of 10 -> 8192 + 8192·0.85.
+        assert!((us(0.99) - 15_155.2).abs() < 0.1, "p99 = {}", us(0.99));
+        // Quantiles stay within the bucket that contains their rank.
+        assert!(us(1.0) < 16_384.0 && us(1.0) >= 8192.0);
+        assert!(us(0.0) >= 512.0 && us(0.0) < 1024.0);
+    }
+
+    #[test]
+    fn quantile_single_sample_hits_bucket_midpoint() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(600)); // bucket [512, 1024)
+        let got = h.quantile(0.5).unwrap().as_secs_f64() * 1e6;
+        assert!((got - 768.0).abs() < 0.1, "got {got}");
+        assert!(h.quantile(0.5).is_some());
+        assert!(LatencyHistogram::default().quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn metric_stats_absorb_is_uniform() {
+        fn fold<S: MetricStats>(a: &S, b: &S) -> S {
+            let mut out = a.clone();
+            out.absorb(b);
+            out
+        }
+
+        let w = WaitStats {
+            waits: 2,
+            total_wait: Duration::from_millis(4),
+            ..Default::default()
+        };
+        let w2 = fold(&w, &w);
+        assert_eq!(w2.waits, 4);
+        assert_eq!(w2.total_wait, Duration::from_millis(8));
+        assert!(!w2.is_clean() && WaitStats::default().is_clean());
+
+        let f = FaultStats {
+            restarts: 1,
+            ..Default::default()
+        };
+        assert_eq!(fold(&f, &f).restarts, 2);
+
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(100));
+        let l = MetricSet::snapshot(&h);
+        assert_eq!(fold(&l, &l).count, 2);
+
+        let d = DeadlineHistogram::default();
+        d.record(Duration::from_millis(5), Duration::from_millis(10));
+        let ds = d.snapshot();
+        assert_eq!(fold(&ds, &ds).count(), 2);
+        assert!(DeadlineHistogramStats::default().is_clean() && !ds.is_clean());
+
+        let sc = ServeCounters::default();
+        sc.record_admitted();
+        sc.record_completed();
+        let ss = sc.snapshot();
+        let ss2 = fold(&ss, &ss);
+        assert_eq!((ss2.admitted, ss2.completed), (2, 2));
+        assert!(ServeStats::default().is_clean() && !ss2.is_clean());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_total_still_works() {
+        let d = DeadlineHistogram::default();
+        d.record(Duration::from_millis(5), Duration::from_millis(10));
+        assert_eq!(d.snapshot().total(), d.snapshot().count());
+    }
+
+    #[test]
+    fn five_metric_types_render_prometheus() {
+        use crate::observe::render_prometheus;
+        let wait = WaitCounters::default();
+        let faults = FaultCounters::default();
+        let latency = LatencyHistogram::default();
+        latency.record(Duration::from_micros(300));
+        let deadline = DeadlineHistogram::default();
+        deadline.record(Duration::from_millis(5), Duration::from_millis(10));
+        let serve = ServeCounters::default();
+        serve.record_admitted();
+        let text = render_prometheus(&[&wait, &faults, &latency, &deadline, &serve]);
+        for family in [
+            "anytime_wait_waits_total",
+            "anytime_faults_total",
+            "anytime_latency_seconds_bucket",
+            "anytime_deadline_ratio_bucket",
+            "anytime_serve_requests_total",
+        ] {
+            assert!(text.contains(family), "missing {family}:\n{text}");
+        }
+        assert!(text.contains("le=\"+Inf\""));
+        assert!(text.contains("anytime_serve_requests_total{event=\"admitted\"} 1"));
     }
 }

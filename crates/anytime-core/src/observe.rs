@@ -1,0 +1,153 @@
+//! Unified observability API: the [`Observe`] / [`MetricSet`] traits and
+//! the shared Prometheus-style text exposition.
+//!
+//! Before this module the repo had five disjoint counter types
+//! ([`crate::metrics::WaitCounters`], [`crate::metrics::FaultCounters`],
+//! [`crate::metrics::LatencyHistogram`],
+//! [`crate::metrics::DeadlineHistogram`],
+//! [`crate::metrics::ServeCounters`]) with ad-hoc snapshot conventions and
+//! no common export path. They now share one contract:
+//!
+//! - [`Observe`] — object-safe: a metric family [`Observe::name`] and a
+//!   [`Observe::render`] into the Prometheus text format;
+//! - [`MetricSet`] — adds the typed [`MetricSet::snapshot`], whose stats
+//!   type implements [`MetricStats`] (uniform `absorb` / `is_clean`);
+//! - [`render_prometheus`] — concatenates any mix of metric sets into one
+//!   exposition body.
+//!
+//! The event-stream half of observability (what happened *when*) lives in
+//! [`crate::trace`].
+
+use std::fmt;
+
+/// An object-safe view of a metric source: a family name and a Prometheus
+/// text rendering.
+///
+/// Metric names rendered by implementations are prefixed
+/// `anytime_<name()>_…`, so a set of sources renders into one coherent
+/// exposition via [`render_prometheus`].
+pub trait Observe {
+    /// The metric family name (e.g. `"wait"`, `"serve"`), without prefix.
+    fn name(&self) -> &str;
+
+    /// Writes this source's metrics in the Prometheus text format.
+    fn render(&self, out: &mut dyn fmt::Write) -> fmt::Result;
+}
+
+/// A metric source with a typed point-in-time snapshot.
+///
+/// All five legacy counter types implement this; their stats types all
+/// implement [`MetricStats`], so aggregation code can be generic over
+/// "some counters I can snapshot and fold together".
+pub trait MetricSet: Observe {
+    /// The snapshot type.
+    type Stats: MetricStats;
+
+    /// A point-in-time copy of the counters.
+    fn snapshot(&self) -> Self::Stats;
+}
+
+/// Uniform operations on metric snapshots.
+pub trait MetricStats: Clone + Default {
+    /// Accumulates another snapshot into this one.
+    fn absorb(&mut self, other: &Self);
+
+    /// `true` if nothing was recorded (the snapshot equals its default).
+    fn is_clean(&self) -> bool;
+}
+
+/// Renders any mix of metric sources into one Prometheus exposition body.
+pub fn render_prometheus(sets: &[&dyn Observe]) -> String {
+    let mut out = String::new();
+    for set in sets {
+        set.render(&mut out)
+            .expect("rendering to a String cannot fail");
+    }
+    out
+}
+
+/// Writes a `# TYPE` header for a metric family.
+pub fn write_type(out: &mut dyn fmt::Write, family: &str, kind: &str) -> fmt::Result {
+    writeln!(out, "# TYPE {family} {kind}")
+}
+
+/// Writes one sample line: `family{labels} value`.
+///
+/// Label values are escaped per the exposition format (backslash, quote,
+/// newline).
+pub fn write_sample(
+    out: &mut dyn fmt::Write,
+    family: &str,
+    labels: &[(&str, &str)],
+    value: f64,
+) -> fmt::Result {
+    out.write_str(family)?;
+    if !labels.is_empty() {
+        out.write_char('{')?;
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.write_char(',')?;
+            }
+            write!(out, "{k}=\"{}\"", escape_label(v))?;
+        }
+        out.write_char('}')?;
+    }
+    if value.is_finite() && value.fract() == 0.0 && value.abs() < 9e15 {
+        writeln!(out, " {}", value as i64)
+    } else if value.is_nan() {
+        writeln!(out, " NaN")
+    } else if value == f64::INFINITY {
+        writeln!(out, " +Inf")
+    } else if value == f64::NEG_INFINITY {
+        writeln!(out, " -Inf")
+    } else {
+        writeln!(out, " {value}")
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake;
+
+    impl Observe for Fake {
+        fn name(&self) -> &str {
+            "fake"
+        }
+
+        fn render(&self, out: &mut dyn fmt::Write) -> fmt::Result {
+            write_type(out, "anytime_fake_total", "counter")?;
+            write_sample(out, "anytime_fake_total", &[("stage", "f\"g")], 3.0)
+        }
+    }
+
+    #[test]
+    fn render_prometheus_concatenates() {
+        let text = render_prometheus(&[&Fake, &Fake]);
+        assert_eq!(text.matches("# TYPE anytime_fake_total counter").count(), 2);
+        assert!(text.contains("anytime_fake_total{stage=\"f\\\"g\"} 3\n"));
+    }
+
+    #[test]
+    fn sample_formatting() {
+        let mut s = String::new();
+        write_sample(&mut s, "m", &[], 2.0).unwrap();
+        write_sample(&mut s, "m", &[], 0.25).unwrap();
+        write_sample(&mut s, "m", &[], f64::INFINITY).unwrap();
+        assert_eq!(s, "m 2\nm 0.25\nm +Inf\n");
+    }
+}

@@ -4,6 +4,7 @@ use crate::error::{CoreError, Result};
 use crate::executor::Automaton;
 use crate::notify::WaitSet;
 use crate::stage::{AnytimeBody, InputFeed, StageEnd, StageNode, StageOptions, StageRunner};
+use crate::trace::Recorder;
 use crate::version::Version;
 use std::fmt;
 use std::sync::Arc;
@@ -50,14 +51,33 @@ use std::sync::Arc;
 /// ```
 pub struct PipelineBuilder {
     runners: Vec<Box<dyn StageRunner>>,
+    recorder: Recorder,
 }
 
 impl PipelineBuilder {
-    /// Creates an empty pipeline builder.
+    /// Creates an empty pipeline builder (tracing disabled).
     pub fn new() -> Self {
+        Self::traced(Recorder::disabled())
+    }
+
+    /// Creates an empty pipeline builder whose stages record trace events
+    /// on `recorder`: every stage buffer created by this builder emits
+    /// publish/observe events, and the launched [`Automaton`] emits
+    /// restart/stall/degrade events.
+    ///
+    /// The recorder must be supplied up front (not retrofitted) because
+    /// each stage's output buffer captures it at creation.
+    pub fn traced(recorder: Recorder) -> Self {
         Self {
             runners: Vec::new(),
+            recorder,
         }
+    }
+
+    /// The recorder stages of this builder report to (disabled unless the
+    /// builder was created with [`PipelineBuilder::traced`]).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Number of stages added so far.
@@ -161,11 +181,12 @@ impl PipelineBuilder {
         name: &str,
         opts: StageOptions,
     ) -> (BufferWriter<T>, BufferReader<T>) {
-        buffer::versioned_with(
+        buffer::versioned_traced(
             name,
             BufferOptions {
                 keep_history: opts.keep_history,
             },
+            &self.recorder,
         )
     }
 
@@ -174,6 +195,7 @@ impl PipelineBuilder {
         Pipeline {
             runners: self.runners,
             fail_fast: false,
+            recorder: self.recorder,
         }
     }
 }
@@ -196,6 +218,7 @@ impl fmt::Debug for PipelineBuilder {
 pub struct Pipeline {
     pub(crate) runners: Vec<Box<dyn StageRunner>>,
     pub(crate) fail_fast: bool,
+    pub(crate) recorder: Recorder,
 }
 
 impl Pipeline {
@@ -266,7 +289,12 @@ impl Pipeline {
                 "pipeline has no stages".to_string(),
             ));
         }
-        Automaton::spawn(self.runners, ctl, self.fail_fast)
+        Automaton::spawn(self.runners, ctl, self.fail_fast, self.recorder)
+    }
+
+    /// The recorder this pipeline's stages report trace events to.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 }
 

@@ -50,6 +50,7 @@ use crate::metrics::{
 };
 use crate::pipeline::Pipeline;
 use crate::supervisor::retry_backoff;
+use crate::trace::{EventKind, Recorder, StageId, TraceLog};
 use crate::version::{Snapshot, Version};
 use crate::BufferReader;
 use std::collections::VecDeque;
@@ -162,6 +163,12 @@ pub struct ServeOptions {
     pub levels: Option<Vec<LevelEstimate>>,
     /// Seed for the deterministic retry jitter.
     pub seed: u64,
+    /// Trace recorder for serving-plane events (admissions, hedges,
+    /// breaker transitions, per-request quality observations). The default
+    /// disabled recorder makes every emission a no-op; share the same
+    /// enabled recorder with the pipelines the factory builds to get one
+    /// merged timeline.
+    pub recorder: Recorder,
 }
 
 impl Default for ServeOptions {
@@ -177,6 +184,7 @@ impl Default for ServeOptions {
             breaker: Some(BreakerPolicy::default()),
             levels: None,
             seed: 0,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -227,6 +235,12 @@ impl ServeOptions {
     /// Sets the jitter seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Installs a trace recorder for serving-plane events.
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 }
@@ -287,6 +301,8 @@ struct ReplicaState {
     /// (`None` when idle). Admission adds the soonest of these when no
     /// healthy replica is free — an empty queue does not mean zero wait.
     busy_until: Mutex<Option<Instant>>,
+    /// Interned trace id (`replica-N`) for breaker and quality events.
+    trace_id: StageId,
 }
 
 /// One queued request.
@@ -458,10 +474,11 @@ where
                 })?;
         }
         let replicas = (0..opts.replicas)
-            .map(|_| ReplicaState {
+            .map(|i| ReplicaState {
                 ewma: LatencyEwma::default(),
                 breaker: Mutex::new(Breaker::Closed { consecutive: 0 }),
                 busy_until: Mutex::new(None),
+                trace_id: opts.recorder.stage(&format!("replica-{i}")),
             })
             .collect();
         let shared = Arc::new(Shared {
@@ -515,6 +532,7 @@ where
         let accepted = Instant::now();
         let deadline_at = accepted + deadline;
         let shared = &self.shared;
+        let req_id = shared.next_id.fetch_add(1, Ordering::Relaxed);
         let job = {
             let mut q = lock(&shared.queue);
             if q.closed {
@@ -535,6 +553,7 @@ where
                 if depth >= shared.opts.queue_capacity {
                     drop(q);
                     shared.counters.record_rejected();
+                    shared.opts.recorder.serve_event(EventKind::Reject, req_id);
                     return Err(CoreError::QueueFull {
                         depth,
                         capacity: shared.opts.queue_capacity,
@@ -544,6 +563,7 @@ where
                 if projected > deadline {
                     drop(q);
                     shared.counters.record_rejected();
+                    shared.opts.recorder.serve_event(EventKind::Reject, req_id);
                     return Err(CoreError::AdmissionRejected {
                         projected,
                         budget: deadline,
@@ -554,6 +574,7 @@ where
                     if let Err(e) = plan_strict(levels, remaining) {
                         drop(q);
                         shared.counters.record_rejected();
+                        shared.opts.recorder.serve_event(EventKind::Reject, req_id);
                         return match e {
                             CoreError::AdmissionRejected { projected: c, .. } => {
                                 Err(CoreError::AdmissionRejected {
@@ -567,7 +588,7 @@ where
                 }
             }
             let job = Arc::new(Job {
-                id: shared.next_id.fetch_add(1, Ordering::Relaxed),
+                id: req_id,
                 input: Arc::new(input),
                 accepted,
                 deadline: deadline_at,
@@ -591,8 +612,10 @@ where
                 q.jobs.push_back(item);
             }
             shared.counters.record_admitted();
+            shared.opts.recorder.serve_event(EventKind::Admit, req_id);
             if shed {
                 shared.counters.record_shed();
+                shared.opts.recorder.serve_event(EventKind::Shed, req_id);
             }
             job
         };
@@ -644,6 +667,15 @@ where
             };
             if primary_evicted && job.slot.fill(Err(CoreError::Timeout)) {
                 shared.counters.record_failed();
+                shared.opts.recorder.request_end(
+                    EventKind::RequestFailed,
+                    job.id,
+                    None,
+                    job.accepted.elapsed(),
+                    None,
+                    false,
+                    false,
+                );
             }
             st = lock(&job.slot.state);
             while !st.filled {
@@ -727,6 +759,38 @@ where
         self.shared.service_hist.quantile(0.95)
     }
 
+    /// The pool's trace recorder (a no-op handle unless one was installed
+    /// through [`ServeOptions::recorder`]).
+    pub fn recorder(&self) -> &Recorder {
+        &self.shared.opts.recorder
+    }
+
+    /// Drains and returns the serving-plane trace accumulated so far
+    /// (empty when tracing is disabled). Each call returns only events
+    /// since the previous drain.
+    pub fn trace(&self) -> TraceLog {
+        self.shared.opts.recorder.drain()
+    }
+
+    /// Renders the pool's full metric surface — serve counters, the
+    /// deadline-ratio and service-latency histograms, and aggregated run
+    /// faults — in Prometheus text exposition format.
+    pub fn prometheus(&self) -> String {
+        let stats = self.stats();
+        let mut out = String::new();
+        let _ = crate::metrics::render_serve_counters(&mut out, &stats, &[]);
+        let _ = stats
+            .deadline
+            .render_as(&mut out, "anytime_deadline_ratio", &[]);
+        let _ = crate::metrics::render_fault_stats(&mut out, &stats.faults, &[]);
+        let _ = self.shared.service_hist.snapshot().render_as(
+            &mut out,
+            "anytime_serve_service_seconds",
+            &[],
+        );
+        out
+    }
+
     /// Shuts the pool down: rejects new submissions, fails queued (not yet
     /// started) requests with [`CoreError::PoolShutdown`], lets in-flight
     /// runs respond, joins every worker, and returns the final stats.
@@ -745,6 +809,15 @@ where
         for item in drained {
             if !item.is_hedge && item.job.slot.fill(Err(CoreError::PoolShutdown)) {
                 shared.counters.record_failed();
+                shared.opts.recorder.request_end(
+                    EventKind::RequestFailed,
+                    item.job.id,
+                    None,
+                    item.job.accepted.elapsed(),
+                    None,
+                    false,
+                    false,
+                );
             }
         }
         let workers = std::mem::take(&mut *lock(&self.workers));
@@ -768,6 +841,15 @@ impl<I, T> Drop for ServePool<I, T> {
         for item in drained {
             if !item.is_hedge && item.job.slot.fill(Err(CoreError::PoolShutdown)) {
                 self.shared.counters.record_failed();
+                self.shared.opts.recorder.request_end(
+                    EventKind::RequestFailed,
+                    item.job.id,
+                    None,
+                    item.job.accepted.elapsed(),
+                    None,
+                    false,
+                    false,
+                );
             }
         }
         for w in std::mem::take(&mut *lock(&self.workers)) {
@@ -820,6 +902,10 @@ where
                 q = guard;
             }
             *lock(&shared.replicas[replica].breaker) = Breaker::HalfOpen;
+            shared.opts.recorder.breaker(
+                EventKind::BreakerHalfOpen,
+                shared.replicas[replica].trace_id,
+            );
         }
         let item = {
             let mut q = lock(&shared.queue);
@@ -870,7 +956,7 @@ where
         if now >= job.deadline {
             break Attempt::Respond(best);
         }
-        match run_attempt(shared, item, &mut best) {
+        match run_attempt(shared, replica, item, &mut best) {
             Attempt::Lost => break Attempt::Lost,
             Attempt::Respond(b) => break Attempt::Respond(b),
             Attempt::Died(b) => {
@@ -892,6 +978,7 @@ where
                 }
                 local_retries += 1;
                 shared.counters.record_retried();
+                shared.opts.recorder.serve_event(EventKind::Retry, job.id);
                 {
                     let mut st = lock(&job.slot.state);
                     st.retries += 1;
@@ -941,11 +1028,22 @@ where
                 Ok(resp) => {
                     let status = resp.status;
                     let elapsed = resp.elapsed;
+                    let quality = resp.quality;
+                    let terminal = resp.snapshot.is_terminal();
                     if job.slot.fill(result) {
                         shared.counters.record_completed();
                         if status == ServeStatus::Degraded {
                             shared.counters.record_degraded_response();
                         }
+                        shared.opts.recorder.request_end(
+                            EventKind::RequestDone,
+                            job.id,
+                            Some(shared.replicas[replica].trace_id),
+                            elapsed,
+                            Some(quality),
+                            terminal,
+                            status == ServeStatus::Degraded,
+                        );
                         let budget = job.deadline - job.accepted;
                         shared.deadline_hist.record(elapsed, budget);
                         // The EWMA and P95 track *service* time (pop to
@@ -960,6 +1058,15 @@ where
                 Err(_) => {
                     if job.slot.fill(result) {
                         shared.counters.record_failed();
+                        shared.opts.recorder.request_end(
+                            EventKind::RequestFailed,
+                            job.id,
+                            Some(shared.replicas[replica].trace_id),
+                            job.accepted.elapsed(),
+                            None,
+                            false,
+                            false,
+                        );
                     }
                 }
             }
@@ -972,6 +1079,7 @@ where
 /// hedge at the trigger, respond at the deadline or terminal output.
 fn run_attempt<I, T>(
     shared: &Arc<Shared<I, T>>,
+    replica: usize,
     item: &QueueItem<I, T>,
     best: &mut Option<(f64, Snapshot<T>)>,
 ) -> Attempt<T>
@@ -1034,6 +1142,12 @@ where
             Ok(snap) => {
                 last = Some(snap.version());
                 let q = (shared.quality)(&snap);
+                shared.opts.recorder.observe_quality(
+                    job.id,
+                    shared.replicas[replica].trace_id,
+                    snap.version().get(),
+                    q,
+                );
                 let better = best.as_ref().is_none_or(|(bq, _)| q >= *bq);
                 let terminal = snap.is_terminal();
                 if better {
@@ -1112,6 +1226,10 @@ fn spawn_hedge<I, T>(shared: &Arc<Shared<I, T>>, item: &QueueItem<I, T>) {
         return;
     }
     shared.counters.record_hedged();
+    shared
+        .opts
+        .recorder
+        .serve_event(EventKind::Hedge, item.job.id);
     shared.queue_cv.notify_all();
 }
 
@@ -1122,6 +1240,10 @@ fn record_breaker_failure<I, T>(shared: &Arc<Shared<I, T>>, replica: usize) {
     let mut breaker = lock(&shared.replicas[replica].breaker);
     let open = |shared: &Shared<I, T>| {
         shared.counters.record_breaker_open();
+        shared
+            .opts
+            .recorder
+            .breaker(EventKind::BreakerOpen, shared.replicas[replica].trace_id);
         Breaker::Open {
             until: Instant::now() + policy.cooldown,
         }
@@ -1145,7 +1267,16 @@ fn record_breaker_success<I, T>(shared: &Arc<Shared<I, T>>, replica: usize) {
     if shared.opts.breaker.is_none() {
         return;
     }
-    *lock(&shared.replicas[replica].breaker) = Breaker::Closed { consecutive: 0 };
+    let mut breaker = lock(&shared.replicas[replica].breaker);
+    // Only a half-open canary success is a state transition worth tracing;
+    // routine successes just reset the consecutive-failure count.
+    if *breaker == Breaker::HalfOpen {
+        shared
+            .opts
+            .recorder
+            .breaker(EventKind::BreakerClose, shared.replicas[replica].trace_id);
+    }
+    *breaker = Breaker::Closed { consecutive: 0 };
 }
 
 #[cfg(test)]

@@ -72,7 +72,7 @@ pub trait AnytimeBody: Send {
     }
 
     /// Converts a completed-step count into the progress figure published
-    /// in [`crate::SnapshotMeta::steps`].
+    /// in [`crate::version::SnapshotMeta::steps`].
     ///
     /// Defaults to the step count itself. Chunked bodies override this to
     /// report *elements processed* (the sample size), keeping the metadata

@@ -36,6 +36,7 @@ use crate::buffer::BufferControl;
 use crate::control::ControlToken;
 use crate::metrics::FaultCounters;
 use crate::notify::WaitSet;
+use crate::trace::{EventKind, Recorder, StageId};
 use crate::version::Version;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -204,6 +205,8 @@ pub(crate) fn retry_backoff(base: Duration, cap: Duration, attempt: u32, salt: u
 pub(crate) struct WatchedStage {
     pub(crate) control: Arc<dyn BufferControl>,
     pub(crate) cfg: Watchdog,
+    /// The stage's interned trace id, for stall events.
+    pub(crate) stage: StageId,
 }
 
 struct WatchState {
@@ -231,6 +234,7 @@ pub(crate) fn spawn_watchdog(
     finished: Arc<AtomicUsize>,
     total_stages: usize,
     ws: WaitSet,
+    recorder: Recorder,
 ) -> std::io::Result<JoinHandle<()>> {
     std::thread::Builder::new()
         .name("anytime-supervisor".into())
@@ -281,6 +285,7 @@ pub(crate) fn spawn_watchdog(
                         if !st.stalled {
                             st.stalled = true;
                             counters.record_stall();
+                            recorder.stage_event(EventKind::Stall, st.stage.stage);
                             match st.stage.cfg.on_stall {
                                 StallAction::Log => {}
                                 StallAction::Stop => {

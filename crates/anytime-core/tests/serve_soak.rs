@@ -141,6 +141,7 @@ fn build_pool(seed: u64) -> ServePool<u64, u64> {
         }),
         levels: None,
         seed,
+        ..ServeOptions::default()
     };
     // Quality: fraction of the precise output (g = 2N when complete).
     ServePool::new(opts, factory, |s| *s.value() as f64 / (2 * N) as f64).unwrap()
@@ -314,6 +315,7 @@ fn soak_shedding_degrades_quality_not_availability() {
             breaker: None,
             levels: None,
             seed,
+            ..ServeOptions::default()
         };
         ServePool::new(
             opts,

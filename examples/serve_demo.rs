@@ -2,6 +2,7 @@
 //!
 //! ```sh
 //! cargo run --release --example serve_demo
+//! cargo run --release --example serve_demo -- --trace out.json
 //! ```
 //!
 //! An open-loop generator fires 2-D convolution requests at a fixed
@@ -12,11 +13,22 @@
 //! and overload is absorbed by shedding low-floor requests to cheaper
 //! approximations instead of failing them. The run ends with the pool's
 //! own accounting: admission, shed, hedge, and deadline-hit rates.
+//!
+//! With `--trace out.json`, the run records a structured trace — buffer
+//! publications, admissions, sheds, hedges, per-request quality
+//! observations — and writes three artifacts: `out.json` (Chrome
+//! `trace_event` timeline for `chrome://tracing` / Perfetto), `out.jsonl`
+//! (the event log `anytime-bench`'s `trace_check` turns back into
+//! accuracy-vs-time tables), and `out.prom` (the pool's Prometheus text
+//! exposition).
 
 use anytime::apps::conv2d::CHUNK;
 use anytime::apps::{time_baseline, Conv2d};
-use anytime::core::{CoreError, HedgePolicy, ServeOptions, ServePool, ServeStatus, ShedPolicy};
+use anytime::core::{
+    CoreError, HedgePolicy, Recorder, ServeOptions, ServePool, ServeStatus, ShedPolicy,
+};
 use anytime::img::{metrics, synth, Kernel};
+use std::path::PathBuf;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -34,7 +46,24 @@ struct Outcome {
     result: anytime::core::Result<Served>,
 }
 
+/// Parses `--trace <path>` from the command line, if present.
+fn trace_path() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            return Some(PathBuf::from(args.next().expect("--trace requires a path")));
+        }
+    }
+    None
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace_out = trace_path();
+    let recorder = if trace_out.is_some() {
+        Recorder::enabled(1 << 16)
+    } else {
+        Recorder::disabled()
+    };
     // Large enough that deadlines dwarf OS scheduling noise even on a
     // single-core host: the precise baseline lands around tens of ms.
     let app = Conv2d::new(synth::value_noise(384, 384, 7), Kernel::box_blur(7));
@@ -44,9 +73,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("precise baseline: {baseline:?} — open-loop load at 2× capacity\n");
 
     let factory_app = app.clone();
+    let factory_recorder = recorder.clone();
     let pool = ServePool::new(
         ServeOptions {
             replicas: 2,
+            recorder: recorder.clone(),
             // Hedge at the observed P95 service latency (the `None` trigger).
             hedge: Some(HedgePolicy {
                 after: None,
@@ -61,7 +92,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         move |_: &()| {
             factory_app
-                .automaton(8 * CHUNK as u64)
+                .automaton_traced(8 * CHUNK as u64, &factory_recorder)
                 .map_err(|e| CoreError::InvalidConfig(e.to_string()))
         },
         move |snap| snap.steps() as f64 / total_pixels,
@@ -153,5 +184,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.live_runs,
     );
     println!("overload degraded quality, never availability — every admitted request answered");
+
+    if let Some(chrome_path) = trace_out {
+        let log = recorder.drain();
+        let jsonl_path = chrome_path.with_extension("jsonl");
+        let prom_path = chrome_path.with_extension("prom");
+        std::fs::write(&chrome_path, log.to_chrome_json())?;
+        std::fs::write(&jsonl_path, log.to_jsonl())?;
+        std::fs::write(&prom_path, pool.prometheus())?;
+        println!(
+            "\ntrace: {} events ({} dropped) -> {} (Chrome), {} (JSONL), {} (Prometheus)",
+            log.events().len(),
+            log.dropped(),
+            chrome_path.display(),
+            jsonl_path.display(),
+            prom_path.display(),
+        );
+    }
     Ok(())
 }
