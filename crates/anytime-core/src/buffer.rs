@@ -15,6 +15,7 @@
 //! Per-buffer [`WaitStats`] counters record waits, wakeups, blocked time,
 //! and publication-to-observation latency.
 
+use crate::check::PublishInvariants;
 use crate::control::ControlToken;
 use crate::error::{CoreError, Result};
 use crate::metrics::{WaitCounters, WaitStats};
@@ -39,6 +40,9 @@ struct State<T> {
     /// Publications dropped after a degraded seal (a stalled-but-alive
     /// producer writing into a sealed buffer).
     dropped: u64,
+    /// Debug-build publication checker (Properties 2 and 3); see
+    /// [`crate::check`].
+    invariants: PublishInvariants,
 }
 
 struct Shared<T> {
@@ -146,6 +150,8 @@ impl<T> Shared<T> {
             published_at: Instant::now(),
         };
         st.next = st.next.next();
+        st.invariants
+            .check_publish(&self.name, snap.meta.version.get(), snap.meta.steps, true);
         st.degraded_sealed = true;
         if let Some(hist) = st.history.as_mut() {
             hist.push(snap.clone());
@@ -230,6 +236,7 @@ pub fn versioned_traced<T>(
             next: Version::FIRST,
             degraded_sealed: false,
             dropped: 0,
+            invariants: PublishInvariants::default(),
         }),
         watchers: Watchers::new(),
         counters: WaitCounters::default(),
@@ -297,6 +304,21 @@ impl<T> BufferWriter<T> {
         self.publish_inner(value, steps, false, true)
     }
 
+    /// Marks the start of a new run whose step counter begins at
+    /// `start_steps`, for the debug-build publication invariants: the
+    /// monotone-accuracy floor (Property 2) restarts there, while the
+    /// version chain and terminal state persist. Drivers call this when
+    /// they begin computing on a fresh input (eager restart) or after a
+    /// crash-restart re-enters the drive loop.
+    pub(crate) fn begin_run(&mut self, start_steps: u64) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        lock_unpoisoned(&self.shared.state)
+            .invariants
+            .begin_run(start_steps);
+    }
+
     fn publish_inner(&mut self, value: T, steps: u64, is_final: bool, degraded: bool) -> Version {
         let mut st = lock_unpoisoned(&self.shared.state);
         assert!(
@@ -325,6 +347,8 @@ impl<T> BufferWriter<T> {
         };
         let v = st.next;
         st.next = st.next.next();
+        st.invariants
+            .check_publish(&self.shared.name, v.get(), steps, is_final || degraded);
         if degraded {
             st.degraded_sealed = true;
         }
@@ -911,6 +935,7 @@ mod tests {
             let r = r.clone();
             let stop = Arc::clone(&stop);
             readers.push(thread::spawn(move || {
+                // relaxed: test stop flag; guards no data
                 while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                     if let Some(snap) = r.latest() {
                         let v = snap.value();
@@ -922,7 +947,7 @@ mod tests {
         for i in 0..1000u64 {
             w.publish(vec![i; 64], i);
         }
-        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        stop.store(true, std::sync::atomic::Ordering::Relaxed); // relaxed: test stop flag; guards no data
         for h in readers {
             h.join().unwrap();
         }

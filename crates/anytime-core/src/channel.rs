@@ -164,6 +164,14 @@ impl<T> Sender<T> {
         }
         Ok(None)
     }
+
+    /// Test-only: blocks until `target` blocking waits (either endpoint)
+    /// have been entered on this channel. See
+    /// [`crate::metrics::WaitCounters::wait_for_waits`].
+    #[cfg(test)]
+    pub(crate) fn wait_for_waits(&self, target: u64, timeout: std::time::Duration) -> bool {
+        self.shared.counters.wait_for_waits(target, timeout)
+    }
 }
 
 impl<T> std::fmt::Debug for Sender<T> {
@@ -272,6 +280,14 @@ impl<T> Receiver<T> {
     pub(crate) fn wait_stats(&self) -> crate::metrics::WaitStats {
         self.shared.counters.snapshot()
     }
+
+    /// Test-only: blocks until `target` blocking waits (either endpoint)
+    /// have been entered on this channel. See
+    /// [`crate::metrics::WaitCounters::wait_for_waits`].
+    #[cfg(test)]
+    pub(crate) fn wait_for_waits(&self, target: u64, timeout: std::time::Duration) -> bool {
+        self.shared.counters.wait_for_waits(target, timeout)
+    }
 }
 
 impl<T> std::fmt::Debug for Receiver<T> {
@@ -306,15 +322,15 @@ mod tests {
         let ctl = ControlToken::new();
         tx.send(0, &ctl).unwrap();
         let ctl2 = ctl.clone();
-        let h = thread::spawn(move || {
-            let start = Instant::now();
-            tx.send(1, &ctl2).unwrap();
-            start.elapsed()
-        });
-        thread::sleep(Duration::from_millis(20));
+        let h = thread::spawn(move || tx.send(1, &ctl2));
+        // Event-driven: block until the sender has entered its wait, then
+        // make room. No sleep quantum, no timing assumption.
+        assert!(
+            rx.wait_for_waits(1, Duration::from_secs(10)),
+            "sender never blocked"
+        );
         assert_eq!(rx.recv(&ctl).unwrap(), 0);
-        let blocked = h.join().unwrap();
-        assert!(blocked >= Duration::from_millis(10), "send did not block");
+        h.join().unwrap().unwrap();
         assert_eq!(rx.recv(&ctl).unwrap(), 1);
         assert!(rx.wait_stats().waits >= 1);
     }
@@ -325,14 +341,17 @@ mod tests {
         let ctl = ControlToken::new();
         let ctl2 = ctl.clone();
         let h = thread::spawn(move || rx.recv(&ctl2));
-        thread::sleep(Duration::from_millis(20));
+        assert!(
+            tx.wait_for_waits(1, Duration::from_secs(10)),
+            "receiver never blocked"
+        );
         tx.send(7, &ctl).unwrap();
         assert_eq!(h.join().unwrap().unwrap(), 7);
     }
 
     #[test]
     fn stop_interrupts_blocked_send_promptly() {
-        let (tx, _rx) = bounded::<u32>(1);
+        let (tx, rx) = bounded::<u32>(1);
         let ctl = ControlToken::new();
         tx.send(0, &ctl).unwrap();
         let ctl2 = ctl.clone();
@@ -340,20 +359,26 @@ mod tests {
             let start = Instant::now();
             (tx.send(1, &ctl2), start.elapsed())
         });
-        thread::sleep(Duration::from_millis(20));
+        assert!(
+            rx.wait_for_waits(1, Duration::from_secs(10)),
+            "sender never blocked"
+        );
         ctl.stop();
         let (result, waited) = h.join().unwrap();
         assert!(matches!(result, Err(CoreError::Stopped)));
-        assert!(waited < Duration::from_secs(1), "stop took {waited:?}");
+        assert!(waited < Duration::from_secs(5), "stop took {waited:?}");
     }
 
     #[test]
     fn stop_interrupts_blocked_recv_promptly() {
-        let (_tx, rx) = bounded::<u32>(1);
+        let (tx, rx) = bounded::<u32>(1);
         let ctl = ControlToken::new();
         let ctl2 = ctl.clone();
         let h = thread::spawn(move || rx.recv(&ctl2));
-        thread::sleep(Duration::from_millis(20));
+        assert!(
+            tx.wait_for_waits(1, Duration::from_secs(10)),
+            "receiver never blocked"
+        );
         ctl.stop();
         assert!(matches!(h.join().unwrap(), Err(CoreError::Stopped)));
     }
@@ -394,7 +419,10 @@ mod tests {
         tx.send(0, &ctl).unwrap();
         let ctl2 = ctl.clone();
         let h = thread::spawn(move || tx.send(1, &ctl2));
-        thread::sleep(Duration::from_millis(20));
+        assert!(
+            rx.wait_for_waits(1, Duration::from_secs(10)),
+            "sender never blocked"
+        );
         drop(rx);
         assert!(matches!(h.join().unwrap(), Err(CoreError::ChannelClosed)));
     }
@@ -434,15 +462,17 @@ mod tests {
         let ctl = ControlToken::new();
         ctl.pause();
         let ctl2 = ctl.clone();
-        let h = thread::spawn(move || {
-            let start = Instant::now();
-            tx.send(1, &ctl2).unwrap();
-            start.elapsed()
-        });
-        thread::sleep(Duration::from_millis(30));
+        let h = thread::spawn(move || tx.send(1, &ctl2));
+        // A paused sender blocks inside the control token's checkpoint
+        // (before ever touching the queue), so the entry signal comes from
+        // the token's pause-wait counters, not the channel's.
+        assert!(
+            ctl.wait_for_checkpoint_waits(1, Duration::from_secs(10)),
+            "sender never hit the pause checkpoint"
+        );
         assert_eq!(rx.len(), 0, "send went through while paused");
         ctl.resume();
-        assert!(h.join().unwrap() >= Duration::from_millis(20));
+        h.join().unwrap().unwrap();
         assert_eq!(rx.recv(&ctl).unwrap(), 1);
     }
 }

@@ -18,6 +18,7 @@ struct Shared {
     /// Mirror of `state` for the lock-free checkpoint fast path
     /// (0 = running, 1 = paused, 2 = stopped).
     state_hint: std::sync::atomic::AtomicU8,
+    // lint: allow(l1-condvar) -- checkpoint() re-checks RunState under the same mutex; zero-alloc fast path
     cond: std::sync::Condvar,
     /// Wait sets of blocked waiters (buffer waits, channel waits, join
     /// multiplexers) to notify on every state transition.
@@ -68,6 +69,7 @@ impl ControlToken {
             shared: Arc::new(Shared {
                 state: std::sync::Mutex::new(RunState::Running),
                 state_hint: std::sync::atomic::AtomicU8::new(0),
+                // lint: allow(l1-condvar) -- same predicate-under-mutex protocol as the field above
                 cond: std::sync::Condvar::new(),
                 watchers: Watchers::new(),
                 counters: WaitCounters::default(),
@@ -183,6 +185,18 @@ impl ControlToken {
     /// Counters for checkpoint pause-blocking on this token.
     pub fn wait_stats(&self) -> WaitStats {
         self.shared.counters.snapshot()
+    }
+
+    /// Test-only: blocks until `target` checkpoint pause-waits have been
+    /// entered on this token. See
+    /// [`crate::metrics::WaitCounters::wait_for_waits`].
+    #[cfg(test)]
+    pub(crate) fn wait_for_checkpoint_waits(
+        &self,
+        target: u64,
+        timeout: std::time::Duration,
+    ) -> bool {
+        self.shared.counters.wait_for_waits(target, timeout)
     }
 
     /// Total wakeup notifications this token has delivered to registered

@@ -73,12 +73,14 @@ impl ArmedFaults {
     /// Panics (once) when an injected panic is due.
     pub(crate) fn before_step(&mut self, stage: &str, step: u64) {
         if let Some(delay) = self.faults.slowdown_per_step {
+            // lint: allow(l2-sleep) -- deliberate fault injection: the sleep IS the fault
             std::thread::sleep(delay);
         }
         if !self.stall_fired {
             if let Some((at, dur)) = self.faults.stall_at_step {
                 if step >= at {
                     self.stall_fired = true;
+                    // lint: allow(l2-sleep) -- deliberate fault injection: the stall IS the fault
                     std::thread::sleep(dur);
                 }
             }

@@ -75,6 +75,7 @@
 
 pub mod buffer;
 mod channel;
+mod check;
 pub mod contract;
 mod control;
 mod diffusive;

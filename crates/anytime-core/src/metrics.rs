@@ -7,6 +7,7 @@
 //! to verify the model's headline guarantee: *accuracy increases over time
 //! and eventually reaches the precise output*.
 
+use crate::notify::Watchers;
 use crate::observe::{write_sample, write_type, MetricSet, MetricStats, Observe};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -27,43 +28,74 @@ pub struct WaitCounters {
     wait_ns: AtomicU64,
     observations: AtomicU64,
     publish_to_observe_ns: AtomicU64,
+    /// Woken whenever `waits` advances, so tests can block until another
+    /// thread has *entered* a blocking wait instead of sleeping a guessed
+    /// quantum (see [`Self::wait_for_waits`]). Empty outside tests — a
+    /// wake of an empty registry is one uncontended lock.
+    entered: Watchers,
 }
 
 impl WaitCounters {
     pub(crate) fn record_wait_entered(&self) {
-        self.waits.fetch_add(1, Ordering::Relaxed);
+        self.waits.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
+        self.entered.wake_all();
     }
 
     pub(crate) fn record_wakeup(&self) {
-        self.wakeups.fetch_add(1, Ordering::Relaxed);
+        self.wakeups.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
     }
 
     pub(crate) fn record_spurious_wakeup(&self) {
-        self.spurious_wakeups.fetch_add(1, Ordering::Relaxed);
+        self.spurious_wakeups.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
     }
 
     pub(crate) fn record_wait_finished(&self, blocked: Duration) {
         self.wait_ns
-            .fetch_add(blocked.as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(blocked.as_nanos() as u64, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
     }
 
     pub(crate) fn record_observation(&self, publish_to_observe: Duration) {
-        self.observations.fetch_add(1, Ordering::Relaxed);
+        self.observations.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
         self.publish_to_observe_ns
+            // relaxed: diagnostics counter, not synchronization
             .fetch_add(publish_to_observe.as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// A point-in-time copy of the counters.
     pub fn snapshot(&self) -> WaitStats {
         WaitStats {
+            // relaxed: point-in-time diagnostic snapshot; readers tolerate skew
             waits: self.waits.load(Ordering::Relaxed),
             wakeups: self.wakeups.load(Ordering::Relaxed),
             spurious_wakeups: self.spurious_wakeups.load(Ordering::Relaxed),
             total_wait: Duration::from_nanos(self.wait_ns.load(Ordering::Relaxed)),
             observations: self.observations.load(Ordering::Relaxed),
             total_publish_to_observe: Duration::from_nanos(
-                self.publish_to_observe_ns.load(Ordering::Relaxed),
+                self.publish_to_observe_ns.load(Ordering::Relaxed), // relaxed: snapshot read; skew tolerated
             ),
+        }
+    }
+
+    /// Test-only synchronization: blocks until at least `target` blocking
+    /// waits have been entered on this source, or `timeout` passes.
+    /// Returns `true` once the target is reached. Event-driven (epoch
+    /// protocol against the `entered` watchers) — the replacement for
+    /// `thread::sleep`-and-hope in tests that need a peer thread to reach
+    /// its blocking wait first.
+    #[cfg(test)]
+    pub(crate) fn wait_for_waits(&self, target: u64, timeout: Duration) -> bool {
+        let ws = crate::notify::WaitSet::new();
+        let _watch = self.entered.subscribe(&ws);
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let seen = ws.epoch();
+            // relaxed: the WaitSet epoch mutex orders the bump before this read
+            if self.waits.load(Ordering::Relaxed) >= target {
+                return true;
+            }
+            if !ws.wait_deadline(seen, deadline) {
+                return false;
+            }
         }
     }
 }
@@ -203,19 +235,19 @@ pub struct FaultCounters {
 
 impl FaultCounters {
     pub(crate) fn record_restart(&self) {
-        self.restarts.fetch_add(1, Ordering::Relaxed);
+        self.restarts.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
     }
 
     pub(crate) fn record_stall(&self) {
-        self.stalls.fetch_add(1, Ordering::Relaxed);
+        self.stalls.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
     }
 
     pub(crate) fn record_degradation(&self) {
-        self.degradations.fetch_add(1, Ordering::Relaxed);
+        self.degradations.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
     }
 
     pub(crate) fn record_permanent_failure(&self) {
-        self.permanent_failures.fetch_add(1, Ordering::Relaxed);
+        self.permanent_failures.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
     }
 
     /// A point-in-time copy of the counters.
@@ -224,6 +256,7 @@ impl FaultCounters {
     /// at zero here; the executor fills it in when building its report.
     pub fn snapshot(&self) -> FaultStats {
         FaultStats {
+            // relaxed: point-in-time diagnostic snapshot; readers tolerate skew
             restarts: self.restarts.load(Ordering::Relaxed),
             stalls: self.stalls.load(Ordering::Relaxed),
             degradations: self.degradations.load(Ordering::Relaxed),
@@ -342,17 +375,18 @@ impl LatencyEwma {
     /// Folds a new sample into the average.
     pub fn record(&self, sample: Duration) {
         let s = sample.as_nanos().min(u64::MAX as u128) as u64;
-        let prev = self.nanos.load(Ordering::Relaxed);
+        let prev = self.nanos.load(Ordering::Relaxed); // relaxed: lossy smoothed estimator (see type doc)
         let next = if prev == 0 {
             s.max(1)
         } else {
             (prev - (prev >> Self::WEIGHT_SHIFT) + (s >> Self::WEIGHT_SHIFT)).max(1)
         };
-        self.nanos.store(next, Ordering::Relaxed);
+        self.nanos.store(next, Ordering::Relaxed); // relaxed: lossy smoothed estimator (see type doc)
     }
 
     /// The smoothed latency, or `None` before the first sample.
     pub fn get(&self) -> Option<Duration> {
+        // relaxed: smoothed estimate read; staleness tolerated
         match self.nanos.load(Ordering::Relaxed) {
             0 => None,
             n => Some(Duration::from_nanos(n)),
@@ -379,20 +413,21 @@ impl LatencyHistogram {
     pub fn record(&self, sample: Duration) {
         let us = sample.as_micros().min(u64::MAX as u128) as u64;
         let idx = (63 - us.max(1).leading_zeros() as usize).min(Self::BUCKETS - 1);
+        // relaxed: diagnostics counters; count/bucket skew tolerated
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Samples recorded so far.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.load(Ordering::Relaxed) // relaxed: diagnostic count read; skew tolerated
     }
 
     /// A point-in-time copy of the bucket counts.
     pub fn snapshot(&self) -> LatencyStats {
         let mut buckets = [0u64; Self::BUCKETS];
         for (out, b) in buckets.iter_mut().zip(&self.buckets) {
-            *out = b.load(Ordering::Relaxed);
+            *out = b.load(Ordering::Relaxed); // relaxed: bucket snapshot; cross-bucket skew tolerated
         }
         LatencyStats {
             buckets,
@@ -535,14 +570,14 @@ impl DeadlineHistogram {
             .iter()
             .position(|&edge| ratio < edge)
             .unwrap_or(DEADLINE_BUCKET_EDGES.len());
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
     }
 
     /// A point-in-time copy of the bucket counts.
     pub fn snapshot(&self) -> DeadlineHistogramStats {
         let mut buckets = [0u64; DEADLINE_BUCKET_EDGES.len() + 1];
         for (out, b) in buckets.iter_mut().zip(&self.buckets) {
-            *out = b.load(Ordering::Relaxed);
+            *out = b.load(Ordering::Relaxed); // relaxed: bucket snapshot; cross-bucket skew tolerated
         }
         DeadlineHistogramStats { buckets }
     }
@@ -660,45 +695,46 @@ pub struct ServeCounters {
 
 impl ServeCounters {
     pub(crate) fn record_admitted(&self) {
-        self.admitted.fetch_add(1, Ordering::Relaxed);
+        self.admitted.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
     }
 
     pub(crate) fn record_rejected(&self) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.rejected.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
     }
 
     pub(crate) fn record_shed(&self) {
-        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.shed.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
     }
 
     pub(crate) fn record_hedged(&self) {
-        self.hedged.fetch_add(1, Ordering::Relaxed);
+        self.hedged.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
     }
 
     pub(crate) fn record_retried(&self) {
-        self.retried.fetch_add(1, Ordering::Relaxed);
+        self.retried.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
     }
 
     pub(crate) fn record_breaker_open(&self) {
-        self.breaker_opens.fetch_add(1, Ordering::Relaxed);
+        self.breaker_opens.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
     }
 
     pub(crate) fn record_completed(&self) {
-        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.completed.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
     }
 
     pub(crate) fn record_failed(&self) {
-        self.failed.fetch_add(1, Ordering::Relaxed);
+        self.failed.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
     }
 
     pub(crate) fn record_degraded_response(&self) {
-        self.degraded_responses.fetch_add(1, Ordering::Relaxed);
+        self.degraded_responses.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
     }
 
     /// A point-in-time copy of the counters (the non-counter fields of
     /// [`ServeStats`] start at their defaults; the pool fills them in).
     pub fn snapshot(&self) -> ServeStats {
         ServeStats {
+            // relaxed: point-in-time diagnostic snapshot; readers tolerate skew
             admitted: self.admitted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),

@@ -113,10 +113,17 @@ impl WaitSet {
 /// `wake_all` is called by the source after every state transition
 /// (publication, close, stop/pause/resume, channel push/pop). It counts
 /// delivered notifications, feeding the wakeup metrics.
+#[derive(Debug)]
 pub(crate) struct Watchers {
     list: Mutex<Vec<(u64, Weak<WaitSetCore>)>>,
     next_id: AtomicU64,
     notifications: AtomicU64,
+}
+
+impl Default for Watchers {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Watchers {
@@ -130,7 +137,7 @@ impl Watchers {
 
     /// Subscribes `ws` to this source's wakeups until the guard drops.
     pub(crate) fn subscribe(&self, ws: &WaitSet) -> WatchGuard<'_> {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed); // relaxed: id allocator; uniqueness only, no ordering
         lock_unpoisoned(&self.list).push((id, Arc::downgrade(&ws.core)));
         WatchGuard { watchers: self, id }
     }
@@ -149,13 +156,13 @@ impl Watchers {
         });
         drop(list);
         if delivered > 0 {
-            self.notifications.fetch_add(delivered, Ordering::Relaxed);
+            self.notifications.fetch_add(delivered, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
         }
     }
 
     /// Total notifications delivered to waiters so far.
     pub(crate) fn notification_count(&self) -> u64 {
-        self.notifications.load(Ordering::Relaxed)
+        self.notifications.load(Ordering::Relaxed) // relaxed: diagnostic count read; skew tolerated
     }
 
     fn unsubscribe(&self, id: u64) {

@@ -52,6 +52,16 @@ pub struct ParallelSampledMap<I, O, V> {
     write: WriteFn<O, V>,
 }
 
+impl<I, O, V> std::fmt::Debug for ParallelSampledMap<I, O, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelSampledMap")
+            .field("name", &self.name)
+            .field("workers", &self.workers)
+            .field("batch", &self.batch)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<I, O, V> ParallelSampledMap<I, O, V>
 where
     I: Send + Sync + 'static,
@@ -196,6 +206,9 @@ where
         let (rx, handles) = self.spawn_workers(ctl)?;
         let mut done: u64 = 0;
         self.merged = 0;
+        // A crash-restarted drive recounts merged elements from zero, so
+        // the Property 2 steps floor restarts with it.
+        self.writer.begin_run(0);
         let mut published_at: u64 = 0;
         let publish_every = self.publish_every.max(1);
         let end = loop {

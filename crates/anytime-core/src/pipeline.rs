@@ -340,6 +340,9 @@ where
         let _watch_ctl = ctl.subscribe(&ws);
         let mut last: Option<(Version, Version)> = None;
         let mut steps = 0u64;
+        // A crash-restarted join recounts pairs from zero, so the
+        // Property 2 steps floor restarts with it.
+        self.writer.begin_run(0);
         loop {
             let seen = ws.epoch();
             match ctl.checkpoint() {

@@ -55,6 +55,7 @@ use crate::version::{Snapshot, Version};
 use crate::BufferReader;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+// lint: allow(l1-condvar) -- serve-pool rendezvous re-checks predicates under the same mutex (Slot / queue protocol)
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -342,6 +343,7 @@ struct SlotState<T> {
 /// The rendezvous between a submitter and the worker(s) running its job.
 struct Slot<T> {
     state: Mutex<SlotState<T>>,
+    // lint: allow(l1-condvar) -- waiters re-check `filled` under `state` before and after every wait
     cv: Condvar,
 }
 
@@ -355,6 +357,7 @@ impl<T> Slot<T> {
                 hedged: false,
                 retries: 0,
             }),
+            // lint: allow(l1-condvar) -- same predicate-under-mutex protocol as the field above
             cv: Condvar::new(),
         }
     }
@@ -405,6 +408,7 @@ struct Shared<I, T> {
     factory: Box<FactoryFn<I, T>>,
     quality: Box<QualityFn<T>>,
     queue: Mutex<QueueState<I, T>>,
+    // lint: allow(l1-condvar) -- workers re-check the job queue under `queue` around every wait
     queue_cv: Condvar,
     replicas: Vec<ReplicaState>,
     counters: ServeCounters,
@@ -429,6 +433,14 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 pub struct ServePool<I, T> {
     shared: Arc<Shared<I, T>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<I, T> std::fmt::Debug for ServePool<I, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServePool")
+            .field("replicas", &self.shared.replicas.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<I, T> ServePool<I, T>
@@ -489,6 +501,7 @@ where
                 jobs: VecDeque::new(),
                 closed: false,
             }),
+            // lint: allow(l1-condvar) -- same predicate-under-mutex protocol as the field above
             queue_cv: Condvar::new(),
             replicas,
             counters: ServeCounters::default(),
@@ -532,7 +545,7 @@ where
         let accepted = Instant::now();
         let deadline_at = accepted + deadline;
         let shared = &self.shared;
-        let req_id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let req_id = shared.next_id.fetch_add(1, Ordering::Relaxed); // relaxed: id allocator; uniqueness only, no ordering
         let job = {
             let mut q = lock(&shared.queue);
             if q.closed {
@@ -750,7 +763,10 @@ where
         let mut stats = shared.counters.snapshot();
         stats.deadline = shared.deadline_hist.snapshot();
         stats.faults = *lock(&shared.faults);
-        stats.live_runs = shared.live_runs.load(Ordering::Relaxed);
+        // Acquire pairs with the Release decrement in run_attempt: once a
+        // completed attempt is no longer counted live, its fault/latency
+        // stats recorded before the decrement are visible to this snapshot.
+        stats.live_runs = shared.live_runs.load(Ordering::Acquire);
         stats
     }
 
@@ -983,6 +999,7 @@ where
                     let mut st = lock(&job.slot.state);
                     st.retries += 1;
                 }
+                // lint: allow(l2-sleep) -- bounded retry backoff; the remaining deadline budget is checked before each retry
                 std::thread::sleep(delay);
             }
         }
@@ -1107,10 +1124,10 @@ where
         Ok(auto) => auto,
         Err(_) => return Attempt::Died(best.take()),
     };
-    shared.live_runs.fetch_add(1, Ordering::Relaxed);
-    // Hedge trigger: P95 of observed service latency (or the fixed
-    // configured trigger) after this attempt's start. Primary dispatch
-    // only — hedges do not hedge.
+    shared.live_runs.fetch_add(1, Ordering::Relaxed); // relaxed: count-up precedes any attempt work; completion ordering comes from the Release decrement
+                                                      // Hedge trigger: P95 of observed service latency (or the fixed
+                                                      // configured trigger) after this attempt's start. Primary dispatch
+                                                      // only — hedges do not hedge.
     let mut hedge_at: Option<Instant> = match (&shared.opts.hedge, item.is_hedge) {
         (Some(policy), false) if shared.opts.replicas > 1 => {
             let after = policy.after.unwrap_or_else(|| {
@@ -1192,7 +1209,10 @@ where
             lock(&shared.faults).absorb(&stats);
         }
     }
-    shared.live_runs.fetch_sub(1, Ordering::Relaxed);
+    // Release pairs with the Acquire load in stats(): promoted from Relaxed
+    // so an observer that sees the run counted done also sees the stats it
+    // absorbed above.
+    shared.live_runs.fetch_sub(1, Ordering::Release);
     outcome
 }
 

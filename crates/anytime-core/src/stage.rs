@@ -318,6 +318,9 @@ impl<B: AnytimeBody> StageNode<B> {
             None => (self.body.init(input), 0),
         };
         self.steps_done = steps;
+        // New run: the monotone-accuracy floor (Property 2) restarts at
+        // this run's starting step count; the version chain persists.
+        self.writer.begin_run(steps);
         let publish_every = self.opts.publish_every.max(1);
         let mut published_at_step = steps;
         loop {
@@ -584,7 +587,10 @@ mod tests {
         let ctl = ControlToken::new();
         let h = std::thread::spawn(move || g.drive(&ctl));
         fw.publish(10, 1);
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Event-driven: wait until `g` has consumed and republished the
+        // intermediate version before the final one lands.
+        gr.wait_newer_timeout(None, std::time::Duration::from_secs(10))
+            .expect("g never published the intermediate version");
         fw.publish_final(21, 2);
         assert_eq!(h.join().unwrap().unwrap(), StageEnd::Final);
         let snap = gr.latest().unwrap();
@@ -624,27 +630,36 @@ mod tests {
     fn stop_mid_run_publishes_progress() {
         // A slow counter stopped mid-run leaves its freshest progress
         // published even between granularity boundaries.
-        struct Slow;
+        struct Slow {
+            steps_done: Arc<std::sync::atomic::AtomicU64>,
+            ws: crate::notify::WaitSet,
+        }
         impl AnytimeBody for Slow {
             type Input = ();
             type Output = u64;
             fn init(&mut self, _i: &()) -> u64 {
                 0
             }
-            fn step(&mut self, _i: &(), out: &mut u64, step: u64) -> StepOutcome {
-                std::thread::sleep(std::time::Duration::from_millis(2));
+            fn step(&mut self, _i: &(), out: &mut u64, _step: u64) -> StepOutcome {
                 *out += 1;
-                if step + 1 == 1000 {
-                    StepOutcome::Done
-                } else {
-                    StepOutcome::Continue
-                }
+                self.steps_done
+                    // relaxed: the WaitSet epoch mutex orders this bump before the test's read
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.ws.wake();
+                // Never finishes on its own: the stop below is the only
+                // way out, so it always lands mid-run.
+                StepOutcome::Continue
             }
         }
+        let steps_done = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let ws = crate::notify::WaitSet::new();
         let (w, r) = buffer::versioned::<u64>("slow");
         let mut node = StageNode::new(
             "slow".into(),
-            Slow,
+            Slow {
+                steps_done: Arc::clone(&steps_done),
+                ws: ws.clone(),
+            },
             InputFeed::Owned(Arc::new(())),
             w,
             StageOptions::with_publish_every(u64::MAX),
@@ -652,7 +667,17 @@ mod tests {
         let ctl = ControlToken::new();
         let ctl2 = ctl.clone();
         let h = std::thread::spawn(move || node.drive(&ctl2));
-        std::thread::sleep(std::time::Duration::from_millis(30));
+        // Event-driven: stop only once at least one step has completed,
+        // instead of sleeping a guessed quantum.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let seen = ws.epoch();
+            // relaxed: the WaitSet epoch mutex orders the bump before this read
+            if steps_done.load(std::sync::atomic::Ordering::Relaxed) >= 1 {
+                break;
+            }
+            assert!(ws.wait_deadline(seen, deadline), "no step completed");
+        }
         ctl.stop();
         assert_eq!(h.join().unwrap().unwrap(), StageEnd::Stopped);
         let snap = r.latest().expect("progress published on stop");

@@ -363,12 +363,18 @@ mod tests {
     fn backoff_aborts_on_stop() {
         let ctl = ControlToken::new();
         let ctl2 = ctl.clone();
+        // Rendezvous instead of a sleep quantum: the stop may land either
+        // just before or just inside the backoff wait, and the epoch
+        // protocol makes both interleavings return promptly.
+        let gate = std::sync::Arc::new(std::sync::Barrier::new(2));
+        let gate2 = std::sync::Arc::clone(&gate);
         let h = std::thread::spawn(move || {
+            gate2.wait();
             let start = Instant::now();
             let survived = backoff_interruptible(&ctl2, Duration::from_secs(30));
             (survived, start.elapsed())
         });
-        std::thread::sleep(Duration::from_millis(20));
+        gate.wait();
         ctl.stop();
         let (survived, waited) = h.join().unwrap();
         assert!(!survived);

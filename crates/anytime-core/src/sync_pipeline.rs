@@ -298,7 +298,7 @@ mod tests {
             updates,
             || 0u64,
             move |acc: &mut u64, _x: u64| {
-                calls2.fetch_add(1, Ordering::Relaxed);
+                calls2.fetch_add(1, Ordering::Relaxed); // relaxed: test counter, not synchronization
                 *acc += 1;
             },
             StageOptions::default(),
@@ -308,7 +308,7 @@ mod tests {
         auto.join().unwrap();
         // The distributive property: exactly one fold per update, even
         // though the parent published 100 intermediate outputs.
-        assert_eq!(calls.load(Ordering::Relaxed), 100);
+        assert_eq!(calls.load(Ordering::Relaxed), 100); // relaxed: test counter
     }
 
     #[test]

@@ -38,6 +38,8 @@ use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+use crate::notify::lock_unpoisoned;
 use std::time::{Duration, Instant};
 
 /// Default per-thread ring capacity (events) for [`Recorder::enabled`].
@@ -186,12 +188,12 @@ impl Ring {
             Ok(mut q) => {
                 if q.len() >= capacity {
                     q.pop_front();
-                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    self.dropped.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
                 }
                 q.push_back(ev);
             }
             Err(_) => {
-                self.dropped.fetch_add(1, Ordering::Relaxed);
+                self.dropped.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
             }
         }
     }
@@ -243,7 +245,7 @@ impl Recorder {
     pub fn enabled(capacity: usize) -> Self {
         Self {
             inner: Some(Arc::new(Inner {
-                id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
+                id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed), // relaxed: id allocator; uniqueness only, no ordering
                 epoch: Instant::now(),
                 capacity: capacity.max(1),
                 rings: Mutex::new(Vec::new()),
@@ -266,7 +268,7 @@ impl Recorder {
         let Some(inner) = &self.inner else {
             return StageId(0);
         };
-        let mut stages = inner.stages.lock().expect("stage table poisoned");
+        let mut stages = lock_unpoisoned(&inner.stages);
         if let Some(i) = stages.iter().position(|s| s == name) {
             return StageId(i as u32);
         }
@@ -294,11 +296,7 @@ impl Recorder {
                 return;
             }
             let ring = Arc::new(Ring::default());
-            inner
-                .rings
-                .lock()
-                .expect("ring registry poisoned")
-                .push(Arc::clone(&ring));
+            lock_unpoisoned(&inner.rings).push(Arc::clone(&ring));
             ring.push(ev, inner.capacity);
             local.push((inner.id, ring));
         });
@@ -418,17 +416,17 @@ impl Recorder {
         let Some(inner) = &self.inner else {
             return TraceLog::default();
         };
-        let rings: Vec<Arc<Ring>> = inner.rings.lock().expect("ring registry poisoned").clone();
+        let rings: Vec<Arc<Ring>> = lock_unpoisoned(&inner.rings).clone();
         let mut events = Vec::new();
         let mut dropped = 0u64;
         for ring in &rings {
-            let mut q = ring.events.lock().expect("trace ring poisoned");
+            let mut q = lock_unpoisoned(&ring.events);
             events.extend(q.drain(..));
             drop(q);
-            dropped += ring.dropped.load(Ordering::Relaxed);
+            dropped += ring.dropped.load(Ordering::Relaxed); // relaxed: diagnostic count read; skew tolerated
         }
         events.sort_by_key(|ev| ev.at);
-        let stages = inner.stages.lock().expect("stage table poisoned").clone();
+        let stages = lock_unpoisoned(&inner.stages).clone();
         TraceLog {
             events,
             stages,
@@ -441,12 +439,9 @@ impl Recorder {
     pub fn dropped(&self) -> u64 {
         match &self.inner {
             None => 0,
-            Some(inner) => inner
-                .rings
-                .lock()
-                .expect("ring registry poisoned")
+            Some(inner) => lock_unpoisoned(&inner.rings)
                 .iter()
-                .map(|r| r.dropped.load(Ordering::Relaxed))
+                .map(|r| r.dropped.load(Ordering::Relaxed)) // relaxed: diagnostic count read; skew tolerated
                 .sum(),
         }
     }

@@ -19,6 +19,7 @@ fn many_readers_never_observe_regressions() {
             thread::spawn(move || {
                 let mut last = 0u64;
                 let mut observed = 0u64;
+                // relaxed: test stop flag; guards no data
                 while !stop.load(Ordering::Relaxed) {
                     if let Some(snap) = r.latest() {
                         let v = *snap.value();
@@ -36,7 +37,7 @@ fn many_readers_never_observe_regressions() {
         w.publish(i, i);
     }
     w.publish_final(20_001, 20_001);
-    stop.store(true, Ordering::Relaxed);
+    stop.store(true, Ordering::Relaxed); // relaxed: test stop flag; guards no data
     for h in readers {
         assert!(h.join().unwrap() > 0);
     }

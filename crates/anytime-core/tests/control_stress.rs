@@ -137,7 +137,7 @@ fn publish_close_churn_never_wedges_readers() {
                                 newest = Some(snap.version());
                             }
                             Err(CoreError::SourceClosed { .. }) => {
-                                closed_seen.fetch_add(1, Ordering::Relaxed);
+                                closed_seen.fetch_add(1, Ordering::Relaxed); // relaxed: test counter, not synchronization
                                 return;
                             }
                             Err(e) => panic!("unexpected wait error: {e:?}"),
@@ -156,7 +156,7 @@ fn publish_close_churn_never_wedges_readers() {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(closed_seen.load(Ordering::Relaxed), READERS);
+        assert_eq!(closed_seen.load(Ordering::Relaxed), READERS); // relaxed: test counter
     }
 }
 

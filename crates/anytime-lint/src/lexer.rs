@@ -1,0 +1,430 @@
+//! A hand-rolled Rust lexer, in the same offline zero-dependency style as
+//! `anytime-bench`'s JSON/Prometheus parsers (`traceview.rs`).
+//!
+//! The lint rules only need a token stream that is *reliable about what is
+//! code and what is not*: identifiers, punctuation, and delimiters, with
+//! string/char/number literals collapsed to opaque [`Tok::Literal`] tokens
+//! and comments lifted out into a side table. Everything the rules match
+//! (`Condvar`, `thread::sleep`, `Ordering::Relaxed`, `lock(`, `publish(`)
+//! is an identifier/punct sequence, so a full Rust grammar is unnecessary —
+//! but string literals, raw strings, char-vs-lifetime disambiguation, and
+//! nested block comments must be lexed exactly or the rules would fire on
+//! prose.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`let`, `fn`, `Condvar`, …).
+    Ident(String),
+    /// A lifetime (`'a`, `'static`). Never a char literal.
+    Lifetime,
+    /// Any literal: string, raw string, byte string, char, or number.
+    Literal,
+    /// A single punctuation byte (`.`, `:`, `;`, `#`, `=`, …).
+    Punct(u8),
+    /// An opening delimiter: `(`, `[`, or `{`.
+    Open(u8),
+    /// A closing delimiter: `)`, `]`, or `}`.
+    Close(u8),
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: Tok,
+    pub line: u32,
+}
+
+/// A comment with its 1-based starting line.
+///
+/// `doc` distinguishes `///` and `//!` (and their block forms) from plain
+/// comments: lint directives and `relaxed:` justifications are only honored
+/// in plain comments, so prose in rustdoc cannot accidentally suppress a
+/// rule.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+    pub doc: bool,
+}
+
+/// The output of [`lex`]: code tokens plus the comment side table.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source. Invalid source never panics: unknown bytes become
+/// [`Tok::Punct`] and unterminated literals run to end of input.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let doc = text.starts_with("///") || text.starts_with("//!");
+                out.comments.push(Comment {
+                    line,
+                    text: text.to_string(),
+                    doc,
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let text = &src[start..i];
+                let doc = text.starts_with("/**") || text.starts_with("/*!");
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: text.to_string(),
+                    doc,
+                });
+            }
+            b'"' => {
+                lex_string(b, &mut i, &mut line);
+                out.tokens.push(Token {
+                    kind: Tok::Literal,
+                    line,
+                });
+            }
+            b'r' | b'b' if is_raw_or_byte_string(b, i) => {
+                let start_line = line;
+                lex_raw_or_byte_string(b, &mut i, &mut line);
+                out.tokens.push(Token {
+                    kind: Tok::Literal,
+                    line: start_line,
+                });
+            }
+            b'\'' => {
+                // Disambiguate char literal from lifetime: `'x'` and `'\n'`
+                // are chars; `'a`, `'static`, `'_` are lifetimes.
+                if b.get(i + 1) == Some(&b'\\') {
+                    // Escaped char literal.
+                    i += 2; // consume `'` and `\`
+                    while i < b.len() && b[i] != b'\'' {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    i = (i + 1).min(b.len());
+                    out.tokens.push(Token {
+                        kind: Tok::Literal,
+                        line,
+                    });
+                } else if is_ident_byte(b.get(i + 1).copied().unwrap_or(0))
+                    && b.get(i + 2) != Some(&b'\'')
+                {
+                    // Lifetime: consume `'ident`.
+                    i += 2;
+                    while i < b.len() && is_ident_byte(b[i]) {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: Tok::Lifetime,
+                        line,
+                    });
+                } else {
+                    // Plain char literal `'x'` (or a stray quote).
+                    i += 1;
+                    while i < b.len() && b[i] != b'\'' {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    i = (i + 1).min(b.len());
+                    out.tokens.push(Token {
+                        kind: Tok::Literal,
+                        line,
+                    });
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                // Number literal; a dot is part of it only when followed by
+                // a digit, so `0..n` stays three tokens.
+                i += 1;
+                while i < b.len() {
+                    if is_ident_byte(b[i]) {
+                        i += 1;
+                    } else if b[i] == b'.' && b.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                        i += 2;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: Tok::Literal,
+                    line,
+                });
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                i += 1;
+                while i < b.len() && is_ident_byte(b[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: Tok::Ident(src[start..i].to_string()),
+                    line,
+                });
+            }
+            b'(' | b'[' | b'{' => {
+                out.tokens.push(Token {
+                    kind: Tok::Open(c),
+                    line,
+                });
+                i += 1;
+            }
+            b')' | b']' | b'}' => {
+                out.tokens.push(Token {
+                    kind: Tok::Close(c),
+                    line,
+                });
+                i += 1;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: Tok::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphabetic()
+}
+
+fn is_ident_byte(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// `true` when position `i` (at `r` or `b`) starts a raw string `r"`/`r#"`,
+/// a byte string `b"`, or their combinations `br"`, `rb` is not valid Rust
+/// but `br#"` is. A raw *identifier* `r#ident` is not a string.
+fn is_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let rest = &b[i..];
+    match rest.first() {
+        Some(b'b') => match rest.get(1) {
+            Some(b'"') => true,
+            Some(b'r') => {
+                // br"..." or br#"..."#
+                let mut j = 2;
+                while rest.get(j) == Some(&b'#') {
+                    j += 1;
+                }
+                rest.get(j) == Some(&b'"')
+            }
+            _ => false,
+        },
+        Some(b'r') => {
+            let mut j = 1;
+            while rest.get(j) == Some(&b'#') {
+                j += 1;
+            }
+            // `r#ident` has an identifier byte after the hashes, not a quote.
+            j > 1 && rest.get(j) == Some(&b'"') || j == 1 && rest.get(1) == Some(&b'"')
+        }
+        _ => false,
+    }
+}
+
+/// Consumes a plain (escaped) string literal starting at `"`.
+fn lex_string(b: &[u8], i: &mut usize, line: &mut u32) {
+    *i += 1; // opening quote
+    while *i < b.len() {
+        match b[*i] {
+            b'\\' => *i += 2,
+            b'"' => {
+                *i += 1;
+                return;
+            }
+            b'\n' => {
+                *line += 1;
+                *i += 1;
+            }
+            _ => *i += 1,
+        }
+    }
+}
+
+/// Consumes a raw/byte string starting at `r`/`b`.
+fn lex_raw_or_byte_string(b: &[u8], i: &mut usize, line: &mut u32) {
+    // Skip the `b` / `r` / `br` prefix.
+    while *i < b.len() && (b[*i] == b'b' || b[*i] == b'r') {
+        *i += 1;
+    }
+    let mut hashes = 0usize;
+    while *i < b.len() && b[*i] == b'#' {
+        hashes += 1;
+        *i += 1;
+    }
+    if b.get(*i) != Some(&b'"') {
+        return; // not actually a string; already consumed prefix as best effort
+    }
+    *i += 1;
+    if hashes == 0 {
+        // b"..." or r"..." — raw strings have no escapes; byte strings do.
+        // Treating both as escape-free is safe for `b"..."` only when no
+        // `\"` appears; handle escapes for the byte-string case.
+        while *i < b.len() {
+            match b[*i] {
+                b'\\' => *i += 2,
+                b'"' => {
+                    *i += 1;
+                    return;
+                }
+                b'\n' => {
+                    *line += 1;
+                    *i += 1;
+                }
+                _ => *i += 1,
+            }
+        }
+    } else {
+        // r#"..."# with `hashes` closing hashes required.
+        while *i < b.len() {
+            if b[*i] == b'\n' {
+                *line += 1;
+                *i += 1;
+            } else if b[*i] == b'"' {
+                let mut j = *i + 1;
+                let mut seen = 0usize;
+                while seen < hashes && b.get(j) == Some(&b'#') {
+                    seen += 1;
+                    j += 1;
+                }
+                if seen == hashes {
+                    *i = j;
+                    return;
+                }
+                *i += 1;
+            } else {
+                *i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let l = lex("let x = a.b(c);");
+        assert_eq!(idents("let x = a.b(c);"), vec!["let", "x", "a", "b", "c"]);
+        assert!(l.tokens.iter().any(|t| t.kind == Tok::Punct(b';')));
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        // `Condvar` inside a string must not surface as an identifier.
+        assert!(idents(r#"let s = "Condvar::wait { }";"#)
+            .iter()
+            .all(|i| i != "Condvar"));
+    }
+
+    #[test]
+    fn raw_strings_are_opaque() {
+        let src = "let s = r#\"thread::sleep \" quote \"#; let t = 1;";
+        assert_eq!(idents(src), vec!["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\n'; }");
+        let lifetimes = l.tokens.iter().filter(|t| t.kind == Tok::Lifetime).count();
+        assert_eq!(lifetimes, 2);
+        let literals = l.tokens.iter().filter(|t| t.kind == Tok::Literal).count();
+        assert_eq!(literals, 2);
+    }
+
+    #[test]
+    fn comments_lifted_with_doc_flag() {
+        let src = "/// doc\n// plain relaxed: ok\nfn f() {}\n/* block */";
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 3);
+        assert!(l.comments[0].doc);
+        assert!(!l.comments[1].doc);
+        assert_eq!(l.comments[1].line, 2);
+        assert!(!l.comments[2].doc);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ fn f() {}";
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(idents(src), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let l = lex("a\nb\n\nc");
+        let lines: Vec<u32> = l.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn number_with_range_stays_separate() {
+        let l = lex("for i in 0..10u64 {}");
+        // `0`, `.`, `.`, `10u64`
+        let dots = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Tok::Punct(b'.'))
+            .count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn raw_ident_is_ident_not_string() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "r", "type"]);
+    }
+}

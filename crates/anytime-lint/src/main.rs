@@ -1,0 +1,136 @@
+#![forbid(unsafe_code)]
+
+//! CLI for the workspace lint: `cargo run -p anytime-lint -- --workspace`.
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: anytime-lint [--workspace] [--root <dir>] [FILE...]\n\
+  --workspace     lint every member crate of the workspace\n\
+  --root <dir>    workspace root (default: $CARGO_MANIFEST_DIR/../.. or\n\
+                  the nearest ancestor with a [workspace] Cargo.toml)\n\
+  FILE...         lint specific files (paths relative to the root)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workspace = false;
+    let mut root: Option<PathBuf> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match it.next() {
+                Some(r) => root = Some(PathBuf::from(r)),
+                None => {
+                    eprintln!("--root needs a value\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            other => files.push(other.to_string()),
+        }
+    }
+    if !workspace && files.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let root = match root.or_else(find_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("could not locate the workspace root; pass --root");
+            return ExitCode::from(2);
+        }
+    };
+
+    let result = if workspace {
+        anytime_lint::lint_workspace(&root)
+    } else {
+        let mut all = Vec::new();
+        let mut err = None;
+        for f in &files {
+            let path = if Path::new(f).is_absolute() {
+                PathBuf::from(f)
+            } else {
+                root.join(f)
+            };
+            let rel = path
+                .strip_prefix(&root)
+                .map(|p| p.to_string_lossy().replace('\\', "/"))
+                .unwrap_or_else(|_| f.clone());
+            match anytime_lint::lint_file(&path, &rel) {
+                Ok(d) => all.extend(d),
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        match err {
+            Some(e) => Err(e),
+            None => Ok((all, files.len())),
+        }
+    };
+
+    match result {
+        Ok((diags, scanned)) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            if diags.is_empty() {
+                eprintln!("anytime-lint: clean ({scanned} files)");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "anytime-lint: {} violation(s) in {scanned} scanned file(s)",
+                    diags.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("anytime-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Locates the workspace root: the lint crate's own manifest dir is
+/// `<root>/crates/anytime-lint` when run via cargo; otherwise walk up from
+/// the current directory to the first `Cargo.toml` containing
+/// `[workspace]`.
+fn find_root() -> Option<PathBuf> {
+    if let Some(manifest) = std::env::var_os("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(manifest);
+        if let Some(root) = p.parent().and_then(Path::parent) {
+            if is_workspace_root(root) {
+                return Some(root.to_path_buf());
+            }
+        }
+    }
+    let mut cur = std::env::current_dir().ok()?;
+    loop {
+        if is_workspace_root(&cur) {
+            return Some(cur);
+        }
+        if !cur.pop() {
+            return None;
+        }
+    }
+}
+
+fn is_workspace_root(dir: &Path) -> bool {
+    std::fs::read_to_string(dir.join("Cargo.toml"))
+        .map(|s| s.contains("[workspace]"))
+        .unwrap_or(false)
+}

@@ -1,0 +1,97 @@
+//! Golden-diagnostic tests for the lint rules, plus the acceptance check
+//! that the live workspace is lint-clean.
+//!
+//! Each fixture under `tests/fixtures/` is linted as if it lived at a
+//! chosen workspace-relative path (the path drives the file context:
+//! test-exemption, crate-root detection, the notify.rs carve-out), and
+//! its diagnostics are compared line-for-line against the sibling
+//! `.expected` file. Regenerate the golden files with
+//! `BLESS_LINT_FIXTURES=1 cargo test -p anytime-lint`.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Fixture file → the workspace-relative path it is linted as.
+const CASES: &[(&str, &str)] = &[
+    ("l1_condvar.rs", "crates/demo/src/worker.rs"),
+    ("l2_sleep.rs", "crates/demo/src/worker.rs"),
+    ("l3_relaxed.rs", "crates/demo/src/worker.rs"),
+    ("l4_guard.rs", "crates/demo/src/worker.rs"),
+    ("l5_missing_forbid.rs", "crates/demo/src/lib.rs"),
+    ("suppressions.rs", "crates/demo/src/worker.rs"),
+];
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn rendered_diagnostics(fixture: &str, rel: &str) -> String {
+    let path = fixtures_dir().join(fixture);
+    let diags =
+        anytime_lint::lint_file(&path, rel).unwrap_or_else(|e| panic!("linting {fixture}: {e}"));
+    let mut out = String::new();
+    for d in &diags {
+        writeln!(out, "{d}").unwrap();
+    }
+    out
+}
+
+#[test]
+fn fixtures_match_golden_diagnostics() {
+    let bless = std::env::var_os("BLESS_LINT_FIXTURES").is_some();
+    for (fixture, rel) in CASES {
+        let got = rendered_diagnostics(fixture, rel);
+        let expected_path =
+            fixtures_dir().join(format!("{}.expected", fixture.trim_end_matches(".rs")));
+        if bless {
+            std::fs::write(&expected_path, &got).unwrap();
+            continue;
+        }
+        let want = std::fs::read_to_string(&expected_path)
+            .unwrap_or_else(|e| panic!("{}: {e}", expected_path.display()));
+        assert_eq!(
+            got, want,
+            "golden mismatch for {fixture} \
+             (run with BLESS_LINT_FIXTURES=1 to regenerate)"
+        );
+    }
+}
+
+#[test]
+fn every_rule_fires_on_some_fixture() {
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for (fixture, rel) in CASES {
+        for line in rendered_diagnostics(fixture, rel).lines() {
+            if let Some(open) = line.find('[') {
+                if let Some(close) = line[open..].find(']') {
+                    seen.insert(line[open + 1..open + close].to_string());
+                }
+            }
+        }
+    }
+    for rule in anytime_lint::RULES {
+        assert!(seen.contains(rule), "no fixture exercises `{rule}`");
+    }
+    assert!(
+        seen.contains("lint-allow"),
+        "no fixture exercises suppression hygiene"
+    );
+}
+
+/// The acceptance criterion: the tree this crate ships in is lint-clean.
+#[test]
+fn live_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("lint crate lives at <root>/crates/anytime-lint");
+    let (diags, scanned) = anytime_lint::lint_workspace(root).expect("workspace scan");
+    assert!(scanned > 50, "suspiciously small scan: {scanned} files");
+    let rendered: Vec<String> = diags.iter().map(ToString::to_string).collect();
+    assert!(
+        diags.is_empty(),
+        "workspace is not lint-clean:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -1,0 +1,11 @@
+//! Fixture: raw `Condvar` use outside notify.rs.
+
+use std::sync::{Condvar, Mutex};
+
+struct Rendezvous {
+    state: Mutex<bool>,
+    cv: Condvar,
+}
+
+// lint: allow(l1-condvar) -- fixture: a justified suppression covers the next line
+fn suppressed() -> Condvar { Condvar::new() }

@@ -1,0 +1,21 @@
+//! Fixture: `thread::sleep` outside test code.
+
+use std::thread;
+use std::time::Duration;
+
+fn poll_quantum() {
+    thread::sleep(Duration::from_millis(10));
+}
+
+fn backoff() {
+    // lint: allow(l2-sleep) -- fixture: justified bounded backoff
+    std::thread::sleep(Duration::from_millis(1));
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sleeps_are_fine_in_tests() {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

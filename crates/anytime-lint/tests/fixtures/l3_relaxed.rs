@@ -1,0 +1,17 @@
+//! Fixture: `Ordering::Relaxed` with and without justification.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn unjustified(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed)
+}
+
+fn justified(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter
+}
+
+fn chained_run(a: &AtomicU64, b: &AtomicU64) -> (u64, u64) {
+    // relaxed: snapshot reads; skew tolerated
+    (a.load(Ordering::Relaxed),
+     b.load(Ordering::Relaxed))
+}

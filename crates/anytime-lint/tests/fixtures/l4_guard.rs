@@ -1,0 +1,25 @@
+//! Fixture: a `MutexGuard` held across a publish boundary.
+
+use std::sync::Mutex;
+
+struct Buffer {
+    state: Mutex<u64>,
+}
+
+impl Buffer {
+    fn publish(&self, v: u64) {
+        let _ = v;
+    }
+
+    fn held_across_publish(&self, v: u64) {
+        let st = self.state.lock().unwrap();
+        self.publish(*st + v);
+    }
+
+    fn dropped_before_publish(&self, v: u64) {
+        let st = self.state.lock().unwrap();
+        let next = *st + v;
+        drop(st);
+        self.publish(next);
+    }
+}

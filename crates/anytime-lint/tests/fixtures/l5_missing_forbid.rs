@@ -1,0 +1,3 @@
+//! Fixture: a crate root with no `#![forbid(unsafe_code)]`.
+
+pub fn noop() {}

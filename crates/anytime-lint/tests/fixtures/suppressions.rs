@@ -1,0 +1,20 @@
+//! Fixture: suppression hygiene — used, unused, unknown, malformed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn suppressed(c: &AtomicU64) -> u64 {
+    // lint: allow(l3-relaxed) -- fixture: a used, well-formed suppression
+    c.load(Ordering::Relaxed)
+}
+
+// lint: allow(l3-relaxed) -- matches nothing on its line or the next
+fn unused_suppression() {}
+
+// lint: allow(l9-bogus) -- no such rule
+fn unknown_rule() {}
+
+// lint: allow(l2-sleep)
+fn missing_reason() {}
+
+// lint: forbid(l2-sleep) -- not an allow directive
+fn malformed() {}

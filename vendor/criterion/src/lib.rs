@@ -9,6 +9,8 @@
 //! per-iteration times to stdout. It does not produce HTML reports or
 //! statistical regression analysis.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Re-export of the standard opaque-value barrier; benches may use either

@@ -18,6 +18,8 @@
 //! The number of cases per property honours the `PROPTEST_CASES`
 //! environment variable when the default config is used.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 pub mod test_runner {

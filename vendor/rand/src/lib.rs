@@ -13,6 +13,8 @@
 //! test workloads, sequential, and fully reproducible from a `u64` seed.
 //! It is **not** cryptographically secure.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// Core pseudo-random number generation: a stream of `u64` values.
