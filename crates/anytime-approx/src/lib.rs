@@ -18,12 +18,14 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(feature = "simd", feature(portable_simd))]
 
 mod error;
 mod floatprec;
 mod memo;
 mod perforation;
 mod precision;
+pub mod simd;
 mod storage;
 
 pub use error::ApproxError;

@@ -147,12 +147,7 @@ impl BitSerialDot {
         // Plane p (0 = most significant) corresponds to bit width-1-p.
         let bit = self.width - 1 - self.next_plane;
         let weight_of_plane = 1i64 << bit;
-        let mut plane_sum = 0i64;
-        for (&x, &w) in self.input.iter().zip(&self.weights) {
-            if (w >> bit) & 1 == 1 {
-                plane_sum += x;
-            }
-        }
+        let plane_sum = crate::simd::plane_sum(&self.input, &self.weights, bit);
         self.acc += plane_sum * weight_of_plane;
         self.next_plane += 1;
         Some(self.acc)

@@ -1,0 +1,139 @@
+//! Precision-kernel fast paths: portable SIMD under `--features simd`
+//! (nightly), bit-identical scalar fallbacks by default.
+//!
+//! Both kernels are integer/bitwise, so lane order cannot perturb results
+//! — the two paths are bit-identical by arithmetic, not by care:
+//!
+//! - [`plane_sum`] — the inner loop of [`crate::BitSerialDot::step`]:
+//!   sums the inputs whose weight has a given bit set (integer addition,
+//!   associative and commutative);
+//! - [`quantize_slice_u8`] — bulk [`crate::quantize_u8`] (a bitwise mask).
+
+#[cfg(feature = "simd")]
+use std::simd::{cmp::SimdPartialEq, num::SimdInt, Select, Simd};
+
+/// Lane count for the `i64` plane-sum kernel.
+pub const LANES: usize = 8;
+
+/// Sum of `input[i]` over every `i` whose `weights[i]` has bit `bit` set —
+/// one bit plane of the bit-serial dot product.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, or (debug builds, scalar path)
+/// on `i64` overflow. The SIMD path wraps on overflow; the bit-serial dot
+/// product's contract (weights fit the declared width) keeps sums far
+/// from the edge in practice.
+pub fn plane_sum(input: &[i64], weights: &[i64], bit: u32) -> i64 {
+    assert_eq!(input.len(), weights.len(), "equal-length vectors required");
+    let mut sum = 0i64;
+    let mut in_chunks = input.chunks_exact(LANES);
+    let mut w_chunks = weights.chunks_exact(LANES);
+    #[cfg(feature = "simd")]
+    {
+        let one = Simd::<i64, LANES>::splat(1);
+        let zero = Simd::<i64, LANES>::splat(0);
+        let mut acc = zero;
+        for (ci, cw) in in_chunks.by_ref().zip(w_chunks.by_ref()) {
+            let x = Simd::<i64, LANES>::from_slice(ci);
+            let w = Simd::<i64, LANES>::from_slice(cw);
+            let selected = ((w >> Simd::splat(i64::from(bit))) & one).simd_eq(one);
+            acc += selected.select(x, zero);
+        }
+        // Integer addition is associative: reduction order is free.
+        sum += acc.reduce_sum();
+    }
+    #[cfg(not(feature = "simd"))]
+    for (ci, cw) in in_chunks.by_ref().zip(w_chunks.by_ref()) {
+        for (&x, &w) in ci.iter().zip(cw) {
+            if (w >> bit) & 1 == 1 {
+                sum += x;
+            }
+        }
+    }
+    for (&x, &w) in in_chunks.remainder().iter().zip(w_chunks.remainder()) {
+        if (w >> bit) & 1 == 1 {
+            sum += x;
+        }
+    }
+    sum
+}
+
+/// Masks every sample to its top `bits` bits in place — the bulk form of
+/// [`crate::quantize_u8`].
+///
+/// # Panics
+///
+/// Panics unless `1 <= bits <= 8`.
+pub fn quantize_slice_u8(values: &mut [u8], bits: u32) {
+    assert!((1..=8).contains(&bits), "bits must be in 1..=8");
+    let mask = 0xFFu8 << (8 - bits);
+    #[cfg(feature = "simd")]
+    {
+        const WIDE: usize = 32;
+        let m = Simd::<u8, WIDE>::splat(mask);
+        let mut chunks = values.chunks_exact_mut(WIDE);
+        for chunk in chunks.by_ref() {
+            let v = Simd::<u8, WIDE>::from_slice(chunk) & m;
+            chunk.copy_from_slice(&v.to_array());
+        }
+        for v in chunks.into_remainder() {
+            *v &= mask;
+        }
+    }
+    #[cfg(not(feature = "simd"))]
+    for v in values {
+        *v &= mask;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct scalar reference; both builds must match it exactly.
+    fn reference_plane_sum(input: &[i64], weights: &[i64], bit: u32) -> i64 {
+        input
+            .iter()
+            .zip(weights)
+            .filter(|&(_, &w)| (w >> bit) & 1 == 1)
+            .map(|(&x, _)| x)
+            .sum()
+    }
+
+    #[test]
+    fn plane_sum_matches_reference_exactly() {
+        for len in [0usize, 1, 7, 8, 9, 64, 100, 333] {
+            let input: Vec<i64> = (0..len).map(|i| i as i64 * 13 - 50).collect();
+            let weights: Vec<i64> = (0..len).map(|i| (i as i64 * 37 + 11) % 256).collect();
+            for bit in 0..8 {
+                assert_eq!(
+                    plane_sum(&input, &weights, bit),
+                    reference_plane_sum(&input, &weights, bit),
+                    "len {len} bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_slice_matches_scalar_quantize() {
+        for len in [0usize, 1, 31, 32, 33, 100, 257] {
+            for bits in 1..=8u32 {
+                let mut values: Vec<u8> = (0..len).map(|i| (i * 41 % 256) as u8).collect();
+                let expect: Vec<u8> = values
+                    .iter()
+                    .map(|&v| crate::quantize_u8(v, bits))
+                    .collect();
+                quantize_slice_u8(&mut values, bits);
+                assert_eq!(values, expect, "len {len} bits {bits}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn plane_sum_rejects_mismatched_lengths() {
+        plane_sum(&[1], &[1, 2], 0);
+    }
+}

@@ -203,8 +203,18 @@ mod tests {
         .unwrap();
         assert_eq!(curve.points.len(), 4);
         // Later halts must not be (much) worse — the anytime guarantee.
+        // Points that reached the exact result (+inf dB) are excluded: on
+        // a loaded host a small-fraction point can oversleep its halt and
+        // complete outright, which is the best possible outcome, not a
+        // broken trend; the guarantee under test is about partial results.
+        let partial: Vec<f64> = curve
+            .points
+            .iter()
+            .map(|p| p.snr_db)
+            .filter(|s| *s < f64::INFINITY)
+            .collect();
         assert!(
-            curve.is_roughly_monotone(3.0),
+            partial.windows(2).all(|w| w[1] >= w[0] - 3.0),
             "non-monotone profile:\n{curve}"
         );
         assert!(curve.precise_fraction > 0.0);

@@ -1,0 +1,116 @@
+//! Compares two recorded benchmark reports and gates on hot-path
+//! regressions.
+//!
+//! ```sh
+//! cargo run --release -p anytime-bench --bin bench_diff -- OLD.json NEW.json
+//! cargo run --release -p anytime-bench --bin bench_diff -- OLD.json NEW.json --threshold 0.10
+//! cargo run --release -p anytime-bench --bin bench_diff -- OLD.json OLD.json --scale 1.25
+//! ```
+//!
+//! Comparison runs on each entry's *normalized* cost (mean ÷ the report's
+//! own calibration scalar), so reports recorded on different machines are
+//! comparable. A hot entry that slowed by more than the threshold — or
+//! vanished from the new report — fails the gate (exit 1); non-hot entries
+//! are informational. `--scale` multiplies the new report's normalized
+//! costs before comparing; CI uses it to prove the gate actually fires on
+//! an injected slowdown. Usage or parse errors exit 2.
+
+use anytime_bench::record::{diff, Report};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(regressed) => {
+            if regressed {
+                eprintln!("FAIL: hot-path regression beyond threshold");
+                ExitCode::from(1)
+            } else {
+                eprintln!("OK: no hot-path regressions");
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            eprintln!("usage: bench_diff OLD.json NEW.json [--threshold FRAC] [--scale FACTOR]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let mut paths = Vec::new();
+    let mut threshold = 0.10f64;
+    let mut scale = 1.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                threshold = args
+                    .next()
+                    .ok_or("--threshold requires a value")?
+                    .parse()
+                    .map_err(|e| format!("bad threshold: {e}"))?;
+            }
+            "--scale" => {
+                scale = args
+                    .next()
+                    .ok_or("--scale requires a value")?
+                    .parse()
+                    .map_err(|e| format!("bad scale: {e}"))?;
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        return Err("expected exactly two report paths".into());
+    };
+    let old = load(old_path)?;
+    let mut new = load(new_path)?;
+    if scale != 1.0 {
+        eprintln!("note: scaling new report's normalized costs by {scale} (gate self-test)");
+        for e in &mut new.entries {
+            e.norm *= scale;
+        }
+    }
+
+    println!(
+        "comparing {} ({}) -> {} ({}), threshold {:.0}%",
+        old_path,
+        old.recorded,
+        new_path,
+        new.recorded,
+        threshold * 100.0
+    );
+    println!(
+        "{:<28} {:>12} {:>12} {:>9}  status",
+        "entry", "old norm", "new norm", "change"
+    );
+    let rows = diff(&old, &new, threshold);
+    let mut regressed = false;
+    for row in &rows {
+        let fmt = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.6}"));
+        let change = row
+            .change
+            .map_or("-".to_string(), |c| format!("{:+.1}%", c * 100.0));
+        let status = match (row.regressed, row.hot) {
+            (true, _) => "REGRESSED",
+            (false, true) => "ok [hot]",
+            (false, false) => "ok",
+        };
+        println!(
+            "{:<28} {:>12} {:>12} {:>9}  {}",
+            row.name,
+            fmt(row.old_norm),
+            fmt(row.new_norm),
+            change,
+            status
+        );
+        regressed |= row.regressed;
+    }
+    Ok(regressed)
+}
+
+fn load(path: &str) -> Result<Report, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Report::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}

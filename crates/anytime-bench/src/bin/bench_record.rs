@@ -1,0 +1,283 @@
+//! Records a benchmark trajectory point: times the named hot paths with
+//! the crate's own measurement loops and writes a schema-stable
+//! `BENCH_<date>.json` report.
+//!
+//! ```sh
+//! cargo run --release -p anytime-bench --bin bench_record            # BENCH_<date>.json
+//! cargo run --release -p anytime-bench --bin bench_record -- --quick --out ci.json
+//! ```
+//!
+//! Entries:
+//!
+//! - `control/stop_wakeup` — event-driven control-plane interrupt latency
+//!   (stop-to-waiter-exit through a blocking buffer wait);
+//! - `kernel/bitserial_dot_64k`, `kernel/quantize_1m`,
+//!   `kernel/conv2d_256`, `kernel/reduction_1m` — the data-plane kernels
+//!   behind the SIMD speed pass (scalar or SIMD per build features);
+//! - `serve/unbatched_request`, `serve/batched_request` — end-to-end
+//!   requests through a single-replica `ServePool`, without and with
+//!   batched execution; their ratio is the batching speedup in
+//!   requests/sec/core.
+//!
+//! Every entry carries a normalized cost (`norm`) against a calibration
+//! workload measured on the same host, so reports from different machines
+//! compare meaningfully; `bench_diff` gates on those normalized values.
+
+use anytime_bench::record::{calibration_ns, MeasureOptions, Report};
+use anytime_core::buffer;
+use anytime_core::{BatchPolicy, ControlToken, CoreError, ServeOptions, ServePool};
+use anytime_img::{synth, Kernel};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Requests per serve-throughput scenario run.
+const SERVE_REQUESTS: usize = 24;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut out: Option<String> = None;
+    let mut opts = MeasureOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = Some(args.next().ok_or("--out requires a path")?),
+            "--quick" => opts = MeasureOptions::quick(),
+            other => return Err(format!("unknown argument: {other}").into()),
+        }
+    }
+
+    // The whole suite runs several times and the record keeps, per entry,
+    // the median normalized cost across repetitions
+    // (`Report::merge_median`): a repetition skewed by transient host
+    // interference — or by a lucky calibration pairing — is shed by the
+    // merge, while a real code regression slows every repetition and
+    // survives to trip `bench_diff`.
+    const REPS: usize = 3;
+    let mut reps = Vec::with_capacity(REPS);
+    for rep in 1..=REPS {
+        eprintln!("repetition {rep}/{REPS}: calibrating host...");
+        let mut report = Report::new(calibration_ns(&opts));
+        eprintln!(
+            "calibration: {:.0} ns / 1 MiB striped f64 reduction",
+            report.calibration_ns
+        );
+        record_control_latency(&mut report, &opts);
+        record_kernels(&mut report, &opts);
+        record_serve_throughput(&mut report)?;
+        reps.push(report);
+    }
+    let report = Report::merge_median(reps);
+
+    let path = out.unwrap_or_else(|| format!("BENCH_{}.json", report.recorded));
+    std::fs::write(&path, report.to_json())?;
+    for e in &report.entries {
+        eprintln!(
+            "{:<28} {:>14.1} ns/op  norm {:>10.6}{}",
+            e.name,
+            e.mean_ns,
+            e.norm,
+            if e.hot { "  [hot]" } else { "" }
+        );
+    }
+    let unbatched = entry_mean(&report, "serve/unbatched_request");
+    let batched = entry_mean(&report, "serve/batched_request");
+    if let (Some(u), Some(b)) = (unbatched, batched) {
+        eprintln!(
+            "serve throughput: {:.0} -> {:.0} requests/sec/core ({:.1}x from batching)",
+            1e9 / u,
+            1e9 / b,
+            u / b
+        );
+    }
+    println!("{path}");
+    Ok(())
+}
+
+fn entry_mean(report: &Report, name: &str) -> Option<f64> {
+    report
+        .entries
+        .iter()
+        .find(|e| e.name == name)
+        .map(|e| e.mean_ns)
+}
+
+/// Event-driven stop wakeup: park a waiter in a control-aware buffer wait,
+/// then time stop-to-exit. Thread setup happens outside the timed window.
+fn record_control_latency(report: &mut Report, opts: &MeasureOptions) {
+    // One op is inherently slow (thread spawn + park), so time each op
+    // individually and feed `record` a self-timing closure via `push`.
+    let passes = opts.passes.max(3) * 10;
+    let mut samples = Vec::with_capacity(passes);
+    for _ in 0..passes {
+        let (writer, reader) = buffer::versioned::<u64>("bench");
+        let ctl = ControlToken::new();
+        let waiter = {
+            let reader = reader.clone();
+            let ctl = ctl.clone();
+            thread::spawn(move || {
+                let _ = reader.wait_final_timeout_with(Duration::from_secs(30), &ctl);
+            })
+        };
+        while reader.wait_stats().waits == 0 {
+            std::hint::spin_loop();
+        }
+        let t0 = Instant::now();
+        ctl.stop();
+        waiter.join().unwrap();
+        samples.push(t0.elapsed().as_nanos() as f64);
+        drop(writer);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    // Gate on the P10 wakeup: near-best latency is what the event-driven
+    // control plane promises, and the sample tail is host scheduling
+    // noise. The strict minimum is one lucky context switch — too jumpy
+    // for a recorded baseline — while P10 of a couple hundred samples is
+    // reproducible.
+    report.push(
+        "control/stop_wakeup",
+        true,
+        samples[samples.len() / 10],
+        passes as u64,
+    );
+}
+
+fn record_kernels(report: &mut Report, opts: &MeasureOptions) {
+    // Bit-serial dot product: one weighted bit-plane reduction, the inner
+    // loop of the approximate dot-product pipeline.
+    let n = 1 << 16;
+    let input: Vec<i64> = (0..n).map(|i| (i * 37 + 11) % 251).collect();
+    let weights: Vec<i64> = (0..n).map(|i| (i * 13 + 5) % 127 - 63).collect();
+    report.record("kernel/bitserial_dot_64k", true, opts, || {
+        black_box(anytime_approx::simd::plane_sum(
+            black_box(&input),
+            black_box(&weights),
+            3,
+        ));
+    });
+
+    // Quantization over a megabyte of samples.
+    let mut plane = vec![0u8; 1 << 20];
+    for (i, v) in plane.iter_mut().enumerate() {
+        *v = (i % 256) as u8;
+    }
+    // Quantization is idempotent, so one buffer quantized in place over
+    // and over measures the same read-compute-write loop every pass —
+    // without a 1 MiB clone (pure memcpy, not the kernel under test)
+    // polluting the timed window.
+    let mut work = plane.clone();
+    report.record("kernel/quantize_1m", true, opts, || {
+        anytime_approx::simd::quantize_slice_u8(black_box(&mut work), 4);
+    });
+    black_box(&work);
+
+    // Full-frame 2-D convolution through the row kernel.
+    let img = synth::value_noise(256, 256, 5);
+    let kernel = Kernel::box_blur(5);
+    report.record("kernel/conv2d_256", true, opts, || {
+        black_box(anytime_img::convolve(black_box(&img), &kernel));
+    });
+
+    // Sum-of-squares reduction over a megabyte (the SNR hot loop).
+    report.record("kernel/reduction_1m", true, opts, || {
+        black_box(anytime_img::simd::sum_sq_u8(black_box(&plane)));
+    });
+}
+
+/// End-to-end serve throughput on one replica: `SERVE_REQUESTS` identical
+/// generous-deadline requests, submitted concurrently, without and with
+/// batched execution. With batching, compatible queued requests share one
+/// pipeline run, so a single core answers them roughly
+/// `SERVE_REQUESTS / runs` times faster.
+fn record_serve_throughput(report: &mut Report) -> Result<(), CoreError> {
+    let app = anytime_apps::Conv2d::new(synth::value_noise(160, 160, 5), Kernel::box_blur(3));
+    let opts = || ServeOptions {
+        replicas: 1,
+        queue_capacity: SERVE_REQUESTS * 2,
+        hedge: None,
+        shed: None,
+        breaker: None,
+        ..ServeOptions::default()
+    };
+
+    let single_app = app.clone();
+    let unbatched = ServePool::new(
+        opts(),
+        move |_: &()| {
+            single_app
+                .automaton(4096)
+                .map_err(|e| CoreError::InvalidConfig(e.to_string()))
+        },
+        |snap| if snap.is_final() { 1.0 } else { 0.0 },
+    )?;
+    let (elapsed, served) = run_scenario(&unbatched);
+    report.push(
+        "serve/unbatched_request",
+        false,
+        elapsed.as_nanos() as f64 / served as f64,
+        served as u64,
+    );
+    unbatched.shutdown();
+
+    let batch_app = app.clone();
+    let batched = ServePool::new_batched(
+        ServeOptions {
+            batch: Some(BatchPolicy {
+                max_size: SERVE_REQUESTS,
+                window: Duration::from_secs(30),
+            }),
+            ..opts()
+        },
+        move |inputs: &[Arc<()>]| {
+            let (pipeline, reader) = batch_app
+                .automaton(4096)
+                .map_err(|e| CoreError::InvalidConfig(e.to_string()))?;
+            Ok((pipeline, vec![reader; inputs.len()]))
+        },
+        |snap| if snap.is_final() { 1.0 } else { 0.0 },
+    )?;
+    let (elapsed, served) = run_scenario(&batched);
+    report.push(
+        "serve/batched_request",
+        false,
+        elapsed.as_nanos() as f64 / served as f64,
+        served as u64,
+    );
+    batched.shutdown();
+    Ok(())
+}
+
+/// Runs one scenario round, retrying a couple of times on a transient
+/// shortfall (a rare replica hiccup under host contention) so the CI gate
+/// doesn't flake; a persistent shortfall still fails loudly.
+fn run_scenario(pool: &ServePool<(), anytime_img::ImageBuf<u8>>) -> (Duration, usize) {
+    const ATTEMPTS: usize = 3;
+    for attempt in 1..=ATTEMPTS {
+        let served = std::sync::atomic::AtomicUsize::new(0);
+        let t0 = Instant::now();
+        thread::scope(|scope| {
+            for _ in 0..SERVE_REQUESTS {
+                let (pool, served) = (pool, &served);
+                scope.spawn(
+                    move || match pool.submit((), Duration::from_secs(120), 0.0) {
+                        Ok(_) => {
+                            // relaxed: result counter; joined before being read
+                            served.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Err(e) => eprintln!("serve scenario request failed: {e}"),
+                    },
+                );
+            }
+        });
+        let elapsed = t0.elapsed();
+        let served = served.into_inner();
+        if served == SERVE_REQUESTS {
+            return (elapsed, served);
+        }
+        eprintln!(
+            "serve scenario dropped requests ({served}/{SERVE_REQUESTS}), \
+             attempt {attempt}/{ATTEMPTS}"
+        );
+    }
+    panic!("serve scenario kept dropping requests after {ATTEMPTS} attempts");
+}

@@ -16,12 +16,18 @@
 //! - [`traceview`] parses the runtime's trace artifacts (JSONL event
 //!   logs, Chrome `trace_event` JSON, Prometheus text) and regenerates
 //!   accuracy-vs-time tables from them; the `trace_check` binary
-//!   validates a `serve_demo --trace` artifact set end to end.
+//!   validates a `serve_demo --trace` artifact set end to end;
+//! - [`record`] writes schema-stable `BENCH_<date>.json` performance
+//!   records with cross-machine normalization: the `bench_record` binary
+//!   records a trajectory point and `bench_diff` gates on hot-path
+//!   regressions between two records (EXPERIMENTS.md, "Recording a bench
+//!   trajectory").
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fig10;
 pub mod figures;
+pub mod record;
 pub mod traceview;
 pub mod workloads;

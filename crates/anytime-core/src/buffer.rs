@@ -14,6 +14,14 @@
 //! are met exactly and interrupt latency is bounded by thread wakeup time.
 //! Per-buffer [`WaitStats`] counters record waits, wakeups, blocked time,
 //! and publication-to-observation latency.
+//!
+//! Publication is **zero-copy**: a snapshot holds its payload behind an
+//! `Arc`, so replacing `latest`, appending to history, and handing
+//! snapshots to readers all move pointers, never payload bytes. Producers
+//! that rebuild their output every publication can go further with
+//! [`publish_arc`](BufferWriter::publish_arc) and [`DoubleBuffer`], which
+//! recycles the allocation of the two-publications-old version once no
+//! reader pins it.
 
 use crate::check::PublishInvariants;
 use crate::control::ControlToken;
@@ -29,7 +37,6 @@ use std::time::{Duration, Instant};
 struct State<T> {
     latest: Option<Snapshot<T>>,
     closed: bool,
-    history: Option<Vec<Snapshot<T>>>,
     /// Version assigned to the next publication. Lives in the shared state
     /// (not the writer) so the supervisor can seal a degraded terminal
     /// version from outside the producer thread.
@@ -48,6 +55,12 @@ struct State<T> {
 struct Shared<T> {
     name: String,
     state: Mutex<State<T>>,
+    /// Retained snapshots (oldest first) when history is enabled, `None`
+    /// otherwise. Kept outside `state` so [`BufferReader::history`]'s O(n)
+    /// clone never blocks the publish / latest / wait paths. Lock order:
+    /// `state` before `history`; publishers hold both only for the O(1)
+    /// push, and `history()` takes only this lock.
+    history: Mutex<Option<Vec<Snapshot<T>>>>,
     watchers: Watchers,
     counters: WaitCounters,
     /// Trace recorder (disabled by default); `stage` is this buffer's
@@ -153,9 +166,11 @@ impl<T> Shared<T> {
         st.invariants
             .check_publish(&self.name, snap.meta.version.get(), snap.meta.steps, true);
         st.degraded_sealed = true;
-        if let Some(hist) = st.history.as_mut() {
+        let mut hist = lock_unpoisoned(&self.history);
+        if let Some(hist) = hist.as_mut() {
             hist.push(snap.clone());
         }
+        drop(hist);
         let version = snap.version();
         let steps = snap.steps();
         st.latest = Some(snap);
@@ -232,12 +247,12 @@ pub fn versioned_traced<T>(
         state: Mutex::new(State {
             latest: None,
             closed: false,
-            history: options.keep_history.then(Vec::new),
             next: Version::FIRST,
             degraded_sealed: false,
             dropped: 0,
             invariants: PublishInvariants::default(),
         }),
+        history: Mutex::new(options.keep_history.then(Vec::new)),
         watchers: Watchers::new(),
         counters: WaitCounters::default(),
         recorder: recorder.clone(),
@@ -278,6 +293,19 @@ impl<T> BufferWriter<T> {
     /// Panics if a final version has already been published: versions after
     /// the precise output would violate the anytime contract.
     pub fn publish(&mut self, value: T, steps: u64) -> Version {
+        self.publish_inner(Arc::new(value), steps, false, false)
+    }
+
+    /// [`BufferWriter::publish`] taking an already-shared payload.
+    ///
+    /// The publication itself is always zero-copy (snapshots share payloads
+    /// via `Arc`); this variant additionally lets the producer keep or
+    /// recycle the allocation — see [`DoubleBuffer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a final version has already been published.
+    pub fn publish_arc(&mut self, value: Arc<T>, steps: u64) -> Version {
         self.publish_inner(value, steps, false, false)
     }
 
@@ -287,6 +315,15 @@ impl<T> BufferWriter<T> {
     ///
     /// Panics if a final version has already been published.
     pub fn publish_final(&mut self, value: T, steps: u64) -> Version {
+        self.publish_inner(Arc::new(value), steps, true, false)
+    }
+
+    /// [`BufferWriter::publish_final`] taking an already-shared payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a final version has already been published.
+    pub fn publish_final_arc(&mut self, value: Arc<T>, steps: u64) -> Version {
         self.publish_inner(value, steps, true, false)
     }
 
@@ -301,6 +338,15 @@ impl<T> BufferWriter<T> {
     ///
     /// Panics if a (precise) final version has already been published.
     pub fn publish_degraded(&mut self, value: T, steps: u64) -> Version {
+        self.publish_inner(Arc::new(value), steps, false, true)
+    }
+
+    /// [`BufferWriter::publish_degraded`] taking an already-shared payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a (precise) final version has already been published.
+    pub fn publish_degraded_arc(&mut self, value: Arc<T>, steps: u64) -> Version {
         self.publish_inner(value, steps, false, true)
     }
 
@@ -319,7 +365,13 @@ impl<T> BufferWriter<T> {
             .begin_run(start_steps);
     }
 
-    fn publish_inner(&mut self, value: T, steps: u64, is_final: bool, degraded: bool) -> Version {
+    fn publish_inner(
+        &mut self,
+        value: Arc<T>,
+        steps: u64,
+        is_final: bool,
+        degraded: bool,
+    ) -> Version {
         let mut st = lock_unpoisoned(&self.shared.state);
         assert!(
             !st.latest.as_ref().is_some_and(Snapshot::is_final),
@@ -336,7 +388,7 @@ impl<T> BufferWriter<T> {
             return v.version();
         }
         let snap = Snapshot {
-            value: Arc::new(value),
+            value,
             meta: SnapshotMeta {
                 version: st.next,
                 steps,
@@ -352,9 +404,13 @@ impl<T> BufferWriter<T> {
         if degraded {
             st.degraded_sealed = true;
         }
-        if let Some(hist) = st.history.as_mut() {
+        // Lock order state -> history; held only for the O(1) push, so the
+        // history lock never delays another publisher or reader for long.
+        let mut hist = lock_unpoisoned(&self.shared.history);
+        if let Some(hist) = hist.as_mut() {
             hist.push(snap.clone());
         }
+        drop(hist);
         st.latest = Some(snap);
         drop(st);
         self.shared.watchers.wake_all();
@@ -491,8 +547,13 @@ impl<T> BufferReader<T> {
 
     /// All published snapshots, oldest first, when the buffer was created
     /// with [`BufferOptions::keep_history`]; `None` otherwise.
+    ///
+    /// Touches only the dedicated history lock — never the state lock — so
+    /// reading a long history cannot delay publication, `latest()`, or any
+    /// blocked waiter. The returned snapshots share payloads with the
+    /// buffer (`Arc` clones, no payload copies).
     pub fn history(&self) -> Option<Vec<Snapshot<T>>> {
-        lock_unpoisoned(&self.shared.state).history.clone()
+        lock_unpoisoned(&self.shared.history).clone()
     }
 
     /// Counters for blocking waits on this buffer: waits, wakeups,
@@ -675,6 +736,124 @@ impl<T> BufferReader<T> {
                 self.shared.counters.record_wakeup();
             }
         }
+    }
+}
+
+/// A two-slot publication recycler for producers that rebuild their whole
+/// output every publication (the drive loops behind `SampledMap`,
+/// distributive and parallel runners).
+///
+/// Publishing through the double buffer alternates between two `Arc`
+/// slots. When it is a slot's turn again, the buffer's `latest` has moved
+/// on two versions, so — unless a reader still pins that snapshot or
+/// history retains it — the slot's `Arc` is unique again and its heap
+/// allocation is reused via `clone_from` (for `Vec`-backed payloads this
+/// is a capacity-preserving copy, no allocation). Readers are never
+/// affected: a pinned snapshot simply forces one fresh allocation.
+#[derive(Debug)]
+pub struct DoubleBuffer<T> {
+    slots: [Option<Arc<T>>; 2],
+    next: usize,
+    recycled: u64,
+    allocated: u64,
+}
+
+impl<T> Default for DoubleBuffer<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> DoubleBuffer<T> {
+    /// Creates an empty recycler.
+    pub fn new() -> Self {
+        Self {
+            slots: [None, None],
+            next: 0,
+            recycled: 0,
+            allocated: 0,
+        }
+    }
+
+    /// Publications that reused a retired allocation.
+    pub fn recycled(&self) -> u64 {
+        self.recycled
+    }
+
+    /// Publications that had to allocate a fresh payload.
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+}
+
+impl<T: Clone> DoubleBuffer<T> {
+    /// Stages `value` into the next slot, recycling its retired allocation
+    /// when no snapshot still references it.
+    fn stage(&mut self, value: &T) -> Arc<T> {
+        let slot = &mut self.slots[self.next];
+        self.next ^= 1;
+        let arc = match slot.take() {
+            Some(mut retired) => match Arc::get_mut(&mut retired) {
+                Some(payload) => {
+                    payload.clone_from(value);
+                    self.recycled += 1;
+                    retired
+                }
+                None => {
+                    // A reader (or history) still pins the retired
+                    // version; leave it alone and allocate fresh.
+                    self.allocated += 1;
+                    Arc::new(value.clone())
+                }
+            },
+            None => {
+                self.allocated += 1;
+                Arc::new(value.clone())
+            }
+        };
+        *slot = Some(Arc::clone(&arc));
+        arc
+    }
+
+    /// Publishes an intermediate version of `value` through `writer`,
+    /// recycling a retired allocation when possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a final version has already been published.
+    pub fn publish_from(&mut self, writer: &mut BufferWriter<T>, value: &T, steps: u64) -> Version {
+        let staged = self.stage(value);
+        writer.publish_arc(staged, steps)
+    }
+
+    /// Publishes the final version of `value` through `writer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a final version has already been published.
+    pub fn publish_final_from(
+        &mut self,
+        writer: &mut BufferWriter<T>,
+        value: &T,
+        steps: u64,
+    ) -> Version {
+        let staged = self.stage(value);
+        writer.publish_final_arc(staged, steps)
+    }
+
+    /// Publishes a terminal degraded version of `value` through `writer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a (precise) final version has already been published.
+    pub fn publish_degraded_from(
+        &mut self,
+        writer: &mut BufferWriter<T>,
+        value: &T,
+        steps: u64,
+    ) -> Version {
+        let staged = self.stage(value);
+        writer.publish_degraded_arc(staged, steps)
     }
 }
 
@@ -1033,6 +1212,91 @@ mod tests {
         w.publish(3, 3);
         assert_eq!(*r.latest().unwrap().value(), 2);
         assert_eq!(r.dropped_publishes(), 1);
+    }
+
+    #[test]
+    fn publish_arc_shares_payload_with_readers() {
+        // Zero-copy publication: the reader's snapshot holds the very Arc
+        // the producer published — no payload bytes are duplicated.
+        let (mut w, r) = versioned::<Vec<u8>>("t");
+        let payload = Arc::new(vec![7u8; 1024]);
+        w.publish_arc(Arc::clone(&payload), 1);
+        let snap = r.latest().unwrap();
+        assert!(
+            Arc::ptr_eq(&snap.value_arc(), &payload),
+            "payload was copied"
+        );
+        // Exactly three references: ours, `latest`, the snapshot.
+        assert_eq!(Arc::strong_count(&payload), 3);
+        drop(snap);
+        // Replacing the version releases the buffer's reference.
+        w.publish_final_arc(Arc::new(vec![8u8; 1024]), 2);
+        assert_eq!(Arc::strong_count(&payload), 1);
+    }
+
+    #[test]
+    fn double_buffer_recycles_retired_allocations() {
+        let (mut w, r) = versioned::<Vec<u8>>("t");
+        let mut db = DoubleBuffer::new();
+        let value = vec![1u8; 4096];
+        db.publish_from(&mut w, &value, 1);
+        db.publish_from(&mut w, &value, 2);
+        assert_eq!(db.allocated(), 2, "both slots start empty");
+        // From the third publication on, the two-versions-old slot is no
+        // longer referenced by `latest`, so its allocation is reused.
+        for steps in 3..=10 {
+            db.publish_from(&mut w, &value, steps);
+        }
+        assert_eq!(db.allocated(), 2);
+        assert_eq!(db.recycled(), 8);
+        assert_eq!(*r.latest().unwrap().value(), value);
+        // A reader pinning a snapshot forces a fresh allocation instead of
+        // mutating the version it still observes.
+        let pinned = r.latest().unwrap();
+        db.publish_from(&mut w, &value, 11);
+        db.publish_from(&mut w, &value, 12);
+        db.publish_from(&mut w, &value, 13);
+        assert_eq!(*pinned.value(), value, "pinned snapshot mutated");
+        assert!(db.allocated() >= 3, "pinned snapshot must force an alloc");
+    }
+
+    #[test]
+    fn history_read_does_not_block_publication() {
+        // Regression: history() used to clone the whole snapshot vector
+        // while holding the state lock, stalling publish/latest/waits for
+        // the duration. With the dedicated history lock, a slow history
+        // reader cannot delay the writer.
+        let (mut w, r) = versioned_with::<Vec<u8>>("t", BufferOptions { keep_history: true });
+        for i in 0..512u64 {
+            w.publish(vec![0u8; 64], i + 1);
+        }
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let reader = {
+            let r = r.clone();
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                // relaxed: test stop flag; guards no data
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let hist = r.history().unwrap();
+                    assert!(hist.len() >= 512);
+                }
+            })
+        };
+        // Publications proceed under continuous history reads; each one
+        // must complete promptly (it only ever holds the history lock for
+        // a push, never for a clone).
+        let mut worst = Duration::ZERO;
+        for i in 0..256u64 {
+            let t = Instant::now();
+            w.publish(vec![0u8; 64], 513 + i);
+            worst = worst.max(t.elapsed());
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed); // relaxed: test stop flag; guards no data
+        reader.join().unwrap();
+        assert!(
+            worst < Duration::from_millis(250),
+            "a publish stalled {worst:?} behind history readers"
+        );
     }
 
     #[test]

@@ -108,7 +108,7 @@ mod version;
 // [`buffer::BufferOptions`], [`metrics::FaultStats`],
 // [`monitor::AccuracyMonitor`], [`supervisor::Watchdog`],
 // [`sync_pipeline::UpdateReceiver`]).
-pub use buffer::BufferReader;
+pub use buffer::{BufferReader, DoubleBuffer};
 pub use control::ControlToken;
 pub use diffusive::Diffusive;
 pub use error::{CoreError, Result};
@@ -122,8 +122,8 @@ pub use pipeline::{Pipeline, PipelineBuilder};
 pub use precise::Precise;
 pub use reduce::SampledReduce;
 pub use serve::{
-    BreakerPolicy, HedgePolicy, RetryPolicy, ServeOptions, ServePool, ServeResponse, ServeStatus,
-    ShedPolicy,
+    BatchPolicy, BreakerPolicy, HedgePolicy, RetryPolicy, ServeOptions, ServePool, ServeResponse,
+    ServeStatus, ShedPolicy,
 };
 pub use stage::{AnytimeBody, RestartPolicy, StageEnd, StageOptions, StepOutcome};
 pub use supervisor::{FailurePolicy, StallAction, Supervision};

@@ -686,6 +686,8 @@ pub struct ServeCounters {
     rejected: AtomicU64,
     shed: AtomicU64,
     hedged: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
     retried: AtomicU64,
     breaker_opens: AtomicU64,
     completed: AtomicU64,
@@ -708,6 +710,11 @@ impl ServeCounters {
 
     pub(crate) fn record_hedged(&self) {
         self.hedged.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
+    }
+
+    pub(crate) fn record_batch(&self, size: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
+        self.batched_requests.fetch_add(size, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
     }
 
     pub(crate) fn record_retried(&self) {
@@ -739,6 +746,8 @@ impl ServeCounters {
             rejected: self.rejected.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             hedged: self.hedged.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
             retried: self.retried.load(Ordering::Relaxed),
             breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
@@ -782,6 +791,7 @@ pub(crate) fn render_serve_counters(
         ("rejected", s.rejected),
         ("shed", s.shed),
         ("hedged", s.hedged),
+        ("batched", s.batched_requests),
         ("retried", s.retried),
         ("breaker_opens", s.breaker_opens),
         ("completed", s.completed),
@@ -792,6 +802,8 @@ pub(crate) fn render_serve_counters(
         labeled.push(("event", event));
         write_sample(out, "anytime_serve_requests_total", &labeled, value as f64)?;
     }
+    write_type(out, "anytime_serve_batches_total", "counter")?;
+    write_sample(out, "anytime_serve_batches_total", labels, s.batches as f64)?;
     write_type(out, "anytime_serve_live_runs", "gauge")?;
     write_sample(out, "anytime_serve_live_runs", labels, s.live_runs as f64)
 }
@@ -802,6 +814,8 @@ impl MetricStats for ServeStats {
         self.rejected += other.rejected;
         self.shed += other.shed;
         self.hedged += other.hedged;
+        self.batches += other.batches;
+        self.batched_requests += other.batched_requests;
         self.retried += other.retried;
         self.breaker_opens += other.breaker_opens;
         self.completed += other.completed;
@@ -832,6 +846,11 @@ pub struct ServeStats {
     /// Hedge dispatches: a second replica launched after the primary
     /// crossed the latency trigger.
     pub hedged: u64,
+    /// Batch runs performed: one pipeline serving several compatible
+    /// requests at once.
+    pub batches: u64,
+    /// Requests served as batch members (each batch contributes its size).
+    pub batched_requests: u64,
     /// Serve-layer retries: a replica died permanently and the request was
     /// relaunched with capped exponential backoff.
     pub retried: u64,

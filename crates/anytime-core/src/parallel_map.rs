@@ -211,6 +211,9 @@ where
         self.writer.begin_run(0);
         let mut published_at: u64 = 0;
         let publish_every = self.publish_every.max(1);
+        // Publications recycle the two-versions-old allocation instead of
+        // cloning the merged output fresh each time.
+        let mut db = crate::buffer::DoubleBuffer::new();
         let end = loop {
             match rx.recv(ctl) {
                 Ok(batch) => {
@@ -227,11 +230,11 @@ where
                     }
                     self.merged = done;
                     if done == total {
-                        self.writer.publish_final(out.clone(), done);
+                        db.publish_final_from(&mut self.writer, &out, done);
                         break StageEnd::Final;
                     }
                     if done - published_at >= publish_every {
-                        self.writer.publish(out.clone(), done);
+                        db.publish_from(&mut self.writer, &out, done);
                         published_at = done;
                     }
                 }
@@ -239,7 +242,7 @@ where
                 Err(CoreError::ChannelClosed) => {
                     // All workers exited and the queue is drained.
                     if done == total {
-                        self.writer.publish_final(out.clone(), done);
+                        db.publish_final_from(&mut self.writer, &out, done);
                         break StageEnd::Final;
                     }
                     // Workers died early without a stop: a worker panic.
@@ -250,7 +253,7 @@ where
         };
         // Publish whatever progress was merged before an interruption.
         if end == StageEnd::Stopped && done > published_at && !self.writer.is_final() {
-            self.writer.publish(out.clone(), done);
+            db.publish_from(&mut self.writer, &out, done);
         }
         for h in handles {
             let _ = h.join();

@@ -119,6 +119,36 @@ pub struct ShedPolicy {
     pub budget: Duration,
 }
 
+/// Batched-execution policy: one replica drains several queued compatible
+/// requests and serves them all from a single pipeline run, amortizing
+/// build/launch/join overhead across the batch.
+///
+/// Requires a pool built with [`ServePool::new_batched`] — the batch
+/// factory sees every input in the batch at once and decides how to share
+/// work (identical inputs can share one stage chain outright; distinct
+/// inputs can share a pipeline's launch and supervision). Only plain
+/// primaries batch: shed requests keep their cheap fast path and hedge
+/// copies their urgency, both serving singly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Maximum requests served by one batch run (≥ 2; a lone head request
+    /// with no compatible followers serves singly).
+    pub max_size: usize,
+    /// Two requests are batch-compatible when their absolute deadlines
+    /// differ by at most this window — a batch never staples a tight
+    /// request to a leisurely one.
+    pub window: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self {
+            max_size: 8,
+            window: Duration::from_millis(20),
+        }
+    }
+}
+
 /// Circuit-breaker policy for a replica worker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BreakerPolicy {
@@ -156,6 +186,9 @@ pub struct ServeOptions {
     pub hedge: Option<HedgePolicy>,
     /// Load shedding, if enabled.
     pub shed: Option<ShedPolicy>,
+    /// Batched execution, if enabled (requires
+    /// [`ServePool::new_batched`]; [`ServePool::new`] rejects it).
+    pub batch: Option<BatchPolicy>,
     /// Per-replica circuit breaker, if enabled.
     pub breaker: Option<BreakerPolicy>,
     /// Optional per-level cost/quality profile; when present, admission
@@ -182,6 +215,7 @@ impl Default for ServeOptions {
             retry: RetryPolicy::default(),
             hedge: None,
             shed: None,
+            batch: None,
             breaker: Some(BreakerPolicy::default()),
             levels: None,
             seed: 0,
@@ -218,6 +252,13 @@ impl ServeOptions {
     /// Enables load shedding.
     pub fn shed(mut self, shed: ShedPolicy) -> Self {
         self.shed = Some(shed);
+        self
+    }
+
+    /// Enables batched execution (only valid with
+    /// [`ServePool::new_batched`]).
+    pub fn batch(mut self, batch: BatchPolicy) -> Self {
+        self.batch = Some(batch);
         self
     }
 
@@ -273,6 +314,8 @@ pub struct ServeResponse<T> {
     pub shed: bool,
     /// `true` if a hedge replica was dispatched for this request.
     pub hedged: bool,
+    /// `true` if the request was served as part of a batch run.
+    pub batched: bool,
     /// Serve-layer relaunches performed for this request.
     pub retries: u32,
     /// Index of the replica worker that answered.
@@ -284,8 +327,45 @@ pub struct ServeResponse<T> {
 /// Pipeline factory: builds a fresh replica run for a request input and
 /// returns the pipeline plus the reader of its whole-application output.
 type FactoryFn<I, T> = dyn Fn(&I) -> Result<(Pipeline, BufferReader<T>)> + Send + Sync;
+/// Batch pipeline factory: builds ONE pipeline serving every input of a
+/// batch, returning one whole-application output reader per input (same
+/// order). Identical inputs may share a reader ([`BufferReader`] is
+/// cloneable); distinct inputs get their own chains inside the shared
+/// pipeline.
+type BatchFactoryFn<I, T> =
+    dyn Fn(&[Arc<I>]) -> Result<(Pipeline, Vec<BufferReader<T>>)> + Send + Sync;
 /// Quality estimator for a published snapshot (same scale as the floors).
 type QualityFn<T> = dyn Fn(&Snapshot<T>) -> f64 + Send + Sync;
+
+/// The best snapshot seen so far for a request, with its quality.
+type BestSeen<T> = Option<(f64, Snapshot<T>)>;
+
+/// How the pool builds replica runs: one pipeline per request, or one
+/// pipeline per drained batch of requests.
+enum Factory<I, T> {
+    Single(Box<FactoryFn<I, T>>),
+    Batch(Box<BatchFactoryFn<I, T>>),
+}
+
+impl<I, T> Factory<I, T> {
+    /// Builds a run for exactly one input (the non-batched path; also the
+    /// fallback when a batch member must be retried alone).
+    fn build_one(&self, input: &Arc<I>) -> Result<(Pipeline, BufferReader<T>)> {
+        match self {
+            Factory::Single(f) => f(input),
+            Factory::Batch(f) => {
+                let (pipeline, mut readers) = f(std::slice::from_ref(input))?;
+                if readers.len() != 1 {
+                    return Err(CoreError::InvalidConfig(format!(
+                        "batch factory returned {} readers for 1 input",
+                        readers.len()
+                    )));
+                }
+                Ok((pipeline, readers.pop().expect("length checked above")))
+            }
+        }
+    }
+}
 
 /// Circuit-breaker state machine (Closed → Open → HalfOpen → …).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -405,7 +485,7 @@ struct QueueState<I, T> {
 
 struct Shared<I, T> {
     opts: ServeOptions,
-    factory: Box<FactoryFn<I, T>>,
+    factory: Factory<I, T>,
     quality: Box<QualityFn<T>>,
     queue: Mutex<QueueState<I, T>>,
     // lint: allow(l1-condvar) -- workers re-check the job queue under `queue` around every wait
@@ -457,10 +537,61 @@ where
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidConfig`] for a zero replica count, zero
-    /// queue capacity, or an invalid level profile.
+    /// queue capacity, an invalid level profile, or a batch policy
+    /// (batching needs the batch factory of [`ServePool::new_batched`]).
     pub fn new(
         opts: ServeOptions,
         factory: impl Fn(&I) -> Result<(Pipeline, BufferReader<T>)> + Send + Sync + 'static,
+        quality: impl Fn(&Snapshot<T>) -> f64 + Send + Sync + 'static,
+    ) -> Result<Self> {
+        if opts.batch.is_some() {
+            return Err(CoreError::InvalidConfig(
+                "batched execution requires ServePool::new_batched".into(),
+            ));
+        }
+        Self::new_inner(opts, Factory::Single(Box::new(factory)), quality)
+    }
+
+    /// Creates a pool whose replicas serve *batches*: when several queued
+    /// requests have compatible deadlines (within
+    /// [`BatchPolicy::window`]), one worker drains up to
+    /// [`BatchPolicy::max_size`] of them and runs them all against a
+    /// single pipeline built by `batch_factory`, amortizing build, launch,
+    /// and join overhead across the batch. Each batch member is answered
+    /// individually — at *its own* deadline, against its own quality floor.
+    ///
+    /// `batch_factory` receives every input of the batch and must return
+    /// one output reader per input, in order. Since [`BufferReader`] is
+    /// cloneable, identical inputs can share one stage chain and one
+    /// reader; the factory is also called with single-input slices (the
+    /// fallback path for incompatible, shed, or retried requests).
+    ///
+    /// Uses [`BatchPolicy::default`] when `opts.batch` is `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for a zero replica count, zero
+    /// queue capacity, an invalid level profile, or a batch size below 2.
+    pub fn new_batched(
+        mut opts: ServeOptions,
+        batch_factory: impl Fn(&[Arc<I>]) -> Result<(Pipeline, Vec<BufferReader<T>>)>
+            + Send
+            + Sync
+            + 'static,
+        quality: impl Fn(&Snapshot<T>) -> f64 + Send + Sync + 'static,
+    ) -> Result<Self> {
+        let policy = opts.batch.get_or_insert_with(BatchPolicy::default);
+        if policy.max_size < 2 {
+            return Err(CoreError::InvalidConfig(
+                "batch max_size below 2 cannot amortize anything".into(),
+            ));
+        }
+        Self::new_inner(opts, Factory::Batch(Box::new(batch_factory)), quality)
+    }
+
+    fn new_inner(
+        opts: ServeOptions,
+        factory: Factory<I, T>,
         quality: impl Fn(&Snapshot<T>) -> f64 + Send + Sync + 'static,
     ) -> Result<Self> {
         if opts.replicas == 0 {
@@ -495,7 +626,7 @@ where
             .collect();
         let shared = Arc::new(Shared {
             opts,
-            factory: Box::new(factory),
+            factory,
             quality: Box::new(quality),
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
@@ -713,6 +844,11 @@ where
     /// healthy replica, plus — when every healthy replica is mid-run — the
     /// soonest replica's remaining occupancy (an empty queue does not mean
     /// zero wait on a saturated pool).
+    ///
+    /// A batched pool drains up to [`BatchPolicy::max_size`] queued
+    /// requests per run, so its queue clears `max_size` times faster than
+    /// a one-request-per-run projection would claim; without this divisor,
+    /// admission rejects exactly the backlog batching exists to absorb.
     fn projected_wait(&self, depth: usize) -> Duration {
         let shared = &self.shared;
         let now = Instant::now();
@@ -748,7 +884,11 @@ where
         };
         // All replicas quarantined: project as if one will recover.
         let healthy = healthy.max(1);
-        let queue_share = est.mul_f64(depth as f64 / healthy as f64);
+        let batch_size = match (&shared.factory, shared.opts.batch) {
+            (Factory::Batch(_), Some(policy)) => policy.max_size.max(1),
+            _ => 1,
+        };
+        let queue_share = est.mul_f64(depth as f64 / (healthy * batch_size) as f64);
         if any_idle {
             queue_share
         } else {
@@ -878,12 +1018,12 @@ impl<I, T> Drop for ServePool<I, T> {
 enum Attempt<T> {
     /// The run reached a terminal output, or the deadline arrived; the
     /// best snapshot so far (if any) goes to the caller.
-    Respond(Option<(f64, Snapshot<T>)>),
+    Respond(BestSeen<T>),
     /// Another dispatch filled the slot first; this run was stopped.
     Lost,
     /// The replica died permanently (retryable). Carries the best
     /// snapshot so far, kept across attempts.
-    Died(Option<(f64, Snapshot<T>)>),
+    Died(BestSeen<T>),
 }
 
 fn worker_loop<I, T>(shared: &Arc<Shared<I, T>>, replica: usize)
@@ -935,13 +1075,69 @@ where
                 q = shared.queue_cv.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         };
-        serve_job(shared, replica, &item);
+        match drain_batch(shared, &item) {
+            Some(batch) => serve_batch(shared, replica, batch),
+            None => serve_job(shared, replica, &item, None),
+        }
     }
 }
 
+/// Drains queued requests batch-compatible with `head` (deadlines within
+/// the policy window; plain primaries only). Returns the batch — a clone
+/// of `head` plus the drained followers — or `None` when the pool is not
+/// batched or no follower qualifies (the head then serves singly).
+fn drain_batch<I, T>(
+    shared: &Arc<Shared<I, T>>,
+    head: &QueueItem<I, T>,
+) -> Option<Vec<QueueItem<I, T>>> {
+    if !matches!(shared.factory, Factory::Batch(_)) {
+        return None;
+    }
+    let policy = shared.opts.batch?;
+    if head.is_hedge || head.job.shed || head.job.slot.is_filled() {
+        return None;
+    }
+    let mut batch = vec![QueueItem {
+        job: Arc::clone(&head.job),
+        is_hedge: false,
+    }];
+    {
+        let mut q = lock(&shared.queue);
+        let now = Instant::now();
+        let mut i = 0;
+        while i < q.jobs.len() && batch.len() < policy.max_size {
+            let it = &q.jobs[i];
+            let gap = head
+                .job
+                .deadline
+                .saturating_duration_since(it.job.deadline)
+                .max(it.job.deadline.saturating_duration_since(head.job.deadline));
+            // Leave members whose deadline is already unreachable for the
+            // eviction path — pulling them in would only pad the batch.
+            let reachable = now + shared.opts.min_service < it.job.deadline;
+            if !it.is_hedge && !it.job.shed && reachable && gap <= policy.window {
+                if let Some(it) = q.jobs.remove(i) {
+                    batch.push(it);
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+    (batch.len() > 1).then_some(batch)
+}
+
 /// Runs one queue item to response (or concedes it to a faster dispatch).
-fn serve_job<I, T>(shared: &Arc<Shared<I, T>>, replica: usize, item: &QueueItem<I, T>)
-where
+///
+/// `initial_best` seeds the best-snapshot tracking when the job already
+/// holds partial output from a failed batch run — a fallback must never
+/// answer worse than the batch had already computed.
+fn serve_job<I, T>(
+    shared: &Arc<Shared<I, T>>,
+    replica: usize,
+    item: &QueueItem<I, T>,
+    initial_best: BestSeen<T>,
+) where
     I: Send + Sync + 'static,
     T: Send + Sync + 'static,
 {
@@ -962,7 +1158,7 @@ where
         run_end.min(service_start + est)
     };
     *lock(&shared.replicas[replica].busy_until) = Some(occupied_until);
-    let mut best: Option<(f64, Snapshot<T>)> = None;
+    let mut best = initial_best;
     let mut local_retries = 0u32;
     let outcome = loop {
         let now = Instant::now();
@@ -1007,89 +1203,300 @@ where
     match outcome {
         Attempt::Lost => {}
         Attempt::Died(_) => unreachable!("Died is handled in the retry loop"),
-        Attempt::Respond(best) => {
-            let (hedged, retries) = {
-                let st = lock(&job.slot.state);
-                (st.hedged, st.retries)
+        Attempt::Respond(best) => respond(shared, replica, job, best, service_start, false),
+    }
+    *lock(&shared.replicas[replica].busy_until) = None;
+}
+
+/// Answers a job with the best snapshot an attempt produced (or
+/// [`CoreError::Timeout`] when none), filling its slot and recording the
+/// response-side counters, histograms, and trace events.
+fn respond<I, T>(
+    shared: &Arc<Shared<I, T>>,
+    replica: usize,
+    job: &Arc<Job<I, T>>,
+    best: BestSeen<T>,
+    service_start: Instant,
+    batched: bool,
+) where
+    I: Send + Sync + 'static,
+    T: Send + Sync + 'static,
+{
+    let (hedged, retries) = {
+        let st = lock(&job.slot.state);
+        (st.hedged, st.retries)
+    };
+    let result = match best {
+        Some((quality, snapshot)) => {
+            // A shed request that fell short of terminal output is
+            // flagged too: its quality was deliberately sacrificed
+            // to keep the pool available.
+            let status = if snapshot.is_final() && quality >= job.floor {
+                ServeStatus::Final
+            } else if snapshot.is_degraded()
+                || quality < job.floor
+                || (job.shed && !snapshot.is_terminal())
+            {
+                ServeStatus::Degraded
+            } else {
+                ServeStatus::AtDeadline
             };
-            let result = match best {
-                Some((quality, snapshot)) => {
-                    // A shed request that fell short of terminal output is
-                    // flagged too: its quality was deliberately sacrificed
-                    // to keep the pool available.
-                    let status = if snapshot.is_final() && quality >= job.floor {
-                        ServeStatus::Final
-                    } else if snapshot.is_degraded()
-                        || quality < job.floor
-                        || (job.shed && !snapshot.is_terminal())
-                    {
-                        ServeStatus::Degraded
-                    } else {
-                        ServeStatus::AtDeadline
-                    };
-                    Ok(ServeResponse {
-                        snapshot,
-                        quality,
-                        status,
-                        shed: job.shed,
-                        hedged,
-                        retries,
-                        replica,
-                        elapsed: job.accepted.elapsed(),
-                    })
+            Ok(ServeResponse {
+                snapshot,
+                quality,
+                status,
+                shed: job.shed,
+                hedged,
+                batched,
+                retries,
+                replica,
+                elapsed: job.accepted.elapsed(),
+            })
+        }
+        // Every attempt died before publishing anything.
+        None => Err(CoreError::Timeout),
+    };
+    match &result {
+        Ok(resp) => {
+            let status = resp.status;
+            let elapsed = resp.elapsed;
+            let quality = resp.quality;
+            let terminal = resp.snapshot.is_terminal();
+            if job.slot.fill(result) {
+                shared.counters.record_completed();
+                if status == ServeStatus::Degraded {
+                    shared.counters.record_degraded_response();
                 }
-                // Every attempt died before publishing anything.
-                None => Err(CoreError::Timeout),
-            };
-            match &result {
-                Ok(resp) => {
-                    let status = resp.status;
-                    let elapsed = resp.elapsed;
-                    let quality = resp.quality;
-                    let terminal = resp.snapshot.is_terminal();
-                    if job.slot.fill(result) {
-                        shared.counters.record_completed();
-                        if status == ServeStatus::Degraded {
-                            shared.counters.record_degraded_response();
-                        }
-                        shared.opts.recorder.request_end(
-                            EventKind::RequestDone,
-                            job.id,
-                            Some(shared.replicas[replica].trace_id),
-                            elapsed,
-                            Some(quality),
-                            terminal,
-                            status == ServeStatus::Degraded,
-                        );
-                        let budget = job.deadline - job.accepted;
-                        shared.deadline_hist.record(elapsed, budget);
-                        // The EWMA and P95 track *service* time (pop to
-                        // response), not queue wait — admission multiplies
-                        // them by queue depth itself.
-                        let service = service_start.elapsed();
-                        shared.replicas[replica].ewma.record(service);
-                        shared.service_hist.record(service);
-                        record_breaker_success(shared, replica);
-                    }
-                }
-                Err(_) => {
-                    if job.slot.fill(result) {
-                        shared.counters.record_failed();
-                        shared.opts.recorder.request_end(
-                            EventKind::RequestFailed,
-                            job.id,
-                            Some(shared.replicas[replica].trace_id),
-                            job.accepted.elapsed(),
-                            None,
-                            false,
-                            false,
-                        );
-                    }
-                }
+                shared.opts.recorder.request_end(
+                    EventKind::RequestDone,
+                    job.id,
+                    Some(shared.replicas[replica].trace_id),
+                    elapsed,
+                    Some(quality),
+                    terminal,
+                    status == ServeStatus::Degraded,
+                );
+                let budget = job.deadline - job.accepted;
+                shared.deadline_hist.record(elapsed, budget);
+                // The EWMA and P95 track *service* time (pop to
+                // response), not queue wait — admission multiplies
+                // them by queue depth itself.
+                let service = service_start.elapsed();
+                shared.replicas[replica].ewma.record(service);
+                shared.service_hist.record(service);
+                record_breaker_success(shared, replica);
+            }
+        }
+        Err(_) => {
+            if job.slot.fill(result) {
+                shared.counters.record_failed();
+                shared.opts.recorder.request_end(
+                    EventKind::RequestFailed,
+                    job.id,
+                    Some(shared.replicas[replica].trace_id),
+                    job.accepted.elapsed(),
+                    None,
+                    false,
+                    false,
+                );
             }
         }
     }
+}
+
+/// How one batch member's wait against the shared batch run ended.
+enum BatchOutcome {
+    /// Deadline or terminal output: answer with the best snapshot so far.
+    Respond,
+    /// Another dispatch filled the slot first.
+    Lost,
+    /// The shared run died permanently; this member retries alone.
+    Died,
+}
+
+/// Serves a drained batch of compatible requests from one pipeline run.
+///
+/// The batch factory builds a single pipeline covering every member; each
+/// member is then answered in deadline order against its own reader — at
+/// its own deadline, against its own floor. Members never hedge (the
+/// shared run IS their dispatch), and a member whose chain dies falls back
+/// to the single-request path carrying the best snapshot the batch had
+/// already produced, so batching can only cost amortization, never an
+/// answer.
+fn serve_batch<I, T>(shared: &Arc<Shared<I, T>>, replica: usize, mut batch: Vec<QueueItem<I, T>>)
+where
+    I: Send + Sync + 'static,
+    T: Send + Sync + 'static,
+{
+    let service_start = Instant::now();
+    // Members are answered soonest-deadline first; the factory sees inputs
+    // in the same order.
+    batch.sort_by_key(|it| it.job.deadline);
+    let Some(last) = batch.last() else { return };
+    // Advertise occupancy through the batch's LAST deadline: unlike a
+    // single run (whose EWMA captures typical early-terminal exits), a
+    // batch holds this worker until its final member is answered, and an
+    // optimistic estimate here admits tight requests that can only starve
+    // in the queue behind it.
+    *lock(&shared.replicas[replica].busy_until) = Some(last.job.deadline);
+    let inputs: Vec<Arc<I>> = batch.iter().map(|it| Arc::clone(&it.job.input)).collect();
+    let built = match &shared.factory {
+        Factory::Batch(factory) => factory(&inputs).and_then(|(pipeline, readers)| {
+            if readers.len() == batch.len() {
+                Ok((pipeline, readers))
+            } else {
+                Err(CoreError::InvalidConfig(format!(
+                    "batch factory returned {} readers for {} inputs",
+                    readers.len(),
+                    batch.len()
+                )))
+            }
+        }),
+        // drain_batch only assembles batches for batch factories.
+        Factory::Single(_) => Err(CoreError::InvalidConfig(
+            "batch dispatch without a batch factory".into(),
+        )),
+    };
+    let launched = built.and_then(|(pipeline, readers)| {
+        let ctl = ControlToken::new();
+        pipeline
+            .launch_with(ctl.clone())
+            .map(|auto| (auto, ctl, readers))
+    });
+    let (auto, ctl, readers) = match launched {
+        Ok(l) => l,
+        Err(_) => {
+            // The whole batch build/launch failed: every member falls back
+            // to its own single-path run (which has its own retry loop).
+            record_breaker_failure(shared, replica);
+            for item in &batch {
+                fallback_single(shared, replica, item, None);
+            }
+            *lock(&shared.replicas[replica].busy_until) = None;
+            return;
+        }
+    };
+    shared.counters.record_batch(batch.len() as u64);
+    for item in &batch {
+        shared
+            .opts
+            .recorder
+            .serve_event(EventKind::Batch, item.job.id);
+    }
+    shared.live_runs.fetch_add(1, Ordering::Relaxed); // relaxed: count-up precedes any batch work; completion ordering comes from the Release decrement
+    let mut fallbacks: Vec<(usize, BestSeen<T>)> = Vec::new();
+    for (idx, (item, reader)) in batch.iter().zip(&readers).enumerate() {
+        let job = &item.job;
+        let mut last_seen: Option<Version> = None;
+        let mut best: BestSeen<T> = None;
+        let outcome = loop {
+            if job.slot.is_filled() {
+                break BatchOutcome::Lost;
+            }
+            let now = Instant::now();
+            if now >= job.deadline {
+                break BatchOutcome::Respond;
+            }
+            match reader.wait_newer_timeout_with(last_seen, job.deadline - now, &ctl) {
+                Ok(snap) => {
+                    last_seen = Some(snap.version());
+                    let q = (shared.quality)(&snap);
+                    shared.opts.recorder.observe_quality(
+                        job.id,
+                        shared.replicas[replica].trace_id,
+                        snap.version().get(),
+                        q,
+                    );
+                    let better = best.as_ref().is_none_or(|(bq, _)| q >= *bq);
+                    let terminal = snap.is_terminal();
+                    if better {
+                        best = Some((q, snap));
+                    }
+                    if terminal {
+                        break BatchOutcome::Respond;
+                    }
+                }
+                Err(CoreError::Timeout) => {}
+                // Stopped externally: answer with whatever the run gave us.
+                Err(CoreError::Stopped) => break BatchOutcome::Respond,
+                // This member's chain died permanently; retry it alone.
+                Err(_) => break BatchOutcome::Died,
+            }
+        };
+        match outcome {
+            BatchOutcome::Lost => {}
+            BatchOutcome::Respond => {
+                // A member whose deadline elapsed while earlier members
+                // were being answered may never have polled its reader —
+                // but the shared run was publishing the whole time. Scoop
+                // the latest snapshot so the member benefits from every
+                // step the batch ran, instead of timing out empty-handed.
+                if let Some(snap) = reader.latest() {
+                    let q = (shared.quality)(&snap);
+                    if best.as_ref().is_none_or(|(bq, _)| q >= *bq) {
+                        shared.opts.recorder.observe_quality(
+                            job.id,
+                            shared.replicas[replica].trace_id,
+                            snap.version().get(),
+                            q,
+                        );
+                        best = Some((q, snap));
+                    }
+                }
+                respond(shared, replica, job, best, service_start, true);
+            }
+            BatchOutcome::Died => {
+                record_breaker_failure(shared, replica);
+                fallbacks.push((idx, best));
+            }
+        }
+    }
+    // Stop and fully reap the batch run before any fallback relaunches,
+    // exactly as run_attempt reaps a single run.
+    auto.stop();
+    let pre_join = auto.fault_stats();
+    match auto.join() {
+        Ok(report) => lock(&shared.faults).absorb(&report.faults),
+        Err(_) => {
+            let mut stats = pre_join;
+            stats.permanent_failures = stats.permanent_failures.max(1);
+            lock(&shared.faults).absorb(&stats);
+        }
+    }
+    // Release pairs with the Acquire load in stats(): same protocol as
+    // run_attempt's decrement.
+    shared.live_runs.fetch_sub(1, Ordering::Release);
+    for (idx, best) in fallbacks {
+        fallback_single(shared, replica, &batch[idx], best);
+    }
     *lock(&shared.replicas[replica].busy_until) = None;
+}
+
+/// Relaunches a batch member alone after its batch run failed it, seeding
+/// the single path with the batch's best snapshot. Counted as a
+/// serve-layer retry — it is one.
+fn fallback_single<I, T>(
+    shared: &Arc<Shared<I, T>>,
+    replica: usize,
+    item: &QueueItem<I, T>,
+    best: BestSeen<T>,
+) where
+    I: Send + Sync + 'static,
+    T: Send + Sync + 'static,
+{
+    if item.job.slot.is_filled() {
+        return;
+    }
+    shared.counters.record_retried();
+    shared
+        .opts
+        .recorder
+        .serve_event(EventKind::Retry, item.job.id);
+    {
+        let mut st = lock(&item.job.slot.state);
+        st.retries += 1;
+    }
+    serve_job(shared, replica, item, best);
 }
 
 /// One pipeline launch for a request: build, run, track the best snapshot,
@@ -1098,7 +1505,7 @@ fn run_attempt<I, T>(
     shared: &Arc<Shared<I, T>>,
     replica: usize,
     item: &QueueItem<I, T>,
-    best: &mut Option<(f64, Snapshot<T>)>,
+    best: &mut BestSeen<T>,
 ) -> Attempt<T>
 where
     I: Send + Sync + 'static,
@@ -1112,7 +1519,7 @@ where
         Some(cap) => job.deadline.min(started + cap),
         None => job.deadline,
     };
-    let (pipeline, reader) = match (shared.factory)(&job.input) {
+    let (pipeline, reader) = match shared.factory.build_one(&job.input) {
         Ok(built) => built,
         Err(_) => return Attempt::Died(best.take()),
     };
@@ -1689,6 +2096,170 @@ mod tests {
             Err(CoreError::PoolShutdown)
         ));
         assert_eq!(stats.live_runs, 0);
+    }
+
+    /// Batch factory for identical inputs: one counting chain, every
+    /// member reads the same buffer (readers are cloneable).
+    #[allow(clippy::type_complexity)]
+    fn shared_batch_factory(
+        n: u64,
+        step_delay: Duration,
+        batch_sizes: Arc<Mutex<Vec<usize>>>,
+    ) -> impl Fn(&[Arc<u64>]) -> Result<(Pipeline, Vec<BufferReader<u64>>)> + Send + Sync {
+        move |inputs: &[Arc<u64>]| {
+            lock(&batch_sizes).push(inputs.len());
+            let mut pb = PipelineBuilder::new();
+            let out = pb.source(
+                "count",
+                (),
+                Diffusive::new(
+                    |_: &()| 0u64,
+                    move |_: &(), out: &mut u64, _| {
+                        std::thread::sleep(step_delay);
+                        *out += 1;
+                        if *out == n {
+                            StepOutcome::Done
+                        } else {
+                            StepOutcome::Continue
+                        }
+                    },
+                ),
+                StageOptions::with_publish_every(1),
+            );
+            Ok((pb.build(), vec![out; inputs.len()]))
+        }
+    }
+
+    #[test]
+    fn compatible_requests_share_one_batch_run() {
+        let sizes = Arc::new(Mutex::new(Vec::new()));
+        let pool = Arc::new(
+            ServePool::new_batched(
+                ServeOptions {
+                    replicas: 1,
+                    batch: Some(BatchPolicy {
+                        max_size: 4,
+                        window: Duration::from_secs(5),
+                    }),
+                    ..ServeOptions::default()
+                },
+                shared_batch_factory(40, Duration::from_millis(1), Arc::clone(&sizes)),
+                fraction_quality(40),
+            )
+            .unwrap(),
+        );
+        // Occupy the lone replica so the next three requests pile up in the
+        // queue and drain together as one batch.
+        let p0 = Arc::clone(&pool);
+        let blocker = std::thread::spawn(move || p0.submit(0, Duration::from_millis(200), 0.0));
+        std::thread::sleep(Duration::from_millis(30));
+        let followers: Vec<_> = (0..3)
+            .map(|_| {
+                let p = Arc::clone(&pool);
+                std::thread::spawn(move || p.submit(0, Duration::from_secs(5), 0.0))
+            })
+            .collect();
+        assert!(blocker.join().unwrap().is_ok());
+        for f in followers {
+            let resp = f.join().unwrap().expect("batched request failed");
+            assert_eq!(resp.status, ServeStatus::Final);
+            assert_eq!(*resp.snapshot.value(), 40);
+            assert!(resp.batched, "queued follower was not batched");
+        }
+        let stats = pool.shutdown();
+        assert_eq!(stats.admitted, 4);
+        assert_eq!(stats.completed, 4);
+        assert!(stats.batches >= 1, "no batch run happened: {stats:?}");
+        assert!(stats.batched_requests >= 2, "{stats:?}");
+        assert_eq!(stats.live_runs, 0);
+        let sizes = lock(&sizes);
+        assert!(
+            sizes.iter().any(|&s| s >= 2),
+            "factory never saw a multi-request batch: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn failed_batch_falls_back_to_single_runs() {
+        // The factory refuses multi-input batches; members must still be
+        // answered via the single-run fallback (counted as retries).
+        let factory = move |inputs: &[Arc<u64>]| {
+            if inputs.len() > 1 {
+                return Err(CoreError::InvalidConfig("no batches today".into()));
+            }
+            let mut pb = PipelineBuilder::new();
+            let out = pb.source(
+                "count",
+                (),
+                Diffusive::new(
+                    |_: &()| 0u64,
+                    |_: &(), out: &mut u64, _| {
+                        std::thread::sleep(Duration::from_millis(1));
+                        *out += 1;
+                        if *out == 10 {
+                            StepOutcome::Done
+                        } else {
+                            StepOutcome::Continue
+                        }
+                    },
+                ),
+                StageOptions::with_publish_every(1),
+            );
+            Ok((pb.build(), vec![out]))
+        };
+        let pool = Arc::new(
+            ServePool::new_batched(
+                ServeOptions {
+                    replicas: 1,
+                    ..ServeOptions::default()
+                },
+                factory,
+                fraction_quality(10),
+            )
+            .unwrap(),
+        );
+        let p0 = Arc::clone(&pool);
+        let blocker = std::thread::spawn(move || p0.submit(0, Duration::from_millis(100), 0.0));
+        std::thread::sleep(Duration::from_millis(20));
+        let followers: Vec<_> = (0..2)
+            .map(|_| {
+                let p = Arc::clone(&pool);
+                std::thread::spawn(move || p.submit(0, Duration::from_secs(5), 0.0))
+            })
+            .collect();
+        assert!(blocker.join().unwrap().is_ok());
+        for f in followers {
+            let resp = f.join().unwrap().expect("fallback request failed");
+            assert_eq!(resp.status, ServeStatus::Final);
+        }
+        let stats = pool.shutdown();
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.live_runs, 0);
+    }
+
+    #[test]
+    fn new_rejects_batch_policy_without_batch_factory() {
+        let r = ServePool::new(
+            ServeOptions::default().batch(BatchPolicy::default()),
+            counting_factory(1, Duration::ZERO),
+            fraction_quality(1),
+        );
+        assert!(matches!(r, Err(CoreError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn batch_size_below_two_rejected() {
+        let sizes = Arc::new(Mutex::new(Vec::new()));
+        let r = ServePool::new_batched(
+            ServeOptions::default().batch(BatchPolicy {
+                max_size: 1,
+                window: Duration::from_millis(1),
+            }),
+            shared_batch_factory(1, Duration::ZERO, sizes),
+            fraction_quality(1),
+        );
+        assert!(matches!(r, Err(CoreError::InvalidConfig(_))));
     }
 
     #[test]

@@ -146,25 +146,28 @@ where
         let mut steps = 0u64;
         let granularity = self.publish_every.max(1);
         let mut published_at = 0u64;
+        // Publications recycle the two-versions-old allocation instead of
+        // cloning the fold state fresh each time.
+        let mut db = crate::buffer::DoubleBuffer::new();
         loop {
             match self.rx.recv(ctl) {
                 Ok(Msg::Update(x)) => {
                     (self.fold)(&mut out, x);
                     steps += 1;
                     if steps.is_multiple_of(granularity) {
-                        self.writer.publish(out.clone(), steps);
+                        db.publish_from(&mut self.writer, &out, steps);
                         published_at = steps;
                     }
                 }
                 Ok(Msg::Final) => {
-                    self.writer.publish_final(out.clone(), steps);
+                    db.publish_final_from(&mut self.writer, &out, steps);
                     return Ok(StageEnd::Final);
                 }
                 Err(CoreError::Stopped) => {
                     // Publish the partial fold accumulated so far; it is a
                     // valid approximate output (interruptibility).
                     if steps > published_at {
-                        self.writer.publish(out.clone(), steps);
+                        db.publish_from(&mut self.writer, &out, steps);
                     }
                     return Ok(StageEnd::Stopped);
                 }

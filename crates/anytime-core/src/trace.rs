@@ -86,6 +86,8 @@ pub enum EventKind {
     Shed,
     /// A hedge run was dispatched after the primary crossed the trigger.
     Hedge,
+    /// A serve request was drained into a shared batch run.
+    Batch,
     /// A serve request was relaunched after a permanent replica failure.
     Retry,
     /// A replica circuit breaker opened (quarantine).
@@ -114,6 +116,7 @@ impl EventKind {
             Self::Reject => "reject",
             Self::Shed => "shed",
             Self::Hedge => "hedge",
+            Self::Batch => "batch",
             Self::Retry => "retry",
             Self::BreakerOpen => "breaker_open",
             Self::BreakerHalfOpen => "breaker_half_open",

@@ -3,33 +3,33 @@
 
 use anytime_core::buffer::{self, BufferOptions};
 use anytime_core::{ControlToken, Version};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
 #[test]
 fn many_readers_never_observe_regressions() {
     let (mut w, r) = buffer::versioned::<u64>("mono");
-    let stop = Arc::new(AtomicBool::new(false));
+    // Readers spin until they observe the final publication — not until a
+    // stop flag flips — so the test is deterministic even on a single-core
+    // host where a reader may first be scheduled after the writer finishes.
     let readers: Vec<_> = (0..4)
         .map(|_| {
             let r = r.clone();
-            let stop = Arc::clone(&stop);
             thread::spawn(move || {
                 let mut last = 0u64;
                 let mut observed = 0u64;
-                // relaxed: test stop flag; guards no data
-                while !stop.load(Ordering::Relaxed) {
+                loop {
                     if let Some(snap) = r.latest() {
                         let v = *snap.value();
                         assert!(v >= last, "value went backwards: {v} < {last}");
                         assert_eq!(snap.steps(), v, "metadata decoupled from value");
                         last = v;
                         observed += 1;
+                        if snap.is_final() {
+                            return observed;
+                        }
                     }
                 }
-                observed
             })
         })
         .collect();
@@ -37,7 +37,6 @@ fn many_readers_never_observe_regressions() {
         w.publish(i, i);
     }
     w.publish_final(20_001, 20_001);
-    stop.store(true, Ordering::Relaxed); // relaxed: test stop flag; guards no data
     for h in readers {
         assert!(h.join().unwrap() > 0);
     }

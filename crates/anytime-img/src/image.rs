@@ -18,12 +18,32 @@ use std::fmt;
 /// assert_eq!(img.pixel_count(), 12);
 /// # Ok::<(), anytime_img::ImgError>(())
 /// ```
-#[derive(Clone, PartialEq, Eq)]
+#[derive(PartialEq, Eq)]
 pub struct ImageBuf<T> {
     width: usize,
     height: usize,
     channels: usize,
     data: Vec<T>,
+}
+
+impl<T: Clone> Clone for ImageBuf<T> {
+    fn clone(&self) -> Self {
+        Self {
+            width: self.width,
+            height: self.height,
+            channels: self.channels,
+            data: self.data.clone(),
+        }
+    }
+
+    /// Reuses `self`'s sample allocation when shapes permit — the
+    /// republication fast path of `anytime_core::DoubleBuffer`.
+    fn clone_from(&mut self, source: &Self) {
+        self.width = source.width;
+        self.height = source.height;
+        self.channels = source.channels;
+        self.data.clone_from(&source.data);
+    }
 }
 
 /// An 8-bit grayscale image.

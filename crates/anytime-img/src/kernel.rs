@@ -101,8 +101,57 @@ impl Kernel {
     /// Convolves one pixel of `img` (with border clamping) and returns the
     /// filtered channel values.
     pub fn apply_at(&self, img: &ImageBuf<u8>, x: usize, y: usize) -> Vec<u8> {
-        let r = self.radius();
         let mut acc = vec![0.0f64; img.channels()];
+        self.accumulate_at(img, x, y, &mut acc);
+        acc.iter()
+            .map(|&a| a.round().clamp(0.0, 255.0) as u8)
+            .collect()
+    }
+
+    /// [`Kernel::apply_at`] for single-channel images, allocation-free —
+    /// the hot per-pixel path of the `2dconv` sampled map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image is not single-channel.
+    pub fn apply_at_gray(&self, img: &ImageBuf<u8>, x: usize, y: usize) -> u8 {
+        assert_eq!(img.channels(), 1, "single-channel images only");
+        let r = self.radius();
+        let ru = r as usize;
+        let (w, h) = (img.width(), img.height());
+        // Interior fast path: no clamping needed, so each kernel row zips
+        // straight against a raw image row. The tap order (dy-outer,
+        // dx-inner) matches the clamped path exactly, so the f64
+        // accumulation sequence — and therefore the rounded result — is
+        // bit-identical.
+        if x >= ru && x + ru < w && y >= ru && y + ru < h {
+            let data = img.as_slice();
+            let mut acc = 0.0f64;
+            for (ky, wrow) in self.weights.chunks_exact(self.size).enumerate() {
+                let base = (y - ru + ky) * w + (x - ru);
+                for (&wt, &px) in wrow.iter().zip(&data[base..base + self.size]) {
+                    acc += wt * f64::from(px);
+                }
+            }
+            return acc.round().clamp(0.0, 255.0) as u8;
+        }
+        let mut acc = 0.0f64;
+        for dy in -r..=r {
+            for dx in -r..=r {
+                let w = self.weight(dx, dy);
+                let px = img.pixel_clamped(x as isize + dx, y as isize + dy);
+                acc += w * f64::from(px[0]);
+            }
+        }
+        acc.round().clamp(0.0, 255.0) as u8
+    }
+
+    /// Accumulates the weighted window around `(x, y)` into `acc` (one
+    /// slot per channel), without rounding. `acc` must be zeroed by the
+    /// caller; taps run `dy`-outer / `dx`-inner — the tap order the SIMD
+    /// row kernel replicates lane-for-lane.
+    fn accumulate_at(&self, img: &ImageBuf<u8>, x: usize, y: usize, acc: &mut [f64]) {
+        let r = self.radius();
         for dy in -r..=r {
             for dx in -r..=r {
                 let w = self.weight(dx, dy);
@@ -112,19 +161,40 @@ impl Kernel {
                 }
             }
         }
-        acc.iter()
-            .map(|&a| a.round().clamp(0.0, 255.0) as u8)
-            .collect()
     }
 }
 
 /// Precise full-image convolution: the `2dconv` baseline.
+///
+/// Single-channel images go through the row kernel
+/// ([`crate::simd::convolve_row_gray`]), which vectorizes across adjacent
+/// output pixels under `--features simd` and is bit-identical to the
+/// per-pixel path either way. Multi-channel images take the per-pixel
+/// path with a reused accumulator (no per-pixel allocation).
 pub fn convolve(img: &ImageBuf<u8>, kernel: &Kernel) -> ImageBuf<u8> {
     let mut out = img.clone();
+    let w = img.width();
+    if img.channels() == 1 {
+        for y in 0..img.height() {
+            crate::simd::convolve_row_gray(
+                img,
+                kernel,
+                y,
+                &mut out.as_mut_slice()[y * w..(y + 1) * w],
+            );
+        }
+        return out;
+    }
+    let channels = img.channels();
+    let mut acc = vec![0.0f64; channels];
     for y in 0..img.height() {
-        for x in 0..img.width() {
-            let px = kernel.apply_at(img, x, y);
-            out.set_pixel(x, y, &px);
+        for x in 0..w {
+            acc.fill(0.0);
+            kernel.accumulate_at(img, x, y, &mut acc);
+            let base = img.sample_index(x, y);
+            for (c, &a) in acc.iter().enumerate() {
+                out.as_mut_slice()[base + c] = a.round().clamp(0.0, 255.0) as u8;
+            }
         }
     }
     out
@@ -186,6 +256,31 @@ mod tests {
         assert!(p[0] > 0, "red energy spread");
         assert_eq!(p[1], 0);
         assert_eq!(p[2], 0);
+    }
+
+    #[test]
+    fn gray_fast_path_matches_clamped_path_exactly() {
+        // Interior pixels take the zip fast path, borders the clamped
+        // loop; both must agree bit-for-bit with the generic apply_at.
+        for (w, h) in [(11usize, 9usize), (16, 16), (7, 23)] {
+            let img = synth::value_noise(w, h, 3);
+            for k in [
+                Kernel::box_blur(3),
+                Kernel::gaussian(5, 1.2),
+                Kernel::sharpen(),
+            ] {
+                for y in 0..h {
+                    for x in 0..w {
+                        assert_eq!(
+                            k.apply_at_gray(&img, x, y),
+                            k.apply_at(&img, x, y)[0],
+                            "kernel {} at ({x}, {y}) in {w}x{h}",
+                            k.size()
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -14,12 +14,14 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(feature = "simd", feature(portable_simd))]
 
 mod error;
 mod image;
 pub mod io;
 mod kernel;
 pub mod metrics;
+pub mod simd;
 pub mod synth;
 
 pub use error::{ImgError, Result};

@@ -11,15 +11,7 @@ use crate::image::ImageBuf;
 /// Panics if the images differ in shape.
 pub fn mse(approx: &ImageBuf<u8>, reference: &ImageBuf<u8>) -> f64 {
     assert_same_shape(approx, reference);
-    let sum: f64 = approx
-        .as_slice()
-        .iter()
-        .zip(reference.as_slice())
-        .map(|(&a, &r)| {
-            let d = f64::from(a) - f64::from(r);
-            d * d
-        })
-        .sum();
+    let sum = crate::simd::sum_sq_diff_u8(approx.as_slice(), reference.as_slice());
     sum / reference.as_slice().len() as f64
 }
 
@@ -33,14 +25,8 @@ pub fn mse(approx: &ImageBuf<u8>, reference: &ImageBuf<u8>) -> f64 {
 /// Panics if the images differ in shape.
 pub fn snr_db(approx: &ImageBuf<u8>, reference: &ImageBuf<u8>) -> f64 {
     assert_same_shape(approx, reference);
-    let mut signal = 0.0f64;
-    let mut noise = 0.0f64;
-    for (&a, &r) in approx.as_slice().iter().zip(reference.as_slice()) {
-        let rf = f64::from(r);
-        let d = f64::from(a) - rf;
-        signal += rf * rf;
-        noise += d * d;
-    }
+    let signal = crate::simd::sum_sq_u8(reference.as_slice());
+    let noise = crate::simd::sum_sq_diff_u8(approx.as_slice(), reference.as_slice());
     if noise == 0.0 {
         f64::INFINITY
     } else if signal == 0.0 {
