@@ -17,7 +17,10 @@
 //! - `serve/unbatched_request`, `serve/batched_request` — end-to-end
 //!   requests through a single-replica `ServePool`, without and with
 //!   batched execution; their ratio is the batching speedup in
-//!   requests/sec/core.
+//!   requests/sec/core;
+//! - `serve/admission_decision` — one calibrated response-time-analysis
+//!   admission decision ending in a certified-infeasible rejection: the
+//!   control-plane cost every request pays before any data-plane work.
 //!
 //! Every entry carries a normalized cost (`norm`) against a calibration
 //! workload measured on the same host, so reports from different machines
@@ -65,6 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         record_control_latency(&mut report, &opts);
         record_kernels(&mut report, &opts);
         record_serve_throughput(&mut report)?;
+        record_admission_decision(&mut report, &opts)?;
         reps.push(report);
     }
     let report = Report::merge_median(reps);
@@ -244,6 +248,71 @@ fn record_serve_throughput(report: &mut Report) -> Result<(), CoreError> {
         served as u64,
     );
     batched.shutdown();
+    Ok(())
+}
+
+/// One analytical admission decision per op: a calibrated RTA gate proving
+/// "floor 1.0 is unreachable within 100 µs" and rejecting with the
+/// certified bound. Gated hot: this is pure control-plane cost paid on
+/// every submit, and it must stay far below the wakeup latency it guards
+/// (`control/stop_wakeup`).
+fn record_admission_decision(report: &mut Report, opts: &MeasureOptions) -> Result<(), CoreError> {
+    use anytime_core::{Diffusive, PipelineBuilder, RtaPolicy, StageOptions, StepOutcome};
+    const STEPS: u64 = 4;
+    const STEP_SLEEP: Duration = Duration::from_micros(200);
+    let pool = ServePool::new(
+        ServeOptions {
+            replicas: 1,
+            min_service: Duration::from_nanos(1),
+            hedge: None,
+            shed: None,
+            breaker: None,
+            ..ServeOptions::default()
+        }
+        .rta(RtaPolicy {
+            min_runs: 4,
+            ..RtaPolicy::default()
+        }),
+        |_: &()| {
+            let mut pb = PipelineBuilder::new();
+            let out = pb.source(
+                "count",
+                (),
+                Diffusive::new(
+                    |_: &()| 0u64,
+                    |_: &(), out: &mut u64, _| {
+                        // lint: allow(l2-sleep) -- synthetic workload: the sleep IS the per-step service time the gate calibrates against
+                        thread::sleep(STEP_SLEEP);
+                        *out += 1;
+                        if *out == STEPS {
+                            StepOutcome::Done
+                        } else {
+                            StepOutcome::Continue
+                        }
+                    },
+                ),
+                StageOptions::with_publish_every(1),
+            );
+            Ok((pb.build(), out))
+        },
+        |snap| *snap.value() as f64 / STEPS as f64,
+    )?;
+    // Calibrate: full quality takes >= 4 x 200 µs of real sleep per run,
+    // so the certified lower bound for floor 1.0 sits far above the
+    // 100 µs budget probed below — the rejection is deterministic.
+    for _ in 0..4 {
+        pool.submit((), Duration::from_secs(30), 0.0)?;
+    }
+    assert!(
+        pool.rta_calibrated(),
+        "admission gate failed to calibrate for the bench"
+    );
+    report.record("serve/admission_decision", true, opts, || {
+        let r = pool.submit(black_box(()), Duration::from_micros(100), 1.0);
+        debug_assert!(matches!(r, Err(CoreError::Infeasible { .. })));
+        black_box(r.is_err());
+    });
+    pool.shutdown();
     Ok(())
 }
 

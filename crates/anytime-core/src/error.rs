@@ -43,6 +43,23 @@ pub enum CoreError {
         /// The request's deadline budget.
         budget: Duration,
     },
+    /// A serve request was rejected because response-time analysis
+    /// *proved* its (deadline, floor) pair infeasible: even under the
+    /// calibrated optimistic model (fastest observed quality crossings,
+    /// scaled down by the gate's optimism factor), the current backlog
+    /// cannot raise output quality to `floor` within `budget`. Unlike
+    /// [`CoreError::AdmissionRejected`] — a heuristic projection — this
+    /// carries a certified bound: resubmitting with `budget >= bound`
+    /// is the fix, retrying the same budget is not.
+    Infeasible {
+        /// Certified lower bound on the time to reach `floor` given the
+        /// backlog observed at admission.
+        bound: Duration,
+        /// The request's deadline budget (strictly below `bound`).
+        budget: Duration,
+        /// The quality floor the bound was computed for.
+        floor: f64,
+    },
     /// A serve request was rejected fast at admission because the pool's
     /// queue was already at capacity — a load statement, not a deadline
     /// one (the request's budget may well have been feasible).
@@ -91,6 +108,15 @@ impl fmt::Display for CoreError {
                 "admission rejected: projected {projected:?} to first answer \
                  exceeds deadline budget {budget:?}"
             ),
+            Self::Infeasible {
+                bound,
+                budget,
+                floor,
+            } => write!(
+                f,
+                "admission rejected: analysis proves quality floor {floor} is \
+                 unreachable within {budget:?} (certified lower bound {bound:?})"
+            ),
             Self::QueueFull { depth, capacity } => write!(
                 f,
                 "admission rejected: serve queue is full ({depth} queued, capacity {capacity})"
@@ -129,6 +155,11 @@ mod tests {
             CoreError::QueueFull {
                 depth: 64,
                 capacity: 64,
+            },
+            CoreError::Infeasible {
+                bound: Duration::from_millis(9),
+                budget: Duration::from_millis(4),
+                floor: 0.5,
             },
             CoreError::PoolShutdown,
         ];
@@ -183,6 +214,20 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("64 queued"), "{s}");
         assert!(s.contains("capacity 64"), "{s}");
+    }
+
+    #[test]
+    fn infeasible_names_bound_budget_and_floor() {
+        let e = CoreError::Infeasible {
+            bound: Duration::from_millis(9),
+            budget: Duration::from_millis(4),
+            floor: 0.5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("floor 0.5"), "{s}");
+        assert!(s.contains("4ms"), "{s}");
+        assert!(s.contains("bound 9ms"), "{s}");
+        assert!(s.contains("proves"), "{s}");
     }
 
     #[test]

@@ -33,7 +33,10 @@
 //! - The [`serve`] module turns single runs into a deadline-budgeted
 //!   service: a [`ServePool`] of replica pipelines with admission control,
 //!   retries, hedged execution, load shedding, and per-replica circuit
-//!   breakers.
+//!   breakers. With an [`RtaPolicy`] installed, admission is backed by the
+//!   [`rta`] response-time analysis: provably-infeasible requests are
+//!   rejected with a certified bound, and the hedge/retry/shed budgets
+//!   derive from analytical slack instead of latency-percentile guesses.
 //!
 //! ## Example
 //!
@@ -94,6 +97,7 @@ mod pipeline;
 mod precise;
 pub mod prelude;
 mod reduce;
+pub mod rta;
 pub mod scheduler;
 pub mod serve;
 mod stage;
@@ -121,6 +125,7 @@ pub use parallel_map::ParallelSampledMap;
 pub use pipeline::{Pipeline, PipelineBuilder};
 pub use precise::Precise;
 pub use reduce::SampledReduce;
+pub use rta::RtaPolicy;
 pub use serve::{
     BatchPolicy, BreakerPolicy, HedgePolicy, RetryPolicy, ServeOptions, ServePool, ServeResponse,
     ServeStatus, ShedPolicy,

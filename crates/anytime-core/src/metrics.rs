@@ -756,6 +756,7 @@ impl ServeCounters {
             deadline: DeadlineHistogramStats::default(),
             faults: FaultStats::default(),
             live_runs: 0,
+            rta: RtaStats::default(),
         }
     }
 }
@@ -824,6 +825,7 @@ impl MetricStats for ServeStats {
         MetricStats::absorb(&mut self.deadline, &other.deadline);
         FaultStats::absorb(&mut self.faults, &other.faults);
         self.live_runs += other.live_runs;
+        MetricStats::absorb(&mut self.rta, &other.rta);
     }
 
     fn is_clean(&self) -> bool {
@@ -872,6 +874,199 @@ pub struct ServeStats {
     /// Pipeline runs still live when this snapshot was taken; zero after
     /// shutdown proves no leaked running stages.
     pub live_runs: u64,
+    /// Response-time-analysis admission activity, when the pool runs with
+    /// an analytical gate (all-zero otherwise).
+    pub rta: RtaStats,
+}
+
+/// Cumulative counters for a serve pool's analytical admission gate
+/// ([`crate::rta`]): decision verdicts plus the predicted-vs-actual
+/// bound-error samples behind the exported gauge. Relaxed atomics:
+/// diagnostics, not synchronization.
+#[derive(Debug, Default)]
+pub struct RtaCounters {
+    feasible: AtomicU64,
+    infeasible: AtomicU64,
+    fallback: AtomicU64,
+    bound_samples: AtomicU64,
+    bound_violations: AtomicU64,
+    ratio_milli_sum: AtomicU64,
+}
+
+impl RtaCounters {
+    pub(crate) fn record_feasible(&self) {
+        self.feasible.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
+    }
+
+    pub(crate) fn record_infeasible(&self) {
+        self.infeasible.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
+    }
+
+    pub(crate) fn record_fallback(&self) {
+        self.fallback.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
+    }
+
+    /// Records one predicted-vs-actual sample: the worst-case bound the
+    /// gate promised at admission against the response time the request
+    /// actually saw. The ratio is accumulated in milli-units so the mean
+    /// survives integer counters without a float atomic.
+    pub(crate) fn record_bound_sample(&self, predicted: Duration, actual: Duration) {
+        let p = predicted.as_nanos().max(1) as f64;
+        let ratio = actual.as_nanos() as f64 / p;
+        self.bound_samples.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
+        if actual > predicted {
+            self.bound_violations.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
+        }
+        self.ratio_milli_sum
+            .fetch_add((ratio * 1_000.0) as u64, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
+    }
+
+    /// A point-in-time copy of the counters (the calibration fields of
+    /// [`RtaStats`] start at their defaults; the pool fills them in from
+    /// its gate).
+    pub fn snapshot(&self) -> RtaStats {
+        RtaStats {
+            // relaxed: point-in-time diagnostic snapshot; readers tolerate skew
+            feasible: self.feasible.load(Ordering::Relaxed),
+            infeasible: self.infeasible.load(Ordering::Relaxed),
+            fallback: self.fallback.load(Ordering::Relaxed),
+            bound_samples: self.bound_samples.load(Ordering::Relaxed),
+            bound_violations: self.bound_violations.load(Ordering::Relaxed),
+            ratio_milli_sum: self.ratio_milli_sum.load(Ordering::Relaxed),
+            calibration_runs: 0,
+            calibrated: false,
+        }
+    }
+}
+
+impl Observe for RtaCounters {
+    fn name(&self) -> &str {
+        "rta"
+    }
+
+    fn render(&self, out: &mut dyn fmt::Write) -> fmt::Result {
+        render_rta_stats(out, &self.snapshot(), &[])
+    }
+}
+
+impl MetricSet for RtaCounters {
+    type Stats = RtaStats;
+
+    fn snapshot(&self) -> RtaStats {
+        RtaCounters::snapshot(self)
+    }
+}
+
+/// A point-in-time view of a pool's [`RtaCounters`] plus its gate's
+/// calibration progress.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RtaStats {
+    /// Admissions where the gate produced bounds and found the request
+    /// feasible.
+    pub feasible: u64,
+    /// Requests rejected with a proven-infeasible verdict
+    /// ([`crate::CoreError::Infeasible`]).
+    pub infeasible: u64,
+    /// Admissions decided by the heuristic because the gate was not yet
+    /// calibrated (or had never observed the requested floor).
+    pub fallback: u64,
+    /// Predicted-vs-actual response-time samples recorded.
+    pub bound_samples: u64,
+    /// Samples whose actual response time exceeded the promised
+    /// worst-case bound — each one is the analysis caught lying.
+    pub bound_violations: u64,
+    /// Sum of per-sample `actual / predicted` ratios in milli-units
+    /// (1000 = the bound was exactly met).
+    pub ratio_milli_sum: u64,
+    /// Calibration runs the gate has absorbed.
+    pub calibration_runs: u64,
+    /// Whether the gate was active (calibrated) at snapshot time.
+    pub calibrated: bool,
+}
+
+impl RtaStats {
+    /// Mean `actual / predicted-bound` ratio across recorded samples
+    /// (0.0 when nothing was recorded). Well below 1.0 means the bound is
+    /// honest but slack; above 1.0 means it is being violated on average.
+    pub fn bound_error_ratio(&self) -> f64 {
+        if self.bound_samples == 0 {
+            return 0.0;
+        }
+        self.ratio_milli_sum as f64 / 1_000.0 / self.bound_samples as f64
+    }
+
+    /// Fraction of samples that violated the promised bound.
+    pub fn violation_rate(&self) -> f64 {
+        if self.bound_samples == 0 {
+            return 0.0;
+        }
+        self.bound_violations as f64 / self.bound_samples as f64
+    }
+}
+
+impl MetricStats for RtaStats {
+    fn absorb(&mut self, other: &Self) {
+        self.feasible += other.feasible;
+        self.infeasible += other.infeasible;
+        self.fallback += other.fallback;
+        self.bound_samples += other.bound_samples;
+        self.bound_violations += other.bound_violations;
+        self.ratio_milli_sum += other.ratio_milli_sum;
+        self.calibration_runs += other.calibration_runs;
+        self.calibrated |= other.calibrated;
+    }
+
+    fn is_clean(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+/// Writes one [`RtaStats`] in the Prometheus text format: decision
+/// counters, calibration progress, and the predicted-vs-actual bound-error
+/// gauge.
+pub(crate) fn render_rta_stats(
+    out: &mut dyn fmt::Write,
+    s: &RtaStats,
+    labels: &[(&str, &str)],
+) -> fmt::Result {
+    write_type(out, "anytime_rta_decisions_total", "counter")?;
+    for (verdict, value) in [
+        ("feasible", s.feasible),
+        ("infeasible", s.infeasible),
+        ("fallback", s.fallback),
+    ] {
+        let mut labeled: Vec<(&str, &str)> = labels.to_vec();
+        labeled.push(("verdict", verdict));
+        write_sample(out, "anytime_rta_decisions_total", &labeled, value as f64)?;
+    }
+    write_type(out, "anytime_rta_calibration_runs_total", "counter")?;
+    write_sample(
+        out,
+        "anytime_rta_calibration_runs_total",
+        labels,
+        s.calibration_runs as f64,
+    )?;
+    write_type(out, "anytime_rta_calibrated", "gauge")?;
+    write_sample(
+        out,
+        "anytime_rta_calibrated",
+        labels,
+        f64::from(u8::from(s.calibrated)),
+    )?;
+    write_type(out, "anytime_rta_bound_error_ratio", "gauge")?;
+    write_sample(
+        out,
+        "anytime_rta_bound_error_ratio",
+        labels,
+        s.bound_error_ratio(),
+    )?;
+    write_type(out, "anytime_rta_bound_violations_total", "counter")?;
+    write_sample(
+        out,
+        "anytime_rta_bound_violations_total",
+        labels,
+        s.bound_violations as f64,
+    )
 }
 
 /// Mean squared error between two equal-length slices.
@@ -1247,7 +1442,7 @@ mod tests {
     }
 
     #[test]
-    fn five_metric_types_render_prometheus() {
+    fn six_metric_types_render_prometheus() {
         use crate::observe::render_prometheus;
         let wait = WaitCounters::default();
         let faults = FaultCounters::default();
@@ -1257,17 +1452,59 @@ mod tests {
         deadline.record(Duration::from_millis(5), Duration::from_millis(10));
         let serve = ServeCounters::default();
         serve.record_admitted();
-        let text = render_prometheus(&[&wait, &faults, &latency, &deadline, &serve]);
+        let rta = RtaCounters::default();
+        rta.record_feasible();
+        let text = render_prometheus(&[&wait, &faults, &latency, &deadline, &serve, &rta]);
         for family in [
             "anytime_wait_waits_total",
             "anytime_faults_total",
             "anytime_latency_seconds_bucket",
             "anytime_deadline_ratio_bucket",
             "anytime_serve_requests_total",
+            "anytime_rta_decisions_total",
+            "anytime_rta_bound_error_ratio",
         ] {
             assert!(text.contains(family), "missing {family}:\n{text}");
         }
         assert!(text.contains("le=\"+Inf\""));
         assert!(text.contains("anytime_serve_requests_total{event=\"admitted\"} 1"));
+        assert!(text.contains("anytime_rta_decisions_total{verdict=\"feasible\"} 1"));
+    }
+
+    #[test]
+    fn rta_counters_track_decisions_and_bound_error() {
+        let rta = RtaCounters::default();
+        rta.record_feasible();
+        rta.record_feasible();
+        rta.record_infeasible();
+        rta.record_fallback();
+        // Actual half the bound (honest), then 1.5× the bound (violated).
+        rta.record_bound_sample(Duration::from_millis(10), Duration::from_millis(5));
+        rta.record_bound_sample(Duration::from_millis(10), Duration::from_millis(15));
+        let s = MetricSet::snapshot(&rta);
+        assert_eq!((s.feasible, s.infeasible, s.fallback), (2, 1, 1));
+        assert_eq!(s.bound_samples, 2);
+        assert_eq!(s.bound_violations, 1);
+        assert!((s.bound_error_ratio() - 1.0).abs() < 0.01, "{s:?}");
+        assert_eq!(s.violation_rate(), 0.5);
+        assert!(RtaStats::default().is_clean() && !s.is_clean());
+
+        // Folding into ServeStats carries the rta block along.
+        let mut total = ServeStats::default();
+        let one = ServeStats {
+            rta: s,
+            ..Default::default()
+        };
+        MetricStats::absorb(&mut total, &one);
+        MetricStats::absorb(&mut total, &one);
+        assert_eq!(total.rta.infeasible, 2);
+        assert_eq!(total.rta.bound_samples, 4);
+    }
+
+    #[test]
+    fn rta_stats_handle_empty_samples() {
+        let s = RtaStats::default();
+        assert_eq!(s.bound_error_ratio(), 0.0);
+        assert_eq!(s.violation_rate(), 0.0);
     }
 }

@@ -6,7 +6,8 @@
 //! [`crate::metrics::LatencyHistogram`],
 //! [`crate::metrics::DeadlineHistogram`],
 //! [`crate::metrics::ServeCounters`]) with ad-hoc snapshot conventions and
-//! no common export path. They now share one contract:
+//! no common export path. They — plus the later
+//! [`crate::metrics::RtaCounters`] — now share one contract:
 //!
 //! - [`Observe`] — object-safe: a metric family [`Observe::name`] and a
 //!   [`Observe::render`] into the Prometheus text format;
@@ -36,7 +37,7 @@ pub trait Observe {
 
 /// A metric source with a typed point-in-time snapshot.
 ///
-/// All five legacy counter types implement this; their stats types all
+/// All six counter types implement this; their stats types all
 /// implement [`MetricStats`], so aggregation code can be generic over
 /// "some counters I can snapshot and fold together".
 pub trait MetricSet: Observe {

@@ -129,6 +129,20 @@ pub fn estimate_first_output_latency(
         .sum()
 }
 
+/// Estimates the worst-case response time of one full pass of the chain
+/// under an allocation: the sum of every stage's *complete* work over its
+/// threads — the time from input to the final (precise) output when
+/// nothing overlaps in the request's favor.
+///
+/// This is the static counterpart of the serving layer's online
+/// response-time analysis ([`crate::rta`]): before any run has been
+/// observed, it is the only bound available, and it seeds expectations the
+/// analysis then tightens from real publish timings.
+pub fn estimate_response_time(weights: &[f64], alloc: &[usize]) -> f64 {
+    assert_eq!(weights.len(), alloc.len());
+    weights.iter().zip(alloc).map(|(w, &t)| w / t as f64).sum()
+}
+
 /// Estimates the steady-state gap between consecutive whole-application
 /// outputs: the bottleneck stage's per-output work (pipeline throughput is
 /// set by the slowest stage).
@@ -206,6 +220,23 @@ mod tests {
         let gap_rate = estimate_output_gap(&weights, &a_rate, 0.25);
         let gap_equal = estimate_output_gap(&weights, &a_equal, 0.25);
         assert!(gap_rate < gap_equal, "{gap_rate} vs {gap_equal}");
+    }
+
+    #[test]
+    fn response_time_dominates_first_output_and_shrinks_with_threads() {
+        let alloc = allocate(AllocPolicy::Proportional, &WEIGHTS, 8);
+        let response = estimate_response_time(&WEIGHTS, &alloc);
+        // The full chain costs at least as much as its first-step pass.
+        assert!(response >= estimate_first_output_latency(&WEIGHTS, &alloc, 0.25));
+        // More threads never slow the chain down.
+        let wide = allocate(AllocPolicy::Proportional, &WEIGHTS, 16);
+        assert!(estimate_response_time(&WEIGHTS, &wide) <= response);
+        // Single-threaded stages degenerate to the total work.
+        let serial = vec![1usize; WEIGHTS.len()];
+        assert_eq!(
+            estimate_response_time(&WEIGHTS, &serial),
+            WEIGHTS.iter().sum::<f64>()
+        );
     }
 
     #[test]

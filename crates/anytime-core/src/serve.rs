@@ -18,8 +18,17 @@
 //!   requests could still use (a queue at capacity rejects with
 //!   [`CoreError::QueueFull`] instead). An optional [`LevelEstimate`]
 //!   profile adds a contract-planning check
-//!   ([`crate::contract::plan_strict`]): reject when no accuracy level
-//!   fits the remaining budget.
+//!   ([`crate::contract::plan_strict_with_delay`]): reject when no
+//!   accuracy level fits the budget left after the projected queue delay.
+//! - **Analytical admission** — with an [`RtaPolicy`] installed
+//!   ([`ServeOptions::rta`]), the [`crate::rta`] response-time analysis
+//!   replaces the EWMA guess once calibrated (online, from the same
+//!   quality observations the trace records): a request whose certified
+//!   lower bound exceeds its deadline is *proven* infeasible and rejected
+//!   with [`CoreError::Infeasible`] carrying the bound, the hedge trigger
+//!   and retry backoff are derived from the worst-case service bound
+//!   instead of P95 guesses, and under overload requests with negative
+//!   analytical slack are shed first (least slack first).
 //! - **Retry with capped exponential backoff + deterministic jitter** —
 //!   when a replica dies permanently (every [`FailurePolicy`] exhausted),
 //!   the request is relaunched on a fresh pipeline, with delays drawn
@@ -42,13 +51,15 @@
 //! pool aggregates the [`FaultStats`] of every pipeline run it performed,
 //! so a soak run's serve-level numbers reconcile with its per-run reports.
 
-use crate::contract::{plan_strict, LevelEstimate};
+use crate::contract::{plan_strict, plan_strict_with_delay, LevelEstimate};
 use crate::control::ControlToken;
 use crate::error::{CoreError, Result};
 use crate::metrics::{
-    DeadlineHistogram, FaultStats, LatencyEwma, LatencyHistogram, ServeCounters, ServeStats,
+    DeadlineHistogram, FaultStats, LatencyEwma, LatencyHistogram, RtaCounters, ServeCounters,
+    ServeStats,
 };
 use crate::pipeline::Pipeline;
+use crate::rta::{self, AdmissionGate, Analysis, Backlog, RtaPolicy};
 use crate::supervisor::retry_backoff;
 use crate::trace::{EventKind, Recorder, StageId, TraceLog};
 use crate::version::{Snapshot, Version};
@@ -195,6 +206,13 @@ pub struct ServeOptions {
     /// additionally requires that some level fits the remaining budget
     /// ([`plan_strict`]).
     pub levels: Option<Vec<LevelEstimate>>,
+    /// Response-time-analysis policy. When set, the pool calibrates a
+    /// [`crate::rta::AdmissionGate`] online from its runs' quality
+    /// observations; once calibrated, admission proves infeasible
+    /// (deadline, floor) pairs and rejects them with
+    /// [`CoreError::Infeasible`], and the hedge/retry/shed budgets derive
+    /// from analytical slack. `None` keeps the EWMA heuristic throughout.
+    pub rta: Option<RtaPolicy>,
     /// Seed for the deterministic retry jitter.
     pub seed: u64,
     /// Trace recorder for serving-plane events (admissions, hedges,
@@ -218,6 +236,7 @@ impl Default for ServeOptions {
             batch: None,
             breaker: Some(BreakerPolicy::default()),
             levels: None,
+            rta: None,
             seed: 0,
             recorder: Recorder::disabled(),
         }
@@ -271,6 +290,12 @@ impl ServeOptions {
     /// Installs a level profile for contract-planning admission.
     pub fn levels(mut self, levels: Vec<LevelEstimate>) -> Self {
         self.levels = Some(levels);
+        self
+    }
+
+    /// Enables analytical admission control ([`crate::rta`]).
+    pub fn rta(mut self, policy: RtaPolicy) -> Self {
+        self.rta = Some(policy);
         self
     }
 
@@ -396,6 +421,11 @@ struct Job<I, T> {
     /// Reduced run budget when the request was shed.
     budget_cap: Option<Duration>,
     shed: bool,
+    /// The admission-time response-time analysis, when the gate was
+    /// calibrated: the hedge trigger and retry backoff derive their
+    /// budgets from its service bounds, and the response records the
+    /// predicted-vs-actual bound error against its worst case.
+    analysis: Option<Analysis>,
     slot: Arc<Slot<T>>,
 }
 
@@ -497,6 +527,50 @@ struct Shared<I, T> {
     faults: Mutex<FaultStats>,
     live_runs: AtomicU64,
     next_id: AtomicU64,
+    /// The response-time-analysis admission gate, when
+    /// [`ServeOptions::rta`] installed a policy. Calibrated online from
+    /// the pool's own runs; `None` keeps the EWMA-heuristic admission.
+    gate: Option<AdmissionGate>,
+    rta_counters: RtaCounters,
+}
+
+impl<I, T> Shared<I, T> {
+    /// Requests drained per replica run: the batch width for a batched
+    /// pool, 1 otherwise.
+    fn batch_size(&self) -> usize {
+        match (&self.factory, self.opts.batch) {
+            (Factory::Batch(_), Some(policy)) => policy.max_size.max(1),
+            _ => 1,
+        }
+    }
+}
+
+/// One point-in-time scan of the replica set (see
+/// [`ServePool::occupancy`]).
+struct Occupancy {
+    /// Replicas not quarantined by an open breaker, floored at 1.
+    healthy: usize,
+    /// At least one healthy replica is between runs right now.
+    any_idle: bool,
+    /// Remaining advertised occupancy of the soonest-free busy replica.
+    soonest_free: Duration,
+    /// Mean service EWMA across healthy replicas with samples.
+    est: Option<Duration>,
+}
+
+/// The single reachability rule for "can a minimal run still answer this
+/// deadline": after waiting out `pending`, a run of at least `min_service`
+/// must finish *strictly before* the deadline. Admission, batch draining,
+/// and the retry loop all consult this one predicate, so a request can
+/// never be admitted under one rule and then abandoned under a stricter
+/// one.
+fn deadline_reachable(
+    now: Instant,
+    pending: Duration,
+    min_service: Duration,
+    deadline: Instant,
+) -> bool {
+    now + pending + min_service < deadline
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -616,6 +690,7 @@ where
                     }
                 })?;
         }
+        let gate = opts.rta.map(AdmissionGate::new).transpose()?;
         let replicas = (0..opts.replicas)
             .map(|i| ReplicaState {
                 ewma: LatencyEwma::default(),
@@ -641,6 +716,8 @@ where
             faults: Mutex::new(FaultStats::default()),
             live_runs: AtomicU64::new(0),
             next_id: AtomicU64::new(0),
+            gate,
+            rta_counters: RtaCounters::default(),
         });
         let workers = (0..shared.opts.replicas)
             .map(|replica| {
@@ -667,6 +744,12 @@ where
     /// - [`CoreError::AdmissionRejected`] — rejected fast: the projected
     ///   wait plus minimum service (or the level profile) cannot make the
     ///   deadline.
+    /// - [`CoreError::Infeasible`] — rejected fast with a *proof*: the
+    ///   calibrated [`rta`](crate::rta) analysis certifies that even an
+    ///   optimistically-fast run cannot reach `floor` within `deadline`
+    ///   given the current backlog; the error carries the certified lower
+    ///   bound. Only possible with [`ServeOptions::rta`] installed and the
+    ///   gate calibrated.
     /// - [`CoreError::QueueFull`] — rejected fast: the queue is at
     ///   capacity, regardless of the deadline budget.
     /// - [`CoreError::PoolShutdown`] — the pool shut down first.
@@ -683,12 +766,21 @@ where
                 return Err(CoreError::PoolShutdown);
             }
             let depth = q.jobs.len();
-            let projected_wait = self.projected_wait(depth);
+            // Analyze the backlog while the queue is still locked so the
+            // proof (or its absence) describes the depth we admit against.
+            let analysis = shared
+                .gate
+                .as_ref()
+                .and_then(|g| g.analyze(floor, &self.backlog(depth)));
             // Shedding skips the queue-wait projection (shed jobs jump the
             // queue), but a budget below the minimum service time is
-            // hopeless either way and still rejects below.
+            // hopeless either way and still rejects below. With a
+            // calibrated gate, only requests with *no analytical slack*
+            // shed — least slack first; a request the analysis can answer
+            // in full keeps its full budget even under queue pressure.
             let shed = shared.opts.shed.as_ref().is_some_and(|s| {
                 depth >= s.queue_threshold
+                    && analysis.is_none_or(|a| a.slack(deadline).is_none())
                     && floor <= s.max_floor
                     && depth < shared.opts.queue_capacity
                     && deadline >= shared.opts.min_service
@@ -703,31 +795,83 @@ where
                         capacity: shared.opts.queue_capacity,
                     });
                 }
-                let projected = projected_wait + shared.opts.min_service;
-                if projected > deadline {
-                    drop(q);
-                    shared.counters.record_rejected();
-                    shared.opts.recorder.serve_event(EventKind::Reject, req_id);
-                    return Err(CoreError::AdmissionRejected {
-                        projected,
-                        budget: deadline,
-                    });
-                }
-                if let Some(levels) = &shared.opts.levels {
-                    let remaining = deadline.saturating_sub(projected_wait);
-                    if let Err(e) = plan_strict(levels, remaining) {
+                if let Some(a) = analysis {
+                    // The configured minimum service time stays a hard
+                    // floor even when the calibrated curves claim faster.
+                    if !deadline_reachable(
+                        accepted,
+                        Duration::ZERO,
+                        shared.opts.min_service,
+                        deadline_at,
+                    ) {
                         drop(q);
                         shared.counters.record_rejected();
                         shared.opts.recorder.serve_event(EventKind::Reject, req_id);
-                        return match e {
-                            CoreError::AdmissionRejected { projected: c, .. } => {
-                                Err(CoreError::AdmissionRejected {
-                                    projected: projected_wait + c,
-                                    budget: deadline,
-                                })
-                            }
-                            other => Err(other),
-                        };
+                        return Err(CoreError::AdmissionRejected {
+                            projected: shared.opts.min_service,
+                            budget: deadline,
+                        });
+                    }
+                    if a.lower > deadline {
+                        // Certified infeasibility: even the optimistic
+                        // supply bound cannot cross the floor in budget.
+                        drop(q);
+                        shared.counters.record_rejected();
+                        shared.rta_counters.record_infeasible();
+                        shared.opts.recorder.serve_event(EventKind::Reject, req_id);
+                        shared.opts.recorder.feasibility(
+                            EventKind::Infeasible,
+                            req_id,
+                            a.lower,
+                            floor,
+                        );
+                        return Err(CoreError::Infeasible {
+                            bound: a.lower,
+                            budget: deadline,
+                            floor,
+                        });
+                    }
+                    shared.rta_counters.record_feasible();
+                    shared
+                        .opts
+                        .recorder
+                        .feasibility(EventKind::Feasible, req_id, a.upper, floor);
+                    if let Some(levels) = &shared.opts.levels {
+                        if let Err(e) = plan_strict_with_delay(levels, deadline, a.queue_delay) {
+                            drop(q);
+                            shared.counters.record_rejected();
+                            shared.opts.recorder.serve_event(EventKind::Reject, req_id);
+                            return Err(e);
+                        }
+                    }
+                } else {
+                    // Heuristic path: either no gate is installed or the
+                    // gate is not yet calibrated for this floor.
+                    if shared.gate.is_some() {
+                        shared.rta_counters.record_fallback();
+                    }
+                    let projected_wait = self.projected_wait(depth);
+                    if !deadline_reachable(
+                        accepted,
+                        projected_wait,
+                        shared.opts.min_service,
+                        deadline_at,
+                    ) {
+                        drop(q);
+                        shared.counters.record_rejected();
+                        shared.opts.recorder.serve_event(EventKind::Reject, req_id);
+                        return Err(CoreError::AdmissionRejected {
+                            projected: projected_wait + shared.opts.min_service,
+                            budget: deadline,
+                        });
+                    }
+                    if let Some(levels) = &shared.opts.levels {
+                        if let Err(e) = plan_strict_with_delay(levels, deadline, projected_wait) {
+                            drop(q);
+                            shared.counters.record_rejected();
+                            shared.opts.recorder.serve_event(EventKind::Reject, req_id);
+                            return Err(e);
+                        }
                     }
                 }
             }
@@ -743,6 +887,10 @@ where
                     None
                 },
                 shed,
+                // Shed requests run under a reduced budget the analysis
+                // did not model; their bounds would only mislead the
+                // hedge/retry budgets downstream.
+                analysis: if shed { None } else { analysis },
                 slot: Arc::new(Slot::new()),
             });
             let item = QueueItem {
@@ -850,6 +998,22 @@ where
     /// a one-request-per-run projection would claim; without this divisor,
     /// admission rejects exactly the backlog batching exists to absorb.
     fn projected_wait(&self, depth: usize) -> Duration {
+        let occ = self.occupancy();
+        let shared = &self.shared;
+        let est = occ.est.unwrap_or(shared.opts.default_service_estimate);
+        let batch_size = shared.batch_size();
+        let queue_share = est.mul_f64(depth as f64 / (occ.healthy * batch_size) as f64);
+        if occ.any_idle {
+            queue_share
+        } else {
+            queue_share + occ.soonest_free
+        }
+    }
+
+    /// One scan over the replica set, shared by the EWMA projection above
+    /// and the analytical [`Backlog`] below so admission's two gates never
+    /// disagree about which replicas count as healthy or idle.
+    fn occupancy(&self) -> Occupancy {
         let shared = &self.shared;
         let now = Instant::now();
         let mut healthy = 0usize;
@@ -877,22 +1041,25 @@ where
                 }
             }
         }
-        let est = if samples > 0 {
-            sum / samples as u32
-        } else {
-            shared.opts.default_service_estimate
-        };
-        // All replicas quarantined: project as if one will recover.
-        let healthy = healthy.max(1);
-        let batch_size = match (&shared.factory, shared.opts.batch) {
-            (Factory::Batch(_), Some(policy)) => policy.max_size.max(1),
-            _ => 1,
-        };
-        let queue_share = est.mul_f64(depth as f64 / (healthy * batch_size) as f64);
-        if any_idle {
-            queue_share
-        } else {
-            queue_share + soonest_free
+        Occupancy {
+            // All replicas quarantined: project as if one will recover.
+            healthy: healthy.max(1),
+            any_idle,
+            soonest_free,
+            est: (samples > 0).then(|| sum / samples as u32),
+        }
+    }
+
+    /// The instantaneous backlog the admission gate analyzes: queue depth
+    /// plus the same replica occupancy the heuristic projection sees.
+    fn backlog(&self, depth: usize) -> Backlog {
+        let occ = self.occupancy();
+        Backlog {
+            queued: depth,
+            healthy: occ.healthy,
+            batch_size: self.shared.batch_size(),
+            any_idle: occ.any_idle,
+            soonest_free: occ.soonest_free,
         }
     }
 
@@ -907,7 +1074,22 @@ where
         // completed attempt is no longer counted live, its fault/latency
         // stats recorded before the decrement are visible to this snapshot.
         stats.live_runs = shared.live_runs.load(Ordering::Acquire);
+        stats.rta = shared.rta_counters.snapshot();
+        if let Some(gate) = &shared.gate {
+            stats.rta.calibration_runs = gate.runs();
+            stats.rta.calibrated = gate.calibrated();
+        }
         stats
+    }
+
+    /// `true` once the installed [`rta`](crate::rta) gate has absorbed
+    /// enough calibration runs to back admission analytically (`false`
+    /// when no [`ServeOptions::rta`] policy is installed).
+    pub fn rta_calibrated(&self) -> bool {
+        self.shared
+            .gate
+            .as_ref()
+            .is_some_and(AdmissionGate::calibrated)
     }
 
     /// The pool's observed P95 service latency, once enough samples exist.
@@ -929,8 +1111,9 @@ where
     }
 
     /// Renders the pool's full metric surface — serve counters, the
-    /// deadline-ratio and service-latency histograms, and aggregated run
-    /// faults — in Prometheus text exposition format.
+    /// deadline-ratio and service-latency histograms, aggregated run
+    /// faults, and the admission-analysis decision counters and
+    /// bound-error gauge — in Prometheus text exposition format.
     pub fn prometheus(&self) -> String {
         let stats = self.stats();
         let mut out = String::new();
@@ -944,6 +1127,7 @@ where
             "anytime_serve_service_seconds",
             &[],
         );
+        let _ = crate::metrics::render_rta_stats(&mut out, &stats.rta, &[]);
         out
     }
 
@@ -1114,7 +1298,12 @@ fn drain_batch<I, T>(
                 .max(it.job.deadline.saturating_duration_since(head.job.deadline));
             // Leave members whose deadline is already unreachable for the
             // eviction path — pulling them in would only pad the batch.
-            let reachable = now + shared.opts.min_service < it.job.deadline;
+            let reachable = deadline_reachable(
+                now,
+                Duration::ZERO,
+                shared.opts.min_service,
+                it.job.deadline,
+            );
             if !it.is_hedge && !it.job.shed && reachable && gap <= policy.window {
                 if let Some(it) = q.jobs.remove(i) {
                     batch.push(it);
@@ -1178,14 +1367,23 @@ fn serve_job<I, T>(
                 if local_retries >= retry.max_attempts {
                     break Attempt::Respond(best);
                 }
-                let delay = retry_backoff(
+                let mut delay = retry_backoff(
                     retry.base_backoff,
                     retry.max_backoff,
                     local_retries,
                     shared.opts.seed ^ job.id,
                 );
+                // With an admission-time analysis, cap the backoff so the
+                // retry still leaves a worst-case service run's worth of
+                // budget — the exponential schedule must not sleep away
+                // slack the analysis proved the request needs.
+                if let Some(a) = job.analysis {
+                    let remaining = job.deadline.saturating_duration_since(Instant::now());
+                    delay = delay.min(rta::backoff_cap(remaining, a.service_upper));
+                }
                 // Retry only if the backoff plus a minimal run still fits.
-                if Instant::now() + delay + shared.opts.min_service >= job.deadline {
+                if !deadline_reachable(Instant::now(), delay, shared.opts.min_service, job.deadline)
+                {
                     break Attempt::Respond(best);
                 }
                 local_retries += 1;
@@ -1278,6 +1476,12 @@ fn respond<I, T>(
                 );
                 let budget = job.deadline - job.accepted;
                 shared.deadline_hist.record(elapsed, budget);
+                if let Some(a) = job.analysis {
+                    // Falsifiability: every analytically-admitted response
+                    // scores the calibrated worst case against reality —
+                    // exported as the bound-error gauge.
+                    shared.rta_counters.record_bound_sample(a.upper, elapsed);
+                }
                 // The EWMA and P95 track *service* time (pop to
                 // response), not queue wait — admission multiplies
                 // them by queue depth itself.
@@ -1389,6 +1593,9 @@ where
         let job = &item.job;
         let mut last_seen: Option<Version> = None;
         let mut best: BestSeen<T> = None;
+        // Calibration: each member's reader watches the same shared run,
+        // but crossings are tracked per member — its own quality scale.
+        let mut tracker = shared.gate.as_ref().map(|g| g.tracker());
         let outcome = loop {
             if job.slot.is_filled() {
                 break BatchOutcome::Lost;
@@ -1401,6 +1608,9 @@ where
                 Ok(snap) => {
                     last_seen = Some(snap.version());
                     let q = (shared.quality)(&snap);
+                    if let Some(t) = tracker.as_mut() {
+                        t.observe(service_start.elapsed(), q);
+                    }
                     shared.opts.recorder.observe_quality(
                         job.id,
                         shared.replicas[replica].trace_id,
@@ -1433,6 +1643,9 @@ where
                 // step the batch ran, instead of timing out empty-handed.
                 if let Some(snap) = reader.latest() {
                     let q = (shared.quality)(&snap);
+                    if let Some(t) = tracker.as_mut() {
+                        t.observe(service_start.elapsed(), q);
+                    }
                     if best.as_ref().is_none_or(|(bq, _)| q >= *bq) {
                         shared.opts.recorder.observe_quality(
                             job.id,
@@ -1450,6 +1663,9 @@ where
                 fallbacks.push((idx, best));
             }
         }
+        if let (Some(gate), Some(t)) = (&shared.gate, &tracker) {
+            gate.absorb(t);
+        }
     }
     // Stop and fully reap the batch run before any fallback relaunches,
     // exactly as run_attempt reaps a single run.
@@ -1466,6 +1682,11 @@ where
     // Release pairs with the Acquire load in stats(): same protocol as
     // run_attempt's decrement.
     shared.live_runs.fetch_sub(1, Ordering::Release);
+    if let Some(gate) = &shared.gate {
+        for reader in &readers {
+            gate.absorb_wait_stats(&reader.wait_stats());
+        }
+    }
     for (idx, best) in fallbacks {
         fallback_single(shared, replica, &batch[idx], best);
     }
@@ -1532,17 +1753,22 @@ where
         Err(_) => return Attempt::Died(best.take()),
     };
     shared.live_runs.fetch_add(1, Ordering::Relaxed); // relaxed: count-up precedes any attempt work; completion ordering comes from the Release decrement
-                                                      // Hedge trigger: P95 of observed service latency (or the fixed
-                                                      // configured trigger) after this attempt's start. Primary dispatch
-                                                      // only — hedges do not hedge.
+                                                      // Hedge trigger, in preference order: the fixed configured
+                                                      // trigger; the admission analysis' worst-case service bound (a
+                                                      // healthy run that outlives it is analytically late — hedge now);
+                                                      // the P95 latency guess. Primary dispatch only — hedges do not
+                                                      // hedge.
     let mut hedge_at: Option<Instant> = match (&shared.opts.hedge, item.is_hedge) {
         (Some(policy), false) if shared.opts.replicas > 1 => {
-            let after = policy.after.unwrap_or_else(|| {
-                shared
-                    .service_hist
-                    .quantile(0.95)
-                    .unwrap_or(shared.opts.default_service_estimate)
-            });
+            let after = policy
+                .after
+                .or_else(|| job.analysis.map(|a| a.service_upper))
+                .unwrap_or_else(|| {
+                    shared
+                        .service_hist
+                        .quantile(0.95)
+                        .unwrap_or(shared.opts.default_service_estimate)
+                });
             let at = started + after;
             (at + policy.min_remaining < job.deadline).then_some(at)
         }
@@ -1552,6 +1778,9 @@ where
     // into this reader's waits (the quality comparison keeps `best`
     // monotone across attempts instead).
     let mut last: Option<Version> = None;
+    // Calibration: record when this run first crosses each quality
+    // threshold, feeding the admission gate's supply curves.
+    let mut tracker = shared.gate.as_ref().map(|g| g.tracker());
     let outcome = loop {
         if job.slot.is_filled() {
             break Attempt::Lost;
@@ -1566,6 +1795,9 @@ where
             Ok(snap) => {
                 last = Some(snap.version());
                 let q = (shared.quality)(&snap);
+                if let Some(t) = tracker.as_mut() {
+                    t.observe(started.elapsed(), q);
+                }
                 shared.opts.recorder.observe_quality(
                     job.id,
                     shared.replicas[replica].trace_id,
@@ -1620,6 +1852,15 @@ where
     // so an observer that sees the run counted done also sees the stats it
     // absorbed above.
     shared.live_runs.fetch_sub(1, Ordering::Release);
+    if let Some(gate) = &shared.gate {
+        // The run is fully reaped: its crossings are final and its
+        // reader's publish→observe latencies are complete. Runs that
+        // never published contribute nothing (absorb ignores them).
+        if let Some(t) = &tracker {
+            gate.absorb(t);
+        }
+        gate.absorb_wait_stats(&reader.wait_stats());
+    }
     outcome
 }
 
@@ -2270,5 +2511,148 @@ mod tests {
             fraction_quality(1),
         );
         assert!(matches!(r, Err(CoreError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn reachability_rule_is_strict_and_shared() {
+        // Regression for the admit/drain split: admission used to admit a
+        // request whose projected arrival landed *exactly on* its deadline
+        // while drain_batch skipped members on the same boundary. One
+        // helper now decides both, strictly: arriving at the deadline is
+        // not reaching it.
+        let now = Instant::now();
+        let min = Duration::from_millis(5);
+        assert!(!deadline_reachable(now, Duration::ZERO, min, now + min));
+        assert!(deadline_reachable(
+            now,
+            Duration::ZERO,
+            min,
+            now + min + Duration::from_nanos(1)
+        ));
+        let pending = Duration::from_millis(2);
+        assert!(!deadline_reachable(
+            now,
+            pending,
+            min,
+            now + Duration::from_millis(7)
+        ));
+        assert!(deadline_reachable(
+            now,
+            Duration::from_millis(1),
+            min,
+            now + Duration::from_millis(7)
+        ));
+    }
+
+    #[test]
+    fn rta_gate_calibrates_then_proves_infeasibility() {
+        // 10 steps of >=2ms each: quality 1.0 is unreachable in under
+        // 20ms, so with optimism 0.5 the certified lower bound for floor
+        // 1.0 is at least 10ms — far above the 3ms budget below.
+        let pool = ServePool::new(
+            ServeOptions {
+                replicas: 1,
+                min_service: Duration::from_micros(1),
+                ..ServeOptions::default()
+            }
+            .rta(RtaPolicy {
+                min_runs: 2,
+                ..RtaPolicy::default()
+            }),
+            counting_factory(10, Duration::from_millis(2)),
+            fraction_quality(10),
+        )
+        .unwrap();
+        assert!(!pool.rta_calibrated());
+        // Two warm-up runs calibrate the gate (heuristic fallbacks); the
+        // third is analytically admitted and scores a bound sample.
+        for _ in 0..3 {
+            let resp = pool.submit(0, Duration::from_secs(10), 0.0).unwrap();
+            assert_eq!(resp.status, ServeStatus::Final);
+        }
+        assert!(pool.rta_calibrated());
+        let budget = Duration::from_millis(3);
+        match pool.submit(0, budget, 1.0) {
+            Err(CoreError::Infeasible {
+                bound,
+                budget: b,
+                floor,
+            }) => {
+                assert!(
+                    bound > budget,
+                    "certified bound {bound:?} must exceed {budget:?}"
+                );
+                assert!(bound >= Duration::from_millis(10), "bound {bound:?}");
+                assert_eq!(b, budget);
+                assert_eq!(floor, 1.0);
+            }
+            other => panic!("expected a proven-infeasible rejection, got {other:?}"),
+        }
+        let stats = pool.shutdown();
+        assert!(stats.rta.fallback >= 2, "{:?}", stats.rta);
+        assert!(stats.rta.feasible >= 1, "{:?}", stats.rta);
+        assert_eq!(stats.rta.infeasible, 1);
+        assert_eq!(stats.rejected, 1);
+        assert!(stats.rta.bound_samples >= 1, "{:?}", stats.rta);
+        assert!(stats.rta.calibrated);
+        assert!(stats.rta.calibration_runs >= 2);
+        // The trace carries the feasibility verdicts with their bounds.
+        // (Recorder is a no-op here unless installed; counters above are
+        // the authoritative check.)
+    }
+
+    #[test]
+    fn rta_feasible_requests_keep_their_floor() {
+        // Analytically-admitted requests must meet the floor they were
+        // admitted against: deadline far above the worst case, floor well
+        // inside observed quality.
+        let pool = ServePool::new(
+            ServeOptions {
+                replicas: 1,
+                min_service: Duration::from_micros(1),
+                ..ServeOptions::default()
+            }
+            .rta(RtaPolicy {
+                min_runs: 1,
+                ..RtaPolicy::default()
+            }),
+            counting_factory(5, Duration::from_millis(1)),
+            fraction_quality(5),
+        )
+        .unwrap();
+        pool.submit(0, Duration::from_secs(10), 0.0).unwrap();
+        assert!(pool.rta_calibrated());
+        let resp = pool.submit(0, Duration::from_secs(10), 0.8).unwrap();
+        assert!(resp.quality >= 0.8, "quality {} below floor", resp.quality);
+        let stats = pool.shutdown();
+        assert!(stats.rta.feasible >= 1);
+        assert_eq!(stats.rta.bound_violations, 0, "{:?}", stats.rta);
+        // Prometheus surface includes the rta family.
+        assert_eq!(stats.rta.infeasible, 0);
+    }
+
+    #[test]
+    fn rta_pool_exports_bound_error_gauge() {
+        let pool = ServePool::new(
+            ServeOptions {
+                replicas: 1,
+                min_service: Duration::from_micros(1),
+                ..ServeOptions::default()
+            }
+            .rta(RtaPolicy {
+                min_runs: 1,
+                ..RtaPolicy::default()
+            }),
+            counting_factory(3, Duration::from_micros(200)),
+            fraction_quality(3),
+        )
+        .unwrap();
+        pool.submit(0, Duration::from_secs(10), 0.0).unwrap();
+        pool.submit(0, Duration::from_secs(10), 0.0).unwrap();
+        let text = pool.prometheus();
+        assert!(text.contains("anytime_rta_decisions_total"), "{text}");
+        assert!(text.contains("anytime_rta_bound_error_ratio"), "{text}");
+        assert!(text.contains("anytime_rta_calibrated 1"), "{text}");
+        pool.shutdown();
     }
 }

@@ -82,6 +82,13 @@ pub enum EventKind {
     Admit,
     /// A serve request was rejected fast at admission.
     Reject,
+    /// The analytical admission gate found a request feasible (`dur` is
+    /// its calibrated worst-case response-time bound).
+    Feasible,
+    /// The analytical admission gate proved a request infeasible and
+    /// rejected it (`dur` is the certified lower bound that exceeded the
+    /// deadline).
+    Infeasible,
     /// A serve request was shed to a cheaper budget under saturation.
     Shed,
     /// A hedge run was dispatched after the primary crossed the trigger.
@@ -114,6 +121,8 @@ impl EventKind {
             Self::PermanentFailure => "permanent_failure",
             Self::Admit => "admit",
             Self::Reject => "reject",
+            Self::Feasible => "feasible",
+            Self::Infeasible => "infeasible",
             Self::Shed => "shed",
             Self::Hedge => "hedge",
             Self::Batch => "batch",
@@ -369,6 +378,22 @@ impl Recorder {
         self.emit_with(|at| {
             let mut ev = TraceEvent::new(at, kind);
             ev.req = Some(req);
+            ev
+        });
+    }
+
+    /// Records an admission-analysis verdict (`Feasible`, `Infeasible`)
+    /// for request `req`, with the response-time bound the verdict rests
+    /// on in `dur` (worst-case bound when feasible, certified lower bound
+    /// when proven infeasible) and the request's quality floor in
+    /// `accuracy`.
+    #[inline]
+    pub fn feasibility(&self, kind: EventKind, req: u64, bound: Duration, floor: f64) {
+        self.emit_with(|at| {
+            let mut ev = TraceEvent::new(at, kind);
+            ev.req = Some(req);
+            ev.dur = Some(bound);
+            ev.accuracy = Some(floor);
             ev
         });
     }

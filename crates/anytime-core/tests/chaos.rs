@@ -411,6 +411,216 @@ fn parallel_map_merge_panic_under_degrade_flags_downstream() {
     assert!(pmap.is_degraded());
 }
 
+// ---------------------------------------------------------------------------
+// Batched serving under injected faults: ServePool::new_batched must keep
+// every batch member answered when the *shared* batch run is stalled,
+// slowed, or killed mid-batch.
+// ---------------------------------------------------------------------------
+
+mod batched {
+    use super::*;
+    use anytime_core::buffer::BufferReader;
+    use anytime_core::serve::{BatchPolicy, ServeOptions, ServePool};
+    use anytime_core::{Diffusive, PipelineBuilder, Result, StageOptions, Supervision};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    /// Steps in the batch pipeline's shared source.
+    const BN: u64 = 16;
+    /// Per-step work, slow enough that followers queue behind a blocker.
+    const BSTEP: Duration = Duration::from_millis(2);
+
+    /// A batch factory whose single shared source stage `bf` counts to
+    /// [`BN`]; every member reads the same chain (cloned readers), so a
+    /// mid-batch fault on `bf` hits all members at once. `plan_for` maps a
+    /// build's input count to the fault plan to arm (the first multi-input
+    /// build is the batch under test).
+    #[allow(clippy::type_complexity)]
+    fn chaos_batch_factory(
+        sup: Supervision,
+        plan_for: impl Fn(usize) -> Option<FaultPlan> + Send + Sync + 'static,
+    ) -> impl Fn(&[Arc<u64>]) -> Result<(Pipeline, Vec<BufferReader<u64>>)> + Send + Sync + 'static
+    {
+        move |inputs: &[Arc<u64>]| {
+            let mut pb = PipelineBuilder::new();
+            let out = pb.source(
+                "bf",
+                (),
+                Diffusive::new(
+                    |_: &()| 0u64,
+                    |_: &(), out: &mut u64, _| {
+                        std::thread::sleep(BSTEP);
+                        *out += 1;
+                        if *out == BN {
+                            StepOutcome::Done
+                        } else {
+                            StepOutcome::Continue
+                        }
+                    },
+                ),
+                StageOptions::with_publish_every(1).supervise(sup),
+            );
+            let mut pipeline = pb.build();
+            if let Some(plan) = plan_for(inputs.len()) {
+                pipeline = pipeline.inject_faults(&plan);
+            }
+            Ok((pipeline, vec![out; inputs.len()]))
+        }
+    }
+
+    fn batched_opts() -> ServeOptions {
+        ServeOptions {
+            replicas: 1,
+            min_service: Duration::from_micros(100),
+            hedge: None,
+            shed: None,
+            breaker: None,
+            ..ServeOptions::default()
+        }
+        .batch(BatchPolicy {
+            max_size: 4,
+            window: Duration::from_secs(1),
+        })
+    }
+
+    /// Submits one blocker (occupying the lone worker) and three
+    /// followers (queuing behind it so the next drain forms a batch),
+    /// returning the follower responses.
+    fn run_blocker_and_followers(
+        pool: &Arc<ServePool<u64, u64>>,
+    ) -> Vec<anytime_core::ServeResponse<u64>> {
+        let p0 = Arc::clone(pool);
+        let blocker = std::thread::spawn(move || p0.submit(0, Duration::from_secs(5), 0.0));
+        // Let the blocker's (single-member) run start before the
+        // followers queue, so they are all drained into one batch.
+        std::thread::sleep(Duration::from_millis(8));
+        let followers: Vec<_> = (1..=3u64)
+            .map(|id| {
+                let p = Arc::clone(pool);
+                std::thread::spawn(move || p.submit(id, Duration::from_secs(5), 0.0))
+            })
+            .collect();
+        blocker
+            .join()
+            .unwrap()
+            .expect("blocker request must be answered");
+        followers
+            .into_iter()
+            .map(|f| {
+                f.join()
+                    .unwrap()
+                    .expect("a batch member was never answered")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_pool_survives_seeded_stalls_and_slowdowns_mid_batch() {
+        // Three seeds vary where the stall lands inside the shared batch
+        // run. Under fail-stop supervision the faults only delay, so with
+        // generous deadlines every member must still reach the precise
+        // output — and nothing may hang or leak.
+        for seed in [3u64, 11, 42] {
+            let armed = Arc::new(AtomicBool::new(false));
+            let plan_for = {
+                let armed = Arc::clone(&armed);
+                move |n_inputs: usize| {
+                    (n_inputs > 1 && !armed.swap(true, Ordering::SeqCst)).then(|| {
+                        FaultPlan::new()
+                            .stall_at("bf", 1 + seed % BN, Duration::from_millis(30))
+                            .slow_down("bf", Duration::from_micros(200 * (1 + seed % 3)))
+                    })
+                }
+            };
+            let pool = Arc::new(
+                ServePool::new_batched(
+                    batched_opts(),
+                    chaos_batch_factory(Supervision::fail_stop(), plan_for),
+                    |s: &Snapshot<u64>| *s.value() as f64 / BN as f64,
+                )
+                .unwrap(),
+            );
+            let responses = run_blocker_and_followers(&pool);
+            for resp in &responses {
+                assert_eq!(
+                    *resp.snapshot.value(),
+                    BN,
+                    "seed {seed}: a member missed the precise output: {resp:?}"
+                );
+                assert!((resp.quality - 1.0).abs() < f64::EPSILON, "seed {seed}");
+            }
+            let stats = pool.shutdown();
+            assert!(
+                armed.load(Ordering::SeqCst),
+                "seed {seed}: no multi-member batch ever formed"
+            );
+            assert!(stats.batches >= 1, "seed {seed}: {stats:?}");
+            assert!(stats.batched_requests >= 2, "seed {seed}: {stats:?}");
+            assert_eq!(stats.live_runs, 0, "seed {seed}: leaked runs: {stats:?}");
+            assert_eq!(stats.failed, 0, "seed {seed}: {stats:?}");
+        }
+    }
+
+    #[test]
+    fn mid_batch_death_under_degrade_seals_every_member() {
+        // The shared source panics mid-batch under Degrade supervision:
+        // the degraded seal must propagate to *every* member of that
+        // batch — each one answers flagged, with the same partial value,
+        // and none of them hangs waiting on the dead chain.
+        for seed in [5u64, 19, 77] {
+            let armed = Arc::new(AtomicBool::new(false));
+            let panic_step = 2 + seed % (BN / 2);
+            let plan_for = {
+                let armed = Arc::clone(&armed);
+                move |n_inputs: usize| {
+                    (n_inputs > 1 && !armed.swap(true, Ordering::SeqCst))
+                        .then(|| FaultPlan::new().panic_at("bf", panic_step))
+                }
+            };
+            let pool = Arc::new(
+                ServePool::new_batched(
+                    batched_opts(),
+                    chaos_batch_factory(Supervision::degrade(), plan_for),
+                    |s: &Snapshot<u64>| *s.value() as f64 / BN as f64,
+                )
+                .unwrap(),
+            );
+            let responses = run_blocker_and_followers(&pool);
+            let degraded_members: Vec<_> = responses
+                .iter()
+                .filter(|r| r.batched && r.snapshot.is_degraded())
+                .collect();
+            assert!(
+                degraded_members.len() >= 2,
+                "seed {seed}: degraded seal did not propagate to the batch \
+                 ({} of {} followers batched+degraded)",
+                degraded_members.len(),
+                responses.len()
+            );
+            for resp in &degraded_members {
+                assert_eq!(
+                    resp.status,
+                    anytime_core::ServeStatus::Degraded,
+                    "seed {seed}: sealed member not flagged: {resp:?}"
+                );
+                assert!(
+                    *resp.snapshot.value() < BN,
+                    "seed {seed}: a degraded member claims the precise output"
+                );
+                assert!(resp.quality < 1.0, "seed {seed}");
+            }
+            let stats = pool.shutdown();
+            assert!(
+                armed.load(Ordering::SeqCst),
+                "seed {seed}: no multi-member batch ever formed"
+            );
+            assert!(stats.batches >= 1, "seed {seed}: {stats:?}");
+            assert_eq!(stats.live_runs, 0, "seed {seed}: leaked runs: {stats:?}");
+            assert_eq!(stats.failed, 0, "seed {seed}: every member must answer");
+        }
+    }
+}
+
 #[test]
 fn watchdog_degrades_an_injected_stall() {
     // f stalls for far longer than its heartbeat; the watchdog seals it

@@ -23,7 +23,7 @@
 
 use anytime_core::serve::{HedgePolicy, RetryPolicy, ServeOptions, ServePool, ShedPolicy};
 use anytime_core::{
-    BreakerPolicy, CoreError, Diffusive, FaultPlan, Precise, ServeResponse, ServeStatus,
+    BreakerPolicy, CoreError, Diffusive, FaultPlan, Precise, RtaPolicy, ServeResponse, ServeStatus,
     StageOptions, StepOutcome, Supervision,
 };
 use std::collections::HashSet;
@@ -290,6 +290,169 @@ fn soak_pool_under_seeded_faults_and_concurrent_load() {
         "deadline hit rate {:.3} below 0.9: {stats:?}",
         stats.deadline.hit_rate()
     );
+}
+
+/// The analytical admission gate's hard invariant under injected faults:
+/// **no request admitted by a calibrated gate may miss its quality floor.**
+///
+/// Three seeds derived from `SOAK_SEED` run a stall/slowdown/clean request
+/// mix against an [`RtaPolicy`]-gated pool. After a synchronous warm-up
+/// calibrates the gate, every admitted request must meet the floor it was
+/// admitted against (fail-stop supervision, so nothing is ever sealed
+/// degraded — a below-floor response would be an unflagged analysis lie),
+/// and a floor/deadline pair below the certified lower bound must be
+/// rejected with [`CoreError::Infeasible`] carrying that bound.
+#[test]
+fn soak_rta_gate_floor_invariant() {
+    let base_seed = env_u64("SOAK_SEED", 0xA17);
+    for round in 0..3u64 {
+        let seed = base_seed ^ (round * 0x9E37_79B9);
+        let seen: Arc<Mutex<HashSet<u64>>> = Arc::new(Mutex::new(HashSet::new()));
+        let factory = move |&id: &u64| {
+            let opts = StageOptions::with_publish_every(1).supervise(Supervision::fail_stop());
+            let mut pb = anytime_core::PipelineBuilder::new();
+            let f = pb.source(
+                "f",
+                (),
+                Diffusive::new(
+                    |_: &()| 0u64,
+                    |_: &(), out: &mut u64, _| {
+                        std::thread::sleep(STEP_DELAY);
+                        *out += 1;
+                        if *out == N {
+                            StepOutcome::Done
+                        } else {
+                            StepOutcome::Continue
+                        }
+                    },
+                ),
+                opts,
+            );
+            let mut pipeline = pb.build();
+            // Transient faults on the first build only: stalls and
+            // slowdowns delay the run (fail-stop passes them through);
+            // retries and hedges rebuild clean.
+            if seen.lock().unwrap().insert(id) {
+                let plan = match id % 3 {
+                    0 => FaultPlan::new().stall_at(
+                        "f",
+                        1 + (seed ^ id) % N,
+                        Duration::from_millis(10),
+                    ),
+                    1 => FaultPlan::new().slow_down("f", Duration::from_millis(1)),
+                    _ => FaultPlan::new(),
+                };
+                pipeline = pipeline.inject_faults(&plan);
+            }
+            Ok((pipeline, f))
+        };
+        let pool = Arc::new(
+            ServePool::new(
+                ServeOptions {
+                    replicas: 2,
+                    queue_capacity: 64,
+                    min_service: Duration::from_micros(100),
+                    retry: RetryPolicy {
+                        max_attempts: 2,
+                        base_backoff: Duration::from_millis(1),
+                        max_backoff: Duration::from_millis(5),
+                    },
+                    hedge: Some(HedgePolicy {
+                        after: None,
+                        min_remaining: Duration::from_millis(1),
+                    }),
+                    shed: None,
+                    breaker: None,
+                    levels: None,
+                    seed,
+                    ..ServeOptions::default()
+                }
+                .rta(RtaPolicy {
+                    min_runs: 4,
+                    ..RtaPolicy::default()
+                }),
+                factory,
+                |s| *s.value() as f64 / N as f64,
+            )
+            .unwrap(),
+        );
+        // Synchronous warm-up: clean generous requests calibrate the gate
+        // before any gated submission.
+        for i in 0..6u64 {
+            // 1_000_001 + 3i ≡ 2 (mod 3): the clean class, so warm-up
+            // curves are not widened by injected faults.
+            pool.submit(1_000_001 + 3 * i, Duration::from_millis(500), 0.0)
+                .unwrap_or_else(|e| panic!("round {round}: warm-up request failed: {e}"));
+        }
+        assert!(
+            pool.rta_calibrated(),
+            "round {round}: gate uncalibrated after warm-up"
+        );
+        // Gated load: 3 submitters × 20 requests, feasible floors with
+        // deadlines generously above the calibrated worst case.
+        let mut handles = Vec::new();
+        for t in 0..3u64 {
+            let pool = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                let mut floor_misses = Vec::new();
+                for i in 0..20u64 {
+                    let id = t * 20 + i;
+                    let floor = [0.0, 0.3, 0.6][(i % 3) as usize];
+                    match pool.submit(id, Duration::from_millis(500), floor) {
+                        Ok(resp) => {
+                            if resp.quality < floor {
+                                floor_misses.push((id, floor, resp.quality, resp.status));
+                            }
+                        }
+                        // Admission may reject under momentary backlog;
+                        // it must never *admit and then* miss the floor.
+                        Err(
+                            CoreError::AdmissionRejected { .. }
+                            | CoreError::Infeasible { .. }
+                            | CoreError::QueueFull { .. },
+                        ) => {}
+                        Err(e) => panic!("request {id}: unexpected error {e}"),
+                    }
+                }
+                floor_misses
+            }));
+        }
+        for h in handles {
+            let misses = h.join().expect("submitter panicked");
+            assert!(
+                misses.is_empty(),
+                "round {round} (seed {seed:#x}): analytically-admitted requests \
+                 missed their floors: {misses:?}"
+            );
+        }
+        // A floor near full quality with a budget far under the certified
+        // lower bound (>= 14 steps of real sleep, halved by optimism) is
+        // *provably* infeasible — rejected instantly, bound attached.
+        let budget = Duration::from_millis(1);
+        match pool.submit(9_999_999, budget, 0.9) {
+            Err(CoreError::Infeasible {
+                bound,
+                budget: b,
+                floor,
+            }) => {
+                assert!(bound > budget, "round {round}: bound {bound:?}");
+                assert_eq!(b, budget);
+                assert!((floor - 0.9).abs() < f64::EPSILON);
+            }
+            other => panic!("round {round}: expected Infeasible, got {other:?}"),
+        }
+        let stats = pool.shutdown();
+        assert_eq!(stats.live_runs, 0, "round {round}: leaked runs: {stats:?}");
+        assert!(stats.rta.calibrated, "round {round}: {:?}", stats.rta);
+        assert!(stats.rta.feasible >= 1, "round {round}: {:?}", stats.rta);
+        assert_eq!(stats.rta.infeasible, 1, "round {round}: {:?}", stats.rta);
+        assert!(
+            stats.rta.bound_samples >= stats.rta.feasible,
+            "round {round}: every analytically-admitted response must score \
+             the bound: {:?}",
+            stats.rta
+        );
+    }
 }
 
 /// Shedding under forced saturation: low-floor requests get reduced-budget
