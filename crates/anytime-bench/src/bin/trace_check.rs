@@ -91,8 +91,49 @@ fn run(chrome_path: &str, jsonl_path: &str, prom_path: &str) -> Result<(), Strin
     if live != 0.0 {
         return Err(format!("anytime_serve_live_runs is {live}, expected 0"));
     }
+    // Governor lifecycle counters reconcile with their trace events: each
+    // death/respawn/drain/transition/clamp emits exactly one event.
+    for (event, expected) in [
+        ("worker_died", summary.worker_died),
+        ("worker_respawned", summary.worker_respawned),
+        ("worker_drained", summary.worker_drained),
+        ("transitions", summary.governor_transitions),
+        ("clamped", summary.clamped),
+    ] {
+        let name = format!("anytime_serve_governor_total{{event=\"{event}\"}}");
+        let got = prom_value(&samples, &name)
+            .ok_or_else(|| format!("{prom_path}: missing sample {name}"))?;
+        if got != expected as f64 {
+            return Err(format!(
+                "{name}: Prometheus says {got}, trace says {expected}"
+            ));
+        }
+    }
+    // The brownout rung gauge is one of the ladder's four states, and the
+    // worker-state gauges are present (a governed pool always exports them).
+    let rung = prom_value(&samples, "anytime_serve_brownout_state")
+        .ok_or_else(|| format!("{prom_path}: missing anytime_serve_brownout_state"))?;
+    if rung.fract() != 0.0 || !(0.0..=3.0).contains(&rung) {
+        return Err(format!(
+            "anytime_serve_brownout_state is {rung}, expected an integer in 0..=3"
+        ));
+    }
+    for state in ["live", "draining", "target"] {
+        let name = format!("anytime_serve_workers{{state=\"{state}\"}}");
+        prom_value(&samples, &name).ok_or_else(|| format!("{prom_path}: missing sample {name}"))?;
+    }
+    // Per-replica breaker gauges, when exported, sit on the documented
+    // 0 (closed) / 1 (half-open) / 2 (open) scale.
+    for (name, value) in samples
+        .iter()
+        .filter(|(n, _)| n.starts_with("anytime_serve_breaker_state{"))
+    {
+        if value.fract() != 0.0 || !(0.0..=2.0).contains(value) {
+            return Err(format!("{name}: {value} is not a breaker state (0, 1, 2)"));
+        }
+    }
     println!(
-        "{prom_path}: OK ({} samples, counters reconcile)",
+        "{prom_path}: OK ({} samples, counters and governor lifecycle reconcile)",
         samples.len()
     );
 

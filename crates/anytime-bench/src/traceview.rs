@@ -452,6 +452,16 @@ pub struct TraceSummary {
     pub failed: u64,
     /// `publish` events.
     pub publishes: u64,
+    /// `worker_died` events (governor noticed a dead replica thread).
+    pub worker_died: u64,
+    /// `worker_respawned` events (governor or resize spawned a worker).
+    pub worker_respawned: u64,
+    /// `worker_drained` events (resize / rolling restart retired a worker).
+    pub worker_drained: u64,
+    /// `governor_state` events (one per brownout-ladder transition).
+    pub governor_transitions: u64,
+    /// `clamp` events (brownout clamped a request's floor/budget).
+    pub clamped: u64,
 }
 
 /// Counts the serving-plane events in a trace.
@@ -467,6 +477,11 @@ pub fn summarize(records: &[TraceRecord]) -> TraceSummary {
             "request_done" => s.completed += 1,
             "request_failed" => s.failed += 1,
             "publish" => s.publishes += 1,
+            "worker_died" => s.worker_died += 1,
+            "worker_respawned" => s.worker_respawned += 1,
+            "worker_drained" => s.worker_drained += 1,
+            "governor_state" => s.governor_transitions += 1,
+            "clamp" => s.clamped += 1,
             _ => {}
         }
     }
@@ -661,5 +676,20 @@ mod tests {
         assert_eq!(s.completed, 1);
         assert_eq!(s.rejected, 1);
         assert_eq!(s.failed, 0);
+    }
+
+    #[test]
+    fn summary_counts_governor_lifecycle_events() {
+        let text = "{\"at_us\":0,\"kind\":\"worker_died\",\"stage\":\"replica-0\"}\n\
+                    {\"at_us\":1,\"kind\":\"worker_respawned\",\"stage\":\"replica-0\"}\n\
+                    {\"at_us\":2,\"kind\":\"worker_drained\",\"stage\":\"replica-1\"}\n\
+                    {\"at_us\":3,\"kind\":\"governor_state\",\"version\":2}\n\
+                    {\"at_us\":4,\"kind\":\"clamp\",\"req\":7}\n";
+        let s = summarize(&parse_jsonl(text).unwrap());
+        assert_eq!(s.worker_died, 1);
+        assert_eq!(s.worker_respawned, 1);
+        assert_eq!(s.worker_drained, 1);
+        assert_eq!(s.governor_transitions, 1);
+        assert_eq!(s.clamped, 1);
     }
 }

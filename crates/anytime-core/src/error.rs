@@ -71,6 +71,20 @@ pub enum CoreError {
     },
     /// The serve pool was shut down before this request completed.
     PoolShutdown,
+    /// A caller-supplied serve closure (pipeline factory, batch factory,
+    /// or quality estimator) panicked inside a worker. The panic was
+    /// fenced by `catch_unwind`, so the worker survives and the run is
+    /// reported as this structured failure, feeding the pool's retry and
+    /// circuit-breaker machinery instead of silently killing capacity.
+    ReplicaPanicked {
+        /// Index of the replica whose run absorbed the panic.
+        replica: usize,
+        /// Which closure panicked: `"pipeline factory"`,
+        /// `"batch factory"`, or `"quality estimator"`.
+        context: &'static str,
+        /// The panic payload, when it was a `String` or `&str`.
+        message: Option<String>,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -122,6 +136,21 @@ impl fmt::Display for CoreError {
                 "admission rejected: serve queue is full ({depth} queued, capacity {capacity})"
             ),
             Self::PoolShutdown => write!(f, "serve pool was shut down"),
+            Self::ReplicaPanicked {
+                replica,
+                context,
+                message,
+            } => match message {
+                Some(msg) => write!(
+                    f,
+                    "replica {replica}: {context} panicked during a serve run: {msg}"
+                ),
+                None => write!(
+                    f,
+                    "replica {replica}: {context} panicked during a serve run \
+                     with an opaque (non-string) payload"
+                ),
+            },
         }
     }
 }
@@ -162,6 +191,11 @@ mod tests {
                 floor: 0.5,
             },
             CoreError::PoolShutdown,
+            CoreError::ReplicaPanicked {
+                replica: 1,
+                context: "quality estimator",
+                message: None,
+            },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());
@@ -228,6 +262,32 @@ mod tests {
         assert!(s.contains("4ms"), "{s}");
         assert!(s.contains("bound 9ms"), "{s}");
         assert!(s.contains("proves"), "{s}");
+    }
+
+    #[test]
+    fn replica_panicked_renders_string_payload() {
+        let e = CoreError::ReplicaPanicked {
+            replica: 2,
+            context: "pipeline factory",
+            message: Some("boom".into()),
+        };
+        let s = e.to_string();
+        assert!(s.contains("replica 2"), "{s}");
+        assert!(s.contains("pipeline factory"), "{s}");
+        assert!(s.contains("boom"), "{s}");
+        assert!(!s.contains("opaque"), "{s}");
+    }
+
+    #[test]
+    fn replica_panicked_names_opaque_payload() {
+        let e = CoreError::ReplicaPanicked {
+            replica: 0,
+            context: "quality estimator",
+            message: None,
+        };
+        let s = e.to_string();
+        assert!(s.contains("opaque (non-string) payload"), "{s}");
+        assert!(s.contains("quality estimator"), "{s}");
     }
 
     #[test]

@@ -453,8 +453,9 @@ pub struct StageReport {
 
 /// Renders a panic payload when it was a string; `None` for opaque
 /// payloads, which [`CoreError::StagePanicked`] reports as such instead of
-/// inventing text.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> Option<String> {
+/// inventing text. Shared with the serve layer's `catch_unwind` fences
+/// (`CoreError::ReplicaPanicked`).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> Option<String> {
     if let Some(s) = payload.downcast_ref::<&str>() {
         Some((*s).to_string())
     } else {

@@ -21,7 +21,7 @@
 //! from a *transient* fault and can reach its precise output. Slowdowns
 //! persist for the stage's lifetime.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::time::Duration;
 
@@ -201,6 +201,66 @@ impl fmt::Display for FaultPlan {
     }
 }
 
+/// A deterministic worker-kill schedule for serve-pool chaos testing.
+///
+/// Maps serve request ids to "kill the worker serving this request":
+/// when a worker picks up a targeted request it unwinds mid-run (after
+/// marking itself busy), exactly as if a caller closure had panicked
+/// outside the `catch_unwind` fences. Kills are one-shot per request id
+/// (the pool tracks fired kills), so a retried or respawn-rescued request
+/// is not re-killed and chaos runs terminate.
+///
+/// Like [`FaultPlan`], plans are fully deterministic:
+/// [`WorkerKillPlan::seeded`] derives the targeted ids from a single
+/// `u64` seed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerKillPlan {
+    requests: BTreeSet<u64>,
+}
+
+impl WorkerKillPlan {
+    /// An empty plan (no kills).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a worker kill while serving request `id`.
+    pub fn kill_request(mut self, id: u64) -> Self {
+        self.requests.insert(id);
+        self
+    }
+
+    /// Derives a deterministic plan from `seed` that kills the workers
+    /// serving `kills` distinct request ids drawn from `[0, requests)`.
+    pub fn seeded(seed: u64, requests: u64, kills: usize) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut plan = Self::new();
+        if requests == 0 {
+            return plan;
+        }
+        let kills = kills.min(requests as usize);
+        while plan.requests.len() < kills {
+            plan.requests.insert(rng.next() % requests);
+        }
+        plan
+    }
+
+    /// Whether request `id` is scheduled to kill its worker.
+    pub fn targets(&self, id: u64) -> bool {
+        self.requests.contains(&id)
+    }
+
+    /// Number of targeted request ids.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// `true` if no kill is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
 /// SplitMix64: tiny, seedable, and statistically fine for schedules.
 struct SplitMix64 {
     state: u64,
@@ -311,5 +371,22 @@ mod tests {
     fn empty_faults_detected() {
         assert!(StageFaults::default().is_empty());
         assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn worker_kill_plans_are_deterministic_and_bounded() {
+        assert!(WorkerKillPlan::new().is_empty());
+        let plan = WorkerKillPlan::new().kill_request(3).kill_request(3);
+        assert_eq!(plan.len(), 1);
+        assert!(plan.targets(3) && !plan.targets(4));
+        for seed in [0u64, 7, 0xA17] {
+            let a = WorkerKillPlan::seeded(seed, 40, 5);
+            let b = WorkerKillPlan::seeded(seed, 40, 5);
+            assert_eq!(a, b, "seed {seed}");
+            assert_eq!(a.len(), 5);
+        }
+        // More kills than requests clamps; zero requests stays empty.
+        assert_eq!(WorkerKillPlan::seeded(1, 3, 10).len(), 3);
+        assert!(WorkerKillPlan::seeded(1, 0, 10).is_empty());
     }
 }

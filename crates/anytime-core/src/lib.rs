@@ -86,6 +86,7 @@ mod error;
 mod executor;
 #[cfg(feature = "fault-inject")]
 mod faultinject;
+pub mod governor;
 mod iterative;
 mod map;
 pub mod metrics;
@@ -118,7 +119,8 @@ pub use diffusive::Diffusive;
 pub use error::{CoreError, Result};
 pub use executor::{Automaton, RunReport, StageReport};
 #[cfg(feature = "fault-inject")]
-pub use faultinject::{FaultPlan, StageFaults};
+pub use faultinject::{FaultPlan, StageFaults, WorkerKillPlan};
+pub use governor::{BrownoutPolicy, BrownoutState, GovernorPolicy};
 pub use iterative::Iterative;
 pub use map::SampledMap;
 pub use parallel_map::ParallelSampledMap;

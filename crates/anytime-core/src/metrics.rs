@@ -757,6 +757,7 @@ impl ServeCounters {
             faults: FaultStats::default(),
             live_runs: 0,
             rta: RtaStats::default(),
+            governor: GovernorStats::default(),
         }
     }
 }
@@ -826,6 +827,7 @@ impl MetricStats for ServeStats {
         FaultStats::absorb(&mut self.faults, &other.faults);
         self.live_runs += other.live_runs;
         MetricStats::absorb(&mut self.rta, &other.rta);
+        MetricStats::absorb(&mut self.governor, &other.governor);
     }
 
     fn is_clean(&self) -> bool {
@@ -877,6 +879,9 @@ pub struct ServeStats {
     /// Response-time-analysis admission activity, when the pool runs with
     /// an analytical gate (all-zero otherwise).
     pub rta: RtaStats,
+    /// Replica-lifecycle and brownout-controller activity, when the pool
+    /// runs with a governor (all-zero otherwise).
+    pub governor: GovernorStats,
 }
 
 /// Cumulative counters for a serve pool's analytical admission gate
@@ -1067,6 +1072,226 @@ pub(crate) fn render_rta_stats(
         labels,
         s.bound_violations as f64,
     )
+}
+
+/// Cumulative counters for a serve pool's governor
+/// ([`crate::governor`]): replica lifecycle churn (deaths, respawns,
+/// drains, operator reconfiguration) and brownout-controller activity.
+/// Relaxed atomics: diagnostics, not synchronization.
+#[derive(Debug, Default)]
+pub struct GovernorCounters {
+    ticks: AtomicU64,
+    transitions: AtomicU64,
+    worker_deaths: AtomicU64,
+    worker_respawns: AtomicU64,
+    worker_drains: AtomicU64,
+    resizes: AtomicU64,
+    rolling_restarts: AtomicU64,
+    clamped: AtomicU64,
+    closure_panics: AtomicU64,
+}
+
+impl GovernorCounters {
+    pub(crate) fn record_tick(&self) {
+        self.ticks.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
+    }
+
+    pub(crate) fn record_transition(&self) {
+        self.transitions.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
+    }
+
+    pub(crate) fn record_worker_death(&self) {
+        self.worker_deaths.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
+    }
+
+    pub(crate) fn record_worker_respawn(&self) {
+        self.worker_respawns.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
+    }
+
+    pub(crate) fn record_worker_drain(&self) {
+        self.worker_drains.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
+    }
+
+    pub(crate) fn record_resize(&self) {
+        self.resizes.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
+    }
+
+    pub(crate) fn record_rolling_restart(&self) {
+        self.rolling_restarts.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
+    }
+
+    pub(crate) fn record_clamped(&self) {
+        self.clamped.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
+    }
+
+    pub(crate) fn record_closure_panic(&self) {
+        self.closure_panics.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
+    }
+
+    /// A point-in-time copy of the counters (the gauge fields of
+    /// [`GovernorStats`] start at their defaults; the pool fills them in
+    /// from its worker registry).
+    pub fn snapshot(&self) -> GovernorStats {
+        GovernorStats {
+            // relaxed: point-in-time diagnostic snapshot; readers tolerate skew
+            ticks: self.ticks.load(Ordering::Relaxed),
+            transitions: self.transitions.load(Ordering::Relaxed),
+            worker_deaths: self.worker_deaths.load(Ordering::Relaxed),
+            worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
+            worker_drains: self.worker_drains.load(Ordering::Relaxed),
+            resizes: self.resizes.load(Ordering::Relaxed),
+            rolling_restarts: self.rolling_restarts.load(Ordering::Relaxed),
+            clamped: self.clamped.load(Ordering::Relaxed),
+            closure_panics: self.closure_panics.load(Ordering::Relaxed),
+            state: 0,
+            workers_live: 0,
+            workers_draining: 0,
+            workers_target: 0,
+        }
+    }
+}
+
+impl Observe for GovernorCounters {
+    fn name(&self) -> &str {
+        "governor"
+    }
+
+    fn render(&self, out: &mut dyn fmt::Write) -> fmt::Result {
+        render_governor_stats(out, &self.snapshot(), &[])
+    }
+}
+
+impl MetricSet for GovernorCounters {
+    type Stats = GovernorStats;
+
+    fn snapshot(&self) -> GovernorStats {
+        GovernorCounters::snapshot(self)
+    }
+}
+
+/// A point-in-time view of a pool's [`GovernorCounters`] plus the live
+/// worker-registry gauges the pool fills in at snapshot time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GovernorStats {
+    /// Governor control-loop ticks executed.
+    pub ticks: u64,
+    /// Brownout-ladder rung transitions (both directions).
+    pub transitions: u64,
+    /// Worker threads found dead by the governor.
+    pub worker_deaths: u64,
+    /// Replacement workers spawned (by the governor or a rolling
+    /// restart).
+    pub worker_respawns: u64,
+    /// Workers gracefully drained and joined by `resize()` /
+    /// `rolling_restart()`.
+    pub worker_drains: u64,
+    /// `resize()` calls that completed.
+    pub resizes: u64,
+    /// `rolling_restart()` calls that completed.
+    pub rolling_restarts: u64,
+    /// Low-floor requests whose budget was clamped under brownout.
+    pub clamped: u64,
+    /// Caller-closure panics absorbed by the `catch_unwind` fences.
+    pub closure_panics: u64,
+    /// Current brownout rung as its numeric code
+    /// ([`crate::governor::BrownoutState::as_u8`]).
+    pub state: u8,
+    /// Worker threads currently alive.
+    pub workers_live: u64,
+    /// Workers currently draining (finishing a run, taking no new work).
+    pub workers_draining: u64,
+    /// The configured worker-count target.
+    pub workers_target: u64,
+}
+
+impl MetricStats for GovernorStats {
+    fn absorb(&mut self, other: &Self) {
+        self.ticks += other.ticks;
+        self.transitions += other.transitions;
+        self.worker_deaths += other.worker_deaths;
+        self.worker_respawns += other.worker_respawns;
+        self.worker_drains += other.worker_drains;
+        self.resizes += other.resizes;
+        self.rolling_restarts += other.rolling_restarts;
+        self.clamped += other.clamped;
+        self.closure_panics += other.closure_panics;
+        // Gauges: keep the most-degraded rung and sum the worker counts
+        // (absorbing two pools' views yields their combined fleet).
+        self.state = self.state.max(other.state);
+        self.workers_live += other.workers_live;
+        self.workers_draining += other.workers_draining;
+        self.workers_target += other.workers_target;
+    }
+
+    fn is_clean(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+/// Writes one [`GovernorStats`] in the Prometheus text format: lifecycle
+/// and brownout counters, the brownout-rung gauge, and the worker-state
+/// gauges.
+pub(crate) fn render_governor_stats(
+    out: &mut dyn fmt::Write,
+    s: &GovernorStats,
+    labels: &[(&str, &str)],
+) -> fmt::Result {
+    write_type(out, "anytime_serve_governor_total", "counter")?;
+    for (event, value) in [
+        ("ticks", s.ticks),
+        ("transitions", s.transitions),
+        ("worker_died", s.worker_deaths),
+        ("worker_respawned", s.worker_respawns),
+        ("worker_drained", s.worker_drains),
+        ("resizes", s.resizes),
+        ("rolling_restarts", s.rolling_restarts),
+        ("clamped", s.clamped),
+        ("closure_panics", s.closure_panics),
+    ] {
+        let mut labeled: Vec<(&str, &str)> = labels.to_vec();
+        labeled.push(("event", event));
+        write_sample(out, "anytime_serve_governor_total", &labeled, value as f64)?;
+    }
+    write_type(out, "anytime_serve_brownout_state", "gauge")?;
+    write_sample(
+        out,
+        "anytime_serve_brownout_state",
+        labels,
+        f64::from(s.state),
+    )?;
+    write_type(out, "anytime_serve_workers", "gauge")?;
+    for (state, value) in [
+        ("live", s.workers_live),
+        ("draining", s.workers_draining),
+        ("target", s.workers_target),
+    ] {
+        let mut labeled: Vec<(&str, &str)> = labels.to_vec();
+        labeled.push(("state", state));
+        write_sample(out, "anytime_serve_workers", &labeled, value as f64)?;
+    }
+    Ok(())
+}
+
+/// Writes the per-replica circuit-breaker state gauge
+/// (`anytime_serve_breaker_state{replica="..."}`): 0 closed, 1 half-open,
+/// 2 open.
+pub(crate) fn render_breaker_states(
+    out: &mut dyn fmt::Write,
+    entries: &[(String, f64)],
+) -> fmt::Result {
+    if entries.is_empty() {
+        return Ok(());
+    }
+    write_type(out, "anytime_serve_breaker_state", "gauge")?;
+    for (replica, value) in entries {
+        write_sample(
+            out,
+            "anytime_serve_breaker_state",
+            &[("replica", replica.as_str())],
+            *value,
+        )?;
+    }
+    Ok(())
 }
 
 /// Mean squared error between two equal-length slices.
@@ -1506,5 +1731,67 @@ mod tests {
         let s = RtaStats::default();
         assert_eq!(s.bound_error_ratio(), 0.0);
         assert_eq!(s.violation_rate(), 0.0);
+    }
+
+    #[test]
+    fn governor_counters_snapshot_and_render() {
+        let g = GovernorCounters::default();
+        g.record_tick();
+        g.record_tick();
+        g.record_transition();
+        g.record_worker_death();
+        g.record_worker_respawn();
+        g.record_worker_drain();
+        g.record_resize();
+        g.record_rolling_restart();
+        g.record_clamped();
+        g.record_closure_panic();
+        let mut s = MetricSet::snapshot(&g);
+        assert_eq!(s.ticks, 2);
+        assert_eq!(s.transitions, 1);
+        assert_eq!(s.worker_deaths, 1);
+        assert_eq!(s.worker_respawns, 1);
+        assert!(!s.is_clean() && GovernorStats::default().is_clean());
+        s.state = 2;
+        s.workers_live = 3;
+        s.workers_draining = 1;
+        s.workers_target = 4;
+        let mut out = String::new();
+        render_governor_stats(&mut out, &s, &[]).unwrap();
+        assert!(out.contains("anytime_serve_governor_total{event=\"worker_died\"} 1"));
+        assert!(out.contains("anytime_serve_governor_total{event=\"clamped\"} 1"));
+        assert!(out.contains("anytime_serve_brownout_state 2"));
+        assert!(out.contains("anytime_serve_workers{state=\"live\"} 3"));
+        assert!(out.contains("anytime_serve_workers{state=\"target\"} 4"));
+
+        // Folding into ServeStats carries the governor block along, keeps
+        // the most-degraded rung, and sums the fleet gauges.
+        let mut total = ServeStats::default();
+        let one = ServeStats {
+            governor: s,
+            ..Default::default()
+        };
+        MetricStats::absorb(&mut total, &one);
+        MetricStats::absorb(&mut total, &one);
+        assert_eq!(total.governor.ticks, 4);
+        assert_eq!(total.governor.state, 2);
+        assert_eq!(total.governor.workers_live, 6);
+    }
+
+    #[test]
+    fn breaker_state_gauge_renders_per_replica() {
+        let mut out = String::new();
+        render_breaker_states(&mut out, &[]).unwrap();
+        assert!(out.is_empty(), "no replicas, no family: {out}");
+        render_breaker_states(
+            &mut out,
+            &[
+                ("replica-0".to_string(), 0.0),
+                ("replica-1".to_string(), 2.0),
+            ],
+        )
+        .unwrap();
+        assert!(out.contains("anytime_serve_breaker_state{replica=\"replica-0\"} 0"));
+        assert!(out.contains("anytime_serve_breaker_state{replica=\"replica-1\"} 2"));
     }
 }

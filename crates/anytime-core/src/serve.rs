@@ -46,6 +46,19 @@
 //!   permanently K times in a row is quarantined (Open) for a cooldown,
 //!   then probes back with a single canary request (HalfOpen) before
 //!   resuming normal service (Closed).
+//! - **Self-healing lifecycle** ([`crate::governor`]) — every
+//!   caller-supplied closure (factory, batch factory, quality estimator)
+//!   runs behind a `catch_unwind` fence that converts panics into
+//!   structured [`CoreError::ReplicaPanicked`] run failures feeding the
+//!   breaker/retry machinery, and a standing governor thread respawns
+//!   worker threads that die anyway. [`ServePool::resize`] and
+//!   [`ServePool::rolling_restart`] reconfigure the worker set at runtime
+//!   with graceful drains that never drop an in-flight admitted request.
+//! - **Closed-loop brownout** — with a [`BrownoutPolicy`] installed the
+//!   governor walks the [`BrownoutState`] ladder under sustained
+//!   overload: hedging off first, then wider batch windows and clamped
+//!   budgets for low-floor requests, and finally tightened admission —
+//!   degrading quality before availability, least-significant first.
 //!
 //! Every counter lands in [`ServeStats`] (see [`crate::metrics`]), and the
 //! pool aggregates the [`FaultStats`] of every pipeline run it performed,
@@ -54,18 +67,27 @@
 use crate::contract::{plan_strict, plan_strict_with_delay, LevelEstimate};
 use crate::control::ControlToken;
 use crate::error::{CoreError, Result};
+use crate::executor::panic_message;
+#[cfg(feature = "fault-inject")]
+use crate::faultinject::WorkerKillPlan;
+use crate::governor::{
+    BrownoutControl, BrownoutPolicy, BrownoutState, GovernorPolicy, SignalWindow,
+};
 use crate::metrics::{
-    DeadlineHistogram, FaultStats, LatencyEwma, LatencyHistogram, RtaCounters, ServeCounters,
-    ServeStats,
+    DeadlineHistogram, FaultStats, GovernorCounters, LatencyEwma, LatencyHistogram, RtaCounters,
+    ServeCounters, ServeStats,
 };
 use crate::pipeline::Pipeline;
 use crate::rta::{self, AdmissionGate, Analysis, Backlog, RtaPolicy};
-use crate::supervisor::retry_backoff;
+use crate::supervisor::{backoff_interruptible, retry_backoff};
 use crate::trace::{EventKind, Recorder, StageId, TraceLog};
 use crate::version::{Snapshot, Version};
 use crate::BufferReader;
+#[cfg(feature = "fault-inject")]
+use std::collections::HashSet;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 // lint: allow(l1-condvar) -- serve-pool rendezvous re-checks predicates under the same mutex (Slot / queue protocol)
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -213,6 +235,13 @@ pub struct ServeOptions {
     /// [`CoreError::Infeasible`], and the hedge/retry/shed budgets derive
     /// from analytical slack. `None` keeps the EWMA heuristic throughout.
     pub rta: Option<RtaPolicy>,
+    /// Replica-lifecycle governor ([`crate::governor`]). The default
+    /// installs [`GovernorPolicy::default`] — a standing thread that
+    /// respawns dead worker threads (self-healing on by default) with no
+    /// brownout ladder; add a [`BrownoutPolicy`] via
+    /// [`ServeOptions::brownout`] for closed-loop quality degradation
+    /// under overload, or set `None` to run ungoverned.
+    pub governor: Option<GovernorPolicy>,
     /// Seed for the deterministic retry jitter.
     pub seed: u64,
     /// Trace recorder for serving-plane events (admissions, hedges,
@@ -221,6 +250,12 @@ pub struct ServeOptions {
     /// enabled recorder with the pipelines the factory builds to get one
     /// merged timeline.
     pub recorder: Recorder,
+    /// Deterministic worker-kill schedule for chaos tests: the worker
+    /// serving a targeted request id unwinds mid-run (one-shot per id),
+    /// exercising the busy-clear guards, in-flight requeue, and governor
+    /// respawn paths.
+    #[cfg(feature = "fault-inject")]
+    pub worker_kill: Option<WorkerKillPlan>,
 }
 
 impl Default for ServeOptions {
@@ -237,8 +272,11 @@ impl Default for ServeOptions {
             breaker: Some(BreakerPolicy::default()),
             levels: None,
             rta: None,
+            governor: Some(GovernorPolicy::default()),
             seed: 0,
             recorder: Recorder::disabled(),
+            #[cfg(feature = "fault-inject")]
+            worker_kill: None,
         }
     }
 }
@@ -296,6 +334,26 @@ impl ServeOptions {
     /// Enables analytical admission control ([`crate::rta`]).
     pub fn rta(mut self, policy: RtaPolicy) -> Self {
         self.rta = Some(policy);
+        self
+    }
+
+    /// Sets (or disables, with `None`) the replica-lifecycle governor.
+    pub fn governor(mut self, governor: Option<GovernorPolicy>) -> Self {
+        self.governor = governor;
+        self
+    }
+
+    /// Installs a brownout controller on the governor (installing a
+    /// default governor first when none is configured).
+    pub fn brownout(mut self, policy: BrownoutPolicy) -> Self {
+        self.governor = Some(self.governor.unwrap_or_default().brownout(policy));
+        self
+    }
+
+    /// Installs a deterministic worker-kill schedule for chaos tests.
+    #[cfg(feature = "fault-inject")]
+    pub fn worker_kill(mut self, plan: WorkerKillPlan) -> Self {
+        self.worker_kill = Some(plan);
         self
     }
 
@@ -401,14 +459,44 @@ enum Breaker {
 }
 
 struct ReplicaState {
+    /// Stable replica index: survives respawns (the replacement worker
+    /// serves under the same identity), advances for workers added by
+    /// [`ServePool::resize`].
+    index: usize,
     ewma: LatencyEwma,
     breaker: Mutex<Breaker>,
     /// Projected end of the run this replica is currently serving
     /// (`None` when idle). Admission adds the soonest of these when no
     /// healthy replica is free — an empty queue does not mean zero wait.
     busy_until: Mutex<Option<Instant>>,
+    /// Set by `resize`/`rolling_restart`: finish the current run, take no
+    /// new work, exit. Release/Acquire so the worker that observes the
+    /// flag also observes everything the drainer did before setting it.
+    draining: AtomicBool,
     /// Interned trace id (`replica-N`) for breaker and quality events.
     trace_id: StageId,
+}
+
+impl ReplicaState {
+    /// Fresh state (EWMA, breaker, occupancy all reset) for `index`. The
+    /// recorder interns by name, so a replacement replica re-acquires the
+    /// same `replica-N` trace id its predecessor used.
+    fn new(index: usize, recorder: &Recorder) -> Self {
+        ReplicaState {
+            index,
+            ewma: LatencyEwma::default(),
+            breaker: Mutex::new(Breaker::Closed { consecutive: 0 }),
+            busy_until: Mutex::new(None),
+            draining: AtomicBool::new(false),
+            trace_id: recorder.stage(&format!("replica-{index}")),
+        }
+    }
+}
+
+/// A live worker thread paired with the replica state it serves under.
+struct WorkerHandle {
+    state: Arc<ReplicaState>,
+    handle: JoinHandle<()>,
 }
 
 /// One queued request.
@@ -520,7 +608,26 @@ struct Shared<I, T> {
     queue: Mutex<QueueState<I, T>>,
     // lint: allow(l1-condvar) -- workers re-check the job queue under `queue` around every wait
     queue_cv: Condvar,
-    replicas: Vec<ReplicaState>,
+    /// The live replica registry. Admission scans it for occupancy;
+    /// `resize`/`rolling_restart` mutate it. Lock order: `workers` →
+    /// `queue` → `replicas` (each replica's `breaker`/`busy_until` are
+    /// leaves).
+    replicas: Mutex<Vec<Arc<ReplicaState>>>,
+    /// Worker threads, paired with the states they serve under. Owned by
+    /// the shared block (not the pool handle) so the governor thread can
+    /// detect deaths and swap in replacements.
+    workers: Mutex<Vec<WorkerHandle>>,
+    /// The governor thread, when [`ServeOptions::governor`] installed one.
+    governor: Mutex<Option<JoinHandle<()>>>,
+    /// Stops the governor's interruptible tick sleep at shutdown.
+    governor_ctl: ControlToken,
+    governor_counters: GovernorCounters,
+    /// Current [`BrownoutState`] as its numeric code.
+    brownout: AtomicU8,
+    /// The configured worker-count target (updated by `resize`).
+    target_replicas: AtomicUsize,
+    /// Allocator for replica indices of workers added by `resize`.
+    next_replica: AtomicUsize,
     counters: ServeCounters,
     service_hist: LatencyHistogram,
     deadline_hist: DeadlineHistogram,
@@ -532,6 +639,10 @@ struct Shared<I, T> {
     /// the pool's own runs; `None` keeps the EWMA-heuristic admission.
     gate: Option<AdmissionGate>,
     rta_counters: RtaCounters,
+    /// Request ids whose scheduled worker kill already fired (kills are
+    /// one-shot so a requeued request is not re-killed).
+    #[cfg(feature = "fault-inject")]
+    kills_fired: Mutex<HashSet<u64>>,
 }
 
 impl<I, T> Shared<I, T> {
@@ -543,10 +654,108 @@ impl<I, T> Shared<I, T> {
             _ => 1,
         }
     }
+
+    /// The brownout rung the governor last stored.
+    fn brownout_state(&self) -> BrownoutState {
+        // relaxed: advisory ladder; a one-tick-stale read only delays a mitigation
+        BrownoutState::from_u8(self.brownout.load(Ordering::Relaxed))
+    }
+
+    /// The brownout policy, when the governor has one installed.
+    fn brownout_policy(&self) -> Option<&BrownoutPolicy> {
+        self.opts
+            .governor
+            .as_ref()
+            .and_then(|g| g.brownout.as_ref())
+    }
+
+    /// The minimum-service floor admission's reachability checks use: the
+    /// configured floor, inflated by the brownout policy's
+    /// `admission_tighten` while the ladder sits at `Shed` — the last
+    /// rung refuses marginal work earlier instead of queueing it.
+    fn effective_min_service(&self) -> Duration {
+        match self.brownout_policy() {
+            Some(b) if self.brownout_state() >= BrownoutState::Shed => {
+                self.opts.min_service.mul_f64(b.admission_tighten)
+            }
+            _ => self.opts.min_service,
+        }
+    }
+
+    /// The EWMA-heuristic wait projection admission compares against a
+    /// request's deadline (and the governor samples as its queue-delay
+    /// signal): queue depth amortized over healthy replicas, plus the
+    /// soonest-free occupancy when nobody is idle.
+    fn projected_wait(&self, depth: usize) -> Duration {
+        let occ = self.occupancy();
+        let est = occ.est.unwrap_or(self.opts.default_service_estimate);
+        let batch_size = self.batch_size();
+        let queue_share = est.mul_f64(depth as f64 / (occ.healthy * batch_size) as f64);
+        if occ.any_idle {
+            queue_share
+        } else {
+            queue_share + occ.soonest_free
+        }
+    }
+
+    /// One scan over the replica set, shared by the EWMA projection above
+    /// and the analytical [`Backlog`] below so admission's two gates never
+    /// disagree about which replicas count as healthy or idle. Draining
+    /// replicas take no new work, so they do not count as capacity.
+    fn occupancy(&self) -> Occupancy {
+        let now = Instant::now();
+        let mut healthy = 0usize;
+        let mut sum = Duration::ZERO;
+        let mut samples = 0usize;
+        let mut any_idle = false;
+        let mut soonest_free = Duration::ZERO;
+        for r in lock(&self.replicas).iter() {
+            if r.draining.load(Ordering::Acquire) {
+                continue;
+            }
+            let open = matches!(*lock(&r.breaker), Breaker::Open { until } if now < until);
+            if open {
+                continue;
+            }
+            healthy += 1;
+            if let Some(d) = r.ewma.get() {
+                sum += d;
+                samples += 1;
+            }
+            match *lock(&r.busy_until) {
+                None => any_idle = true,
+                Some(until) => {
+                    let remaining = until.saturating_duration_since(now);
+                    if healthy == 1 || remaining < soonest_free {
+                        soonest_free = remaining;
+                    }
+                }
+            }
+        }
+        Occupancy {
+            // All replicas quarantined: project as if one will recover.
+            healthy: healthy.max(1),
+            any_idle,
+            soonest_free,
+            est: (samples > 0).then(|| sum / samples as u32),
+        }
+    }
+
+    /// The instantaneous backlog the admission gate analyzes: queue depth
+    /// plus the same replica occupancy the heuristic projection sees.
+    fn backlog(&self, depth: usize) -> Backlog {
+        let occ = self.occupancy();
+        Backlog {
+            queued: depth,
+            healthy: occ.healthy,
+            batch_size: self.batch_size(),
+            any_idle: occ.any_idle,
+            soonest_free: occ.soonest_free,
+        }
+    }
 }
 
-/// One point-in-time scan of the replica set (see
-/// [`ServePool::occupancy`]).
+/// One point-in-time scan of the replica set (see `Shared::occupancy`).
 struct Occupancy {
     /// Replicas not quarantined by an open breaker, floored at 1.
     healthy: usize,
@@ -586,13 +795,12 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// [`ServeStats`] (whose `live_runs` is 0 precisely when no run leaked).
 pub struct ServePool<I, T> {
     shared: Arc<Shared<I, T>>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl<I, T> std::fmt::Debug for ServePool<I, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServePool")
-            .field("replicas", &self.shared.replicas.len())
+            .field("replicas", &lock(&self.shared.replicas).len())
             .finish_non_exhaustive()
     }
 }
@@ -690,15 +898,14 @@ where
                     }
                 })?;
         }
+        if let Some(governor) = &opts.governor {
+            governor.validate()?;
+        }
         let gate = opts.rta.map(AdmissionGate::new).transpose()?;
-        let replicas = (0..opts.replicas)
-            .map(|i| ReplicaState {
-                ewma: LatencyEwma::default(),
-                breaker: Mutex::new(Breaker::Closed { consecutive: 0 }),
-                busy_until: Mutex::new(None),
-                trace_id: opts.recorder.stage(&format!("replica-{i}")),
-            })
+        let replicas: Vec<Arc<ReplicaState>> = (0..opts.replicas)
+            .map(|i| Arc::new(ReplicaState::new(i, &opts.recorder)))
             .collect();
+        let target = opts.replicas;
         let shared = Arc::new(Shared {
             opts,
             factory,
@@ -709,7 +916,14 @@ where
             }),
             // lint: allow(l1-condvar) -- same predicate-under-mutex protocol as the field above
             queue_cv: Condvar::new(),
-            replicas,
+            replicas: Mutex::new(replicas),
+            workers: Mutex::new(Vec::new()),
+            governor: Mutex::new(None),
+            governor_ctl: ControlToken::new(),
+            governor_counters: GovernorCounters::default(),
+            brownout: AtomicU8::new(BrownoutState::Normal.as_u8()),
+            target_replicas: AtomicUsize::new(target),
+            next_replica: AtomicUsize::new(target),
             counters: ServeCounters::default(),
             service_hist: LatencyHistogram::default(),
             deadline_hist: DeadlineHistogram::default(),
@@ -718,20 +932,25 @@ where
             next_id: AtomicU64::new(0),
             gate,
             rta_counters: RtaCounters::default(),
+            #[cfg(feature = "fault-inject")]
+            kills_fired: Mutex::new(HashSet::new()),
         });
-        let workers = (0..shared.opts.replicas)
-            .map(|replica| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("anytime-serve-{replica}"))
-                    .spawn(move || worker_loop(&shared, replica))
-                    .map_err(|e| CoreError::InvalidConfig(format!("failed to spawn worker: {e}")))
-            })
-            .collect::<Result<Vec<_>>>()?;
-        Ok(Self {
-            shared,
-            workers: Mutex::new(workers),
-        })
+        {
+            let states: Vec<Arc<ReplicaState>> = lock(&shared.replicas).clone();
+            let mut workers = lock(&shared.workers);
+            for state in states {
+                workers.push(spawn_worker(&shared, state)?);
+            }
+        }
+        if let Some(policy) = shared.opts.governor {
+            let governed = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name("anytime-governor".into())
+                .spawn(move || governor_loop(&governed, policy))
+                .map_err(|e| CoreError::InvalidConfig(format!("failed to spawn governor: {e}")))?;
+            *lock(&shared.governor) = Some(handle);
+        }
+        Ok(Self { shared })
     }
 
     /// Submits a request and blocks until its response: the best snapshot
@@ -771,7 +990,7 @@ where
             let analysis = shared
                 .gate
                 .as_ref()
-                .and_then(|g| g.analyze(floor, &self.backlog(depth)));
+                .and_then(|g| g.analyze(floor, &shared.backlog(depth)));
             // Shedding skips the queue-wait projection (shed jobs jump the
             // queue), but a budget below the minimum service time is
             // hopeless either way and still rejects below. With a
@@ -785,6 +1004,11 @@ where
                     && depth < shared.opts.queue_capacity
                     && deadline >= shared.opts.min_service
             });
+            // Under `Shed` the reachability floor is inflated: marginal
+            // requests that would only congeal the queue are refused at
+            // the door. Never applied to the shed-eligibility check
+            // above, so tightening cannot convert sheds into rejections.
+            let min_service = shared.effective_min_service();
             if !shed {
                 if depth >= shared.opts.queue_capacity {
                     drop(q);
@@ -798,17 +1022,12 @@ where
                 if let Some(a) = analysis {
                     // The configured minimum service time stays a hard
                     // floor even when the calibrated curves claim faster.
-                    if !deadline_reachable(
-                        accepted,
-                        Duration::ZERO,
-                        shared.opts.min_service,
-                        deadline_at,
-                    ) {
+                    if !deadline_reachable(accepted, Duration::ZERO, min_service, deadline_at) {
                         drop(q);
                         shared.counters.record_rejected();
                         shared.opts.recorder.serve_event(EventKind::Reject, req_id);
                         return Err(CoreError::AdmissionRejected {
-                            projected: shared.opts.min_service,
+                            projected: min_service,
                             budget: deadline,
                         });
                     }
@@ -850,18 +1069,13 @@ where
                     if shared.gate.is_some() {
                         shared.rta_counters.record_fallback();
                     }
-                    let projected_wait = self.projected_wait(depth);
-                    if !deadline_reachable(
-                        accepted,
-                        projected_wait,
-                        shared.opts.min_service,
-                        deadline_at,
-                    ) {
+                    let projected_wait = shared.projected_wait(depth);
+                    if !deadline_reachable(accepted, projected_wait, min_service, deadline_at) {
                         drop(q);
                         shared.counters.record_rejected();
                         shared.opts.recorder.serve_event(EventKind::Reject, req_id);
                         return Err(CoreError::AdmissionRejected {
-                            projected: projected_wait + shared.opts.min_service,
+                            projected: projected_wait + min_service,
                             budget: deadline,
                         });
                     }
@@ -875,6 +1089,15 @@ where
                     }
                 }
             }
+            // Brownout clamp: at `Brownout` and above, low-floor requests
+            // keep their deadline but run under the policy's reduced
+            // compute budget — the controller degrades the least
+            // significant work first, before admission ever tightens.
+            let clamp = !shed
+                && shared.brownout_state() >= BrownoutState::Brownout
+                && shared
+                    .brownout_policy()
+                    .is_some_and(|b| floor <= b.clamp_floor && deadline > b.clamp_budget);
             let job = Arc::new(Job {
                 id: req_id,
                 input: Arc::new(input),
@@ -883,14 +1106,16 @@ where
                 floor,
                 budget_cap: if shed {
                     shared.opts.shed.as_ref().map(|s| s.budget.min(deadline))
+                } else if clamp {
+                    shared.brownout_policy().map(|b| b.clamp_budget)
                 } else {
                     None
                 },
                 shed,
-                // Shed requests run under a reduced budget the analysis
-                // did not model; their bounds would only mislead the
-                // hedge/retry budgets downstream.
-                analysis: if shed { None } else { analysis },
+                // Shed and clamped requests run under a reduced budget the
+                // analysis did not model; their bounds would only mislead
+                // the hedge/retry budgets downstream.
+                analysis: if shed || clamp { None } else { analysis },
                 slot: Arc::new(Slot::new()),
             });
             let item = QueueItem {
@@ -908,6 +1133,10 @@ where
             if shed {
                 shared.counters.record_shed();
                 shared.opts.recorder.serve_event(EventKind::Shed, req_id);
+            }
+            if clamp {
+                shared.governor_counters.record_clamped();
+                shared.opts.recorder.serve_event(EventKind::Clamp, req_id);
             }
             job
         };
@@ -987,84 +1216,9 @@ where
         }
     }
 
-    /// Projected queue wait for a request arriving at the given depth:
-    /// mean healthy-replica service EWMA scaled by the queued requests per
-    /// healthy replica, plus — when every healthy replica is mid-run — the
-    /// soonest replica's remaining occupancy (an empty queue does not mean
-    /// zero wait on a saturated pool).
-    ///
-    /// A batched pool drains up to [`BatchPolicy::max_size`] queued
-    /// requests per run, so its queue clears `max_size` times faster than
-    /// a one-request-per-run projection would claim; without this divisor,
-    /// admission rejects exactly the backlog batching exists to absorb.
-    fn projected_wait(&self, depth: usize) -> Duration {
-        let occ = self.occupancy();
-        let shared = &self.shared;
-        let est = occ.est.unwrap_or(shared.opts.default_service_estimate);
-        let batch_size = shared.batch_size();
-        let queue_share = est.mul_f64(depth as f64 / (occ.healthy * batch_size) as f64);
-        if occ.any_idle {
-            queue_share
-        } else {
-            queue_share + occ.soonest_free
-        }
-    }
-
-    /// One scan over the replica set, shared by the EWMA projection above
-    /// and the analytical [`Backlog`] below so admission's two gates never
-    /// disagree about which replicas count as healthy or idle.
-    fn occupancy(&self) -> Occupancy {
-        let shared = &self.shared;
-        let now = Instant::now();
-        let mut healthy = 0usize;
-        let mut sum = Duration::ZERO;
-        let mut samples = 0usize;
-        let mut any_idle = false;
-        let mut soonest_free = Duration::ZERO;
-        for r in &shared.replicas {
-            let open = matches!(*lock(&r.breaker), Breaker::Open { until } if now < until);
-            if open {
-                continue;
-            }
-            healthy += 1;
-            if let Some(d) = r.ewma.get() {
-                sum += d;
-                samples += 1;
-            }
-            match *lock(&r.busy_until) {
-                None => any_idle = true,
-                Some(until) => {
-                    let remaining = until.saturating_duration_since(now);
-                    if healthy == 1 || remaining < soonest_free {
-                        soonest_free = remaining;
-                    }
-                }
-            }
-        }
-        Occupancy {
-            // All replicas quarantined: project as if one will recover.
-            healthy: healthy.max(1),
-            any_idle,
-            soonest_free,
-            est: (samples > 0).then(|| sum / samples as u32),
-        }
-    }
-
-    /// The instantaneous backlog the admission gate analyzes: queue depth
-    /// plus the same replica occupancy the heuristic projection sees.
-    fn backlog(&self, depth: usize) -> Backlog {
-        let occ = self.occupancy();
-        Backlog {
-            queued: depth,
-            healthy: occ.healthy,
-            batch_size: self.shared.batch_size(),
-            any_idle: occ.any_idle,
-            soonest_free: occ.soonest_free,
-        }
-    }
-
     /// A point-in-time view of the pool's counters, deadline histogram,
-    /// aggregated run faults, and live run count.
+    /// aggregated run faults, live run count, and governor lifecycle
+    /// gauges.
     pub fn stats(&self) -> ServeStats {
         let shared = &self.shared;
         let mut stats = shared.counters.snapshot();
@@ -1078,6 +1232,20 @@ where
         if let Some(gate) = &shared.gate {
             stats.rta.calibration_runs = gate.runs();
             stats.rta.calibrated = gate.calibrated();
+        }
+        stats.governor = shared.governor_counters.snapshot();
+        stats.governor.state = shared.brownout_state().as_u8();
+        // relaxed: observability gauge; one stale resize is acceptable
+        stats.governor.workers_target = shared.target_replicas.load(Ordering::Relaxed) as u64;
+        {
+            let workers = lock(&shared.workers);
+            for w in workers.iter() {
+                if w.state.draining.load(Ordering::Acquire) {
+                    stats.governor.workers_draining += 1;
+                } else if !w.handle.is_finished() {
+                    stats.governor.workers_live += 1;
+                }
+            }
         }
         stats
     }
@@ -1128,73 +1296,226 @@ where
             &[],
         );
         let _ = crate::metrics::render_rta_stats(&mut out, &stats.rta, &[]);
+        let _ = crate::metrics::render_governor_stats(&mut out, &stats.governor, &[]);
+        let breakers: Vec<(String, f64)> = {
+            let now = Instant::now();
+            lock(&self.shared.replicas)
+                .iter()
+                .map(|r| {
+                    let value = match *lock(&r.breaker) {
+                        Breaker::Closed { .. } => 0.0,
+                        Breaker::HalfOpen => 1.0,
+                        Breaker::Open { until } if now < until => 2.0,
+                        // Cooldown elapsed but no worker has probed yet:
+                        // the next pop transitions to HalfOpen.
+                        Breaker::Open { .. } => 1.0,
+                    };
+                    (format!("replica-{}", r.index), value)
+                })
+                .collect()
+        };
+        let _ = crate::metrics::render_breaker_states(&mut out, &breakers);
         out
+    }
+
+    /// The brownout rung the governor currently holds the pool at
+    /// ([`BrownoutState::Normal`] when no brownout policy is installed).
+    pub fn brownout_state(&self) -> BrownoutState {
+        self.shared.brownout_state()
+    }
+
+    /// Worker threads currently alive (excluding any that died and have
+    /// not yet been respawned by the governor).
+    pub fn worker_count(&self) -> usize {
+        lock(&self.shared.workers)
+            .iter()
+            .filter(|w| !w.handle.is_finished())
+            .count()
+    }
+
+    /// Live reconfiguration: grows or shrinks the worker set to `n`
+    /// replicas while the pool keeps serving.
+    ///
+    /// Scale-up spawns fresh workers under new replica indices. Scale-down
+    /// drains gracefully: a draining worker finishes its current run,
+    /// takes no new work, and is joined before this call returns —
+    /// in-flight admitted requests are never dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] for `n == 0`;
+    /// [`CoreError::PoolShutdown`] when the pool is already shut down.
+    pub fn resize(&self, n: usize) -> Result<()> {
+        if n == 0 {
+            return Err(CoreError::InvalidConfig(
+                "serve pool needs at least one replica".into(),
+            ));
+        }
+        let shared = &self.shared;
+        let to_drain: Vec<WorkerHandle> = {
+            let mut workers = lock(&shared.workers);
+            if lock(&shared.queue).closed {
+                return Err(CoreError::PoolShutdown);
+            }
+            // relaxed: stats/governor gauge; readers tolerate one stale resize
+            shared.target_replicas.store(n, Ordering::Relaxed);
+            let mut drained = Vec::new();
+            while workers.len() > n {
+                let w = workers.pop().expect("len > n >= 1");
+                w.state.draining.store(true, Ordering::Release);
+                drained.push(w);
+            }
+            while workers.len() < n {
+                // relaxed: index allocator; uniqueness only, no ordering
+                let index = shared.next_replica.fetch_add(1, Ordering::Relaxed);
+                let state = Arc::new(ReplicaState::new(index, &shared.opts.recorder));
+                let handle = spawn_worker(shared, Arc::clone(&state))?;
+                lock(&shared.replicas).push(Arc::clone(&state));
+                shared.governor_counters.record_worker_respawn();
+                shared
+                    .opts
+                    .recorder
+                    .stage_event(EventKind::WorkerRespawned, state.trace_id);
+                workers.push(handle);
+            }
+            drained
+        };
+        // Joins happen outside the workers lock: a draining worker may be
+        // mid-run and must not deadlock against the governor or stats.
+        shared.queue_cv.notify_all();
+        for w in to_drain {
+            let _ = w.handle.join();
+            lock(&shared.replicas).retain(|r| !Arc::ptr_eq(r, &w.state));
+            shared.governor_counters.record_worker_drain();
+            shared
+                .opts
+                .recorder
+                .stage_event(EventKind::WorkerDrained, w.state.trace_id);
+        }
+        shared.governor_counters.record_resize();
+        Ok(())
+    }
+
+    /// Restarts every worker, one replica at a time, while the pool keeps
+    /// answering: each worker drains gracefully (finishes its current run,
+    /// takes no new work, is joined), then a fresh worker is spawned under
+    /// the same replica index before the next one drains.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::PoolShutdown`] when the pool shuts down mid-restart
+    /// (workers already restarted stay restarted).
+    pub fn rolling_restart(&self) -> Result<()> {
+        let shared = &self.shared;
+        let snapshot: Vec<Arc<ReplicaState>> = lock(&shared.replicas).clone();
+        for old in snapshot {
+            let drained: Option<WorkerHandle> = {
+                let mut workers = lock(&shared.workers);
+                if lock(&shared.queue).closed {
+                    return Err(CoreError::PoolShutdown);
+                }
+                workers
+                    .iter()
+                    .position(|w| Arc::ptr_eq(&w.state, &old))
+                    .map(|i| {
+                        let w = workers.swap_remove(i);
+                        w.state.draining.store(true, Ordering::Release);
+                        w
+                    })
+            };
+            // Already drained by a concurrent resize: nothing to restart.
+            let Some(w) = drained else { continue };
+            shared.queue_cv.notify_all();
+            let _ = w.handle.join();
+            lock(&shared.replicas).retain(|r| !Arc::ptr_eq(r, &w.state));
+            shared.governor_counters.record_worker_drain();
+            shared
+                .opts
+                .recorder
+                .stage_event(EventKind::WorkerDrained, w.state.trace_id);
+            // Same replica index: the replacement serves under the same
+            // trace identity (stage interning dedups by name), so the
+            // restart is invisible to per-replica dashboards.
+            let state = Arc::new(ReplicaState::new(old.index, &shared.opts.recorder));
+            {
+                let mut workers = lock(&shared.workers);
+                if lock(&shared.queue).closed {
+                    return Err(CoreError::PoolShutdown);
+                }
+                let handle = spawn_worker(shared, Arc::clone(&state))?;
+                lock(&shared.replicas).push(Arc::clone(&state));
+                workers.push(handle);
+            }
+            shared.governor_counters.record_worker_respawn();
+            shared
+                .opts
+                .recorder
+                .stage_event(EventKind::WorkerRespawned, state.trace_id);
+        }
+        shared.governor_counters.record_rolling_restart();
+        Ok(())
     }
 
     /// Shuts the pool down: rejects new submissions, fails queued (not yet
     /// started) requests with [`CoreError::PoolShutdown`], lets in-flight
-    /// runs respond, joins every worker, and returns the final stats.
+    /// runs respond, joins the governor and every worker, and returns the
+    /// final stats.
+    ///
+    /// Idempotent, and safe to race with `Drop`: a second call (or the
+    /// implicit one in `Drop`) finds the queue already closed and the
+    /// worker list already empty, so drained requests are never counted
+    /// twice.
     ///
     /// `live_runs == 0` in the returned stats is the no-leak guarantee:
     /// every pipeline run — hedge losers included — was stopped and
     /// joined.
     pub fn shutdown(&self) -> ServeStats {
-        let shared = &self.shared;
-        let drained: Vec<QueueItem<I, T>> = {
-            let mut q = lock(&shared.queue);
-            q.closed = true;
-            q.jobs.drain(..).collect()
-        };
-        shared.queue_cv.notify_all();
-        for item in drained {
-            if !item.is_hedge && item.job.slot.fill(Err(CoreError::PoolShutdown)) {
-                shared.counters.record_failed();
-                shared.opts.recorder.request_end(
-                    EventKind::RequestFailed,
-                    item.job.id,
-                    None,
-                    item.job.accepted.elapsed(),
-                    None,
-                    false,
-                    false,
-                );
-            }
-        }
-        let workers = std::mem::take(&mut *lock(&self.workers));
-        for w in workers {
-            let _ = w.join();
-        }
+        shutdown_inner(&self.shared);
         self.stats()
+    }
+}
+
+/// The single shutdown path, shared by [`ServePool::shutdown`] and `Drop`.
+///
+/// Order matters: the governor stops *first* so it cannot respawn workers
+/// that the join loop below is draining; then the queue closes and queued
+/// requests fail; then workers are taken out of the registry and joined.
+/// Every step is take-based (`Option::take`, `Vec::drain`,
+/// `std::mem::take`), so a second concurrent or sequential call observes
+/// empty state and does nothing — no drained request is double-counted.
+fn shutdown_inner<I, T>(shared: &Arc<Shared<I, T>>) {
+    shared.governor_ctl.stop();
+    if let Some(g) = lock(&shared.governor).take() {
+        let _ = g.join();
+    }
+    let drained: Vec<QueueItem<I, T>> = {
+        let mut q = lock(&shared.queue);
+        q.closed = true;
+        q.jobs.drain(..).collect()
+    };
+    shared.queue_cv.notify_all();
+    for item in drained {
+        if !item.is_hedge && item.job.slot.fill(Err(CoreError::PoolShutdown)) {
+            shared.counters.record_failed();
+            shared.opts.recorder.request_end(
+                EventKind::RequestFailed,
+                item.job.id,
+                None,
+                item.job.accepted.elapsed(),
+                None,
+                false,
+                false,
+            );
+        }
+    }
+    for w in std::mem::take(&mut *lock(&shared.workers)) {
+        let _ = w.handle.join();
     }
 }
 
 impl<I, T> Drop for ServePool<I, T> {
     fn drop(&mut self) {
-        // Idempotent with an explicit shutdown(): the queue is already
-        // closed and the worker list empty.
-        let drained: Vec<QueueItem<I, T>> = {
-            let mut q = lock(&self.shared.queue);
-            q.closed = true;
-            q.jobs.drain(..).collect()
-        };
-        self.shared.queue_cv.notify_all();
-        for item in drained {
-            if !item.is_hedge && item.job.slot.fill(Err(CoreError::PoolShutdown)) {
-                self.shared.counters.record_failed();
-                self.shared.opts.recorder.request_end(
-                    EventKind::RequestFailed,
-                    item.job.id,
-                    None,
-                    item.job.accepted.elapsed(),
-                    None,
-                    false,
-                    false,
-                );
-            }
-        }
-        for w in std::mem::take(&mut *lock(&self.workers)) {
-            let _ = w.join();
-        }
+        shutdown_inner(&self.shared);
     }
 }
 
@@ -1206,20 +1527,143 @@ enum Attempt<T> {
     /// Another dispatch filled the slot first; this run was stopped.
     Lost,
     /// The replica died permanently (retryable). Carries the best
-    /// snapshot so far, kept across attempts.
-    Died(BestSeen<T>),
+    /// snapshot so far, kept across attempts, plus the structured panic
+    /// error when the death was a fenced caller-closure panic.
+    Died(BestSeen<T>, Option<CoreError>),
 }
 
-fn worker_loop<I, T>(shared: &Arc<Shared<I, T>>, replica: usize)
+/// Spawns a worker thread serving under `state`. Used at construction, by
+/// the governor's respawn pass, and by `resize`/`rolling_restart`.
+fn spawn_worker<I, T>(shared: &Arc<Shared<I, T>>, state: Arc<ReplicaState>) -> Result<WorkerHandle>
+where
+    I: Send + Sync + 'static,
+    T: Send + Sync + 'static,
+{
+    let pool = Arc::clone(shared);
+    let st = Arc::clone(&state);
+    let handle = std::thread::Builder::new()
+        .name(format!("anytime-serve-{}", state.index))
+        .spawn(move || worker_loop(&pool, &st))
+        .map_err(|e| CoreError::InvalidConfig(format!("failed to spawn worker: {e}")))?;
+    Ok(WorkerHandle { state, handle })
+}
+
+/// Runs a caller-supplied closure (factory, batch factory, or quality
+/// estimator) behind a panic fence: a panic becomes a structured
+/// [`CoreError::ReplicaPanicked`] instead of unwinding through the worker,
+/// so it feeds the ordinary breaker/retry machinery and the worker thread
+/// survives to serve the next request.
+fn fence_closure<R>(
+    counters: &GovernorCounters,
+    state: &ReplicaState,
+    context: &'static str,
+    f: impl FnOnce() -> R,
+) -> Result<R> {
+    match std::panic::catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => Ok(r),
+        Err(payload) => {
+            counters.record_closure_panic();
+            Err(CoreError::ReplicaPanicked {
+                replica: state.index,
+                context,
+                message: panic_message(payload.as_ref()),
+            })
+        }
+    }
+}
+
+/// Clears a replica's advertised occupancy on drop — on *every* exit path
+/// out of a serve run, panics included. Without this, a worker killed
+/// mid-run leaves `busy_until` stuck at its last projection and admission
+/// keeps charging waiters for a run that no longer exists.
+struct BusyClear<'a>(&'a ReplicaState);
+
+impl Drop for BusyClear<'_> {
+    fn drop(&mut self) {
+        *lock(&self.0.busy_until) = None;
+    }
+}
+
+/// Holds the queue item a worker popped until its serve path completes.
+/// If the worker dies (panics) mid-serve, the drop handler requeues the
+/// item — or fails it when the queue has closed — so an admitted request
+/// is never silently dropped by a worker death.
+struct InFlight<'a, I, T> {
+    shared: &'a Arc<Shared<I, T>>,
+    item: Option<QueueItem<I, T>>,
+}
+
+impl<I, T> Drop for InFlight<'_, I, T> {
+    fn drop(&mut self) {
+        let Some(item) = self.item.take() else { return };
+        if item.job.slot.is_filled() {
+            return;
+        }
+        let requeued = {
+            let mut q = lock(&self.shared.queue);
+            if q.closed {
+                false
+            } else {
+                q.jobs.push_front(QueueItem {
+                    job: Arc::clone(&item.job),
+                    is_hedge: item.is_hedge,
+                });
+                true
+            }
+        };
+        if requeued {
+            self.shared.counters.record_retried();
+            self.shared
+                .opts
+                .recorder
+                .serve_event(EventKind::Retry, item.job.id);
+            lock(&item.job.slot.state).retries += 1;
+            self.shared.queue_cv.notify_all();
+        } else if !item.is_hedge && item.job.slot.fill(Err(CoreError::PoolShutdown)) {
+            self.shared.counters.record_failed();
+            self.shared.opts.recorder.request_end(
+                EventKind::RequestFailed,
+                item.job.id,
+                None,
+                item.job.accepted.elapsed(),
+                None,
+                false,
+                false,
+            );
+        }
+    }
+}
+
+/// Fault injection: kill this worker thread (an unfenced panic) if the
+/// configured [`WorkerKillPlan`] targets this request. One-shot per
+/// request id, so the requeued request is not re-killed on retry.
+#[cfg(feature = "fault-inject")]
+fn maybe_kill_worker<I, T>(shared: &Arc<Shared<I, T>>, req: u64) {
+    let Some(plan) = &shared.opts.worker_kill else {
+        return;
+    };
+    if !plan.targets(req) || !lock(&shared.kills_fired).insert(req) {
+        return;
+    }
+    // resume_unwind skips the panic hook: an injected kill is silent in
+    // test output, exactly like a real async thread death.
+    std::panic::resume_unwind(Box::new("fault-inject: worker kill"));
+}
+
+fn worker_loop<I, T>(shared: &Arc<Shared<I, T>>, state: &Arc<ReplicaState>)
 where
     I: Send + Sync + 'static,
     T: Send + Sync + 'static,
 {
     loop {
+        // Graceful drain: finish nothing new once the flag is up.
+        if state.draining.load(Ordering::Acquire) {
+            return;
+        }
         // Circuit breaker gate: while Open, sleep out the cooldown (still
         // responsive to shutdown), then probe with a single canary.
         let cooldown = {
-            let breaker = lock(&shared.replicas[replica].breaker);
+            let breaker = lock(&state.breaker);
             match *breaker {
                 Breaker::Open { until } => Some(until),
                 _ => None,
@@ -1235,21 +1679,27 @@ where
                 if q.closed && q.jobs.is_empty() {
                     return;
                 }
+                if state.draining.load(Ordering::Acquire) {
+                    return;
+                }
                 let (guard, _) = shared
                     .queue_cv
                     .wait_timeout(q, until - now)
                     .unwrap_or_else(|e| e.into_inner());
                 q = guard;
             }
-            *lock(&shared.replicas[replica].breaker) = Breaker::HalfOpen;
-            shared.opts.recorder.breaker(
-                EventKind::BreakerHalfOpen,
-                shared.replicas[replica].trace_id,
-            );
+            *lock(&state.breaker) = Breaker::HalfOpen;
+            shared
+                .opts
+                .recorder
+                .breaker(EventKind::BreakerHalfOpen, state.trace_id);
         }
         let item = {
             let mut q = lock(&shared.queue);
             loop {
+                if state.draining.load(Ordering::Acquire) {
+                    return;
+                }
                 if let Some(item) = q.jobs.pop_front() {
                     break item;
                 }
@@ -1259,9 +1709,103 @@ where
                 q = shared.queue_cv.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         };
-        match drain_batch(shared, &item) {
-            Some(batch) => serve_batch(shared, replica, batch),
-            None => serve_job(shared, replica, &item, None),
+        // From pop to response the item is guarded: a worker death between
+        // these points requeues (or fails) it instead of dropping it.
+        let mut inflight = InFlight {
+            shared,
+            item: Some(item),
+        };
+        {
+            let item = inflight.item.as_ref().expect("armed above");
+            match drain_batch(shared, item) {
+                Some(batch) => serve_batch(shared, state, batch),
+                None => serve_job(shared, state, item, None),
+            }
+        }
+        inflight.item = None;
+    }
+}
+
+/// One governor pass over the worker registry: respawn any worker whose
+/// thread is finished but which was never asked to drain — it died (an
+/// unfenced panic or an injected kill). The replacement serves under the
+/// *same* replica state, so the breaker history, EWMA, and trace identity
+/// survive the thread.
+fn respawn_dead_workers<I, T>(shared: &Arc<Shared<I, T>>)
+where
+    I: Send + Sync + 'static,
+    T: Send + Sync + 'static,
+{
+    let mut workers = lock(&shared.workers);
+    if lock(&shared.queue).closed {
+        return;
+    }
+    for w in workers.iter_mut() {
+        if !w.handle.is_finished() || w.state.draining.load(Ordering::Acquire) {
+            continue;
+        }
+        shared.governor_counters.record_worker_death();
+        shared
+            .opts
+            .recorder
+            .stage_event(EventKind::WorkerDied, w.state.trace_id);
+        // Belt and braces: `BusyClear` already cleared the dead run's
+        // occupancy on unwind, but a stale projection must never outlive
+        // the thread either way.
+        *lock(&w.state.busy_until) = None;
+        let Ok(new_w) = spawn_worker(shared, Arc::clone(&w.state)) else {
+            // Spawn failed (resource exhaustion); retry next tick.
+            continue;
+        };
+        let old = std::mem::replace(w, new_w);
+        // The dead thread is already finished; this join is instant.
+        let _ = old.handle.join();
+        shared.governor_counters.record_worker_respawn();
+        shared
+            .opts
+            .recorder
+            .stage_event(EventKind::WorkerRespawned, w.state.trace_id);
+    }
+}
+
+/// The standing governor thread: every tick it heals dead workers and —
+/// when a [`BrownoutPolicy`] is installed — feeds windowed overload
+/// signals to the hysteresis controller, publishing any rung change for
+/// the data plane to act on.
+fn governor_loop<I, T>(shared: &Arc<Shared<I, T>>, policy: GovernorPolicy)
+where
+    I: Send + Sync + 'static,
+    T: Send + Sync + 'static,
+{
+    let mut control = policy.brownout.map(BrownoutControl::new);
+    let mut window = SignalWindow::new();
+    loop {
+        if !backoff_interruptible(&shared.governor_ctl, policy.tick) {
+            return;
+        }
+        if lock(&shared.queue).closed {
+            return;
+        }
+        shared.governor_counters.record_tick();
+        if policy.respawn {
+            respawn_dead_workers(shared);
+        }
+        if let Some(control) = control.as_mut() {
+            let depth = lock(&shared.queue).jobs.len();
+            let queue_delay = shared.projected_wait(depth);
+            let signals = window.tick(
+                &shared.deadline_hist.snapshot(),
+                shared.counters.snapshot().shed,
+                shared.rta_counters.snapshot().bound_violations,
+                depth,
+                queue_delay,
+            );
+            if let Some((_, to)) = control.observe(signals) {
+                // relaxed: advisory ladder; a one-tick-stale read only delays mitigation
+                shared.brownout.store(to.as_u8(), Ordering::Relaxed);
+                shared.governor_counters.record_transition();
+                shared.opts.recorder.governor_state(u64::from(to.as_u8()));
+            }
         }
     }
 }
@@ -1281,6 +1825,15 @@ fn drain_batch<I, T>(
     if head.is_hedge || head.job.shed || head.job.slot.is_filled() {
         return None;
     }
+    // Under brownout the compatibility window widens: fuller batches
+    // amortize more build/launch overhead per request, trading per-member
+    // deadline affinity for drain throughput while the pool is hot.
+    let window = match shared.brownout_policy() {
+        Some(b) if shared.brownout_state() >= BrownoutState::Brownout => {
+            policy.window.mul_f64(b.batch_widen)
+        }
+        _ => policy.window,
+    };
     let mut batch = vec![QueueItem {
         job: Arc::clone(&head.job),
         is_hedge: false,
@@ -1304,7 +1857,7 @@ fn drain_batch<I, T>(
                 shared.opts.min_service,
                 it.job.deadline,
             );
-            if !it.is_hedge && !it.job.shed && reachable && gap <= policy.window {
+            if !it.is_hedge && !it.job.shed && reachable && gap <= window {
                 if let Some(it) = q.jobs.remove(i) {
                     batch.push(it);
                 }
@@ -1323,7 +1876,7 @@ fn drain_batch<I, T>(
 /// answer worse than the batch had already computed.
 fn serve_job<I, T>(
     shared: &Arc<Shared<I, T>>,
-    replica: usize,
+    state: &Arc<ReplicaState>,
     item: &QueueItem<I, T>,
     initial_best: BestSeen<T>,
 ) where
@@ -1340,14 +1893,23 @@ fn serve_job<I, T>(
             Some(cap) => job.deadline.min(service_start + cap),
             None => job.deadline,
         };
-        let est = shared.replicas[replica]
+        let est = state
             .ewma
             .get()
             .unwrap_or(shared.opts.default_service_estimate);
         run_end.min(service_start + est)
     };
-    *lock(&shared.replicas[replica].busy_until) = Some(occupied_until);
+    *lock(&state.busy_until) = Some(occupied_until);
+    // Guard, not a trailing statement: the occupancy clears on every exit
+    // path out of this run — early returns and worker panics included.
+    let _busy = BusyClear(state);
+    #[cfg(feature = "fault-inject")]
+    maybe_kill_worker(shared, job.id);
     let mut best = initial_best;
+    // The structured error of the most recent fenced-panic death: when the
+    // request ultimately fails empty-handed, the caller learns *why* the
+    // attempts died instead of a generic timeout.
+    let mut last_death: Option<CoreError> = None;
     let mut local_retries = 0u32;
     let outcome = loop {
         let now = Instant::now();
@@ -1357,12 +1919,15 @@ fn serve_job<I, T>(
         if now >= job.deadline {
             break Attempt::Respond(best);
         }
-        match run_attempt(shared, replica, item, &mut best) {
+        match run_attempt(shared, state, item, &mut best) {
             Attempt::Lost => break Attempt::Lost,
             Attempt::Respond(b) => break Attempt::Respond(b),
-            Attempt::Died(b) => {
+            Attempt::Died(b, death) => {
                 best = b;
-                record_breaker_failure(shared, replica);
+                if death.is_some() {
+                    last_death = death;
+                }
+                record_breaker_failure(shared, state);
                 let retry = &shared.opts.retry;
                 if local_retries >= retry.max_attempts {
                     break Attempt::Respond(best);
@@ -1400,22 +1965,26 @@ fn serve_job<I, T>(
     };
     match outcome {
         Attempt::Lost => {}
-        Attempt::Died(_) => unreachable!("Died is handled in the retry loop"),
-        Attempt::Respond(best) => respond(shared, replica, job, best, service_start, false),
+        Attempt::Died(..) => unreachable!("Died is handled in the retry loop"),
+        Attempt::Respond(best) => {
+            respond(shared, state, job, best, service_start, false, last_death);
+        }
     }
-    *lock(&shared.replicas[replica].busy_until) = None;
 }
 
-/// Answers a job with the best snapshot an attempt produced (or
-/// [`CoreError::Timeout`] when none), filling its slot and recording the
-/// response-side counters, histograms, and trace events.
+/// Answers a job with the best snapshot an attempt produced (or an error
+/// when none: the structured `failure` of the last fenced-panic death if
+/// there was one, [`CoreError::Timeout`] otherwise), filling its slot and
+/// recording the response-side counters, histograms, and trace events.
+#[allow(clippy::too_many_arguments)]
 fn respond<I, T>(
     shared: &Arc<Shared<I, T>>,
-    replica: usize,
+    state: &Arc<ReplicaState>,
     job: &Arc<Job<I, T>>,
     best: BestSeen<T>,
     service_start: Instant,
     batched: bool,
+    failure: Option<CoreError>,
 ) where
     I: Send + Sync + 'static,
     T: Send + Sync + 'static,
@@ -1447,12 +2016,12 @@ fn respond<I, T>(
                 hedged,
                 batched,
                 retries,
-                replica,
+                replica: state.index,
                 elapsed: job.accepted.elapsed(),
             })
         }
         // Every attempt died before publishing anything.
-        None => Err(CoreError::Timeout),
+        None => Err(failure.unwrap_or(CoreError::Timeout)),
     };
     match &result {
         Ok(resp) => {
@@ -1468,7 +2037,7 @@ fn respond<I, T>(
                 shared.opts.recorder.request_end(
                     EventKind::RequestDone,
                     job.id,
-                    Some(shared.replicas[replica].trace_id),
+                    Some(state.trace_id),
                     elapsed,
                     Some(quality),
                     terminal,
@@ -1486,9 +2055,9 @@ fn respond<I, T>(
                 // response), not queue wait — admission multiplies
                 // them by queue depth itself.
                 let service = service_start.elapsed();
-                shared.replicas[replica].ewma.record(service);
+                state.ewma.record(service);
                 shared.service_hist.record(service);
-                record_breaker_success(shared, replica);
+                record_breaker_success(shared, state);
             }
         }
         Err(_) => {
@@ -1497,7 +2066,7 @@ fn respond<I, T>(
                 shared.opts.recorder.request_end(
                     EventKind::RequestFailed,
                     job.id,
-                    Some(shared.replicas[replica].trace_id),
+                    Some(state.trace_id),
                     job.accepted.elapsed(),
                     None,
                     false,
@@ -1527,8 +2096,11 @@ enum BatchOutcome {
 /// to the single-request path carrying the best snapshot the batch had
 /// already produced, so batching can only cost amortization, never an
 /// answer.
-fn serve_batch<I, T>(shared: &Arc<Shared<I, T>>, replica: usize, mut batch: Vec<QueueItem<I, T>>)
-where
+fn serve_batch<I, T>(
+    shared: &Arc<Shared<I, T>>,
+    state: &Arc<ReplicaState>,
+    mut batch: Vec<QueueItem<I, T>>,
+) where
     I: Send + Sync + 'static,
     T: Send + Sync + 'static,
 {
@@ -1542,20 +2114,27 @@ where
     // batch holds this worker until its final member is answered, and an
     // optimistic estimate here admits tight requests that can only starve
     // in the queue behind it.
-    *lock(&shared.replicas[replica].busy_until) = Some(last.job.deadline);
+    *lock(&state.busy_until) = Some(last.job.deadline);
+    let _busy = BusyClear(state);
     let inputs: Vec<Arc<I>> = batch.iter().map(|it| Arc::clone(&it.job.input)).collect();
     let built = match &shared.factory {
-        Factory::Batch(factory) => factory(&inputs).and_then(|(pipeline, readers)| {
-            if readers.len() == batch.len() {
-                Ok((pipeline, readers))
-            } else {
-                Err(CoreError::InvalidConfig(format!(
-                    "batch factory returned {} readers for {} inputs",
-                    readers.len(),
-                    batch.len()
-                )))
-            }
-        }),
+        Factory::Batch(factory) => {
+            fence_closure(&shared.governor_counters, state, "batch factory", || {
+                factory(&inputs)
+            })
+            .and_then(|r| r)
+            .and_then(|(pipeline, readers)| {
+                if readers.len() == batch.len() {
+                    Ok((pipeline, readers))
+                } else {
+                    Err(CoreError::InvalidConfig(format!(
+                        "batch factory returned {} readers for {} inputs",
+                        readers.len(),
+                        batch.len()
+                    )))
+                }
+            })
+        }
         // drain_batch only assembles batches for batch factories.
         Factory::Single(_) => Err(CoreError::InvalidConfig(
             "batch dispatch without a batch factory".into(),
@@ -1572,11 +2151,10 @@ where
         Err(_) => {
             // The whole batch build/launch failed: every member falls back
             // to its own single-path run (which has its own retry loop).
-            record_breaker_failure(shared, replica);
+            record_breaker_failure(shared, state);
             for item in &batch {
-                fallback_single(shared, replica, item, None);
+                fallback_single(shared, state, item, None);
             }
-            *lock(&shared.replicas[replica].busy_until) = None;
             return;
         }
     };
@@ -1607,13 +2185,22 @@ where
             match reader.wait_newer_timeout_with(last_seen, job.deadline - now, &ctl) {
                 Ok(snap) => {
                     last_seen = Some(snap.version());
-                    let q = (shared.quality)(&snap);
+                    // A panicking quality estimator fails this member over
+                    // to its single-path retry, not the whole worker.
+                    let Ok(q) = fence_closure(
+                        &shared.governor_counters,
+                        state,
+                        "quality estimator",
+                        || (shared.quality)(&snap),
+                    ) else {
+                        break BatchOutcome::Died;
+                    };
                     if let Some(t) = tracker.as_mut() {
                         t.observe(service_start.elapsed(), q);
                     }
                     shared.opts.recorder.observe_quality(
                         job.id,
-                        shared.replicas[replica].trace_id,
+                        state.trace_id,
                         snap.version().get(),
                         q,
                     );
@@ -1642,24 +2229,32 @@ where
                 // the latest snapshot so the member benefits from every
                 // step the batch ran, instead of timing out empty-handed.
                 if let Some(snap) = reader.latest() {
-                    let q = (shared.quality)(&snap);
-                    if let Some(t) = tracker.as_mut() {
-                        t.observe(service_start.elapsed(), q);
-                    }
-                    if best.as_ref().is_none_or(|(bq, _)| q >= *bq) {
-                        shared.opts.recorder.observe_quality(
-                            job.id,
-                            shared.replicas[replica].trace_id,
-                            snap.version().get(),
-                            q,
-                        );
-                        best = Some((q, snap));
+                    // A scoop is best-effort: a panicking estimator here
+                    // just forfeits the extra snapshot.
+                    if let Ok(q) = fence_closure(
+                        &shared.governor_counters,
+                        state,
+                        "quality estimator",
+                        || (shared.quality)(&snap),
+                    ) {
+                        if let Some(t) = tracker.as_mut() {
+                            t.observe(service_start.elapsed(), q);
+                        }
+                        if best.as_ref().is_none_or(|(bq, _)| q >= *bq) {
+                            shared.opts.recorder.observe_quality(
+                                job.id,
+                                state.trace_id,
+                                snap.version().get(),
+                                q,
+                            );
+                            best = Some((q, snap));
+                        }
                     }
                 }
-                respond(shared, replica, job, best, service_start, true);
+                respond(shared, state, job, best, service_start, true, None);
             }
             BatchOutcome::Died => {
-                record_breaker_failure(shared, replica);
+                record_breaker_failure(shared, state);
                 fallbacks.push((idx, best));
             }
         }
@@ -1688,9 +2283,8 @@ where
         }
     }
     for (idx, best) in fallbacks {
-        fallback_single(shared, replica, &batch[idx], best);
+        fallback_single(shared, state, &batch[idx], best);
     }
-    *lock(&shared.replicas[replica].busy_until) = None;
 }
 
 /// Relaunches a batch member alone after its batch run failed it, seeding
@@ -1698,7 +2292,7 @@ where
 /// serve-layer retry — it is one.
 fn fallback_single<I, T>(
     shared: &Arc<Shared<I, T>>,
-    replica: usize,
+    state: &Arc<ReplicaState>,
     item: &QueueItem<I, T>,
     best: BestSeen<T>,
 ) where
@@ -1717,14 +2311,14 @@ fn fallback_single<I, T>(
         let mut st = lock(&item.job.slot.state);
         st.retries += 1;
     }
-    serve_job(shared, replica, item, best);
+    serve_job(shared, state, item, best);
 }
 
 /// One pipeline launch for a request: build, run, track the best snapshot,
 /// hedge at the trigger, respond at the deadline or terminal output.
 fn run_attempt<I, T>(
     shared: &Arc<Shared<I, T>>,
-    replica: usize,
+    state: &Arc<ReplicaState>,
     item: &QueueItem<I, T>,
     best: &mut BestSeen<T>,
 ) -> Attempt<T>
@@ -1740,9 +2334,15 @@ where
         Some(cap) => job.deadline.min(started + cap),
         None => job.deadline,
     };
-    let (pipeline, reader) = match shared.factory.build_one(&job.input) {
-        Ok(built) => built,
-        Err(_) => return Attempt::Died(best.take()),
+    let built = fence_closure(&shared.governor_counters, state, "pipeline factory", || {
+        shared.factory.build_one(&job.input)
+    });
+    let (pipeline, reader) = match built {
+        Ok(Ok(built)) => built,
+        // The factory returned an error: an ordinary retryable death.
+        Ok(Err(_)) => return Attempt::Died(best.take(), None),
+        // The factory *panicked*: same retry path, structured error kept.
+        Err(e) => return Attempt::Died(best.take(), Some(e)),
     };
     let ctl = ControlToken::new();
     if !job.slot.register(ctl.clone()) {
@@ -1750,7 +2350,7 @@ where
     }
     let auto = match pipeline.launch_with(ctl.clone()) {
         Ok(auto) => auto,
-        Err(_) => return Attempt::Died(best.take()),
+        Err(_) => return Attempt::Died(best.take(), None),
     };
     shared.live_runs.fetch_add(1, Ordering::Relaxed); // relaxed: count-up precedes any attempt work; completion ordering comes from the Release decrement
                                                       // Hedge trigger, in preference order: the fixed configured
@@ -1758,8 +2358,14 @@ where
                                                       // healthy run that outlives it is analytically late — hedge now);
                                                       // the P95 latency guess. Primary dispatch only — hedges do not
                                                       // hedge.
+                                                      // Hedging needs a second worker to be anything but queue pressure,
+                                                      // and is the first mitigation the brownout ladder turns off.
+                                                      // relaxed: gauge read; a hedge decision one resize stale is harmless
+    let hedge_capacity = shared.target_replicas.load(Ordering::Relaxed) > 1;
     let mut hedge_at: Option<Instant> = match (&shared.opts.hedge, item.is_hedge) {
-        (Some(policy), false) if shared.opts.replicas > 1 => {
+        (Some(policy), false)
+            if hedge_capacity && shared.brownout_state() == BrownoutState::Normal =>
+        {
             let after = policy
                 .after
                 .or_else(|| job.analysis.map(|a| a.service_upper))
@@ -1794,13 +2400,23 @@ where
         {
             Ok(snap) => {
                 last = Some(snap.version());
-                let q = (shared.quality)(&snap);
+                // A panicking quality estimator kills this *attempt* (the
+                // run is reaped below), not the worker thread.
+                let q = match fence_closure(
+                    &shared.governor_counters,
+                    state,
+                    "quality estimator",
+                    || (shared.quality)(&snap),
+                ) {
+                    Ok(q) => q,
+                    Err(e) => break Attempt::Died(best.take(), Some(e)),
+                };
                 if let Some(t) = tracker.as_mut() {
                     t.observe(started.elapsed(), q);
                 }
                 shared.opts.recorder.observe_quality(
                     job.id,
-                    shared.replicas[replica].trace_id,
+                    state.trace_id,
                     snap.version().get(),
                     q,
                 );
@@ -1831,7 +2447,7 @@ where
             }
             // The replica died permanently (SourceClosed or another
             // terminal error): retryable at the serve layer.
-            Err(_) => break Attempt::Died(best.take()),
+            Err(_) => break Attempt::Died(best.take(), None),
         }
     };
     // Stop and fully reap the run, win or lose: stages halt at their next
@@ -1901,17 +2517,17 @@ fn spawn_hedge<I, T>(shared: &Arc<Shared<I, T>>, item: &QueueItem<I, T>) {
     shared.queue_cv.notify_all();
 }
 
-fn record_breaker_failure<I, T>(shared: &Arc<Shared<I, T>>, replica: usize) {
+fn record_breaker_failure<I, T>(shared: &Arc<Shared<I, T>>, state: &ReplicaState) {
     let Some(policy) = &shared.opts.breaker else {
         return;
     };
-    let mut breaker = lock(&shared.replicas[replica].breaker);
+    let mut breaker = lock(&state.breaker);
     let open = |shared: &Shared<I, T>| {
         shared.counters.record_breaker_open();
         shared
             .opts
             .recorder
-            .breaker(EventKind::BreakerOpen, shared.replicas[replica].trace_id);
+            .breaker(EventKind::BreakerOpen, state.trace_id);
         Breaker::Open {
             until: Instant::now() + policy.cooldown,
         }
@@ -1931,18 +2547,18 @@ fn record_breaker_failure<I, T>(shared: &Arc<Shared<I, T>>, replica: usize) {
     };
 }
 
-fn record_breaker_success<I, T>(shared: &Arc<Shared<I, T>>, replica: usize) {
+fn record_breaker_success<I, T>(shared: &Arc<Shared<I, T>>, state: &ReplicaState) {
     if shared.opts.breaker.is_none() {
         return;
     }
-    let mut breaker = lock(&shared.replicas[replica].breaker);
+    let mut breaker = lock(&state.breaker);
     // Only a half-open canary success is a state transition worth tracing;
     // routine successes just reset the consecutive-failure count.
     if *breaker == Breaker::HalfOpen {
         shared
             .opts
             .recorder
-            .breaker(EventKind::BreakerClose, shared.replicas[replica].trace_id);
+            .breaker(EventKind::BreakerClose, state.trace_id);
     }
     *breaker = Breaker::Closed { consecutive: 0 };
 }
@@ -2654,5 +3270,312 @@ mod tests {
         assert!(text.contains("anytime_rta_bound_error_ratio"), "{text}");
         assert!(text.contains("anytime_rta_calibrated 1"), "{text}");
         pool.shutdown();
+    }
+
+    #[test]
+    fn factory_panic_is_fenced_and_structured() {
+        use std::sync::atomic::AtomicBool;
+        let panicked = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&panicked);
+        let working = counting_factory(3, Duration::from_micros(100));
+        let factory = move |input: &u64| {
+            if !flag.swap(true, Ordering::SeqCst) {
+                // resume_unwind skips the panic hook: the intentional
+                // panic stays silent in test output; the String payload
+                // still exercises message extraction.
+                std::panic::resume_unwind(Box::new("injected factory panic".to_string()));
+            }
+            working(input)
+        };
+        let pool = ServePool::new(
+            ServeOptions {
+                replicas: 1,
+                retry: RetryPolicy {
+                    max_attempts: 0,
+                    base_backoff: Duration::ZERO,
+                    max_backoff: Duration::ZERO,
+                },
+                breaker: None,
+                min_service: Duration::from_micros(1),
+                ..ServeOptions::default()
+            },
+            factory,
+            fraction_quality(3),
+        )
+        .unwrap();
+        // The panic is fenced into a structured error (not a generic
+        // Timeout), and the worker thread survives to serve the retry.
+        let err = pool.submit(0, Duration::from_millis(300), 0.0).unwrap_err();
+        match err {
+            CoreError::ReplicaPanicked {
+                replica,
+                context,
+                message,
+            } => {
+                assert_eq!(replica, 0);
+                assert_eq!(context, "pipeline factory");
+                assert_eq!(message.as_deref(), Some("injected factory panic"));
+            }
+            other => panic!("expected ReplicaPanicked, got {other:?}"),
+        }
+        let resp = pool.submit(0, Duration::from_secs(5), 0.0).unwrap();
+        assert_eq!(resp.status, ServeStatus::Final);
+        let stats = pool.shutdown();
+        assert!(stats.governor.closure_panics >= 1, "{:?}", stats.governor);
+        // The fence kept the thread alive: no death, no respawn.
+        assert_eq!(stats.governor.worker_deaths, 0);
+        assert_eq!(stats.live_runs, 0);
+    }
+
+    #[test]
+    fn quality_panic_is_fenced_and_retried() {
+        use std::sync::atomic::AtomicBool;
+        let panicked = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&panicked);
+        let quality = move |s: &Snapshot<u64>| {
+            if !flag.swap(true, Ordering::SeqCst) {
+                std::panic::resume_unwind(Box::new("injected quality panic".to_string()));
+            }
+            *s.value() as f64 / 3.0
+        };
+        let pool = ServePool::new(
+            ServeOptions {
+                replicas: 1,
+                retry: RetryPolicy {
+                    max_attempts: 3,
+                    base_backoff: Duration::from_micros(100),
+                    max_backoff: Duration::from_millis(1),
+                },
+                breaker: None,
+                min_service: Duration::from_micros(1),
+                ..ServeOptions::default()
+            },
+            counting_factory(3, Duration::from_micros(100)),
+            quality,
+        )
+        .unwrap();
+        let resp = pool.submit(0, Duration::from_secs(5), 0.0).unwrap();
+        assert_eq!(resp.status, ServeStatus::Final);
+        assert!(resp.retries >= 1, "the panicked attempt retried");
+        let stats = pool.shutdown();
+        assert!(stats.governor.closure_panics >= 1, "{:?}", stats.governor);
+        assert!(stats.retried >= 1);
+        assert_eq!(stats.live_runs, 0);
+    }
+
+    #[test]
+    fn double_shutdown_is_idempotent() {
+        let pool = Arc::new(
+            ServePool::new(
+                ServeOptions {
+                    replicas: 1,
+                    ..ServeOptions::default()
+                },
+                counting_factory(1_000_000, Duration::from_millis(1)),
+                fraction_quality(1_000_000),
+            )
+            .unwrap(),
+        );
+        // Occupy the only replica, then queue a second request so the
+        // first shutdown has something to drain-fail.
+        let p1 = Arc::clone(&pool);
+        let busy = std::thread::spawn(move || p1.submit(0, Duration::from_millis(300), 0.0));
+        std::thread::sleep(Duration::from_millis(30));
+        let p2 = Arc::clone(&pool);
+        let queued = std::thread::spawn(move || p2.submit(0, Duration::from_secs(5), 0.0));
+        std::thread::sleep(Duration::from_millis(30));
+        let first = pool.shutdown();
+        let second = pool.shutdown();
+        assert!(busy.join().unwrap().is_ok());
+        assert!(matches!(
+            queued.join().unwrap(),
+            Err(CoreError::PoolShutdown)
+        ));
+        // The drained request failed exactly once; the second shutdown
+        // found nothing left to drain or join.
+        assert_eq!(first.failed, 1);
+        assert_eq!(second.failed, first.failed);
+        assert_eq!(second.completed, first.completed);
+        assert_eq!(second.admitted, first.admitted);
+        assert_eq!(second.live_runs, 0);
+        // Drop after explicit shutdown is the third pass; also a no-op.
+        drop(pool);
+    }
+
+    #[test]
+    fn resize_and_rolling_restart_under_live_traffic() {
+        let pool = Arc::new(
+            ServePool::new(
+                ServeOptions {
+                    replicas: 2,
+                    queue_capacity: 256,
+                    ..ServeOptions::default()
+                },
+                counting_factory(5, Duration::from_micros(200)),
+                fraction_quality(5),
+            )
+            .unwrap(),
+        );
+        let submitters: Vec<_> = (0..4)
+            .map(|_| {
+                let p = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    let mut ok = 0u64;
+                    for _ in 0..12 {
+                        if p.submit(0, Duration::from_secs(5), 0.0).is_ok() {
+                            ok += 1;
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        pool.resize(4).unwrap();
+        pool.rolling_restart().unwrap();
+        pool.resize(1).unwrap();
+        let ok: u64 = submitters.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(ok, 48, "no admitted request may be dropped mid-resize");
+        assert_eq!(pool.worker_count(), 1);
+        let stats = pool.shutdown();
+        assert_eq!(stats.completed, stats.admitted, "{stats:?}");
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.live_runs, 0);
+        assert_eq!(stats.governor.resizes, 2);
+        assert_eq!(stats.governor.rolling_restarts, 1);
+        // resize(4) grew by 2; rolling_restart respawned 4; resize(1)
+        // drained 3; the restart drained 4.
+        assert_eq!(stats.governor.worker_respawns, 6);
+        assert_eq!(stats.governor.worker_drains, 7);
+        assert!(pool.resize(0).is_err(), "zero replicas is invalid");
+        assert!(matches!(pool.resize(2), Err(CoreError::PoolShutdown)));
+        assert!(matches!(
+            pool.rolling_restart(),
+            Err(CoreError::PoolShutdown)
+        ));
+    }
+
+    #[test]
+    fn brownout_escalates_under_pressure_and_recovers() {
+        let pool = Arc::new(
+            ServePool::new(
+                ServeOptions {
+                    replicas: 1,
+                    queue_capacity: 256,
+                    min_service: Duration::from_micros(1),
+                    ..ServeOptions::default()
+                }
+                .governor(Some(
+                    GovernorPolicy::default().tick(Duration::from_micros(500)),
+                ))
+                .brownout(BrownoutPolicy {
+                    enter_queue: 1,
+                    up_ticks: 1,
+                    down_ticks: 2,
+                    // A long window keeps the miss-rate signal out of the
+                    // way: this test drives the ladder via queue depth.
+                    min_window: 1_000_000,
+                    max_queue_delay: Duration::from_secs(10),
+                    ..BrownoutPolicy::default()
+                }),
+                counting_factory(40, Duration::from_millis(1)),
+                fraction_quality(40),
+            )
+            .unwrap(),
+        );
+        // Saturate the single replica so the queue holds depth >= 1.
+        let submitters: Vec<_> = (0..3)
+            .map(|_| {
+                let p = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for _ in 0..3 {
+                        let _ = p.submit(0, Duration::from_secs(5), 0.0);
+                    }
+                })
+            })
+            .collect();
+        let mut escalated = false;
+        for _ in 0..2_000 {
+            if pool.brownout_state() != BrownoutState::Normal {
+                escalated = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        assert!(escalated, "queue pressure never escalated the ladder");
+        for s in submitters {
+            s.join().unwrap();
+        }
+        // Load gone: the controller must walk the ladder back down.
+        let mut recovered = false;
+        for _ in 0..2_000 {
+            if pool.brownout_state() == BrownoutState::Normal {
+                recovered = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(recovered, "ladder stuck at {:?}", pool.brownout_state());
+        let stats = pool.shutdown();
+        assert!(stats.governor.transitions >= 2, "{:?}", stats.governor);
+        assert!(stats.governor.ticks >= 1);
+    }
+
+    #[test]
+    fn busy_clear_guard_clears_on_unwind() {
+        let recorder = Recorder::disabled();
+        let state = ReplicaState::new(0, &recorder);
+        *lock(&state.busy_until) = Some(Instant::now() + Duration::from_secs(60));
+        let unwound = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _busy = BusyClear(&state);
+            // resume_unwind: a silent panic, like an injected worker kill.
+            std::panic::resume_unwind(Box::new("die mid-run"));
+        }));
+        assert!(unwound.is_err());
+        assert!(
+            lock(&state.busy_until).is_none(),
+            "stale busy_until survived the unwind"
+        );
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn worker_kill_requeues_and_respawns() {
+        let plan = WorkerKillPlan::new().kill_request(0);
+        let pool = ServePool::new(
+            ServeOptions {
+                replicas: 1,
+                min_service: Duration::from_micros(1),
+                retry: RetryPolicy {
+                    max_attempts: 3,
+                    base_backoff: Duration::from_micros(100),
+                    max_backoff: Duration::from_millis(1),
+                },
+                breaker: None,
+                ..ServeOptions::default()
+            }
+            .governor(Some(
+                GovernorPolicy::default().tick(Duration::from_millis(2)),
+            ))
+            .worker_kill(plan),
+            counting_factory(3, Duration::from_micros(100)),
+            fraction_quality(3),
+        )
+        .unwrap();
+        // Request 0: its worker is killed mid-serve. The in-flight guard
+        // requeues it, the governor respawns the worker (kills are
+        // one-shot per request id), and the replacement serves it.
+        let resp = pool.submit(0, Duration::from_secs(5), 0.0).unwrap();
+        assert_eq!(resp.status, ServeStatus::Final);
+        assert!(resp.retries >= 1, "the killed dispatch requeued as a retry");
+        assert_eq!(pool.worker_count(), 1, "the pool healed to its target");
+        // The healed worker answers a tight follow-up: no stale occupancy
+        // or dead thread lingers from the kill.
+        let follow_up = pool.submit(0, Duration::from_millis(400), 0.0).unwrap();
+        assert_eq!(follow_up.status, ServeStatus::Final);
+        let stats = pool.shutdown();
+        assert_eq!(stats.governor.worker_deaths, 1, "{:?}", stats.governor);
+        assert_eq!(stats.governor.worker_respawns, 1);
+        assert_eq!(stats.completed, stats.admitted);
+        assert_eq!(stats.live_runs, 0);
     }
 }

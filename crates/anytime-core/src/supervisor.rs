@@ -153,6 +153,10 @@ impl Supervision {
 
 /// Sleeps for `backoff` between restart attempts, aborting early if the
 /// automaton stops. Returns `false` if the stop arrived first.
+///
+/// Also the serve governor's tick sleep ([`crate::serve::ServePool`]'s
+/// lifecycle thread): the same interruptible-wait protocol means pool
+/// shutdown never waits out a governor tick.
 pub(crate) fn backoff_interruptible(ctl: &ControlToken, backoff: Duration) -> bool {
     if backoff.is_zero() {
         return !ctl.is_stopped();

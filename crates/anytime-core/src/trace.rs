@@ -107,6 +107,19 @@ pub enum EventKind {
     RequestDone,
     /// An admitted serve request failed with no snapshot.
     RequestFailed,
+    /// A serve worker thread was found dead by the governor (its fenced
+    /// run unwound or the thread was killed).
+    WorkerDied,
+    /// The governor (or a rolling restart) spawned a replacement worker.
+    WorkerRespawned,
+    /// A worker was gracefully drained (finished its run, took no new
+    /// work) and joined during `resize()`/`rolling_restart()`.
+    WorkerDrained,
+    /// The brownout controller crossed a rung boundary (`version` holds
+    /// the new [`crate::governor::BrownoutState`] as its numeric code).
+    GovernorState,
+    /// A low-floor request had its budget clamped under brownout.
+    Clamp,
 }
 
 impl EventKind {
@@ -132,6 +145,11 @@ impl EventKind {
             Self::BreakerClose => "breaker_close",
             Self::RequestDone => "request_done",
             Self::RequestFailed => "request_failed",
+            Self::WorkerDied => "worker_died",
+            Self::WorkerRespawned => "worker_respawned",
+            Self::WorkerDrained => "worker_drained",
+            Self::GovernorState => "governor_state",
+            Self::Clamp => "clamp",
         }
     }
 }
@@ -404,6 +422,18 @@ impl Recorder {
         self.emit_with(|at| {
             let mut ev = TraceEvent::new(at, kind);
             ev.stage = Some(replica);
+            ev
+        });
+    }
+
+    /// Records a brownout-ladder transition; `state` is the new
+    /// [`crate::governor::BrownoutState`]'s numeric code, carried in
+    /// `version` so exporters need no new field.
+    #[inline]
+    pub fn governor_state(&self, state: u64) {
+        self.emit_with(|at| {
+            let mut ev = TraceEvent::new(at, EventKind::GovernorState);
+            ev.version = Some(state);
             ev
         });
     }

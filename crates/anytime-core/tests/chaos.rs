@@ -640,3 +640,203 @@ fn watchdog_degrades_an_injected_stall() {
     assert!(report.any_degraded());
     assert!(f.is_degraded());
 }
+
+/// Self-healing serve-pool chaos: worker kills, fenced panics, and breaker
+/// recovery, end to end against the pool's counters and trace.
+mod governor_chaos {
+    use anytime_core::buffer::BufferReader;
+    use anytime_core::serve::{BreakerPolicy, RetryPolicy, ServeOptions, ServePool, ServeStatus};
+    use anytime_core::trace::{EventKind, Recorder};
+    use anytime_core::{
+        CoreError, Diffusive, GovernorPolicy, Pipeline, PipelineBuilder, Result, Snapshot,
+        StageOptions, StepOutcome, WorkerKillPlan,
+    };
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn counting_factory(
+        n: u64,
+        step: Duration,
+    ) -> impl Fn(&u64) -> Result<(Pipeline, BufferReader<u64>)> + Send + Sync {
+        move |_input: &u64| {
+            let mut pb = PipelineBuilder::new();
+            let out = pb.source(
+                "count",
+                (),
+                Diffusive::new(
+                    |_: &()| 0u64,
+                    move |_: &(), out: &mut u64, _| {
+                        std::thread::sleep(step);
+                        *out += 1;
+                        if *out == n {
+                            StepOutcome::Done
+                        } else {
+                            StepOutcome::Continue
+                        }
+                    },
+                ),
+                StageOptions::with_publish_every(1),
+            );
+            Ok((pb.build(), out))
+        }
+    }
+
+    fn fraction_quality(n: u64) -> impl Fn(&Snapshot<u64>) -> f64 + Send + Sync {
+        move |s: &Snapshot<u64>| *s.value() as f64 / n as f64
+    }
+
+    /// Closed → Open on consecutive fenced factory panics; a half-open
+    /// canary after the cooldown heals it back to Closed. Counters and
+    /// trace events reconcile at every step.
+    #[test]
+    fn breaker_opens_then_heals_end_to_end() {
+        let builds = Arc::new(AtomicU32::new(0));
+        let counter = Arc::clone(&builds);
+        let working = counting_factory(3, Duration::from_micros(100));
+        let factory = move |input: &u64| {
+            if counter.fetch_add(1, Ordering::SeqCst) < 2 {
+                // resume_unwind skips the panic hook: intentional chaos
+                // stays silent in test output.
+                std::panic::resume_unwind(Box::new("chaos: factory panic".to_string()));
+            }
+            working(input)
+        };
+        let pool = ServePool::new(
+            ServeOptions {
+                replicas: 1,
+                retry: RetryPolicy {
+                    max_attempts: 0,
+                    base_backoff: Duration::ZERO,
+                    max_backoff: Duration::ZERO,
+                },
+                breaker: Some(BreakerPolicy {
+                    failures: 2,
+                    cooldown: Duration::from_millis(30),
+                }),
+                min_service: Duration::from_micros(1),
+                recorder: Recorder::enabled(4096),
+                ..ServeOptions::default()
+            },
+            factory,
+            fraction_quality(3),
+        )
+        .unwrap();
+        // Two fenced panics in a row: both fail structurally, the second
+        // trips the breaker.
+        for _ in 0..2 {
+            let err = pool.submit(0, Duration::from_millis(200), 0.0).unwrap_err();
+            assert!(
+                matches!(err, CoreError::ReplicaPanicked { context, .. }
+                    if context == "pipeline factory"),
+                "expected a fenced factory panic, got {err:?}"
+            );
+        }
+        // Wait out the cooldown; the healed factory serves the canary.
+        std::thread::sleep(Duration::from_millis(45));
+        let resp = pool.submit(0, Duration::from_secs(5), 0.0).unwrap();
+        assert_eq!(resp.status, ServeStatus::Final);
+        let trace = pool.trace();
+        let stats = pool.shutdown();
+        assert_eq!(stats.breaker_opens, 1, "{stats:?}");
+        assert_eq!(stats.failed, 2);
+        assert_eq!(stats.completed, 1);
+        assert!(stats.governor.closure_panics >= 2, "{:?}", stats.governor);
+        // The fence kept the worker thread alive throughout.
+        assert_eq!(stats.governor.worker_deaths, 0);
+        assert_eq!(stats.live_runs, 0);
+        let count = |kind: EventKind| trace.events().iter().filter(|e| e.kind == kind).count();
+        assert_eq!(
+            count(EventKind::BreakerOpen) as u64,
+            stats.breaker_opens,
+            "trace and counters disagree on opens"
+        );
+        assert!(count(EventKind::BreakerHalfOpen) >= 1, "no canary probe");
+        assert!(count(EventKind::BreakerClose) >= 1, "breaker never healed");
+    }
+
+    /// Seeded worker kills across a 3-replica pool: every admitted request
+    /// is still answered, the governor heals the pool back to its target,
+    /// and deaths/respawns reconcile between counters and trace.
+    #[test]
+    fn seeded_worker_kills_self_heal() {
+        const REQUESTS: u64 = 24;
+        let seed: u64 = std::env::var("CHAOS_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0xC4A0);
+        let plan = WorkerKillPlan::seeded(seed, REQUESTS, 3);
+        let kills = plan.len() as u64;
+        assert!(kills >= 1, "seed {seed}: empty kill plan");
+        let pool = Arc::new(
+            ServePool::new(
+                ServeOptions {
+                    replicas: 3,
+                    queue_capacity: 128,
+                    min_service: Duration::from_micros(1),
+                    breaker: None,
+                    recorder: Recorder::enabled(8192),
+                    ..ServeOptions::default()
+                }
+                .governor(Some(
+                    GovernorPolicy::default().tick(Duration::from_millis(1)),
+                ))
+                .worker_kill(plan),
+                counting_factory(4, Duration::from_micros(200)),
+                fraction_quality(4),
+            )
+            .unwrap(),
+        );
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let p = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for _ in 0..(REQUESTS / 4) {
+                        let resp = p
+                            .submit(0, Duration::from_secs(10), 0.0)
+                            .expect("an admitted request must be answered despite kills");
+                        assert!(resp.status == ServeStatus::Final);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Every kill fired (all request ids were submitted); give the
+        // governor time to finish healing, then verify the pool recovered
+        // to its target worker count.
+        let mut healed = false;
+        for _ in 0..2_000 {
+            if pool.worker_count() == 3 {
+                healed = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(healed, "seed {seed}: pool never healed to 3 workers");
+        let trace = pool.trace();
+        let stats = pool.shutdown();
+        assert_eq!(
+            stats.governor.worker_deaths, kills,
+            "seed {seed}: {:?}",
+            stats.governor
+        );
+        assert_eq!(stats.governor.worker_respawns, kills);
+        assert_eq!(stats.completed, stats.admitted, "seed {seed}: {stats:?}");
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.live_runs, 0);
+        let died = trace
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::WorkerDied)
+            .count() as u64;
+        let respawned = trace
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::WorkerRespawned)
+            .count() as u64;
+        assert_eq!(died, kills, "seed {seed}: trace/counter death mismatch");
+        assert_eq!(respawned, kills);
+    }
+}

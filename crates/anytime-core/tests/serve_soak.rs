@@ -549,3 +549,376 @@ fn soak_shedding_degrades_quality_not_availability() {
     assert_eq!(stats.shed, shed, "{stats:?}");
     assert_eq!(stats.live_runs, 0);
 }
+
+/// Governor soak (ISSUE 8 acceptance): seeded worker kills plus an
+/// overload burst against a governed pool. Invariants:
+///
+/// - availability never drops below the admitted floor: every admitted
+///   request is answered (by its deadline plus slop) or flagged degraded —
+///   never silently dropped by a worker death;
+/// - the worker count returns to its target after every kill;
+/// - the brownout ladder returns to `Normal` once the burst clears;
+/// - deaths, respawns, and counters reconcile, reproducibly from
+///   `SOAK_SEED`.
+#[test]
+fn soak_governor_self_heals_and_recovers() {
+    use anytime_core::{BrownoutPolicy, BrownoutState, GovernorPolicy, WorkerKillPlan};
+
+    let seed = env_u64("SOAK_SEED", 0xA17);
+    const MAIN: u64 = 120;
+    let plan = WorkerKillPlan::seeded(seed, MAIN, 4);
+    let kills = plan.len() as u64;
+    assert!(kills >= 1, "seed {seed:#x}: empty kill plan");
+    let pool = Arc::new(
+        ServePool::new(
+            ServeOptions {
+                replicas: 3,
+                queue_capacity: 256,
+                min_service: Duration::from_micros(200),
+                default_service_estimate: Duration::from_millis(8),
+                retry: RetryPolicy {
+                    max_attempts: 3,
+                    base_backoff: Duration::from_millis(1),
+                    max_backoff: Duration::from_millis(5),
+                },
+                hedge: None,
+                shed: None,
+                breaker: None,
+                levels: None,
+                seed,
+                ..ServeOptions::default()
+            }
+            .governor(Some(
+                GovernorPolicy::default().tick(Duration::from_millis(1)),
+            ))
+            .brownout(BrownoutPolicy {
+                enter_queue: 4,
+                up_ticks: 1,
+                down_ticks: 5,
+                // Drive the ladder with queue depth alone; the long window
+                // keeps the miss-rate signal out of this test.
+                min_window: 1_000_000,
+                max_queue_delay: Duration::from_secs(10),
+                ..BrownoutPolicy::default()
+            })
+            .worker_kill(plan),
+            |_: &u64| {
+                let mut pb = anytime_core::PipelineBuilder::new();
+                let f = pb.source(
+                    "f",
+                    (),
+                    Diffusive::new(
+                        |_: &()| 0u64,
+                        |_: &(), out: &mut u64, _| {
+                            std::thread::sleep(STEP_DELAY);
+                            *out += 1;
+                            if *out == N {
+                                StepOutcome::Done
+                            } else {
+                                StepOutcome::Continue
+                            }
+                        },
+                    ),
+                    StageOptions::with_publish_every(1),
+                );
+                Ok((pb.build(), f))
+            },
+            |s| *s.value() as f64 / N as f64,
+        )
+        .unwrap(),
+    );
+    // Main phase: 6 submitters cover every kill-plan id. A killed worker's
+    // request requeues and is answered by a healed (or surviving) worker.
+    let mut handles = Vec::new();
+    for t in 0..6u64 {
+        let pool = Arc::clone(&pool);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..MAIN / 6 {
+                let id = t * (MAIN / 6) + i;
+                let floor = floor_of(i);
+                let deadline = Duration::from_secs(2);
+                let resp = pool
+                    .submit(id, deadline, floor)
+                    .unwrap_or_else(|e| panic!("request {id} dropped: {e}"));
+                assert!(
+                    resp.elapsed <= deadline + DEADLINE_SLOP,
+                    "request {id}: responded {:?} past the deadline",
+                    resp.elapsed
+                );
+                assert!(
+                    resp.quality >= floor || resp.status == ServeStatus::Degraded,
+                    "request {id}: below admitted floor {floor} and unflagged"
+                );
+            }
+        }));
+    }
+    for h in handles {
+        h.join()
+            .expect("submitter panicked — a dropped request or hang");
+    }
+    // Overload burst: 24 simultaneous arrivals against 3 replicas push the
+    // queue past the brownout threshold.
+    let burst: Vec<_> = (0..24u64)
+        .map(|i| {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                pool.submit(10_000 + i, Duration::from_secs(2), 0.1)
+                    .map(|r| r.status)
+            })
+        })
+        .collect();
+    for b in burst {
+        b.join().unwrap().expect("burst request dropped");
+    }
+    // Self-heal invariant: the pool recovers its target worker count.
+    let mut healed = false;
+    for _ in 0..2_000 {
+        if pool.worker_count() == 3 {
+            healed = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(healed, "seed {seed:#x}: pool never healed to 3 workers");
+    // Closed-loop invariant: the ladder walks back to Normal after load.
+    let mut recovered = false;
+    for _ in 0..2_000 {
+        if pool.brownout_state() == BrownoutState::Normal {
+            recovered = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(
+        recovered,
+        "seed {seed:#x}: brownout stuck at {:?}",
+        pool.brownout_state()
+    );
+    let stats = pool.shutdown();
+    assert_eq!(
+        stats.governor.worker_deaths, kills,
+        "seed {seed:#x}: {:?}",
+        stats.governor
+    );
+    assert_eq!(stats.governor.worker_respawns, kills);
+    assert_eq!(stats.completed, stats.admitted, "{stats:?}");
+    assert_eq!(stats.failed, 0, "{stats:?}");
+    assert_eq!(stats.live_runs, 0, "leaked runs: {stats:?}");
+    assert_eq!(stats.governor.state, 0, "final state must be Normal");
+    assert_eq!(stats.governor.workers_target, 3);
+}
+
+/// The brownout controller's comparative guarantee: under the same ≥2×
+/// overload, a governed pool sheds STRICTLY fewer requests than the same
+/// pool with the governor's brownout disabled — the clamp degrades
+/// low-floor quality early, which drains the queue before it ever reaches
+/// the shed threshold — and recovers to `Normal` afterwards.
+#[test]
+fn soak_brownout_sheds_less_than_ungoverned() {
+    use anytime_core::metrics::ServeStats;
+    use anytime_core::{BrownoutPolicy, BrownoutState, GovernorPolicy};
+
+    let seed = env_u64("SOAK_SEED", 0xA17);
+
+    /// ~60 open-loop arrivals at one every 3ms against a single replica
+    /// whose full run takes ~8ms: ≥ 2× overload. 75% of requests are
+    /// low-floor (sheddable and clampable), 25% high-floor.
+    fn overload(governed: bool, seed: u64) -> (ServeStats, BrownoutState) {
+        let base = ServeOptions {
+            replicas: 1,
+            queue_capacity: 256,
+            min_service: Duration::from_micros(200),
+            default_service_estimate: Duration::from_millis(8),
+            retry: RetryPolicy::default(),
+            hedge: None,
+            shed: Some(ShedPolicy {
+                queue_threshold: 8,
+                max_floor: 0.5,
+                budget: Duration::from_millis(4),
+            }),
+            breaker: None,
+            levels: None,
+            seed,
+            ..ServeOptions::default()
+        };
+        let opts = if governed {
+            base.governor(Some(
+                GovernorPolicy::default().tick(Duration::from_micros(500)),
+            ))
+            .brownout(BrownoutPolicy {
+                enter_queue: 2,
+                up_ticks: 1,
+                down_ticks: 25,
+                min_window: 1_000_000,
+                max_queue_delay: Duration::from_millis(1),
+                clamp_floor: 0.5,
+                clamp_budget: Duration::from_millis(1),
+                ..BrownoutPolicy::default()
+            })
+        } else {
+            // Self-healing stays on; only the brownout ladder differs.
+            base.governor(Some(GovernorPolicy::default()))
+        };
+        let pool = Arc::new(
+            ServePool::new(
+                opts,
+                |_: &u64| {
+                    let mut pb = anytime_core::PipelineBuilder::new();
+                    let f = pb.source(
+                        "f",
+                        (),
+                        Diffusive::new(
+                            |_: &()| 0u64,
+                            |_: &(), out: &mut u64, _| {
+                                std::thread::sleep(STEP_DELAY);
+                                *out += 1;
+                                if *out == N {
+                                    StepOutcome::Done
+                                } else {
+                                    StepOutcome::Continue
+                                }
+                            },
+                        ),
+                        StageOptions::with_publish_every(1),
+                    );
+                    Ok((pb.build(), f))
+                },
+                |s| *s.value() as f64 / N as f64,
+            )
+            .unwrap(),
+        );
+        let mut handles = Vec::new();
+        for i in 0..60u64 {
+            let pool = Arc::clone(&pool);
+            let floor = if i % 4 == 3 { 0.8 } else { 0.1 };
+            handles.push(std::thread::spawn(move || {
+                pool.submit(i, Duration::from_millis(600), floor)
+            }));
+            // Deterministic open-loop stagger: the same arrival schedule
+            // for both scenarios.
+            std::thread::sleep(Duration::from_millis(3));
+        }
+        for h in handles {
+            h.join()
+                .unwrap()
+                .expect("overload must degrade quality, never availability");
+        }
+        // Load gone: give a governed ladder time to walk back down.
+        let mut state = pool.brownout_state();
+        for _ in 0..2_000 {
+            state = pool.brownout_state();
+            if state == BrownoutState::Normal {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        (pool.shutdown(), state)
+    }
+
+    let (ungoverned, _) = overload(false, seed);
+    let (governed, final_state) = overload(true, seed);
+    assert!(
+        ungoverned.shed >= 1,
+        "the scenario is not an overload: ungoverned pool never shed ({ungoverned:?})"
+    );
+    assert!(
+        governed.shed < ungoverned.shed,
+        "brownout did not reduce shedding: governed {} vs ungoverned {}",
+        governed.shed,
+        ungoverned.shed
+    );
+    assert!(
+        governed.governor.clamped >= 1,
+        "the clamp never engaged: {:?}",
+        governed.governor
+    );
+    assert!(
+        governed.governor.transitions >= 2,
+        "no escalate/recover cycle: {:?}",
+        governed.governor
+    );
+    assert_eq!(
+        final_state,
+        BrownoutState::Normal,
+        "governed pool failed to recover"
+    );
+    assert_eq!(governed.live_runs, 0);
+    assert_eq!(ungoverned.live_runs, 0);
+}
+
+/// Live reconfiguration under load: `resize` (both directions) and
+/// `rolling_restart` while submitters hammer the pool. No admitted
+/// request is ever dropped: every submission completes, and the final
+/// worker count matches the last resize target.
+#[test]
+fn soak_resize_rolling_never_drops_inflight() {
+    let seed = env_u64("SOAK_SEED", 0xA17);
+    let pool = Arc::new(
+        ServePool::new(
+            ServeOptions {
+                replicas: 3,
+                queue_capacity: 256,
+                min_service: Duration::from_micros(200),
+                retry: RetryPolicy::default(),
+                hedge: None,
+                shed: None,
+                breaker: None,
+                levels: None,
+                seed,
+                ..ServeOptions::default()
+            },
+            |_: &u64| {
+                let mut pb = anytime_core::PipelineBuilder::new();
+                let f = pb.source(
+                    "f",
+                    (),
+                    Diffusive::new(
+                        |_: &()| 0u64,
+                        |_: &(), out: &mut u64, _| {
+                            std::thread::sleep(STEP_DELAY);
+                            *out += 1;
+                            if *out == N {
+                                StepOutcome::Done
+                            } else {
+                                StepOutcome::Continue
+                            }
+                        },
+                    ),
+                    StageOptions::with_publish_every(1),
+                );
+                Ok((pb.build(), f))
+            },
+            |s| *s.value() as f64 / N as f64,
+        )
+        .unwrap(),
+    );
+    let submitters: Vec<_> = (0..4u64)
+        .map(|t| {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                for i in 0..12u64 {
+                    let id = t * 12 + i;
+                    pool.submit(id, Duration::from_secs(2), 0.0)
+                        .unwrap_or_else(|e| panic!("request {id} dropped mid-reconfigure: {e}"));
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(10));
+    pool.resize(5).expect("scale-up under load");
+    std::thread::sleep(Duration::from_millis(10));
+    pool.rolling_restart().expect("rolling restart under load");
+    std::thread::sleep(Duration::from_millis(10));
+    pool.resize(2).expect("scale-down under load");
+    for s in submitters {
+        s.join().expect("submitter panicked — a dropped request");
+    }
+    assert_eq!(pool.worker_count(), 2, "worker count != last resize target");
+    let stats = pool.shutdown();
+    assert_eq!(stats.completed, stats.admitted, "{stats:?}");
+    assert_eq!(stats.failed, 0, "{stats:?}");
+    assert_eq!(stats.live_runs, 0, "leaked runs: {stats:?}");
+    assert_eq!(stats.governor.resizes, 2, "{:?}", stats.governor);
+    assert_eq!(stats.governor.rolling_restarts, 1);
+    assert_eq!(stats.governor.workers_target, 2);
+}
