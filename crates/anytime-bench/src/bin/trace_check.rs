@@ -96,6 +96,7 @@ fn run(chrome_path: &str, jsonl_path: &str, prom_path: &str) -> Result<(), Strin
     for (event, expected) in [
         ("worker_died", summary.worker_died),
         ("worker_respawned", summary.worker_respawned),
+        ("worker_added", summary.worker_added),
         ("worker_drained", summary.worker_drained),
         ("transitions", summary.governor_transitions),
         ("clamped", summary.clamped),

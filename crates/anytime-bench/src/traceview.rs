@@ -454,8 +454,11 @@ pub struct TraceSummary {
     pub publishes: u64,
     /// `worker_died` events (governor noticed a dead replica thread).
     pub worker_died: u64,
-    /// `worker_respawned` events (governor or resize spawned a worker).
+    /// `worker_respawned` events (governor or rolling restart healed a
+    /// worker).
     pub worker_respawned: u64,
+    /// `worker_added` events (resize scale-up grew the pool).
+    pub worker_added: u64,
     /// `worker_drained` events (resize / rolling restart retired a worker).
     pub worker_drained: u64,
     /// `governor_state` events (one per brownout-ladder transition).
@@ -479,6 +482,7 @@ pub fn summarize(records: &[TraceRecord]) -> TraceSummary {
             "publish" => s.publishes += 1,
             "worker_died" => s.worker_died += 1,
             "worker_respawned" => s.worker_respawned += 1,
+            "worker_added" => s.worker_added += 1,
             "worker_drained" => s.worker_drained += 1,
             "governor_state" => s.governor_transitions += 1,
             "clamp" => s.clamped += 1,
@@ -683,11 +687,13 @@ mod tests {
         let text = "{\"at_us\":0,\"kind\":\"worker_died\",\"stage\":\"replica-0\"}\n\
                     {\"at_us\":1,\"kind\":\"worker_respawned\",\"stage\":\"replica-0\"}\n\
                     {\"at_us\":2,\"kind\":\"worker_drained\",\"stage\":\"replica-1\"}\n\
-                    {\"at_us\":3,\"kind\":\"governor_state\",\"version\":2}\n\
-                    {\"at_us\":4,\"kind\":\"clamp\",\"req\":7}\n";
+                    {\"at_us\":3,\"kind\":\"worker_added\",\"stage\":\"replica-2\"}\n\
+                    {\"at_us\":4,\"kind\":\"governor_state\",\"version\":2}\n\
+                    {\"at_us\":5,\"kind\":\"clamp\",\"req\":7}\n";
         let s = summarize(&parse_jsonl(text).unwrap());
         assert_eq!(s.worker_died, 1);
         assert_eq!(s.worker_respawned, 1);
+        assert_eq!(s.worker_added, 1);
         assert_eq!(s.worker_drained, 1);
         assert_eq!(s.governor_transitions, 1);
         assert_eq!(s.clamped, 1);

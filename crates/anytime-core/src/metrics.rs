@@ -1084,6 +1084,7 @@ pub struct GovernorCounters {
     transitions: AtomicU64,
     worker_deaths: AtomicU64,
     worker_respawns: AtomicU64,
+    worker_adds: AtomicU64,
     worker_drains: AtomicU64,
     resizes: AtomicU64,
     rolling_restarts: AtomicU64,
@@ -1106,6 +1107,10 @@ impl GovernorCounters {
 
     pub(crate) fn record_worker_respawn(&self) {
         self.worker_respawns.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
+    }
+
+    pub(crate) fn record_worker_add(&self) {
+        self.worker_adds.fetch_add(1, Ordering::Relaxed); // relaxed: diagnostics counter, not synchronization
     }
 
     pub(crate) fn record_worker_drain(&self) {
@@ -1138,6 +1143,7 @@ impl GovernorCounters {
             transitions: self.transitions.load(Ordering::Relaxed),
             worker_deaths: self.worker_deaths.load(Ordering::Relaxed),
             worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
+            worker_adds: self.worker_adds.load(Ordering::Relaxed),
             worker_drains: self.worker_drains.load(Ordering::Relaxed),
             resizes: self.resizes.load(Ordering::Relaxed),
             rolling_restarts: self.rolling_restarts.load(Ordering::Relaxed),
@@ -1179,9 +1185,13 @@ pub struct GovernorStats {
     pub transitions: u64,
     /// Worker threads found dead by the governor.
     pub worker_deaths: u64,
-    /// Replacement workers spawned (by the governor or a rolling
-    /// restart).
+    /// Replacement workers spawned to heal a loss (by the governor or a
+    /// rolling restart) — operator-initiated growth counts as
+    /// `worker_adds` instead.
     pub worker_respawns: u64,
+    /// Fresh workers added by `resize()` scale-up (operator-initiated
+    /// growth, distinct from crash healing).
+    pub worker_adds: u64,
     /// Workers gracefully drained and joined by `resize()` /
     /// `rolling_restart()`.
     pub worker_drains: u64,
@@ -1210,6 +1220,7 @@ impl MetricStats for GovernorStats {
         self.transitions += other.transitions;
         self.worker_deaths += other.worker_deaths;
         self.worker_respawns += other.worker_respawns;
+        self.worker_adds += other.worker_adds;
         self.worker_drains += other.worker_drains;
         self.resizes += other.resizes;
         self.rolling_restarts += other.rolling_restarts;
@@ -1242,6 +1253,7 @@ pub(crate) fn render_governor_stats(
         ("transitions", s.transitions),
         ("worker_died", s.worker_deaths),
         ("worker_respawned", s.worker_respawns),
+        ("worker_added", s.worker_adds),
         ("worker_drained", s.worker_drains),
         ("resizes", s.resizes),
         ("rolling_restarts", s.rolling_restarts),
@@ -1741,6 +1753,7 @@ mod tests {
         g.record_transition();
         g.record_worker_death();
         g.record_worker_respawn();
+        g.record_worker_add();
         g.record_worker_drain();
         g.record_resize();
         g.record_rolling_restart();
@@ -1751,6 +1764,7 @@ mod tests {
         assert_eq!(s.transitions, 1);
         assert_eq!(s.worker_deaths, 1);
         assert_eq!(s.worker_respawns, 1);
+        assert_eq!(s.worker_adds, 1);
         assert!(!s.is_clean() && GovernorStats::default().is_clean());
         s.state = 2;
         s.workers_live = 3;
@@ -1759,6 +1773,7 @@ mod tests {
         let mut out = String::new();
         render_governor_stats(&mut out, &s, &[]).unwrap();
         assert!(out.contains("anytime_serve_governor_total{event=\"worker_died\"} 1"));
+        assert!(out.contains("anytime_serve_governor_total{event=\"worker_added\"} 1"));
         assert!(out.contains("anytime_serve_governor_total{event=\"clamped\"} 1"));
         assert!(out.contains("anytime_serve_brownout_state 2"));
         assert!(out.contains("anytime_serve_workers{state=\"live\"} 3"));

@@ -1354,16 +1354,25 @@ where
         let shared = &self.shared;
         let to_drain: Vec<WorkerHandle> = {
             let mut workers = lock(&shared.workers);
-            if lock(&shared.queue).closed {
-                return Err(CoreError::PoolShutdown);
-            }
-            // relaxed: stats/governor gauge; readers tolerate one stale resize
-            shared.target_replicas.store(n, Ordering::Relaxed);
             let mut drained = Vec::new();
-            while workers.len() > n {
-                let w = workers.pop().expect("len > n >= 1");
-                w.state.draining.store(true, Ordering::Release);
-                drained.push(w);
+            {
+                // The drain flags are stored while the queue mutex is
+                // held: an idle worker re-checks `draining` under this
+                // same mutex immediately before parking on `queue_cv`, so
+                // the store can never interleave between that check and
+                // the wait — the notify_all below is never lost, even on
+                // a quiescent pool.
+                let q = lock(&shared.queue);
+                if q.closed {
+                    return Err(CoreError::PoolShutdown);
+                }
+                // relaxed: stats/governor gauge; readers tolerate one stale resize
+                shared.target_replicas.store(n, Ordering::Relaxed);
+                while workers.len() > n {
+                    let w = workers.pop().expect("len > n >= 1");
+                    w.state.draining.store(true, Ordering::Release);
+                    drained.push(w);
+                }
             }
             while workers.len() < n {
                 // relaxed: index allocator; uniqueness only, no ordering
@@ -1371,11 +1380,13 @@ where
                 let state = Arc::new(ReplicaState::new(index, &shared.opts.recorder));
                 let handle = spawn_worker(shared, Arc::clone(&state))?;
                 lock(&shared.replicas).push(Arc::clone(&state));
-                shared.governor_counters.record_worker_respawn();
+                // Operator-initiated growth, not crash healing: counted
+                // as `worker_added`, distinct from `worker_respawned`.
+                shared.governor_counters.record_worker_add();
                 shared
                     .opts
                     .recorder
-                    .stage_event(EventKind::WorkerRespawned, state.trace_id);
+                    .stage_event(EventKind::WorkerAdded, state.trace_id);
                 workers.push(handle);
             }
             drained
@@ -1411,7 +1422,12 @@ where
         for old in snapshot {
             let drained: Option<WorkerHandle> = {
                 let mut workers = lock(&shared.workers);
-                if lock(&shared.queue).closed {
+                // Held while the drain flag is stored: an idle worker
+                // re-checks `draining` under this same mutex immediately
+                // before parking on `queue_cv`, so the notify_all below
+                // is never lost, even on a quiescent pool.
+                let q = lock(&shared.queue);
+                if q.closed {
                     return Err(CoreError::PoolShutdown);
                 }
                 workers
@@ -1426,13 +1442,16 @@ where
             // Already drained by a concurrent resize: nothing to restart.
             let Some(w) = drained else { continue };
             shared.queue_cv.notify_all();
-            let _ = w.handle.join();
-            lock(&shared.replicas).retain(|r| !Arc::ptr_eq(r, &w.state));
-            shared.governor_counters.record_worker_drain();
-            shared
-                .opts
-                .recorder
-                .stage_event(EventKind::WorkerDrained, w.state.trace_id);
+            // The replacement is spawned *before* the old worker is
+            // joined, so a failed spawn (resource exhaustion) never
+            // leaves the pool below target: the drained worker is
+            // un-flagged and re-registered instead. If its thread already
+            // exited on the drain flag, the governor's next respawn pass
+            // finds a finished, non-draining worker and heals it — the
+            // same path as any other worker death (and with the governor
+            // disabled, a failed restart degrades exactly like an
+            // ungoverned death: visibly, via `worker_count()`).
+            //
             // Same replica index: the replacement serves under the same
             // trace identity (stage interning dedups by name), so the
             // restart is invisible to per-replica dashboards.
@@ -1442,10 +1461,30 @@ where
                 if lock(&shared.queue).closed {
                     return Err(CoreError::PoolShutdown);
                 }
-                let handle = spawn_worker(shared, Arc::clone(&state))?;
-                lock(&shared.replicas).push(Arc::clone(&state));
-                workers.push(handle);
+                match spawn_worker(shared, Arc::clone(&state)) {
+                    Ok(handle) => workers.push(handle),
+                    Err(e) => {
+                        w.state.draining.store(false, Ordering::Release);
+                        workers.push(w);
+                        return Err(e);
+                    }
+                }
             }
+            let _ = w.handle.join();
+            // The registry swap happens after the join so the old and new
+            // replica never coexist under one index (duplicate Prometheus
+            // labels); until then the replacement serves unregistered —
+            // admission briefly under-counts its occupancy, nothing more.
+            {
+                let mut replicas = lock(&shared.replicas);
+                replicas.retain(|r| !Arc::ptr_eq(r, &w.state));
+                replicas.push(Arc::clone(&state));
+            }
+            shared.governor_counters.record_worker_drain();
+            shared
+                .opts
+                .recorder
+                .stage_event(EventKind::WorkerDrained, w.state.trace_id);
             shared.governor_counters.record_worker_respawn();
             shared
                 .opts
@@ -1604,6 +1643,11 @@ impl<I, T> Drop for InFlight<'_, I, T> {
             if q.closed {
                 false
             } else {
+                // Deliberately unchecked against `queue_capacity`: the
+                // job was already admitted, and admitted work is never
+                // dropped. The queue may transiently exceed its bound by
+                // one item per concurrent worker death; admission sees
+                // the true depth and rejects accordingly.
                 q.jobs.push_front(QueueItem {
                     job: Arc::clone(&item.job),
                     is_hedge: item.is_hedge,
@@ -3442,9 +3486,10 @@ mod tests {
         assert_eq!(stats.live_runs, 0);
         assert_eq!(stats.governor.resizes, 2);
         assert_eq!(stats.governor.rolling_restarts, 1);
-        // resize(4) grew by 2; rolling_restart respawned 4; resize(1)
-        // drained 3; the restart drained 4.
-        assert_eq!(stats.governor.worker_respawns, 6);
+        // resize(4) grew by 2 (adds, not respawns); rolling_restart
+        // respawned 4; resize(1) drained 3; the restart drained 4.
+        assert_eq!(stats.governor.worker_adds, 2);
+        assert_eq!(stats.governor.worker_respawns, 4);
         assert_eq!(stats.governor.worker_drains, 7);
         assert!(pool.resize(0).is_err(), "zero replicas is invalid");
         assert!(matches!(pool.resize(2), Err(CoreError::PoolShutdown)));
@@ -3452,6 +3497,53 @@ mod tests {
             pool.rolling_restart(),
             Err(CoreError::PoolShutdown)
         ));
+    }
+
+    #[test]
+    fn resize_and_rolling_restart_on_quiescent_pool() {
+        // Regression: the drain flag used to be stored without the queue
+        // mutex, so a worker parked between its predicate check and its
+        // wait could miss the notify — on an idle pool nothing else
+        // notifies, and the join in resize()/rolling_restart() hung
+        // forever. Cycle reconfigurations against parked workers under a
+        // watchdog so a reintroduced race fails instead of hanging.
+        let pool = Arc::new(
+            ServePool::new(
+                ServeOptions {
+                    replicas: 3,
+                    ..ServeOptions::default()
+                },
+                counting_factory(5, Duration::from_micros(200)),
+                fraction_quality(5),
+            )
+            .unwrap(),
+        );
+        let p = Arc::clone(&pool);
+        let ops = std::thread::spawn(move || {
+            for _ in 0..25 {
+                p.resize(1).unwrap();
+                p.resize(3).unwrap();
+            }
+            p.rolling_restart().unwrap();
+            p.worker_count()
+        });
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !ops.is_finished() {
+            assert!(
+                Instant::now() < deadline,
+                "resize/rolling_restart hung on a quiescent pool (lost wakeup)"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(ops.join().unwrap(), 3);
+        let stats = pool.shutdown();
+        assert_eq!(stats.governor.resizes, 50);
+        assert_eq!(stats.governor.rolling_restarts, 1);
+        // Every cycle drains 2 and adds 2; the restart respawns 3.
+        assert_eq!(stats.governor.worker_adds, 50);
+        assert_eq!(stats.governor.worker_respawns, 3);
+        assert_eq!(stats.governor.worker_drains, 53);
+        assert_eq!(stats.live_runs, 0);
     }
 
     #[test]

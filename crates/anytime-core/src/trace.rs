@@ -112,6 +112,9 @@ pub enum EventKind {
     WorkerDied,
     /// The governor (or a rolling restart) spawned a replacement worker.
     WorkerRespawned,
+    /// `resize()` scale-up added a fresh worker (operator-initiated
+    /// growth, distinct from crash healing).
+    WorkerAdded,
     /// A worker was gracefully drained (finished its run, took no new
     /// work) and joined during `resize()`/`rolling_restart()`.
     WorkerDrained,
@@ -147,6 +150,7 @@ impl EventKind {
             Self::RequestFailed => "request_failed",
             Self::WorkerDied => "worker_died",
             Self::WorkerRespawned => "worker_respawned",
+            Self::WorkerAdded => "worker_added",
             Self::WorkerDrained => "worker_drained",
             Self::GovernorState => "governor_state",
             Self::Clamp => "clamp",
