@@ -107,7 +107,7 @@ impl Conv2d {
     ) -> Result<(Pipeline, BufferReader<ImageBuf<u8>>)> {
         let perm = self.permutation()?;
         let kernel = self.kernel.clone();
-        let mut pb = PipelineBuilder::traced(recorder.clone());
+        let mut pb = PipelineBuilder::new().with_recorder(recorder.clone());
         let out = pb.source(
             "2dconv",
             self.image.clone(),

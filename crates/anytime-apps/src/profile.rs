@@ -202,20 +202,29 @@ mod tests {
         )
         .unwrap();
         assert_eq!(curve.points.len(), 4);
-        // Later halts must not be (much) worse — the anytime guarantee.
-        // Points that reached the exact result (+inf dB) are excluded: on
-        // a loaded host a small-fraction point can oversleep its halt and
-        // complete outright, which is the best possible outcome, not a
-        // broken trend; the guarantee under test is about partial results.
-        let partial: Vec<f64> = curve
-            .points
-            .iter()
-            .map(|p| p.snr_db)
-            .filter(|s| *s < f64::INFINITY)
-            .collect();
+        // The anytime guarantee (Property 2) is that quality is monotone
+        // in *steps completed*: ordering the sweep points by how far each
+        // run actually got, SNR must never drop. The budget→steps mapping
+        // itself is timing-noisy on a loaded host (a 0.6× halt can land
+        // more steps than a 0.9× one), so asserting SNR against the
+        // requested fraction flakes; asserting it against measured
+        // progress is deterministic.
+        let mut by_steps: Vec<&RuntimeAccuracyPoint> = curve.points.iter().collect();
+        by_steps.sort_by_key(|p| p.steps);
         assert!(
-            partial.windows(2).all(|w| w[1] >= w[0] - 3.0),
-            "non-monotone profile:\n{curve}"
+            by_steps
+                .windows(2)
+                .all(|w| w[1].snr_db >= w[0].snr_db - 3.0),
+            "quality not monotone in steps:\n{curve}"
+        );
+        // The budget trend still has to show through the noise where the
+        // margin is real: the 0.9× halt gets 9× the budget of the 0.1×
+        // halt and must complete at least as many steps.
+        let first = &curve.points[0];
+        let last = &curve.points[curve.points.len() - 1];
+        assert!(
+            last.steps >= first.steps,
+            "9x the budget completed fewer steps:\n{curve}"
         );
         assert!(curve.precise_fraction > 0.0);
     }

@@ -20,7 +20,15 @@
 //!   requests/sec/core;
 //! - `serve/admission_decision` — one calibrated response-time-analysis
 //!   admission decision ending in a certified-infeasible rejection: the
-//!   control-plane cost every request pays before any data-plane work.
+//!   control-plane cost every request pays before any data-plane work;
+//! - `runtime/steal_latency` — launch-to-final latency of a trivial
+//!   one-stage pipeline on a warm dedicated runtime: the spawn injects the
+//!   stage task, a parked worker wakes and steals it from the injector,
+//!   polls it to Final, and the publication wakes the waiter;
+//! - `runtime/yield_resume` — per-slice cost of the yield-at-publish
+//!   protocol: a publish-every-step source yields back to the scheduler
+//!   after each publish, so wall time over steps is one
+//!   publish + yield + requeue + resume cycle.
 //!
 //! Every entry carries a normalized cost (`norm`) against a calibration
 //! workload measured on the same host, so reports from different machines
@@ -69,6 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         record_kernels(&mut report, &opts);
         record_serve_throughput(&mut report)?;
         record_admission_decision(&mut report, &opts)?;
+        record_runtime(&mut report, &opts);
         reps.push(report);
     }
     let report = Report::merge_median(reps);
@@ -119,6 +128,7 @@ fn record_control_latency(report: &mut Report, opts: &MeasureOptions) {
         let waiter = {
             let reader = reader.clone();
             let ctl = ctl.clone();
+            // lint: allow(l6-no-raw-spawn) -- bench harness: the measured waiter must be a real blocked thread
             thread::spawn(move || {
                 let _ = reader.wait_final_timeout_with(Duration::from_secs(30), &ctl);
             })
@@ -316,6 +326,91 @@ fn record_admission_decision(report: &mut Report, opts: &MeasureOptions) -> Resu
     Ok(())
 }
 
+/// The work-stealing stage runtime's two scheduling hot paths, measured
+/// through the public pipeline surface on a dedicated 2-worker runtime.
+fn record_runtime(report: &mut Report, opts: &MeasureOptions) {
+    use anytime_core::{Diffusive, PipelineBuilder, Precise, Runtime, StageOptions, StepOutcome};
+
+    let runtime = Runtime::new(2);
+
+    // Steal latency: each op launches a trivial one-stage pipeline and
+    // waits for its final output. The launch injects the stage task into
+    // the runtime's global injector; a parked worker wakes, steals the
+    // task, polls it to Final, and the publication wakes this thread.
+    // Thread creation is NOT in the loop — the pool is warm and fixed.
+    let passes = opts.passes.max(3) * 10;
+    let mut samples = Vec::with_capacity(passes);
+    for _ in 0..passes {
+        let mut pb = PipelineBuilder::new();
+        let out = pb.source(
+            "ping",
+            1u64,
+            Precise::new(|i: &u64| *i),
+            StageOptions::default(),
+        );
+        let pipeline = pb.with_runtime(runtime.handle()).build();
+        let t0 = Instant::now();
+        let auto = pipeline.launch().expect("launch ping pipeline");
+        black_box(
+            out.wait_final_timeout(Duration::from_secs(30))
+                .expect("ping output"),
+        );
+        samples.push(t0.elapsed().as_nanos() as f64);
+        auto.join().expect("ping join");
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    // P10, for the same reason as `control/stop_wakeup`: the dispatch
+    // path's promise is near-best latency, and the tail is host noise.
+    report.push(
+        "runtime/steal_latency",
+        true,
+        samples[samples.len() / 10],
+        passes as u64,
+    );
+
+    // Yield-resume: one source publishing every step runs STEPS publish
+    // slices, yielding back to the scheduler after each; amortized wall
+    // time per step is the cost of one yield + requeue + resume cycle
+    // (including the publish itself, which is what a real stage pays).
+    const STEPS: u64 = 4096;
+    let reps = opts.passes.max(3) as u64;
+    let mut total_ns = 0f64;
+    for _ in 0..reps {
+        let mut pb = PipelineBuilder::new();
+        let out = pb.source(
+            "yielder",
+            (),
+            Diffusive::new(
+                |_: &()| 0u64,
+                |_: &(), out: &mut u64, step| {
+                    *out += 1;
+                    if step + 1 == STEPS {
+                        StepOutcome::Done
+                    } else {
+                        StepOutcome::Continue
+                    }
+                },
+            ),
+            StageOptions::with_publish_every(1),
+        );
+        let pipeline = pb.with_runtime(runtime.handle()).build();
+        let t0 = Instant::now();
+        let auto = pipeline.launch().expect("launch yielder pipeline");
+        black_box(
+            out.wait_final_timeout(Duration::from_secs(60))
+                .expect("yielder output"),
+        );
+        total_ns += t0.elapsed().as_nanos() as f64;
+        auto.join().expect("yielder join");
+    }
+    report.push(
+        "runtime/yield_resume",
+        true,
+        total_ns / (reps * STEPS) as f64,
+        reps * STEPS,
+    );
+}
+
 /// Runs one scenario round, retrying a couple of times on a transient
 /// shortfall (a rare replica hiccup under host contention) so the CI gate
 /// doesn't flake; a persistent shortfall still fails loudly.
@@ -327,6 +422,7 @@ fn run_scenario(pool: &ServePool<(), anytime_img::ImageBuf<u8>>) -> (Duration, u
         thread::scope(|scope| {
             for _ in 0..SERVE_REQUESTS {
                 let (pool, served) = (pool, &served);
+                // lint: allow(l6-no-raw-spawn) -- bench harness: concurrent open-loop request generators
                 scope.spawn(
                     move || match pool.submit((), Duration::from_secs(120), 0.0) {
                         Ok(_) => {

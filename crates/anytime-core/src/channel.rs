@@ -16,7 +16,7 @@
 use crate::control::ControlToken;
 use crate::error::{CoreError, Result};
 use crate::metrics::WaitCounters;
-use crate::notify::{lock_unpoisoned, WaitSet, Watchers};
+use crate::notify::{lock_unpoisoned, WaitSet, WakeTarget, Watchers};
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -142,6 +142,17 @@ impl<T> Sender<T> {
     /// cannot accept the value anymore. Honors pause via `checkpoint`.
     fn try_push(&self, value: T, ctl: &ControlToken) -> Result<Option<T>> {
         ctl.checkpoint()?;
+        self.poll_send(value, ctl)
+    }
+
+    /// The task-poll counterpart of `try_push`: never blocks, not even on
+    /// pause (the pollable caller observes pause through
+    /// [`ControlToken::poll_checkpoint`] before calling). Same contract
+    /// otherwise: `Ok(None)` sent, `Ok(Some(v))` full, `Err` dead stream.
+    pub(crate) fn poll_send(&self, value: T, ctl: &ControlToken) -> Result<Option<T>> {
+        if ctl.is_stopped() {
+            return Err(CoreError::Stopped);
+        }
         let mut st = lock_unpoisoned(&self.shared.state);
         if !st.receiver_alive {
             // A stopped consumer drops its receiver; report the stop rather
@@ -163,6 +174,13 @@ impl<T> Sender<T> {
             self.shared.watchers.wake_all();
         }
         Ok(None)
+    }
+
+    /// Registers an owned wake target (a runtime task waker) for wakeups
+    /// on every queue transition or peer exit. Idempotent; pollable
+    /// producers call it at the top of every poll slice.
+    pub(crate) fn subscribe_target(&self, target: &Arc<dyn WakeTarget>) {
+        self.shared.watchers.subscribe_target(target);
     }
 
     /// Test-only: blocks until `target` blocking waits (either endpoint)
@@ -217,6 +235,7 @@ impl<T> Receiver<T> {
     ///   the queue, so a stop is honored promptly even with a full queue).
     /// - [`CoreError::ChannelClosed`] once all senders are gone and the
     ///   queue is drained.
+    #[allow(dead_code)] // blocking path exercised only by cfg(test) drivers
     pub(crate) fn recv(&self, ctl: &ControlToken) -> Result<T> {
         // Fast path.
         if let Some(v) = self.try_pop(ctl)? {
@@ -259,6 +278,16 @@ impl<T> Receiver<T> {
     /// when empty but still open, `Err` on stop or a drained closed stream.
     fn try_pop(&self, ctl: &ControlToken) -> Result<Option<T>> {
         ctl.checkpoint()?;
+        self.poll_recv(ctl)
+    }
+
+    /// The task-poll counterpart of `try_pop`: never blocks, not even on
+    /// pause (the pollable caller observes pause through
+    /// [`ControlToken::poll_checkpoint`] before calling).
+    pub(crate) fn poll_recv(&self, ctl: &ControlToken) -> Result<Option<T>> {
+        if ctl.is_stopped() {
+            return Err(CoreError::Stopped);
+        }
         let mut st = lock_unpoisoned(&self.shared.state);
         if let Some(v) = st.queue.pop_front() {
             let was_full = st.queue.len() + 1 == self.shared.capacity;
@@ -273,6 +302,13 @@ impl<T> Receiver<T> {
             return Err(CoreError::ChannelClosed);
         }
         Ok(None)
+    }
+
+    /// Registers an owned wake target (a runtime task waker) for wakeups
+    /// on every queue transition or peer exit. Idempotent; pollable
+    /// consumers call it at the top of every poll slice.
+    pub(crate) fn subscribe_target(&self, target: &Arc<dyn WakeTarget>) {
+        self.shared.watchers.subscribe_target(target);
     }
 
     /// Counters for blocking waits on this channel (both endpoints).

@@ -1,9 +1,18 @@
 use crate::error::{CoreError, Result};
 use crate::metrics::{WaitCounters, WaitStats};
-use crate::notify::{lock_unpoisoned, WaitSet, WatchGuard, Watchers};
+use crate::notify::{lock_unpoisoned, WaitSet, WakeTarget, WatchGuard, Watchers};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Non-blocking observation of the control state, for pollable stage
+/// tasks that must never park a runtime worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ControlPoll {
+    Running,
+    Paused,
+    Stopped,
+}
 
 /// Execution state shared by every stage of an automaton.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -210,6 +219,33 @@ impl ControlToken {
     /// on stop (buffer waits, channel sends/receives, join multiplexing).
     pub(crate) fn subscribe(&self, ws: &WaitSet) -> WatchGuard<'_> {
         self.shared.watchers.subscribe(ws)
+    }
+
+    /// Registers an owned wake target (a task waker) to be woken on every
+    /// state transition. Idempotent; the entry dies with the target.
+    pub(crate) fn subscribe_target(&self, target: &Arc<dyn WakeTarget>) {
+        self.shared.watchers.subscribe_target(target);
+    }
+
+    /// The non-blocking counterpart of [`ControlToken::checkpoint`]:
+    /// reports the current state instead of parking while paused. Stage
+    /// tasks scheduled on the shared runtime use this — a paused task
+    /// returns `Pending` to its worker (the resume transition wakes it via
+    /// the watcher registry) rather than pinning the worker in a condvar.
+    ///
+    /// The hint load is `Acquire` paired with the `Release` store in
+    /// `set_state`, and every transition wakes watchers *after* the store,
+    /// so a task woken by a transition always observes the new state.
+    pub(crate) fn poll_checkpoint(&self) -> ControlPoll {
+        match self
+            .shared
+            .state_hint
+            .load(std::sync::atomic::Ordering::Acquire)
+        {
+            0 => ControlPoll::Running,
+            1 => ControlPoll::Paused,
+            _ => ControlPoll::Stopped,
+        }
     }
 }
 

@@ -2,23 +2,162 @@ use crate::buffer::BufferControl;
 use crate::control::ControlToken;
 use crate::error::{CoreError, Result};
 use crate::metrics::{self, FaultCounters, FaultStats, WaitStats};
-use crate::notify::WaitSet;
+use crate::notify::{lock_unpoisoned, WaitSet, WakeTarget};
 use crate::observe::MetricStats;
-use crate::stage::{StageEnd, StageRunner};
-use crate::supervisor::{self, FailurePolicy, WatchedStage};
-use crate::trace::{EventKind, Recorder, TraceLog};
+use crate::runtime::{RtTask, RuntimeHandle, TaskPoll};
+use crate::stage::{PollCx, StageEnd, StagePoll, StageRunner};
+use crate::supervisor::{self, FailurePolicy, Supervision, WatchedStage};
+use crate::trace::{EventKind, Recorder, StageId, TraceLog};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// A stage driver thread's outcome: how the stage ended (or failed) plus
-/// the number of restarts its supervision performed.
-type StageThread = JoinHandle<(Result<StageEnd>, u32)>;
+/// Where a stage task deposits its outcome — how the stage ended (or
+/// failed) plus the number of supervised restarts — before it signals
+/// completion. The executor-side replacement for a driver thread's
+/// join-handle return value.
+type StageSlot = Arc<Mutex<Option<(Result<StageEnd>, u32)>>>;
 
-/// A running anytime automaton: one driver thread per stage, all sharing a
+/// One stage's lifecycle as a schedulable task: wraps the type-erased
+/// [`StageRunner`] with the supervision loop a dedicated driver thread
+/// used to host — panic fencing, restart accounting and backoff,
+/// degraded sealing, fail-fast propagation, and result delivery.
+///
+/// The stage's *work* (stepping, publishing, yielding at publish points)
+/// lives in [`StageRunner::poll`]; this wrapper only translates outcomes:
+/// `StagePoll` verdicts map onto [`TaskPoll`], panics map onto the
+/// configured [`FailurePolicy`], and restart backoff becomes a
+/// [`TaskPoll::PendingUntil`] timer instead of a sleeping thread.
+struct StageTask {
+    name: String,
+    /// `None` once finished: dropping the runner closes its output buffer
+    /// *before* completion is signalled, so downstream readers observe
+    /// the terminal version or a close, never a silent stall.
+    runner: Option<Box<dyn StageRunner>>,
+    supervision: Supervision,
+    control: Option<Arc<dyn BufferControl>>,
+    ctl: ControlToken,
+    fail_fast: bool,
+    counters: Arc<FaultCounters>,
+    recorder: Recorder,
+    stage: StageId,
+    restarts: u32,
+    slot: StageSlot,
+    finished: Arc<AtomicUsize>,
+    done_ws: WaitSet,
+}
+
+impl StageTask {
+    /// Permanent-failure handling per policy, then result delivery.
+    /// Sealing happens before the runner is dropped (which closes the
+    /// buffer) so downstream readers observe the degraded terminal
+    /// version, never a bare close.
+    fn finish(&mut self, result: Result<StageEnd>) -> TaskPoll {
+        let result = match result {
+            Err(e) => {
+                // Count before sealing: the seal wakes waiters, and one of
+                // them may read the fault stats before this task runs
+                // again. The seal succeeds whenever a version was published
+                // (it is idempotent past terminal), so gate on that.
+                let sealable = self.supervision.policy == FailurePolicy::Degrade
+                    && self
+                        .control
+                        .as_ref()
+                        .is_some_and(|c| c.latest_version().is_some());
+                if sealable {
+                    self.counters.record_degradation();
+                    if let Some(c) = self.control.as_ref() {
+                        c.seal_degraded();
+                    }
+                    Ok(StageEnd::Degraded)
+                } else {
+                    self.counters.record_permanent_failure();
+                    self.recorder
+                        .stage_event(EventKind::PermanentFailure, self.stage);
+                    if self.fail_fast {
+                        self.ctl.stop();
+                    }
+                    Err(e)
+                }
+            }
+            ok => ok,
+        };
+        // Dropping the runner closes its output buffer, so dependent
+        // stages observe SourceClosed instead of blocking forever.
+        self.runner = None;
+        *lock_unpoisoned(&self.slot) = Some((result, self.restarts));
+        self.finished.fetch_add(1, Ordering::Release);
+        self.done_ws.wake();
+        TaskPoll::Ready
+    }
+}
+
+impl RtTask for StageTask {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn poll(&mut self, wake: &Arc<dyn WakeTarget>, credits: u64) -> TaskPoll {
+        let Some(runner) = self.runner.as_mut() else {
+            return TaskPoll::Ready;
+        };
+        let mut cx = PollCx {
+            ctl: &self.ctl,
+            wake,
+            budget: credits,
+        };
+        match catch_unwind(AssertUnwindSafe(|| runner.poll(&mut cx))) {
+            Ok(StagePoll::Yielded) => TaskPoll::Yielded,
+            Ok(StagePoll::Pending) => TaskPoll::Pending,
+            Ok(StagePoll::Ready(result)) => {
+                // The watchdog may have sealed the buffer degraded while
+                // the driver kept going; surface that in the outcome.
+                let result = match (&result, &self.control) {
+                    (Ok(StageEnd::Final), Some(c)) if c.is_degraded() => Ok(StageEnd::Degraded),
+                    _ => result,
+                };
+                self.finish(result)
+            }
+            Err(payload) => {
+                let err = CoreError::StagePanicked {
+                    stage: self.name.clone(),
+                    message: panic_message(payload.as_ref()),
+                    steps_at_death: self.runner.as_ref().map_or(0, |r| r.steps_completed()),
+                };
+                if let FailurePolicy::Restart {
+                    max_attempts,
+                    backoff,
+                } = self.supervision.policy
+                {
+                    if self.restarts < max_attempts {
+                        self.restarts += 1;
+                        self.counters.record_restart();
+                        self.recorder.stage_event(EventKind::Restart, self.stage);
+                        // The runner's dirty-run bookkeeping discards
+                        // whatever the panic left half-mutated on the next
+                        // poll; a stop during the backoff wakes the task
+                        // early through its control subscription.
+                        return if backoff.is_zero() {
+                            TaskPoll::Yielded
+                        } else {
+                            TaskPoll::PendingUntil(Instant::now() + backoff)
+                        };
+                    }
+                }
+                // Driver errors (closed upstream, …) and exhausted restart
+                // budgets are permanent: restarting cannot resurrect a
+                // dead input.
+                self.finish(Err(err))
+            }
+        }
+    }
+}
+
+/// A running anytime automaton: every stage scheduled as a task on a
+/// shared [`crate::runtime::Runtime`] worker pool, all sharing a
 /// [`ControlToken`].
 ///
 /// The automaton embodies the model's two key guarantees:
@@ -34,23 +173,27 @@ type StageThread = JoinHandle<(Result<StageEnd>, u32)>;
 /// user holds the button, stop when they release it.
 pub struct Automaton {
     ctl: ControlToken,
-    threads: Vec<(String, StageThread)>,
+    /// Per-stage result slots, in stage-construction order; each is
+    /// filled by its [`StageTask`] before `finished` is bumped.
+    stages: Vec<(String, StageSlot)>,
     started: Instant,
-    /// Stage threads that have finished driving; woken through `done_ws`.
+    /// Stage tasks that have finished driving; woken through `done_ws`.
     finished: Arc<AtomicUsize>,
-    /// Wait set bumped by every finishing stage thread, so completion
+    /// Wait set bumped by every finishing stage task, so completion
     /// waits ([`Automaton::run_for`]) block instead of polling.
     done_ws: WaitSet,
-    /// Fault-handling counters shared with stage threads and the watchdog.
+    /// Fault-handling counters shared with stage tasks and the watchdog.
     counters: Arc<FaultCounters>,
     /// Control handles to every stage output buffer, for aggregating
     /// dropped-publish counts into the end-state report.
     controls: Vec<Arc<dyn BufferControl>>,
     /// The progress-watchdog thread, if any stage configured one.
     watchdog: Option<JoinHandle<()>>,
-    /// The trace recorder shared with every stage thread (no-op when
+    /// The trace recorder shared with every stage task (no-op when
     /// tracing is disabled).
     recorder: Recorder,
+    /// The runtime the stage tasks are scheduled on.
+    runtime: RuntimeHandle,
 }
 
 impl Automaton {
@@ -59,6 +202,8 @@ impl Automaton {
         ctl: ControlToken,
         fail_fast: bool,
         recorder: Recorder,
+        runtime: RuntimeHandle,
+        credits: Option<Vec<u64>>,
     ) -> Result<Automaton> {
         let started = Instant::now();
         let finished = Arc::new(AtomicUsize::new(0));
@@ -79,98 +224,32 @@ impl Automaton {
                 controls.push(control);
             }
         }
-        let mut threads = Vec::with_capacity(runners.len());
-        for mut runner in runners {
+        let mut stages = Vec::with_capacity(total_stages);
+        for (i, runner) in runners.into_iter().enumerate() {
             let name = runner.name().to_string();
-            let supervision = runner.supervision();
-            let control = runner.output_control();
-            let thread_ctl = ctl.clone();
-            let thread_finished = Arc::clone(&finished);
-            let thread_done_ws = done_ws.clone();
-            let thread_counters = Arc::clone(&counters);
-            let thread_recorder = recorder.clone();
-            let thread_stage = recorder.stage(&name);
-            let handle = std::thread::Builder::new()
-                .name(format!("anytime-{name}"))
-                .spawn(move || {
-                    let mut restarts = 0u32;
-                    let result = loop {
-                        match catch_unwind(AssertUnwindSafe(|| runner.drive(&thread_ctl))) {
-                            Ok(Ok(end)) => {
-                                // The watchdog may have sealed the buffer
-                                // degraded while the driver kept going;
-                                // surface that in the stage outcome.
-                                let end = match &control {
-                                    Some(c) if end == StageEnd::Final && c.is_degraded() => {
-                                        StageEnd::Degraded
-                                    }
-                                    _ => end,
-                                };
-                                break Ok(end);
-                            }
-                            // Driver errors (closed upstream, …) are
-                            // permanent immediately: restarting cannot
-                            // resurrect a dead input.
-                            Ok(Err(e)) => break Err(e),
-                            Err(payload) => {
-                                let err = CoreError::StagePanicked {
-                                    stage: runner.name().to_string(),
-                                    message: panic_message(payload.as_ref()),
-                                    steps_at_death: runner.steps_completed(),
-                                };
-                                if let FailurePolicy::Restart {
-                                    max_attempts,
-                                    backoff,
-                                } = supervision.policy
-                                {
-                                    if restarts < max_attempts {
-                                        restarts += 1;
-                                        thread_counters.record_restart();
-                                        thread_recorder
-                                            .stage_event(EventKind::Restart, thread_stage);
-                                        if supervisor::backoff_interruptible(&thread_ctl, backoff) {
-                                            continue;
-                                        }
-                                        break Ok(StageEnd::Stopped);
-                                    }
-                                }
-                                break Err(err);
-                            }
-                        }
-                    };
-                    // Permanent-failure handling per policy. Sealing happens
-                    // before the runner is dropped (which closes the buffer)
-                    // so downstream readers observe the degraded terminal
-                    // version, never a bare close.
-                    let result = match result {
-                        Err(e) => {
-                            let sealed = supervision.policy == FailurePolicy::Degrade
-                                && control.as_ref().is_some_and(|c| c.seal_degraded());
-                            if sealed {
-                                thread_counters.record_degradation();
-                                Ok(StageEnd::Degraded)
-                            } else {
-                                thread_counters.record_permanent_failure();
-                                thread_recorder
-                                    .stage_event(EventKind::PermanentFailure, thread_stage);
-                                if fail_fast {
-                                    thread_ctl.stop();
-                                }
-                                Err(e)
-                            }
-                        }
-                        ok => ok,
-                    };
-                    // Dropping the runner here closes its output buffer, so
-                    // dependent stages observe SourceClosed instead of
-                    // blocking forever.
-                    drop(runner);
-                    thread_finished.fetch_add(1, Ordering::Release);
-                    thread_done_ws.wake();
-                    (result, restarts)
-                })
-                .map_err(|e| CoreError::InvalidConfig(format!("failed to spawn thread: {e}")))?;
-            threads.push((name, handle));
+            let slot: StageSlot = Arc::new(Mutex::new(None));
+            let task = StageTask {
+                supervision: runner.supervision(),
+                control: runner.output_control(),
+                stage: recorder.stage(&name),
+                name: name.clone(),
+                runner: Some(runner),
+                ctl: ctl.clone(),
+                fail_fast,
+                counters: Arc::clone(&counters),
+                recorder: recorder.clone(),
+                restarts: 0,
+                slot: Arc::clone(&slot),
+                finished: Arc::clone(&finished),
+                done_ws: done_ws.clone(),
+            };
+            let credit = credits
+                .as_ref()
+                .and_then(|c| c.get(i).copied())
+                .unwrap_or(1)
+                .max(1);
+            runtime.spawn_task(Box::new(task), credit);
+            stages.push((name, slot));
         }
         let watchdog = if watched.is_empty() {
             None
@@ -192,7 +271,7 @@ impl Automaton {
         };
         Ok(Automaton {
             ctl,
-            threads,
+            stages,
             started,
             finished,
             done_ws,
@@ -200,12 +279,19 @@ impl Automaton {
             controls,
             watchdog,
             recorder,
+            runtime,
         })
+    }
+
+    /// Handle to the runtime this automaton's stage tasks run on, e.g.
+    /// for reading [`crate::runtime::RuntimeStats`] scheduling counters.
+    pub fn runtime(&self) -> &RuntimeHandle {
+        &self.runtime
     }
 
     /// The trace recorder this automaton publishes events through. A no-op
     /// handle unless the pipeline was built with
-    /// [`crate::PipelineBuilder::traced`].
+    /// [`crate::PipelineBuilder::with_recorder`].
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
     }
@@ -237,10 +323,10 @@ impl Automaton {
         self.ctl.resume();
     }
 
-    /// `true` once every stage thread has exited (all stages final,
+    /// `true` once every stage task has finished (all stages final,
     /// stopped, or failed).
     pub fn is_done(&self) -> bool {
-        self.finished.load(Ordering::Acquire) == self.threads.len()
+        self.finished.load(Ordering::Acquire) == self.stages.len()
     }
 
     /// Time since launch.
@@ -263,39 +349,51 @@ impl Automaton {
     /// Returns the first stage error encountered (panic, closed upstream).
     /// A [`StageEnd::Stopped`] outcome is not an error.
     pub fn join(self) -> Result<RunReport> {
+        // Block (event-driven, via the epoch protocol) until every stage
+        // task has deposited its result and bumped `finished`.
+        loop {
+            let seen = self.done_ws.epoch();
+            if self.is_done() {
+                break;
+            }
+            self.done_ws.wait(seen);
+        }
         let started = self.started;
-        let mut stages = Vec::with_capacity(self.threads.len());
+        let mut stages = Vec::with_capacity(self.stages.len());
         let mut first_err = None;
-        for (name, handle) in self.threads {
-            match handle.join() {
-                Ok((Ok(end), restarts)) => stages.push(StageReport {
-                    name,
+        for (name, slot) in &self.stages {
+            match lock_unpoisoned(slot).take() {
+                Some((Ok(end), restarts)) => stages.push(StageReport {
+                    name: name.clone(),
                     end,
                     restarts,
                     waits: WaitStats::default(),
                 }),
-                Ok((Err(e), _)) => {
+                Some((Err(e), _)) => {
                     if first_err.is_none() {
                         first_err = Some(e);
                     }
                 }
-                Err(payload) => {
+                // Unreachable: `finished == total` implies every slot is
+                // filled. Kept as an error rather than a panic so a
+                // runtime bug degrades to a report instead of an abort.
+                None => {
                     if first_err.is_none() {
                         first_err = Some(CoreError::StagePanicked {
-                            stage: name,
-                            message: panic_message(payload.as_ref()),
+                            stage: name.clone(),
+                            message: None,
                             steps_at_death: 0,
                         });
                     }
                 }
             }
         }
-        // Every stage thread has exited, so the supervisor observes
+        // Every stage task has finished, so the supervisor observes
         // `finished == total` and returns promptly.
         if let Some(wd) = self.watchdog {
             let _ = wd.join();
         }
-        // Every stage thread has exited, so the per-buffer wait counters
+        // Every stage task has finished, so the per-buffer wait counters
         // are final; attach them to the matching stage reports.
         for stage in &mut stages {
             if let Some(c) = self.controls.iter().find(|c| c.buffer_name() == stage.name) {
@@ -386,7 +484,7 @@ impl Automaton {
 impl fmt::Debug for Automaton {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Automaton")
-            .field("stages", &self.threads.len())
+            .field("stages", &self.stages.len())
             .field("elapsed", &self.elapsed())
             .field("done", &self.is_done())
             .finish()
@@ -752,7 +850,13 @@ mod tests {
             StageOptions::default(),
         );
         let started = Instant::now();
-        let err = pb.build().fail_fast().launch().unwrap().join().unwrap_err();
+        let err = pb
+            .with_fail_fast()
+            .build()
+            .launch()
+            .unwrap()
+            .join()
+            .unwrap_err();
         assert!(matches!(err, CoreError::StagePanicked { .. }));
         // Without fail-fast the slow stage would run for ~100 s.
         assert!(started.elapsed() < Duration::from_secs(20));

@@ -99,6 +99,7 @@ mod precise;
 pub mod prelude;
 mod reduce;
 pub mod rta;
+pub mod runtime;
 pub mod scheduler;
 pub mod serve;
 mod stage;
@@ -128,6 +129,7 @@ pub use pipeline::{Pipeline, PipelineBuilder};
 pub use precise::Precise;
 pub use reduce::SampledReduce;
 pub use rta::RtaPolicy;
+pub use runtime::{Runtime, RuntimeHandle, RuntimeStats};
 pub use serve::{
     BatchPolicy, BreakerPolicy, HedgePolicy, RetryPolicy, ServeOptions, ServePool, ServeResponse,
     ServeStatus, ShedPolicy,

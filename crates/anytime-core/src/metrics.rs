@@ -198,27 +198,6 @@ impl MetricStats for WaitStats {
     }
 }
 
-impl WaitStats {
-    /// Mean time blocked per wait, or zero if nothing ever waited.
-    pub fn mean_wait(&self) -> Duration {
-        if self.waits == 0 {
-            Duration::ZERO
-        } else {
-            self.total_wait / self.waits as u32
-        }
-    }
-
-    /// Mean publication-to-observation latency, or zero if no snapshot
-    /// was observed from a blocking wait.
-    pub fn mean_publish_to_observe(&self) -> Duration {
-        if self.observations == 0 {
-            Duration::ZERO
-        } else {
-            self.total_publish_to_observe / self.observations as u32
-        }
-    }
-}
-
 /// Cumulative fault-handling counters for one automaton run.
 ///
 /// Updated by the executor's supervision loop and the watchdog thread as
@@ -626,12 +605,6 @@ impl DeadlineHistogramStats {
     /// Total responses recorded.
     pub fn count(&self) -> u64 {
         self.buckets.iter().sum()
-    }
-
-    /// Total responses recorded.
-    #[deprecated(since = "0.4.0", note = "renamed to `count` for MetricSet uniformity")]
-    pub fn total(&self) -> u64 {
-        self.count()
     }
 
     /// Writes this histogram in the Prometheus text format under `family`
@@ -1668,14 +1641,6 @@ mod tests {
         let ss2 = fold(&ss, &ss);
         assert_eq!((ss2.admitted, ss2.completed), (2, 2));
         assert!(ServeStats::default().is_clean() && !ss2.is_clean());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_total_still_works() {
-        let d = DeadlineHistogram::default();
-        d.record(Duration::from_millis(5), Duration::from_millis(10));
-        assert_eq!(d.snapshot().total(), d.snapshot().count());
     }
 
     #[test]

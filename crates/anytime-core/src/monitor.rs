@@ -50,6 +50,7 @@ impl AccuracyMonitor {
     {
         let handle = std::thread::Builder::new()
             .name("anytime-monitor".into())
+            // lint: allow(l6-no-raw-spawn) -- observer blocks in wait_newer between publications; a dedicated thread keeps it off the stage workers
             .spawn(move || {
                 let started = Instant::now();
                 let mut trace = AccuracyTrace::new();

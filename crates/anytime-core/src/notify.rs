@@ -31,6 +31,16 @@ pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Anything a [`Watchers`] registry can deliver a wakeup to.
+///
+/// Two implementors exist: [`WaitSet`] cores (blocking waiters parked on a
+/// condvar) and the task runtime's wakers (non-blocking: mark the task
+/// runnable and hand it to a worker). Event sources are oblivious to the
+/// difference — they just call `on_wake` after every state transition.
+pub(crate) trait WakeTarget: Send + Sync {
+    fn on_wake(&self);
+}
+
 struct WaitSetCore {
     epoch: Mutex<u64>,
     cond: Condvar,
@@ -41,6 +51,12 @@ impl WaitSetCore {
         let mut epoch = lock_unpoisoned(&self.epoch);
         *epoch = epoch.wrapping_add(1);
         self.cond.notify_all();
+    }
+}
+
+impl WakeTarget for WaitSetCore {
+    fn on_wake(&self) {
+        self.wake();
     }
 }
 
@@ -106,6 +122,12 @@ impl WaitSet {
     pub(crate) fn wake(&self) {
         self.core.wake();
     }
+
+    /// This wait set as a [`WakeTarget`], for the owned-subscription path
+    /// ([`Watchers::subscribe_target`]) shared with task wakers.
+    pub(crate) fn as_wake_target(&self) -> Arc<dyn WakeTarget> {
+        self.core.clone()
+    }
 }
 
 /// Registry of wait sets subscribed to one event source.
@@ -113,11 +135,19 @@ impl WaitSet {
 /// `wake_all` is called by the source after every state transition
 /// (publication, close, stop/pause/resume, channel push/pop). It counts
 /// delivered notifications, feeding the wakeup metrics.
-#[derive(Debug)]
 pub(crate) struct Watchers {
-    list: Mutex<Vec<(u64, Weak<WaitSetCore>)>>,
+    list: Mutex<Vec<(u64, Weak<dyn WakeTarget>)>>,
     next_id: AtomicU64,
     notifications: AtomicU64,
+}
+
+impl std::fmt::Debug for Watchers {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Watchers")
+            .field("subscribers", &lock_unpoisoned(&self.list).len())
+            .field("notifications", &self.notifications.load(Ordering::Relaxed)) // relaxed: diagnostics
+            .finish()
+    }
 }
 
 impl Default for Watchers {
@@ -138,8 +168,29 @@ impl Watchers {
     /// Subscribes `ws` to this source's wakeups until the guard drops.
     pub(crate) fn subscribe(&self, ws: &WaitSet) -> WatchGuard<'_> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed); // relaxed: id allocator; uniqueness only, no ordering
-        lock_unpoisoned(&self.list).push((id, Arc::downgrade(&ws.core)));
+        let weak = Arc::downgrade(&ws.core);
+        let weak: Weak<dyn WakeTarget> = weak;
+        lock_unpoisoned(&self.list).push((id, weak));
         WatchGuard { watchers: self, id }
+    }
+
+    /// Subscribes an owned [`WakeTarget`] (a task waker, or a wait-set
+    /// core obtained via [`WaitSet::as_wake_target`]) with no guard: the
+    /// entry lives until the `Arc` dies and the next wake sweeps the stale
+    /// `Weak` out. Idempotent per target, so pollable runners may call it
+    /// on every poll — resubscription after a restart swaps targets
+    /// correctly while repeat polls stay O(subscribers) under one lock.
+    pub(crate) fn subscribe_target(&self, target: &Arc<dyn WakeTarget>) {
+        let ptr = Arc::as_ptr(target) as *const ();
+        let mut list = lock_unpoisoned(&self.list);
+        if list
+            .iter()
+            .any(|(_, weak)| std::ptr::eq(weak.as_ptr() as *const (), ptr))
+        {
+            return;
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed); // relaxed: id allocator; uniqueness only, no ordering
+        list.push((id, Arc::downgrade(target)));
     }
 
     /// Wakes every subscribed waiter, pruning any that disappeared.
@@ -147,8 +198,8 @@ impl Watchers {
         let mut delivered = 0u64;
         let mut list = lock_unpoisoned(&self.list);
         list.retain(|(_, weak)| match weak.upgrade() {
-            Some(core) => {
-                core.wake();
+            Some(target) => {
+                target.on_wake();
                 delivered += 1;
                 true
             }

@@ -14,12 +14,12 @@
 //! element computations must be pure (Property 1), which the
 //! `Fn(&I, usize) -> V` bound encourages.
 
-use crate::buffer::{BufferReader, BufferWriter};
+use crate::buffer::{BufferReader, BufferWriter, DoubleBuffer};
 use crate::channel::{bounded, Receiver};
-use crate::control::ControlToken;
+use crate::control::{ControlPoll, ControlToken};
 use crate::error::{CoreError, Result};
 use crate::pipeline::PipelineBuilder;
-use crate::stage::{StageEnd, StageOptions, StageRunner};
+use crate::stage::{PollCx, StageEnd, StageOptions, StagePoll, StageRunner};
 use crate::supervisor::Supervision;
 use anytime_permute::{partition, DynPermutation, Permutation};
 use std::sync::Arc;
@@ -120,6 +120,8 @@ where
             publish_every: opts.publish_every,
             supervision: opts.supervision,
             merged: 0,
+            run: None,
+            dirty: false,
             #[cfg(feature = "fault-inject")]
             faults: None,
         }));
@@ -127,13 +129,32 @@ where
     }
 }
 
+/// In-flight state of one parallel-map run: the working output, the
+/// merge channel, and the live worker threads. Lives across poll slices.
+struct PmapRun<O, V> {
+    out: O,
+    rx: Receiver<Vec<(usize, V)>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    done: u64,
+    published_at: u64,
+    /// Publications recycle the two-versions-old allocation instead of
+    /// cloning the merged output fresh each time.
+    db: DoubleBuffer<O>,
+}
+
 struct ParallelRunner<I, O, V> {
     stage: ParallelSampledMap<I, O, V>,
     writer: BufferWriter<O>,
     publish_every: u64,
     supervision: Supervision,
-    /// Elements merged in the current drive, for `steps_completed`.
+    /// Elements merged in the current run, for `steps_completed`.
     merged: u64,
+    /// The in-flight run; `None` until the first poll slice (or after a
+    /// panic abandoned the previous run).
+    run: Option<PmapRun<O, V>>,
+    /// Set while a poll slice runs; still set on entry means the previous
+    /// slice panicked mid-merge and the run must be abandoned.
+    dirty: bool,
     #[cfg(feature = "fault-inject")]
     faults: Option<crate::faultinject::ArmedFaults>,
 }
@@ -160,6 +181,7 @@ where
             let ctl = ctl.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("anytime-{}-w{w}", self.stage.name))
+                // lint: allow(l6-no-raw-spawn) -- compute workers run pure element kernels at full tilt and block on channel backpressure; they are the paper's intra-stage parallelism, not stages
                 .spawn(move || {
                     let mut buf = Vec::with_capacity(batch);
                     for idx in share {
@@ -199,73 +221,129 @@ where
         &self.stage.name
     }
 
-    fn drive(&mut self, ctl: &ControlToken) -> Result<StageEnd> {
+    fn poll(&mut self, cx: &mut PollCx<'_>) -> StagePoll {
+        if self.writer.is_final() {
+            return StagePoll::Ready(Ok(StageEnd::Final));
+        }
+        if self.writer.is_terminal() {
+            return StagePoll::Ready(Ok(StageEnd::Degraded));
+        }
+        // Dirty on entry: the previous slice panicked mid-merge (in `write`
+        // or a fault hook). Abandon the run — dropping the receiver closes
+        // the channel and unblocks any backpressured workers; the fresh run
+        // recomputes from scratch because the channel cannot rewind.
+        if std::mem::replace(&mut self.dirty, true) {
+            self.run = None;
+        }
+        cx.ctl.subscribe_target(cx.wake);
         let total = self.stage.perm.len() as u64;
-        let input = Arc::clone(&self.stage.input);
-        let mut out = (self.stage.init)(&input);
-        let (rx, handles) = self.spawn_workers(ctl)?;
-        let mut done: u64 = 0;
-        self.merged = 0;
-        // A crash-restarted drive recounts merged elements from zero, so
-        // the Property 2 steps floor restarts with it.
-        self.writer.begin_run(0);
-        let mut published_at: u64 = 0;
+        if self.run.is_none() {
+            let input = Arc::clone(&self.stage.input);
+            let out = (self.stage.init)(&input);
+            let (rx, handles) = match self.spawn_workers(cx.ctl) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    self.dirty = false;
+                    return StagePoll::Ready(Err(e));
+                }
+            };
+            self.merged = 0;
+            // A crash-restarted run recounts merged elements from zero, so
+            // the Property 2 steps floor restarts with it.
+            self.writer.begin_run(0);
+            self.run = Some(PmapRun {
+                out,
+                rx,
+                handles,
+                done: 0,
+                published_at: 0,
+                db: DoubleBuffer::new(),
+            });
+        }
+        let run = self.run.as_mut().expect("run initialised above");
+        run.rx.subscribe_target(cx.wake);
         let publish_every = self.publish_every.max(1);
-        // Publications recycle the two-versions-old allocation instead of
-        // cloning the merged output fresh each time.
-        let mut db = crate::buffer::DoubleBuffer::new();
+        let mut pubs: u64 = 0;
         let end = loop {
-            match rx.recv(ctl) {
-                Ok(batch) => {
+            match cx.ctl.poll_checkpoint() {
+                ControlPoll::Running => {}
+                ControlPoll::Paused => {
+                    self.dirty = false;
+                    return StagePoll::Pending;
+                }
+                ControlPoll::Stopped => break StageEnd::Stopped,
+            }
+            match run.rx.poll_recv(cx.ctl) {
+                Ok(Some(batch)) => {
                     // Injected faults fire at batch-merge boundaries — the
                     // driver's step boundary, where the working output is a
                     // complete, valid partial sample.
                     #[cfg(feature = "fault-inject")]
                     if let Some(armed) = self.faults.as_mut() {
-                        armed.before_step(&self.stage.name, done);
+                        armed.before_step(&self.stage.name, run.done);
                     }
                     for (idx, value) in batch {
-                        (self.stage.write)(&mut out, idx, value);
-                        done += 1;
+                        (self.stage.write)(&mut run.out, idx, value);
+                        run.done += 1;
                     }
-                    self.merged = done;
-                    if done == total {
-                        db.publish_final_from(&mut self.writer, &out, done);
+                    self.merged = run.done;
+                    if run.done == total {
+                        run.db
+                            .publish_final_from(&mut self.writer, &run.out, run.done);
                         break StageEnd::Final;
                     }
-                    if done - published_at >= publish_every {
-                        db.publish_from(&mut self.writer, &out, done);
-                        published_at = done;
+                    if run.done - run.published_at >= publish_every {
+                        run.db.publish_from(&mut self.writer, &run.out, run.done);
+                        run.published_at = run.done;
+                        pubs += 1;
+                        if pubs >= cx.budget {
+                            self.dirty = false;
+                            return StagePoll::Yielded;
+                        }
                     }
+                }
+                Ok(None) => {
+                    self.dirty = false;
+                    return StagePoll::Pending;
                 }
                 Err(CoreError::Stopped) => break StageEnd::Stopped,
                 Err(CoreError::ChannelClosed) => {
                     // All workers exited and the queue is drained.
-                    if done == total {
-                        db.publish_final_from(&mut self.writer, &out, done);
+                    if run.done == total {
+                        run.db
+                            .publish_final_from(&mut self.writer, &run.out, run.done);
                         break StageEnd::Final;
                     }
                     // Workers died early without a stop: a worker panic.
                     break StageEnd::Stopped;
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    self.dirty = false;
+                    return StagePoll::Ready(Err(e));
+                }
             }
         };
+        let mut run = self.run.take().expect("run present at terminal");
         // Publish whatever progress was merged before an interruption.
-        if end == StageEnd::Stopped && done > published_at && !self.writer.is_final() {
-            db.publish_from(&mut self.writer, &out, done);
+        if end == StageEnd::Stopped && run.done > run.published_at && !self.writer.is_final() {
+            run.db.publish_from(&mut self.writer, &run.out, run.done);
         }
+        let handles = std::mem::take(&mut run.handles);
+        // Dropping the run closes the receiver, unblocking any workers
+        // stalled on channel backpressure before we join them.
+        drop(run);
         for h in handles {
             let _ = h.join();
         }
-        if end == StageEnd::Stopped && !ctl.is_stopped() && done != total {
-            return Err(CoreError::StagePanicked {
+        self.dirty = false;
+        if end == StageEnd::Stopped && !cx.ctl.is_stopped() && self.merged != total {
+            return StagePoll::Ready(Err(CoreError::StagePanicked {
                 stage: self.stage.name.clone(),
                 message: Some("worker thread exited early".into()),
-                steps_at_death: done,
-            });
+                steps_at_death: self.merged,
+            }));
         }
-        Ok(end)
+        StagePoll::Ready(Ok(end))
     }
 
     fn output_control(&self) -> Option<Arc<dyn crate::buffer::BufferControl>> {

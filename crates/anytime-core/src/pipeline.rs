@@ -1,9 +1,12 @@
 use crate::buffer::{self, BufferControl, BufferOptions, BufferReader, BufferWriter};
-use crate::control::ControlToken;
+use crate::control::{ControlPoll, ControlToken};
 use crate::error::{CoreError, Result};
 use crate::executor::Automaton;
-use crate::notify::WaitSet;
-use crate::stage::{AnytimeBody, InputFeed, StageEnd, StageNode, StageOptions, StageRunner};
+use crate::runtime::RuntimeHandle;
+use crate::scheduler::AllocPolicy;
+use crate::stage::{
+    AnytimeBody, InputFeed, PollCx, StageEnd, StageNode, StageOptions, StagePoll, StageRunner,
+};
 use crate::trace::Recorder;
 use crate::version::Version;
 use std::fmt;
@@ -52,30 +55,101 @@ use std::sync::Arc;
 pub struct PipelineBuilder {
     runners: Vec<Box<dyn StageRunner>>,
     recorder: Recorder,
+    runtime: Option<RuntimeHandle>,
+    fail_fast: bool,
+    schedule: Option<(AllocPolicy, Vec<f64>)>,
+    #[cfg(feature = "fault-inject")]
+    fault_plan: Option<crate::faultinject::FaultPlan>,
 }
 
 impl PipelineBuilder {
-    /// Creates an empty pipeline builder (tracing disabled).
+    /// Creates an empty pipeline builder (tracing disabled, stages
+    /// scheduled on the process-wide shared runtime).
     pub fn new() -> Self {
-        Self::traced(Recorder::disabled())
-    }
-
-    /// Creates an empty pipeline builder whose stages record trace events
-    /// on `recorder`: every stage buffer created by this builder emits
-    /// publish/observe events, and the launched [`Automaton`] emits
-    /// restart/stall/degrade events.
-    ///
-    /// The recorder must be supplied up front (not retrofitted) because
-    /// each stage's output buffer captures it at creation.
-    pub fn traced(recorder: Recorder) -> Self {
         Self {
             runners: Vec::new(),
-            recorder,
+            recorder: Recorder::disabled(),
+            runtime: None,
+            fail_fast: false,
+            schedule: None,
+            #[cfg(feature = "fault-inject")]
+            fault_plan: None,
         }
     }
 
-    /// The recorder stages of this builder report to (disabled unless the
-    /// builder was created with [`PipelineBuilder::traced`]).
+    /// Records trace events on `recorder`: every stage buffer created by
+    /// this builder emits publish/observe events, and the launched
+    /// [`Automaton`] emits restart/stall/degrade events.
+    ///
+    /// Must be called **before any stage is added** (each stage's output
+    /// buffer captures the recorder at creation — it cannot be
+    /// retrofitted), and panics otherwise.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        assert!(
+            self.runners.is_empty(),
+            "with_recorder must be called before any stage is added: \
+             stage buffers capture the recorder at creation"
+        );
+        self.recorder = recorder;
+        self
+    }
+
+    /// Schedules this pipeline's stage tasks on `runtime` instead of the
+    /// process-wide shared runtime ([`RuntimeHandle::global`]).
+    pub fn with_runtime(mut self, runtime: RuntimeHandle) -> Self {
+        self.runtime = Some(runtime);
+        self
+    }
+
+    /// Makes the first *permanently* failed stage stop the whole automaton
+    /// ([`ControlToken::stop`]) instead of letting healthy stages run on.
+    ///
+    /// Failures absorbed by supervision — successful restarts, degradations
+    /// with a published approximation — do not trigger the stop; only a
+    /// failure that would surface as an error from
+    /// [`Automaton::join`](crate::Automaton::join) does. Every stage's
+    /// latest published output remains readable, per the anytime contract.
+    pub fn with_fail_fast(mut self) -> Self {
+        self.fail_fast = true;
+        self
+    }
+
+    /// Maps a [`scheduler`](crate::scheduler) thread-allocation policy
+    /// onto per-stage task *credits*: the plan `allocate(policy, weights,
+    /// workers)` is computed against the runtime's worker count at launch,
+    /// and a stage allotted `k` threads gets `k` publish slices per
+    /// scheduling quantum instead of `k` OS threads. `weights` must have
+    /// one entry per stage, in the order stages were added (checked at
+    /// launch).
+    pub fn with_schedule(mut self, policy: AllocPolicy, weights: Vec<f64>) -> Self {
+        self.schedule = Some((policy, weights));
+        self
+    }
+
+    /// Arms the faults in `plan` on the matching stages at build time
+    /// (chaos testing).
+    ///
+    /// Stages not named in the plan are untouched; plan entries naming
+    /// unknown stages are ignored. See [`crate::FaultPlan`].
+    #[cfg(feature = "fault-inject")]
+    pub fn with_faults(mut self, plan: crate::faultinject::FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Creates an empty pipeline builder whose stages record trace events
+    /// on `recorder`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `PipelineBuilder::new().with_recorder(recorder)` — one entry \
+                point, chainable configuration (see DESIGN.md §15)"
+    )]
+    pub fn traced(recorder: Recorder) -> Self {
+        Self::new().with_recorder(recorder)
+    }
+
+    /// The recorder stages of this builder report to (disabled unless one
+    /// was supplied via [`PipelineBuilder::with_recorder`]).
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
     }
@@ -166,6 +240,9 @@ impl PipelineBuilder {
             a: a.clone(),
             b: b.clone(),
             writer,
+            last: None,
+            steps: 0,
+            began: false,
         }));
         reader
     }
@@ -192,10 +269,22 @@ impl PipelineBuilder {
 
     /// Finishes construction.
     pub fn build(self) -> Pipeline {
+        #[allow(unused_mut)]
+        let mut runners = self.runners;
+        #[cfg(feature = "fault-inject")]
+        if let Some(plan) = &self.fault_plan {
+            for runner in &mut runners {
+                if let Some(faults) = plan.get(runner.name()) {
+                    runner.inject_faults(faults.clone());
+                }
+            }
+        }
         Pipeline {
-            runners: self.runners,
-            fail_fast: false,
+            runners,
+            fail_fast: self.fail_fast,
             recorder: self.recorder,
+            runtime: self.runtime,
+            schedule: self.schedule,
         }
     }
 }
@@ -219,6 +308,8 @@ pub struct Pipeline {
     pub(crate) runners: Vec<Box<dyn StageRunner>>,
     pub(crate) fail_fast: bool,
     pub(crate) recorder: Recorder,
+    pub(crate) runtime: Option<RuntimeHandle>,
+    pub(crate) schedule: Option<(AllocPolicy, Vec<f64>)>,
 }
 
 impl Pipeline {
@@ -241,24 +332,24 @@ impl Pipeline {
         self.runners.iter().map(|r| r.name()).collect()
     }
 
-    /// Makes the first *permanently* failed stage stop the whole automaton
-    /// ([`ControlToken::stop`]) instead of letting healthy stages run on.
-    ///
-    /// Failures absorbed by supervision — successful restarts, degradations
-    /// with a published approximation — do not trigger the stop; only a
-    /// failure that would surface as an error from
-    /// [`Automaton::join`](crate::Automaton::join) does. Every stage's
-    /// latest published output remains readable, per the anytime contract.
+    /// Makes the first permanently failed stage stop the whole automaton.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `PipelineBuilder::with_fail_fast()` before `build()` \
+                (see DESIGN.md §15)"
+    )]
     pub fn fail_fast(mut self) -> Self {
         self.fail_fast = true;
         self
     }
 
     /// Arms the faults in `plan` on the matching stages (chaos testing).
-    ///
-    /// Stages not named in the plan are untouched; plan entries naming
-    /// unknown stages are ignored. See [`crate::FaultPlan`].
     #[cfg(feature = "fault-inject")]
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `PipelineBuilder::with_faults(plan)` before `build()` \
+                (see DESIGN.md §15)"
+    )]
     pub fn inject_faults(mut self, plan: &crate::faultinject::FaultPlan) -> Self {
         for runner in &mut self.runners {
             if let Some(faults) = plan.get(runner.name()) {
@@ -268,7 +359,23 @@ impl Pipeline {
         self
     }
 
-    /// Spawns one driver thread per stage and starts executing.
+    /// Returns this pipeline retargeted onto `runtime`, replacing the
+    /// builder's choice (used by [`crate::serve::ServePool`] to co-locate
+    /// all replicas on one pool-owned runtime).
+    pub fn on_runtime(mut self, runtime: RuntimeHandle) -> Self {
+        self.runtime = Some(runtime);
+        self
+    }
+
+    /// `true` if a specific runtime was configured (builder or
+    /// [`Pipeline::on_runtime`]).
+    pub(crate) fn runtime_is_set(&self) -> bool {
+        self.runtime.is_some()
+    }
+
+    /// Schedules the stage tasks and starts executing. Stages share the
+    /// configured runtime's fixed worker pool (the process-wide one by
+    /// default) instead of each owning an OS thread.
     ///
     /// # Errors
     ///
@@ -282,14 +389,38 @@ impl Pipeline {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidConfig`] for an empty pipeline.
+    /// Returns [`CoreError::InvalidConfig`] for an empty pipeline, or for
+    /// a [`PipelineBuilder::with_schedule`] weight vector whose length
+    /// does not match the stage count.
     pub fn launch_with(self, ctl: ControlToken) -> Result<Automaton> {
         if self.runners.is_empty() {
             return Err(CoreError::InvalidConfig(
                 "pipeline has no stages".to_string(),
             ));
         }
-        Automaton::spawn(self.runners, ctl, self.fail_fast, self.recorder)
+        let runtime = self.runtime.unwrap_or_else(RuntimeHandle::global);
+        let credits = match &self.schedule {
+            Some((policy, weights)) => {
+                if weights.len() != self.runners.len() {
+                    return Err(CoreError::InvalidConfig(format!(
+                        "schedule weights ({}) do not match stage count ({})",
+                        weights.len(),
+                        self.runners.len()
+                    )));
+                }
+                let alloc = crate::scheduler::allocate(*policy, weights, runtime.workers());
+                Some(crate::scheduler::credits_from_alloc(&alloc))
+            }
+            None => None,
+        };
+        Automaton::spawn(
+            self.runners,
+            ctl,
+            self.fail_fast,
+            self.recorder,
+            runtime,
+            credits,
+        )
     }
 
     /// The recorder this pipeline's stages report trace events to.
@@ -312,6 +443,11 @@ struct JoinRunner<A, B> {
     a: BufferReader<A>,
     b: BufferReader<B>,
     writer: BufferWriter<(Arc<A>, Arc<B>)>,
+    /// Parent version pair of the latest published combination.
+    last: Option<(Version, Version)>,
+    /// Pairs published so far (the join's progress figure).
+    steps: u64,
+    began: bool,
 }
 
 impl<A, B> StageRunner for JoinRunner<A, B>
@@ -323,67 +459,71 @@ where
         &self.name
     }
 
-    fn drive(&mut self, ctl: &ControlToken) -> Result<StageEnd> {
+    fn poll(&mut self, cx: &mut PollCx<'_>) -> StagePoll {
         // Restart safety: nothing to do once the output settled.
         if self.writer.is_final() {
-            return Ok(StageEnd::Final);
+            return StagePoll::Ready(Ok(StageEnd::Final));
         }
         if self.writer.is_terminal() {
-            return Ok(StageEnd::Degraded);
+            return StagePoll::Ready(Ok(StageEnd::Degraded));
         }
-        // One wait set multiplexed over both parent buffers and the
-        // control token: any parent publication/close or any control
-        // transition wakes the join immediately — no polling.
-        let ws = WaitSet::new();
-        let _watch_a = self.a.subscribe(&ws);
-        let _watch_b = self.b.subscribe(&ws);
-        let _watch_ctl = ctl.subscribe(&ws);
-        let mut last: Option<(Version, Version)> = None;
-        let mut steps = 0u64;
-        // A crash-restarted join recounts pairs from zero, so the
-        // Property 2 steps floor restarts with it.
-        self.writer.begin_run(0);
+        // Subscribe to both parent buffers and the control token before
+        // checking any predicate: any parent publication/close or control
+        // transition re-polls the join immediately — no polling loops.
+        self.a.subscribe_target(cx.wake);
+        self.b.subscribe_target(cx.wake);
+        cx.ctl.subscribe_target(cx.wake);
+        if !self.began {
+            self.writer.begin_run(0);
+            self.began = true;
+        }
+        let budget = cx.budget.max(1);
+        let mut pubs: u64 = 0;
         loop {
-            let seen = ws.epoch();
-            match ctl.checkpoint() {
-                Ok(()) => {}
-                Err(CoreError::Stopped) => return Ok(StageEnd::Stopped),
-                Err(e) => return Err(e),
+            match cx.ctl.poll_checkpoint() {
+                ControlPoll::Stopped => return StagePoll::Ready(Ok(StageEnd::Stopped)),
+                ControlPoll::Paused => return StagePoll::Pending,
+                ControlPoll::Running => {}
             }
             let (sa, sb) = (self.a.latest(), self.b.latest());
             if let (Some(sa), Some(sb)) = (&sa, &sb) {
                 let pair = (sa.version(), sb.version());
-                if last != Some(pair) {
-                    steps += 1;
+                if self.last != Some(pair) {
+                    self.steps += 1;
                     let value = (sa.value_arc(), sb.value_arc());
                     if sa.is_terminal() && sb.is_terminal() {
                         // A degraded parent taints the joined pair: the
                         // approximation flag propagates downstream.
-                        if sa.is_degraded() || sb.is_degraded() {
-                            self.writer.publish_degraded(value, steps);
-                            return Ok(StageEnd::Degraded);
-                        }
-                        self.writer.publish_final(value, steps);
-                        return Ok(StageEnd::Final);
+                        return StagePoll::Ready(Ok(if sa.is_degraded() || sb.is_degraded() {
+                            self.writer.publish_degraded(value, self.steps);
+                            StageEnd::Degraded
+                        } else {
+                            self.writer.publish_final(value, self.steps);
+                            StageEnd::Final
+                        }));
                     }
-                    self.writer.publish(value, steps);
-                    last = Some(pair);
+                    self.writer.publish(value, self.steps);
+                    self.last = Some(pair);
+                    pubs += 1;
+                    if pubs >= budget {
+                        return StagePoll::Yielded;
+                    }
                     continue;
                 }
             }
             // A parent that exited without a terminal version will never
             // satisfy the join; report it instead of waiting forever.
             if self.a.is_closed() && !self.a.is_terminal() {
-                return Err(CoreError::SourceClosed {
+                return StagePoll::Ready(Err(CoreError::SourceClosed {
                     buffer: self.a.name().to_string(),
-                });
+                }));
             }
             if self.b.is_closed() && !self.b.is_terminal() {
-                return Err(CoreError::SourceClosed {
+                return StagePoll::Ready(Err(CoreError::SourceClosed {
                     buffer: self.b.name().to_string(),
-                });
+                }));
             }
-            ws.wait(seen);
+            return StagePoll::Pending;
         }
     }
 

@@ -23,6 +23,7 @@ pub use crate::pipeline::{Pipeline, PipelineBuilder};
 pub use crate::precise::Precise;
 pub use crate::reduce::SampledReduce;
 pub use crate::rta::RtaPolicy;
+pub use crate::runtime::{Runtime, RuntimeHandle, RuntimeStats};
 pub use crate::serve::{ServeOptions, ServePool, ServeResponse, ServeStatus};
 pub use crate::stage::{AnytimeBody, StageEnd, StageOptions, StepOutcome};
 pub use crate::supervisor::{FailurePolicy, StallAction, Supervision};

@@ -88,6 +88,21 @@ pub fn allocate(policy: AllocPolicy, weights: &[f64], threads: usize) -> Vec<usi
     }
 }
 
+/// Maps an [`allocate`] thread plan onto per-stage task *credits* for the
+/// work-stealing runtime ([`crate::runtime`]).
+///
+/// Under thread-per-stage execution a stage allotted `k` threads got `k`
+/// cores' worth of simultaneous progress. On the shared runtime a stage is
+/// one task; its share of the pool is expressed as the number of publish
+/// slices it may run per scheduling quantum before yielding. The mapping
+/// is the identity on counts (floored at one credit so every stage always
+/// makes progress), which preserves the *ordering* of the policy's
+/// allocations: a stage the policy favors over another never receives
+/// fewer credits.
+pub fn credits_from_alloc(alloc: &[usize]) -> Vec<u64> {
+    alloc.iter().map(|&t| t.max(1) as u64).collect()
+}
+
 /// Largest-remainder apportionment with a one-thread floor per stage.
 fn largest_remainder(weights: &[f64], threads: usize) -> Vec<usize> {
     let n = weights.len();

@@ -79,6 +79,7 @@ use crate::metrics::{
 };
 use crate::pipeline::Pipeline;
 use crate::rta::{self, AdmissionGate, Analysis, Backlog, RtaPolicy};
+use crate::runtime::RuntimeHandle;
 use crate::supervisor::{backoff_interruptible, retry_backoff};
 use crate::trace::{EventKind, Recorder, StageId, TraceLog};
 use crate::version::{Snapshot, Version};
@@ -242,6 +243,13 @@ pub struct ServeOptions {
     /// [`ServeOptions::brownout`] for closed-loop quality degradation
     /// under overload, or set `None` to run ungoverned.
     pub governor: Option<GovernorPolicy>,
+    /// Task runtime the pool's pipelines run on. All replicas share it:
+    /// with `None` (the default), launches land on the process-wide
+    /// [`RuntimeHandle::global`] pool sized to the hardware, so total
+    /// worker threads stay O(cores) no matter how many replicas are
+    /// configured. A factory that sets its own runtime via
+    /// [`crate::PipelineBuilder::with_runtime`] wins over this option.
+    pub runtime: Option<RuntimeHandle>,
     /// Seed for the deterministic retry jitter.
     pub seed: u64,
     /// Trace recorder for serving-plane events (admissions, hedges,
@@ -273,6 +281,7 @@ impl Default for ServeOptions {
             levels: None,
             rta: None,
             governor: Some(GovernorPolicy::default()),
+            runtime: None,
             seed: 0,
             recorder: Recorder::disabled(),
             #[cfg(feature = "fault-inject")]
@@ -354,6 +363,13 @@ impl ServeOptions {
     #[cfg(feature = "fault-inject")]
     pub fn worker_kill(mut self, plan: WorkerKillPlan) -> Self {
         self.worker_kill = Some(plan);
+        self
+    }
+
+    /// Pins the pool's pipelines to a specific task runtime (the global
+    /// pool is used otherwise).
+    pub fn runtime(mut self, runtime: RuntimeHandle) -> Self {
+        self.runtime = Some(runtime);
         self
     }
 
@@ -946,6 +962,7 @@ where
             let governed = Arc::clone(&shared);
             let handle = std::thread::Builder::new()
                 .name("anytime-governor".into())
+                // lint: allow(l6-no-raw-spawn) -- the governor must keep respawning dead workers even when the runtime is saturated, so it cannot be a runtime task itself
                 .spawn(move || governor_loop(&governed, policy))
                 .map_err(|e| CoreError::InvalidConfig(format!("failed to spawn governor: {e}")))?;
             *lock(&shared.governor) = Some(handle);
@@ -1582,6 +1599,7 @@ where
     let st = Arc::clone(&state);
     let handle = std::thread::Builder::new()
         .name(format!("anytime-serve-{}", state.index))
+        // lint: allow(l6-no-raw-spawn) -- replica workers block on queue waits and deadlines; their pipelines' stages run on the shared runtime, keeping total threads O(replicas + cores)
         .spawn(move || worker_loop(&pool, &st))
         .map_err(|e| CoreError::InvalidConfig(format!("failed to spawn worker: {e}")))?;
     Ok(WorkerHandle { state, handle })
@@ -2186,7 +2204,7 @@ fn serve_batch<I, T>(
     };
     let launched = built.and_then(|(pipeline, readers)| {
         let ctl = ControlToken::new();
-        pipeline
+        pool_runtime(shared, pipeline)
             .launch_with(ctl.clone())
             .map(|auto| (auto, ctl, readers))
     });
@@ -2358,6 +2376,20 @@ fn fallback_single<I, T>(
     serve_job(shared, state, item, best);
 }
 
+/// Applies the pool's runtime choice to a factory-built pipeline: a
+/// factory that pinned its own runtime wins; otherwise the pool's
+/// configured runtime is installed (with neither, `launch` falls back to
+/// the process-wide global pool on its own).
+fn pool_runtime<I, T>(shared: &Shared<I, T>, pipeline: Pipeline) -> Pipeline {
+    if pipeline.runtime_is_set() {
+        return pipeline;
+    }
+    match &shared.opts.runtime {
+        Some(rt) => pipeline.on_runtime(rt.clone()),
+        None => pipeline,
+    }
+}
+
 /// One pipeline launch for a request: build, run, track the best snapshot,
 /// hedge at the trigger, respond at the deadline or terminal output.
 fn run_attempt<I, T>(
@@ -2392,7 +2424,7 @@ where
     if !job.slot.register(ctl.clone()) {
         return Attempt::Lost;
     }
-    let auto = match pipeline.launch_with(ctl.clone()) {
+    let auto = match pool_runtime(shared, pipeline).launch_with(ctl.clone()) {
         Ok(auto) => auto,
         Err(_) => return Attempt::Died(best.take(), None),
     };
@@ -2436,10 +2468,21 @@ where
             break Attempt::Lost;
         }
         let now = Instant::now();
-        if now >= run_deadline {
+        // A budget-capped (clamped or shed) run keeps its real deadline:
+        // the brownout contract is degraded quality, never a dropped
+        // answer. Until the first snapshot lands, wait against the full
+        // deadline — the reduced budget only bounds the run once there is
+        // an answer to give. Matters when stage tasks queue behind a
+        // saturated worker pool and the first publication outwaits the cap.
+        let attempt_end = if best.is_some() {
+            run_deadline
+        } else {
+            job.deadline
+        };
+        if now >= attempt_end {
             break Attempt::Respond(best.take());
         }
-        let wait_until = hedge_at.map_or(run_deadline, |h| h.min(run_deadline));
+        let wait_until = hedge_at.map_or(attempt_end, |h| h.min(attempt_end));
         match reader.wait_newer_timeout_with(last, wait_until.saturating_duration_since(now), &ctl)
         {
             Ok(snap) => {

@@ -1,6 +1,7 @@
 use crate::buffer::{BufferControl, BufferWriter};
-use crate::control::ControlToken;
+use crate::control::{ControlPoll, ControlToken};
 use crate::error::{CoreError, Result};
+use crate::notify::{WaitSet, WakeTarget};
 use crate::supervisor::{FailurePolicy, StallAction, Supervision};
 use crate::version::Version;
 use std::fmt;
@@ -224,16 +225,69 @@ pub(crate) enum InputFeed<I> {
     Upstream(crate::buffer::BufferReader<I>),
 }
 
-/// Type-erased driver for one stage, executed on its own thread.
+/// What a stage driver reports after one poll slice.
+pub(crate) enum StagePoll {
+    /// The stage is done; this is the value `drive` would have returned.
+    Ready(Result<StageEnd>),
+    /// The slice hit its publish budget with more work immediately
+    /// available: reschedule without waiting for an event.
+    Yielded,
+    /// Blocked (no new input, backpressured, or paused). The driver has
+    /// subscribed the poll context's wake target to every source that can
+    /// unblock it; re-poll when it fires.
+    Pending,
+}
+
+/// Context handed to every [`StageRunner::poll`] slice.
+pub(crate) struct PollCx<'a> {
+    /// The automaton's control token.
+    pub(crate) ctl: &'a ControlToken,
+    /// Wake target to subscribe to every event source the driver may wait
+    /// on (the task's waker on the runtime; a wait set under blocking
+    /// [`StageRunner::drive`]). Subscription is idempotent — resubscribe
+    /// at the top of every poll, *before* checking any predicate.
+    pub(crate) wake: &'a Arc<dyn WakeTarget>,
+    /// Publications allowed in this slice before yielding (scheduler
+    /// credits; `u64::MAX` under blocking drive).
+    pub(crate) budget: u64,
+}
+
+/// Type-erased driver for one stage, scheduled as a task on the shared
+/// runtime (or driven to completion on a dedicated thread via
+/// [`StageRunner::drive`]).
 ///
-/// A driver may be re-run ([`StageRunner::drive`] called again on the same
-/// runner) after a panic when its stage is supervised with
-/// [`FailurePolicy::Restart`]; implementations must keep enough state to
-/// make that safe (at minimum: become a no-op once their output is
-/// terminal).
+/// A driver may be re-polled after a panic when its stage is supervised
+/// with [`FailurePolicy::Restart`]; implementations must keep enough
+/// state to make that safe (at minimum: become a no-op once their output
+/// is terminal, and discard any working state a panic may have left
+/// inconsistent — the dirty-flag pattern in [`StageNode`]).
 pub(crate) trait StageRunner: Send {
     fn name(&self) -> &str;
-    fn drive(&mut self, ctl: &ControlToken) -> Result<StageEnd>;
+
+    /// Runs one bounded, non-blocking slice of the stage.
+    fn poll(&mut self, cx: &mut PollCx<'_>) -> StagePoll;
+
+    /// Drives the stage to completion, blocking on a private wait set
+    /// between polls. Kept for direct (thread-per-stage) execution in
+    /// unit tests; the executor schedules [`StageRunner::poll`] instead.
+    #[allow(dead_code)] // exercised only by cfg(test) drivers
+    fn drive(&mut self, ctl: &ControlToken) -> Result<StageEnd> {
+        let ws = WaitSet::new();
+        let wake = ws.as_wake_target();
+        loop {
+            let seen = ws.epoch();
+            let mut cx = PollCx {
+                ctl,
+                wake: &wake,
+                budget: u64::MAX,
+            };
+            match self.poll(&mut cx) {
+                StagePoll::Ready(result) => return result,
+                StagePoll::Yielded => continue,
+                StagePoll::Pending => ws.wait(seen),
+            }
+        }
+    }
 
     /// This stage's failure policy and watchdog configuration.
     fn supervision(&self) -> Supervision {
@@ -258,6 +312,25 @@ pub(crate) trait StageRunner: Send {
     fn inject_faults(&mut self, _faults: crate::faultinject::StageFaults) {}
 }
 
+/// In-flight run state of a [`StageNode`]: one consumed input snapshot
+/// and the working output being stepped toward precision. Lives across
+/// poll slices so the stage can yield at publish points and resume.
+struct ActiveRun<B: AnytimeBody> {
+    input: Arc<B::Input>,
+    terminal: bool,
+    degraded: bool,
+    version: Option<Version>,
+    out: B::Output,
+    /// Raw steps completed on this input (includes crash-resume credit).
+    steps: u64,
+    /// Step count at the latest publication (or the run's start).
+    published_at: u64,
+}
+
+/// Hard fairness cap: a run with a huge `publish_every` still hands its
+/// worker back after this many steps per poll slice.
+pub(crate) const MAX_STEPS_PER_SLICE: u64 = 4096;
+
 /// The generic single-input stage driver.
 pub(crate) struct StageNode<B: AnytimeBody> {
     pub(crate) name: String,
@@ -273,6 +346,12 @@ pub(crate) struct StageNode<B: AnytimeBody> {
     /// `(input version, raw steps)` of the latest publication in the
     /// current — possibly crashed — run; the crash-resume anchor.
     last_pub: Option<(Option<Version>, u64)>,
+    /// The paused/yielded run being stepped, if any.
+    run: Option<ActiveRun<B>>,
+    /// Set while a poll slice mutates run state; still `true` at the next
+    /// poll only if a panic unwound mid-mutation, in which case the run is
+    /// discarded and the restart re-inits (or crash-resumes) cleanly.
+    dirty: bool,
     #[cfg(feature = "fault-inject")]
     faults: Option<crate::faultinject::ArmedFaults>,
 }
@@ -294,83 +373,86 @@ impl<B: AnytimeBody> StageNode<B> {
             consumed: None,
             steps_done: 0,
             last_pub: None,
+            run: None,
+            dirty: false,
             #[cfg(feature = "fault-inject")]
             faults: None,
         }
     }
 
-    /// Runs the body to completion on one input snapshot, optionally
-    /// resuming a crashed run from `(working output, steps already done)`.
-    ///
-    /// Returns `Ok(true)` if the run finished (`Done`), `Ok(false)` if it
-    /// was abandoned for a newer input (eager restart).
-    fn run_once(
-        &mut self,
-        ctl: &ControlToken,
-        input: &Arc<B::Input>,
-        input_terminal: bool,
-        input_degraded: bool,
-        input_version: Option<Version>,
-        start: Option<(B::Output, u64)>,
-    ) -> Result<bool> {
-        let (mut out, mut steps) = match start {
+    /// Stopped mid-run: publish the progress made so far so the
+    /// interruptible output is as fresh as possible.
+    fn publish_stop_progress(&mut self) {
+        if let Some(run) = self.run.take() {
+            if run.steps > run.published_at && !self.writer.is_terminal() {
+                let rendered = self.body.render(&run.out, &run.input, run.steps);
+                self.writer
+                    .publish(rendered, self.body.progress(run.steps, &run.input));
+            }
+        }
+    }
+
+    /// Acquires the next input snapshot and begins a run on it, or
+    /// reports why it can't (`Err` maps straight to a `StagePoll`).
+    fn begin_next_run(&mut self) -> std::result::Result<(), StagePoll> {
+        let (input, terminal, degraded, version) = match &self.input {
+            InputFeed::Owned(arc) => (Arc::clone(arc), true, false, None),
+            InputFeed::Upstream(reader) => {
+                // Same predicate order as `BufferReader::wait_newer`:
+                // accept a newer snapshot first (even on a closed buffer),
+                // only then report closure.
+                match reader.latest() {
+                    Some(snap) if self.consumed.is_none_or(|c| snap.version() > c) => {
+                        let ver = snap.version();
+                        (
+                            snap.value_arc(),
+                            snap.is_terminal(),
+                            snap.is_degraded(),
+                            Some(ver),
+                        )
+                    }
+                    _ => {
+                        if reader.is_closed() {
+                            return Err(StagePoll::Ready(Err(CoreError::SourceClosed {
+                                buffer: reader.name().to_string(),
+                            })));
+                        }
+                        return Err(StagePoll::Pending);
+                    }
+                }
+            }
+        };
+        // Crash-resume: if the previous (panicked) run on this same
+        // input published, offer that value back to the body so the
+        // restart continues instead of recomputing completed steps.
+        let start = match self.last_pub {
+            Some((pub_version, steps)) if pub_version == version => {
+                self.writer.latest().and_then(|snap| {
+                    self.body
+                        .resume(&input, snap.value(), steps)
+                        .map(|out| (out, steps))
+                })
+            }
+            _ => None,
+        };
+        let (out, steps) = match start {
             Some((out, steps)) => (out, steps),
-            None => (self.body.init(input), 0),
+            None => (self.body.init(&input), 0),
         };
         self.steps_done = steps;
         // New run: the monotone-accuracy floor (Property 2) restarts at
         // this run's starting step count; the version chain persists.
         self.writer.begin_run(steps);
-        let publish_every = self.opts.publish_every.max(1);
-        let mut published_at_step = steps;
-        loop {
-            if let Err(e) = ctl.checkpoint() {
-                // Stopped mid-run: publish the progress made so far so the
-                // interruptible output is as fresh as possible.
-                if steps > published_at_step && !self.writer.is_terminal() {
-                    let rendered = self.body.render(&out, input, steps);
-                    self.writer
-                        .publish(rendered, self.body.progress(steps, input));
-                }
-                return Err(e);
-            }
-            #[cfg(feature = "fault-inject")]
-            if let Some(armed) = &mut self.faults {
-                armed.before_step(&self.name, steps);
-            }
-            let outcome = self.body.step(input, &mut out, steps);
-            steps += 1;
-            self.steps_done = steps;
-            let done = outcome == StepOutcome::Done;
-            if done {
-                let rendered = self.body.render(&out, input, steps);
-                let progress = self.body.progress(steps, input);
-                if input_terminal {
-                    if input_degraded {
-                        self.writer.publish_degraded(rendered, progress);
-                    } else {
-                        self.writer.publish_final(rendered, progress);
-                    }
-                } else {
-                    self.writer.publish(rendered, progress);
-                }
-                return Ok(true);
-            }
-            if steps.is_multiple_of(publish_every) {
-                let rendered = self.body.render(&out, input, steps);
-                self.writer
-                    .publish(rendered, self.body.progress(steps, input));
-                published_at_step = steps;
-                self.last_pub = Some((input_version, steps));
-            }
-            if self.opts.restart == RestartPolicy::Eager {
-                if let (InputFeed::Upstream(reader), Some(ver)) = (&self.input, input_version) {
-                    if reader.latest().is_some_and(|snap| snap.version() > ver) {
-                        return Ok(false);
-                    }
-                }
-            }
-        }
+        self.run = Some(ActiveRun {
+            input,
+            terminal,
+            degraded,
+            version,
+            out,
+            steps,
+            published_at: steps,
+        });
+        Ok(())
     }
 }
 
@@ -379,75 +461,106 @@ impl<B: AnytimeBody> StageRunner for StageNode<B> {
         &self.name
     }
 
-    fn drive(&mut self, ctl: &ControlToken) -> Result<StageEnd> {
+    fn poll(&mut self, cx: &mut PollCx<'_>) -> StagePoll {
         // A restarted driver whose output already settled (the final was
         // published just before the crash, or a watchdog sealed the buffer
         // degraded) has nothing left to do.
         if self.writer.is_final() {
-            return Ok(StageEnd::Final);
+            return StagePoll::Ready(Ok(StageEnd::Final));
         }
         if self.writer.is_terminal() {
-            return Ok(StageEnd::Degraded);
+            return StagePoll::Ready(Ok(StageEnd::Degraded));
         }
-        loop {
-            let (input, input_terminal, input_degraded, input_version) = match &self.input {
-                InputFeed::Owned(arc) => (Arc::clone(arc), true, false, None),
-                InputFeed::Upstream(reader) => {
-                    let snap = match reader.wait_newer(self.consumed, ctl) {
-                        Ok(snap) => snap,
-                        Err(CoreError::Stopped) => return Ok(StageEnd::Stopped),
-                        Err(e) => return Err(e),
-                    };
-                    let ver = snap.version();
-                    (
-                        snap.value_arc(),
-                        snap.is_terminal(),
-                        snap.is_degraded(),
-                        Some(ver),
-                    )
+        if std::mem::replace(&mut self.dirty, true) {
+            // The previous slice panicked mid-mutation: the working output
+            // is untrustworthy. Drop it; `last_pub` still anchors resume.
+            self.run = None;
+        }
+        // Subscribe before any predicate check (idempotent), so a wake
+        // from either source between check and Pending is never lost.
+        cx.ctl.subscribe_target(cx.wake);
+        if let InputFeed::Upstream(reader) = &self.input {
+            reader.subscribe_target(cx.wake);
+        }
+        let budget = cx.budget.max(1);
+        let publish_every = self.opts.publish_every.max(1);
+        let mut pubs: u64 = 0;
+        let mut slice_steps: u64 = 0;
+        let verdict = loop {
+            match cx.ctl.poll_checkpoint() {
+                ControlPoll::Stopped => {
+                    self.publish_stop_progress();
+                    break StagePoll::Ready(Ok(StageEnd::Stopped));
                 }
-            };
-            // Crash-resume: if the previous (panicked) run on this same
-            // input published, offer that value back to the body so the
-            // restart continues instead of recomputing completed steps.
-            let start = match self.last_pub {
-                Some((pub_version, steps)) if pub_version == input_version => {
-                    self.writer.latest().and_then(|snap| {
-                        self.body
-                            .resume(&input, snap.value(), steps)
-                            .map(|out| (out, steps))
-                    })
-                }
-                _ => None,
-            };
-            match self.run_once(
-                ctl,
-                &input,
-                input_terminal,
-                input_degraded,
-                input_version,
-                start,
-            ) {
-                Ok(true) => {
-                    if input_terminal {
-                        return Ok(if input_degraded {
-                            StageEnd::Degraded
-                        } else {
-                            StageEnd::Final
-                        });
-                    }
-                    self.consumed = input_version;
-                    self.last_pub = None;
-                }
-                Ok(false) => {
-                    // Eager restart on newer input.
-                    self.consumed = input_version;
-                    self.last_pub = None;
-                }
-                Err(CoreError::Stopped) => return Ok(StageEnd::Stopped),
-                Err(e) => return Err(e),
+                ControlPoll::Paused => break StagePoll::Pending,
+                ControlPoll::Running => {}
             }
-        }
+            if self.run.is_none() {
+                if let Err(poll) = self.begin_next_run() {
+                    break poll;
+                }
+            }
+            #[cfg(feature = "fault-inject")]
+            {
+                let at_step = self.run.as_ref().map_or(0, |r| r.steps);
+                if let Some(armed) = &mut self.faults {
+                    armed.before_step(&self.name, at_step);
+                }
+            }
+            let run = self.run.as_mut().expect("active run");
+            let outcome = self.body.step(&run.input, &mut run.out, run.steps);
+            run.steps += 1;
+            slice_steps += 1;
+            self.steps_done = run.steps;
+            if outcome == StepOutcome::Done {
+                let run = self.run.take().expect("active run");
+                let rendered = self.body.render(&run.out, &run.input, run.steps);
+                let progress = self.body.progress(run.steps, &run.input);
+                if run.terminal {
+                    break StagePoll::Ready(Ok(if run.degraded {
+                        self.writer.publish_degraded(rendered, progress);
+                        StageEnd::Degraded
+                    } else {
+                        self.writer.publish_final(rendered, progress);
+                        StageEnd::Final
+                    }));
+                }
+                self.writer.publish(rendered, progress);
+                self.consumed = run.version;
+                self.last_pub = None;
+                pubs += 1;
+                if pubs >= budget {
+                    break StagePoll::Yielded;
+                }
+                continue;
+            }
+            if run.steps.is_multiple_of(publish_every) {
+                let rendered = self.body.render(&run.out, &run.input, run.steps);
+                let progress = self.body.progress(run.steps, &run.input);
+                self.writer.publish(rendered, progress);
+                run.published_at = run.steps;
+                self.last_pub = Some((run.version, run.steps));
+                pubs += 1;
+                if pubs >= budget {
+                    break StagePoll::Yielded;
+                }
+            } else if slice_steps >= MAX_STEPS_PER_SLICE {
+                break StagePoll::Yielded;
+            }
+            if self.opts.restart == RestartPolicy::Eager {
+                let version = run.version;
+                if let (InputFeed::Upstream(reader), Some(ver)) = (&self.input, version) {
+                    if reader.latest().is_some_and(|snap| snap.version() > ver) {
+                        // Eager restart on newer input.
+                        self.consumed = version;
+                        self.last_pub = None;
+                        self.run = None;
+                    }
+                }
+            }
+        };
+        self.dirty = false;
+        verdict
     }
 
     fn supervision(&self) -> Supervision {

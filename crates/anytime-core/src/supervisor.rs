@@ -242,6 +242,7 @@ pub(crate) fn spawn_watchdog(
 ) -> std::io::Result<JoinHandle<()>> {
     std::thread::Builder::new()
         .name("anytime-supervisor".into())
+        // lint: allow(l6-no-raw-spawn) -- the watchdog observes stalled stages from outside the runtime; as a task it could be starved by the very stall it polices
         .spawn(move || {
             let now = Instant::now();
             let mut states: Vec<WatchState> = watched
@@ -297,8 +298,15 @@ pub(crate) fn spawn_watchdog(
                                     return;
                                 }
                                 StallAction::Degrade => {
-                                    if st.stage.control.seal_degraded() {
+                                    // Count before sealing: the seal wakes
+                                    // waiters, and one of them may read the
+                                    // fault stats before this thread runs
+                                    // again. The seal succeeds whenever a
+                                    // version was published (it is idempotent
+                                    // past terminal), so gate on that.
+                                    if st.stage.control.latest_version().is_some() {
                                         counters.record_degradation();
+                                        st.stage.control.seal_degraded();
                                     }
                                     st.retired = true;
                                 }

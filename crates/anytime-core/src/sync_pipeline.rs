@@ -43,12 +43,12 @@
 //! # Ok::<(), anytime_core::CoreError>(())
 //! ```
 
-use crate::buffer::{self, BufferOptions, BufferReader, BufferWriter};
+use crate::buffer::{self, BufferOptions, BufferReader, BufferWriter, DoubleBuffer};
 use crate::channel::{bounded, Receiver, Sender};
-use crate::control::ControlToken;
-use crate::error::{CoreError, Result};
+use crate::control::ControlPoll;
+use crate::error::CoreError;
 use crate::pipeline::PipelineBuilder;
-use crate::stage::{StageEnd, StageOptions, StageRunner};
+use crate::stage::{PollCx, StageEnd, StageOptions, StagePoll, StageRunner, MAX_STEPS_PER_SLICE};
 use std::fmt;
 use std::sync::Arc;
 
@@ -84,6 +84,11 @@ struct UpdateSourceRunner<I, X> {
     input: Arc<I>,
     next: NextFn<I, X>,
     tx: Sender<Msg<X>>,
+    /// Updates emitted so far; persists across poll slices.
+    step: u64,
+    /// A message the channel bounced back (queue full), to retry before
+    /// producing the next one.
+    stalled: Option<Msg<X>>,
 }
 
 impl<I, X> StageRunner for UpdateSourceRunner<I, X>
@@ -95,28 +100,45 @@ where
         &self.name
     }
 
-    fn drive(&mut self, ctl: &ControlToken) -> Result<StageEnd> {
-        let input = Arc::clone(&self.input);
-        let mut step = 0u64;
+    fn poll(&mut self, cx: &mut PollCx<'_>) -> StagePoll {
+        // Subscribe before checking any predicate: a queue-space or stop
+        // event after this point re-polls the task.
+        self.tx.subscribe_target(cx.wake);
+        cx.ctl.subscribe_target(cx.wake);
+        let mut sent = 0u64;
         loop {
-            match ctl.checkpoint() {
-                Ok(()) => {}
-                Err(CoreError::Stopped) => return Ok(StageEnd::Stopped),
-                Err(e) => return Err(e),
+            match cx.ctl.poll_checkpoint() {
+                ControlPoll::Running => {}
+                ControlPoll::Paused => return StagePoll::Pending,
+                ControlPoll::Stopped => return StagePoll::Ready(Ok(StageEnd::Stopped)),
             }
-            match (self.next)(&input, step) {
-                Some(update) => match self.tx.send(Msg::Update(update), ctl) {
-                    Ok(()) => step += 1,
-                    Err(CoreError::Stopped) => return Ok(StageEnd::Stopped),
-                    Err(e) => return Err(e),
+            let msg = match self.stalled.take() {
+                Some(m) => m,
+                None => match (self.next)(&self.input, self.step) {
+                    Some(update) => Msg::Update(update),
+                    None => Msg::Final,
                 },
-                None => {
-                    return match self.tx.send(Msg::Final, ctl) {
-                        Ok(()) => Ok(StageEnd::Final),
-                        Err(CoreError::Stopped) => Ok(StageEnd::Stopped),
-                        Err(e) => Err(e),
-                    };
+            };
+            let ends_stream = matches!(msg, Msg::Final);
+            match self.tx.poll_send(msg, cx.ctl) {
+                Ok(None) => {
+                    if ends_stream {
+                        return StagePoll::Ready(Ok(StageEnd::Final));
+                    }
+                    self.step += 1;
+                    sent += 1;
+                    // Each delivered update is this stage's publish point.
+                    if sent >= cx.budget || sent >= MAX_STEPS_PER_SLICE {
+                        return StagePoll::Yielded;
+                    }
                 }
+                Ok(Some(m)) => {
+                    // Backpressured: hold the message and wait for space.
+                    self.stalled = Some(m);
+                    return StagePoll::Pending;
+                }
+                Err(CoreError::Stopped) => return StagePoll::Ready(Ok(StageEnd::Stopped)),
+                Err(e) => return StagePoll::Ready(Err(e)),
             }
         }
     }
@@ -130,6 +152,35 @@ struct DistributiveRunner<X, G> {
     fold: FoldFn<G, X>,
     writer: BufferWriter<G>,
     publish_every: u64,
+    /// The running fold `g(F_0) ♦ g(X_1) ♦ …`, initialized lazily on the
+    /// first poll slice; persists across slices.
+    out: Option<G>,
+    steps: u64,
+    published_at: u64,
+    /// Publications recycle the two-versions-old allocation instead of
+    /// cloning the fold state fresh each time.
+    db: DoubleBuffer<G>,
+    /// Set while a poll slice runs; still set on entry means the previous
+    /// slice panicked mid-fold and the accumulator is untrustworthy.
+    dirty: bool,
+}
+
+impl<X, G> DistributiveRunner<X, G>
+where
+    X: Send + 'static,
+    G: Clone + Send + Sync + 'static,
+{
+    /// Publishes the partial fold accumulated so far (a valid approximate
+    /// output — interruptibility) before reporting a stop.
+    fn stop_with_partial(&mut self) -> StagePoll {
+        if self.steps > self.published_at {
+            if let Some(out) = &self.out {
+                self.db.publish_from(&mut self.writer, out, self.steps);
+                self.published_at = self.steps;
+            }
+        }
+        StagePoll::Ready(Ok(StageEnd::Stopped))
+    }
 }
 
 impl<X, G> StageRunner for DistributiveRunner<X, G>
@@ -141,45 +192,76 @@ where
         &self.name
     }
 
-    fn drive(&mut self, ctl: &ControlToken) -> Result<StageEnd> {
-        let mut out = (self.init)();
-        let mut steps = 0u64;
+    fn poll(&mut self, cx: &mut PollCx<'_>) -> StagePoll {
+        if self.writer.is_final() {
+            return StagePoll::Ready(Ok(StageEnd::Final));
+        }
+        if self.writer.is_terminal() {
+            return StagePoll::Ready(Ok(StageEnd::Degraded));
+        }
+        if std::mem::replace(&mut self.dirty, true) {
+            // The previous slice panicked mid-fold. Updates it consumed are
+            // gone (the channel cannot rewind), so restart the fold from
+            // scratch — the same recovery the dedicated-thread driver made
+            // when it was re-driven after a panic.
+            self.out = None;
+            self.steps = 0;
+            self.published_at = 0;
+        }
+        self.rx.subscribe_target(cx.wake);
+        cx.ctl.subscribe_target(cx.wake);
         let granularity = self.publish_every.max(1);
-        let mut published_at = 0u64;
-        // Publications recycle the two-versions-old allocation instead of
-        // cloning the fold state fresh each time.
-        let mut db = crate::buffer::DoubleBuffer::new();
-        loop {
-            match self.rx.recv(ctl) {
-                Ok(Msg::Update(x)) => {
-                    (self.fold)(&mut out, x);
-                    steps += 1;
-                    if steps.is_multiple_of(granularity) {
-                        db.publish_from(&mut self.writer, &out, steps);
-                        published_at = steps;
+        let mut pubs = 0u64;
+        let mut slice_steps = 0u64;
+        let verdict = loop {
+            match cx.ctl.poll_checkpoint() {
+                ControlPoll::Running => {}
+                ControlPoll::Paused => break StagePoll::Pending,
+                ControlPoll::Stopped => break self.stop_with_partial(),
+            }
+            match self.rx.poll_recv(cx.ctl) {
+                Ok(Some(Msg::Update(x))) => {
+                    if self.out.is_none() {
+                        self.out = Some((self.init)());
+                    }
+                    let out = self.out.as_mut().expect("fold state just initialized");
+                    (self.fold)(out, x);
+                    self.steps += 1;
+                    slice_steps += 1;
+                    if self.steps.is_multiple_of(granularity) {
+                        self.db.publish_from(&mut self.writer, out, self.steps);
+                        self.published_at = self.steps;
+                        pubs += 1;
+                        if pubs >= cx.budget {
+                            break StagePoll::Yielded;
+                        }
+                    } else if slice_steps >= MAX_STEPS_PER_SLICE {
+                        // Coarse granularity: cap the slice so one stage
+                        // cannot monopolize a worker between publishes.
+                        break StagePoll::Yielded;
                     }
                 }
-                Ok(Msg::Final) => {
-                    db.publish_final_from(&mut self.writer, &out, steps);
-                    return Ok(StageEnd::Final);
-                }
-                Err(CoreError::Stopped) => {
-                    // Publish the partial fold accumulated so far; it is a
-                    // valid approximate output (interruptibility).
-                    if steps > published_at {
-                        db.publish_from(&mut self.writer, &out, steps);
+                Ok(Some(Msg::Final)) => {
+                    if self.out.is_none() {
+                        self.out = Some((self.init)());
                     }
-                    return Ok(StageEnd::Stopped);
+                    let out = self.out.as_ref().expect("fold state just initialized");
+                    self.db.publish_final_from(&mut self.writer, out, self.steps);
+                    break StagePoll::Ready(Ok(StageEnd::Final));
                 }
+                Ok(None) => break StagePoll::Pending,
+                Err(CoreError::Stopped) => break self.stop_with_partial(),
                 Err(CoreError::ChannelClosed) => {
                     // The producer died without sending `Final`.
-                    return Err(CoreError::SourceClosed {
+                    break StagePoll::Ready(Err(CoreError::SourceClosed {
                         buffer: self.name.clone(),
-                    });
+                    }));
                 }
-                Err(e) => return Err(e),
+                Err(e) => break StagePoll::Ready(Err(e)),
             }
-        }
+        };
+        self.dirty = false;
+        verdict
     }
 
     fn output_control(&self) -> Option<std::sync::Arc<dyn crate::buffer::BufferControl>> {
@@ -187,8 +269,8 @@ where
     }
 
     fn steps_completed(&self) -> u64 {
-        // The fold restarts from scratch if re-driven; live progress is in
-        // the buffer, so report the latest published step count.
+        // The fold restarts from scratch if re-polled after a panic; live
+        // progress is in the buffer, so report the published step count.
         self.writer.latest().map_or(0, |snap| snap.steps())
     }
 }
@@ -223,6 +305,8 @@ impl PipelineBuilder {
             input: Arc::new(input),
             next: Box::new(next),
             tx,
+            step: 0,
+            stalled: None,
         }));
         UpdateReceiver { rx }
     }
@@ -259,6 +343,11 @@ impl PipelineBuilder {
             fold: Box::new(fold),
             writer,
             publish_every: opts.publish_every,
+            out: None,
+            steps: 0,
+            published_at: 0,
+            db: DoubleBuffer::new(),
+            dirty: false,
         }));
         reader
     }

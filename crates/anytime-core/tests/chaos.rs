@@ -44,12 +44,14 @@ fn is_triangular(x: u64) -> bool {
     (0..=N).any(|k| k * (k + 1) / 2 == x)
 }
 
-/// Builds the standard chaos pipeline with one supervision for all stages:
-/// `f` appends `1..=N` one element per step, `g` prefix-sums `f`'s vector
-/// diffusively, `h` doubles `g`'s sum.
+/// Builds the standard chaos pipeline with one supervision for all stages
+/// and `plan`'s faults armed at build time: `f` appends `1..=N` one
+/// element per step, `g` prefix-sums `f`'s vector diffusively, `h`
+/// doubles `g`'s sum.
 #[allow(clippy::type_complexity)]
 fn chaos_pipeline(
     sup: Supervision,
+    plan: &FaultPlan,
 ) -> (
     Pipeline,
     BufferReader<Vec<u64>>,
@@ -91,7 +93,7 @@ fn chaos_pipeline(
         opts,
     );
     let h = pb.stage("h", &g, Precise::new(|s: &u64| s * 2), opts);
-    (pb.build(), f, g, h)
+    (pb.with_faults(plan.clone()).build(), f, g, h)
 }
 
 /// Property 2: versions strictly increase and nothing follows a terminal
@@ -144,8 +146,8 @@ fn same_seed_yields_byte_identical_schedules() {
 fn seeded_faults_under_degrade_always_yield_valid_output() {
     for seed in 0..chaos_iters() {
         let plan = FaultPlan::seeded(seed, &["f", "g", "h"], N);
-        let (pipeline, f, g, h) = chaos_pipeline(Supervision::degrade());
-        let auto = pipeline.inject_faults(&plan).launch().unwrap();
+        let (pipeline, f, g, h) = chaos_pipeline(Supervision::degrade(), &plan);
+        let auto = pipeline.launch().unwrap();
         // Degrade never errors here: every stage publishes at least one
         // version before the earliest injectable panic (step 1).
         let report = auto
@@ -180,8 +182,8 @@ fn seeded_faults_under_degrade_always_yield_valid_output() {
 fn seeded_faults_under_restart_reach_the_precise_output() {
     for seed in 0..chaos_iters() {
         let plan = FaultPlan::seeded(seed, &["f", "g", "h"], N);
-        let (pipeline, f, _g, h) = chaos_pipeline(Supervision::restart(4, Duration::ZERO));
-        let auto = pipeline.inject_faults(&plan).launch().unwrap();
+        let (pipeline, f, _g, h) = chaos_pipeline(Supervision::restart(4, Duration::ZERO), &plan);
+        let auto = pipeline.launch().unwrap();
         let report = auto
             .join()
             .unwrap_or_else(|e| panic!("seed {seed} (plan:\n{plan}) errored under Restart: {e}"));
@@ -203,8 +205,8 @@ fn panic_at_step_n_under_degrade_returns_flagged_approximation() {
     // pipeline still returns a valid approximate final output, flagged
     // degraded, with a nonempty monotone version history.
     let plan = FaultPlan::new().panic_at("f", 5);
-    let (pipeline, f, _g, h) = chaos_pipeline(Supervision::degrade());
-    let auto = pipeline.inject_faults(&plan).launch().unwrap();
+    let (pipeline, f, _g, h) = chaos_pipeline(Supervision::degrade(), &plan);
+    let auto = pipeline.launch().unwrap();
     let report = auto.join().unwrap();
     assert!(report.any_degraded());
     assert_eq!(report.faults.degradations, 1);
@@ -225,8 +227,8 @@ fn same_plan_under_restart_reaches_the_precise_output() {
     // The same fault, supervised with Restart instead: the one-shot panic
     // is recovered and the precise output is reached.
     let plan = FaultPlan::new().panic_at("f", 5);
-    let (pipeline, _f, _g, h) = chaos_pipeline(Supervision::restart(2, Duration::ZERO));
-    let auto = pipeline.inject_faults(&plan).launch().unwrap();
+    let (pipeline, _f, _g, h) = chaos_pipeline(Supervision::restart(2, Duration::ZERO), &plan);
+    let auto = pipeline.launch().unwrap();
     let report = auto.join().unwrap();
     assert!(report.all_final());
     assert_eq!(report.faults.restarts, 1);
@@ -238,8 +240,8 @@ fn same_plan_under_restart_reaches_the_precise_output() {
 #[test]
 fn fail_stop_surfaces_the_injected_panic() {
     let plan = FaultPlan::new().panic_at("g", 2);
-    let (pipeline, _f, _g, _h) = chaos_pipeline(Supervision::fail_stop());
-    let auto = pipeline.inject_faults(&plan).launch().unwrap();
+    let (pipeline, _f, _g, _h) = chaos_pipeline(Supervision::fail_stop(), &plan);
+    let auto = pipeline.launch().unwrap();
     match auto.join().unwrap_err() {
         CoreError::StagePanicked { stage, message, .. } => {
             assert_eq!(stage, "g");
@@ -257,8 +259,8 @@ fn stalls_and_slowdowns_only_delay_a_fail_stop_pipeline() {
     let plan = FaultPlan::new()
         .stall_at("f", 3, Duration::from_millis(25))
         .slow_down("g", Duration::from_micros(200));
-    let (pipeline, f, _g, h) = chaos_pipeline(Supervision::fail_stop());
-    let auto = pipeline.inject_faults(&plan).launch().unwrap();
+    let (pipeline, f, _g, h) = chaos_pipeline(Supervision::fail_stop(), &plan);
+    let auto = pipeline.launch().unwrap();
     let report = auto.join().unwrap();
     assert!(report.all_final());
     assert!(report.faults.is_clean());
@@ -285,7 +287,10 @@ const fn pmap_reduce_precise() -> u64 {
 /// whatever `pmap` has published so far). Faults arm on the worker-merge
 /// boundary for `pmap` and on the sampling loop for `reduce`.
 #[allow(clippy::type_complexity)]
-fn pmap_reduce_pipeline(sup: Supervision) -> (Pipeline, BufferReader<Vec<u64>>, BufferReader<u64>) {
+fn pmap_reduce_pipeline(
+    sup: Supervision,
+    plan: &FaultPlan,
+) -> (Pipeline, BufferReader<Vec<u64>>, BufferReader<u64>) {
     // publish_every = 1 (the default) guarantees at least one publication
     // before the earliest injectable panic, like the `f`→`g`→`h` pipeline.
     let opts = StageOptions::default().keep_history().supervise(sup);
@@ -312,7 +317,7 @@ fn pmap_reduce_pipeline(sup: Supervision) -> (Pipeline, BufferReader<Vec<u64>>, 
         ),
         opts,
     );
-    (pb.build(), pmap, sum)
+    (pb.with_faults(plan.clone()).build(), pmap, sum)
 }
 
 /// Property 3 for `pmap`: every published slot is either the unwritten
@@ -344,8 +349,8 @@ fn assert_reduce_valid(hist: &[Snapshot<u64>]) {
 fn sampled_patterns_under_seeded_degrade_yield_valid_output() {
     for seed in 0..chaos_iters() {
         let plan = FaultPlan::seeded(seed, &["pmap", "reduce"], M as u64);
-        let (pipeline, pmap, sum) = pmap_reduce_pipeline(Supervision::degrade());
-        let auto = pipeline.inject_faults(&plan).launch().unwrap();
+        let (pipeline, pmap, sum) = pmap_reduce_pipeline(Supervision::degrade(), &plan);
+        let auto = pipeline.launch().unwrap();
         let report = auto
             .join()
             .unwrap_or_else(|e| panic!("seed {seed} (plan:\n{plan}) errored under Degrade: {e}"));
@@ -373,8 +378,8 @@ fn sampled_patterns_under_seeded_degrade_yield_valid_output() {
 fn sampled_patterns_under_seeded_restart_reach_the_precise_output() {
     for seed in 0..chaos_iters() {
         let plan = FaultPlan::seeded(seed, &["pmap", "reduce"], M as u64);
-        let (pipeline, pmap, sum) = pmap_reduce_pipeline(Supervision::restart(4, Duration::ZERO));
-        let auto = pipeline.inject_faults(&plan).launch().unwrap();
+        let (pipeline, pmap, sum) = pmap_reduce_pipeline(Supervision::restart(4, Duration::ZERO), &plan);
+        let auto = pipeline.launch().unwrap();
         let report = auto
             .join()
             .unwrap_or_else(|e| panic!("seed {seed} (plan:\n{plan}) errored under Restart: {e}"));
@@ -398,8 +403,8 @@ fn parallel_map_merge_panic_under_degrade_flags_downstream() {
     // partially-written map is sealed degraded and the reduction over it
     // still resolves to a valid, flagged approximation.
     let plan = FaultPlan::new().panic_at("pmap", 8);
-    let (pipeline, pmap, sum) = pmap_reduce_pipeline(Supervision::degrade());
-    let auto = pipeline.inject_faults(&plan).launch().unwrap();
+    let (pipeline, pmap, sum) = pmap_reduce_pipeline(Supervision::degrade(), &plan);
+    let auto = pipeline.launch().unwrap();
     let report = auto.join().unwrap();
     assert!(report.any_degraded());
     assert!(report.faults.degradations >= 1);
@@ -460,11 +465,11 @@ mod batched {
                 ),
                 StageOptions::with_publish_every(1).supervise(sup),
             );
-            let mut pipeline = pb.build();
-            if let Some(plan) = plan_for(inputs.len()) {
-                pipeline = pipeline.inject_faults(&plan);
-            }
-            Ok((pipeline, vec![out; inputs.len()]))
+            let pb = match plan_for(inputs.len()) {
+                Some(plan) => pb.with_faults(plan),
+                None => pb,
+            };
+            Ok((pb.build(), vec![out; inputs.len()]))
         }
     }
 
@@ -628,8 +633,8 @@ fn watchdog_degrades_an_injected_stall() {
     let plan = FaultPlan::new().stall_at("f", 3, Duration::from_millis(1_200));
     let sup =
         Supervision::fail_stop().with_watchdog(Duration::from_millis(120), StallAction::Degrade);
-    let (pipeline, f, _g, h) = chaos_pipeline(sup);
-    let auto = pipeline.inject_faults(&plan).launch().unwrap();
+    let (pipeline, f, _g, h) = chaos_pipeline(sup, &plan);
+    let auto = pipeline.launch().unwrap();
     let out = h.wait_final_timeout(Duration::from_secs(30)).unwrap();
     assert!(out.is_degraded());
     let stats = auto.fault_stats();

@@ -4,7 +4,7 @@
 
 use anytime_core::contract::{plan_single_level, plan_strict, plan_with_insurance, LevelEstimate};
 use anytime_core::scheduler::{
-    allocate, estimate_first_output_latency, estimate_output_gap, AllocPolicy,
+    allocate, credits_from_alloc, estimate_first_output_latency, estimate_output_gap, AllocPolicy,
 };
 use anytime_core::CoreError;
 use proptest::prelude::*;
@@ -186,5 +186,89 @@ proptest! {
         let max_w = weights.iter().cloned().fold(0.0, f64::max);
         prop_assert!(gap <= max_w * 0.25);
         prop_assert!(gap > 0.0);
+    }
+}
+
+// The work-stealing runtime expresses an [`allocate`] thread plan as
+// per-stage task *credits* (publish slices per scheduling quantum). These
+// properties pin down the contract of `credits_from_alloc`: the policy's
+// preference ordering survives the mapping, so `FirstOutputFirst` still
+// favors the longest stage and `UpdateRateFirst` still favors the final
+// stage once stages are tasks instead of thread groups.
+proptest! {
+    #[test]
+    fn credits_preserve_policy_ordering(
+        weights in prop::collection::vec(0.1f64..100.0, 1..12),
+        threads in 1usize..64,
+    ) {
+        for policy in [
+            AllocPolicy::Equal,
+            AllocPolicy::Proportional,
+            AllocPolicy::FirstOutputFirst,
+            AllocPolicy::UpdateRateFirst,
+        ] {
+            let alloc = allocate(policy, &weights, threads);
+            let credits = credits_from_alloc(&alloc);
+            prop_assert_eq!(credits.len(), alloc.len());
+            // Every stage can always make progress: no zero-credit stage,
+            // whatever the thread plan said.
+            prop_assert!(credits.iter().all(|&c| c >= 1), "policy {:?}", policy);
+            // Order preservation: a stage the policy favored over another
+            // never ends up with fewer publish slices.
+            for i in 0..alloc.len() {
+                for j in 0..alloc.len() {
+                    prop_assert_eq!(
+                        alloc[i].cmp(&alloc[j]),
+                        credits[i].cmp(&credits[j]),
+                        "policy {:?}: stages {} vs {} reordered", policy, i, j
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_output_first_credits_favor_a_heaviest_stage(
+        weights in prop::collection::vec(0.1f64..100.0, 2..10),
+        spare in 1usize..24,
+    ) {
+        let threads = weights.len() + spare;
+        let alloc = allocate(AllocPolicy::FirstOutputFirst, &weights, threads);
+        let credits = credits_from_alloc(&alloc);
+        let top = credits
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap();
+        // The whole spare budget lands on a stage of maximal weight…
+        prop_assert_eq!(credits[top], 1 + spare as u64);
+        let max_w = weights.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(
+            weights[top].total_cmp(&max_w).is_eq(),
+            "spare credits went to stage {} (weight {}), max weight {}",
+            top, weights[top], max_w
+        );
+        // …and every other stage keeps exactly the one-slice floor.
+        for (i, &c) in credits.iter().enumerate() {
+            if i != top {
+                prop_assert_eq!(c, 1, "stage {} lost its floor share", i);
+            }
+        }
+    }
+
+    #[test]
+    fn update_rate_first_credits_favor_the_final_stage(
+        weights in prop::collection::vec(0.1f64..100.0, 2..10),
+        spare in 1usize..24,
+    ) {
+        let threads = weights.len() + spare;
+        let alloc = allocate(AllocPolicy::UpdateRateFirst, &weights, threads);
+        let credits = credits_from_alloc(&alloc);
+        let last = credits.len() - 1;
+        prop_assert_eq!(credits[last], 1 + spare as u64);
+        for (i, &c) in credits[..last].iter().enumerate() {
+            prop_assert_eq!(c, 1, "non-final stage {} above the floor", i);
+        }
     }
 }

@@ -28,7 +28,7 @@ fn slow_counter(n: u64, delay: Duration) -> Diffusive<(), u64> {
 #[test]
 fn drain_during_active_run_partitions_events() {
     let recorder = Recorder::enabled(1 << 14);
-    let mut pb = PipelineBuilder::traced(recorder.clone());
+    let mut pb = PipelineBuilder::new().with_recorder(recorder.clone());
     let f = pb.source(
         "f",
         (),
@@ -76,7 +76,7 @@ fn drain_during_active_run_partitions_events() {
 #[test]
 fn overflowing_ring_drops_oldest_and_run_completes() {
     let recorder = Recorder::enabled(8);
-    let mut pb = PipelineBuilder::traced(recorder.clone());
+    let mut pb = PipelineBuilder::new().with_recorder(recorder.clone());
     let f = pb.source(
         "f",
         (),
@@ -108,7 +108,7 @@ fn overflowing_ring_drops_oldest_and_run_completes() {
 #[test]
 fn disabled_recorder_is_inert_end_to_end() {
     let recorder = Recorder::disabled();
-    let mut pb = PipelineBuilder::traced(recorder.clone());
+    let mut pb = PipelineBuilder::new().with_recorder(recorder.clone());
     let _f = pb.source(
         "f",
         (),
@@ -150,7 +150,7 @@ fn restart_appears_in_trace() {
             }
         },
     );
-    let mut pb = PipelineBuilder::traced(recorder.clone());
+    let mut pb = PipelineBuilder::new().with_recorder(recorder.clone());
     let _f = pb.source(
         "f",
         (),

@@ -22,6 +22,7 @@
 //! | `l3-relaxed` | `Ordering::Relaxed` without an adjacent `// relaxed:` justification comment (same line, the line above, or a contiguous run of justified `Relaxed` lines). |
 //! | `l4-guard-across-publish` | a named `MutexGuard` binding (`let g = ….lock()` / `lock_unpoisoned(…)` / `lock(…)`) still live at a call to `publish*` / `emit*` / `seal_degraded` / `callback`. Publication must happen after the state lock is dropped, or readers can block on a publisher. |
 //! | `l5-forbid-unsafe` | workspace crate roots (`src/lib.rs`, `src/main.rs`) missing `#![forbid(unsafe_code)]`. |
+//! | `l6-no-raw-spawn` | raw OS-thread creation (`thread::spawn`, `Builder…spawn(…)`, `scope.spawn(…)`) outside `#[cfg(test)]` scopes and `tests/`/`benches/`/`examples/` trees. Stage work runs as tasks on the shared work-stealing runtime; every standing thread (runtime workers, supervisor watchdog, governor, replica workers) is an audited suppression. |
 //!
 //! # Suppressions
 //!
@@ -43,12 +44,13 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// All valid rule identifiers, in catalog order.
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 6] = [
     "l1-condvar",
     "l2-sleep",
     "l3-relaxed",
     "l4-guard-across-publish",
     "l5-forbid-unsafe",
+    "l6-no-raw-spawn",
 ];
 
 /// One diagnostic: a rule violation (or a bad suppression) at a source line.
@@ -117,6 +119,7 @@ pub fn lint_source(src: &str, ctx: &FileCtx) -> Vec<Diagnostic> {
     rule_l3_relaxed(&lexed, ctx, &mut raw);
     rule_l4_guard(&lexed.tokens, ctx, &mut raw);
     rule_l5_forbid(&lexed.tokens, ctx, &mut raw);
+    rule_l6_spawn(&lexed.tokens, &in_test, ctx, &mut raw);
 
     apply_suppressions(raw, &lexed.comments, ctx)
 }
@@ -445,6 +448,45 @@ fn rule_l5_forbid(tokens: &[Token], ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
         rule: "l5-forbid-unsafe",
         message: "crate root missing `#![forbid(unsafe_code)]`".into(),
     });
+}
+
+/// L6: raw OS-thread creation outside test code.
+///
+/// Flags `spawn(` call sites reached as `thread::spawn(…)` or as a method
+/// call `….spawn(…)` (thread `Builder` chains, scoped-thread handles).
+/// Stage work belongs on the shared task runtime; the few standing
+/// control-plane threads the crate keeps (runtime workers, supervisor
+/// watchdog, governor, serve replica workers, parallel-map compute
+/// workers) each carry an audited suppression naming why a thread is the
+/// right tool there.
+fn rule_l6_spawn(tokens: &[Token], in_test: &[bool], ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if ctx.sleep_exempt {
+        return;
+    }
+    for i in 0..tokens.len() {
+        if ident_at(tokens, i) != Some("spawn") || !is_open(tokens, i + 1, b'(') || in_test[i] {
+            continue;
+        }
+        // `fn spawn(` is a definition, not a call site.
+        if i >= 1 && ident_at(tokens, i - 1) == Some("fn") {
+            continue;
+        }
+        let method_call = i >= 1 && is_punct(tokens, i - 1, b'.');
+        let thread_path = i >= 3
+            && is_punct(tokens, i - 1, b':')
+            && is_punct(tokens, i - 2, b':')
+            && ident_at(tokens, i - 3) == Some("thread");
+        if method_call || thread_path {
+            out.push(Diagnostic {
+                file: ctx.display.clone(),
+                line: tokens[i].line,
+                rule: "l6-no-raw-spawn",
+                message: "raw thread spawn: stage work must be scheduled on the shared task \
+                          runtime; a standing control-plane thread needs an audited suppression"
+                    .into(),
+            });
+        }
+    }
 }
 
 /// One parsed `// lint: allow(…) -- reason` directive.
@@ -793,6 +835,36 @@ mod tests {
         assert!(lint_source("#![forbid(unsafe_code)]\npub fn f() {}\n", &c).is_empty());
         // Non-roots are not checked.
         assert!(lint_source("pub fn f() {}\n", &ctx("crates/x/src/other.rs")).is_empty());
+    }
+
+    #[test]
+    fn l6_flags_raw_spawns_outside_tests() {
+        let d = lint_source("fn f() { std::thread::spawn(move || {}); }\n", &ctx("a.rs"));
+        assert_eq!(rules_of(&d), vec!["l6-no-raw-spawn"]);
+        let builder = "fn f() {\n thread::Builder::new()\n  .name(n)\n  .spawn(move || {})\n}\n";
+        let d = lint_source(builder, &ctx("a.rs"));
+        assert_eq!(rules_of(&d), vec!["l6-no-raw-spawn"]);
+        assert_eq!(d[0].line, 4, "diagnostic lands on the .spawn( line");
+    }
+
+    #[test]
+    fn l6_exempts_tests_definitions_and_task_spawns() {
+        let in_test = "#[cfg(test)]\nmod tests {\n fn f() { thread::spawn(move || {}); }\n}\n";
+        assert!(lint_source(in_test, &ctx("a.rs")).is_empty());
+        let test_dir = FileCtx::from_rel_path("crates/x/tests/t.rs");
+        assert!(lint_source("fn f() { thread::spawn(move || {}); }", &test_dir).is_empty());
+        // A definition and the runtime's own task-spawn API are not raw spawns.
+        assert!(lint_source("impl X { fn spawn(&self) {} }\n", &ctx("a.rs")).is_empty());
+        assert!(lint_source("fn f() { rt.spawn_task(task, 1); }\n", &ctx("a.rs")).is_empty());
+    }
+
+    #[test]
+    fn l6_suppression_audits_standing_threads() {
+        let src = "fn f() {\n\
+                   // lint: allow(l6-no-raw-spawn) -- watchdog needs its own thread\n\
+                   thread::spawn(move || {});\n\
+                   }\n";
+        assert!(lint_source(src, &ctx("a.rs")).is_empty());
     }
 
     #[test]

@@ -19,6 +19,7 @@ const CASES: &[(&str, &str)] = &[
     ("l3_relaxed.rs", "crates/demo/src/worker.rs"),
     ("l4_guard.rs", "crates/demo/src/worker.rs"),
     ("l5_missing_forbid.rs", "crates/demo/src/lib.rs"),
+    ("l6_no_raw_spawn.rs", "crates/demo/src/worker.rs"),
     ("suppressions.rs", "crates/demo/src/worker.rs"),
 ];
 

@@ -1,0 +1,35 @@
+//! Fixture: raw thread creation outside the task runtime.
+
+use std::thread;
+
+fn stage_on_a_thread() {
+    thread::spawn(move || {});
+}
+
+fn builder_chain() {
+    std::thread::Builder::new()
+        .name("worker".into())
+        .spawn(move || {})
+        .unwrap();
+}
+
+fn audited_standing_thread() {
+    // lint: allow(l6-no-raw-spawn) -- fixture: watchdog must outlive a saturated runtime
+    thread::spawn(move || {});
+}
+
+fn runtime_task_is_fine(rt: &Runtime) {
+    rt.spawn_task(task, 1);
+}
+
+impl Pool {
+    fn spawn(&self) {} // a definition, not a call
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn helper_threads_are_fine_in_tests() {
+        std::thread::spawn(move || {});
+    }
+}
