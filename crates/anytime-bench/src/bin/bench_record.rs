@@ -28,7 +28,11 @@
 //! - `runtime/yield_resume` — per-slice cost of the yield-at-publish
 //!   protocol: a publish-every-step source yields back to the scheduler
 //!   after each publish, so wall time over steps is one
-//!   publish + yield + requeue + resume cycle.
+//!   publish + yield + requeue + resume cycle;
+//! - `lint/workspace_scan` — one full `anytime-lint` workspace pass
+//!   (lex, per-file rules, cross-file model, semantic rules over every
+//!   member crate): the analyzer runs on every CI push and pre-commit,
+//!   so its wall time is gated like any other hot path.
 //!
 //! Every entry carries a normalized cost (`norm`) against a calibration
 //! workload measured on the same host, so reports from different machines
@@ -78,6 +82,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         record_serve_throughput(&mut report)?;
         record_admission_decision(&mut report, &opts)?;
         record_runtime(&mut report, &opts);
+        record_lint_scan(&mut report, &opts);
         reps.push(report);
     }
     let report = Report::merge_median(reps);
@@ -408,6 +413,36 @@ fn record_runtime(report: &mut Report, opts: &MeasureOptions) {
         true,
         total_ns / (reps * STEPS) as f64,
         reps * STEPS,
+    );
+}
+
+/// One full static-analysis pass over the workspace: every lintable file
+/// lexed, the per-file rules run, the cross-file model built, and the
+/// semantic rules walked. One op = one whole scan, so the recorded cost
+/// tracks both tree growth and analyzer regressions; the file count is
+/// pinned via `black_box` so the scan cannot be optimized away.
+fn record_lint_scan(report: &mut Report, opts: &MeasureOptions) {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives at <root>/crates/anytime-bench")
+        .to_path_buf();
+    let passes = opts.passes.max(3);
+    let mut samples = Vec::with_capacity(passes);
+    for _ in 0..passes {
+        let t0 = Instant::now();
+        let (diags, scanned) = anytime_lint::lint_workspace(&root).expect("workspace scan");
+        samples.push(t0.elapsed().as_nanos() as f64);
+        black_box((diags.len(), scanned));
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    // Median scan: the first pass pays the page cache, the tail pays host
+    // scheduling noise; the middle is the reproducible analyzer cost.
+    report.push(
+        "lint/workspace_scan",
+        true,
+        samples[samples.len() / 2],
+        passes as u64,
     );
 }
 

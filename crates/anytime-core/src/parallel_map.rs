@@ -333,6 +333,7 @@ where
         // stalled on channel backpressure before we join them.
         drop(run);
         for h in handles {
+            // lint: allow(l10-blocking-in-task) -- terminal-state join: the run (and its receiver) is already dropped, so every worker exits at its next send or stop check; the join is bounded by one chunk of work
             let _ = h.join();
         }
         self.dirty = false;

@@ -23,6 +23,16 @@
 //! | `l4-guard-across-publish` | a named `MutexGuard` binding (`let g = ….lock()` / `lock_unpoisoned(…)` / `lock(…)`) still live at a call to `publish*` / `emit*` / `seal_degraded` / `callback`. Publication must happen after the state lock is dropped, or readers can block on a publisher. |
 //! | `l5-forbid-unsafe` | workspace crate roots (`src/lib.rs`, `src/main.rs`) missing `#![forbid(unsafe_code)]`. |
 //! | `l6-no-raw-spawn` | raw OS-thread creation (`thread::spawn`, `Builder…spawn(…)`, `scope.spawn(…)`) outside `#[cfg(test)]` scopes and `tests/`/`benches/`/`examples/` trees. Stage work runs as tasks on the shared work-stealing runtime; every standing thread (runtime workers, supervisor watchdog, governor, replica workers) is an audited suppression. |
+//! | `l7-guard-across-yield` | *(cross-file)* a named guard live at a call whose callee transitively reaches a publish/yield boundary, inside any function reachable from an `RtTask`/`StageRunner` poll body. Closes L4's interprocedural gap. |
+//! | `l8-lock-order` | *(cross-file)* a cycle in the workspace lock-acquisition-order graph (lock B taken — directly or via a call — while a guard of A is held, and elsewhere A under B). The diagnostic prints the witness cycle with file:line per edge. |
+//! | `l9-atomic-pairing` | *(cross-file)* an explicit `Release` write on an atomic field with no `Acquire`/`AcqRel`/`SeqCst` load anywhere in the workspace, and vice versa. `SeqCst` and test-code accesses satisfy pairing but are never flagged. |
+//! | `l10-blocking-in-task` | *(cross-file)* an OS-thread-parking call (`WaitSet::wait*`, channel `recv*`, zero-arg `.join()`, `park*`) inside a function reachable from a task poll body; tasks must return `TaskPoll::Pending`/`PendingUntil` instead. |
+//!
+//! L1–L6 are per-file token rules; L7–L10 run on a two-phase
+//! representation: [`ast`] extracts per-file symbols and body events,
+//! [`model`] assembles the cross-file call graph / lock graph / atomic
+//! table, and [`rules`] walks them. See DESIGN.md §16 for the analysis
+//! limits.
 //!
 //! # Suppressions
 //!
@@ -37,20 +47,28 @@
 //! violation, names an unknown rule, or omits its reason is itself reported
 //! (rule `lint-allow`), so stale allows cannot accumulate.
 
+pub mod ast;
 pub mod lexer;
+pub mod model;
+pub mod rules;
 
 use lexer::{Comment, Lexed, Tok, Token};
+use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// All valid rule identifiers, in catalog order.
-pub const RULES: [&str; 6] = [
+pub const RULES: [&str; 10] = [
     "l1-condvar",
     "l2-sleep",
     "l3-relaxed",
     "l4-guard-across-publish",
     "l5-forbid-unsafe",
     "l6-no-raw-spawn",
+    "l7-guard-across-yield",
+    "l8-lock-order",
+    "l9-atomic-pairing",
+    "l10-blocking-in-task",
 ];
 
 /// One diagnostic: a rule violation (or a bad suppression) at a source line.
@@ -107,21 +125,64 @@ impl FileCtx {
     }
 }
 
-/// Lints one file's source text. Pure: no I/O, deterministic output order
+/// One source file queued for a multi-file lint run.
+#[derive(Debug, Clone)]
+pub struct SourceUnit {
+    pub ctx: FileCtx,
+    pub src: String,
+}
+
+/// Lints a set of files as one unit: per-file token rules (L1–L6) run on
+/// each file, then the cross-file model is built over *all* of them and
+/// the semantic rules (L7–L10) run once, so lock-order cycles and atomic
+/// pairings spanning files are visible. Suppressions apply uniformly to
+/// both phases. Pure: no I/O, deterministic output order (path, line,
+/// rule).
+pub fn lint_units(units: &[SourceUnit]) -> Vec<Diagnostic> {
+    let mut lexed_all: Vec<Lexed> = Vec::with_capacity(units.len());
+    let mut raw_all: Vec<Vec<Diagnostic>> = Vec::with_capacity(units.len());
+    let mut asts: Vec<ast::FileAst> = Vec::with_capacity(units.len());
+    for u in units {
+        let lexed = lexer::lex(&u.src);
+        let in_test = cfg_test_regions(&lexed.tokens);
+        let mut raw: Vec<Diagnostic> = Vec::new();
+        rule_l1_condvar(&lexed.tokens, &u.ctx, &mut raw);
+        rule_l2_sleep(&lexed.tokens, &in_test, &u.ctx, &mut raw);
+        rule_l3_relaxed(&lexed, &u.ctx, &mut raw);
+        rule_l4_guard(&lexed.tokens, &u.ctx, &mut raw);
+        rule_l5_forbid(&lexed.tokens, &u.ctx, &mut raw);
+        rule_l6_spawn(&lexed.tokens, &in_test, &u.ctx, &mut raw);
+        asts.push(ast::build_file_ast(&lexed, &in_test, &u.ctx));
+        lexed_all.push(lexed);
+        raw_all.push(raw);
+    }
+
+    let workspace = model::Model::build(&asts);
+    let mut semantic: Vec<Diagnostic> = Vec::new();
+    rules::check_all(&workspace, &mut semantic);
+    let mut by_file: HashMap<String, Vec<Diagnostic>> = HashMap::new();
+    for d in semantic {
+        by_file.entry(d.file.clone()).or_default().push(d);
+    }
+
+    let mut all: Vec<Diagnostic> = Vec::new();
+    for (i, u) in units.iter().enumerate() {
+        let mut raw = std::mem::take(&mut raw_all[i]);
+        raw.extend(by_file.remove(&u.ctx.display).unwrap_or_default());
+        all.extend(apply_suppressions(raw, &lexed_all[i].comments, &u.ctx));
+    }
+    all.sort_by(|a, b| (a.file.clone(), a.line, a.rule).cmp(&(b.file.clone(), b.line, b.rule)));
+    all
+}
+
+/// Lints one file's source text in isolation (the cross-file rules see a
+/// single-file model). Pure: no I/O, deterministic output order
 /// (ascending line, then rule id).
 pub fn lint_source(src: &str, ctx: &FileCtx) -> Vec<Diagnostic> {
-    let lexed = lexer::lex(src);
-    let in_test = cfg_test_regions(&lexed.tokens);
-
-    let mut raw: Vec<Diagnostic> = Vec::new();
-    rule_l1_condvar(&lexed.tokens, ctx, &mut raw);
-    rule_l2_sleep(&lexed.tokens, &in_test, ctx, &mut raw);
-    rule_l3_relaxed(&lexed, ctx, &mut raw);
-    rule_l4_guard(&lexed.tokens, ctx, &mut raw);
-    rule_l5_forbid(&lexed.tokens, ctx, &mut raw);
-    rule_l6_spawn(&lexed.tokens, &in_test, ctx, &mut raw);
-
-    apply_suppressions(raw, &lexed.comments, ctx)
+    lint_units(&[SourceUnit {
+        ctx: ctx.clone(),
+        src: src.to_string(),
+    }])
 }
 
 /// Marks, for every token, whether it sits inside a `#[cfg(test)]` (or
@@ -670,21 +731,81 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
+/// Reads `rels` (workspace-relative paths) under `root` and lints them as
+/// one unit, so the cross-file rules see the whole set.
+///
+/// # Errors
+///
+/// Returns the first I/O failure encountered.
+pub fn lint_paths(root: &Path, rels: &[String]) -> Result<(Vec<Diagnostic>, usize), String> {
+    let mut units = Vec::with_capacity(rels.len());
+    for rel in rels {
+        let path = root.join(rel);
+        let src =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        units.push(SourceUnit {
+            ctx: FileCtx::from_rel_path(rel),
+            src,
+        });
+    }
+    Ok((lint_units(&units), rels.len()))
+}
+
+/// Renders diagnostics as a single JSON object (hand-rolled, matching the
+/// crate's zero-dependency style). Stable field order; diagnostics keep
+/// the sorted (path, line, rule) order of the lint pass. This is the
+/// `--format json` output of the CLI, golden-tested alongside the human
+/// format.
+#[must_use]
+pub fn render_json(diags: &[Diagnostic], scanned: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"scanned\": {scanned},\n"));
+    out.push_str(&format!("  \"violations\": {},\n", diags.len()));
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&d.file),
+            d.line,
+            json_escape(d.rule),
+            json_escape(&d.message)
+        ));
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}");
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Lints the whole workspace rooted at `root`.
 ///
 /// # Errors
 ///
 /// Returns the first I/O failure encountered.
 pub fn lint_workspace(root: &Path) -> Result<(Vec<Diagnostic>, usize), String> {
-    let files = workspace_files(root);
-    let mut all = Vec::new();
-    let count = files.len();
-    for rel in &files {
-        let rel_str = rel.to_string_lossy().replace('\\', "/");
-        all.extend(lint_file(&root.join(rel), &rel_str)?);
-    }
-    all.sort_by(|a, b| (a.file.clone(), a.line, a.rule).cmp(&(b.file.clone(), b.line, b.rule)));
-    Ok((all, count))
+    let rels: Vec<String> = workspace_files(root)
+        .iter()
+        .map(|rel| rel.to_string_lossy().replace('\\', "/"))
+        .collect();
+    lint_paths(root, &rels)
 }
 
 #[cfg(test)]

@@ -7,16 +7,25 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: anytime-lint [--workspace] [--root <dir>] [FILE...]\n\
+const USAGE: &str = "usage: anytime-lint [--workspace] [--root <dir>] [--format <fmt>] [FILE...]\n\
   --workspace     lint every member crate of the workspace\n\
   --root <dir>    workspace root (default: $CARGO_MANIFEST_DIR/../.. or\n\
                   the nearest ancestor with a [workspace] Cargo.toml)\n\
-  FILE...         lint specific files (paths relative to the root)";
+  --format <fmt>  output format: `human` (default) or `json`\n\
+  FILE...         lint specific files (paths relative to the root);\n\
+                  the cross-file rules see exactly the given set";
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Human,
+    Json,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut workspace = false;
     let mut root: Option<PathBuf> = None;
+    let mut format = Format::Human;
     let mut files: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -26,6 +35,17 @@ fn main() -> ExitCode {
                 Some(r) => root = Some(PathBuf::from(r)),
                 None => {
                     eprintln!("--root needs a value\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--format" => match it.next().as_deref() {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!(
+                        "--format needs `human` or `json`, got {:?}\n{USAGE}",
+                        other.unwrap_or("nothing")
+                    );
                     return ExitCode::from(2);
                 }
             },
@@ -56,45 +76,39 @@ fn main() -> ExitCode {
     let result = if workspace {
         anytime_lint::lint_workspace(&root)
     } else {
-        let mut all = Vec::new();
-        let mut err = None;
-        for f in &files {
-            let path = if Path::new(f).is_absolute() {
-                PathBuf::from(f)
-            } else {
-                root.join(f)
-            };
-            let rel = path
-                .strip_prefix(&root)
-                .map(|p| p.to_string_lossy().replace('\\', "/"))
-                .unwrap_or_else(|_| f.clone());
-            match anytime_lint::lint_file(&path, &rel) {
-                Ok(d) => all.extend(d),
-                Err(e) => {
-                    err = Some(e);
-                    break;
-                }
-            }
-        }
-        match err {
-            Some(e) => Err(e),
-            None => Ok((all, files.len())),
-        }
+        let rels: Vec<String> = files
+            .iter()
+            .map(|f| {
+                Path::new(f)
+                    .strip_prefix(&root)
+                    .map(|p| p.to_string_lossy().replace('\\', "/"))
+                    .unwrap_or_else(|_| f.replace('\\', "/"))
+            })
+            .collect();
+        anytime_lint::lint_paths(&root, &rels)
     };
 
     match result {
         Ok((diags, scanned)) => {
-            for d in &diags {
-                println!("{d}");
+            match format {
+                Format::Human => {
+                    for d in &diags {
+                        println!("{d}");
+                    }
+                    if diags.is_empty() {
+                        eprintln!("anytime-lint: clean ({scanned} files)");
+                    } else {
+                        eprintln!(
+                            "anytime-lint: {} violation(s) in {scanned} scanned file(s)",
+                            diags.len()
+                        );
+                    }
+                }
+                Format::Json => println!("{}", anytime_lint::render_json(&diags, scanned)),
             }
             if diags.is_empty() {
-                eprintln!("anytime-lint: clean ({scanned} files)");
                 ExitCode::SUCCESS
             } else {
-                eprintln!(
-                    "anytime-lint: {} violation(s) in {scanned} scanned file(s)",
-                    diags.len()
-                );
                 ExitCode::FAILURE
             }
         }

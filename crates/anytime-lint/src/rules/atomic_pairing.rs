@@ -1,0 +1,65 @@
+//! L9: `Release` stores without a matching `Acquire` load (and vice
+//! versa), workspace-wide.
+//!
+//! A `Release` write publishes nothing unless some thread performs an
+//! `Acquire`-class read of the *same* atomic: the synchronizes-with edge
+//! needs both ends. An unpaired end is either a leftover from a removed
+//! reader/writer (the `live_runs` class of bug audited by hand in PR 5)
+//! or an ordering that should be `Relaxed` with a justification. Pairing
+//! is keyed by field name across the whole workspace; `SeqCst` accesses
+//! and test-code accesses satisfy pairing but are never flagged
+//! themselves.
+
+use crate::model::Model;
+use crate::Diagnostic;
+use std::collections::HashSet;
+
+/// Flags explicit `Release`/`AcqRel` writes on fields no one ever reads
+/// with `Acquire`/`AcqRel`/`SeqCst`, and explicit `Acquire`/`AcqRel`
+/// reads on fields no one ever writes with `Release`/`AcqRel`/`SeqCst`.
+pub fn check(model: &Model, out: &mut Vec<Diagnostic>) {
+    let mut acq_read: HashSet<&str> = HashSet::new();
+    let mut rel_write: HashSet<&str> = HashSet::new();
+    for site in &model.atomics {
+        if site.access.acq_any {
+            acq_read.insert(&site.access.field);
+        }
+        if site.access.rel_any {
+            rel_write.insert(&site.access.field);
+        }
+    }
+    for site in &model.atomics {
+        let a = &site.access;
+        if a.in_test {
+            continue;
+        }
+        if a.explicit_rel && !acq_read.contains(a.field.as_str()) {
+            out.push(Diagnostic {
+                file: site.file.clone(),
+                line: a.line,
+                rule: "l9-atomic-pairing",
+                message: format!(
+                    "`Release` write to atomic field `{}` has no `Acquire`/`AcqRel`/`SeqCst` \
+                     load anywhere in the workspace: nothing synchronizes with this store — \
+                     pair it with an acquiring load or downgrade to `Relaxed` with a \
+                     `// relaxed:` justification",
+                    a.field
+                ),
+            });
+        }
+        if a.explicit_acq && !rel_write.contains(a.field.as_str()) {
+            out.push(Diagnostic {
+                file: site.file.clone(),
+                line: a.line,
+                rule: "l9-atomic-pairing",
+                message: format!(
+                    "`Acquire` read of atomic field `{}` has no `Release`/`AcqRel`/`SeqCst` \
+                     store anywhere in the workspace: there is no release to synchronize \
+                     with — pair it with a releasing store or downgrade to `Relaxed` with a \
+                     `// relaxed:` justification",
+                    a.field
+                ),
+            });
+        }
+    }
+}

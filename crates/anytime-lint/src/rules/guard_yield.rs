@@ -1,0 +1,62 @@
+//! L7: a lock guard live across a publish/yield point in task context.
+//!
+//! L4 catches a guard held at a *direct* `publish*`/`emit*` call in the
+//! same function. This rule closes the interprocedural gap: inside any
+//! function reachable from an `RtTask`/`StageRunner` poll body, a named
+//! guard must not be live at a call whose callee *transitively* reaches a
+//! publication boundary. A task that yields while holding a runtime or
+//! stage lock can park with the lock held; every peer task (and the
+//! worker that would wake it) then blocks behind the parked owner —
+//! exactly the pool-wide stall the work-stealing runtime must exclude.
+
+use crate::ast::Event;
+use crate::model::{replay_guards, Model};
+use crate::Diagnostic;
+
+/// Scans every task-reachable function body for guards live at calls into
+/// the yield/publish set. Direct boundary calls are L4's finding and are
+/// not re-reported here.
+pub fn check(model: &Model, out: &mut Vec<Diagnostic>) {
+    let mut indices: Vec<usize> = model.reachable.keys().copied().collect();
+    indices.sort_unstable();
+    for idx in indices {
+        let f = &model.fns[idx];
+        if f.in_test {
+            continue;
+        }
+        let mut found: Vec<Diagnostic> = Vec::new();
+        replay_guards(&f.events, |held, ev| {
+            let Event::Call { name, line, .. } = ev else {
+                return;
+            };
+            if crate::is_boundary_call(name) {
+                return; // L4's province: same-line double reports help nobody
+            }
+            let yields = model
+                .by_name
+                .get(name)
+                .into_iter()
+                .flatten()
+                .any(|c| model.yields.contains(c));
+            if !yields {
+                return;
+            }
+            let Some(g) = held.last() else {
+                return;
+            };
+            let lock = g.lock.as_deref().unwrap_or("?");
+            found.push(Diagnostic {
+                file: f.file.clone(),
+                line: *line,
+                rule: "l7-guard-across-yield",
+                message: format!(
+                    "guard `{}` (lock `{lock}`, bound line {}) is live across a call to \
+                     `{name}`, which reaches a publish/yield point; a task parked under \
+                     this lock stalls every peer that needs it — drop the guard first",
+                    g.name, g.line
+                ),
+            });
+        });
+        out.append(&mut found);
+    }
+}

@@ -1,0 +1,23 @@
+//! Fixture: thread-parking calls buried one level below a task poll body
+//! (L10). Both a `WaitSet`-style `recv` and a zero-argument `join()` must
+//! be flagged, with the call chain from the poll root in the message.
+
+struct Ingest {
+    rx: Receiver<u64>,
+    handle: JoinHandle<()>,
+}
+
+impl RtTask for Ingest {
+    fn poll(&mut self, cx: &mut TaskContext<'_>) -> TaskPoll {
+        self.pump_once();
+        TaskPoll::Ready(())
+    }
+}
+
+impl Ingest {
+    fn pump_once(&mut self) {
+        let item = self.rx.recv();
+        let _ = self.handle.join();
+        consume(item);
+    }
+}

@@ -1,0 +1,42 @@
+//! Fixture: a task poll body holds a lock guard across a call chain that
+//! reaches a publish point (L7), alongside a true negative (guard dropped
+//! before the call) and a suppressed-with-reason case.
+
+struct Pump {
+    state: Mutex<u64>,
+    out: Writer,
+}
+
+impl RtTask for Pump {
+    fn poll(&mut self, cx: &mut TaskContext<'_>) -> TaskPoll {
+        let g = lock(&self.state);
+        self.forward(*g);
+        drop(g);
+        self.ok_path();
+        self.audited();
+        TaskPoll::Ready(())
+    }
+}
+
+impl Pump {
+    /// Reaches a publish point: callers must not hold guards across this.
+    fn forward(&mut self, v: u64) {
+        self.out.publish(v);
+    }
+
+    /// True negative: the guard dies before the publishing call.
+    fn ok_path(&mut self) {
+        let g = lock(&self.state);
+        let v = *g;
+        drop(g);
+        self.forward(v);
+    }
+
+    /// Suppressed: the reason records why the overlap is tolerable here.
+    fn audited(&mut self) {
+        let g = lock(&self.state);
+        // lint: allow(l7-guard-across-yield) -- fixture: demonstrates an audited overlap
+        self.forward(*g);
+        drop(g);
+    }
+}

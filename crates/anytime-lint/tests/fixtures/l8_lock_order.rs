@@ -1,0 +1,20 @@
+//! Fixture: two functions acquire the same pair of mutexes in opposing
+//! orders (L8). The diagnostic must print the full witness cycle with a
+//! file:line per edge.
+
+struct Shared {
+    alpha: Mutex<Vec<u64>>,
+    beta: Mutex<Vec<u64>>,
+}
+
+fn drain(s: &Shared) {
+    let a = lock(&s.alpha);
+    let b = lock(&s.beta);
+    b.extend(a.iter().copied());
+}
+
+fn refill(s: &Shared) {
+    let b = lock(&s.beta);
+    let a = lock(&s.alpha);
+    a.extend(b.iter().copied());
+}

@@ -1,0 +1,22 @@
+//! Fixture: release/acquire operations whose other half is missing from
+//! the workspace (L9), plus a correctly paired field as the true
+//! negative.
+
+struct Flags {
+    ready: AtomicU64,
+    sealed: AtomicU64,
+    epoch: AtomicU64,
+}
+
+fn seal(f: &Flags) {
+    f.sealed.store(1, Ordering::Release);
+}
+
+fn observe(f: &Flags) -> u64 {
+    f.epoch.load(Ordering::Acquire)
+}
+
+fn paired(f: &Flags) -> u64 {
+    f.ready.store(1, Ordering::Release);
+    f.ready.load(Ordering::Acquire)
+}
